@@ -1,0 +1,216 @@
+//! Least-squares fits used to verify growth rates empirically.
+//!
+//! The paper's results are asymptotic (`Θ(n²)`, `Θ(n)`, `Θ(log n)`,
+//! `Θ(H·n^{1/(H+1)})`). The experiments verify the *shape* of these bounds by
+//! sweeping `n` and fitting:
+//!
+//! * a power law `y = c·xᵖ` (via linear regression in log–log space), whose
+//!   exponent `p` distinguishes `Θ(n²)` from `Θ(n)` from `Θ(√n)`, and
+//! * a proportional model `y = c·g(x)` for a known shape `g` (e.g.
+//!   `g(n) = n·ln n`), whose residuals confirm or refute the shape.
+
+/// An ordinary least-squares fit of `y = intercept + slope·x`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (1 means a perfect fit).
+    pub r_squared: f64,
+}
+
+/// A power-law fit `y = coefficient·x^exponent`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PowerLawFit {
+    /// Fitted exponent.
+    pub exponent: f64,
+    /// Fitted multiplicative coefficient.
+    pub coefficient: f64,
+    /// Coefficient of determination of the underlying log–log linear fit.
+    pub r_squared: f64,
+}
+
+impl PowerLawFit {
+    /// Evaluates the fitted model at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.coefficient * x.powf(self.exponent)
+    }
+}
+
+/// A proportional fit `y = coefficient·g(x)` for a caller-supplied shape `g`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ProportionalFit {
+    /// Fitted coefficient.
+    pub coefficient: f64,
+    /// Coefficient of determination against the proportional model.
+    pub r_squared: f64,
+}
+
+/// Fits `y = intercept + slope·x` by ordinary least squares.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or fewer than two points, or if
+/// all `x` values are identical.
+///
+/// # Example
+///
+/// ```
+/// use analysis::fit_linear;
+/// let fit = fit_linear(&[1.0, 2.0, 3.0], &[3.0, 5.0, 7.0]);
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!(fit.r_squared > 0.999);
+/// ```
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> LinearFit {
+    assert_eq!(xs.len(), ys.len(), "x and y must have the same length");
+    assert!(xs.len() >= 2, "need at least two points to fit a line");
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+    assert!(sxx > 0.0, "x values must not all be identical");
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 =
+        xs.iter().zip(ys).map(|(x, y)| (y - (intercept + slope * x)).powi(2)).sum();
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    LinearFit { slope, intercept, r_squared }
+}
+
+/// Fits a power law `y = c·xᵖ` by linear regression of `ln y` against `ln x`.
+///
+/// # Panics
+///
+/// Panics on mismatched lengths, fewer than two points, or non-positive data
+/// (the log transform requires strictly positive values).
+///
+/// # Example
+///
+/// ```
+/// use analysis::fit_power_law;
+/// let xs: Vec<f64> = (1..=6).map(|i| (10 * i) as f64).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x * x).collect();
+/// let fit = fit_power_law(&xs, &ys);
+/// assert!((fit.exponent - 2.0).abs() < 1e-9);
+/// assert!((fit.coefficient - 0.5).abs() < 1e-9);
+/// ```
+pub fn fit_power_law(xs: &[f64], ys: &[f64]) -> PowerLawFit {
+    assert_eq!(xs.len(), ys.len(), "x and y must have the same length");
+    assert!(
+        xs.iter().chain(ys).all(|&v| v > 0.0),
+        "power-law fitting requires strictly positive data"
+    );
+    let log_x: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let log_y: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    let linear = fit_linear(&log_x, &log_y);
+    PowerLawFit {
+        exponent: linear.slope,
+        coefficient: linear.intercept.exp(),
+        r_squared: linear.r_squared,
+    }
+}
+
+/// Fits `y = c·g` through the origin, where the caller supplies the already
+/// evaluated shape values `g = g(x)` alongside the observations.
+///
+/// # Panics
+///
+/// Panics on mismatched lengths, empty input, or an all-zero shape vector.
+///
+/// # Example
+///
+/// ```
+/// use analysis::fit_proportional;
+/// // y = 3·n·ln n with a little noise.
+/// let ns = [64.0f64, 128.0, 256.0, 512.0];
+/// let shape: Vec<f64> = ns.iter().map(|n| n * n.ln()).collect();
+/// let ys: Vec<f64> = shape.iter().map(|g| 3.0 * g).collect();
+/// let fit = fit_proportional(&shape, &ys);
+/// assert!((fit.coefficient - 3.0).abs() < 1e-9);
+/// ```
+pub fn fit_proportional(shape: &[f64], ys: &[f64]) -> ProportionalFit {
+    assert_eq!(shape.len(), ys.len(), "shape and y must have the same length");
+    assert!(!shape.is_empty(), "need at least one point");
+    let sgg: f64 = shape.iter().map(|g| g * g).sum();
+    assert!(sgg > 0.0, "shape values must not all be zero");
+    let sgy: f64 = shape.iter().zip(ys).map(|(g, y)| g * y).sum();
+    let coefficient = sgy / sgg;
+    let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+    let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = shape.iter().zip(ys).map(|(g, y)| (y - coefficient * g).powi(2)).sum();
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    ProportionalFit { coefficient, r_squared }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let fit = fit_linear(&xs, &ys);
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_with_noise_has_reasonable_r_squared() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|x| 2.0 * x + if (*x as u64) % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let fit = fit_linear(&xs, &ys);
+        assert!((fit.slope - 2.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        let _ = fit_linear(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn degenerate_x_panics() {
+        let _ = fit_linear(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn power_law_recovers_cubic() {
+        let xs: Vec<f64> = (1..=8).map(|i| i as f64 * 5.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x.powi(3)).collect();
+        let fit = fit_power_law(&xs, &ys);
+        assert!((fit.exponent - 3.0).abs() < 1e-9);
+        assert!((fit.coefficient - 2.0).abs() < 1e-6);
+        assert!((fit.predict(10.0) - 2000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn power_law_rejects_nonpositive_data() {
+        let _ = fit_power_law(&[1.0, 2.0], &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn proportional_fit_recovers_n_log_n_constant() {
+        let ns = [100.0f64, 200.0, 400.0, 800.0, 1600.0];
+        let shape: Vec<f64> = ns.iter().map(|n| n * n.ln()).collect();
+        let ys: Vec<f64> = shape.iter().map(|g| 1.5 * g).collect();
+        let fit = fit_proportional(&shape, &ys);
+        assert!((fit.coefficient - 1.5).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn proportional_rejects_empty() {
+        let _ = fit_proportional(&[], &[]);
+    }
+}

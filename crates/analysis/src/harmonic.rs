@@ -1,0 +1,112 @@
+//! Harmonic numbers and elementary helpers used in the paper's bounds.
+
+/// The `k`-th harmonic number `H_k = 1 + 1/2 + … + 1/k`, with `H_0 = 0`.
+///
+/// The paper uses `H_{n−1}` in the exact expected epidemic completion time
+/// `E[T_n] = (n − 1)·H_{n−1}` (Lemma 2.7).
+///
+/// # Example
+///
+/// ```
+/// use analysis::harmonic;
+/// assert_eq!(harmonic(0), 0.0);
+/// assert!((harmonic(3) - (1.0 + 0.5 + 1.0 / 3.0)).abs() < 1e-12);
+/// // H_k ~ ln k for large k.
+/// assert!((harmonic(100_000) - (100_000f64).ln() - 0.5772).abs() < 1e-3);
+/// ```
+pub fn harmonic(k: usize) -> f64 {
+    if k < 1_000 {
+        (1..=k).map(|i| 1.0 / i as f64).sum()
+    } else {
+        // Asymptotic expansion: H_k = ln k + γ + 1/(2k) − 1/(12k²) + O(k⁻⁴).
+        const EULER_MASCHERONI: f64 = 0.577_215_664_901_532_9;
+        let k = k as f64;
+        k.ln() + EULER_MASCHERONI + 1.0 / (2.0 * k) - 1.0 / (12.0 * k * k)
+    }
+}
+
+/// The partial harmonic sum `H_b − H_a = 1/(a+1) + … + 1/b` for `a <= b`.
+///
+/// # Panics
+///
+/// Panics if `a > b`.
+pub fn harmonic_partial(a: usize, b: usize) -> f64 {
+    assert!(a <= b, "harmonic_partial requires a <= b");
+    harmonic(b) - harmonic(a)
+}
+
+/// Natural logarithm of a positive count, as `f64`.
+///
+/// Provided so experiment code can write `ln(n)` for a `usize` population
+/// size without sprinkling casts.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ln(n: usize) -> f64 {
+    assert!(n > 0, "ln requires a positive argument");
+    (n as f64).ln()
+}
+
+/// Base-2 logarithm of a positive count, as `f64`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn log2(n: usize) -> f64 {
+    assert!(n > 0, "log2 requires a positive argument");
+    (n as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_match_direct_sums() {
+        assert_eq!(harmonic(0), 0.0);
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymptotic_branch_is_continuous_with_direct_branch() {
+        // Compare the expansion at k=1000 against the direct sum.
+        let direct: f64 = (1..=1000).map(|i| 1.0 / i as f64).sum();
+        assert!((harmonic(1000) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harmonic_is_monotone() {
+        let mut prev = 0.0;
+        for k in 1..200 {
+            let h = harmonic(k);
+            assert!(h > prev);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn partial_sums_telescope() {
+        assert!((harmonic_partial(3, 7) - (harmonic(7) - harmonic(3))).abs() < 1e-12);
+        assert_eq!(harmonic_partial(5, 5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "a <= b")]
+    fn partial_rejects_inverted_range() {
+        let _ = harmonic_partial(7, 3);
+    }
+
+    #[test]
+    fn logs() {
+        assert!((ln(8) - 8f64.ln()).abs() < 1e-12);
+        assert!((log2(8) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn ln_zero_panics() {
+        let _ = ln(0);
+    }
+}

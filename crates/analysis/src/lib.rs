@@ -1,0 +1,33 @@
+//! # analysis — statistics, theory predictions, fitting and table rendering
+//!
+//! Support crate for the experiment harness reproducing *Time-Optimal
+//! Self-Stabilizing Leader Election in Population Protocols* (PODC 2021).
+//!
+//! * [`harmonic`] — harmonic numbers and related elementary functions that
+//!   appear throughout the paper's time bounds.
+//! * [`theory`] — closed-form predictions for every process and protocol the
+//!   paper analyses (epidemic, roll call, bounded epidemic, fratricide,
+//!   binary-tree ranking, and the Table 1 rows), used as the "paper" column
+//!   in the experiment outputs.
+//! * [`stats`] — descriptive statistics over trial results.
+//! * [`fit`] — least-squares fits (linear, power-law, `c·n·ln n` models) used
+//!   to verify growth exponents empirically.
+//! * [`tail_bounds`] — the large-deviation bounds for sums of geometric random
+//!   variables (Janson) and for the epidemic process (Lemma 2.7) used in the
+//!   paper's proofs.
+//! * [`table`] — plain-text / markdown table rendering for experiment output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod harmonic;
+pub mod stats;
+pub mod table;
+pub mod tail_bounds;
+pub mod theory;
+
+pub use fit::{fit_linear, fit_power_law, fit_proportional, LinearFit, PowerLawFit, ProportionalFit};
+pub use harmonic::{harmonic, harmonic_partial, ln};
+pub use stats::Summary;
+pub use table::Table;

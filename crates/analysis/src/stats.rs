@@ -1,0 +1,194 @@
+//! Descriptive statistics over trial results.
+
+use std::fmt;
+
+/// Descriptive statistics of a sample of `f64` observations.
+///
+/// # Example
+///
+/// ```
+/// use analysis::Summary;
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.count, 4);
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// assert_eq!(s.median, 2.5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation (0 for fewer than two observations).
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Median (average of the two central order statistics for even counts).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty sample");
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median,
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) of the sample by linear interpolation of
+    /// order statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_of(samples: &[f64], q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        assert!(!samples.is_empty(), "cannot take a quantile of an empty sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+        let pos = q * (sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn standard_error(&self) -> f64 {
+        if self.count <= 1 {
+            0.0
+        } else {
+            self.std_dev / (self.count as f64).sqrt()
+        }
+    }
+
+    /// An approximate 95% confidence interval for the mean (normal
+    /// approximation, ±1.96 standard errors).
+    pub fn confidence_interval_95(&self) -> (f64, f64) {
+        let half = 1.96 * self.standard_error();
+        (self.mean - half, self.mean + half)
+    }
+
+    /// The empirical probability that an observation exceeds `threshold`.
+    pub fn exceedance_fraction(samples: &[f64], threshold: f64) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        samples.iter().filter(|&&x| x > threshold).count() as f64 / samples.len() as f64
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean={:.4} ±{:.4} (sd={:.4}, median={:.4}, min={:.4}, max={:.4}, n={})",
+            self.mean,
+            1.96 * self.standard_error(),
+            self.std_dev,
+            self.median,
+            self.min,
+            self.max,
+            self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.std_dev - 2.138_089_935).abs() < 1e-6);
+        assert_eq!(s.median, 4.5);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::from_samples(&[3.5]);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 3.5);
+        assert_eq!(s.standard_error(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = Summary::from_samples(&[]);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(Summary::quantile_of(&xs, 0.0), 1.0);
+        assert_eq!(Summary::quantile_of(&xs, 1.0), 5.0);
+        assert_eq!(Summary::quantile_of(&xs, 0.5), 3.0);
+        assert_eq!(Summary::quantile_of(&xs, 0.25), 2.0);
+        assert_eq!(Summary::quantile_of(&xs, 0.875), 4.5);
+    }
+
+    #[test]
+    fn confidence_interval_brackets_mean() {
+        let samples: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let s = Summary::from_samples(&samples);
+        let (lo, hi) = s.confidence_interval_95();
+        assert!(lo < s.mean && s.mean < hi);
+        assert!(hi - lo < 1.0);
+    }
+
+    #[test]
+    fn exceedance_fraction_counts_strictly_greater() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(Summary::exceedance_fraction(&xs, 2.0), 0.5);
+        assert_eq!(Summary::exceedance_fraction(&xs, 0.0), 1.0);
+        assert_eq!(Summary::exceedance_fraction(&xs, 10.0), 0.0);
+        assert_eq!(Summary::exceedance_fraction(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let s = Summary::from_samples(&[1.0, 2.0]);
+        let text = s.to_string();
+        assert!(text.contains("mean="));
+        assert!(text.contains("n=2"));
+    }
+}

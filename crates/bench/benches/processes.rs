@@ -1,0 +1,48 @@
+//! Criterion benches for the foundational processes of Section 2.1: how the
+//! specialized simulations scale with the population size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use processes::{
+    simulate_bounded_epidemic, simulate_epidemic_interactions, simulate_fratricide_interactions,
+    simulate_pairwise_coupon_collector, simulate_roll_call_interactions,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_processes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("processes");
+    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+
+    for n in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("epidemic", n), &n, |b, &n| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| black_box(simulate_epidemic_interactions(n, 1, &mut rng)));
+        });
+        group.bench_with_input(BenchmarkId::new("fratricide", n), &n, |b, &n| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            b.iter(|| black_box(simulate_fratricide_interactions(n, n, &mut rng)));
+        });
+        group.bench_with_input(BenchmarkId::new("coupon_collector", n), &n, |b, &n| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            b.iter(|| black_box(simulate_pairwise_coupon_collector(n, &mut rng)));
+        });
+    }
+
+    for n in [200usize, 800] {
+        group.bench_with_input(BenchmarkId::new("roll_call", n), &n, |b, &n| {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            b.iter(|| black_box(simulate_roll_call_interactions(n, &mut rng)));
+        });
+        group.bench_with_input(BenchmarkId::new("bounded_epidemic_tau3", n), &n, |b, &n| {
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            b.iter(|| black_box(simulate_bounded_epidemic(n, 3, u64::MAX >> 8, &mut rng)));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_processes);
+criterion_main!(benches);

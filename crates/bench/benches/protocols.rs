@@ -1,0 +1,100 @@
+//! Criterion benches for whole-protocol stabilization (one benchmark per
+//! Table 1 row) and for single-transition costs.
+//!
+//! Absolute wall-clock numbers measure the *simulator*, not the distributed
+//! system; the interesting outputs are the relative costs and how they scale,
+//! which mirror the parallel-time measurements of the `exp_*` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppsim::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ssle::params::{OptimalSilentParams, SublinearParams};
+use ssle::{OptimalSilentSsr, SilentNStateSsr, SilentRank, SublinearTimeSsr};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn config(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_table1_rows(c: &mut Criterion) {
+    let mut group = config(c).benchmark_group("table1_stabilization");
+    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+
+    for n in [16usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::new("silent_n_state_worst_case", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let p = SilentNStateSsr::new(n);
+                let mut sim = Simulation::new(p, p.worst_case_configuration(), seed);
+                let outcome = sim.run_until_silent(u64::MAX >> 8);
+                black_box(outcome.interactions.count())
+            });
+        });
+    }
+
+    for n in [32usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("optimal_silent_all_same_rank", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let p = OptimalSilentSsr::new(OptimalSilentParams::recommended(n));
+                let mut sim = Simulation::new(p, p.adversarial_all_same_rank(1), seed);
+                let outcome = sim.run_until(|c| p.is_correct(c), u64::MAX >> 8);
+                black_box(outcome.interactions.count())
+            });
+        });
+    }
+
+    for n in [16usize, 32] {
+        group.bench_with_input(BenchmarkId::new("sublinear_h2_duplicate_name", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let p = SublinearTimeSsr::new(SublinearParams::recommended(n, 2));
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let mut sim = Simulation::new(p, p.colliding_configuration(&mut rng), seed);
+                let outcome = sim.run_until(|c| p.is_correct(c), u64::MAX >> 8);
+                black_box(outcome.interactions.count())
+            });
+        });
+    }
+
+    group.finish();
+}
+
+fn bench_single_transitions(c: &mut Criterion) {
+    let mut group = config(c).benchmark_group("single_transition");
+    group.sample_size(30).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+
+    group.bench_function("silent_n_state", |b| {
+        let p = SilentNStateSsr::new(1024);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| black_box(p.transition(&SilentRank(5), &SilentRank(5), &mut rng)));
+    });
+
+    group.bench_function("optimal_silent_recruit", |b| {
+        let p = OptimalSilentSsr::new(OptimalSilentParams::recommended(1024));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let settled = ssle::OptimalSilentState::Settled { rank: 1, children: 0 };
+        let unsettled = ssle::OptimalSilentState::Unsettled { errorcount: 100 };
+        b.iter(|| black_box(p.transition(&settled, &unsettled, &mut rng)));
+    });
+
+    group.bench_function("sublinear_collecting_pair", |b| {
+        let n = 64;
+        let p = SublinearTimeSsr::new(SublinearParams::recommended(n, 2));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let config = p.fresh_configuration(&mut rng);
+        let a = config.as_slice()[0].clone();
+        let c2 = config.as_slice()[1].clone();
+        b.iter(|| black_box(p.transition(&a, &c2, &mut rng)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_rows, bench_single_transitions);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Experiment F: reproduce the paper's two figures.
+//!
+//! * Figure 1: the binary-tree rank assignment of `Optimal-Silent-SSR` for
+//!   `n = 12`, showing which ranks are settled after the 8 first settlements
+//!   and which tree slots remain for the 4 unsettled agents.
+//! * Figure 2: the history trees of `Detect-Name-Collision` built by the two
+//!   scripted interaction sequences of the figure (left and right panels),
+//!   printed after every interaction.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_figures
+//! ```
+
+use processes::binary_tree_layout;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ssle::sublinear::collision::detect_name_collision;
+use ssle::sublinear::history_tree::HistoryTree;
+use ssle::{Name, SublinearParams};
+
+fn main() {
+    figure_one();
+    figure_two(false);
+    figure_two(true);
+}
+
+fn figure_one() {
+    println!("== Figure 1: binary-tree rank assignment, n = 12 ==\n");
+    let n = 12;
+    let layout = binary_tree_layout(n);
+    // The figure shows the moment when ranks 1..=8 are settled.
+    let settled: Vec<usize> = (1..=8).collect();
+    println!("settled ranks: {settled:?}");
+    let open: Vec<String> = layout
+        .iter()
+        .filter(|slot| settled.contains(&slot.rank))
+        .flat_map(|slot| {
+            slot.children
+                .iter()
+                .filter(|c| !settled.contains(c))
+                .map(|c| format!("rank {} (child of {})", c, slot.rank))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    println!("open slots for the 4 unsettled agents: {}\n", open.join(", "));
+    println!("full tree (rank: children):");
+    for slot in &layout {
+        println!(
+            "  {:>2}: {}",
+            slot.rank,
+            if slot.children.is_empty() {
+                "leaf".to_string()
+            } else {
+                format!("{:?}", slot.children)
+            }
+        );
+    }
+    println!();
+}
+
+fn figure_two(second_ab_meeting: bool) {
+    let panel = if second_ab_meeting { "right" } else { "left" };
+    println!("== Figure 2 ({panel} panel): history trees after each scripted interaction ==\n");
+    let params = SublinearParams::recommended(16, 3);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let labels = ["a", "b", "c", "d"];
+    let names: Vec<Name> = (1..=4u64)
+        .map(|i| Name::from_bits(&(0..8).map(|b| (i >> b) & 1 == 1).collect::<Vec<_>>()))
+        .collect();
+    let mut trees: Vec<HistoryTree> = names.iter().map(|n| HistoryTree::singleton(*n)).collect();
+    let script: Vec<(usize, usize)> = if second_ab_meeting {
+        vec![(0, 1), (1, 2), (0, 1), (2, 3)]
+    } else {
+        vec![(0, 1), (1, 2), (2, 3)]
+    };
+    for (x, y) in script {
+        let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+        let (left, right) = trees.split_at_mut(hi);
+        let outcome = detect_name_collision(
+            &names[x],
+            &mut left[lo],
+            &names[y],
+            &mut right[0],
+            &params,
+            &mut rng,
+        );
+        assert!(!outcome.is_collision());
+        println!("{}-{} interact:", labels[x], labels[y]);
+        for (label, tree) in labels.iter().zip(&trees) {
+            let mut rendered = tree.render_paths().join("  |  ");
+            for (name, l) in names.iter().zip(&labels) {
+                rendered = rendered.replace(&name.to_string(), l);
+            }
+            println!("  {label}'s tree: {rendered}");
+        }
+        println!();
+    }
+    println!(
+        "(sync values are drawn from 1..=Smax = {} rather than the small integers of the paper's\n\
+         illustration; the chain structure matches the figure.)\n",
+        params.s_max
+    );
+}

@@ -1,0 +1,91 @@
+//! Experiment R: the `Propagate-Reset` subprotocol (Section 3) and the
+//! `Dmax` / `Emax` design knobs of `Optimal-Silent-SSR` (Section 4).
+//!
+//! * Lemma 3.2–3.4 / Corollary 3.5: from a fully triggered configuration the
+//!   population reaches an awakening configuration in `O(Dmax)` time. Measured
+//!   as the time for every agent to leave the `Resetting` role.
+//! * Lemma 4.2: with `Dmax = Θ(n)` the dormant-phase leader election leaves a
+//!   unique leader with constant probability — measured as the fraction of
+//!   resets whose awakening configuration has exactly one settled root, as a
+//!   function of the `Dmax` multiplier.
+//! * `Emax` ablation: too small an error counter makes unsettled agents give
+//!   up while a legitimate ranking is still in progress, forcing extra epochs.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_reset
+//! ```
+
+use analysis::table::format_value;
+use analysis::{Summary, Table};
+use bench::{optimal_silent_times_with_multipliers, reset_trials};
+
+fn main() {
+    recovery_time();
+    leader_probability();
+    e_max_ablation();
+}
+
+fn recovery_time() {
+    println!("== Lemmas 3.2-3.4 / Corollary 3.5: time to complete a population-wide reset ==\n");
+    let trials = 20;
+    let d_mult = 4;
+    let ns = [32usize, 64, 128, 256];
+    let mut table = Table::new(vec!["n", "Dmax", "mean recovery time", "recovery time / n"]);
+    for &n in &ns {
+        let trials_here = if n <= 128 { trials } else { 10 };
+        let results = reset_trials(n, d_mult, trials_here, 7);
+        let times: Vec<f64> = results.iter().map(|r| r.full_recovery_time).collect();
+        let mean = Summary::from_samples(&times).mean;
+        table.add_row(vec![
+            n.to_string(),
+            (d_mult as usize * n).to_string(),
+            format_value(mean),
+            format!("{:.2}", mean / n as f64),
+        ]);
+    }
+    println!("{}", table.to_plain_text());
+    println!("paper: O(Dmax) = O(n) for Optimal-Silent-SSR's choice Dmax = Θ(n).\n");
+}
+
+fn leader_probability() {
+    println!("== Lemma 4.2: probability the awakening configuration has a unique leader ==\n");
+    let n = 96;
+    let trials = 40;
+    let mut table = Table::new(vec!["Dmax multiplier", "Dmax", "P[unique leader] (meas)", "mean recovery time"]);
+    for d_mult in [1u32, 2, 4, 8, 16] {
+        let results = reset_trials(n, d_mult, trials, 11 + d_mult as u64);
+        let unique = results.iter().filter(|r| r.unique_leader).count() as f64 / trials as f64;
+        let times: Vec<f64> = results.iter().map(|r| r.full_recovery_time).collect();
+        table.add_row(vec![
+            d_mult.to_string(),
+            (d_mult as usize * n).to_string(),
+            format!("{unique:.2}"),
+            format_value(Summary::from_samples(&times).mean),
+        ]);
+    }
+    println!("n = {n}, {trials} resets per row");
+    println!("{}", table.to_plain_text());
+    println!(
+        "paper: the success probability is a constant depending on the Dmax multiplier; larger\n\
+         multipliers trade longer dormancy for fewer repeated epochs.\n"
+    );
+}
+
+fn e_max_ablation() {
+    println!("== Emax ablation: full stabilization time of Optimal-Silent-SSR ==\n");
+    let n = 96;
+    let trials = 12;
+    let mut table = Table::new(vec!["Emax multiplier", "mean stabilization time", "time / n"]);
+    for e_mult in [2u32, 5, 10, 20, 40] {
+        let samples = optimal_silent_times_with_multipliers(n, 4, e_mult, trials, 17 + e_mult as u64);
+        let mean = Summary::from_samples(&samples).mean;
+        table.add_row(vec![e_mult.to_string(), format_value(mean), format!("{:.2}", mean / n as f64)]);
+    }
+    println!("n = {n}");
+    println!("{}", table.to_plain_text());
+    println!(
+        "expectation: very small Emax causes false alarms during legitimate ranking (extra\n\
+         epochs); very large Emax delays the detection of genuinely stuck configurations. Both\n\
+         extremes cost time; the protocol only needs Emax = Θ(n) with a reasonable constant."
+    );
+}

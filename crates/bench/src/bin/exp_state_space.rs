@@ -1,0 +1,53 @@
+//! Experiment S: the "states" column of Table 1.
+//!
+//! Reports, for each protocol and a sweep of population sizes, the exact or
+//! estimated number of agent states (as bits of memory per agent, i.e. log₂ of
+//! the state count), next to the paper's asymptotic claims:
+//! `n` states for the baseline, `O(n)` for `Optimal-Silent-SSR`, and
+//! `exp(O(n^H)·log n)` for `Sublinear-Time-SSR`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_state_space
+//! ```
+
+use analysis::table::format_value;
+use analysis::Table;
+use ssle::params::{OptimalSilentParams, SublinearParams};
+use ssle::space::{
+    log2_states_optimal_silent, log2_states_silent_n_state, log2_states_sublinear,
+    states_optimal_silent, states_silent_n_state,
+};
+
+fn main() {
+    println!("== Table 1 reproduction: state-space sizes (bits of memory per agent) ==\n");
+    let ns = [16usize, 64, 256, 1024];
+    let mut table = Table::new(vec![
+        "n",
+        "Silent-n-state (states)",
+        "Optimal-Silent (states)",
+        "Silent-n-state (bits)",
+        "Optimal-Silent (bits)",
+        "Sublinear H=1 (bits)",
+        "Sublinear H=2 (bits)",
+        "Sublinear H=log n (bits)",
+    ]);
+    for &n in &ns {
+        let optimal = OptimalSilentParams::recommended(n);
+        table.add_row(vec![
+            n.to_string(),
+            states_silent_n_state(n).to_string(),
+            states_optimal_silent(&optimal).to_string(),
+            format!("{:.1}", log2_states_silent_n_state(n)),
+            format!("{:.1}", log2_states_optimal_silent(&optimal)),
+            format_value(log2_states_sublinear(&SublinearParams::recommended(n, 1))),
+            format_value(log2_states_sublinear(&SublinearParams::recommended(n, 2))),
+            format_value(log2_states_sublinear(&SublinearParams::recommended_logarithmic(n))),
+        ]);
+    }
+    println!("{}", table.to_plain_text());
+    println!(
+        "paper: n states (baseline, provably optimal by Theorem 2.1), O(n) states\n\
+         (Optimal-Silent-SSR), exp(O(n^H)·log n) states (Sublinear-Time-SSR) — the time\n\
+         optimality of the last row is bought with an exponential state space."
+    );
+}

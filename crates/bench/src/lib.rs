@@ -1,0 +1,296 @@
+//! # bench — experiment harness
+//!
+//! Shared measurement routines used by the experiment binaries
+//! (`cargo run --release -p bench --bin exp_*`) and the Criterion benches.
+//! Every routine measures **parallel time** (interactions / n) over a number
+//! of independent trials and returns the per-trial samples so callers can
+//! compute whichever statistics they need.
+//!
+//! The experiment binaries regenerate, with measured numbers, every table,
+//! figure, theorem and lemma of the paper that makes a quantitative claim;
+//! the mapping is listed in `DESIGN.md` and the outputs are archived in
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ppsim::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ssle::params::{OptimalSilentParams, SublinearParams};
+use ssle::{OptimalSilentSsr, SilentNStateSsr, SublinearTimeSsr};
+
+/// Which adversarial initial configuration to start a protocol from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Workload {
+    /// The protocol-specific worst-case configuration (Theorem 2.4's barrier
+    /// construction for the baseline, the all-same-rank configuration for
+    /// `Optimal-Silent-SSR`, a planted duplicate name for
+    /// `Sublinear-Time-SSR`).
+    WorstCase,
+    /// An independently random configuration over the protocol's state space
+    /// (a "typical" transient-fault outcome).
+    Random,
+    /// The configuration reached right after a clean reset (unique random
+    /// names / a single settled root), measuring the non-self-stabilizing
+    /// "happy path".
+    CleanStart,
+}
+
+/// Stabilization times (parallel) of `Silent-n-state-SSR`, measured by running
+/// to silence.
+pub fn silent_n_state_times(n: usize, workload: Workload, trials: usize, seed: u64) -> Vec<f64> {
+    let plan = TrialPlan::new(trials, seed);
+    run_trials(&plan, |_, trial_seed| {
+        let protocol = SilentNStateSsr::new(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(trial_seed ^ 0xA5A5);
+        let config = match workload {
+            Workload::WorstCase => protocol.worst_case_configuration(),
+            Workload::Random => protocol.random_configuration(&mut rng),
+            Workload::CleanStart => protocol.ranked_configuration(),
+        };
+        let mut sim = Simulation::new(protocol, config, trial_seed);
+        let outcome = sim.run_until_silent(u64::MAX >> 8);
+        assert!(outcome.is_silent());
+        sim.parallel_time().value()
+    })
+}
+
+/// Stabilization times (parallel) of `Optimal-Silent-SSR`, measured by running
+/// until the ranking is correct (the correct configuration is silent, hence
+/// stable).
+pub fn optimal_silent_times(n: usize, workload: Workload, trials: usize, seed: u64) -> Vec<f64> {
+    let plan = TrialPlan::new(trials, seed);
+    run_trials(&plan, |_, trial_seed| {
+        let protocol = OptimalSilentSsr::new(OptimalSilentParams::recommended(n));
+        let mut rng = ChaCha8Rng::seed_from_u64(trial_seed ^ 0x5A5A);
+        let config = match workload {
+            Workload::WorstCase => protocol.adversarial_all_same_rank(1),
+            Workload::Random => protocol.random_configuration(&mut rng),
+            Workload::CleanStart => protocol.post_reset_configuration(),
+        };
+        let mut sim = Simulation::new(protocol, config, trial_seed);
+        let outcome = sim.run_until(|c| protocol.is_correct(c), u64::MAX >> 8);
+        assert!(outcome.condition_met());
+        sim.parallel_time().value()
+    })
+}
+
+/// Stabilization times (parallel) of `Optimal-Silent-SSR` with explicit
+/// `Dmax`/`Emax` multipliers (the ablation knobs of Section 4).
+pub fn optimal_silent_times_with_multipliers(
+    n: usize,
+    d_mult: u32,
+    e_mult: u32,
+    trials: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let plan = TrialPlan::new(trials, seed);
+    run_trials(&plan, |_, trial_seed| {
+        let protocol =
+            OptimalSilentSsr::new(OptimalSilentParams::with_multipliers(n, d_mult, e_mult));
+        let mut sim =
+            Simulation::new(protocol, protocol.adversarial_all_same_rank(1), trial_seed);
+        let outcome = sim.run_until(|c| protocol.is_correct(c), u64::MAX >> 8);
+        assert!(outcome.condition_met());
+        sim.parallel_time().value()
+    })
+}
+
+/// Stabilization times (parallel) of `Sublinear-Time-SSR` at history depth
+/// `h`.
+pub fn sublinear_times(
+    n: usize,
+    h: u32,
+    workload: Workload,
+    trials: usize,
+    seed: u64,
+) -> Vec<f64> {
+    sublinear_times_with_params(SublinearParams::recommended(n, h), workload, trials, seed)
+}
+
+/// Stabilization times of `Sublinear-Time-SSR` with fully explicit parameters
+/// (used by the `T_H` ablation).
+pub fn sublinear_times_with_params(
+    params: SublinearParams,
+    workload: Workload,
+    trials: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let plan = TrialPlan::new(trials, seed);
+    run_trials(&plan, |_, trial_seed| {
+        let protocol = SublinearTimeSsr::new(params);
+        let mut rng = ChaCha8Rng::seed_from_u64(trial_seed ^ 0x1234);
+        let config = match workload {
+            Workload::WorstCase => protocol.colliding_configuration(&mut rng),
+            Workload::Random => protocol.ghost_configuration(&mut rng),
+            Workload::CleanStart => protocol.fresh_configuration(&mut rng),
+        };
+        let mut sim = Simulation::new(protocol, config, trial_seed);
+        let outcome = sim.run_until(|c| protocol.is_correct(c), u64::MAX >> 8);
+        assert!(outcome.condition_met());
+        sim.parallel_time().value()
+    })
+}
+
+/// Collision-detection latency of `Sublinear-Time-SSR`: parallel time from
+/// the planted-duplicate configuration until the first agent triggers a reset
+/// (i.e. `Detect-Name-Collision` fires). This isolates the `Θ(H·n^{1/(H+1)})`
+/// / `Θ(log n)` quantity bounded by Lemma 5.6, without the additive reset and
+/// roll-call costs that dominate full stabilization at small `n`.
+pub fn sublinear_detection_times(
+    params: SublinearParams,
+    trials: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let plan = TrialPlan::new(trials, seed);
+    run_trials(&plan, |_, trial_seed| {
+        let protocol = SublinearTimeSsr::new(params);
+        let mut rng = ChaCha8Rng::seed_from_u64(trial_seed ^ 0x4321);
+        let config = protocol.colliding_configuration(&mut rng);
+        let mut sim = Simulation::new(protocol, config, trial_seed);
+        let outcome = sim.run_until(SublinearTimeSsr::any_resetting, u64::MAX >> 8);
+        assert!(outcome.condition_met());
+        sim.parallel_time().value()
+    })
+}
+
+/// Time (parallel) for `Optimal-Silent-SSR` to come back from a duplicated
+/// leader planted in its silent correct configuration — the Observation 2.6
+/// lower-bound scenario for silent protocols.
+pub fn optimal_silent_duplicated_leader_times(n: usize, trials: usize, seed: u64) -> Vec<f64> {
+    let plan = TrialPlan::new(trials, seed);
+    run_trials(&plan, |_, trial_seed| {
+        let protocol = OptimalSilentSsr::new(OptimalSilentParams::recommended(n));
+        let mut sim = Simulation::new(protocol, protocol.ranked_configuration(), trial_seed);
+        // Plant a second copy of the leader state on agent 1.
+        let leader_state = *sim
+            .configuration()
+            .iter()
+            .find(|s| protocol.is_leader(s))
+            .expect("the ranked configuration has a leader");
+        sim.corrupt(|i, s| {
+            if i == 1 {
+                *s = leader_state;
+            }
+        });
+        let outcome = sim.run_until(|c| protocol.is_correct(c), u64::MAX >> 8);
+        assert!(outcome.condition_met());
+        sim.parallel_time().value()
+    })
+}
+
+/// Same duplicated-leader scenario for the baseline `Silent-n-state-SSR`.
+pub fn silent_n_state_duplicated_leader_times(n: usize, trials: usize, seed: u64) -> Vec<f64> {
+    let plan = TrialPlan::new(trials, seed);
+    run_trials(&plan, |_, trial_seed| {
+        let protocol = SilentNStateSsr::new(n);
+        let mut sim = Simulation::new(protocol, protocol.ranked_configuration(), trial_seed);
+        let leader_state = *sim
+            .configuration()
+            .iter()
+            .find(|s| protocol.is_leader(s))
+            .expect("the ranked configuration has a leader");
+        sim.corrupt(|i, s| {
+            if i == 1 {
+                *s = leader_state;
+            }
+        });
+        let outcome = sim.run_until_silent(u64::MAX >> 8);
+        assert!(outcome.is_silent());
+        sim.parallel_time().value()
+    })
+}
+
+/// Outcome of one `Propagate-Reset` measurement: how long until the first
+/// agent awoke, and whether the awakening configuration had a unique leader
+/// candidate (Lemma 4.2).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ResetTrial {
+    /// Parallel time from the all-triggered configuration until every agent
+    /// has left the `Resetting` role.
+    pub full_recovery_time: f64,
+    /// Whether exactly one agent awoke as the settled root (rank 1).
+    pub unique_leader: bool,
+}
+
+/// Measures `Propagate-Reset` inside `Optimal-Silent-SSR` from an
+/// all-triggered configuration with the given `Dmax` multiplier, reporting the
+/// recovery time and whether the post-reset epoch started with a unique
+/// leader.
+pub fn reset_trials(n: usize, d_mult: u32, trials: usize, seed: u64) -> Vec<ResetTrial> {
+    use ssle::reset::ResetTimers;
+    use ssle::OptimalSilentState;
+    let plan = TrialPlan::new(trials, seed);
+    run_trials(&plan, |_, trial_seed| {
+        let params = OptimalSilentParams::with_multipliers(n, d_mult, 20);
+        let protocol = OptimalSilentSsr::new(params);
+        let config = Configuration::uniform(
+            OptimalSilentState::Resetting {
+                leader: true,
+                timers: ResetTimers { resetcount: params.reset.r_max, delaytimer: 0 },
+            },
+            n,
+        );
+        let mut sim = Simulation::new(protocol, config, trial_seed);
+        let outcome = sim.run_until(
+            |c| c.iter().all(|s| !matches!(s, OptimalSilentState::Resetting { .. })),
+            u64::MAX >> 8,
+        );
+        assert!(outcome.condition_met());
+        let roots = sim
+            .configuration()
+            .iter()
+            .filter(|s| matches!(s, OptimalSilentState::Settled { rank: 1, .. }))
+            .count();
+        ResetTrial {
+            full_recovery_time: sim.parallel_time().value(),
+            unique_leader: roots == 1,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analysis::Summary;
+
+    #[test]
+    fn measurement_helpers_produce_positive_times() {
+        let baseline = silent_n_state_times(12, Workload::WorstCase, 3, 1);
+        assert_eq!(baseline.len(), 3);
+        assert!(baseline.iter().all(|&t| t > 0.0));
+
+        let optimal = optimal_silent_times(12, Workload::WorstCase, 3, 2);
+        assert!(optimal.iter().all(|&t| t > 0.0));
+
+        let sublinear = sublinear_times(10, 1, Workload::WorstCase, 2, 3);
+        assert!(sublinear.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn clean_start_is_faster_than_worst_case_for_the_baseline() {
+        let worst = Summary::from_samples(&silent_n_state_times(16, Workload::WorstCase, 4, 5)).mean;
+        let clean = Summary::from_samples(&silent_n_state_times(16, Workload::CleanStart, 4, 6)).mean;
+        assert!(clean <= worst);
+        // A ranked configuration is already silent.
+        assert_eq!(clean, 0.0);
+    }
+
+    #[test]
+    fn reset_trials_report_leader_uniqueness() {
+        let trials = reset_trials(16, 4, 4, 7);
+        assert_eq!(trials.len(), 4);
+        assert!(trials.iter().all(|t| t.full_recovery_time > 0.0));
+        // With Dmax = 4n the dormant leader election usually succeeds.
+        assert!(trials.iter().filter(|t| t.unique_leader).count() >= 1);
+    }
+
+    #[test]
+    fn duplicated_leader_recovery_takes_time() {
+        let times = optimal_silent_duplicated_leader_times(16, 2, 9);
+        assert!(times.iter().all(|&t| t > 0.0));
+        let times = silent_n_state_duplicated_leader_times(16, 2, 10);
+        assert!(times.iter().all(|&t| t > 0.0));
+    }
+}

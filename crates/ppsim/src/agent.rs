@@ -1,0 +1,77 @@
+//! Agent identities.
+//!
+//! Agents in the population protocol model are anonymous and
+//! indistinguishable: the protocol itself never observes an identity. The
+//! simulator nevertheless indexes agents so that configurations can be stored
+//! as vectors and so that traces and tests can refer to specific agents.
+
+use std::fmt;
+
+/// Index of an agent within a population of size `n` (`0 ..= n-1`).
+///
+/// The identity exists only at the simulator level; protocols must not depend
+/// on it (and cannot: the [`crate::Protocol`] transition function only sees
+/// the two states).
+///
+/// # Example
+///
+/// ```
+/// use ppsim::AgentId;
+/// let a = AgentId::new(3);
+/// assert_eq!(a.index(), 3);
+/// assert_eq!(format!("{a}"), "agent#3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct AgentId(usize);
+
+impl AgentId {
+    /// Creates an agent identifier from its population index.
+    pub fn new(index: usize) -> Self {
+        AgentId(index)
+    }
+
+    /// The index of this agent within the population vector.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for AgentId {
+    fn from(index: usize) -> Self {
+        AgentId(index)
+    }
+}
+
+impl From<AgentId> for usize {
+    fn from(id: AgentId) -> usize {
+        id.0
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_usize() {
+        let a = AgentId::new(17);
+        assert_eq!(usize::from(a), 17);
+        assert_eq!(AgentId::from(17usize), a);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(AgentId::new(0).to_string(), "agent#0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(AgentId::new(1) < AgentId::new(2));
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the simulation substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or running simulations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The population must contain at least two agents for any interaction to
+    /// be possible.
+    PopulationTooSmall {
+        /// The offending population size.
+        n: usize,
+    },
+    /// The initial configuration's length does not match the protocol's
+    /// declared population size.
+    ConfigurationSizeMismatch {
+        /// Size declared by the protocol.
+        expected: usize,
+        /// Size of the provided configuration.
+        actual: usize,
+    },
+    /// A run exhausted its interaction budget before reaching its goal.
+    BudgetExhausted {
+        /// The interaction budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PopulationTooSmall { n } => {
+                write!(f, "population size {n} is too small; need at least 2 agents")
+            }
+            SimError::ConfigurationSizeMismatch { expected, actual } => write!(
+                f,
+                "initial configuration has {actual} agents but the protocol declares {expected}"
+            ),
+            SimError::BudgetExhausted { budget } => {
+                write!(f, "interaction budget of {budget} exhausted before the goal was reached")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let e = SimError::PopulationTooSmall { n: 1 };
+        assert!(e.to_string().contains("population size 1"));
+        let e = SimError::ConfigurationSizeMismatch { expected: 5, actual: 3 };
+        assert!(e.to_string().contains("3 agents"));
+        assert!(e.to_string().contains("declares 5"));
+        let e = SimError::BudgetExhausted { budget: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

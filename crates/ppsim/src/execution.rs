@@ -1,0 +1,470 @@
+//! Single-execution simulation: the step loop, stop conditions, and
+//! convergence / silence detection.
+
+use crate::config::Configuration;
+use crate::error::SimError;
+use crate::protocol::Protocol;
+use crate::scheduler::{OrderedPair, Scheduler};
+use crate::time::{Interactions, ParallelTime};
+
+/// Why a run stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// The caller-supplied condition became true.
+    ConditionMet,
+    /// The configuration became silent: no pair of present states has a
+    /// non-null transition.
+    Silent,
+    /// The interaction budget ran out first.
+    BudgetExhausted,
+}
+
+/// The result of [`Simulation::run_until`] and [`Simulation::run_until_silent`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RunOutcome {
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// Total interactions executed by the simulation when it stopped
+    /// (cumulative over the simulation's lifetime, not just this run).
+    pub interactions: Interactions,
+}
+
+impl RunOutcome {
+    /// Whether the run stopped because the goal condition was met.
+    pub fn condition_met(&self) -> bool {
+        self.reason == StopReason::ConditionMet
+    }
+
+    /// Whether the run stopped in a silent configuration.
+    pub fn is_silent(&self) -> bool {
+        self.reason == StopReason::Silent
+    }
+
+    /// Whether the run exhausted its budget.
+    pub fn budget_exhausted(&self) -> bool {
+        self.reason == StopReason::BudgetExhausted
+    }
+}
+
+/// The result of [`Simulation::run_convergence`]: when (if ever) the
+/// correctness predicate started holding and then held to the end of the run.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ConvergenceOutcome {
+    /// The interaction count (cumulative) at which the predicate most recently
+    /// switched from false to true and then held until the run stopped;
+    /// `None` if the predicate was false when the run stopped.
+    pub converged_at: Option<Interactions>,
+    /// Total interactions executed when the run stopped.
+    pub total_interactions: Interactions,
+    /// Why the run stopped.
+    pub reason: StopReason,
+}
+
+impl ConvergenceOutcome {
+    /// Whether the run ended in a correct configuration.
+    pub fn converged(&self) -> bool {
+        self.converged_at.is_some()
+    }
+
+    /// Convergence expressed as parallel time for a population of size `n`.
+    pub fn convergence_time(&self, n: usize) -> Option<ParallelTime> {
+        self.converged_at.map(|i| i.to_parallel_time(n))
+    }
+}
+
+/// A single execution of a population protocol under the uniformly random
+/// scheduler.
+///
+/// The simulation owns the protocol instance, the current configuration, and
+/// a seeded scheduler; all randomness (scheduling and transition randomness)
+/// flows from the seed, so executions are reproducible.
+///
+/// See the crate-level documentation for a complete example.
+#[derive(Clone, Debug)]
+pub struct Simulation<P: Protocol> {
+    protocol: P,
+    config: Configuration<P::State>,
+    scheduler: Scheduler,
+    interactions: Interactions,
+}
+
+impl<P: Protocol> Simulation<P> {
+    /// Creates a simulation from a protocol, an initial configuration and an
+    /// RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration size does not match the protocol's declared
+    /// population size, or if the population has fewer than two agents. Use
+    /// [`Simulation::try_new`] for a non-panicking constructor.
+    pub fn new(protocol: P, config: Configuration<P::State>, seed: u64) -> Self {
+        Self::try_new(protocol, config, seed).expect("invalid simulation setup")
+    }
+
+    /// Creates a simulation, validating the setup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ConfigurationSizeMismatch`] if the configuration
+    /// length differs from the protocol's population size, and
+    /// [`SimError::PopulationTooSmall`] if the population has fewer than two
+    /// agents.
+    pub fn try_new(
+        protocol: P,
+        config: Configuration<P::State>,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        let n = protocol.population_size();
+        if config.len() != n {
+            return Err(SimError::ConfigurationSizeMismatch { expected: n, actual: config.len() });
+        }
+        if n < 2 {
+            return Err(SimError::PopulationTooSmall { n });
+        }
+        Ok(Simulation {
+            protocol,
+            config,
+            scheduler: Scheduler::new(n, seed),
+            interactions: Interactions::ZERO,
+        })
+    }
+
+    /// The protocol being simulated.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The current configuration.
+    pub fn configuration(&self) -> &Configuration<P::State> {
+        &self.config
+    }
+
+    /// Replaces the current configuration, e.g. to inject transient faults in
+    /// self-stabilization experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new configuration's size differs from the population size.
+    pub fn set_configuration(&mut self, config: Configuration<P::State>) {
+        assert_eq!(
+            config.len(),
+            self.protocol.population_size(),
+            "replacement configuration must keep the population size"
+        );
+        self.config = config;
+    }
+
+    /// Applies an arbitrary corruption to the current configuration in place,
+    /// modelling transient memory faults.
+    pub fn corrupt(&mut self, f: impl FnMut(usize, &mut P::State)) {
+        self.config.map_in_place(f);
+    }
+
+    /// Total interactions executed so far.
+    pub fn interactions(&self) -> Interactions {
+        self.interactions
+    }
+
+    /// Total parallel time elapsed so far.
+    pub fn parallel_time(&self) -> ParallelTime {
+        self.interactions.to_parallel_time(self.protocol.population_size())
+    }
+
+    /// The population size.
+    pub fn population_size(&self) -> usize {
+        self.protocol.population_size()
+    }
+
+    /// Executes one interaction: draws a uniformly random ordered pair and
+    /// applies the transition function, returning the scheduled pair.
+    pub fn step(&mut self) -> OrderedPair {
+        let (pair, rng) = self.scheduler.next_pair_with_rng();
+        let a = self.config.state(pair.initiator).clone();
+        let b = self.config.state(pair.responder).clone();
+        let (a2, b2) = self.protocol.transition(&a, &b, rng);
+        self.config.set(pair.initiator, a2);
+        self.config.set(pair.responder, b2);
+        self.interactions += Interactions::new(1);
+        pair
+    }
+
+    /// Executes exactly `budget` interactions.
+    pub fn run_for(&mut self, budget: u64) {
+        for _ in 0..budget {
+            self.step();
+        }
+    }
+
+    /// Whether the current configuration is silent: every ordered pair of
+    /// present states (including two copies of the same state if it has
+    /// multiplicity at least two) admits only null transitions, per the
+    /// protocol's [`Protocol::is_null`].
+    ///
+    /// The check runs over distinct states rather than agents, so it is cheap
+    /// when few distinct states are present.
+    pub fn is_silent(&self) -> bool {
+        let counts = self.config.state_counts();
+        let states: Vec<&P::State> = counts.keys().collect();
+        for (i, &s) in states.iter().enumerate() {
+            for (j, &t) in states.iter().enumerate() {
+                if i == j && counts[s] < 2 {
+                    continue;
+                }
+                if !self.protocol.is_null(s, t) || !self.protocol.is_null(t, s) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until `condition` holds for the current configuration, checking
+    /// every `check_interval` interactions, or until `budget` additional
+    /// interactions have been executed.
+    pub fn run_until(
+        &mut self,
+        mut condition: impl FnMut(&Configuration<P::State>) -> bool,
+        budget: u64,
+    ) -> RunOutcome {
+        let check_interval = self.default_check_interval();
+        if condition(&self.config) {
+            return RunOutcome { reason: StopReason::ConditionMet, interactions: self.interactions };
+        }
+        let mut executed = 0u64;
+        while executed < budget {
+            let chunk = check_interval.min(budget - executed);
+            for _ in 0..chunk {
+                self.step();
+            }
+            executed += chunk;
+            if condition(&self.config) {
+                return RunOutcome {
+                    reason: StopReason::ConditionMet,
+                    interactions: self.interactions,
+                };
+            }
+        }
+        RunOutcome { reason: StopReason::BudgetExhausted, interactions: self.interactions }
+    }
+
+    /// Runs until the configuration is silent or the budget is exhausted.
+    ///
+    /// Silent configurations can never change again, so for silent protocols
+    /// reaching silence witnesses stabilization (convergence time ≤
+    /// stabilization time ≤ silence time).
+    pub fn run_until_silent(&mut self, budget: u64) -> RunOutcome {
+        let check_interval = self.default_check_interval();
+        if self.is_silent() {
+            return RunOutcome { reason: StopReason::Silent, interactions: self.interactions };
+        }
+        let mut executed = 0u64;
+        while executed < budget {
+            let chunk = check_interval.min(budget - executed);
+            for _ in 0..chunk {
+                self.step();
+            }
+            executed += chunk;
+            if self.is_silent() {
+                return RunOutcome { reason: StopReason::Silent, interactions: self.interactions };
+            }
+        }
+        RunOutcome { reason: StopReason::BudgetExhausted, interactions: self.interactions }
+    }
+
+    /// Measures convergence of a correctness predicate: runs until the
+    /// predicate has held continuously for `hold` interactions (or the budget
+    /// is exhausted), and reports the interaction count at which the final
+    /// stretch of correctness began.
+    ///
+    /// This matches the paper's notion of convergence (the execution reaches a
+    /// correct configuration and stays correct); because stabilization cannot
+    /// be decided by observing a finite prefix, the `hold` window acts as the
+    /// empirical proxy, and callers pick it large enough for the protocol at
+    /// hand (e.g. several `n·log n` interactions).
+    pub fn run_convergence(
+        &mut self,
+        mut correct: impl FnMut(&Configuration<P::State>) -> bool,
+        budget: u64,
+        hold: u64,
+    ) -> ConvergenceOutcome {
+        let check_interval = self.default_check_interval();
+        let mut candidate: Option<Interactions> = if correct(&self.config) {
+            Some(self.interactions)
+        } else {
+            None
+        };
+        let mut executed = 0u64;
+        loop {
+            if let Some(since) = candidate {
+                if (self.interactions - since).count() >= hold {
+                    return ConvergenceOutcome {
+                        converged_at: Some(since),
+                        total_interactions: self.interactions,
+                        reason: StopReason::ConditionMet,
+                    };
+                }
+            }
+            if executed >= budget {
+                return ConvergenceOutcome {
+                    converged_at: candidate,
+                    total_interactions: self.interactions,
+                    reason: StopReason::BudgetExhausted,
+                };
+            }
+            let chunk = check_interval.min(budget - executed);
+            for _ in 0..chunk {
+                self.step();
+            }
+            executed += chunk;
+            if correct(&self.config) {
+                if candidate.is_none() {
+                    // The predicate switched from false to true somewhere in
+                    // the last chunk; attribute it to the end of the chunk,
+                    // which over-estimates by at most `check_interval`
+                    // interactions (a vanishing fraction of parallel time).
+                    candidate = Some(self.interactions);
+                }
+            } else {
+                candidate = None;
+            }
+        }
+    }
+
+    fn default_check_interval(&self) -> u64 {
+        (self.protocol.population_size() as u64 / 8).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+    use rand::RngCore;
+
+    /// (L, L) -> (L, F): classic fratricide leader election.
+    #[derive(Debug)]
+    struct Fratricide {
+        n: usize,
+    }
+
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+    enum S {
+        L,
+        F,
+    }
+
+    impl Protocol for Fratricide {
+        type State = S;
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn transition(&self, a: &S, b: &S, _rng: &mut dyn RngCore) -> (S, S) {
+            match (a, b) {
+                (S::L, S::L) => (S::L, S::F),
+                _ => (*a, *b),
+            }
+        }
+        fn is_null(&self, a: &S, b: &S) -> bool {
+            !matches!((a, b), (S::L, S::L))
+        }
+    }
+
+    fn leaders(c: &Configuration<S>) -> usize {
+        c.iter().filter(|s| matches!(s, S::L)).count()
+    }
+
+    #[test]
+    fn size_mismatch_is_an_error() {
+        let err = Simulation::try_new(Fratricide { n: 5 }, Configuration::uniform(S::L, 4), 0)
+            .unwrap_err();
+        assert_eq!(err, SimError::ConfigurationSizeMismatch { expected: 5, actual: 4 });
+    }
+
+    #[test]
+    fn tiny_population_is_an_error() {
+        let err = Simulation::try_new(Fratricide { n: 1 }, Configuration::uniform(S::L, 1), 0)
+            .unwrap_err();
+        assert_eq!(err, SimError::PopulationTooSmall { n: 1 });
+    }
+
+    #[test]
+    fn fratricide_reaches_silence_with_one_leader() {
+        let mut sim = Simulation::new(Fratricide { n: 40 }, Configuration::uniform(S::L, 40), 3);
+        let outcome = sim.run_until_silent(1_000_000);
+        assert!(outcome.is_silent());
+        assert_eq!(leaders(sim.configuration()), 1);
+        assert!(sim.parallel_time().value() > 0.0);
+    }
+
+    #[test]
+    fn run_until_counts_interactions() {
+        let mut sim = Simulation::new(Fratricide { n: 10 }, Configuration::uniform(S::L, 10), 5);
+        let outcome = sim.run_until(|c| leaders(c) <= 5, 1_000_000);
+        assert!(outcome.condition_met());
+        assert_eq!(outcome.interactions, sim.interactions());
+        assert!(leaders(sim.configuration()) <= 5);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut sim = Simulation::new(Fratricide { n: 10 }, Configuration::uniform(S::F, 10), 5);
+        // All followers: a leader can never appear, so the condition below
+        // never holds and the budget runs out.
+        let outcome = sim.run_until(|c| leaders(c) == 1, 200);
+        assert!(outcome.budget_exhausted());
+        assert_eq!(sim.interactions().count(), 200);
+    }
+
+    #[test]
+    fn run_convergence_reports_when_condition_started_holding() {
+        let mut sim = Simulation::new(Fratricide { n: 30 }, Configuration::uniform(S::L, 30), 11);
+        let outcome = sim.run_convergence(|c| leaders(c) == 1, 5_000_000, 10_000);
+        assert!(outcome.converged());
+        let t = outcome.convergence_time(30).unwrap();
+        assert!(t.value() > 0.0);
+        assert!(outcome.total_interactions >= outcome.converged_at.unwrap());
+    }
+
+    #[test]
+    fn run_convergence_detects_initially_correct_configurations() {
+        let initial = Configuration::from_fn(10, |i| if i == 0 { S::L } else { S::F });
+        let mut sim = Simulation::new(Fratricide { n: 10 }, initial, 11);
+        let outcome = sim.run_convergence(|c| leaders(c) == 1, 100_000, 1_000);
+        assert_eq!(outcome.converged_at, Some(Interactions::ZERO));
+    }
+
+    #[test]
+    fn corruption_resets_progress() {
+        let mut sim = Simulation::new(Fratricide { n: 20 }, Configuration::uniform(S::L, 20), 7);
+        sim.run_until_silent(1_000_000);
+        assert_eq!(leaders(sim.configuration()), 1);
+        // Adversary flips everyone back to leader.
+        sim.corrupt(|_, s| *s = S::L);
+        assert_eq!(leaders(sim.configuration()), 20);
+        let outcome = sim.run_until_silent(1_000_000);
+        assert!(outcome.is_silent());
+        assert_eq!(leaders(sim.configuration()), 1);
+    }
+
+    #[test]
+    fn all_follower_configuration_is_silent_immediately() {
+        let mut sim = Simulation::new(Fratricide { n: 10 }, Configuration::uniform(S::F, 10), 1);
+        let outcome = sim.run_until_silent(10);
+        assert!(outcome.is_silent());
+        assert_eq!(sim.interactions(), Interactions::ZERO);
+    }
+
+    #[test]
+    fn set_configuration_replaces_state() {
+        let mut sim = Simulation::new(Fratricide { n: 4 }, Configuration::uniform(S::L, 4), 1);
+        sim.set_configuration(Configuration::uniform(S::F, 4));
+        assert_eq!(leaders(sim.configuration()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "population size")]
+    fn set_configuration_rejects_wrong_size() {
+        let mut sim = Simulation::new(Fratricide { n: 4 }, Configuration::uniform(S::L, 4), 1);
+        sim.set_configuration(Configuration::uniform(S::F, 5));
+    }
+}

@@ -1,0 +1,100 @@
+//! # ppsim — population protocol simulation substrate
+//!
+//! This crate implements the standard population protocol model used by
+//! *Time-Optimal Self-Stabilizing Leader Election in Population Protocols*
+//! (Burman, Chen, Chen, Doty, Nowak, Severson, Xu; PODC 2021):
+//!
+//! * a population of `n` anonymous agents, each holding a local state,
+//! * a probabilistic scheduler that at each discrete step selects a uniformly
+//!   random **ordered** pair of distinct agents (initiator, responder),
+//! * a (possibly randomized) transition function applied to the pair,
+//! * **parallel time** defined as the number of interactions divided by `n`.
+//!
+//! The crate provides the [`Protocol`] trait that concrete protocols implement
+//! (see the `ssle` crate for the paper's protocols and the `processes` crate
+//! for the foundational stochastic processes), [`Configuration`] for global
+//! states, [`Simulation`] for running single executions with convergence /
+//! stabilization / silence detection, and [`runner`] for multi-trial
+//! experiments across threads.
+//!
+//! # Example
+//!
+//! ```
+//! use ppsim::prelude::*;
+//! use rand::RngCore;
+//!
+//! /// The classic fratricide leader election: (L, L) -> (L, F).
+//! struct Fratricide {
+//!     n: usize,
+//! }
+//!
+//! #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+//! enum S {
+//!     Leader,
+//!     Follower,
+//! }
+//!
+//! impl Protocol for Fratricide {
+//!     type State = S;
+//!     fn population_size(&self) -> usize {
+//!         self.n
+//!     }
+//!     fn transition(&self, a: &S, b: &S, _rng: &mut dyn RngCore) -> (S, S) {
+//!         match (a, b) {
+//!             (S::Leader, S::Leader) => (S::Leader, S::Follower),
+//!             _ => (*a, *b),
+//!         }
+//!     }
+//!     fn is_null(&self, a: &S, b: &S) -> bool {
+//!         !matches!((a, b), (S::Leader, S::Leader))
+//!     }
+//! }
+//!
+//! let protocol = Fratricide { n: 50 };
+//! let config = Configuration::uniform(S::Leader, 50);
+//! let mut sim = Simulation::new(protocol, config, 1);
+//! let outcome = sim.run_until_silent(1_000_000);
+//! assert!(outcome.is_silent());
+//! let leaders = sim
+//!     .configuration()
+//!     .iter()
+//!     .filter(|s| matches!(s, S::Leader))
+//!     .count();
+//! assert_eq!(leaders, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod config;
+pub mod error;
+pub mod execution;
+pub mod protocol;
+pub mod runner;
+pub mod scheduler;
+pub mod time;
+pub mod trace;
+
+pub use agent::AgentId;
+pub use config::Configuration;
+pub use error::SimError;
+pub use execution::{ConvergenceOutcome, RunOutcome, Simulation, StopReason};
+pub use protocol::{LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
+pub use runner::{run_trials, run_trials_sequential, TrialPlan};
+pub use scheduler::{OrderedPair, Scheduler};
+pub use time::{Interactions, ParallelTime};
+pub use trace::{Trace, TraceEvent};
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::agent::AgentId;
+    pub use crate::config::Configuration;
+    pub use crate::error::SimError;
+    pub use crate::execution::{ConvergenceOutcome, RunOutcome, Simulation, StopReason};
+    pub use crate::protocol::{LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
+    pub use crate::runner::{run_trials, run_trials_sequential, TrialPlan};
+    pub use crate::scheduler::{OrderedPair, Scheduler};
+    pub use crate::time::{Interactions, ParallelTime};
+    pub use crate::trace::{Trace, TraceEvent};
+}

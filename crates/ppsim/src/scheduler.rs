@@ -1,0 +1,181 @@
+//! The uniformly random scheduler of the population protocol model.
+
+use rand::Rng;
+use rand::RngCore;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::agent::AgentId;
+
+/// An ordered pair of distinct agents: the initiator and the responder of one
+/// interaction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct OrderedPair {
+    /// The initiator of the interaction.
+    pub initiator: AgentId,
+    /// The responder of the interaction.
+    pub responder: AgentId,
+}
+
+impl OrderedPair {
+    /// Creates an ordered pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if both agents are the same: the model never schedules an agent
+    /// with itself.
+    pub fn new(initiator: AgentId, responder: AgentId) -> Self {
+        assert_ne!(initiator, responder, "an agent cannot interact with itself");
+        OrderedPair { initiator, responder }
+    }
+}
+
+/// The probabilistic scheduler: at each step it selects an ordered pair of
+/// distinct agents uniformly at random among the `n·(n−1)` possibilities.
+///
+/// The scheduler owns a seeded [`ChaCha8Rng`] so executions are reproducible
+/// from the seed alone; the same generator is passed to the protocol's
+/// transition function for its internal randomness.
+///
+/// # Example
+///
+/// ```
+/// use ppsim::Scheduler;
+/// let mut s1 = Scheduler::new(10, 42);
+/// let mut s2 = Scheduler::new(10, 42);
+/// for _ in 0..100 {
+///     assert_eq!(s1.next_pair(), s2.next_pair());
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Scheduler {
+    n: usize,
+    rng: ChaCha8Rng,
+    steps: u64,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for a population of size `n`, seeded for
+    /// reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`: no interaction is possible in a smaller population.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 2, "population size must be at least 2");
+        Scheduler { n, rng: ChaCha8Rng::seed_from_u64(seed), steps: 0 }
+    }
+
+    /// The population size.
+    pub fn population_size(&self) -> usize {
+        self.n
+    }
+
+    /// How many pairs have been drawn so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Draws the next uniformly random ordered pair of distinct agents.
+    pub fn next_pair(&mut self) -> OrderedPair {
+        self.steps += 1;
+        let a = self.rng.gen_range(0..self.n);
+        let mut b = self.rng.gen_range(0..self.n - 1);
+        if b >= a {
+            b += 1;
+        }
+        OrderedPair { initiator: AgentId::new(a), responder: AgentId::new(b) }
+    }
+
+    /// Mutable access to the underlying random number generator, for protocol
+    /// transition randomness.
+    pub fn rng_mut(&mut self) -> &mut dyn RngCore {
+        &mut self.rng
+    }
+
+    /// Draws both the pair and returns a mutable borrow of the generator in a
+    /// single call, so transition randomness and scheduling randomness share
+    /// one stream.
+    pub fn next_pair_with_rng(&mut self) -> (OrderedPair, &mut dyn RngCore) {
+        self.steps += 1;
+        let a = self.rng.gen_range(0..self.n);
+        let mut b = self.rng.gen_range(0..self.n - 1);
+        if b >= a {
+            b += 1;
+        }
+        (
+            OrderedPair { initiator: AgentId::new(a), responder: AgentId::new(b) },
+            &mut self.rng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_population_rejected() {
+        let _ = Scheduler::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot interact with itself")]
+    fn self_pair_rejected() {
+        let _ = OrderedPair::new(AgentId::new(1), AgentId::new(1));
+    }
+
+    #[test]
+    fn pairs_are_distinct_agents() {
+        let mut s = Scheduler::new(5, 7);
+        for _ in 0..10_000 {
+            let p = s.next_pair();
+            assert_ne!(p.initiator, p.responder);
+            assert!(p.initiator.index() < 5);
+            assert!(p.responder.index() < 5);
+        }
+        assert_eq!(s.steps(), 10_000);
+    }
+
+    #[test]
+    fn pairs_are_roughly_uniform() {
+        // With n = 4 there are 12 ordered pairs; draw many and check each is
+        // within a generous tolerance of the expected frequency.
+        let mut s = Scheduler::new(4, 123);
+        let draws = 120_000;
+        let mut counts: HashMap<(usize, usize), usize> = HashMap::new();
+        for _ in 0..draws {
+            let p = s.next_pair();
+            *counts.entry((p.initiator.index(), p.responder.index())).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 12);
+        let expected = draws as f64 / 12.0;
+        for (&pair, &count) in &counts {
+            let deviation = (count as f64 - expected).abs() / expected;
+            assert!(
+                deviation < 0.05,
+                "pair {pair:?} occurred {count} times, expected about {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Scheduler::new(20, 99);
+        let mut b = Scheduler::new(20, 99);
+        let seq_a: Vec<_> = (0..50).map(|_| a.next_pair()).collect();
+        let seq_b: Vec<_> = (0..50).map(|_| b.next_pair()).collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Scheduler::new(20, 1);
+        let mut b = Scheduler::new(20, 2);
+        let seq_a: Vec<_> = (0..50).map(|_| a.next_pair()).collect();
+        let seq_b: Vec<_> = (0..50).map(|_| b.next_pair()).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+}

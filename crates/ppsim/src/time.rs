@@ -1,0 +1,224 @@
+//! Time accounting: interactions and parallel time.
+//!
+//! The paper measures protocol running time in **parallel time**: the number
+//! of scheduler steps (interactions) divided by the population size `n`. This
+//! captures the intuition that interactions happen in parallel, so each agent
+//! participates in `O(1)` interactions per time unit on average.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Sub};
+
+/// A count of scheduler steps (pairwise interactions).
+///
+/// # Example
+///
+/// ```
+/// use ppsim::{Interactions, ParallelTime};
+/// let steps = Interactions::new(3_000);
+/// assert_eq!(steps.to_parallel_time(100), ParallelTime::new(30.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Interactions(u64);
+
+impl Interactions {
+    /// Zero interactions.
+    pub const ZERO: Interactions = Interactions(0);
+
+    /// Creates a count of interactions.
+    pub fn new(count: u64) -> Self {
+        Interactions(count)
+    }
+
+    /// The raw number of interactions.
+    pub fn count(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to parallel time for a population of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn to_parallel_time(self, n: usize) -> ParallelTime {
+        assert!(n > 0, "population size must be positive");
+        ParallelTime(self.0 as f64 / n as f64)
+    }
+
+    /// Saturating difference between two interaction counts.
+    pub fn saturating_sub(self, other: Interactions) -> Interactions {
+        Interactions(self.0.saturating_sub(other.0))
+    }
+}
+
+impl From<u64> for Interactions {
+    fn from(count: u64) -> Self {
+        Interactions(count)
+    }
+}
+
+impl From<Interactions> for u64 {
+    fn from(i: Interactions) -> u64 {
+        i.0
+    }
+}
+
+impl Add for Interactions {
+    type Output = Interactions;
+    fn add(self, rhs: Interactions) -> Interactions {
+        Interactions(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Interactions {
+    fn add_assign(&mut self, rhs: Interactions) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Interactions {
+    type Output = Interactions;
+    fn sub(self, rhs: Interactions) -> Interactions {
+        Interactions(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Interactions {
+    fn sum<I: Iterator<Item = Interactions>>(iter: I) -> Interactions {
+        Interactions(iter.map(|i| i.0).sum())
+    }
+}
+
+impl fmt::Display for Interactions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} interactions", self.0)
+    }
+}
+
+/// Parallel time: interactions divided by the population size.
+///
+/// Stored as `f64`; comparisons therefore follow floating-point semantics.
+///
+/// # Example
+///
+/// ```
+/// use ppsim::ParallelTime;
+/// let t = ParallelTime::new(12.5);
+/// assert!(t > ParallelTime::ZERO);
+/// assert_eq!(t.value(), 12.5);
+/// ```
+#[derive(Clone, Copy, PartialEq, PartialOrd, Debug, Default)]
+pub struct ParallelTime(f64);
+
+impl ParallelTime {
+    /// Zero parallel time.
+    pub const ZERO: ParallelTime = ParallelTime(0.0);
+
+    /// Creates a parallel time value.
+    pub fn new(value: f64) -> Self {
+        ParallelTime(value)
+    }
+
+    /// The underlying floating-point value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts back to interactions for a population of size `n`, rounding to
+    /// the nearest whole interaction.
+    pub fn to_interactions(self, n: usize) -> Interactions {
+        Interactions((self.0 * n as f64).round().max(0.0) as u64)
+    }
+}
+
+impl From<f64> for ParallelTime {
+    fn from(value: f64) -> Self {
+        ParallelTime(value)
+    }
+}
+
+impl From<ParallelTime> for f64 {
+    fn from(t: ParallelTime) -> f64 {
+        t.0
+    }
+}
+
+impl Add for ParallelTime {
+    type Output = ParallelTime;
+    fn add(self, rhs: ParallelTime) -> ParallelTime {
+        ParallelTime(self.0 + rhs.0)
+    }
+}
+
+impl Sub for ParallelTime {
+    type Output = ParallelTime;
+    fn sub(self, rhs: ParallelTime) -> ParallelTime {
+        ParallelTime(self.0 - rhs.0)
+    }
+}
+
+impl Div<f64> for ParallelTime {
+    type Output = ParallelTime;
+    fn div(self, rhs: f64) -> ParallelTime {
+        ParallelTime(self.0 / rhs)
+    }
+}
+
+impl Sum for ParallelTime {
+    fn sum<I: Iterator<Item = ParallelTime>>(iter: I) -> ParallelTime {
+        ParallelTime(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Display for ParallelTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} parallel time", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_time_conversion_roundtrips() {
+        let steps = Interactions::new(12_345);
+        let t = steps.to_parallel_time(100);
+        assert!((t.value() - 123.45).abs() < 1e-12);
+        assert_eq!(t.to_interactions(100), steps);
+    }
+
+    #[test]
+    #[should_panic(expected = "population size must be positive")]
+    fn zero_population_panics() {
+        let _ = Interactions::new(1).to_parallel_time(0);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Interactions::new(10);
+        let b = Interactions::new(4);
+        assert_eq!((a + b).count(), 14);
+        assert_eq!((a - b).count(), 6);
+        assert_eq!(b.saturating_sub(a), Interactions::ZERO);
+        let total: Interactions = [a, b].into_iter().sum();
+        assert_eq!(total.count(), 14);
+    }
+
+    #[test]
+    fn parallel_time_arithmetic() {
+        let a = ParallelTime::new(3.0);
+        let b = ParallelTime::new(1.5);
+        assert_eq!((a + b).value(), 4.5);
+        assert_eq!((a - b).value(), 1.5);
+        assert_eq!((a / 2.0).value(), 1.5);
+        let total: ParallelTime = [a, b].into_iter().sum();
+        assert_eq!(total.value(), 4.5);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Interactions::new(7).to_string(), "7 interactions");
+        assert!(ParallelTime::new(1.0).to_string().contains("parallel time"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the simulation substrate.
+
+use ppsim::prelude::*;
+use proptest::prelude::*;
+use rand::RngCore;
+
+/// A protocol whose transition conserves the sum of all states: useful for
+/// checking that the simulator applies transitions to exactly the scheduled
+/// pair and nobody else.
+#[derive(Clone, Copy, Debug)]
+struct MassConserving {
+    n: usize,
+}
+
+impl Protocol for MassConserving {
+    type State = u64;
+    fn population_size(&self) -> usize {
+        self.n
+    }
+    fn transition(&self, a: &u64, b: &u64, _rng: &mut dyn RngCore) -> (u64, u64) {
+        // Move one unit from the responder to the initiator when possible.
+        if *b > 0 {
+            (a + 1, b - 1)
+        } else {
+            (*a, *b)
+        }
+    }
+    fn is_null(&self, _a: &u64, b: &u64) -> bool {
+        *b == 0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simulation_conserves_mass(
+        n in 2usize..40,
+        seed in any::<u64>(),
+        steps in 0u64..2_000,
+        initial in 0u64..100,
+    ) {
+        let protocol = MassConserving { n };
+        let config = Configuration::uniform(initial, n);
+        let total_before: u64 = config.iter().sum();
+        let mut sim = Simulation::new(protocol, config, seed);
+        sim.run_for(steps);
+        let total_after: u64 = sim.configuration().iter().sum();
+        prop_assert_eq!(total_before, total_after);
+        prop_assert_eq!(sim.interactions().count(), steps);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_executions(
+        n in 2usize..30,
+        seed in any::<u64>(),
+        steps in 0u64..1_000,
+    ) {
+        let run = |seed| {
+            let protocol = MassConserving { n };
+            let mut sim = Simulation::new(protocol, Configuration::uniform(3u64, n), seed);
+            sim.run_for(steps);
+            sim.configuration().clone()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn scheduler_never_pairs_an_agent_with_itself(
+        n in 2usize..50,
+        seed in any::<u64>(),
+    ) {
+        let mut scheduler = Scheduler::new(n, seed);
+        for _ in 0..500 {
+            let pair = scheduler.next_pair();
+            prop_assert_ne!(pair.initiator, pair.responder);
+            prop_assert!(pair.initiator.index() < n);
+            prop_assert!(pair.responder.index() < n);
+        }
+    }
+
+    #[test]
+    fn parallel_time_is_interactions_over_n(
+        n in 2usize..100,
+        steps in 0u64..10_000,
+    ) {
+        let t = Interactions::new(steps).to_parallel_time(n);
+        prop_assert!((t.value() - steps as f64 / n as f64).abs() < 1e-9);
+        prop_assert_eq!(t.to_interactions(n), Interactions::new(steps));
+    }
+
+    #[test]
+    fn trial_seeds_are_deterministic_and_distinct(
+        trials in 1usize..64,
+        base in any::<u64>(),
+    ) {
+        let plan = TrialPlan::new(trials, base);
+        let seeds: Vec<u64> = (0..trials).map(|i| plan.seed_for(i)).collect();
+        let replay: Vec<u64> = (0..trials).map(|i| plan.seed_for(i)).collect();
+        prop_assert_eq!(&seeds, &replay);
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), trials);
+    }
+
+    #[test]
+    fn run_trials_matches_sequential_for_pure_functions(
+        trials in 0usize..32,
+        base in any::<u64>(),
+    ) {
+        let plan = TrialPlan::new(trials, base).with_threads(4);
+        let parallel = run_trials(&plan, |i, seed| seed ^ i as u64);
+        let sequential = run_trials_sequential(trials, base, |i, seed| seed ^ i as u64);
+        prop_assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn state_counts_sum_to_population(
+        states in proptest::collection::vec(0u8..5, 1..60),
+    ) {
+        let config = Configuration::from_states(states.clone());
+        let counts = config.state_counts();
+        let total: usize = counts.values().sum();
+        prop_assert_eq!(total, states.len());
+        for (state, count) in counts {
+            prop_assert_eq!(states.iter().filter(|&&s| s == state).count(), count);
+        }
+    }
+}

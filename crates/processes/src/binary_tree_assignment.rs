@@ -1,0 +1,267 @@
+//! The leader-driven binary-tree rank assignment (Lemma 4.1, Figure 1).
+//!
+//! After a successful reset, `Optimal-Silent-SSR` has a single settled agent
+//! with rank 1 and `n − 1` unsettled agents. Settled agents recruit unsettled
+//! agents as their children in the complete binary tree over ranks `1..=n`:
+//! the children of rank `i` are `2i` and `2i+1` (when those ranks exist).
+//! Lemma 4.1 shows the whole tree is filled in expected `O(n)` parallel time,
+//! level by level.
+//!
+//! This module provides both the deterministic tree layout (used to reproduce
+//! Figure 1) and an agent-level protocol implementing the recruiting rule, so
+//! the `O(n)` completion time can be measured in isolation from the rest of
+//! `Optimal-Silent-SSR`.
+//!
+//! Note on the recruiting condition: Protocol 3 line 9 of the paper writes
+//! `2·i.rank + i.children < n`, but Figure 1 (n = 12, rank 6 recruiting
+//! rank 12) and the requirement that every rank `1..=n` be assigned imply the
+//! intended condition is `2·i.rank + i.children <= n`, which is what we
+//! implement.
+
+use ppsim::{Configuration, Protocol, Rank, RankingProtocol};
+use rand::RngCore;
+
+/// One node of the complete binary tree over ranks `1..=n`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TreeSlot {
+    /// The rank labelling this node (1-based).
+    pub rank: usize,
+    /// The parent rank, or `None` for the root (rank 1).
+    pub parent: Option<usize>,
+    /// The child ranks (0, 1 or 2 of them).
+    pub children: Vec<usize>,
+}
+
+/// The complete binary tree over ranks `1..=n`: rank `i`'s children are `2i`
+/// and `2i+1` when those do not exceed `n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use processes::binary_tree_layout;
+/// let tree = binary_tree_layout(12);
+/// assert_eq!(tree[0].children, vec![2, 3]);
+/// assert_eq!(tree[5].children, vec![12]); // rank 6 has a single child, as in Figure 1
+/// assert_eq!(tree[11].children, Vec::<usize>::new());
+/// ```
+pub fn binary_tree_layout(n: usize) -> Vec<TreeSlot> {
+    assert!(n >= 1, "the tree needs at least one node");
+    (1..=n)
+        .map(|rank| TreeSlot {
+            rank,
+            parent: if rank == 1 { None } else { Some(rank / 2) },
+            children: [2 * rank, 2 * rank + 1].into_iter().filter(|&c| c <= n).collect(),
+        })
+        .collect()
+}
+
+/// The state of one agent in the binary-tree rank assignment process.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AssignmentState {
+    /// Settled with a rank and a count of already recruited children.
+    Settled {
+        /// The rank held by this agent (1-based).
+        rank: usize,
+        /// How many children this agent has already recruited (0, 1 or 2).
+        children: u8,
+    },
+    /// Waiting to be recruited.
+    Unsettled,
+}
+
+/// Agent-level protocol for the binary-tree rank assignment process in
+/// isolation (lines 8–12 of Protocol 3).
+#[derive(Clone, Copy, Debug)]
+pub struct BinaryTreeAssignment {
+    n: usize,
+}
+
+impl BinaryTreeAssignment {
+    /// Creates the process for a population of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "population must have at least two agents");
+        BinaryTreeAssignment { n }
+    }
+
+    /// The post-reset initial configuration: one settled leader with rank 1,
+    /// everyone else unsettled.
+    pub fn initial_configuration(&self) -> Configuration<AssignmentState> {
+        Configuration::from_fn(self.n, |i| {
+            if i == 0 {
+                AssignmentState::Settled { rank: 1, children: 0 }
+            } else {
+                AssignmentState::Unsettled
+            }
+        })
+    }
+
+    /// Whether every agent has been settled.
+    pub fn is_complete(config: &Configuration<AssignmentState>) -> bool {
+        config.iter().all(|s| matches!(s, AssignmentState::Settled { .. }))
+    }
+}
+
+impl Protocol for BinaryTreeAssignment {
+    type State = AssignmentState;
+
+    fn population_size(&self) -> usize {
+        self.n
+    }
+
+    fn transition(
+        &self,
+        a: &AssignmentState,
+        b: &AssignmentState,
+        _rng: &mut dyn RngCore,
+    ) -> (AssignmentState, AssignmentState) {
+        let mut a = *a;
+        let mut b = *b;
+        recruit(self.n, &mut a, &mut b);
+        recruit(self.n, &mut b, &mut a);
+        (a, b)
+    }
+
+    fn is_null(&self, a: &AssignmentState, b: &AssignmentState) -> bool {
+        !can_recruit(self.n, a, b) && !can_recruit(self.n, b, a)
+    }
+}
+
+impl RankingProtocol for BinaryTreeAssignment {
+    fn rank(&self, state: &AssignmentState) -> Option<Rank> {
+        match state {
+            AssignmentState::Settled { rank, .. } => Some(Rank::new(*rank)),
+            AssignmentState::Unsettled => None,
+        }
+    }
+}
+
+fn can_recruit(n: usize, recruiter: &AssignmentState, candidate: &AssignmentState) -> bool {
+    match (recruiter, candidate) {
+        (AssignmentState::Settled { rank, children }, AssignmentState::Unsettled) => {
+            *children < 2 && 2 * rank + (*children as usize) <= n
+        }
+        _ => false,
+    }
+}
+
+fn recruit(n: usize, recruiter: &mut AssignmentState, candidate: &mut AssignmentState) {
+    if !can_recruit(n, recruiter, candidate) {
+        return;
+    }
+    if let AssignmentState::Settled { rank, children } = recruiter {
+        *candidate = AssignmentState::Settled { rank: 2 * *rank + (*children as usize), children: 0 };
+        *children += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::{run_trials, RankingProtocol, Simulation, TrialPlan};
+
+    #[test]
+    fn layout_matches_figure_one() {
+        // Figure 1 of the paper: n = 12.
+        let tree = binary_tree_layout(12);
+        assert_eq!(tree.len(), 12);
+        let by_rank = |r: usize| &tree[r - 1];
+        assert_eq!(by_rank(1).parent, None);
+        assert_eq!(by_rank(1).children, vec![2, 3]);
+        assert_eq!(by_rank(3).children, vec![6, 7]);
+        assert_eq!(by_rank(4).children, vec![8, 9]);
+        assert_eq!(by_rank(5).children, vec![10, 11]);
+        assert_eq!(by_rank(6).children, vec![12]);
+        assert_eq!(by_rank(7).children, Vec::<usize>::new());
+        assert_eq!(by_rank(12).parent, Some(6));
+    }
+
+    #[test]
+    fn layout_children_partition_non_roots() {
+        for n in [1usize, 2, 5, 17, 64] {
+            let tree = binary_tree_layout(n);
+            let mut assigned = vec![false; n + 1];
+            for slot in &tree {
+                for &c in &slot.children {
+                    assert!(!assigned[c], "rank {c} assigned twice");
+                    assigned[c] = true;
+                }
+            }
+            // Every rank except 1 is some node's child.
+            for r in 2..=n {
+                assert!(assigned[r], "rank {r} never assigned in tree of size {n}");
+            }
+            assert!(!assigned[1]);
+        }
+    }
+
+    #[test]
+    fn assignment_reaches_a_correct_ranking() {
+        let protocol = BinaryTreeAssignment::new(64);
+        let config = protocol.initial_configuration();
+        let mut sim = Simulation::new(protocol, config, 9);
+        let outcome = sim.run_until(BinaryTreeAssignment::is_complete, 10_000_000);
+        assert!(outcome.condition_met());
+        assert!(sim.protocol().is_correctly_ranked(sim.configuration()));
+        assert!(sim.is_silent());
+    }
+
+    #[test]
+    fn completion_time_scales_linearly_not_quadratically() {
+        // Lemma 4.1: expected O(n) parallel time. Measure two sizes and check
+        // the growth is far from quadratic.
+        let measure = |n: usize| {
+            let plan = TrialPlan::new(10, n as u64);
+            let times = run_trials(&plan, |_, seed| {
+                let protocol = BinaryTreeAssignment::new(n);
+                let config = protocol.initial_configuration();
+                let mut sim = Simulation::new(protocol, config, seed);
+                let outcome = sim.run_until(BinaryTreeAssignment::is_complete, 500_000_000);
+                assert!(outcome.condition_met());
+                outcome.interactions.count() as f64 / n as f64
+            });
+            times.iter().sum::<f64>() / times.len() as f64
+        };
+        let t_small = measure(64);
+        let t_large = measure(256);
+        let ratio = t_large / t_small;
+        // Linear growth predicts ratio ≈ 4; quadratic would predict ≈ 16.
+        assert!(ratio < 8.0, "ratio {ratio} looks super-linear");
+        assert!(ratio > 2.0, "ratio {ratio} looks sub-linear, which is suspicious too");
+    }
+
+    #[test]
+    fn recruiting_respects_tree_capacity() {
+        let n = 5;
+        let mut recruiter = AssignmentState::Settled { rank: 2, children: 0 };
+        let mut candidate = AssignmentState::Unsettled;
+        recruit(n, &mut recruiter, &mut candidate);
+        assert_eq!(candidate, AssignmentState::Settled { rank: 4, children: 0 });
+        assert_eq!(recruiter, AssignmentState::Settled { rank: 2, children: 1 });
+        let mut candidate2 = AssignmentState::Unsettled;
+        recruit(n, &mut recruiter, &mut candidate2);
+        assert_eq!(candidate2, AssignmentState::Settled { rank: 5, children: 0 });
+        // Rank 3 in a population of 5 can have no children (6 > 5).
+        let mut full = AssignmentState::Settled { rank: 3, children: 0 };
+        let mut candidate3 = AssignmentState::Unsettled;
+        recruit(n, &mut full, &mut candidate3);
+        assert_eq!(candidate3, AssignmentState::Unsettled);
+    }
+
+    #[test]
+    fn two_settled_agents_do_not_interact() {
+        let n = 8;
+        let a = AssignmentState::Settled { rank: 1, children: 0 };
+        let b = AssignmentState::Settled { rank: 2, children: 0 };
+        assert!(!can_recruit(n, &a, &b));
+        let protocol = BinaryTreeAssignment::new(n);
+        assert!(protocol.is_null(&a, &b));
+    }
+}

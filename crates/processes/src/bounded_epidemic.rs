@@ -1,0 +1,193 @@
+//! The bounded epidemic process and the times `τ_k` (Lemmas 2.10 and 2.11).
+//!
+//! A source agent starts at `level = 0` and every other agent at `level = ∞`.
+//! When two agents interact, each sets its level to
+//! `min(own level, other level + 1)`. The time `τ_k` is the first time a fixed
+//! target agent reaches `level ≤ k`: intuitively, the target has heard from
+//! the source through a chain of at most `k` interactions.
+//!
+//! Lemma 2.10: for constant `k`, `E[τ_k] ≤ k·n^{1/k}` parallel time.
+//! Lemma 2.11: for `k = 3·log₂ n`, `τ_k ≤ 3·ln n` with probability
+//! `1 − O(1/n²)`.
+//!
+//! These times drive the collision-detection latency of
+//! `Sublinear-Time-SSR`: a collision between two agents with the same name is
+//! noticed once information has flowed from one to (a neighbour of) the other
+//! through a path of length at most `H + 1`.
+
+use rand::Rng;
+
+/// The per-level hitting times of one bounded-epidemic execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BoundedEpidemicOutcome {
+    /// `tau[k]` is the number of interactions until the target agent's level
+    /// first dropped to `k` or below, for `k` in `1..=max_level`; `None` if it
+    /// had not happened when the simulation stopped.
+    pub tau_interactions: Vec<Option<u64>>,
+    /// Total interactions simulated.
+    pub total_interactions: u64,
+}
+
+impl BoundedEpidemicOutcome {
+    /// The hitting time `τ_k` in interactions, if it occurred.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds the simulated maximum level.
+    pub fn tau(&self, k: usize) -> Option<u64> {
+        assert!(k >= 1, "levels are counted from 1");
+        self.tau_interactions[k - 1]
+    }
+
+    /// The hitting time `τ_k` in parallel time.
+    pub fn tau_parallel(&self, k: usize, n: usize) -> Option<f64> {
+        self.tau(k).map(|i| i as f64 / n as f64)
+    }
+}
+
+/// Simulates the bounded epidemic on `n` agents with a single source and a
+/// fixed target, recording the hitting times `τ_1 .. τ_max_level` of the
+/// target agent.
+///
+/// The simulation stops once the target reaches level ≤ 1 (at which point all
+/// `τ_k` are known) or after `max_interactions`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `max_level == 0`.
+pub fn simulate_bounded_epidemic(
+    n: usize,
+    max_level: usize,
+    max_interactions: u64,
+    rng: &mut impl Rng,
+) -> BoundedEpidemicOutcome {
+    assert!(n >= 2, "population must have at least two agents");
+    assert!(max_level >= 1, "max_level must be at least 1");
+    const INFINITY: u32 = u32::MAX;
+    // Agent 0 is the source; agent n−1 is the target.
+    let source = 0usize;
+    let target = n - 1;
+    let mut level = vec![INFINITY; n];
+    level[source] = 0;
+    let mut tau: Vec<Option<u64>> = vec![None; max_level];
+    let mut interactions = 0u64;
+    while interactions < max_interactions {
+        interactions += 1;
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        let la = level[a];
+        let lb = level[b];
+        let new_a = la.min(lb.saturating_add(1));
+        let new_b = lb.min(la.saturating_add(1));
+        level[a] = new_a;
+        level[b] = new_b;
+        if a == target || b == target {
+            let lt = level[target] as usize;
+            if lt < INFINITY as usize {
+                for k in lt.max(1)..=max_level {
+                    if tau[k - 1].is_none() {
+                        tau[k - 1] = Some(interactions);
+                    }
+                }
+            }
+            if level[target] <= 1 {
+                break;
+            }
+        }
+    }
+    BoundedEpidemicOutcome { tau_interactions: tau, total_interactions: interactions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analysis::theory::{bounded_epidemic_log_time_bound, bounded_epidemic_time_bound};
+    use ppsim::{run_trials, TrialPlan};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn hitting_times_are_monotone_in_k() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let outcome = simulate_bounded_epidemic(50, 10, 10_000_000, &mut rng);
+        // τ_1 exists because the run only stops at level ≤ 1 (or budget).
+        assert!(outcome.tau(1).is_some());
+        for k in 1..10 {
+            let a = outcome.tau(k).unwrap();
+            let b = outcome.tau(k + 1).unwrap();
+            assert!(a >= b, "tau_{k} = {a} should be >= tau_{} = {b}", k + 1);
+        }
+    }
+
+    #[test]
+    fn tau_parallel_divides_by_n() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let outcome = simulate_bounded_epidemic(50, 3, 10_000_000, &mut rng);
+        let t = outcome.tau(2).unwrap();
+        assert_eq!(outcome.tau_parallel(2, 50).unwrap(), t as f64 / 50.0);
+    }
+
+    #[test]
+    fn tau_2_is_well_below_tau_1_on_average() {
+        // E[τ_1] = Θ(n) while E[τ_2] = O(√n): at n = 400 the gap is large.
+        let n = 400;
+        let plan = TrialPlan::new(40, 33);
+        let results = run_trials(&plan, |_, seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let outcome = simulate_bounded_epidemic(n, 2, 100_000_000, &mut rng);
+            (
+                outcome.tau(1).unwrap() as f64 / n as f64,
+                outcome.tau(2).unwrap() as f64 / n as f64,
+            )
+        });
+        let mean_tau1 = results.iter().map(|r| r.0).sum::<f64>() / results.len() as f64;
+        let mean_tau2 = results.iter().map(|r| r.1).sum::<f64>() / results.len() as f64;
+        assert!(
+            mean_tau2 * 3.0 < mean_tau1,
+            "tau_2 mean {mean_tau2} not clearly below tau_1 mean {mean_tau1}"
+        );
+        // Lemma 2.10 upper bounds.
+        assert!(mean_tau1 <= bounded_epidemic_time_bound(n, 1) * 1.5);
+        assert!(mean_tau2 <= bounded_epidemic_time_bound(n, 2) * 1.5);
+    }
+
+    #[test]
+    fn logarithmic_levels_complete_in_logarithmic_time() {
+        let n = 256;
+        let k = 3 * 8; // 3·log₂(256)
+        let plan = TrialPlan::new(30, 21);
+        let times = run_trials(&plan, |_, seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let outcome = simulate_bounded_epidemic(n, k, 100_000_000, &mut rng);
+            outcome.tau(k).unwrap() as f64 / n as f64
+        });
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        // Lemma 2.11: τ_k ≤ 3·ln n with high probability; the mean should
+        // comfortably satisfy the bound.
+        assert!(
+            mean <= bounded_epidemic_log_time_bound(n),
+            "mean tau_{k} = {mean} exceeds 3 ln n = {}",
+            bounded_epidemic_log_time_bound(n)
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_leaves_missing_taus() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let outcome = simulate_bounded_epidemic(100, 2, 5, &mut rng);
+        assert_eq!(outcome.total_interactions, 5);
+        // With only 5 interactions on 100 agents, the target almost surely has
+        // not met the source; τ_1 should still be pending.
+        assert!(outcome.tau(1).is_none() || outcome.tau(1).unwrap() <= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "counted from 1")]
+    fn tau_zero_is_rejected() {
+        let outcome = BoundedEpidemicOutcome { tau_interactions: vec![None], total_interactions: 0 };
+        let _ = outcome.tau(0);
+    }
+}

@@ -1,0 +1,95 @@
+//! The pairwise coupon-collector process.
+//!
+//! The lower-bound half of Lemma 2.9 (roll call) first waits for every agent
+//! to participate in at least one interaction. Because each interaction draws
+//! *two* distinct agents, this is a coupon-collector process collecting two
+//! coupons per step, completing after `~ (1/2)·n·ln n` interactions in
+//! expectation.
+
+use rand::Rng;
+
+/// Samples the number of interactions until every one of the `n` agents has
+/// participated in at least one interaction.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Example
+///
+/// ```
+/// use processes::simulate_pairwise_coupon_collector;
+/// use rand::SeedableRng;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let interactions = simulate_pairwise_coupon_collector(10, &mut rng);
+/// // At least ⌈n/2⌉ interactions are needed because each touches 2 agents.
+/// assert!(interactions >= 5);
+/// ```
+pub fn simulate_pairwise_coupon_collector(n: usize, rng: &mut impl Rng) -> u64 {
+    assert!(n >= 2, "population must have at least two agents");
+    let mut touched = vec![false; n];
+    let mut remaining = n;
+    let mut interactions = 0u64;
+    while remaining > 0 {
+        interactions += 1;
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        if !touched[a] {
+            touched[a] = true;
+            remaining -= 1;
+        }
+        if !touched[b] {
+            touched[b] = true;
+            remaining -= 1;
+        }
+    }
+    interactions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analysis::theory::coupon_collector_all_agents_time;
+    use ppsim::{run_trials, TrialPlan};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn two_agents_finish_in_one_interaction() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        assert_eq!(simulate_pairwise_coupon_collector(2, &mut rng), 1);
+    }
+
+    #[test]
+    fn completion_requires_at_least_half_n_interactions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for n in [3usize, 10, 31, 64] {
+            let t = simulate_pairwise_coupon_collector(n, &mut rng);
+            assert!(t >= (n as u64).div_ceil(2));
+        }
+    }
+
+    #[test]
+    fn mean_parallel_time_is_about_half_ln_n() {
+        let n = 500;
+        let plan = TrialPlan::new(100, 13);
+        let samples = run_trials(&plan, |_, seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            simulate_pairwise_coupon_collector(n, &mut rng) as f64 / n as f64
+        });
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let predicted = coupon_collector_all_agents_time(n);
+        let relative_error = (mean - predicted).abs() / predicted;
+        assert!(relative_error < 0.2, "mean {mean} vs predicted {predicted}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two agents")]
+    fn tiny_population_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = simulate_pairwise_coupon_collector(1, &mut rng);
+    }
+}

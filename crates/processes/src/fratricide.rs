@@ -1,0 +1,176 @@
+//! The slow ("fratricide") leader election `L,L → L,F`.
+//!
+//! Starting from all leaders, the number of leaders only decreases when two
+//! leaders meet, so the process takes `Σ_{i=2}^{n} n(n−1)/(i(i−1)) = (n−1)²`
+//! expected interactions, i.e. `Θ(n)` parallel time.
+//!
+//! The paper uses this process twice:
+//!
+//! * Observation 2.6 — any *silent* self-stabilizing leader-election protocol
+//!   needs `Ω(n)` time, because from a silent single-leader configuration the
+//!   adversary can plant a second leader and the two must meet directly;
+//! * Lemma 4.2 — during the dormant phase of `Optimal-Silent-SSR`'s reset the
+//!   agents run exactly this process so that, with constant probability, a
+//!   single leader remains when the population awakens.
+
+use ppsim::{Configuration, LeaderElectionProtocol, Protocol};
+use rand::distributions::Uniform;
+use rand::{Rng, RngCore};
+
+use crate::epidemic::sample_geometric;
+
+/// The leader/follower state of the fratricide process.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LeaderState {
+    /// Candidate leader.
+    Leader,
+    /// Follower (eliminated candidate).
+    Follower,
+}
+
+/// Agent-level fratricide protocol: `(L, L) → (L, F)`, every other pair is
+/// null.
+#[derive(Clone, Copy, Debug)]
+pub struct Fratricide {
+    n: usize,
+}
+
+impl Fratricide {
+    /// Creates the protocol for a population of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "population must have at least two agents");
+        Fratricide { n }
+    }
+
+    /// The all-leaders initial configuration used by the paper's analyses.
+    pub fn all_leaders_configuration(&self) -> Configuration<LeaderState> {
+        Configuration::uniform(LeaderState::Leader, self.n)
+    }
+}
+
+impl Protocol for Fratricide {
+    type State = LeaderState;
+
+    fn population_size(&self) -> usize {
+        self.n
+    }
+
+    fn transition(
+        &self,
+        a: &LeaderState,
+        b: &LeaderState,
+        _rng: &mut dyn RngCore,
+    ) -> (LeaderState, LeaderState) {
+        match (a, b) {
+            (LeaderState::Leader, LeaderState::Leader) => {
+                (LeaderState::Leader, LeaderState::Follower)
+            }
+            _ => (*a, *b),
+        }
+    }
+
+    fn is_null(&self, a: &LeaderState, b: &LeaderState) -> bool {
+        !matches!((a, b), (LeaderState::Leader, LeaderState::Leader))
+    }
+}
+
+impl LeaderElectionProtocol for Fratricide {
+    fn is_leader(&self, state: &LeaderState) -> bool {
+        matches!(state, LeaderState::Leader)
+    }
+}
+
+/// Samples the number of interactions for fratricide to reduce
+/// `initial_leaders` leaders to a single leader in a population of `n`.
+///
+/// The leader count is a sufficient statistic: from `i` leaders the waiting
+/// time for the next elimination is geometric with success probability
+/// `i(i−1)/(n(n−1))`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `initial_leaders` is not in `1..=n`.
+pub fn simulate_fratricide_interactions(
+    n: usize,
+    initial_leaders: usize,
+    rng: &mut impl Rng,
+) -> u64 {
+    assert!(n >= 2, "population must have at least two agents");
+    assert!((1..=n).contains(&initial_leaders), "initial leader count must be in 1..=n");
+    let ordered_pairs = (n as f64) * (n as f64 - 1.0);
+    let uniform = Uniform::new(0.0f64, 1.0);
+    let mut interactions = 0u64;
+    for i in (2..=initial_leaders).rev() {
+        let p = (i as f64) * (i as f64 - 1.0) / ordered_pairs;
+        interactions += sample_geometric(p, uniform, rng);
+    }
+    interactions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analysis::theory::fratricide_expected_interactions;
+    use ppsim::{run_trials, Simulation, TrialPlan};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn protocol_elects_exactly_one_leader() {
+        let protocol = Fratricide::new(60);
+        let config = protocol.all_leaders_configuration();
+        let mut sim = Simulation::new(protocol, config, 4);
+        let outcome = sim.run_until_silent(10_000_000);
+        assert!(outcome.is_silent());
+        assert!(sim.protocol().has_unique_leader(sim.configuration()));
+    }
+
+    #[test]
+    fn all_followers_stays_leaderless_forever() {
+        // This is exactly the failure mode that motivates self-stabilization:
+        // the fratricide protocol cannot create leaders.
+        let protocol = Fratricide::new(20);
+        let config = Configuration::uniform(LeaderState::Follower, 20);
+        let mut sim = Simulation::new(protocol, config, 4);
+        assert!(sim.is_silent());
+        sim.run_for(10_000);
+        assert_eq!(sim.protocol().leader_count(sim.configuration()), 0);
+    }
+
+    #[test]
+    fn specialized_simulation_matches_closed_form_expectation() {
+        let n = 150;
+        let plan = TrialPlan::new(200, 77);
+        let samples = run_trials(&plan, |_, seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            simulate_fratricide_interactions(n, n, &mut rng) as f64
+        });
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let expected = fratricide_expected_interactions(n);
+        let relative_error = (mean - expected).abs() / expected;
+        assert!(relative_error < 0.15, "mean {mean} vs expected {expected}");
+    }
+
+    #[test]
+    fn single_leader_needs_no_interactions() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(simulate_fratricide_interactions(10, 1, &mut rng), 0);
+    }
+
+    #[test]
+    fn two_candidates_in_a_pair_meet_immediately() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(simulate_fratricide_interactions(2, 2, &mut rng), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=n")]
+    fn zero_leaders_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = simulate_fratricide_interactions(10, 0, &mut rng);
+    }
+}

@@ -1,0 +1,158 @@
+//! The roll-call process (Lemma 2.9).
+//!
+//! Every agent starts with a roster containing only its own unique ID; on each
+//! interaction both agents take the union of their rosters. `R_n` is the
+//! number of interactions until every agent's roster contains all `n` IDs.
+//! Lemma 2.9 shows `E[R_n] ~ 1.5·n·ln n` and `P[R_n > 3·n·ln n] < 1/n`.
+//!
+//! The process is the union of `n` coupled epidemics (one per ID), so there is
+//! no small sufficient statistic; the simulation tracks one bitset per agent,
+//! using `O(n²)` bits total and `O(n/64)` work per interaction.
+
+use rand::Rng;
+
+/// A compact bitset over `n` agents.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct Bitset {
+    words: Vec<u64>,
+    ones: usize,
+}
+
+impl Bitset {
+    fn singleton(n: usize, index: usize) -> Self {
+        let mut words = vec![0u64; n.div_ceil(64)];
+        words[index / 64] |= 1 << (index % 64);
+        Bitset { words, ones: 1 }
+    }
+
+    fn union_in_place(&mut self, other: &Bitset) {
+        let mut ones = 0;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= *o;
+            ones += w.count_ones() as usize;
+        }
+        self.ones = ones;
+    }
+
+    fn len(&self) -> usize {
+        self.ones
+    }
+}
+
+/// Samples the number of interactions `R_n` for the roll-call process to
+/// complete: every agent knows every ID.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Example
+///
+/// ```
+/// use processes::simulate_roll_call_interactions;
+/// use rand::SeedableRng;
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let interactions = simulate_roll_call_interactions(20, &mut rng);
+/// // Completion needs at least enough interactions for everyone to speak.
+/// assert!(interactions >= 10);
+/// ```
+pub fn simulate_roll_call_interactions(n: usize, rng: &mut impl Rng) -> u64 {
+    assert!(n >= 2, "population must have at least two agents");
+    let mut rosters: Vec<Bitset> = (0..n).map(|i| Bitset::singleton(n, i)).collect();
+    // Number of agents whose roster is already complete.
+    let mut complete = 0usize;
+    let mut interactions = 0u64;
+    while complete < n {
+        interactions += 1;
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        let was_a = rosters[a].len() == n;
+        let was_b = rosters[b].len() == n;
+        if was_a && was_b {
+            continue;
+        }
+        // Union both ways; split_at_mut avoids double borrowing.
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (left, right) = rosters.split_at_mut(hi);
+        let x = &mut left[lo];
+        let y = &mut right[0];
+        x.union_in_place(y);
+        y.words.copy_from_slice(&x.words);
+        y.ones = x.ones;
+        if !was_a && rosters[a].len() == n {
+            complete += 1;
+        }
+        if !was_b && rosters[b].len() == n {
+            complete += 1;
+        }
+    }
+    interactions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use analysis::theory::{epidemic_expected_interactions, roll_call_expected_time};
+    use ppsim::{run_trials, TrialPlan};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn two_agents_complete_in_one_interaction() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(simulate_roll_call_interactions(2, &mut rng), 1);
+    }
+
+    #[test]
+    fn roll_call_takes_longer_than_a_single_epidemic() {
+        // R_n stochastically dominates T_n: each ID individually spreads as an
+        // epidemic. Compare means over a modest number of trials.
+        let n = 100;
+        let plan = TrialPlan::new(60, 11);
+        let roll_call = run_trials(&plan, |_, seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            simulate_roll_call_interactions(n, &mut rng) as f64
+        });
+        let mean_roll_call = roll_call.iter().sum::<f64>() / roll_call.len() as f64;
+        assert!(mean_roll_call > epidemic_expected_interactions(n));
+    }
+
+    #[test]
+    fn mean_is_near_one_and_a_half_n_ln_n() {
+        let n = 150;
+        let plan = TrialPlan::new(80, 5);
+        let samples = run_trials(&plan, |_, seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            simulate_roll_call_interactions(n, &mut rng) as f64 / n as f64
+        });
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let predicted = roll_call_expected_time(n);
+        // The 1.5·n·ln n expression is asymptotic; allow 25% at this size.
+        let relative_error = (mean - predicted).abs() / predicted;
+        assert!(
+            relative_error < 0.25,
+            "roll call mean parallel time {mean} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn bitset_union_counts_ones() {
+        let mut a = Bitset::singleton(130, 0);
+        let b = Bitset::singleton(130, 129);
+        a.union_in_place(&b);
+        assert_eq!(a.len(), 2);
+        let c = Bitset::singleton(130, 0);
+        a.union_in_place(&c);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two agents")]
+    fn tiny_population_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let _ = simulate_roll_call_interactions(1, &mut rng);
+    }
+}

@@ -1,0 +1,277 @@
+//! The time-multiplexed synthetic coin (Section 6).
+//!
+//! The paper's protocols use randomized transitions only to draw fresh random
+//! names in `Sublinear-Time-SSR`'s reset. Section 6 explains how to remove
+//! that randomness using only the randomness of the scheduler: every agent
+//! alternates between a "normal algorithm" role (`Alg`) and a "coin flip" role
+//! (`Flip`) on each interaction. When an agent that still needs random bits is
+//! in role `Alg` and its partner is in role `Flip`, the agent harvests one
+//! bit: heads if it was the initiator of the interaction, tails if it was the
+//! responder. Because the scheduler picks the ordered pair uniformly, the bit
+//! is unbiased and independent of the partner's state, and an agent harvests a
+//! bit in an expected 4 of its own interactions.
+
+use ppsim::{Configuration, Protocol};
+use rand::RngCore;
+
+/// Which half of the time-multiplexing an agent currently occupies.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CoinRole {
+    /// The agent is executing the "normal algorithm" half; it may harvest a
+    /// bit in this interaction.
+    Alg,
+    /// The agent is serving as a coin for its partner in this interaction.
+    Flip,
+}
+
+/// The state of one agent collecting random bits through synthetic coins.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SyntheticCoinState {
+    /// Current role; toggles on every interaction.
+    pub role: CoinRole,
+    /// Number of bits still needed.
+    pub bits_remaining: u32,
+    /// Bits harvested so far, least-significant bit first.
+    pub collected: u64,
+    /// How many bits have been harvested so far.
+    pub collected_len: u32,
+    /// Total interactions this agent has participated in (for rate
+    /// measurements).
+    pub interactions: u32,
+}
+
+impl SyntheticCoinState {
+    /// A fresh state needing `bits` random bits, starting in the given role.
+    pub fn new(bits: u32, role: CoinRole) -> Self {
+        SyntheticCoinState { role, bits_remaining: bits, collected: 0, collected_len: 0, interactions: 0 }
+    }
+
+    /// Whether the agent has finished collecting its bits.
+    pub fn is_done(&self) -> bool {
+        self.bits_remaining == 0
+    }
+}
+
+/// The synthetic-coin protocol: agents toggle between `Alg` and `Flip` and
+/// harvest initiator/responder asymmetry as random bits.
+///
+/// This is an asymmetric protocol: the transition genuinely distinguishes the
+/// initiator from the responder, which is exactly the capability the
+/// construction exploits.
+#[derive(Clone, Copy, Debug)]
+pub struct SyntheticCoin {
+    n: usize,
+    bits_needed: u32,
+}
+
+impl SyntheticCoin {
+    /// Creates the protocol for `n` agents, each needing `bits_needed` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `bits_needed > 64`.
+    pub fn new(n: usize, bits_needed: u32) -> Self {
+        assert!(n >= 2, "population must have at least two agents");
+        assert!(bits_needed <= 64, "at most 64 bits per agent are supported");
+        SyntheticCoin { n, bits_needed }
+    }
+
+    /// The number of bits each agent must collect.
+    pub fn bits_needed(&self) -> u32 {
+        self.bits_needed
+    }
+
+    /// An initial configuration in which every agent still needs all its bits;
+    /// roles start alternating by agent index (any assignment works, including
+    /// an adversarial one, since roles toggle every interaction).
+    pub fn initial_configuration(&self) -> Configuration<SyntheticCoinState> {
+        Configuration::from_fn(self.n, |i| {
+            SyntheticCoinState::new(
+                self.bits_needed,
+                if i % 2 == 0 { CoinRole::Alg } else { CoinRole::Flip },
+            )
+        })
+    }
+
+    /// Whether every agent has collected all the bits it needs.
+    pub fn all_done(config: &Configuration<SyntheticCoinState>) -> bool {
+        config.iter().all(|s| s.is_done())
+    }
+}
+
+impl Protocol for SyntheticCoin {
+    type State = SyntheticCoinState;
+
+    fn population_size(&self) -> usize {
+        self.n
+    }
+
+    fn transition(
+        &self,
+        initiator: &SyntheticCoinState,
+        responder: &SyntheticCoinState,
+        _rng: &mut dyn RngCore,
+    ) -> (SyntheticCoinState, SyntheticCoinState) {
+        let mut i = *initiator;
+        let mut r = *responder;
+        // Harvest: an Alg agent paired with a Flip agent reads one bit from
+        // its position in the ordered pair.
+        if i.role == CoinRole::Alg && r.role == CoinRole::Flip && !i.is_done() {
+            push_bit(&mut i, true);
+        }
+        if r.role == CoinRole::Alg && i.role == CoinRole::Flip && !r.is_done() {
+            push_bit(&mut r, false);
+        }
+        // Both agents toggle roles and count the interaction.
+        i.role = toggle(i.role);
+        r.role = toggle(r.role);
+        i.interactions = i.interactions.saturating_add(1);
+        r.interactions = r.interactions.saturating_add(1);
+        (i, r)
+    }
+
+    fn is_null(&self, _a: &SyntheticCoinState, _b: &SyntheticCoinState) -> bool {
+        // Roles always toggle, so no interaction is ever null; the protocol is
+        // intentionally non-silent (it is a building block, not a full task).
+        false
+    }
+}
+
+fn toggle(role: CoinRole) -> CoinRole {
+    match role {
+        CoinRole::Alg => CoinRole::Flip,
+        CoinRole::Flip => CoinRole::Alg,
+    }
+}
+
+fn push_bit(state: &mut SyntheticCoinState, heads: bool) {
+    if heads {
+        state.collected |= 1 << state.collected_len;
+    }
+    state.collected_len += 1;
+    state.bits_remaining -= 1;
+}
+
+/// Aggregate results of a coin-harvest run.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CoinHarvestOutcome {
+    /// Interactions until every agent had collected all its bits.
+    pub interactions: u64,
+    /// Parallel time until completion.
+    pub parallel_time: f64,
+    /// Total number of bits harvested across the population.
+    pub total_bits: u64,
+    /// Number of those bits that were heads; fairness means this is close to
+    /// half of `total_bits`.
+    pub heads: u64,
+    /// Mean number of an agent's own interactions per harvested bit
+    /// (Section 6 predicts about 4).
+    pub interactions_per_bit: f64,
+}
+
+/// Runs the synthetic-coin protocol until every agent has `bits_per_agent`
+/// bits, returning rate and fairness statistics.
+///
+/// # Panics
+///
+/// Panics if the run does not complete within a generous internal budget
+/// (which would indicate a bug rather than bad luck).
+pub fn simulate_coin_harvest(n: usize, bits_per_agent: u32, seed: u64) -> CoinHarvestOutcome {
+    let protocol = SyntheticCoin::new(n, bits_per_agent);
+    let config = protocol.initial_configuration();
+    let mut sim = ppsim::Simulation::new(protocol, config, seed);
+    // Expected completion is ~4·bits per agent of that agent's interactions,
+    // i.e. ~2·bits·n interactions overall plus a coupon-collector tail; a
+    // 100× budget is far beyond any plausible fluctuation.
+    let budget = 100 * (bits_per_agent as u64 + 4) * n as u64;
+    let outcome = sim.run_until(SyntheticCoin::all_done, budget);
+    assert!(outcome.condition_met(), "coin harvest did not finish within its budget");
+    let config = sim.configuration();
+    let total_bits: u64 = config.iter().map(|s| s.collected_len as u64).sum();
+    let heads: u64 = config.iter().map(|s| s.collected.count_ones() as u64).sum();
+    let mean_interactions: f64 =
+        config.iter().map(|s| s.interactions as f64).sum::<f64>() / n as f64;
+    CoinHarvestOutcome {
+        interactions: outcome.interactions.count(),
+        parallel_time: outcome.interactions.count() as f64 / n as f64,
+        total_bits,
+        heads,
+        interactions_per_bit: mean_interactions / bits_per_agent as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn bits_are_harvested_only_from_alg_flip_pairs() {
+        let protocol = SyntheticCoin::new(4, 8);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let alg = SyntheticCoinState::new(8, CoinRole::Alg);
+        let flip = SyntheticCoinState::new(8, CoinRole::Flip);
+        // Alg initiator + Flip responder: initiator harvests heads.
+        let (i, r) = protocol.transition(&alg, &flip, &mut rng);
+        assert_eq!(i.collected_len, 1);
+        assert_eq!(i.collected & 1, 1);
+        assert_eq!(r.collected_len, 0);
+        // Flip initiator + Alg responder: responder harvests tails.
+        let (i, r) = protocol.transition(&flip, &alg, &mut rng);
+        assert_eq!(i.collected_len, 0);
+        assert_eq!(r.collected_len, 1);
+        assert_eq!(r.collected & 1, 0);
+        // Alg + Alg and Flip + Flip harvest nothing.
+        let (i, r) = protocol.transition(&alg, &alg, &mut rng);
+        assert_eq!(i.collected_len + r.collected_len, 0);
+        let (i, r) = protocol.transition(&flip, &flip, &mut rng);
+        assert_eq!(i.collected_len + r.collected_len, 0);
+    }
+
+    #[test]
+    fn roles_always_toggle() {
+        let protocol = SyntheticCoin::new(4, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let alg = SyntheticCoinState::new(1, CoinRole::Alg);
+        let flip = SyntheticCoinState::new(1, CoinRole::Flip);
+        let (i, r) = protocol.transition(&alg, &flip, &mut rng);
+        assert_eq!(i.role, CoinRole::Flip);
+        assert_eq!(r.role, CoinRole::Alg);
+    }
+
+    #[test]
+    fn done_agents_stop_collecting() {
+        let protocol = SyntheticCoin::new(4, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let alg = SyntheticCoinState::new(0, CoinRole::Alg);
+        let flip = SyntheticCoinState::new(0, CoinRole::Flip);
+        let (i, _) = protocol.transition(&alg, &flip, &mut rng);
+        assert_eq!(i.collected_len, 0);
+        assert!(i.is_done());
+    }
+
+    #[test]
+    fn harvest_rate_and_fairness_match_section_6() {
+        let outcome = simulate_coin_harvest(100, 16, 42);
+        assert_eq!(outcome.total_bits, 100 * 16);
+        // Fairness: heads fraction near 1/2 (binomial with 1600 samples).
+        let fraction = outcome.heads as f64 / outcome.total_bits as f64;
+        assert!((fraction - 0.5).abs() < 0.06, "heads fraction {fraction}");
+        // Rate: the *slowest* agent needs ~4 interactions per bit, and the
+        // measured mean counts interactions until everyone is done, so it lies
+        // a bit above 4 but well below 10.
+        assert!(
+            outcome.interactions_per_bit > 3.0 && outcome.interactions_per_bit < 10.0,
+            "interactions per bit {}",
+            outcome.interactions_per_bit
+        );
+        assert!(outcome.parallel_time > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 bits")]
+    fn too_many_bits_rejected() {
+        let _ = SyntheticCoin::new(4, 65);
+    }
+}

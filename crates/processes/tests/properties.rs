@@ -1,0 +1,162 @@
+//! Property-based tests for the foundational processes.
+
+use ppsim::prelude::*;
+use processes::{
+    binary_tree_layout, simulate_bounded_epidemic, simulate_epidemic_interactions,
+    simulate_fratricide_interactions, simulate_pairwise_coupon_collector, BinaryTreeAssignment,
+    Epidemic, Fratricide,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ------------------------------------------------------------------
+    // The complete binary tree over ranks 1..=n is a well-formed tree: rank 1
+    // is the root, every other rank has exactly one parent, parents are
+    // smaller than children, and child lists match the 2i / 2i+1 rule.
+    // ------------------------------------------------------------------
+    #[test]
+    fn binary_tree_layout_is_a_tree(n in 1usize..300) {
+        let layout = binary_tree_layout(n);
+        prop_assert_eq!(layout.len(), n);
+        let mut parent_of = vec![None; n + 1];
+        for slot in &layout {
+            for &child in &slot.children {
+                prop_assert!(child <= n);
+                prop_assert!(child > slot.rank);
+                prop_assert!(parent_of[child].is_none());
+                parent_of[child] = Some(slot.rank);
+                prop_assert!(child == 2 * slot.rank || child == 2 * slot.rank + 1);
+            }
+            prop_assert_eq!(slot.parent, if slot.rank == 1 { None } else { Some(slot.rank / 2) });
+        }
+        for rank in 2..=n {
+            prop_assert_eq!(parent_of[rank], Some(rank / 2));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The specialized epidemic simulation needs at least n − i interactions
+    // (each interaction infects at most one new agent) and is monotone in the
+    // initial number of infected agents in distribution; check the hard lower
+    // bound and basic sanity.
+    // ------------------------------------------------------------------
+    #[test]
+    fn epidemic_needs_at_least_one_interaction_per_new_infection(
+        n in 2usize..400,
+        initially in 1usize..400,
+        seed in any::<u64>(),
+    ) {
+        let initially = initially.min(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let interactions = simulate_epidemic_interactions(n, initially, &mut rng);
+        prop_assert!(interactions >= (n - initially) as u64);
+    }
+
+    #[test]
+    fn fratricide_needs_at_least_one_interaction_per_elimination(
+        n in 2usize..400,
+        leaders in 1usize..400,
+        seed in any::<u64>(),
+    ) {
+        let leaders = leaders.min(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let interactions = simulate_fratricide_interactions(n, leaders, &mut rng);
+        prop_assert!(interactions >= (leaders - 1) as u64);
+    }
+
+    #[test]
+    fn coupon_collector_touches_everyone(
+        n in 2usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let interactions = simulate_pairwise_coupon_collector(n, &mut rng);
+        prop_assert!(interactions >= (n as u64).div_ceil(2));
+    }
+
+    // ------------------------------------------------------------------
+    // Bounded epidemic: hitting times are monotone (τ_{k+1} ≤ τ_k) whenever
+    // both are recorded.
+    // ------------------------------------------------------------------
+    #[test]
+    fn bounded_epidemic_hitting_times_are_monotone(
+        n in 3usize..80,
+        max_level in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let outcome = simulate_bounded_epidemic(n, max_level, 5_000_000, &mut rng);
+        for k in 1..max_level {
+            if let (Some(a), Some(b)) = (outcome.tau(k), outcome.tau(k + 1)) {
+                prop_assert!(a >= b, "tau_{k} = {a} < tau_{} = {b}", k + 1);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Agent-level processes preserve their defining invariants under random
+    // executions: epidemics never "cure" agents, fratricide never increases
+    // the leader count, tree assignment never unsettles a settled agent.
+    // ------------------------------------------------------------------
+    #[test]
+    fn epidemic_infections_are_monotone(
+        n in 2usize..40,
+        seed in any::<u64>(),
+        steps in 0u64..2_000,
+    ) {
+        let protocol = Epidemic::new(n);
+        let mut sim = Simulation::new(protocol, protocol.single_source_configuration(), seed);
+        let mut infected = 1usize;
+        for _ in 0..steps.min(500) {
+            sim.step();
+            let now = sim
+                .configuration()
+                .iter()
+                .filter(|s| matches!(s, processes::EpidemicState::Infected))
+                .count();
+            prop_assert!(now >= infected, "an infected agent recovered");
+            infected = now;
+        }
+    }
+
+    #[test]
+    fn fratricide_leader_count_is_non_increasing_and_positive(
+        n in 2usize..40,
+        seed in any::<u64>(),
+    ) {
+        let protocol = Fratricide::new(n);
+        let mut sim = Simulation::new(protocol, protocol.all_leaders_configuration(), seed);
+        let mut leaders = n;
+        for _ in 0..500 {
+            sim.step();
+            let now = sim.protocol().leader_count(sim.configuration());
+            prop_assert!(now <= leaders);
+            prop_assert!(now >= 1);
+            leaders = now;
+        }
+    }
+
+    #[test]
+    fn tree_assignment_settled_agents_stay_settled(
+        n in 2usize..40,
+        seed in any::<u64>(),
+    ) {
+        let protocol = BinaryTreeAssignment::new(n);
+        let mut sim = Simulation::new(protocol, protocol.initial_configuration(), seed);
+        let mut settled = 1usize;
+        for _ in 0..500 {
+            sim.step();
+            let now = sim
+                .configuration()
+                .iter()
+                .filter(|s| matches!(s, processes::AssignmentState::Settled { .. }))
+                .count();
+            prop_assert!(now >= settled, "a settled agent became unsettled");
+            settled = now;
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! # ssle — self-stabilizing ranking and leader election protocols
+//!
+//! This crate implements the protocols of *Time-Optimal Self-Stabilizing
+//! Leader Election in Population Protocols* (Burman, Chen, Chen, Doty, Nowak,
+//! Severson, Xu; PODC 2021). All three protocols solve the **self-stabilizing
+//! ranking** problem (assigning the agents the ranks `1..=n` from *any*
+//! initial configuration), which immediately solves self-stabilizing leader
+//! election by declaring the agent of rank 1 the leader.
+//!
+//! | Protocol | Module | Expected time | States | Silent |
+//! |---|---|---|---|---|
+//! | `Silent-n-state-SSR` (Cai, Izumi, Wada) | [`silent_n_state`] | `Θ(n²)` | `n` | yes |
+//! | `Optimal-Silent-SSR` (Section 4) | [`optimal_silent`] | `Θ(n)` | `O(n)` | yes |
+//! | `Sublinear-Time-SSR` (Section 5) | [`sublinear`] | `Θ(H·n^{1/(H+1)})`, `Θ(log n)` at `H = Θ(log n)` | `exp(O(n^H)·log n)` | no |
+//!
+//! Supporting modules:
+//!
+//! * [`reset`] — the `Propagate-Reset` subprotocol (Protocol 2) shared by the
+//!   two new protocols;
+//! * [`name`] — the `3·log₂ n`-bit random names used by `Sublinear-Time-SSR`;
+//! * [`params`] — parameter selection (`Rmax`, `Dmax`, `Emax`, `Smax`, `T_H`);
+//! * [`space`] — state-space accounting reproducing Table 1's "states" column.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ppsim::prelude::*;
+//! use ssle::silent_n_state::SilentNStateSsr;
+//!
+//! // The baseline n-state protocol on 8 agents, started from the adversarial
+//! // all-zero configuration (every agent claims the same rank).
+//! let protocol = SilentNStateSsr::new(8);
+//! let config = protocol.all_same_rank_configuration();
+//! let mut sim = Simulation::new(protocol, config, 42);
+//! let outcome = sim.run_until_silent(10_000_000);
+//! assert!(outcome.is_silent());
+//! assert!(sim.protocol().is_correctly_ranked(sim.configuration()));
+//! assert!(sim.protocol().has_unique_leader(sim.configuration()));
+//! ```
+//!
+//! See `examples/quickstart.rs` for a tour of all three protocols.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod name;
+pub mod non_ranking_example;
+pub mod optimal_silent;
+pub mod params;
+pub mod reset;
+pub mod silent_n_state;
+pub mod space;
+pub mod sublinear;
+
+pub use name::Name;
+pub use non_ranking_example::{NonRankingSsle, ObservationState};
+pub use optimal_silent::{OptimalSilentSsr, OptimalSilentState};
+pub use params::{OptimalSilentParams, ResetParams, SublinearParams};
+pub use reset::{propagate_reset_step, AfterReset, ResetStatus, ResetTimers};
+pub use silent_n_state::{SilentNStateSsr, SilentRank};
+pub use space::{log2_states_optimal_silent, log2_states_silent_n_state, log2_states_sublinear};
+pub use sublinear::{SublinearState, SublinearTimeSsr};

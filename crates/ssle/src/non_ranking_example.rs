@@ -1,0 +1,235 @@
+//! The separating example of Observation 2.5: a silent SSLE protocol whose
+//! states **cannot** be assigned ranks.
+//!
+//! The paper notes that every ranking protocol solves leader election, but the
+//! converse fails: it exhibits, for a population of exactly `n = 3` agents, a
+//! silent self-stabilizing leader-election protocol whose silent
+//! configurations are `{l, f_i, f_j}` with `|i − j| ≡ 1 (mod 5)` — and since
+//! the five follower states cannot be 2-coloured consistently with those
+//! pairs (an odd cycle), no assignment of ranks to states turns it into a
+//! ranking protocol.
+//!
+//! The protocol is deliberately artificial (Protocol 1 is strictly better at
+//! SSLE); it exists to witness the separation, and this module reproduces it
+//! so the separation can be checked mechanically: the tests verify that it
+//! stabilizes to a unique leader from every one of the 6³ possible initial
+//! configurations, and that no rank assignment of its states is consistent
+//! with all five silent configurations.
+
+use ppsim::{Configuration, LeaderElectionProtocol, Protocol};
+use rand::Rng;
+use rand::RngCore;
+
+/// The six states of the Observation 2.5 protocol: one leader state and five
+/// follower states arranged in a cycle of length 5.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ObservationState {
+    /// The unique leader state `l`.
+    Leader,
+    /// Follower state `f_i` for `i ∈ {0, …, 4}`.
+    Follower(u8),
+}
+
+impl ObservationState {
+    /// All six states, in a fixed order.
+    pub fn all() -> [ObservationState; 6] {
+        [
+            ObservationState::Leader,
+            ObservationState::Follower(0),
+            ObservationState::Follower(1),
+            ObservationState::Follower(2),
+            ObservationState::Follower(3),
+            ObservationState::Follower(4),
+        ]
+    }
+}
+
+/// The silent SSLE protocol of Observation 2.5 for exactly three agents.
+///
+/// Transitions: any pair of *equal* states, and any pair of follower states
+/// `f_i, f_j` with `|i − j| ≢ 1 (mod 5)`, maps to a uniformly random pair of
+/// states; every other pair (a leader with a follower, or two "adjacent"
+/// followers) is null. The silent configurations are therefore exactly
+/// `{l, f_i, f_{i±1 mod 5}}`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NonRankingSsle;
+
+impl NonRankingSsle {
+    /// Creates the protocol (the population size is fixed at 3).
+    pub fn new() -> Self {
+        NonRankingSsle
+    }
+
+    /// Whether an unordered pair of states is "compatible", i.e. may appear
+    /// together in a silent configuration.
+    pub fn compatible(a: &ObservationState, b: &ObservationState) -> bool {
+        match (a, b) {
+            (ObservationState::Leader, ObservationState::Leader) => false,
+            (ObservationState::Leader, ObservationState::Follower(_))
+            | (ObservationState::Follower(_), ObservationState::Leader) => true,
+            (ObservationState::Follower(i), ObservationState::Follower(j)) => {
+                let diff = (5 + i - j) % 5;
+                diff == 1 || diff == 4
+            }
+        }
+    }
+
+    fn random_state(rng: &mut dyn RngCore) -> ObservationState {
+        match rng.gen_range(0..6u8) {
+            0 => ObservationState::Leader,
+            i => ObservationState::Follower(i - 1),
+        }
+    }
+
+    /// The five silent configurations `{l, f_i, f_{i+1 mod 5}}`, as state
+    /// multisets.
+    pub fn silent_configuration_families() -> Vec<[ObservationState; 3]> {
+        (0..5u8)
+            .map(|i| {
+                [
+                    ObservationState::Leader,
+                    ObservationState::Follower(i),
+                    ObservationState::Follower((i + 1) % 5),
+                ]
+            })
+            .collect()
+    }
+}
+
+impl Protocol for NonRankingSsle {
+    type State = ObservationState;
+
+    fn population_size(&self) -> usize {
+        3
+    }
+
+    fn transition(
+        &self,
+        a: &ObservationState,
+        b: &ObservationState,
+        rng: &mut dyn RngCore,
+    ) -> (ObservationState, ObservationState) {
+        if Self::compatible(a, b) && a != b {
+            (*a, *b)
+        } else {
+            (Self::random_state(rng), Self::random_state(rng))
+        }
+    }
+
+    fn is_null(&self, a: &ObservationState, b: &ObservationState) -> bool {
+        Self::compatible(a, b) && a != b
+    }
+}
+
+impl LeaderElectionProtocol for NonRankingSsle {
+    fn is_leader(&self, state: &ObservationState) -> bool {
+        matches!(state, ObservationState::Leader)
+    }
+}
+
+/// Attempts to find an assignment of ranks `{1, 2, 3}` to the six states such
+/// that every silent configuration of [`NonRankingSsle`] is correctly ranked;
+/// returns `None` because no such assignment exists (the proof of
+/// Observation 2.5). Exposed so the impossibility can be verified by
+/// exhaustive search in tests and experiments.
+pub fn find_consistent_rank_assignment() -> Option<Vec<(ObservationState, u8)>> {
+    let states = ObservationState::all();
+    let families = NonRankingSsle::silent_configuration_families();
+    // Exhaustive search over all 3^6 assignments of a rank in {1,2,3} to each
+    // state.
+    let mut assignment = [1u8; 6];
+    loop {
+        let rank_of = |s: &ObservationState| {
+            assignment[states.iter().position(|t| t == s).expect("state is in the list")]
+        };
+        let consistent = families.iter().all(|family| {
+            let mut ranks: Vec<u8> = family.iter().map(rank_of).collect();
+            ranks.sort_unstable();
+            ranks == vec![1, 2, 3]
+        });
+        if consistent {
+            return Some(states.iter().copied().zip(assignment).collect());
+        }
+        // Advance the odometer.
+        let mut idx = 0;
+        loop {
+            if idx == assignment.len() {
+                return None;
+            }
+            if assignment[idx] < 3 {
+                assignment[idx] += 1;
+                break;
+            }
+            assignment[idx] = 1;
+            idx += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::Simulation;
+
+    #[test]
+    fn stabilizes_to_a_unique_leader_from_every_initial_configuration() {
+        let states = ObservationState::all();
+        let protocol = NonRankingSsle::new();
+        for (i, &a) in states.iter().enumerate() {
+            for (j, &b) in states.iter().enumerate() {
+                for (k, &c) in states.iter().enumerate() {
+                    let config = Configuration::from_states(vec![a, b, c]);
+                    let seed = (i * 36 + j * 6 + k) as u64;
+                    let mut sim = Simulation::new(protocol, config, seed);
+                    let outcome = sim.run_until_silent(1_000_000);
+                    assert!(outcome.is_silent(), "did not stabilize from {a:?},{b:?},{c:?}");
+                    assert!(protocol.has_unique_leader(sim.configuration()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn silent_configurations_are_exactly_the_five_families() {
+        let protocol = NonRankingSsle::new();
+        for family in NonRankingSsle::silent_configuration_families() {
+            let sim = Simulation::new(protocol, Configuration::from_states(family.to_vec()), 0);
+            assert!(sim.is_silent(), "{family:?} should be silent");
+        }
+        // A configuration with two "non-adjacent" followers is not silent.
+        let bad = Configuration::from_states(vec![
+            ObservationState::Leader,
+            ObservationState::Follower(0),
+            ObservationState::Follower(2),
+        ]);
+        let sim = Simulation::new(protocol, bad, 0);
+        assert!(!sim.is_silent());
+        // Two leaders are never silent.
+        let two_leaders = Configuration::from_states(vec![
+            ObservationState::Leader,
+            ObservationState::Leader,
+            ObservationState::Follower(0),
+        ]);
+        let sim = Simulation::new(protocol, two_leaders, 0);
+        assert!(!sim.is_silent());
+    }
+
+    #[test]
+    fn no_rank_assignment_is_consistent() {
+        // Observation 2.5: the protocol solves SSLE but cannot be turned into
+        // a ranking protocol by labelling its states with ranks.
+        assert_eq!(find_consistent_rank_assignment(), None);
+    }
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        for a in ObservationState::all() {
+            for b in ObservationState::all() {
+                assert_eq!(
+                    NonRankingSsle::compatible(&a, &b),
+                    NonRankingSsle::compatible(&b, &a)
+                );
+            }
+        }
+    }
+}

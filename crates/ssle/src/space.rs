@@ -1,0 +1,99 @@
+//! State-space accounting: reproduces the "states" column of Table 1.
+//!
+//! The paper measures space by the number of distinct states an agent can
+//! occupy; the base-2 logarithm of that count is the number of bits of memory
+//! per agent. Roles partition the state space, so the total count is the sum
+//! of the per-role counts (not the product).
+
+use crate::params::{OptimalSilentParams, SublinearParams};
+
+/// Number of states of `Silent-n-state-SSR`: exactly `n` (the optimum by
+/// Theorem 2.1).
+pub fn states_silent_n_state(n: usize) -> u128 {
+    n as u128
+}
+
+/// `log₂` of the state count of `Silent-n-state-SSR`.
+pub fn log2_states_silent_n_state(n: usize) -> f64 {
+    (states_silent_n_state(n) as f64).log2()
+}
+
+/// Exact state count of `Optimal-Silent-SSR` for the given parameters.
+///
+/// * Settled: `n` ranks × 3 child counts,
+/// * Unsettled: `Emax + 1` error counts,
+/// * Resetting: 2 leader bits × (`Rmax` propagating counts + `Dmax + 1`
+///   dormant delay values).
+///
+/// All three are `O(n)`, so the sum is `O(n)` (Theorem 4.3).
+pub fn states_optimal_silent(params: &OptimalSilentParams) -> u128 {
+    let settled = params.n as u128 * 3;
+    let unsettled = params.e_max as u128 + 1;
+    let resetting = 2 * (params.reset.r_max as u128 + params.reset.d_max as u128 + 1);
+    settled + unsettled + resetting
+}
+
+/// `log₂` of the state count of `Optimal-Silent-SSR`.
+pub fn log2_states_optimal_silent(params: &OptimalSilentParams) -> f64 {
+    (states_optimal_silent(params) as f64).log2()
+}
+
+/// Approximate bits of memory per agent for `Sublinear-Time-SSR`
+/// (Theorem 5.7): the tree dominates with `O(n^H)` nodes of
+/// `O(log n)` bits each (name, sync value, timer), plus the roster
+/// (`≤ n` names of `3·log₂ n` bits) and the name itself.
+///
+/// Returned in bits, i.e. `log₂` of the state count, because the count itself
+/// (`exp(O(n^H)·log n)`) overflows any primitive integer for interesting
+/// parameters.
+pub fn log2_states_sublinear(params: &SublinearParams) -> f64 {
+    let n = params.n as f64;
+    let name_bits = params.name_bits as f64;
+    let per_node_bits =
+        name_bits + (params.s_max as f64).log2().max(1.0) + (params.t_h as f64 + 1.0).log2().max(1.0);
+    let tree_nodes = n.powi(params.h as i32);
+    let roster_bits = n * name_bits;
+    let reset_bits =
+        (params.reset.r_max as f64 + 1.0).log2() + (params.reset.d_max as f64 + 1.0).log2();
+    name_bits + roster_bits + tree_nodes * per_node_bits + reset_bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_n_state_uses_exactly_n_states() {
+        assert_eq!(states_silent_n_state(64), 64);
+        assert_eq!(log2_states_silent_n_state(64), 6.0);
+    }
+
+    #[test]
+    fn optimal_silent_state_count_is_linear() {
+        let small = states_optimal_silent(&OptimalSilentParams::recommended(64));
+        let large = states_optimal_silent(&OptimalSilentParams::recommended(640));
+        let ratio = large as f64 / small as f64;
+        assert!(ratio > 8.0 && ratio < 12.0, "state count should scale linearly, ratio {ratio}");
+    }
+
+    #[test]
+    fn optimal_silent_counts_roles_additively() {
+        let params = OptimalSilentParams::recommended(100);
+        let total = states_optimal_silent(&params);
+        assert!(total > 100 * 3);
+        assert!(total < 100 * 100, "the count must stay far below quadratic");
+    }
+
+    #[test]
+    fn sublinear_bits_grow_with_depth() {
+        let n = 64;
+        let h1 = log2_states_sublinear(&SublinearParams::recommended(n, 1));
+        let h2 = log2_states_sublinear(&SublinearParams::recommended(n, 2));
+        let h3 = log2_states_sublinear(&SublinearParams::recommended(n, 3));
+        assert!(h1 < h2 && h2 < h3);
+        // Even H = 1 is already exponential in comparison with the silent
+        // protocols: more than n bits of memory.
+        assert!(h1 > n as f64);
+        assert!(log2_states_optimal_silent(&OptimalSilentParams::recommended(n)) < h1);
+    }
+}

@@ -1,0 +1,495 @@
+//! `Sublinear-Time-SSR` (Protocols 5–8): self-stabilizing ranking in
+//! `Θ(H·n^{1/(H+1)})` time for constant history depth `H`, and in the optimal
+//! `Θ(log n)` time for `H = Θ(log n)`.
+//!
+//! Each agent holds a random `3·log₂ n`-bit [`Name`], a roster of every name
+//! it has heard of (spread by the roll-call process, `O(log n)` time), and a
+//! [`history_tree::HistoryTree`] used by [`collision::detect_name_collision`]
+//! to notice two agents sharing a name without waiting `Θ(n)` time for them to
+//! meet directly. Ranks are the lexicographic positions of names in a full
+//! roster.
+//!
+//! Errors and their detectors:
+//!
+//! * **name collision** → `Detect-Name-Collision` (cross-examination of
+//!   interaction histories), in `O(τ_{H+1})` time;
+//! * **ghost names** (roster entries no agent actually carries) → the roster
+//!   grows past `n`, noticed in `O(log n)` time;
+//! * either detection triggers `Propagate-Reset` with a logarithmic dormancy,
+//!   during which every agent draws a fresh random name bit-by-bit.
+//!
+//! The protocol is deliberately **non-silent**: agents keep exchanging sync
+//! values forever, which Observation 2.6 shows is unavoidable for any
+//! sublinear-time self-stabilizing leader election.
+
+pub mod collision;
+pub mod history_tree;
+
+use std::collections::BTreeSet;
+
+use ppsim::{Configuration, LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
+use rand::{Rng, RngCore};
+
+use crate::name::Name;
+use crate::params::SublinearParams;
+use crate::reset::{propagate_reset_step, AfterReset, ResetStatus, ResetTimers};
+use collision::detect_name_collision;
+use history_tree::HistoryTree;
+
+/// The state of one agent of `Sublinear-Time-SSR`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SublinearState {
+    /// The agent is executing the main protocol: collecting names and
+    /// cross-examining interaction histories.
+    Collecting {
+        /// The agent's own name.
+        name: Name,
+        /// Every name the agent has heard of (including its own).
+        roster: BTreeSet<Name>,
+        /// The bounded-depth interaction-history tree.
+        tree: HistoryTree,
+    },
+    /// The agent is participating in `Propagate-Reset`; while dormant it draws
+    /// a fresh name one random bit per interaction.
+    Resetting {
+        /// The (possibly partially regenerated) name.
+        name: Name,
+        /// The `Propagate-Reset` counters.
+        timers: ResetTimers,
+    },
+}
+
+impl SublinearState {
+    /// The agent's current name regardless of role.
+    pub fn name(&self) -> &Name {
+        match self {
+            SublinearState::Collecting { name, .. } => name,
+            SublinearState::Resetting { name, .. } => name,
+        }
+    }
+
+    /// Whether the agent is currently in the `Resetting` role.
+    pub fn is_resetting(&self) -> bool {
+        matches!(self, SublinearState::Resetting { .. })
+    }
+
+    fn reset_status(&self) -> ResetStatus {
+        match self {
+            SublinearState::Resetting { timers, .. } => ResetStatus::Resetting(*timers),
+            SublinearState::Collecting { .. } => ResetStatus::Computing,
+        }
+    }
+}
+
+/// `Sublinear-Time-SSR` (Protocol 5), parameterized by [`SublinearParams`].
+#[derive(Clone, Copy, Debug)]
+pub struct SublinearTimeSsr {
+    params: SublinearParams,
+}
+
+impl SublinearTimeSsr {
+    /// Creates the protocol.
+    pub fn new(params: SublinearParams) -> Self {
+        SublinearTimeSsr { params }
+    }
+
+    /// The protocol's parameters.
+    pub fn params(&self) -> &SublinearParams {
+        &self.params
+    }
+
+    /// A freshly reset agent state for the given name (Protocol 6).
+    fn reset_state(&self, name: Name) -> SublinearState {
+        SublinearState::Collecting {
+            name,
+            roster: BTreeSet::from([name]),
+            tree: HistoryTree::singleton(name),
+        }
+    }
+
+    /// A "clean start" configuration: every agent holds an independently drawn
+    /// full-length random name, knows only itself, and has a fresh tree. This
+    /// is the configuration reached right after a successful reset.
+    pub fn fresh_configuration(&self, rng: &mut impl Rng) -> Configuration<SublinearState> {
+        Configuration::from_fn(self.params.n, |_| {
+            self.reset_state(Name::random(self.params.name_bits, rng))
+        })
+    }
+
+    /// A clean-start configuration in which two agents (0 and 1) share the
+    /// same name: the canonical workload for measuring collision-detection
+    /// latency.
+    pub fn colliding_configuration(&self, rng: &mut impl Rng) -> Configuration<SublinearState> {
+        let duplicate = Name::random(self.params.name_bits, rng);
+        Configuration::from_fn(self.params.n, |i| {
+            let name =
+                if i <= 1 { duplicate } else { Name::random(self.params.name_bits, rng) };
+            self.reset_state(name)
+        })
+    }
+
+    /// A clean-start configuration with unique names but a planted *ghost*
+    /// name in agent 0's roster: a name no agent actually carries.
+    pub fn ghost_configuration(&self, rng: &mut impl Rng) -> Configuration<SublinearState> {
+        let ghost = Name::random(self.params.name_bits, rng);
+        let mut states = self.fresh_configuration(rng).into_states();
+        if let SublinearState::Collecting { roster, .. } = &mut states[0] {
+            roster.insert(ghost);
+        }
+        Configuration::from_states(states)
+    }
+
+    /// An adversarial configuration with every agent mid-reset at the maximum
+    /// reset count (the whole population must propagate, go dormant, draw new
+    /// names and restart).
+    pub fn all_resetting_configuration(&self) -> Configuration<SublinearState> {
+        Configuration::uniform(
+            SublinearState::Resetting {
+                name: Name::empty(),
+                timers: ResetTimers { resetcount: self.params.reset.r_max, delaytimer: 0 },
+            },
+            self.params.n,
+        )
+    }
+
+    /// Whether every agent is collecting, has a full roster, and the ranks
+    /// derived from the roster are exactly `1..=n` (the stably correct
+    /// outcome).
+    pub fn is_correct(&self, config: &Configuration<SublinearState>) -> bool {
+        self.is_correctly_ranked(config)
+    }
+
+    /// Whether any agent is currently in the `Resetting` role (used by safety
+    /// tests: a clean start must never reset).
+    pub fn any_resetting(config: &Configuration<SublinearState>) -> bool {
+        config.iter().any(SublinearState::is_resetting)
+    }
+}
+
+impl Protocol for SublinearTimeSsr {
+    type State = SublinearState;
+
+    fn population_size(&self) -> usize {
+        self.params.n
+    }
+
+    fn transition(
+        &self,
+        initiator: &SublinearState,
+        responder: &SublinearState,
+        rng: &mut dyn RngCore,
+    ) -> (SublinearState, SublinearState) {
+        let both_collecting = !initiator.is_resetting() && !responder.is_resetting();
+        if both_collecting {
+            self.collecting_interaction(initiator.clone(), responder.clone(), rng)
+        } else {
+            self.resetting_interaction(initiator.clone(), responder.clone(), rng)
+        }
+    }
+}
+
+impl SublinearTimeSsr {
+    /// Lines 1–8 of Protocol 5: cross-examine histories, merge rosters, and
+    /// trigger a reset on a detected collision or an oversized roster.
+    fn collecting_interaction(
+        &self,
+        a: SublinearState,
+        b: SublinearState,
+        rng: &mut dyn RngCore,
+    ) -> (SublinearState, SublinearState) {
+        let (a_name, a_roster, mut a_tree, b_name, b_roster, mut b_tree) = match (a, b) {
+            (
+                SublinearState::Collecting { name: an, roster: ar, tree: at },
+                SublinearState::Collecting { name: bn, roster: br, tree: bt },
+            ) => (an, ar, at, bn, br, bt),
+            _ => unreachable!("collecting_interaction requires two collecting agents"),
+        };
+
+        let collision =
+            detect_name_collision(&a_name, &mut a_tree, &b_name, &mut b_tree, &self.params, rng)
+                .is_collision();
+        let mut union: BTreeSet<Name> = a_roster;
+        union.extend(b_roster);
+
+        if collision || union.len() > self.params.n {
+            let timers = ResetTimers::triggered(&self.params.reset);
+            return (
+                SublinearState::Resetting { name: a_name, timers },
+                SublinearState::Resetting { name: b_name, timers },
+            );
+        }
+
+        (
+            SublinearState::Collecting { name: a_name, roster: union.clone(), tree: a_tree },
+            SublinearState::Collecting { name: b_name, roster: union, tree: b_tree },
+        )
+    }
+
+    /// Lines 9–14 of Protocol 5: run `Propagate-Reset`, clear names while the
+    /// reset is propagating, and draw fresh random name bits while dormant.
+    fn resetting_interaction(
+        &self,
+        a: SublinearState,
+        b: SublinearState,
+        rng: &mut dyn RngCore,
+    ) -> (SublinearState, SublinearState) {
+        let (after_a, after_b) =
+            propagate_reset_step(a.reset_status(), b.reset_status(), &self.params.reset);
+        let a = self.apply_reset_outcome(a, after_a, rng);
+        let b = self.apply_reset_outcome(b, after_b, rng);
+        (a, b)
+    }
+
+    fn apply_reset_outcome(
+        &self,
+        state: SublinearState,
+        outcome: AfterReset,
+        rng: &mut dyn RngCore,
+    ) -> SublinearState {
+        match outcome {
+            AfterReset::Computing => state,
+            AfterReset::Awaken => self.reset_state(*state.name()),
+            AfterReset::Resetting(timers) => {
+                let mut name = *state.name();
+                if timers.resetcount > 0 {
+                    // Line 12: clear the name while the reset signal is still
+                    // propagating.
+                    name = Name::empty();
+                } else if !name.is_complete(self.params.name_bits) {
+                    // Line 14: dormant agents regenerate their name one random
+                    // bit per interaction.
+                    name.push_bit(rng.gen_bool(0.5));
+                }
+                SublinearState::Resetting { name, timers }
+            }
+        }
+    }
+}
+
+impl RankingProtocol for SublinearTimeSsr {
+    fn rank(&self, state: &SublinearState) -> Option<Rank> {
+        match state {
+            SublinearState::Collecting { name, roster, .. } if roster.len() == self.params.n => {
+                roster.iter().position(|r| r == name).map(|i| Rank::new(i + 1))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl LeaderElectionProtocol for SublinearTimeSsr {
+    fn is_leader(&self, state: &SublinearState) -> bool {
+        self.rank(state).is_some_and(|r| r.is_leader())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::Simulation;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn protocol(n: usize, h: u32) -> SublinearTimeSsr {
+        SublinearTimeSsr::new(SublinearParams::recommended(n, h))
+    }
+
+    fn run_to_correct(p: SublinearTimeSsr, config: Configuration<SublinearState>, seed: u64) -> u64 {
+        let n = p.population_size();
+        let mut sim = Simulation::new(p, config, seed);
+        let budget = 200_000u64 * n as u64;
+        let outcome = sim.run_until(|c| p.is_correct(c), budget);
+        assert!(outcome.condition_met(), "did not reach a correct ranking in {budget} interactions");
+        outcome.interactions.count()
+    }
+
+    #[test]
+    fn clean_start_ranks_quickly_and_never_resets() {
+        let n = 16;
+        let p = protocol(n, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let config = p.fresh_configuration(&mut rng);
+        let mut sim = Simulation::new(p, config, 2);
+        let outcome = sim.run_until(|c| p.is_correct(c), 200_000);
+        assert!(outcome.condition_met());
+        // Safety (Lemma 5.4): keep running well past stabilization; the
+        // ranking must persist and no agent may ever enter the Resetting role.
+        sim.run_for(50_000);
+        assert!(p.is_correct(sim.configuration()));
+        assert!(!SublinearTimeSsr::any_resetting(sim.configuration()));
+    }
+
+    #[test]
+    fn colliding_names_are_detected_and_repaired() {
+        let n = 12;
+        let p = protocol(n, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let config = p.colliding_configuration(&mut rng);
+        let interactions = run_to_correct(p, config, 6);
+        assert!(interactions > 0);
+    }
+
+    #[test]
+    fn ghost_names_are_detected_and_repaired() {
+        let n = 12;
+        let p = protocol(n, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let config = p.ghost_configuration(&mut rng);
+        // The ghost inflates the roster past n, forcing a reset, after which a
+        // clean ranking emerges.
+        run_to_correct(p, config, 10);
+    }
+
+    #[test]
+    fn recovers_from_a_population_wide_reset() {
+        let n = 12;
+        let p = protocol(n, 1);
+        run_to_correct(p, p.all_resetting_configuration(), 3);
+    }
+
+    #[test]
+    fn direct_detection_depth_zero_also_recovers() {
+        // H = 0 is the silent-style variant: only direct meetings of the two
+        // duplicates reveal the collision, which still happens in Θ(n) time.
+        let n = 10;
+        let p = protocol(n, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let config = p.colliding_configuration(&mut rng);
+        run_to_correct(p, config, 8);
+    }
+
+    #[test]
+    fn ranks_are_lexicographic_positions_of_names() {
+        let n = 4;
+        let p = protocol(n, 1);
+        let names: Vec<Name> = vec![
+            Name::from_bits(&[false, false]),
+            Name::from_bits(&[false, true]),
+            Name::from_bits(&[true, false]),
+            Name::from_bits(&[true, true]),
+        ];
+        let roster: BTreeSet<Name> = names.iter().copied().collect();
+        let config = Configuration::from_fn(n, |i| SublinearState::Collecting {
+            name: names[i],
+            roster: roster.clone(),
+            tree: HistoryTree::singleton(names[i]),
+        });
+        assert!(p.is_correct(&config));
+        for (i, state) in config.iter().enumerate() {
+            assert_eq!(p.rank(state), Some(Rank::new(i + 1)));
+        }
+        assert!(p.is_leader(&config.as_slice()[0]));
+        assert!(!p.is_leader(&config.as_slice()[1]));
+    }
+
+    #[test]
+    fn incomplete_rosters_have_no_rank() {
+        let p = protocol(4, 1);
+        let name = Name::from_bits(&[true]);
+        let state = SublinearState::Collecting {
+            name,
+            roster: BTreeSet::from([name]),
+            tree: HistoryTree::singleton(name),
+        };
+        assert_eq!(p.rank(&state), None);
+        let resetting = SublinearState::Resetting {
+            name,
+            timers: ResetTimers { resetcount: 0, delaytimer: 3 },
+        };
+        assert_eq!(p.rank(&resetting), None);
+    }
+
+    #[test]
+    fn propagating_agents_clear_their_names() {
+        let p = protocol(8, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let victim = SublinearState::Collecting {
+            name: Name::from_bits(&[true, true, true]),
+            roster: BTreeSet::from([Name::from_bits(&[true, true, true])]),
+            tree: HistoryTree::singleton(Name::from_bits(&[true, true, true])),
+        };
+        let triggered = SublinearState::Resetting {
+            name: Name::from_bits(&[false]),
+            timers: ResetTimers::triggered(&p.params().reset),
+        };
+        let (t2, v2) = p.transition(&triggered, &victim, &mut rng);
+        for s in [&t2, &v2] {
+            match s {
+                SublinearState::Resetting { name, timers } => {
+                    assert!(timers.resetcount > 0);
+                    assert!(name.is_empty(), "propagating agents must clear their names");
+                }
+                other => panic!("expected Resetting, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dormant_agents_grow_their_names_one_bit_per_interaction() {
+        let p = protocol(8, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let dormant = |len: usize| SublinearState::Resetting {
+            name: Name::from_bits(&vec![false; len]),
+            timers: ResetTimers { resetcount: 0, delaytimer: 50 },
+        };
+        let (a2, b2) = p.transition(&dormant(3), &dormant(5), &mut rng);
+        match (&a2, &b2) {
+            (
+                SublinearState::Resetting { name: na, .. },
+                SublinearState::Resetting { name: nb, .. },
+            ) => {
+                assert_eq!(na.len(), 4);
+                assert_eq!(nb.len(), 6);
+            }
+            other => panic!("expected two Resetting agents, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn awakening_agent_rebuilds_roster_and_tree_from_its_name() {
+        let p = protocol(8, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let full_name = Name::random(p.params().name_bits, &mut rng);
+        let about_to_wake = SublinearState::Resetting {
+            name: full_name,
+            timers: ResetTimers { resetcount: 0, delaytimer: 1 },
+        };
+        let partner = SublinearState::Resetting {
+            name: Name::empty(),
+            timers: ResetTimers { resetcount: 0, delaytimer: 40 },
+        };
+        let (woken, _) = p.transition(&about_to_wake, &partner, &mut rng);
+        match woken {
+            SublinearState::Collecting { name, roster, tree } => {
+                assert_eq!(name, full_name);
+                assert_eq!(roster.len(), 1);
+                assert!(roster.contains(&full_name));
+                assert_eq!(tree.node_count(), 1);
+            }
+            other => panic!("expected the agent to awaken, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_roster_triggers_reset() {
+        let n = 3;
+        let p = protocol(n, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mk_name = |i: u64| Name::from_bits(&(0..5).map(|b| (i >> b) & 1 == 1).collect::<Vec<_>>());
+        // Agent a already knows 3 names; agent b brings a fourth: union > n.
+        let a_roster: BTreeSet<Name> = [mk_name(1), mk_name(2), mk_name(3)].into();
+        let a = SublinearState::Collecting {
+            name: mk_name(1),
+            roster: a_roster,
+            tree: HistoryTree::singleton(mk_name(1)),
+        };
+        let b = SublinearState::Collecting {
+            name: mk_name(4),
+            roster: BTreeSet::from([mk_name(4)]),
+            tree: HistoryTree::singleton(mk_name(4)),
+        };
+        let (a2, b2) = p.transition(&a, &b, &mut rng);
+        assert!(a2.is_resetting());
+        assert!(b2.is_resetting());
+    }
+}

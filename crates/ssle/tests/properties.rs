@@ -1,0 +1,204 @@
+//! Property-based tests for the protocol invariants the paper's proofs rest
+//! on.
+
+use ppsim::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ssle::name::Name;
+use ssle::params::{OptimalSilentParams, ResetParams, SublinearParams};
+use ssle::reset::{propagate_reset_step, AfterReset, ResetStatus, ResetTimers};
+use ssle::silent_n_state::{SilentNStateSsr, SilentRank};
+use ssle::sublinear::collision::detect_name_collision;
+use ssle::sublinear::history_tree::HistoryTree;
+use ssle::{OptimalSilentSsr, OptimalSilentState};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ------------------------------------------------------------------
+    // Lemmas 2.2 / 2.3: the barrier-rank inequality holds initially and is
+    // preserved by arbitrary executions of Silent-n-state-SSR.
+    // ------------------------------------------------------------------
+    #[test]
+    fn barrier_rank_exists_and_is_preserved(
+        n in 3usize..24,
+        ranks in proptest::collection::vec(0u32..64, 3..24),
+        seed in any::<u64>(),
+        steps in 0u64..2_000,
+    ) {
+        let n = n.min(ranks.len());
+        let protocol = SilentNStateSsr::new(n);
+        let states: Vec<SilentRank> =
+            ranks.iter().take(n).map(|r| SilentRank(r % n as u32)).collect();
+        let config = Configuration::from_states(states);
+        let k = protocol.barrier_rank(&config);
+        prop_assert!(protocol.barrier_holds(&config, k), "Lemma 2.2 violated initially");
+        let mut sim = Simulation::new(protocol, config, seed);
+        sim.run_for(steps);
+        prop_assert!(
+            protocol.barrier_holds(sim.configuration(), k),
+            "Lemma 2.3 violated after {steps} interactions"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Silent-n-state-SSR never loses or duplicates the multiset invariant
+    // that the number of agents equals n, and a correctly ranked
+    // configuration is an absorbing fixed point.
+    // ------------------------------------------------------------------
+    #[test]
+    fn correct_rankings_are_fixed_points(
+        n in 2usize..20,
+        seed in any::<u64>(),
+        steps in 0u64..1_000,
+    ) {
+        let protocol = SilentNStateSsr::new(n);
+        let config = protocol.ranked_configuration();
+        let mut sim = Simulation::new(protocol, config.clone(), seed);
+        sim.run_for(steps);
+        prop_assert_eq!(sim.configuration(), &config);
+    }
+
+    // ------------------------------------------------------------------
+    // Observation 3.1: resetcount behaves as a propagating variable — after
+    // any Propagate-Reset interaction both values equal
+    // max(a − 1, b − 1, 0); and an agent never awakens while it is still
+    // propagating.
+    // ------------------------------------------------------------------
+    #[test]
+    fn resetcount_is_a_propagating_variable(
+        a_rc in 0u32..100,
+        b_rc in 0u32..100,
+        a_dt in 0u32..100,
+        b_dt in 0u32..100,
+        r_max in 1u32..100,
+        d_max in 1u32..100,
+    ) {
+        let params = ResetParams { r_max, d_max };
+        let a = ResetStatus::Resetting(ResetTimers { resetcount: a_rc, delaytimer: a_dt });
+        let b = ResetStatus::Resetting(ResetTimers { resetcount: b_rc, delaytimer: b_dt });
+        let expected = a_rc.saturating_sub(1).max(b_rc.saturating_sub(1));
+        let (ra, rb) = propagate_reset_step(a, b, &params);
+        for r in [ra, rb] {
+            match r {
+                AfterReset::Resetting(t) => prop_assert_eq!(t.resetcount, expected),
+                AfterReset::Awaken => prop_assert_eq!(expected, 0),
+                AfterReset::Computing => prop_assert!(false, "a resetting agent cannot silently resume"),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // A triggered reset always brings the whole population back to computing:
+    // from an all-triggered configuration of Optimal-Silent-SSR, every agent
+    // eventually leaves the Resetting role.
+    // ------------------------------------------------------------------
+    #[test]
+    fn population_wide_resets_terminate(
+        n in 4usize..16,
+        seed in any::<u64>(),
+    ) {
+        let params = OptimalSilentParams::recommended(n);
+        let protocol = OptimalSilentSsr::new(params);
+        let config = Configuration::uniform(
+            OptimalSilentState::Resetting {
+                leader: true,
+                timers: ResetTimers { resetcount: params.reset.r_max, delaytimer: 0 },
+            },
+            n,
+        );
+        let mut sim = Simulation::new(protocol, config, seed);
+        let budget = 10_000u64 * (n as u64) * (n as u64);
+        let outcome = sim.run_until(
+            |c| c.iter().all(|s| !matches!(s, OptimalSilentState::Resetting { .. })),
+            budget,
+        );
+        prop_assert!(outcome.condition_met(), "some agent never awoke from the reset");
+    }
+
+    // ------------------------------------------------------------------
+    // Name ordering is a strict total order consistent with bitstring
+    // lexicographic comparison, and prefix < extension.
+    // ------------------------------------------------------------------
+    #[test]
+    fn name_order_is_lexicographic(
+        a_bits in proptest::collection::vec(any::<bool>(), 0..20),
+        b_bits in proptest::collection::vec(any::<bool>(), 0..20),
+    ) {
+        let a = Name::from_bits(&a_bits);
+        let b = Name::from_bits(&b_bits);
+        let expected = a_bits.cmp(&b_bits);
+        prop_assert_eq!(a.cmp(&b), expected);
+        prop_assert_eq!(a == b, a_bits == b_bits);
+    }
+
+    #[test]
+    fn prefixes_sort_before_extensions(
+        bits in proptest::collection::vec(any::<bool>(), 1..20),
+        cut in 0usize..19,
+    ) {
+        let cut = cut.min(bits.len() - 1);
+        let prefix = Name::from_bits(&bits[..cut]);
+        let full = Name::from_bits(&bits);
+        prop_assert!(prefix < full);
+    }
+
+    // ------------------------------------------------------------------
+    // History trees: absorbing never exceeds the depth bound, keeps the tree
+    // simply rooted, and honest pairwise histories never produce false
+    // collisions (Lemma 5.4 in miniature, with a random interaction script).
+    // ------------------------------------------------------------------
+    #[test]
+    fn absorb_preserves_depth_bound_and_simple_rooting(
+        script in proptest::collection::vec((0usize..6, 0usize..6), 1..40),
+        h in 1u32..4,
+        seed in any::<u64>(),
+    ) {
+        let params = SublinearParams::recommended(16, h);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let names: Vec<Name> = (0..6u64)
+            .map(|i| Name::from_bits(&(0..6).map(|b| (i >> b) & 1 == 1).collect::<Vec<_>>()))
+            .collect();
+        let mut trees: Vec<HistoryTree> =
+            names.iter().map(|n| HistoryTree::singleton(*n)).collect();
+        for (x, y) in script {
+            if x == y {
+                continue;
+            }
+            let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+            let (left, right) = trees.split_at_mut(hi);
+            let outcome = detect_name_collision(
+                &names[x], &mut left[lo], &names[y], &mut right[0], &params, &mut rng,
+            );
+            prop_assert!(!outcome.is_collision(), "false collision among unique names");
+            for t in [&left[lo], &right[0]] {
+                prop_assert!(t.depth() as u32 <= h, "depth bound exceeded");
+                prop_assert!(t.is_simply_rooted(), "owner name reappeared below the root");
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Optimal-Silent-SSR transitions never mint a rank outside 1..=n and
+    // never produce more than one child rank per recruiting slot.
+    // ------------------------------------------------------------------
+    #[test]
+    fn optimal_silent_transitions_keep_ranks_in_range(
+        n in 4usize..20,
+        seed in any::<u64>(),
+        steps in 0u64..3_000,
+    ) {
+        let protocol = OptimalSilentSsr::new(OptimalSilentParams::recommended(n));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let config = protocol.random_configuration(&mut rng);
+        let mut sim = Simulation::new(protocol, config, seed);
+        sim.run_for(steps);
+        for state in sim.configuration().iter() {
+            if let OptimalSilentState::Settled { rank, children } = state {
+                prop_assert!(*rank >= 1 && *rank <= n as u32, "rank {rank} out of range");
+                prop_assert!(*children <= 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! A step-by-step walkthrough of `Detect-Name-Collision` (Figure 2 of the
+//! paper).
+//!
+//! Four agents a, b, c, d interact in a scripted order; after each meeting the
+//! example prints every agent's interaction-history tree exactly in the spirit
+//! of Figure 2. It then shows what happens when an impostor sharing agent a's
+//! name meets agent d: the impostor fails the cross-examination and the
+//! collision is detected without a and the impostor ever meeting.
+//!
+//! ```text
+//! cargo run --release --example collision_detection_walkthrough
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ssle::sublinear::collision::detect_name_collision;
+use ssle::sublinear::history_tree::HistoryTree;
+use ssle::{Name, SublinearParams};
+
+fn main() {
+    let params = SublinearParams::recommended(16, 3);
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+
+    let labels = ["a", "b", "c", "d"];
+    let names: Vec<Name> = (1..=4u64)
+        .map(|i| Name::from_bits(&(0..8).map(|b| (i >> b) & 1 == 1).collect::<Vec<_>>()))
+        .collect();
+    let mut trees: Vec<HistoryTree> = names.iter().map(|n| HistoryTree::singleton(*n)).collect();
+
+    println!("Reproducing Figure 2: history trees built by a scripted interaction sequence\n");
+    let script = [(0usize, 1usize), (1, 2), (0, 1), (2, 3)];
+    for &(x, y) in &script {
+        let (lo, hi) = if x < y { (x, y) } else { (y, x) };
+        let (left, right) = trees.split_at_mut(hi);
+        let outcome = detect_name_collision(
+            &names[x],
+            &mut left[lo],
+            &names[y],
+            &mut right[0],
+            &params,
+            &mut rng,
+        );
+        println!("-- {} and {} interact (collision detected: {})", labels[x], labels[y], outcome.is_collision());
+        for (label, tree) in labels.iter().zip(&trees) {
+            println!("   {label}: {}", render(tree, &names, &labels));
+        }
+        println!();
+    }
+
+    println!("Now an impostor a' appears, carrying the same name as a but a fresh memory.");
+    let mut impostor = HistoryTree::singleton(names[0]);
+    let (_, right) = trees.split_at_mut(3);
+    let outcome = detect_name_collision(
+        &names[3],
+        &mut right[0],
+        &names[0],
+        &mut impostor,
+        &params,
+        &mut rng,
+    );
+    println!(
+        "d meets a': d asks a' to corroborate its remembered chain d -> c -> b -> a …\n\
+         collision detected: {}",
+        outcome.is_collision()
+    );
+    assert!(outcome.is_collision());
+    println!("\nThe duplicate name was discovered without a and a' ever meeting directly.");
+}
+
+/// Renders a tree with the short labels a, b, c, d instead of raw bitstrings.
+fn render(tree: &HistoryTree, names: &[Name], labels: &[&str]) -> String {
+    let mut out = String::new();
+    for path in tree.render_paths() {
+        let mut readable = path;
+        for (name, label) in names.iter().zip(labels) {
+            readable = readable.replace(&name.to_string(), label);
+        }
+        if !out.is_empty() {
+            out.push_str("  |  ");
+        }
+        out.push_str(&readable);
+    }
+    out
+}

@@ -1,0 +1,65 @@
+//! # ssle-pp — Time-Optimal Self-Stabilizing Leader Election in Population Protocols
+//!
+//! A simulation-backed reproduction of Burman, Chen, Chen, Doty, Nowak,
+//! Severson and Xu, *Time-Optimal Self-Stabilizing Leader Election in
+//! Population Protocols* (PODC 2021).
+//!
+//! This facade crate re-exports the four workspace crates:
+//!
+//! * [`ppsim`] — the population-protocol simulation substrate (uniformly
+//!   random scheduler, configurations, executions, multi-trial runner);
+//! * [`processes`] — the foundational stochastic processes of Section 2.1
+//!   (epidemic, roll call, bounded epidemic, fratricide, coupon collector,
+//!   binary-tree ranking, synthetic coins);
+//! * [`ssle`] — the paper's protocols: `Silent-n-state-SSR`,
+//!   `Optimal-Silent-SSR` and `Sublinear-Time-SSR`, plus `Propagate-Reset`
+//!   and `Detect-Name-Collision`;
+//! * [`analysis`] — statistics, theory predictions, curve fitting and table
+//!   rendering used by the experiment harness.
+//!
+//! # Example
+//!
+//! Elect a leader self-stabilizingly with the linear-time silent protocol,
+//! then corrupt every agent and watch the population recover:
+//!
+//! ```
+//! use ssle_pp::prelude::*;
+//!
+//! let n = 24;
+//! let protocol = OptimalSilentSsr::new(OptimalSilentParams::recommended(n));
+//! let mut sim = Simulation::new(protocol, protocol.all_unsettled_configuration(), 7);
+//!
+//! let budget = 50_000_000;
+//! let outcome = sim.run_until(|c| protocol.is_correct(c), budget);
+//! assert!(outcome.condition_met());
+//! assert!(protocol.has_unique_leader(sim.configuration()));
+//!
+//! // Transient fault: every agent suddenly claims rank 1.
+//! sim.set_configuration(protocol.adversarial_all_same_rank(1));
+//! let outcome = sim.run_until(|c| protocol.is_correct(c), budget);
+//! assert!(outcome.condition_met());
+//! assert!(protocol.has_unique_leader(sim.configuration()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use analysis;
+pub use ppsim;
+pub use processes;
+pub use ssle;
+
+/// One-stop imports for examples, tests and downstream experiments.
+pub mod prelude {
+    pub use analysis::{fit_power_law, harmonic, Summary, Table};
+    pub use ppsim::prelude::*;
+    pub use processes::{
+        binary_tree_layout, simulate_bounded_epidemic, simulate_coin_harvest,
+        simulate_epidemic_interactions, simulate_fratricide_interactions,
+        simulate_roll_call_interactions, BinaryTreeAssignment, Epidemic, Fratricide, SyntheticCoin,
+    };
+    pub use ssle::{
+        Name, OptimalSilentParams, OptimalSilentSsr, OptimalSilentState, SilentNStateSsr,
+        SilentRank, SublinearParams, SublinearState, SublinearTimeSsr,
+    };
+}

@@ -1,0 +1,125 @@
+//! Integration tests checking the measured behaviour of the foundational
+//! processes against the paper's closed-form predictions (Section 2.1), at
+//! sizes small enough for the test suite but large enough for the asymptotics
+//! to be visible.
+
+use analysis::theory;
+use analysis::Summary;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ssle_pp::prelude::*;
+
+#[test]
+fn epidemic_matches_lemma_2_7_within_ten_percent() {
+    let n = 300;
+    let trials = 200;
+    let samples: Vec<f64> = run_trials(&TrialPlan::new(trials, 42), |_, seed| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        simulate_epidemic_interactions(n, 1, &mut rng) as f64
+    });
+    let summary = Summary::from_samples(&samples);
+    let predicted = theory::epidemic_expected_interactions(n);
+    let relative_error = (summary.mean - predicted).abs() / predicted;
+    assert!(relative_error < 0.1, "epidemic mean {} vs predicted {predicted}", summary.mean);
+
+    // Corollary 2.8: P[T_n > 3 n ln n] < 1/n². With 200 trials we should see
+    // zero exceedances with overwhelming probability.
+    let bound = 3.0 * n as f64 * (n as f64).ln();
+    assert_eq!(Summary::exceedance_fraction(&samples, bound), 0.0);
+}
+
+#[test]
+fn roll_call_is_about_fifty_percent_slower_than_the_epidemic() {
+    let n = 200;
+    let trials = 60;
+    let roll_call: Vec<f64> = run_trials(&TrialPlan::new(trials, 7), |_, seed| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        simulate_roll_call_interactions(n, &mut rng) as f64
+    });
+    let epidemic: Vec<f64> = run_trials(&TrialPlan::new(trials, 8), |_, seed| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        simulate_epidemic_interactions(n, 1, &mut rng) as f64
+    });
+    let ratio = Summary::from_samples(&roll_call).mean / Summary::from_samples(&epidemic).mean;
+    assert!(
+        (1.25..=1.8).contains(&ratio),
+        "roll call / epidemic ratio {ratio} should be near 1.5 (Lemma 2.9)"
+    );
+}
+
+#[test]
+fn bounded_epidemic_hitting_times_respect_lemma_2_10() {
+    let n = 600;
+    let trials = 30;
+    let results: Vec<(f64, f64, f64)> = run_trials(&TrialPlan::new(trials, 3), |_, seed| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let outcome = simulate_bounded_epidemic(n, 3, u64::MAX >> 20, &mut rng);
+        (
+            outcome.tau_parallel(1, n).unwrap(),
+            outcome.tau_parallel(2, n).unwrap(),
+            outcome.tau_parallel(3, n).unwrap(),
+        )
+    });
+    let tau1 = Summary::from_samples(&results.iter().map(|r| r.0).collect::<Vec<_>>()).mean;
+    let tau2 = Summary::from_samples(&results.iter().map(|r| r.1).collect::<Vec<_>>()).mean;
+    let tau3 = Summary::from_samples(&results.iter().map(|r| r.2).collect::<Vec<_>>()).mean;
+    // Strictly decreasing in k, and each within the k·n^{1/k} bound with a
+    // 50% safety margin for finite-n effects.
+    assert!(tau1 > tau2 && tau2 > tau3);
+    assert!(tau1 <= 1.5 * theory::bounded_epidemic_time_bound(n, 1));
+    assert!(tau2 <= 1.5 * theory::bounded_epidemic_time_bound(n, 2));
+    assert!(tau3 <= 1.5 * theory::bounded_epidemic_time_bound(n, 3));
+}
+
+#[test]
+fn fratricide_expected_time_is_linear_in_n() {
+    let trials = 100;
+    let measure = |n: usize, seed: u64| {
+        let samples: Vec<f64> = run_trials(&TrialPlan::new(trials, seed), |_, s| {
+            let mut rng = ChaCha8Rng::seed_from_u64(s);
+            simulate_fratricide_interactions(n, n, &mut rng) as f64 / n as f64
+        });
+        Summary::from_samples(&samples).mean
+    };
+    let t100 = measure(100, 1);
+    let t400 = measure(400, 2);
+    let ratio = t400 / t100;
+    assert!((3.0..=5.0).contains(&ratio), "fratricide should scale linearly, ratio {ratio}");
+    let predicted = theory::fratricide_expected_time(100);
+    assert!((t100 - predicted).abs() / predicted < 0.15);
+}
+
+#[test]
+fn binary_tree_assignment_completes_in_linear_time_with_correct_ranks() {
+    let n = 128;
+    let protocol = BinaryTreeAssignment::new(n);
+    let mut sim = Simulation::new(protocol, protocol.initial_configuration(), 9);
+    let outcome = sim.run_until(BinaryTreeAssignment::is_complete, u64::MAX >> 20);
+    assert!(outcome.condition_met());
+    assert!(sim.protocol().is_correctly_ranked(sim.configuration()));
+    // Lemma 4.1: expected O(n); allow a generous constant.
+    assert!(sim.parallel_time().value() < 12.0 * n as f64);
+}
+
+#[test]
+fn synthetic_coin_is_fair_and_costs_about_four_interactions_per_bit() {
+    let outcome = simulate_coin_harvest(200, 24, 5);
+    let heads_fraction = outcome.heads as f64 / outcome.total_bits as f64;
+    assert!((heads_fraction - 0.5).abs() < 0.03);
+    assert!(outcome.interactions_per_bit >= 3.0 && outcome.interactions_per_bit <= 8.0);
+}
+
+#[test]
+fn figure_one_layout_matches_the_paper() {
+    let tree = binary_tree_layout(12);
+    let children: Vec<Vec<usize>> = tree.iter().map(|slot| slot.children.clone()).collect();
+    assert_eq!(children[0], vec![2, 3]);
+    assert_eq!(children[1], vec![4, 5]);
+    assert_eq!(children[2], vec![6, 7]);
+    assert_eq!(children[3], vec![8, 9]);
+    assert_eq!(children[4], vec![10, 11]);
+    assert_eq!(children[5], vec![12]);
+    for leaf in 6..12 {
+        assert!(children[leaf].is_empty());
+    }
+}

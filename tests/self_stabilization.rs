@@ -1,0 +1,175 @@
+//! Cross-crate integration tests: every protocol must reach a stably correct
+//! ranking (and hence a unique leader) from a variety of adversarial initial
+//! configurations, and must recover after transient faults injected mid-run.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ssle_pp::prelude::*;
+
+const BUDGET: u64 = u64::MAX >> 16;
+
+fn assert_ranked<P>(protocol: &P, sim: &Simulation<P>)
+where
+    P: RankingProtocol + LeaderElectionProtocol,
+{
+    assert!(protocol.is_correctly_ranked(sim.configuration()), "ranking incorrect");
+    assert!(protocol.has_unique_leader(sim.configuration()), "leader not unique");
+}
+
+#[test]
+fn silent_n_state_recovers_from_every_adversarial_start() {
+    let n = 20;
+    let protocol = SilentNStateSsr::new(n);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let configs = vec![
+        protocol.all_same_rank_configuration(),
+        protocol.worst_case_configuration(),
+        protocol.random_configuration(&mut rng),
+        protocol.ranked_configuration(),
+    ];
+    for (i, config) in configs.into_iter().enumerate() {
+        let mut sim = Simulation::new(protocol, config, i as u64);
+        let outcome = sim.run_until_silent(BUDGET);
+        assert!(outcome.is_silent(), "configuration {i} did not reach silence");
+        assert_ranked(&protocol, &sim);
+    }
+}
+
+#[test]
+fn optimal_silent_recovers_from_every_adversarial_start() {
+    let n = 24;
+    let protocol = OptimalSilentSsr::new(OptimalSilentParams::recommended(n));
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let configs = vec![
+        protocol.all_unsettled_configuration(),
+        protocol.adversarial_all_same_rank(1),
+        protocol.adversarial_all_same_rank(n as u32),
+        protocol.random_configuration(&mut rng),
+        protocol.ranked_configuration(),
+    ];
+    for (i, config) in configs.into_iter().enumerate() {
+        let mut sim = Simulation::new(protocol, config, 100 + i as u64);
+        let outcome = sim.run_until(|c| protocol.is_correct(c), BUDGET);
+        assert!(outcome.condition_met(), "configuration {i} did not stabilize");
+        assert!(sim.is_silent(), "the stabilized configuration must be silent");
+        assert_ranked(&protocol, &sim);
+    }
+}
+
+#[test]
+fn sublinear_recovers_from_every_adversarial_start() {
+    let n = 12;
+    for h in [1u32, 2] {
+        let protocol = SublinearTimeSsr::new(SublinearParams::recommended(n, h));
+        let mut rng = ChaCha8Rng::seed_from_u64(13 + h as u64);
+        let configs = vec![
+            protocol.fresh_configuration(&mut rng),
+            protocol.colliding_configuration(&mut rng),
+            protocol.ghost_configuration(&mut rng),
+            protocol.all_resetting_configuration(),
+        ];
+        for (i, config) in configs.into_iter().enumerate() {
+            let mut sim = Simulation::new(protocol, config, 31 * h as u64 + i as u64);
+            let outcome = sim.run_until(|c| protocol.is_correct(c), BUDGET);
+            assert!(outcome.condition_met(), "H={h} configuration {i} did not stabilize");
+            assert_ranked(&protocol, &sim);
+        }
+    }
+}
+
+#[test]
+fn optimal_silent_recovers_from_mid_run_faults() {
+    let n = 24;
+    let protocol = OptimalSilentSsr::new(OptimalSilentParams::recommended(n));
+    let mut sim = Simulation::new(protocol, protocol.all_unsettled_configuration(), 5);
+    let outcome = sim.run_until(|c| protocol.is_correct(c), BUDGET);
+    assert!(outcome.condition_met());
+
+    // Fault 1: duplicate the leader's state onto half the population.
+    let leader_state = *sim
+        .configuration()
+        .iter()
+        .find(|s| protocol.is_leader(s))
+        .expect("leader exists");
+    sim.corrupt(|i, s| {
+        if i % 2 == 0 {
+            *s = leader_state;
+        }
+    });
+    let outcome = sim.run_until(|c| protocol.is_correct(c), BUDGET);
+    assert!(outcome.condition_met(), "did not recover from duplicated leaders");
+    assert_ranked(&protocol, &sim);
+
+    // Fault 2: erase everyone into the unsettled role.
+    sim.set_configuration(protocol.all_unsettled_configuration());
+    let outcome = sim.run_until(|c| protocol.is_correct(c), BUDGET);
+    assert!(outcome.condition_met(), "did not recover from a population-wide wipe");
+    assert_ranked(&protocol, &sim);
+}
+
+#[test]
+fn sublinear_recovers_from_mid_run_name_duplication() {
+    let n = 12;
+    let protocol = SublinearTimeSsr::new(SublinearParams::recommended(n, 2));
+    let mut rng = ChaCha8Rng::seed_from_u64(77);
+    let mut sim = Simulation::new(protocol, protocol.fresh_configuration(&mut rng), 17);
+    let outcome = sim.run_until(|c| protocol.is_correct(c), BUDGET);
+    assert!(outcome.condition_met());
+
+    // Transient fault: agent 0's entire state (including its name) is copied
+    // onto agent 1, creating a name collision with consistent-looking data.
+    let cloned = sim.configuration().as_slice()[0].clone();
+    sim.corrupt(|i, s| {
+        if i == 1 {
+            *s = cloned.clone();
+        }
+    });
+    let outcome = sim.run_until(|c| protocol.is_correct(c), BUDGET);
+    assert!(outcome.condition_met(), "did not recover from a cloned agent");
+    assert_ranked(&protocol, &sim);
+}
+
+#[test]
+fn all_protocols_agree_on_what_a_correct_ranking_means() {
+    // The three protocols use different state spaces, but the derived outputs
+    // (ranks 1..=n, unique leader) are the same notion; the simulator's
+    // generic is_correctly_ranked must accept all of their stabilized
+    // configurations.
+    let n = 16;
+
+    let p1 = SilentNStateSsr::new(n);
+    let mut sim1 = Simulation::new(p1, p1.all_same_rank_configuration(), 1);
+    sim1.run_until_silent(BUDGET);
+    let ranks1: Vec<usize> =
+        sim1.configuration().iter().filter_map(|s| p1.rank(s)).map(|r| r.get()).collect();
+
+    let p2 = OptimalSilentSsr::new(OptimalSilentParams::recommended(n));
+    let mut sim2 = Simulation::new(p2, p2.all_unsettled_configuration(), 2);
+    sim2.run_until(|c| p2.is_correct(c), BUDGET);
+    let ranks2: Vec<usize> =
+        sim2.configuration().iter().filter_map(|s| p2.rank(s)).map(|r| r.get()).collect();
+
+    let mut sorted1 = ranks1.clone();
+    sorted1.sort_unstable();
+    let mut sorted2 = ranks2.clone();
+    sorted2.sort_unstable();
+    let expected: Vec<usize> = (1..=n).collect();
+    assert_eq!(sorted1, expected);
+    assert_eq!(sorted2, expected);
+}
+
+#[test]
+fn leader_election_follows_from_ranking_for_all_protocols() {
+    let n = 16;
+    let p = OptimalSilentSsr::new(OptimalSilentParams::recommended(n));
+    let mut sim = Simulation::new(p, p.adversarial_all_same_rank(3), 3);
+    let outcome = sim.run_until(|c| p.is_correct(c), BUDGET);
+    assert!(outcome.condition_met());
+    // Exactly the rank-1 agent is the leader.
+    let leaders: Vec<bool> = sim.configuration().iter().map(|s| p.is_leader(s)).collect();
+    let ranks: Vec<Option<usize>> =
+        sim.configuration().iter().map(|s| p.rank(s).map(|r| r.get())).collect();
+    for (leader, rank) in leaders.iter().zip(&ranks) {
+        assert_eq!(*leader, *rank == Some(1));
+    }
+}
