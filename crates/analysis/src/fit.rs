@@ -75,8 +75,7 @@ pub fn fit_linear(xs: &[f64], ys: &[f64]) -> LinearFit {
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
     let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
-    let ss_res: f64 =
-        xs.iter().zip(ys).map(|(x, y)| (y - (intercept + slope * x)).powi(2)).sum();
+    let ss_res: f64 = xs.iter().zip(ys).map(|(x, y)| (y - (intercept + slope * x)).powi(2)).sum();
     let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
     LinearFit { slope, intercept, r_squared }
 }
@@ -163,8 +162,10 @@ mod tests {
     #[test]
     fn linear_fit_with_noise_has_reasonable_r_squared() {
         let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
-        let ys: Vec<f64> =
-            xs.iter().map(|x| 2.0 * x + if (*x as u64) % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 2.0 * x + if (*x as u64).is_multiple_of(2) { 0.5 } else { -0.5 })
+            .collect();
         let fit = fit_linear(&xs, &ys);
         assert!((fit.slope - 2.0).abs() < 0.01);
         assert!(fit.r_squared > 0.99);

@@ -27,7 +27,9 @@ pub mod table;
 pub mod tail_bounds;
 pub mod theory;
 
-pub use fit::{fit_linear, fit_power_law, fit_proportional, LinearFit, PowerLawFit, ProportionalFit};
+pub use fit::{
+    fit_linear, fit_power_law, fit_proportional, LinearFit, PowerLawFit, ProportionalFit,
+};
 pub use harmonic::{harmonic, harmonic_partial, ln};
 pub use stats::Summary;
 pub use table::Table;

@@ -53,14 +53,7 @@ impl Summary {
         } else {
             (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
         };
-        Summary {
-            count,
-            mean,
-            std_dev: var.sqrt(),
-            min: sorted[0],
-            max: sorted[count - 1],
-            median,
-        }
+        Summary { count, mean, std_dev: var.sqrt(), min: sorted[0], max: sorted[count - 1], median }
     }
 
     /// The `q`-quantile (0 ≤ q ≤ 1) of the sample by linear interpolation of

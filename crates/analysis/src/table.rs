@@ -119,7 +119,7 @@ impl fmt::Display for Table {
 /// notation for very large or very small magnitudes.
 pub fn format_value(value: f64) -> String {
     let magnitude = value.abs();
-    if magnitude != 0.0 && (magnitude >= 1e6 || magnitude < 1e-3) {
+    if magnitude != 0.0 && !(1e-3..1e6).contains(&magnitude) {
         format!("{value:.3e}")
     } else {
         format!("{value:.3}")

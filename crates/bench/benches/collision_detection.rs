@@ -21,8 +21,7 @@ fn warmed_up_trees(
 ) -> (Vec<Name>, Vec<HistoryTree>, SublinearParams) {
     let params = SublinearParams::recommended(n, h);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let names: Vec<Name> =
-        (0..n).map(|_| Name::random(params.name_bits, &mut rng)).collect();
+    let names: Vec<Name> = (0..n).map(|_| Name::random(params.name_bits, &mut rng)).collect();
     let mut trees: Vec<HistoryTree> = names.iter().map(|x| HistoryTree::singleton(*x)).collect();
     let mut pick = ChaCha8Rng::seed_from_u64(seed ^ 0xBEEF);
     for _ in 0..rounds {
@@ -33,8 +32,14 @@ fn warmed_up_trees(
         }
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         let (left, right) = trees.split_at_mut(hi);
-        let outcome =
-            detect_name_collision(&names[lo], &mut left[lo], &names[hi], &mut right[0], &params, &mut rng);
+        let outcome = detect_name_collision(
+            &names[lo],
+            &mut left[lo],
+            &names[hi],
+            &mut right[0],
+            &params,
+            &mut rng,
+        );
         assert!(!outcome.is_collision());
     }
     (names, trees, params)
@@ -42,42 +47,53 @@ fn warmed_up_trees(
 
 fn bench_collision_detection(c: &mut Criterion) {
     let mut group = c.benchmark_group("detect_name_collision");
-    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
 
     for h in [1u32, 2, 3] {
-        group.bench_with_input(BenchmarkId::new("consistent_pair_warm_trees", h), &h, |bencher, &h| {
-            let n = 32;
-            let (names, trees, params) = warmed_up_trees(n, h, 8 * n, 7);
-            let mut rng = ChaCha8Rng::seed_from_u64(99);
-            bencher.iter(|| {
-                let mut ta = trees[0].clone();
-                let mut tb = trees[1].clone();
-                black_box(detect_name_collision(
-                    &names[0], &mut ta, &names[1], &mut tb, &params, &mut rng,
-                ))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("consistent_pair_warm_trees", h),
+            &h,
+            |bencher, &h| {
+                let n = 32;
+                let (names, trees, params) = warmed_up_trees(n, h, 8 * n, 7);
+                let mut rng = ChaCha8Rng::seed_from_u64(99);
+                bencher.iter(|| {
+                    let mut ta = trees[0].clone();
+                    let mut tb = trees[1].clone();
+                    black_box(detect_name_collision(
+                        &names[0], &mut ta, &names[1], &mut tb, &params, &mut rng,
+                    ))
+                });
+            },
+        );
 
-        group.bench_with_input(BenchmarkId::new("impostor_cross_examination", h), &h, |bencher, &h| {
-            let n = 32;
-            let (names, trees, params) = warmed_up_trees(n, h, 8 * n, 11);
-            let mut rng = ChaCha8Rng::seed_from_u64(13);
-            // An impostor carrying agent 0's name but a fresh memory meets
-            // agent 1 (who has heard about agent 0).
-            let impostor_name = names[0];
-            bencher.iter(|| {
-                let mut tb = trees[1].clone();
-                let mut impostor = HistoryTree::singleton(impostor_name);
-                black_box(detect_name_collision(
-                    &names[1],
-                    &mut tb,
-                    &impostor_name,
-                    &mut impostor,
-                    &params,
-                    &mut rng,
-                ))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("impostor_cross_examination", h),
+            &h,
+            |bencher, &h| {
+                let n = 32;
+                let (names, trees, params) = warmed_up_trees(n, h, 8 * n, 11);
+                let mut rng = ChaCha8Rng::seed_from_u64(13);
+                // An impostor carrying agent 0's name but a fresh memory meets
+                // agent 1 (who has heard about agent 0).
+                let impostor_name = names[0];
+                bencher.iter(|| {
+                    let mut tb = trees[1].clone();
+                    let mut impostor = HistoryTree::singleton(impostor_name);
+                    black_box(detect_name_collision(
+                        &names[1],
+                        &mut tb,
+                        &impostor_name,
+                        &mut impostor,
+                        &params,
+                        &mut rng,
+                    ))
+                });
+            },
+        );
     }
 
     group.finish();

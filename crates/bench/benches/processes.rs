@@ -13,7 +13,10 @@ use std::time::Duration;
 
 fn bench_processes(c: &mut Criterion) {
     let mut group = c.benchmark_group("processes");
-    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
 
     for n in [1_000usize, 10_000] {
         group.bench_with_input(BenchmarkId::new("epidemic", n), &n, |b, &n| {

@@ -20,7 +20,10 @@ fn config(c: &mut Criterion) -> &mut Criterion {
 
 fn bench_table1_rows(c: &mut Criterion) {
     let mut group = config(c).benchmark_group("table1_stabilization");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
 
     for n in [16usize, 32, 64] {
         group.bench_with_input(BenchmarkId::new("silent_n_state_worst_case", n), &n, |b, &n| {
@@ -67,7 +70,10 @@ fn bench_table1_rows(c: &mut Criterion) {
 
 fn bench_single_transitions(c: &mut Criterion) {
     let mut group = config(c).benchmark_group("single_transition");
-    group.sample_size(30).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
 
     group.bench_function("silent_n_state", |b| {
         let p = SilentNStateSsr::new(1024);

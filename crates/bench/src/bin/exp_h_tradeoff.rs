@@ -39,8 +39,11 @@ fn depth_sweep() {
     ]);
     let log_h = (n as f64).log2().ceil() as u32;
     for h in [0u32, 1, 2, 3, log_h] {
-        let detection =
-            sublinear_detection_times(SublinearParams::recommended(n, h), 2 * trials, 53 + h as u64);
+        let detection = sublinear_detection_times(
+            SublinearParams::recommended(n, h),
+            2 * trials,
+            53 + h as u64,
+        );
         let samples = sublinear_times(n, h, Workload::WorstCase, trials, 23 + h as u64);
         table.add_row(vec![
             if h == log_h { format!("{h} (=⌈log₂ n⌉)") } else { h.to_string() },

@@ -18,8 +18,8 @@
 use analysis::table::format_value;
 use analysis::{theory, Summary, Table};
 use bench::{
-    optimal_silent_duplicated_leader_times, silent_n_state_duplicated_leader_times,
-    silent_n_state_times, Workload,
+    engine_from_args, optimal_silent_duplicated_leader_times,
+    silent_n_state_duplicated_leader_times, silent_n_state_times_with_engine, Engine, Workload,
 };
 use ppsim::prelude::*;
 use processes::Fratricide;
@@ -32,11 +32,20 @@ fn main() {
 
 fn theorem_2_4() {
     println!("== Theorem 2.4: Silent-n-state-SSR needs Θ(n²) from the barrier configuration ==\n");
-    let ns = [16usize, 32, 64, 128];
+    // The batched engine skips the Θ(n²)-interaction waits between the
+    // bottleneck meetings, which is what lets this sweep reach n = 1024;
+    // `--engine exact` restores the per-agent engine on the smaller sizes.
+    let engine = engine_from_args(Engine::Batched);
+    let ns: &[usize] = if engine == Engine::Batched {
+        &[16, 32, 64, 128, 256, 512, 1024]
+    } else {
+        &[16, 32, 64, 128]
+    };
     let trials = 10;
-    let mut table = Table::new(vec!["n", "mean time (meas)", "exact expectation (n-1)²/2... see note"]);
-    for &n in &ns {
-        let samples = silent_n_state_times(n, Workload::WorstCase, trials, 3);
+    let mut table =
+        Table::new(vec!["n", "mean time (meas)", "exact expectation (n-1)²/2... see note"]);
+    for &n in ns {
+        let samples = silent_n_state_times_with_engine(n, Workload::WorstCase, trials, 3, engine);
         table.add_row(vec![
             n.to_string(),
             format_value(Summary::from_samples(&samples).mean),
@@ -94,7 +103,10 @@ fn log_lower_bound() {
             let protocol = Fratricide::new(n);
             let mut sim = Simulation::new(protocol, protocol.all_leaders_configuration(), seed);
             let outcome = sim.run_until(
-                |c| c.iter().filter(|s| matches!(s, processes::LeaderState::Leader)).count() <= n / 2,
+                |c| {
+                    c.iter().filter(|s| matches!(s, processes::LeaderState::Leader)).count()
+                        <= n / 2
+                },
                 u64::MAX >> 8,
             );
             assert!(outcome.condition_met());

@@ -51,7 +51,12 @@ fn leader_probability() {
     println!("== Lemma 4.2: probability the awakening configuration has a unique leader ==\n");
     let n = 96;
     let trials = 40;
-    let mut table = Table::new(vec!["Dmax multiplier", "Dmax", "P[unique leader] (meas)", "mean recovery time"]);
+    let mut table = Table::new(vec![
+        "Dmax multiplier",
+        "Dmax",
+        "P[unique leader] (meas)",
+        "mean recovery time",
+    ]);
     for d_mult in [1u32, 2, 4, 8, 16] {
         let results = reset_trials(n, d_mult, trials, 11 + d_mult as u64);
         let unique = results.iter().filter(|r| r.unique_leader).count() as f64 / trials as f64;
@@ -77,9 +82,14 @@ fn e_max_ablation() {
     let trials = 12;
     let mut table = Table::new(vec!["Emax multiplier", "mean stabilization time", "time / n"]);
     for e_mult in [2u32, 5, 10, 20, 40] {
-        let samples = optimal_silent_times_with_multipliers(n, 4, e_mult, trials, 17 + e_mult as u64);
+        let samples =
+            optimal_silent_times_with_multipliers(n, 4, e_mult, trials, 17 + e_mult as u64);
         let mean = Summary::from_samples(&samples).mean;
-        table.add_row(vec![e_mult.to_string(), format_value(mean), format!("{:.2}", mean / n as f64)]);
+        table.add_row(vec![
+            e_mult.to_string(),
+            format_value(mean),
+            format!("{:.2}", mean / n as f64),
+        ]);
     }
     println!("n = {n}");
     println!("{}", table.to_plain_text());

@@ -13,8 +13,8 @@
 use analysis::table::format_value;
 use analysis::{fit_power_law, Summary, Table};
 use bench::{
-    optimal_silent_times, silent_n_state_times, sublinear_detection_times, sublinear_times,
-    Workload,
+    engine_from_args, optimal_silent_times_with_engine, silent_n_state_times_with_engine,
+    sublinear_detection_times, sublinear_times, Engine, Workload,
 };
 use ssle::params::SublinearParams;
 
@@ -23,14 +23,24 @@ fn main() {
 
     // ------------------------------------------------------------------
     // Row 1: Silent-n-state-SSR, expected Θ(n²), WHP Θ(n²).
+    //
+    // Default routing: the batched engine, whose null-interaction skipping is
+    // what makes the Θ(n²)-parallel-time (Θ(n³) interactions) runs at the
+    // larger sizes feasible at all. Pass `--engine exact` to force the
+    // per-agent engine (with a reduced size sweep).
     // ------------------------------------------------------------------
-    let ns = [16usize, 32, 64, 128, 256];
+    let engine = engine_from_args(Engine::Batched);
+    let ns: &[usize] = if engine == Engine::Batched {
+        &[16, 32, 64, 128, 256, 512, 1024, 2048]
+    } else {
+        &[16, 32, 64, 128, 256]
+    };
     let mut table = Table::new(vec!["n", "mean time", "p95 time", "paper shape (n-1)^2/2"]);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    for &n in &ns {
+    for &n in ns {
         let trials = if n <= 64 { 20 } else { 8 };
-        let samples = silent_n_state_times(n, Workload::WorstCase, trials, 11);
+        let samples = silent_n_state_times_with_engine(n, Workload::WorstCase, trials, 11, engine);
         let summary = Summary::from_samples(&samples);
         let p95 = Summary::quantile_of(&samples, 0.95);
         table.add_row(vec![
@@ -43,7 +53,7 @@ fn main() {
         ys.push(summary.mean);
     }
     let fit = fit_power_law(&xs, &ys);
-    println!("-- Silent-n-state-SSR [Cai-Izumi-Wada], worst-case start --");
+    println!("-- Silent-n-state-SSR [Cai-Izumi-Wada], worst-case start ({engine} engine) --");
     println!("{}", table.to_plain_text());
     println!(
         "fitted exponent: {:.2} (paper: 2, i.e. Θ(n²)); R² = {:.3}\n",
@@ -52,14 +62,19 @@ fn main() {
 
     // ------------------------------------------------------------------
     // Row 2: Optimal-Silent-SSR, expected Θ(n), WHP Θ(n log n).
+    //
+    // Default routing: the exact engine — this protocol's timer states make
+    // almost every pair non-null, so there is little for the batched engine
+    // to skip (it would run on its dense fallback backend).
     // ------------------------------------------------------------------
+    let engine = engine_from_args(Engine::Exact);
     let ns = [32usize, 64, 128, 256, 512];
     let mut table = Table::new(vec!["n", "mean time", "p95 time", "mean time / n"]);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for &n in &ns {
         let trials = if n <= 128 { 20 } else { 8 };
-        let samples = optimal_silent_times(n, Workload::WorstCase, trials, 13);
+        let samples = optimal_silent_times_with_engine(n, Workload::WorstCase, trials, 13, engine);
         let summary = Summary::from_samples(&samples);
         let p95 = Summary::quantile_of(&samples, 0.95);
         table.add_row(vec![

@@ -20,6 +20,35 @@ use rand_chacha::ChaCha8Rng;
 use ssle::params::{OptimalSilentParams, SublinearParams};
 use ssle::{OptimalSilentSsr, SilentNStateSsr, SublinearTimeSsr};
 
+pub use ppsim::Engine;
+
+/// Picks the simulation engine from a `--engine exact|batched` (or
+/// `--engine=...`) command-line flag, falling back to `default`. Experiment
+/// binaries use this so each workload's default routing (batched where the
+/// null-skip pays off, exact elsewhere) can be overridden without recompiling.
+///
+/// # Panics
+///
+/// Panics on an unrecognized engine name, listing the valid ones.
+pub fn engine_from_args(default: Engine) -> Engine {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--engine" {
+            Some(args.next().expect("--engine requires a value: \"exact\" or \"batched\""))
+        } else {
+            arg.strip_prefix("--engine=").map(str::to_owned)
+        };
+        if let Some(value) = value {
+            return match value.as_str() {
+                "exact" => Engine::Exact,
+                "batched" => Engine::Batched,
+                other => panic!("unknown engine {other:?}; expected \"exact\" or \"batched\""),
+            };
+        }
+    }
+    default
+}
+
 /// Which adversarial initial configuration to start a protocol from.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Workload {
@@ -37,29 +66,74 @@ pub enum Workload {
     CleanStart,
 }
 
+/// The initial configuration of `Silent-n-state-SSR` for a workload.
+fn silent_n_state_workload(
+    protocol: &SilentNStateSsr,
+    workload: Workload,
+    trial_seed: u64,
+) -> ppsim::Configuration<ssle::SilentRank> {
+    let mut rng = ChaCha8Rng::seed_from_u64(trial_seed ^ 0xA5A5);
+    match workload {
+        Workload::WorstCase => protocol.worst_case_configuration(),
+        Workload::Random => protocol.random_configuration(&mut rng),
+        Workload::CleanStart => protocol.ranked_configuration(),
+    }
+}
+
 /// Stabilization times (parallel) of `Silent-n-state-SSR`, measured by running
-/// to silence.
+/// to silence on the exact engine. See
+/// [`silent_n_state_times_with_engine`] to pick the engine per workload.
 pub fn silent_n_state_times(n: usize, workload: Workload, trials: usize, seed: u64) -> Vec<f64> {
+    silent_n_state_times_with_engine(n, workload, trials, seed, Engine::Exact)
+}
+
+/// Stabilization times (parallel) of `Silent-n-state-SSR` on the chosen
+/// engine. The batched engine makes `n = 10⁵..10⁶` runs feasible: it skips
+/// the null interactions that dominate this protocol's `Θ(n²)` parallel time.
+pub fn silent_n_state_times_with_engine(
+    n: usize,
+    workload: Workload,
+    trials: usize,
+    seed: u64,
+    engine: Engine,
+) -> Vec<f64> {
     let plan = TrialPlan::new(trials, seed);
-    run_trials(&plan, |_, trial_seed| {
+    let reports = run_engine_trials(&plan, engine, u64::MAX >> 8, |_, trial_seed| {
         let protocol = SilentNStateSsr::new(n);
-        let mut rng = ChaCha8Rng::seed_from_u64(trial_seed ^ 0xA5A5);
-        let config = match workload {
-            Workload::WorstCase => protocol.worst_case_configuration(),
-            Workload::Random => protocol.random_configuration(&mut rng),
-            Workload::CleanStart => protocol.ranked_configuration(),
-        };
-        let mut sim = Simulation::new(protocol, config, trial_seed);
-        let outcome = sim.run_until_silent(u64::MAX >> 8);
-        assert!(outcome.is_silent());
-        sim.parallel_time().value()
-    })
+        let config = silent_n_state_workload(&protocol, workload, trial_seed);
+        (protocol, config)
+    });
+    reports
+        .into_iter()
+        .map(|report| {
+            assert!(report.outcome.is_silent());
+            report.parallel_time().value()
+        })
+        .collect()
 }
 
 /// Stabilization times (parallel) of `Optimal-Silent-SSR`, measured by running
 /// until the ranking is correct (the correct configuration is silent, hence
-/// stable).
+/// stable) on the exact engine. See [`optimal_silent_times_with_engine`] to
+/// pick the engine per workload.
 pub fn optimal_silent_times(n: usize, workload: Workload, trials: usize, seed: u64) -> Vec<f64> {
+    optimal_silent_times_with_engine(n, workload, trials, seed, Engine::Exact)
+}
+
+/// Stabilization times (parallel) of `Optimal-Silent-SSR` on the chosen
+/// engine.
+///
+/// This protocol's unsettled/resetting states interact with everything, so
+/// the batched engine runs on its dense present-scan backend: correct, and
+/// worthwhile only on configurations that idle near silence. The exact engine
+/// is the sensible default for whole-stabilization measurements.
+pub fn optimal_silent_times_with_engine(
+    n: usize,
+    workload: Workload,
+    trials: usize,
+    seed: u64,
+    engine: Engine,
+) -> Vec<f64> {
     let plan = TrialPlan::new(trials, seed);
     run_trials(&plan, |_, trial_seed| {
         let protocol = OptimalSilentSsr::new(OptimalSilentParams::recommended(n));
@@ -69,10 +143,10 @@ pub fn optimal_silent_times(n: usize, workload: Workload, trials: usize, seed: u
             Workload::Random => protocol.random_configuration(&mut rng),
             Workload::CleanStart => protocol.post_reset_configuration(),
         };
-        let mut sim = Simulation::new(protocol, config, trial_seed);
-        let outcome = sim.run_until(|c| protocol.is_correct(c), u64::MAX >> 8);
-        assert!(outcome.condition_met());
-        sim.parallel_time().value()
+        let report = engine
+            .run_until(protocol, &config, trial_seed, u64::MAX >> 8, |c| protocol.is_correct(c));
+        assert!(report.outcome.condition_met());
+        report.parallel_time().value()
     })
 }
 
@@ -89,8 +163,7 @@ pub fn optimal_silent_times_with_multipliers(
     run_trials(&plan, |_, trial_seed| {
         let protocol =
             OptimalSilentSsr::new(OptimalSilentParams::with_multipliers(n, d_mult, e_mult));
-        let mut sim =
-            Simulation::new(protocol, protocol.adversarial_all_same_rank(1), trial_seed);
+        let mut sim = Simulation::new(protocol, protocol.adversarial_all_same_rank(1), trial_seed);
         let outcome = sim.run_until(|c| protocol.is_correct(c), u64::MAX >> 8);
         assert!(outcome.condition_met());
         sim.parallel_time().value()
@@ -99,13 +172,7 @@ pub fn optimal_silent_times_with_multipliers(
 
 /// Stabilization times (parallel) of `Sublinear-Time-SSR` at history depth
 /// `h`.
-pub fn sublinear_times(
-    n: usize,
-    h: u32,
-    workload: Workload,
-    trials: usize,
-    seed: u64,
-) -> Vec<f64> {
+pub fn sublinear_times(n: usize, h: u32, workload: Workload, trials: usize, seed: u64) -> Vec<f64> {
     sublinear_times_with_params(SublinearParams::recommended(n, h), workload, trials, seed)
 }
 
@@ -138,11 +205,7 @@ pub fn sublinear_times_with_params(
 /// (i.e. `Detect-Name-Collision` fires). This isolates the `Θ(H·n^{1/(H+1)})`
 /// / `Θ(log n)` quantity bounded by Lemma 5.6, without the additive reset and
 /// roll-call costs that dominate full stabilization at small `n`.
-pub fn sublinear_detection_times(
-    params: SublinearParams,
-    trials: usize,
-    seed: u64,
-) -> Vec<f64> {
+pub fn sublinear_detection_times(params: SublinearParams, trials: usize, seed: u64) -> Vec<f64> {
     let plan = TrialPlan::new(trials, seed);
     run_trials(&plan, |_, trial_seed| {
         let protocol = SublinearTimeSsr::new(params);
@@ -243,10 +306,7 @@ pub fn reset_trials(n: usize, d_mult: u32, trials: usize, seed: u64) -> Vec<Rese
             .iter()
             .filter(|s| matches!(s, OptimalSilentState::Settled { rank: 1, .. }))
             .count();
-        ResetTrial {
-            full_recovery_time: sim.parallel_time().value(),
-            unique_leader: roots == 1,
-        }
+        ResetTrial { full_recovery_time: sim.parallel_time().value(), unique_leader: roots == 1 }
     })
 }
 
@@ -270,8 +330,10 @@ mod tests {
 
     #[test]
     fn clean_start_is_faster_than_worst_case_for_the_baseline() {
-        let worst = Summary::from_samples(&silent_n_state_times(16, Workload::WorstCase, 4, 5)).mean;
-        let clean = Summary::from_samples(&silent_n_state_times(16, Workload::CleanStart, 4, 6)).mean;
+        let worst =
+            Summary::from_samples(&silent_n_state_times(16, Workload::WorstCase, 4, 5)).mean;
+        let clean =
+            Summary::from_samples(&silent_n_state_times(16, Workload::CleanStart, 4, 6)).mean;
         assert!(clean <= worst);
         // A ranked configuration is already silent.
         assert_eq!(clean, 0.0);

@@ -1,0 +1,1044 @@
+//! Count-based **batched** simulation engine.
+//!
+//! The exact engine ([`crate::Simulation`]) pays O(1) work per *interaction*,
+//! which is hopeless for protocols whose stabilization takes `Θ(n²)` parallel
+//! time (`Θ(n³)` interactions): at `n = 10⁵` the baseline
+//! `Silent-n-state-SSR` would need ~10¹⁵ scheduler draws. Almost all of those
+//! interactions are **null** — the scheduled pair's transition leaves both
+//! states unchanged — so this module simulates the *same* Markov chain while
+//! paying only for the non-null interactions:
+//!
+//! 1. the configuration is a **multiset of state counts** (`Vec<u64>` over an
+//!    enumerated state space) instead of a per-agent array;
+//! 2. the number of consecutive null interactions between two non-null ones
+//!    is drawn in one shot from its geometric law (a run of failures with
+//!    success probability `p = A / (n(n−1))`, where `A` counts the non-null
+//!    ordered *agent* pairs of the current configuration);
+//! 3. one real transition is then applied by sampling an ordered *state* pair
+//!    `(i, j)` with probability proportional to `c_i · (c_j − [i = j])` among
+//!    the non-null pairs.
+//!
+//! Between two non-null interactions the configuration — hence `A` — cannot
+//! change, so the skipped nulls are exactly marginalized out: every quantity
+//! measured in interactions (silence time, convergence time, final
+//! configuration multiset) has **the same distribution** as under the exact
+//! engine. The per-seed trajectories differ (the two engines consume
+//! randomness differently), which is why the cross-engine tests compare
+//! verdicts and distributions rather than bit-identical traces.
+//!
+//! Protocols opt in by implementing [`EnumerableProtocol`] (a bijection
+//! between their state type and `0..num_states`). Protocols with sparse
+//! non-null structure (`Silent-n-state-SSR`, epidemic, fratricide, coupon)
+//! also provide [`EnumerableProtocol::interaction_partners`], unlocking a
+//! Fenwick-tree backend with O(deg · log |states|) work per non-null
+//! interaction; dense protocols (`Optimal-Silent-SSR`, whose
+//! unsettled/resetting states interact with everything) fall back to a
+//! present-state scan that costs O(P²) per non-null interaction with `P ≤ n`
+//! distinct present states. Protocols with huge state spaces
+//! (`Sublinear-Time-SSR`'s history trees) simply keep using the exact engine
+//! — see [`Engine`] for the routing layer.
+//!
+//! The roll-call process cannot be expressed here at all: its per-agent
+//! rosters make states identity-dependent, so no multiset of anonymous states
+//! is a sufficient statistic; it keeps its specialized simulation in the
+//! `processes` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use ppsim::prelude::*;
+//! use rand::RngCore;
+//!
+//! /// (L, L) -> (L, F) with L = 0, F = 1.
+//! struct Fratricide {
+//!     n: usize,
+//! }
+//!
+//! impl Protocol for Fratricide {
+//!     type State = u8;
+//!     fn population_size(&self) -> usize {
+//!         self.n
+//!     }
+//!     fn transition(&self, a: &u8, b: &u8, _rng: &mut dyn RngCore) -> (u8, u8) {
+//!         if *a == 0 && *b == 0 {
+//!             (0, 1)
+//!         } else {
+//!             (*a, *b)
+//!         }
+//!     }
+//!     fn is_null(&self, a: &u8, b: &u8) -> bool {
+//!         !(*a == 0 && *b == 0)
+//!     }
+//! }
+//!
+//! impl EnumerableProtocol for Fratricide {
+//!     fn num_states(&self) -> usize {
+//!         2
+//!     }
+//!     fn state_index(&self, s: &u8) -> usize {
+//!         *s as usize
+//!     }
+//!     fn state_from_index(&self, i: usize) -> u8 {
+//!         i as u8
+//!     }
+//!     fn interaction_partners(&self, i: usize) -> Option<Vec<usize>> {
+//!         Some(if i == 0 { vec![0] } else { vec![] })
+//!     }
+//! }
+//!
+//! let mut sim = BatchedSimulation::new(
+//!     Fratricide { n: 1000 },
+//!     &Configuration::uniform(0u8, 1000),
+//!     42,
+//! );
+//! let outcome = sim.run_until_silent(u64::MAX >> 8);
+//! assert!(outcome.is_silent());
+//! assert_eq!(sim.count_of(&0u8), 1); // a single leader survives
+//! ```
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::Configuration;
+use crate::error::SimError;
+use crate::execution::{RunOutcome, Simulation, StopReason};
+use crate::protocol::Protocol;
+use crate::time::{Interactions, ParallelTime};
+
+/// A [`Protocol`] with a finite, enumerable state space: a bijection between
+/// the state type and `0..num_states`.
+///
+/// This is the opt-in surface for the batched engine. Implementations must
+/// guarantee:
+///
+/// * `state_index` / `state_from_index` are inverse bijections on
+///   `0..num_states` for every state the protocol can reach **or be
+///   initialized with** (including adversarial configurations);
+/// * [`Protocol::is_null`] is exact enough that `is_null(a, b)` implies the
+///   transition leaves `(a, b)` unchanged (the same soundness contract the
+///   exact engine's silence detection relies on).
+pub trait EnumerableProtocol: Protocol {
+    /// The size of the enumerated state space.
+    fn num_states(&self) -> usize;
+
+    /// The dense index of a state, in `0..num_states`.
+    fn state_index(&self, state: &Self::State) -> usize;
+
+    /// The state with the given dense index.
+    fn state_from_index(&self, index: usize) -> Self::State;
+
+    /// Sparse interaction structure, if the protocol has one: for state `i`,
+    /// every state `j` such that the ordered pair `(i, j)` **or** `(j, i)`
+    /// can be non-null (for *some* counts — the answer must not depend on the
+    /// current configuration). Include `i` itself when `(i, i)` is non-null.
+    ///
+    /// Returning `Some` for one index means `Some` for all indices; the
+    /// engine then uses the indexed (Fenwick) backend with per-transition
+    /// cost proportional to the partner-list degree. The default `None`
+    /// selects the dense present-scan backend, which is always correct but
+    /// pays O(P²) per non-null interaction in the number of distinct present
+    /// states.
+    fn interaction_partners(&self, _index: usize) -> Option<Vec<usize>> {
+        None
+    }
+}
+
+/// Samples the length of a run of null interactions: the number of failures
+/// before the first success in i.i.d. trials with success probability
+/// `active_pairs / total_pairs`, drawn by inversion in O(1).
+///
+/// Edge cases:
+///
+/// * `active_pairs == total_pairs` (every pair is non-null) always returns 0;
+/// * a single non-null ordered pair among `n(n−1)` gives the full geometric
+///   with `p = 1 / (n(n−1))`, whose mean `≈ n²` is exactly the cost the
+///   batched engine avoids paying per-interaction;
+/// * `active_pairs == 0` (a silent configuration) has no next non-null
+///   interaction; callers must detect silence first. The function panics in
+///   that case rather than looping forever.
+///
+/// # Panics
+///
+/// Panics if `active_pairs == 0` or `active_pairs > total_pairs`.
+pub fn sample_null_run(active_pairs: u64, total_pairs: u64, rng: &mut impl RngCore) -> u64 {
+    assert!(active_pairs > 0, "a silent configuration has no next non-null interaction");
+    assert!(active_pairs <= total_pairs, "more active pairs than ordered pairs");
+    if active_pairs == total_pairs {
+        return 0;
+    }
+    let p = active_pairs as f64 / total_pairs as f64;
+    // u ∈ (0, 1]: ln is finite, and u = 1 maps to a skip of 0.
+    let u = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+    // ln(1 − p) via ln_1p for precision when p ~ 1/n² is tiny.
+    let skip = (u.ln() / (-p).ln_1p()).floor();
+    if skip.is_finite() && skip >= 0.0 && skip < u64::MAX as f64 {
+        skip as u64
+    } else {
+        u64::MAX
+    }
+}
+
+/// A 1-based Fenwick (binary indexed) tree over `u64` weights with prefix
+/// search, used to sample the initiator state proportionally to its row
+/// weight.
+#[derive(Clone, Debug)]
+struct Fenwick {
+    tree: Vec<u64>,
+    mask: usize,
+    total: u64,
+}
+
+impl Fenwick {
+    fn new(len: usize) -> Self {
+        let mut mask = 1usize;
+        while mask * 2 <= len {
+            mask *= 2;
+        }
+        Fenwick { tree: vec![0; len + 1], mask, total: 0 }
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    fn add(&mut self, index: usize, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        self.total = (self.total as i128 + delta as i128) as u64;
+        let mut i = index + 1;
+        while i <= self.len() {
+            self.tree[i] = (self.tree[i] as i128 + delta as i128) as u64;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The smallest index whose inclusive prefix sum exceeds `target`
+    /// (requires `target < total`).
+    fn find(&self, mut target: u64) -> usize {
+        debug_assert!(target < self.total);
+        let mut pos = 0usize;
+        let mut step = self.mask;
+        while step > 0 {
+            let next = pos + step;
+            if next <= self.len() && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            step /= 2;
+        }
+        pos // 0-based index of the selected element
+    }
+}
+
+/// The backend data structure maintaining the non-null pair weight.
+#[derive(Clone, Debug)]
+enum Backend {
+    /// Sparse non-null structure: per-state partner lists plus a Fenwick tree
+    /// over row weights `r_i = c_i · Σ_j [(i,j) non-null] (c_j − [i = j])`.
+    Indexed { partners: Vec<Vec<usize>>, rows: Fenwick },
+    /// Dense fallback: the set of present states, scanned per transition.
+    PresentScan { present: Vec<usize>, position: Vec<usize> },
+}
+
+const NOT_PRESENT: usize = usize::MAX;
+
+/// A single execution of a population protocol under the uniformly random
+/// scheduler, simulated in batches of null interactions.
+///
+/// Mirrors [`Simulation`]'s stop conditions (`run_until_silent`, `run_for`,
+/// predicate runs) but stores only state counts; agent identities do not
+/// exist here, which is faithful to the model (protocols cannot observe
+/// them). Construct with [`BatchedSimulation::new`] and read results with
+/// [`BatchedSimulation::state_counts`] / [`BatchedSimulation::to_configuration`].
+#[derive(Clone, Debug)]
+pub struct BatchedSimulation<P: EnumerableProtocol> {
+    protocol: P,
+    counts: Vec<u64>,
+    decoded: Vec<P::State>,
+    backend: Backend,
+    rng: ChaCha8Rng,
+    interactions: Interactions,
+    transitions: u64,
+    n: usize,
+}
+
+impl<P: EnumerableProtocol> BatchedSimulation<P> {
+    /// Creates a batched simulation from a protocol, an initial configuration
+    /// and an RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same setup errors as [`Simulation::new`]. Use
+    /// [`BatchedSimulation::try_new`] for a non-panicking constructor.
+    pub fn new(protocol: P, config: &Configuration<P::State>, seed: u64) -> Self {
+        Self::try_new(protocol, config, seed).expect("invalid simulation setup")
+    }
+
+    /// Creates a batched simulation, validating the setup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ConfigurationSizeMismatch`] if the configuration
+    /// length differs from the protocol's population size, and
+    /// [`SimError::PopulationTooSmall`] if the population has fewer than two
+    /// agents.
+    pub fn try_new(
+        protocol: P,
+        config: &Configuration<P::State>,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        let n = protocol.population_size();
+        if config.len() != n {
+            return Err(SimError::ConfigurationSizeMismatch { expected: n, actual: config.len() });
+        }
+        if n < 2 {
+            return Err(SimError::PopulationTooSmall { n });
+        }
+        let num_states = protocol.num_states();
+        let decoded: Vec<P::State> =
+            (0..num_states).map(|i| protocol.state_from_index(i)).collect();
+        let mut counts = vec![0u64; num_states];
+        for state in config.iter() {
+            let index = protocol.state_index(state);
+            assert!(
+                index < num_states,
+                "state_index returned {index} for a space of {num_states} states"
+            );
+            counts[index] += 1;
+        }
+        let backend = if protocol.interaction_partners(0).is_some() {
+            let partners: Vec<Vec<usize>> = (0..num_states)
+                .map(|i| {
+                    protocol
+                        .interaction_partners(i)
+                        .expect("interaction_partners must be Some for every index or none")
+                })
+                .collect();
+            Backend::Indexed { partners, rows: Fenwick::new(num_states) }
+        } else {
+            let mut present = Vec::new();
+            let mut position = vec![NOT_PRESENT; num_states];
+            for (i, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    position[i] = present.len();
+                    present.push(i);
+                }
+            }
+            Backend::PresentScan { present, position }
+        };
+        let mut sim = BatchedSimulation {
+            protocol,
+            counts,
+            decoded,
+            backend,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            interactions: Interactions::ZERO,
+            transitions: 0,
+            n,
+        };
+        sim.rebuild_rows();
+        Ok(sim)
+    }
+
+    /// The protocol being simulated.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The population size.
+    pub fn population_size(&self) -> usize {
+        self.n
+    }
+
+    /// Total interactions executed so far (including skipped null runs).
+    pub fn interactions(&self) -> Interactions {
+        self.interactions
+    }
+
+    /// Total parallel time elapsed so far.
+    pub fn parallel_time(&self) -> ParallelTime {
+        self.interactions.to_parallel_time(self.n)
+    }
+
+    /// The number of non-null transitions actually applied — the work the
+    /// batched engine pays for, as opposed to the interactions it skips. The
+    /// ratio `interactions / transitions` is the engine's effective batching
+    /// factor.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// The multiset view: every present state with its count, in state-index
+    /// order.
+    pub fn state_counts(&self) -> impl Iterator<Item = (&P::State, u64)> {
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (&self.decoded[i], c))
+    }
+
+    /// The number of agents currently holding `state`.
+    pub fn count_of(&self, state: &P::State) -> u64 {
+        self.counts[self.protocol.state_index(state)]
+    }
+
+    /// The number of distinct states present.
+    pub fn distinct_states(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Materializes a canonical per-agent configuration (states in
+    /// state-index order). Agent identities are arbitrary — the model's
+    /// agents are anonymous — so this is suitable for any permutation-
+    /// invariant predicate, which every protocol-level predicate is.
+    pub fn to_configuration(&self) -> Configuration<P::State> {
+        let mut states = Vec::with_capacity(self.n);
+        for (i, &c) in self.counts.iter().enumerate() {
+            for _ in 0..c {
+                states.push(self.decoded[i].clone());
+            }
+        }
+        Configuration::from_states(states)
+    }
+
+    /// The number of non-null ordered **agent** pairs in the current
+    /// configuration (the quantity `A` of the module docs).
+    pub fn active_pairs(&self) -> u64 {
+        match &self.backend {
+            Backend::Indexed { rows, .. } => rows.total(),
+            Backend::PresentScan { present, .. } => {
+                let mut active = 0u64;
+                for &u in present {
+                    active += self.row_weight_scan(u, present);
+                }
+                active
+            }
+        }
+    }
+
+    /// Whether the configuration is silent (no non-null ordered pair exists).
+    /// Matches [`Simulation::is_silent`] exactly and costs O(1) on the
+    /// indexed backend.
+    pub fn is_silent(&self) -> bool {
+        self.active_pairs() == 0
+    }
+
+    /// Runs until the configuration is silent or `budget` additional
+    /// interactions (counting skipped nulls) have elapsed.
+    pub fn run_until_silent(&mut self, budget: u64) -> RunOutcome {
+        let mut remaining = budget;
+        loop {
+            let active = self.active_pairs();
+            if active == 0 {
+                return RunOutcome { reason: StopReason::Silent, interactions: self.interactions };
+            }
+            if !self.advance_one_transition(active, &mut remaining) {
+                return RunOutcome {
+                    reason: StopReason::BudgetExhausted,
+                    interactions: self.interactions,
+                };
+            }
+        }
+    }
+
+    /// Runs until `condition` holds, checking after every applied (non-null)
+    /// transition — a *finer* granularity than the exact engine's periodic
+    /// checks — or until the configuration is silent or the budget runs out.
+    ///
+    /// The predicate receives the canonical configuration, so any
+    /// permutation-invariant predicate written for the exact engine works
+    /// unchanged. Materializing it costs O(n) per non-null interaction; for
+    /// large-n workloads prefer [`BatchedSimulation::run_until_silent`] or a
+    /// count-based predicate via [`BatchedSimulation::run_until_counts`].
+    pub fn run_until(
+        &mut self,
+        mut condition: impl FnMut(&Configuration<P::State>) -> bool,
+        budget: u64,
+    ) -> RunOutcome {
+        self.run_until_counts(|sim| condition(&sim.to_configuration()), budget)
+    }
+
+    /// Runs until `condition` holds for the simulation's multiset state,
+    /// checking after every applied transition, or until the configuration is
+    /// silent or the budget runs out.
+    pub fn run_until_counts(
+        &mut self,
+        mut condition: impl FnMut(&Self) -> bool,
+        budget: u64,
+    ) -> RunOutcome {
+        if condition(self) {
+            return RunOutcome {
+                reason: StopReason::ConditionMet,
+                interactions: self.interactions,
+            };
+        }
+        let mut remaining = budget;
+        loop {
+            let active = self.active_pairs();
+            if active == 0 {
+                return RunOutcome { reason: StopReason::Silent, interactions: self.interactions };
+            }
+            if !self.advance_one_transition(active, &mut remaining) {
+                return RunOutcome {
+                    reason: StopReason::BudgetExhausted,
+                    interactions: self.interactions,
+                };
+            }
+            if condition(self) {
+                return RunOutcome {
+                    reason: StopReason::ConditionMet,
+                    interactions: self.interactions,
+                };
+            }
+        }
+    }
+
+    /// Executes exactly `budget` interactions (in batches).
+    pub fn run_for(&mut self, budget: u64) {
+        let mut remaining = budget;
+        while remaining > 0 {
+            let active = self.active_pairs();
+            if active == 0 {
+                // Silent: the remaining interactions are all null.
+                self.interactions += Interactions::new(remaining);
+                return;
+            }
+            if !self.advance_one_transition(active, &mut remaining) {
+                return;
+            }
+        }
+    }
+
+    /// Skips the null run preceding the next non-null interaction and applies
+    /// that interaction, staying within `remaining` interactions. Returns
+    /// `false` (with `remaining` driven to 0 and the interaction counter
+    /// advanced) if the budget ran out before the non-null interaction.
+    fn advance_one_transition(&mut self, active: u64, remaining: &mut u64) -> bool {
+        let total_pairs = (self.n as u64) * (self.n as u64 - 1);
+        let skip = sample_null_run(active, total_pairs, &mut self.rng);
+        if skip >= *remaining {
+            self.interactions += Interactions::new(*remaining);
+            *remaining = 0;
+            return false;
+        }
+        self.interactions += Interactions::new(skip + 1);
+        *remaining -= skip + 1;
+        self.transitions += 1;
+        self.apply_sampled_transition(active);
+        true
+    }
+
+    /// Samples the non-null ordered state pair and applies one transition.
+    fn apply_sampled_transition(&mut self, active: u64) {
+        let target = self.rng.gen_range(0..active);
+        let (i, j) = match &self.backend {
+            Backend::Indexed { partners, rows } => {
+                let i = rows.find(target);
+                // Sample the responder among i's non-null partners.
+                let mut t = {
+                    // rows stores c_i * s_i; recover s_i to re-draw cheaply.
+                    let mut s = 0u64;
+                    for &j in &partners[i] {
+                        s += self.pair_weight_term(i, j);
+                    }
+                    self.rng.gen_range(0..s)
+                };
+                let mut chosen = None;
+                for &j in &partners[i] {
+                    let w = self.pair_weight_term(i, j);
+                    if t < w {
+                        chosen = Some(j);
+                        break;
+                    }
+                    t -= w;
+                }
+                (i, chosen.expect("responder weights sum to s"))
+            }
+            Backend::PresentScan { present, .. } => {
+                let mut t = target;
+                let mut initiator = None;
+                for &u in present {
+                    let r = self.row_weight_scan(u, present);
+                    if t < r {
+                        initiator = Some(u);
+                        break;
+                    }
+                    t -= r;
+                }
+                let i = initiator.expect("initiator rows sum to active");
+                // Within row i the remaining target t selects the responder:
+                // row i is laid out as c_i consecutive copies of the
+                // responder weights, so reduce modulo the per-copy sum.
+                let per_copy: u64 =
+                    present.iter().map(|&v| self.pair_weight_term_dense(i, v)).sum();
+                let mut t = t % per_copy;
+                let mut responder = None;
+                for &v in present {
+                    let w = self.pair_weight_term_dense(i, v);
+                    if t < w {
+                        responder = Some(v);
+                        break;
+                    }
+                    t -= w;
+                }
+                (i, responder.expect("responder weights sum to per-copy total"))
+            }
+        };
+        debug_assert!(!self.protocol.is_null(&self.decoded[i], &self.decoded[j]));
+        let (a2, b2) = {
+            let (a, b) = (&self.decoded[i], &self.decoded[j]);
+            self.protocol.transition(a, b, &mut self.rng)
+        };
+        let i2 = self.protocol.state_index(&a2);
+        let j2 = self.protocol.state_index(&b2);
+        self.apply_count_deltas(&[(i, -1), (j, -1), (i2, 1), (j2, 1)]);
+    }
+
+    /// The contribution of responder state `j` to initiator `i`'s row:
+    /// `(c_j − [i = j])` if `(i, j)` is non-null, else 0.
+    ///
+    /// Associated function over the individual fields (rather than `&self`)
+    /// so row repairs can call it while the backend is mutably borrowed.
+    fn pair_term(protocol: &P, counts: &[u64], decoded: &[P::State], i: usize, j: usize) -> u64 {
+        if protocol.is_null(&decoded[i], &decoded[j]) {
+            0
+        } else {
+            counts[j].saturating_sub((i == j) as u64)
+        }
+    }
+
+    /// Row weight of state `i` given its partner list (see [`Self::pair_term`]
+    /// for why this is an associated function).
+    fn row_weight(
+        protocol: &P,
+        counts: &[u64],
+        decoded: &[P::State],
+        i: usize,
+        partners: &[usize],
+    ) -> u64 {
+        let ci = counts[i];
+        if ci == 0 {
+            return 0;
+        }
+        let mut s = 0u64;
+        for &j in partners {
+            s += Self::pair_term(protocol, counts, decoded, i, j);
+        }
+        ci * s
+    }
+
+    /// Method form of [`Self::pair_term`] for call sites holding `&self`.
+    fn pair_weight_term(&self, i: usize, j: usize) -> u64 {
+        Self::pair_term(&self.protocol, &self.counts, &self.decoded, i, j)
+    }
+
+    /// Same as [`Self::pair_weight_term`] for the dense backend (identical
+    /// formula; separate name only for profiling clarity).
+    fn pair_weight_term_dense(&self, i: usize, j: usize) -> u64 {
+        self.pair_weight_term(i, j)
+    }
+
+    /// Full row weight of state `u` against the present set (dense backend).
+    fn row_weight_scan(&self, u: usize, present: &[usize]) -> u64 {
+        Self::row_weight(&self.protocol, &self.counts, &self.decoded, u, present)
+    }
+
+    /// Applies signed count changes and repairs the backend structures.
+    fn apply_count_deltas(&mut self, deltas: &[(usize, i64)]) {
+        // Net the deltas per state first (i may equal j, or a state may both
+        // lose and gain an agent in the same transition).
+        let mut net: Vec<(usize, i64)> = Vec::with_capacity(deltas.len());
+        for &(k, d) in deltas {
+            match net.iter_mut().find(|(s, _)| *s == k) {
+                Some((_, acc)) => *acc += d,
+                None => net.push((k, d)),
+            }
+        }
+        net.retain(|&(_, d)| d != 0);
+        for &(k, d) in &net {
+            let c = self.counts[k] as i64 + d;
+            debug_assert!(c >= 0, "state count went negative");
+            self.counts[k] = c as u64;
+        }
+        match &mut self.backend {
+            Backend::Indexed { partners, rows } => {
+                // Rows whose weight depends on a changed count: the changed
+                // state itself plus everything it can interact with.
+                let mut affected: Vec<usize> = Vec::new();
+                for &(k, _) in &net {
+                    affected.push(k);
+                    affected.extend_from_slice(&partners[k]);
+                }
+                affected.sort_unstable();
+                affected.dedup();
+                for i in affected {
+                    let new_row = Self::row_weight(
+                        &self.protocol,
+                        &self.counts,
+                        &self.decoded,
+                        i,
+                        &partners[i],
+                    );
+                    let old_row = Self::row_from_fenwick(rows, i);
+                    rows.add(i, new_row as i64 - old_row as i64);
+                }
+            }
+            Backend::PresentScan { present, position } => {
+                for &(k, _) in &net {
+                    let now_present = self.counts[k] > 0;
+                    let was_present = position[k] != NOT_PRESENT;
+                    if now_present && !was_present {
+                        position[k] = present.len();
+                        present.push(k);
+                    } else if !now_present && was_present {
+                        let pos = position[k];
+                        let last = *present.last().expect("present is nonempty");
+                        present.swap_remove(pos);
+                        position[k] = NOT_PRESENT;
+                        if last != k {
+                            position[last] = pos;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Point query of a row weight in the Fenwick tree.
+    fn row_from_fenwick(rows: &Fenwick, i: usize) -> u64 {
+        // prefix(i+1) − prefix(i) via the tree's partial sums.
+        let prefix = |mut idx: usize| -> u64 {
+            let mut sum = 0u64;
+            while idx > 0 {
+                sum += rows.tree[idx];
+                idx -= idx & idx.wrapping_neg();
+            }
+            sum
+        };
+        prefix(i + 1) - prefix(i)
+    }
+
+    /// Rebuilds every row weight from the counts (used at construction).
+    fn rebuild_rows(&mut self) {
+        let partners = match &mut self.backend {
+            Backend::Indexed { partners, .. } => std::mem::take(partners),
+            Backend::PresentScan { .. } => return,
+        };
+        let mut fresh = Fenwick::new(self.counts.len());
+        for (i, list) in partners.iter().enumerate() {
+            let w = Self::row_weight(&self.protocol, &self.counts, &self.decoded, i, list);
+            fresh.add(i, w as i64);
+        }
+        if let Backend::Indexed { partners: p, rows } = &mut self.backend {
+            *p = partners;
+            *rows = fresh;
+        }
+    }
+}
+
+/// Which simulation backend to run a workload on.
+///
+/// The two engines simulate the same Markov chain; they differ only in cost
+/// model. [`Engine::Exact`] pays O(1) per interaction and works for every
+/// [`Protocol`] (it is the only choice for `Sublinear-Time-SSR`, whose state
+/// space cannot be enumerated). [`Engine::Batched`] pays only per *non-null*
+/// interaction and requires [`EnumerableProtocol`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Engine {
+    /// The per-agent engine: [`Simulation`].
+    Exact,
+    /// The count-based engine: [`BatchedSimulation`].
+    Batched,
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Engine::Exact => write!(f, "exact"),
+            Engine::Batched => write!(f, "batched"),
+        }
+    }
+}
+
+/// The result of running a workload through an [`Engine`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct EngineReport<S> {
+    /// Why and when the run stopped.
+    pub outcome: RunOutcome,
+    /// The final configuration. For the batched engine this is the canonical
+    /// materialization (agents sorted by state index); agent identities are
+    /// meaningless under both engines.
+    pub final_config: Configuration<S>,
+}
+
+impl<S> EngineReport<S> {
+    /// Parallel time at which the run stopped.
+    pub fn parallel_time(&self) -> ParallelTime {
+        self.outcome.interactions.to_parallel_time(self.final_config.len())
+    }
+}
+
+impl Engine {
+    /// Runs the protocol from `init` until silence or `budget` interactions.
+    pub fn run_until_silent<P: EnumerableProtocol>(
+        self,
+        protocol: P,
+        init: &Configuration<P::State>,
+        seed: u64,
+        budget: u64,
+    ) -> EngineReport<P::State> {
+        match self {
+            Engine::Exact => {
+                let mut sim = Simulation::new(protocol, init.clone(), seed);
+                let outcome = sim.run_until_silent(budget);
+                EngineReport { outcome, final_config: sim.configuration().clone() }
+            }
+            Engine::Batched => {
+                let mut sim = BatchedSimulation::new(protocol, init, seed);
+                let outcome = sim.run_until_silent(budget);
+                EngineReport { outcome, final_config: sim.to_configuration() }
+            }
+        }
+    }
+
+    /// Runs the protocol from `init` until the (permutation-invariant)
+    /// predicate holds or `budget` interactions elapse.
+    pub fn run_until<P: EnumerableProtocol>(
+        self,
+        protocol: P,
+        init: &Configuration<P::State>,
+        seed: u64,
+        budget: u64,
+        condition: impl FnMut(&Configuration<P::State>) -> bool,
+    ) -> EngineReport<P::State> {
+        match self {
+            Engine::Exact => {
+                let mut sim = Simulation::new(protocol, init.clone(), seed);
+                let outcome = sim.run_until(condition, budget);
+                EngineReport { outcome, final_config: sim.configuration().clone() }
+            }
+            Engine::Batched => {
+                let mut sim = BatchedSimulation::new(protocol, init, seed);
+                let outcome = sim.run_until(condition, budget);
+                EngineReport { outcome, final_config: sim.to_configuration() }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+
+    /// (L, L) -> (L, F) with dense indices {L: 0, F: 1}.
+    #[derive(Clone, Copy, Debug)]
+    struct Frat {
+        n: usize,
+    }
+
+    impl Protocol for Frat {
+        type State = u8;
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn transition(&self, a: &u8, b: &u8, _rng: &mut dyn RngCore) -> (u8, u8) {
+            if *a == 0 && *b == 0 {
+                (0, 1)
+            } else {
+                (*a, *b)
+            }
+        }
+        fn is_null(&self, a: &u8, b: &u8) -> bool {
+            !(*a == 0 && *b == 0)
+        }
+    }
+
+    impl EnumerableProtocol for Frat {
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn state_index(&self, s: &u8) -> usize {
+            *s as usize
+        }
+        fn state_from_index(&self, i: usize) -> u8 {
+            i as u8
+        }
+        fn interaction_partners(&self, i: usize) -> Option<Vec<usize>> {
+            Some(if i == 0 { vec![0] } else { vec![] })
+        }
+    }
+
+    /// Same protocol forced onto the dense present-scan backend.
+    #[derive(Clone, Copy, Debug)]
+    struct FratDense {
+        n: usize,
+    }
+
+    impl Protocol for FratDense {
+        type State = u8;
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn transition(&self, a: &u8, b: &u8, rng: &mut dyn RngCore) -> (u8, u8) {
+            Frat { n: self.n }.transition(a, b, rng)
+        }
+        fn is_null(&self, a: &u8, b: &u8) -> bool {
+            Frat { n: self.n }.is_null(a, b)
+        }
+    }
+
+    impl EnumerableProtocol for FratDense {
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn state_index(&self, s: &u8) -> usize {
+            *s as usize
+        }
+        fn state_from_index(&self, i: usize) -> u8 {
+            i as u8
+        }
+    }
+
+    #[test]
+    fn all_null_configuration_is_immediately_silent() {
+        // All followers: A = 0, so the run is silent with zero interactions.
+        let mut sim = BatchedSimulation::new(Frat { n: 10 }, &Configuration::uniform(1u8, 10), 1);
+        assert!(sim.is_silent());
+        let outcome = sim.run_until_silent(1_000);
+        assert!(outcome.is_silent());
+        assert_eq!(sim.interactions(), Interactions::ZERO);
+    }
+
+    #[test]
+    fn single_non_null_pair_resolves_in_one_transition() {
+        // Exactly two leaders: A = 2 ordered pairs; one real transition ends it.
+        let config = Configuration::from_fn(30, |i| u8::from(i >= 2));
+        let mut sim = BatchedSimulation::new(Frat { n: 30 }, &config, 5);
+        assert_eq!(sim.active_pairs(), 2);
+        let outcome = sim.run_until_silent(u64::MAX >> 8);
+        assert!(outcome.is_silent());
+        assert_eq!(sim.count_of(&0), 1);
+        // The skipped null run is usually long: with p = 2/(30·29) the mean
+        // wait is 435 interactions, yet only one transition was applied.
+        assert!(sim.interactions().count() >= 1);
+    }
+
+    #[test]
+    fn batched_elects_exactly_one_leader_on_both_backends() {
+        for seed in 0..5 {
+            let mut sim =
+                BatchedSimulation::new(Frat { n: 200 }, &Configuration::uniform(0u8, 200), seed);
+            assert!(sim.run_until_silent(u64::MAX >> 8).is_silent());
+            assert_eq!(sim.count_of(&0), 1);
+            assert_eq!(sim.count_of(&1), 199);
+
+            let mut dense = BatchedSimulation::new(
+                FratDense { n: 200 },
+                &Configuration::uniform(0u8, 200),
+                seed,
+            );
+            assert!(dense.run_until_silent(u64::MAX >> 8).is_silent());
+            assert_eq!(dense.count_of(&0), 1);
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_partial_progress() {
+        let mut sim = BatchedSimulation::new(Frat { n: 100 }, &Configuration::uniform(0u8, 100), 3);
+        let outcome = sim.run_until_silent(50);
+        // 50 interactions cannot silence 100 leaders (needs 99 transitions).
+        assert!(outcome.budget_exhausted());
+        assert_eq!(sim.interactions().count(), 50);
+    }
+
+    #[test]
+    fn run_for_advances_exactly_the_requested_interactions() {
+        let mut sim = BatchedSimulation::new(Frat { n: 50 }, &Configuration::uniform(0u8, 50), 7);
+        sim.run_for(1234);
+        assert_eq!(sim.interactions().count(), 1234);
+        // Once silent, further interactions are all null but still counted.
+        let mut done = BatchedSimulation::new(Frat { n: 50 }, &Configuration::uniform(1u8, 50), 7);
+        done.run_for(777);
+        assert_eq!(done.interactions().count(), 777);
+        assert!(done.is_silent());
+    }
+
+    #[test]
+    fn run_until_stops_at_the_predicate() {
+        let mut sim = BatchedSimulation::new(Frat { n: 60 }, &Configuration::uniform(0u8, 60), 11);
+        let outcome = sim.run_until(|c| c.iter().filter(|&&s| s == 0).count() <= 30, u64::MAX >> 8);
+        assert!(outcome.condition_met());
+        assert!(sim.count_of(&0) <= 30);
+    }
+
+    #[test]
+    fn null_run_sampler_handles_edge_probabilities() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        // Certain success: every pair is non-null.
+        for _ in 0..100 {
+            assert_eq!(sample_null_run(90, 90, &mut rng), 0);
+        }
+        // Tiny success probability: the mean of the geometric should be near
+        // 1/p (here 10_000), sanity-checked loosely.
+        let p_inv = 10_000u64;
+        let samples = 4_000;
+        let total: u128 = (0..samples).map(|_| sample_null_run(1, p_inv, &mut rng) as u128).sum();
+        let mean = total as f64 / samples as f64;
+        assert!(
+            (mean - p_inv as f64).abs() / (p_inv as f64) < 0.1,
+            "geometric mean {mean} should be near {p_inv}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "silent configuration")]
+    fn null_run_sampler_rejects_silent_configurations() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = sample_null_run(0, 90, &mut rng);
+    }
+
+    #[test]
+    fn fenwick_prefix_search_matches_linear_scan() {
+        let weights = [5u64, 0, 3, 7, 0, 1, 4];
+        let mut fw = Fenwick::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            fw.add(i, w as i64);
+        }
+        assert_eq!(fw.total(), 20);
+        for target in 0..20u64 {
+            let mut t = target;
+            let mut expected = 0;
+            for (i, &w) in weights.iter().enumerate() {
+                if t < w {
+                    expected = i;
+                    break;
+                }
+                t -= w;
+            }
+            assert_eq!(fw.find(target), expected, "target {target}");
+        }
+        // Updates, including to zero.
+        fw.add(3, -7);
+        fw.add(1, 2);
+        assert_eq!(fw.total(), 15);
+        assert_eq!(fw.find(5), 1);
+        assert_eq!(fw.find(6), 1);
+        assert_eq!(fw.find(7), 2);
+    }
+
+    #[test]
+    fn engine_reports_agree_on_verdict() {
+        let config = Configuration::uniform(0u8, 40);
+        let exact = Engine::Exact.run_until_silent(Frat { n: 40 }, &config, 9, u64::MAX >> 8);
+        let batched = Engine::Batched.run_until_silent(Frat { n: 40 }, &config, 9, u64::MAX >> 8);
+        assert!(exact.outcome.is_silent());
+        assert!(batched.outcome.is_silent());
+        let leaders = |c: &Configuration<u8>| c.iter().filter(|&&s| s == 0).count();
+        assert_eq!(leaders(&exact.final_config), 1);
+        assert_eq!(leaders(&batched.final_config), 1);
+        assert!(batched.parallel_time().value() > 0.0);
+    }
+}

@@ -93,10 +93,13 @@ impl<S> Configuration<S> {
 
     /// Counts agents whose state satisfies a predicate.
     pub fn count_matching(&self, pred: impl FnMut(&S) -> bool) -> usize {
-        self.states.iter().filter({
-            let mut pred = pred;
-            move |s| pred(s)
-        }).count()
+        self.states
+            .iter()
+            .filter({
+                let mut pred = pred;
+                move |s| pred(s)
+            })
+            .count()
     }
 
     /// Applies a function to every agent's state in place.

@@ -13,9 +13,21 @@
 //! The crate provides the [`Protocol`] trait that concrete protocols implement
 //! (see the `ssle` crate for the paper's protocols and the `processes` crate
 //! for the foundational stochastic processes), [`Configuration`] for global
-//! states, [`Simulation`] for running single executions with convergence /
-//! stabilization / silence detection, and [`runner`] for multi-trial
-//! experiments across threads.
+//! states, and **two interchangeable engines** that simulate the same Markov
+//! chain:
+//!
+//! * [`Simulation`] — the **exact** per-agent engine: O(1) per interaction,
+//!   works for every protocol (including `Sublinear-Time-SSR`'s
+//!   non-enumerable state space);
+//! * [`BatchedSimulation`] — the **batched** multiset engine: represents the
+//!   configuration as state counts, skips each run of null interactions in
+//!   O(1) by sampling its geometric length, and pays only per *non-null*
+//!   interaction. Protocols opt in via [`EnumerableProtocol`]; see the
+//!   [`batched`] module docs for the algorithm and its cost model.
+//!
+//! [`Engine`] routes a workload to either engine behind one interface, and
+//! [`runner`] distributes multi-trial experiments across threads
+//! ([`run_trials`] for closures, [`run_engine_trials`] for engine runs).
 //!
 //! # Example
 //!
@@ -67,6 +79,7 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod batched;
 pub mod config;
 pub mod error;
 pub mod execution;
@@ -77,11 +90,12 @@ pub mod time;
 pub mod trace;
 
 pub use agent::AgentId;
+pub use batched::{sample_null_run, BatchedSimulation, Engine, EngineReport, EnumerableProtocol};
 pub use config::Configuration;
 pub use error::SimError;
 pub use execution::{ConvergenceOutcome, RunOutcome, Simulation, StopReason};
 pub use protocol::{LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
-pub use runner::{run_trials, run_trials_sequential, TrialPlan};
+pub use runner::{run_engine_trials, run_trials, run_trials_sequential, TrialPlan};
 pub use scheduler::{OrderedPair, Scheduler};
 pub use time::{Interactions, ParallelTime};
 pub use trace::{Trace, TraceEvent};
@@ -89,11 +103,12 @@ pub use trace::{Trace, TraceEvent};
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::agent::AgentId;
+    pub use crate::batched::{BatchedSimulation, Engine, EngineReport, EnumerableProtocol};
     pub use crate::config::Configuration;
     pub use crate::error::SimError;
     pub use crate::execution::{ConvergenceOutcome, RunOutcome, Simulation, StopReason};
     pub use crate::protocol::{LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
-    pub use crate::runner::{run_trials, run_trials_sequential, TrialPlan};
+    pub use crate::runner::{run_engine_trials, run_trials, run_trials_sequential, TrialPlan};
     pub use crate::scheduler::{OrderedPair, Scheduler};
     pub use crate::time::{Interactions, ParallelTime};
     pub use crate::trace::{Trace, TraceEvent};

@@ -100,6 +100,73 @@ where
     results.into_iter().map(|r| r.expect("every trial slot is filled")).collect()
 }
 
+/// Runs `plan.trials` independent to-silence executions through the chosen
+/// [`Engine`], in parallel, returning the per-trial [`EngineReport`]s in
+/// trial order.
+///
+/// `setup` receives the trial index and derived seed and builds the
+/// `(protocol, initial configuration)` pair for that trial; the same seed
+/// also drives the engine's scheduler, so a report is reproducible from the
+/// plan alone. This is the one entry point experiments should use so that a
+/// workload can switch between the exact and batched engines without
+/// restructuring.
+///
+/// # Example
+///
+/// ```
+/// use ppsim::prelude::*;
+/// use rand::RngCore;
+///
+/// #[derive(Clone, Copy)]
+/// struct Frat {
+///     n: usize,
+/// }
+/// impl Protocol for Frat {
+///     type State = u8;
+///     fn population_size(&self) -> usize {
+///         self.n
+///     }
+///     fn transition(&self, a: &u8, b: &u8, _rng: &mut dyn RngCore) -> (u8, u8) {
+///         if *a == 0 && *b == 0 { (0, 1) } else { (*a, *b) }
+///     }
+///     fn is_null(&self, a: &u8, b: &u8) -> bool {
+///         !(*a == 0 && *b == 0)
+///     }
+/// }
+/// impl EnumerableProtocol for Frat {
+///     fn num_states(&self) -> usize {
+///         2
+///     }
+///     fn state_index(&self, s: &u8) -> usize {
+///         *s as usize
+///     }
+///     fn state_from_index(&self, i: usize) -> u8 {
+///         i as u8
+///     }
+/// }
+///
+/// let plan = TrialPlan::new(4, 7);
+/// let reports = run_engine_trials(&plan, Engine::Batched, u64::MAX >> 8, |_, _| {
+///     (Frat { n: 30 }, Configuration::uniform(0u8, 30))
+/// });
+/// assert!(reports.iter().all(|r| r.outcome.is_silent()));
+/// ```
+pub fn run_engine_trials<P, F>(
+    plan: &TrialPlan,
+    engine: crate::batched::Engine,
+    budget: u64,
+    setup: F,
+) -> Vec<crate::batched::EngineReport<P::State>>
+where
+    P: crate::batched::EnumerableProtocol,
+    F: Fn(usize, u64) -> (P, crate::config::Configuration<P::State>) + Sync,
+{
+    run_trials(plan, |trial, seed| {
+        let (protocol, config) = setup(trial, seed);
+        engine.run_until_silent(protocol, &config, seed, budget)
+    })
+}
+
 /// Runs trials sequentially on the current thread; useful for closures that
 /// are not `Sync` or for deterministic debugging.
 pub fn run_trials_sequential<T>(

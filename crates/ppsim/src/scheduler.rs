@@ -103,10 +103,7 @@ impl Scheduler {
         if b >= a {
             b += 1;
         }
-        (
-            OrderedPair { initiator: AgentId::new(a), responder: AgentId::new(b) },
-            &mut self.rng,
-        )
+        (OrderedPair { initiator: AgentId::new(a), responder: AgentId::new(b) }, &mut self.rng)
     }
 }
 

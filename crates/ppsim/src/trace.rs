@@ -41,7 +41,12 @@ impl<S> Trace<S> {
     }
 
     /// Records a labelled event.
-    pub fn record(&mut self, at: Interactions, label: impl Into<String>, detail: impl Into<String>) {
+    pub fn record(
+        &mut self,
+        at: Interactions,
+        label: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
         self.events.push(TraceEvent { at, label: label.into(), detail: detail.into() });
     }
 

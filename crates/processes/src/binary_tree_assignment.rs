@@ -157,7 +157,8 @@ fn recruit(n: usize, recruiter: &mut AssignmentState, candidate: &mut Assignment
         return;
     }
     if let AssignmentState::Settled { rank, children } = recruiter {
-        *candidate = AssignmentState::Settled { rank: 2 * *rank + (*children as usize), children: 0 };
+        *candidate =
+            AssignmentState::Settled { rank: 2 * *rank + (*children as usize), children: 0 };
         *children += 1;
     }
 }
@@ -195,8 +196,8 @@ mod tests {
                 }
             }
             // Every rank except 1 is some node's child.
-            for r in 2..=n {
-                assert!(assigned[r], "rank {r} never assigned in tree of size {n}");
+            for (r, &was_assigned) in assigned.iter().enumerate().skip(2) {
+                assert!(was_assigned, "rank {r} never assigned in tree of size {n}");
             }
             assert!(!assigned[1]);
         }

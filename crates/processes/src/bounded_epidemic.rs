@@ -138,10 +138,7 @@ mod tests {
         let results = run_trials(&plan, |_, seed| {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
             let outcome = simulate_bounded_epidemic(n, 2, 100_000_000, &mut rng);
-            (
-                outcome.tau(1).unwrap() as f64 / n as f64,
-                outcome.tau(2).unwrap() as f64 / n as f64,
-            )
+            (outcome.tau(1).unwrap() as f64 / n as f64, outcome.tau(2).unwrap() as f64 / n as f64)
         });
         let mean_tau1 = results.iter().map(|r| r.0).sum::<f64>() / results.len() as f64;
         let mean_tau2 = results.iter().map(|r| r.1).sum::<f64>() / results.len() as f64;
@@ -187,7 +184,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "counted from 1")]
     fn tau_zero_is_rejected() {
-        let outcome = BoundedEpidemicOutcome { tau_interactions: vec![None], total_interactions: 0 };
+        let outcome =
+            BoundedEpidemicOutcome { tau_interactions: vec![None], total_interactions: 0 };
         let _ = outcome.tau(0);
     }
 }

@@ -6,7 +6,96 @@
 //! coupons per step, completing after `~ (1/2)·n·ln n` interactions in
 //! expectation.
 
-use rand::Rng;
+use ppsim::{Configuration, EnumerableProtocol, Protocol};
+use rand::{Rng, RngCore};
+
+/// The participation status of one agent in the pairwise coupon collector.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CouponState {
+    /// The agent has not yet participated in any interaction.
+    Fresh,
+    /// The agent has participated at least once.
+    Collected,
+}
+
+/// Agent-level pairwise coupon collector: every interaction marks both
+/// participants as collected, and the process is over (silent) when nobody is
+/// fresh.
+///
+/// The silence time of this protocol from the all-fresh configuration has
+/// exactly the distribution sampled by
+/// [`simulate_pairwise_coupon_collector`], which makes it a useful
+/// cross-validation target for the batched engine.
+#[derive(Clone, Copy, Debug)]
+pub struct Coupon {
+    n: usize,
+}
+
+impl Coupon {
+    /// Creates the protocol for a population of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "population must have at least two agents");
+        Coupon { n }
+    }
+
+    /// The standard initial configuration: nobody has participated yet.
+    pub fn all_fresh_configuration(&self) -> Configuration<CouponState> {
+        Configuration::uniform(CouponState::Fresh, self.n)
+    }
+}
+
+impl Protocol for Coupon {
+    type State = CouponState;
+
+    fn population_size(&self) -> usize {
+        self.n
+    }
+
+    fn transition(
+        &self,
+        _a: &CouponState,
+        _b: &CouponState,
+        _rng: &mut dyn RngCore,
+    ) -> (CouponState, CouponState) {
+        (CouponState::Collected, CouponState::Collected)
+    }
+
+    fn is_null(&self, a: &CouponState, b: &CouponState) -> bool {
+        matches!((a, b), (CouponState::Collected, CouponState::Collected))
+    }
+}
+
+/// Two states (fresh = 0, collected = 1); a pair is non-null whenever a fresh
+/// agent participates, so fresh partners with both states and collected only
+/// with fresh.
+impl EnumerableProtocol for Coupon {
+    fn num_states(&self) -> usize {
+        2
+    }
+
+    fn state_index(&self, state: &CouponState) -> usize {
+        match state {
+            CouponState::Fresh => 0,
+            CouponState::Collected => 1,
+        }
+    }
+
+    fn state_from_index(&self, index: usize) -> CouponState {
+        match index {
+            0 => CouponState::Fresh,
+            1 => CouponState::Collected,
+            _ => unreachable!("coupon has two states"),
+        }
+    }
+
+    fn interaction_partners(&self, index: usize) -> Option<Vec<usize>> {
+        Some(if index == 0 { vec![0, 1] } else { vec![0] })
+    }
+}
 
 /// Samples the number of interactions until every one of the `n` agents has
 /// participated in at least one interaction.
@@ -91,5 +180,29 @@ mod tests {
     fn tiny_population_rejected() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let _ = simulate_pairwise_coupon_collector(1, &mut rng);
+    }
+
+    #[test]
+    fn batched_protocol_matches_specialized_simulation_mean() {
+        use ppsim::BatchedSimulation;
+        let n = 200;
+        let trials = 150;
+        let plan = TrialPlan::new(trials, 29);
+        let batched = run_trials(&plan, |_, seed| {
+            let protocol = Coupon::new(n);
+            let config = protocol.all_fresh_configuration();
+            let mut sim = BatchedSimulation::new(protocol, &config, seed);
+            assert!(sim.run_until_silent(u64::MAX >> 8).is_silent());
+            assert_eq!(sim.count_of(&CouponState::Fresh), 0);
+            sim.interactions().count() as f64
+        });
+        let specialized = run_trials(&plan, |_, seed| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC0FFEE);
+            simulate_pairwise_coupon_collector(n, &mut rng) as f64
+        });
+        let mean_b = batched.iter().sum::<f64>() / trials as f64;
+        let mean_s = specialized.iter().sum::<f64>() / trials as f64;
+        let relative_gap = (mean_b - mean_s).abs() / mean_s;
+        assert!(relative_gap < 0.1, "batched mean {mean_b} vs specialized mean {mean_s}");
     }
 }

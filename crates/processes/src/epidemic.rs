@@ -12,7 +12,7 @@
 //! geometric waiting times (the number of infected agents is a sufficient
 //! statistic for this process).
 
-use ppsim::{Configuration, Protocol};
+use ppsim::{Configuration, EnumerableProtocol, Protocol};
 use rand::distributions::{Distribution, Uniform};
 use rand::{Rng, RngCore};
 
@@ -86,6 +86,34 @@ impl Protocol for Epidemic {
     }
 }
 
+/// Two states (susceptible = 0, infected = 1); a pair is non-null exactly
+/// when the two statuses differ, so each state's only interaction partner is
+/// the other one and the batched engine runs on its indexed backend.
+impl EnumerableProtocol for Epidemic {
+    fn num_states(&self) -> usize {
+        2
+    }
+
+    fn state_index(&self, state: &EpidemicState) -> usize {
+        match state {
+            EpidemicState::Susceptible => 0,
+            EpidemicState::Infected => 1,
+        }
+    }
+
+    fn state_from_index(&self, index: usize) -> EpidemicState {
+        match index {
+            0 => EpidemicState::Susceptible,
+            1 => EpidemicState::Infected,
+            _ => unreachable!("epidemic has two states"),
+        }
+    }
+
+    fn interaction_partners(&self, index: usize) -> Option<Vec<usize>> {
+        Some(vec![1 - index])
+    }
+}
+
 /// Samples the number of interactions for the two-way epidemic to infect all
 /// `n` agents, starting from `initially_infected` infected agents.
 ///
@@ -104,10 +132,7 @@ pub fn simulate_epidemic_interactions(
     rng: &mut impl Rng,
 ) -> u64 {
     assert!(n >= 2, "population must have at least two agents");
-    assert!(
-        (1..=n).contains(&initially_infected),
-        "initially infected count must be in 1..=n"
-    );
+    assert!((1..=n).contains(&initially_infected), "initially infected count must be in 1..=n");
     let ordered_pairs = (n as f64) * (n as f64 - 1.0);
     let uniform = Uniform::new(0.0f64, 1.0);
     let mut interactions = 0u64;

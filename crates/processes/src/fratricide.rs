@@ -13,7 +13,7 @@
 //!   agents run exactly this process so that, with constant probability, a
 //!   single leader remains when the population awakens.
 
-use ppsim::{Configuration, LeaderElectionProtocol, Protocol};
+use ppsim::{Configuration, EnumerableProtocol, LeaderElectionProtocol, Protocol};
 use rand::distributions::Uniform;
 use rand::{Rng, RngCore};
 
@@ -81,6 +81,34 @@ impl Protocol for Fratricide {
 impl LeaderElectionProtocol for Fratricide {
     fn is_leader(&self, state: &LeaderState) -> bool {
         matches!(state, LeaderState::Leader)
+    }
+}
+
+/// Two states (leader = 0, follower = 1); the only non-null pair is
+/// `(L, L)`, so leaders partner with themselves and followers with nobody —
+/// the sparsest possible structure for the batched engine.
+impl EnumerableProtocol for Fratricide {
+    fn num_states(&self) -> usize {
+        2
+    }
+
+    fn state_index(&self, state: &LeaderState) -> usize {
+        match state {
+            LeaderState::Leader => 0,
+            LeaderState::Follower => 1,
+        }
+    }
+
+    fn state_from_index(&self, index: usize) -> LeaderState {
+        match index {
+            0 => LeaderState::Leader,
+            1 => LeaderState::Follower,
+            _ => unreachable!("fratricide has two states"),
+        }
+    }
+
+    fn interaction_partners(&self, index: usize) -> Option<Vec<usize>> {
+        Some(if index == 0 { vec![0] } else { vec![] })
     }
 }
 

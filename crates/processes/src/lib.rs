@@ -38,7 +38,7 @@ pub use binary_tree_assignment::{
     binary_tree_layout, AssignmentState, BinaryTreeAssignment, TreeSlot,
 };
 pub use bounded_epidemic::{simulate_bounded_epidemic, BoundedEpidemicOutcome};
-pub use coupon::simulate_pairwise_coupon_collector;
+pub use coupon::{simulate_pairwise_coupon_collector, Coupon, CouponState};
 pub use epidemic::{simulate_epidemic_interactions, Epidemic, EpidemicState};
 pub use fratricide::{simulate_fratricide_interactions, Fratricide, LeaderState};
 pub use roll_call::simulate_roll_call_interactions;

@@ -43,7 +43,13 @@ pub struct SyntheticCoinState {
 impl SyntheticCoinState {
     /// A fresh state needing `bits` random bits, starting in the given role.
     pub fn new(bits: u32, role: CoinRole) -> Self {
-        SyntheticCoinState { role, bits_remaining: bits, collected: 0, collected_len: 0, interactions: 0 }
+        SyntheticCoinState {
+            role,
+            bits_remaining: bits,
+            collected: 0,
+            collected_len: 0,
+            interactions: 0,
+        }
     }
 
     /// Whether the agent has finished collecting its bits.

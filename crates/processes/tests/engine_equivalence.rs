@@ -1,0 +1,93 @@
+//! Cross-engine checks for the foundational processes: the batched engine's
+//! silence-time distributions must match the specialized samplers, which are
+//! themselves validated against the paper's closed forms.
+
+use ppsim::prelude::*;
+use processes::{
+    simulate_epidemic_interactions, simulate_fratricide_interactions, Coupon, CouponState,
+    Epidemic, EpidemicState, Fratricide, LeaderState,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const BUDGET: u64 = u64::MAX >> 8;
+
+fn mean(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+#[test]
+fn batched_epidemic_matches_the_specialized_sampler() {
+    let n = 150;
+    let trials = 200;
+    let plan = TrialPlan::new(trials, 5);
+    // The epidemic becomes silent exactly when everyone is infected, so the
+    // batched silence time samples T_n.
+    let batched = run_trials(&plan, |_, seed| {
+        let protocol = Epidemic::new(n);
+        let config = protocol.single_source_configuration();
+        let mut sim = BatchedSimulation::new(protocol, &config, seed);
+        assert!(sim.run_until_silent(BUDGET).is_silent());
+        assert_eq!(sim.count_of(&EpidemicState::Infected), n as u64);
+        sim.interactions().count() as f64
+    });
+    let specialized = run_trials(&plan, |_, seed| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xEE11D);
+        simulate_epidemic_interactions(n, 1, &mut rng) as f64
+    });
+    let (mb, ms) = (mean(&batched), mean(&specialized));
+    let relative_gap = (mb - ms).abs() / ms;
+    assert!(relative_gap < 0.08, "batched mean {mb:.0} vs specialized mean {ms:.0}");
+}
+
+#[test]
+fn batched_fratricide_matches_the_specialized_sampler() {
+    let n = 120;
+    let trials = 200;
+    let plan = TrialPlan::new(trials, 8);
+    let batched = run_trials(&plan, |_, seed| {
+        let protocol = Fratricide::new(n);
+        let config = protocol.all_leaders_configuration();
+        let mut sim = BatchedSimulation::new(protocol, &config, seed);
+        assert!(sim.run_until_silent(BUDGET).is_silent());
+        assert_eq!(sim.count_of(&LeaderState::Leader), 1);
+        sim.interactions().count() as f64
+    });
+    let specialized = run_trials(&plan, |_, seed| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xF8A7);
+        simulate_fratricide_interactions(n, n, &mut rng) as f64
+    });
+    let (mb, ms) = (mean(&batched), mean(&specialized));
+    let relative_gap = (mb - ms).abs() / ms;
+    assert!(relative_gap < 0.08, "batched mean {mb:.0} vs specialized mean {ms:.0}");
+}
+
+#[test]
+fn batched_and_exact_epidemic_agree_per_seed_on_the_verdict() {
+    // Both engines must (a) report non-silence from a single source, (b)
+    // silence after completion, and (c) produce the all-infected multiset.
+    for seed in 0..10 {
+        let protocol = Epidemic::new(40);
+        let init = protocol.single_source_configuration();
+        let exact = Engine::Exact.run_until_silent(protocol, &init, seed, BUDGET);
+        let batched = Engine::Batched.run_until_silent(protocol, &init, seed, BUDGET);
+        assert_eq!(exact.outcome.reason, batched.outcome.reason);
+        assert!(Epidemic::is_complete(&exact.final_config));
+        assert!(Epidemic::is_complete(&batched.final_config));
+    }
+}
+
+#[test]
+fn batched_coupon_collector_requires_at_least_half_n_interactions() {
+    // The deterministic lower bound holds per-run, not just in expectation:
+    // each interaction touches two agents.
+    for seed in 0..20 {
+        let n = 64;
+        let protocol = Coupon::new(n);
+        let config = protocol.all_fresh_configuration();
+        let mut sim = BatchedSimulation::new(protocol, &config, seed);
+        assert!(sim.run_until_silent(BUDGET).is_silent());
+        assert_eq!(sim.count_of(&CouponState::Collected), n as u64);
+        assert!(sim.interactions().count() >= n as u64 / 2);
+    }
+}

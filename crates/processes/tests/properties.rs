@@ -33,8 +33,8 @@ proptest! {
             }
             prop_assert_eq!(slot.parent, if slot.rank == 1 { None } else { Some(slot.rank / 2) });
         }
-        for rank in 2..=n {
-            prop_assert_eq!(parent_of[rank], Some(rank / 2));
+        for (rank, &parent) in parent_of.iter().enumerate().skip(2) {
+            prop_assert_eq!(parent, Some(rank / 2));
         }
     }
 

@@ -16,7 +16,7 @@
 //! configurations, and that no rank assignment of its states is consistent
 //! with all five silent configurations.
 
-use ppsim::{Configuration, LeaderElectionProtocol, Protocol};
+use ppsim::{LeaderElectionProtocol, Protocol};
 use rand::Rng;
 use rand::RngCore;
 
@@ -169,7 +169,7 @@ pub fn find_consistent_rank_assignment() -> Option<Vec<(ObservationState, u8)>> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppsim::Simulation;
+    use ppsim::{Configuration, Simulation};
 
     #[test]
     fn stabilizes_to_a_unique_leader_from_every_initial_configuration() {
@@ -225,10 +225,7 @@ mod tests {
     fn compatibility_is_symmetric() {
         for a in ObservationState::all() {
             for b in ObservationState::all() {
-                assert_eq!(
-                    NonRankingSsle::compatible(&a, &b),
-                    NonRankingSsle::compatible(&b, &a)
-                );
+                assert_eq!(NonRankingSsle::compatible(&a, &b), NonRankingSsle::compatible(&b, &a));
             }
         }
     }

@@ -22,7 +22,9 @@
 //! probability, giving `Θ(n)` expected time overall (Theorem 4.3) and
 //! `O(n log n)` with high probability (Corollary 4.4).
 
-use ppsim::{Configuration, LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
+use ppsim::{
+    Configuration, EnumerableProtocol, LeaderElectionProtocol, Protocol, Rank, RankingProtocol,
+};
 use rand::RngCore;
 
 use crate::params::OptimalSilentParams;
@@ -93,10 +95,7 @@ impl OptimalSilentSsr {
     ///
     /// Panics if `rank` is not in `1..=n`.
     pub fn adversarial_all_same_rank(&self, rank: u32) -> Configuration<OptimalSilentState> {
-        assert!(
-            (1..=self.params.n as u32).contains(&rank),
-            "rank must be in 1..=n"
-        );
+        assert!((1..=self.params.n as u32).contains(&rank), "rank must be in 1..=n");
         Configuration::uniform(OptimalSilentState::Settled { rank, children: 0 }, self.params.n)
     }
 
@@ -111,7 +110,10 @@ impl OptimalSilentSsr {
 
     /// A fully adversarial configuration: every agent gets an independently
     /// random role with random in-range field values.
-    pub fn random_configuration(&self, rng: &mut impl rand::Rng) -> Configuration<OptimalSilentState> {
+    pub fn random_configuration(
+        &self,
+        rng: &mut impl rand::Rng,
+    ) -> Configuration<OptimalSilentState> {
         let n = self.params.n;
         Configuration::from_fn(n, |_| match rng.gen_range(0..3u8) {
             0 => OptimalSilentState::Settled {
@@ -303,10 +305,97 @@ impl OptimalSilentSsr {
     }
 }
 
+/// The `O(n)`-state space of Protocol 3, enumerated as three contiguous
+/// blocks: settled states (`rank` × `children`), unsettled states (by
+/// `errorcount`), and resetting states (`leader` × `resetcount` ×
+/// `delaytimer`).
+///
+/// Unsettled and resetting states interact non-trivially with *every* state
+/// (timers tick on each interaction), so there is no sparse partner
+/// structure; the batched engine uses its dense present-scan backend, which
+/// still wins whenever the population idles in a mostly-settled
+/// configuration (e.g. waiting for the last rank collision to be noticed).
+impl EnumerableProtocol for OptimalSilentSsr {
+    fn num_states(&self) -> usize {
+        let n = self.params.n;
+        let unsettled = self.params.e_max as usize + 1;
+        let resetting =
+            2 * (self.params.reset.r_max as usize + 1) * (self.params.reset.d_max as usize + 1);
+        3 * n + unsettled + resetting
+    }
+
+    fn state_index(&self, state: &OptimalSilentState) -> usize {
+        let n = self.params.n;
+        let e_max = self.params.e_max;
+        let r_max = self.params.reset.r_max;
+        let d_max = self.params.reset.d_max;
+        match *state {
+            OptimalSilentState::Settled { rank, children } => {
+                assert!((1..=n as u32).contains(&rank), "settled rank {rank} out of 1..={n}");
+                assert!(children <= 2, "child count {children} out of 0..=2");
+                (rank as usize - 1) * 3 + children as usize
+            }
+            OptimalSilentState::Unsettled { errorcount } => {
+                assert!(errorcount <= e_max, "errorcount {errorcount} exceeds Emax {e_max}");
+                3 * n + errorcount as usize
+            }
+            OptimalSilentState::Resetting { leader, timers } => {
+                assert!(
+                    timers.resetcount <= r_max,
+                    "resetcount {} exceeds Rmax {r_max}",
+                    timers.resetcount
+                );
+                assert!(
+                    timers.delaytimer <= d_max,
+                    "delaytimer {} exceeds Dmax {d_max}",
+                    timers.delaytimer
+                );
+                let per_leader = (r_max as usize + 1) * (d_max as usize + 1);
+                3 * n
+                    + e_max as usize
+                    + 1
+                    + usize::from(leader) * per_leader
+                    + timers.resetcount as usize * (d_max as usize + 1)
+                    + timers.delaytimer as usize
+            }
+        }
+    }
+
+    fn state_from_index(&self, index: usize) -> OptimalSilentState {
+        let n = self.params.n;
+        let e_max = self.params.e_max as usize;
+        let d_max = self.params.reset.d_max as usize;
+        if index < 3 * n {
+            return OptimalSilentState::Settled {
+                rank: (index / 3) as u32 + 1,
+                children: (index % 3) as u8,
+            };
+        }
+        let index = index - 3 * n;
+        if index <= e_max {
+            return OptimalSilentState::Unsettled { errorcount: index as u32 };
+        }
+        let index = index - (e_max + 1);
+        let per_leader = (self.params.reset.r_max as usize + 1) * (d_max + 1);
+        debug_assert!(index < 2 * per_leader, "state index out of range");
+        let leader = index >= per_leader;
+        let index = index % per_leader;
+        OptimalSilentState::Resetting {
+            leader,
+            timers: crate::reset::ResetTimers {
+                resetcount: (index / (d_max + 1)) as u32,
+                delaytimer: (index % (d_max + 1)) as u32,
+            },
+        }
+    }
+}
+
 impl RankingProtocol for OptimalSilentSsr {
     fn rank(&self, state: &OptimalSilentState) -> Option<Rank> {
         match state {
-            OptimalSilentState::Settled { rank, .. } if *rank >= 1 => Some(Rank::new(*rank as usize)),
+            OptimalSilentState::Settled { rank, .. } if *rank >= 1 => {
+                Some(Rank::new(*rank as usize))
+            }
             _ => None,
         }
     }
@@ -330,7 +419,11 @@ mod tests {
         OptimalSilentSsr::new(OptimalSilentParams::recommended(n))
     }
 
-    fn run_to_correct(protocol: OptimalSilentSsr, config: Configuration<OptimalSilentState>, seed: u64) {
+    fn run_to_correct(
+        protocol: OptimalSilentSsr,
+        config: Configuration<OptimalSilentState>,
+        seed: u64,
+    ) {
         let n = protocol.population_size();
         let mut sim = Simulation::new(protocol, config, seed);
         let budget = 4_000_u64 * (n as u64) * (n as u64) + 2_000_000;
@@ -477,11 +570,8 @@ mod tests {
 
     #[test]
     fn dormant_leaders_fight_during_the_reset() {
-        let params = OptimalSilentParams {
-            n: 8,
-            reset: ResetParams { r_max: 5, d_max: 50 },
-            e_max: 100,
-        };
+        let params =
+            OptimalSilentParams { n: 8, reset: ResetParams { r_max: 5, d_max: 50 }, e_max: 100 };
         let protocol = OptimalSilentSsr::new(params);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
         let dormant_leader = OptimalSilentState::Resetting {
@@ -498,11 +588,8 @@ mod tests {
 
     #[test]
     fn awakening_leader_becomes_root_and_follower_becomes_unsettled() {
-        let params = OptimalSilentParams {
-            n: 8,
-            reset: ResetParams { r_max: 5, d_max: 10 },
-            e_max: 77,
-        };
+        let params =
+            OptimalSilentParams { n: 8, reset: ResetParams { r_max: 5, d_max: 10 }, e_max: 77 };
         let protocol = OptimalSilentSsr::new(params);
         let leader = OptimalSilentState::Resetting {
             leader: true,

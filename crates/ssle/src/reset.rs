@@ -105,10 +105,7 @@ pub fn propagate_reset_step(
     b: ResetStatus,
     params: &ResetParams,
 ) -> (AfterReset, AfterReset) {
-    (
-        propagate_reset_one(a, b, params),
-        propagate_reset_one(b, a, params),
-    )
+    (propagate_reset_one(a, b, params), propagate_reset_one(b, a, params))
 }
 
 /// Computes the outcome for `me` when interacting with `partner`.
@@ -171,7 +168,8 @@ mod tests {
 
     #[test]
     fn both_computing_is_a_no_op() {
-        let (a, b) = propagate_reset_step(ResetStatus::Computing, ResetStatus::Computing, &params());
+        let (a, b) =
+            propagate_reset_step(ResetStatus::Computing, ResetStatus::Computing, &params());
         assert_eq!(a, AfterReset::Computing);
         assert_eq!(b, AfterReset::Computing);
     }
@@ -247,8 +245,7 @@ mod tests {
         let p = params();
         for a_rc in 0..=10u32 {
             for b_rc in 0..=10u32 {
-                let (ra, rb) =
-                    propagate_reset_step(resetting(a_rc, 5), resetting(b_rc, 5), &p);
+                let (ra, rb) = propagate_reset_step(resetting(a_rc, 5), resetting(b_rc, 5), &p);
                 let expected = a_rc.saturating_sub(1).max(b_rc.saturating_sub(1));
                 for r in [ra, rb] {
                     match r {

@@ -13,7 +13,9 @@
 //! [`SilentNStateSsr::barrier_rank`] computes such a `k` and the property
 //! tests in this crate verify it is preserved by transitions.
 
-use ppsim::{Configuration, LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
+use ppsim::{
+    Configuration, EnumerableProtocol, LeaderElectionProtocol, Protocol, Rank, RankingProtocol,
+};
 use rand::RngCore;
 
 /// The state of one agent: its claimed rank, in the paper's `0`-based
@@ -151,6 +153,31 @@ impl RankingProtocol for SilentNStateSsr {
     }
 }
 
+/// The batched engine's favourite protocol: `n` states indexed by rank, and a
+/// transition that is non-null only on *equal* ranks, so each state's only
+/// interaction partner is itself. This unlocks the O(log n)-per-transition
+/// indexed backend, which is what makes `n = 10⁵..10⁶` silences simulable.
+impl EnumerableProtocol for SilentNStateSsr {
+    fn num_states(&self) -> usize {
+        self.n
+    }
+
+    fn state_index(&self, state: &SilentRank) -> usize {
+        let index = state.0 as usize;
+        assert!(index < self.n, "rank {index} out of range for n = {}", self.n);
+        index
+    }
+
+    fn state_from_index(&self, index: usize) -> SilentRank {
+        debug_assert!(index < self.n);
+        SilentRank(index as u32)
+    }
+
+    fn interaction_partners(&self, index: usize) -> Option<Vec<usize>> {
+        Some(vec![index])
+    }
+}
+
 impl LeaderElectionProtocol for SilentNStateSsr {
     fn is_leader(&self, state: &SilentRank) -> bool {
         state.0 == 0
@@ -220,7 +247,7 @@ mod tests {
     fn worst_case_configuration_has_expected_shape() {
         let protocol = SilentNStateSsr::new(8);
         let config = protocol.worst_case_configuration();
-        let mut counts = vec![0usize; 8];
+        let mut counts = [0usize; 8];
         for s in config.iter() {
             counts[s.0 as usize] += 1;
         }

@@ -49,8 +49,9 @@ pub fn log2_states_optimal_silent(params: &OptimalSilentParams) -> f64 {
 pub fn log2_states_sublinear(params: &SublinearParams) -> f64 {
     let n = params.n as f64;
     let name_bits = params.name_bits as f64;
-    let per_node_bits =
-        name_bits + (params.s_max as f64).log2().max(1.0) + (params.t_h as f64 + 1.0).log2().max(1.0);
+    let per_node_bits = name_bits
+        + (params.s_max as f64).log2().max(1.0)
+        + (params.t_h as f64 + 1.0).log2().max(1.0);
     let tree_nodes = n.powi(params.h as i32);
     let roster_bits = n * name_bits;
     let reset_bits =

@@ -171,12 +171,14 @@ mod tests {
         // the impostor cannot produce the sync value a and b generated.
         let a = name(1);
         let b = name(2);
-        let names = vec![a, b, a];
+        let names = [a, b, a];
         let p = params(2);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let mut trees: Vec<HistoryTree> = names.iter().map(|n| HistoryTree::singleton(*n)).collect();
+        let mut trees: Vec<HistoryTree> =
+            names.iter().map(|n| HistoryTree::singleton(*n)).collect();
         let (first, rest) = trees.split_at_mut(1);
-        let outcome = detect_name_collision(&names[0], &mut first[0], &names[1], &mut rest[0], &p, &mut rng);
+        let outcome =
+            detect_name_collision(&names[0], &mut first[0], &names[1], &mut rest[0], &p, &mut rng);
         assert!(!outcome.is_collision());
         let (left, right) = trees.split_at_mut(2);
         let outcome =
@@ -215,14 +217,21 @@ mod tests {
         // protects against fabricated initial trees (Lemma 5.5).
         let a = name(1);
         let b = name(2);
-        let names = vec![a, b, a];
+        let names = [a, b, a];
         let p = params(1).with_t_h(3);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let mut trees: Vec<HistoryTree> = names.iter().map(|n| HistoryTree::singleton(*n)).collect();
+        let mut trees: Vec<HistoryTree> =
+            names.iter().map(|n| HistoryTree::singleton(*n)).collect();
         {
             let (first, rest) = trees.split_at_mut(1);
-            let outcome =
-                detect_name_collision(&names[0], &mut first[0], &names[1], &mut rest[0], &p, &mut rng);
+            let outcome = detect_name_collision(
+                &names[0],
+                &mut first[0],
+                &names[1],
+                &mut rest[0],
+                &p,
+                &mut rng,
+            );
             assert!(!outcome.is_collision());
         }
         // Age b's tree past the timer.

@@ -122,8 +122,7 @@ impl SublinearTimeSsr {
     pub fn colliding_configuration(&self, rng: &mut impl Rng) -> Configuration<SublinearState> {
         let duplicate = Name::random(self.params.name_bits, rng);
         Configuration::from_fn(self.params.n, |i| {
-            let name =
-                if i <= 1 { duplicate } else { Name::random(self.params.name_bits, rng) };
+            let name = if i <= 1 { duplicate } else { Name::random(self.params.name_bits, rng) };
             self.reset_state(name)
         })
     }
@@ -294,12 +293,19 @@ mod tests {
         SublinearTimeSsr::new(SublinearParams::recommended(n, h))
     }
 
-    fn run_to_correct(p: SublinearTimeSsr, config: Configuration<SublinearState>, seed: u64) -> u64 {
+    fn run_to_correct(
+        p: SublinearTimeSsr,
+        config: Configuration<SublinearState>,
+        seed: u64,
+    ) -> u64 {
         let n = p.population_size();
         let mut sim = Simulation::new(p, config, seed);
         let budget = 200_000u64 * n as u64;
         let outcome = sim.run_until(|c| p.is_correct(c), budget);
-        assert!(outcome.condition_met(), "did not reach a correct ranking in {budget} interactions");
+        assert!(
+            outcome.condition_met(),
+            "did not reach a correct ranking in {budget} interactions"
+        );
         outcome.interactions.count()
     }
 
@@ -475,7 +481,8 @@ mod tests {
         let n = 3;
         let p = protocol(n, 1);
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let mk_name = |i: u64| Name::from_bits(&(0..5).map(|b| (i >> b) & 1 == 1).collect::<Vec<_>>());
+        let mk_name =
+            |i: u64| Name::from_bits(&(0..5).map(|b| (i >> b) & 1 == 1).collect::<Vec<_>>());
         // Agent a already knows 3 names; agent b brings a fourth: union > n.
         let a_roster: BTreeSet<Name> = [mk_name(1), mk_name(2), mk_name(3)].into();
         let a = SublinearState::Collecting {

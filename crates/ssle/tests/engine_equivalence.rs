@@ -1,0 +1,192 @@
+//! Cross-engine equivalence: the batched multiset engine and the exact
+//! per-agent engine simulate the same Markov chain.
+//!
+//! The engines consume randomness differently, so per-seed *trajectories*
+//! differ; what must agree is (a) the verdict structure that is almost-sure —
+//! for `Silent-n-state-SSR` every run ends silent in the unique correctly
+//! ranked multiset — and (b) the *distribution* of stabilization times,
+//! checked here by comparing means within combined confidence bounds on
+//! `n ∈ {8, 32, 128}`.
+
+use ppsim::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ssle::params::OptimalSilentParams;
+use ssle::{OptimalSilentSsr, SilentNStateSsr, SilentRank};
+
+const BUDGET: u64 = u64::MAX >> 8;
+
+/// Multiset of rank counts, for order-insensitive comparison.
+fn rank_counts(n: usize, config: &Configuration<SilentRank>) -> Vec<u64> {
+    let mut counts = vec![0u64; n];
+    for s in config.iter() {
+        counts[s.0 as usize] += 1;
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Per-seed verdict equivalence: from any initial multiset, both engines
+    // reach silence, and because Silent-n-state-SSR has a unique silent
+    // multiset (the full permutation of ranks), their final configurations
+    // agree exactly as multisets.
+    #[test]
+    fn both_engines_silence_into_the_ranked_multiset(
+        n in 4usize..20,
+        seed in any::<u64>(),
+        scramble in any::<u64>(),
+    ) {
+        let protocol = SilentNStateSsr::new(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(scramble);
+        let init = protocol.random_configuration(&mut rng);
+
+        let exact = Engine::Exact.run_until_silent(protocol, &init, seed, BUDGET);
+        let batched = Engine::Batched.run_until_silent(protocol, &init, seed, BUDGET);
+
+        prop_assert_eq!(exact.outcome.reason, batched.outcome.reason);
+        prop_assert!(exact.outcome.is_silent());
+        prop_assert_eq!(
+            rank_counts(n, &exact.final_config),
+            rank_counts(n, &batched.final_config)
+        );
+        prop_assert!(protocol.is_correctly_ranked(&batched.final_config));
+    }
+
+    // A silent initial configuration is reported silent by both engines with
+    // zero interactions, for every seed.
+    #[test]
+    fn silent_starts_are_instant_on_both_engines(n in 2usize..30, seed in any::<u64>()) {
+        let protocol = SilentNStateSsr::new(n);
+        let init = protocol.ranked_configuration();
+        let exact = Engine::Exact.run_until_silent(protocol, &init, seed, BUDGET);
+        let batched = Engine::Batched.run_until_silent(protocol, &init, seed, BUDGET);
+        prop_assert!(exact.outcome.is_silent() && batched.outcome.is_silent());
+        prop_assert_eq!(exact.outcome.interactions, Interactions::ZERO);
+        prop_assert_eq!(batched.outcome.interactions, Interactions::ZERO);
+    }
+
+    // The Optimal-Silent-SSR state enumeration is a bijection wherever the
+    // batched engine needs it: index -> state -> index is the identity on the
+    // whole space, and state -> index stays in range.
+    #[test]
+    fn optimal_silent_enumeration_roundtrips(n in 2usize..40, probe in any::<u64>()) {
+        let protocol = OptimalSilentSsr::new(OptimalSilentParams::recommended(n));
+        let total = protocol.num_states();
+        // Probe a pseudo-random selection of indices plus the boundaries.
+        let mut indices = vec![0, total - 1];
+        let mut x = probe;
+        for _ in 0..64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            indices.push((x % total as u64) as usize);
+        }
+        for index in indices {
+            let state = protocol.state_from_index(index);
+            prop_assert_eq!(protocol.state_index(&state), index);
+        }
+    }
+}
+
+/// Runs `trials` to-silence executions of `Silent-n-state-SSR` from random
+/// configurations and returns the per-trial parallel times.
+fn silence_times(n: usize, engine: Engine, trials: usize, seed: u64) -> Vec<f64> {
+    let reports = run_engine_trials(&TrialPlan::new(trials, seed), engine, BUDGET, |_, s| {
+        let protocol = SilentNStateSsr::new(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(s ^ 0xD1CE);
+        let config = protocol.random_configuration(&mut rng);
+        (protocol, config)
+    });
+    reports
+        .into_iter()
+        .map(|r| {
+            assert!(r.outcome.is_silent());
+            r.parallel_time().value()
+        })
+        .collect()
+}
+
+fn mean_and_se(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, (var / n).sqrt())
+}
+
+/// The ISSUE-level acceptance check: mean stabilization times match within
+/// combined confidence bounds on n ∈ {8, 32, 128}. Both engines use the same
+/// trial plans (but independent randomness), so this is a genuine two-sample
+/// comparison of the distributions.
+#[test]
+fn mean_stabilization_times_match_across_engines() {
+    for (n, trials) in [(8usize, 60), (32, 40), (128, 24)] {
+        let exact = silence_times(n, Engine::Exact, trials, 101 + n as u64);
+        let batched = silence_times(n, Engine::Batched, trials, 707 + n as u64);
+        let (me, se_e) = mean_and_se(&exact);
+        let (mb, se_b) = mean_and_se(&batched);
+        let combined = (se_e * se_e + se_b * se_b).sqrt();
+        let gap = (me - mb).abs();
+        assert!(
+            gap <= 4.0 * combined.max(1e-9),
+            "n = {n}: exact mean {me:.3} vs batched mean {mb:.3} \
+             (gap {gap:.3} > 4 × combined SE {combined:.3})"
+        );
+    }
+}
+
+/// Dense-backend equivalence: Optimal-Silent-SSR (no sparse partner
+/// structure) converges to a correct ranking under both engines, and the
+/// mean convergence times agree within combined confidence bounds.
+#[test]
+fn optimal_silent_convergence_matches_across_engines() {
+    let times = |engine: Engine, n: usize, trials: usize, seed: u64| -> Vec<f64> {
+        run_trials(&TrialPlan::new(trials, seed), |_, s| {
+            let protocol = OptimalSilentSsr::new(OptimalSilentParams::recommended(n));
+            let report = engine.run_until(
+                protocol,
+                &protocol.adversarial_all_same_rank(1),
+                s,
+                BUDGET,
+                |c| protocol.is_correct(c),
+            );
+            assert!(report.outcome.condition_met());
+            assert!(protocol.has_unique_leader(&report.final_config));
+            report.parallel_time().value()
+        })
+    };
+    for (n, trials) in [(8usize, 24), (32, 12)] {
+        let exact = times(Engine::Exact, n, trials, 31 + n as u64);
+        let batched = times(Engine::Batched, n, trials, 97 + n as u64);
+        let (me, se_e) = mean_and_se(&exact);
+        let (mb, se_b) = mean_and_se(&batched);
+        let combined = (se_e * se_e + se_b * se_b).sqrt();
+        assert!(
+            (me - mb).abs() <= 4.0 * combined.max(1e-9),
+            "n = {n}: exact mean {me:.3} vs batched mean {mb:.3} (SE {combined:.3})"
+        );
+    }
+}
+
+/// The exact engine reports convergence with a coarse check interval (up to
+/// n/8 interactions late); the batched engine checks after every non-null
+/// transition. Verify the batched engine's silence interaction counts are
+/// plausible against the closed-form worst-case expectation, which the exact
+/// engine reproduced in the seed tests.
+#[test]
+fn batched_worst_case_time_matches_the_closed_form() {
+    let n = 64;
+    let trials = 32;
+    let reports = run_engine_trials(&TrialPlan::new(trials, 9), Engine::Batched, BUDGET, |_, _| {
+        let protocol = SilentNStateSsr::new(n);
+        (protocol, protocol.worst_case_configuration())
+    });
+    let times: Vec<f64> = reports.iter().map(|r| r.parallel_time().value()).collect();
+    let (mean, se) = mean_and_se(&times);
+    // E[T] = (n−1)²/2 parallel time for the bottleneck chain (Theorem 2.4).
+    let expected = ((n - 1) as f64).powi(2) / 2.0;
+    assert!(
+        (mean - expected).abs() <= 4.0 * se + 0.05 * expected,
+        "batched worst-case mean {mean:.1} far from the closed form {expected:.1} (SE {se:.1})"
+    );
+}

@@ -40,7 +40,12 @@ fn main() {
             &params,
             &mut rng,
         );
-        println!("-- {} and {} interact (collision detected: {})", labels[x], labels[y], outcome.is_collision());
+        println!(
+            "-- {} and {} interact (collision detected: {})",
+            labels[x],
+            labels[y],
+            outcome.is_collision()
+        );
         for (label, tree) in labels.iter().zip(&trees) {
             println!("   {label}: {}", render(tree, &names, &labels));
         }

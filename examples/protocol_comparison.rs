@@ -18,13 +18,8 @@ fn main() {
     let sizes = [16usize, 32, 64];
     let trials = 5;
 
-    let mut table = Table::new(vec![
-        "protocol",
-        "n",
-        "mean parallel time",
-        "bits / agent",
-        "silent",
-    ]);
+    let mut table =
+        Table::new(vec!["protocol", "n", "mean parallel time", "bits / agent", "silent"]);
 
     for &n in &sizes {
         // Baseline Θ(n²) protocol.

@@ -66,23 +66,30 @@ fn main() {
     let claimed = rng.gen_range(1..=n as u32);
     sim.set_configuration(protocol.adversarial_all_same_rank(claimed));
     let t3 = converge(&protocol, &mut sim);
-    report("wave 3: total amnesia (everyone claims the same rank)", t3 - before.value(), &protocol, &sim);
+    report(
+        "wave 3: total amnesia (everyone claims the same rank)",
+        t3 - before.value(),
+        &protocol,
+        &sim,
+    );
 
     println!("\nthe fleet recovered a unique coordinator after every fault wave");
 }
 
 /// Runs the simulation until the ranking is correct again and returns the
 /// cumulative parallel time at that point.
-fn converge(
-    protocol: &OptimalSilentSsr,
-    sim: &mut Simulation<OptimalSilentSsr>,
-) -> f64 {
+fn converge(protocol: &OptimalSilentSsr, sim: &mut Simulation<OptimalSilentSsr>) -> f64 {
     let outcome = sim.run_until(|c| protocol.is_correct(c), u64::MAX >> 16);
     assert!(outcome.condition_met(), "the fleet failed to recover");
     sim.parallel_time().value()
 }
 
-fn report(label: &str, elapsed: f64, protocol: &OptimalSilentSsr, sim: &Simulation<OptimalSilentSsr>) {
+fn report(
+    label: &str,
+    elapsed: f64,
+    protocol: &OptimalSilentSsr,
+    sim: &Simulation<OptimalSilentSsr>,
+) {
     let leaders = protocol.leader_count(sim.configuration());
     println!("{label:<55} recovered in {elapsed:>9.1} parallel time  (leaders: {leaders})");
 }

@@ -119,7 +119,7 @@ fn figure_one_layout_matches_the_paper() {
     assert_eq!(children[3], vec![8, 9]);
     assert_eq!(children[4], vec![10, 11]);
     assert_eq!(children[5], vec![12]);
-    for leaf in 6..12 {
-        assert!(children[leaf].is_empty());
+    for leaf_children in &children[6..12] {
+        assert!(leaf_children.is_empty());
     }
 }

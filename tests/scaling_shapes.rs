@@ -90,11 +90,11 @@ fn optimal_silent_beats_the_baseline_at_moderate_sizes() {
 fn deeper_history_trees_detect_collisions_faster() {
     // The H-parameterized trade-off (Table 1 last row): larger H means lower
     // detection/stabilization time. H = 0 is direct detection (Θ(n)).
+    // Full stabilization at this size is dominated by the additive reset and
+    // roll-call costs (standard deviation ~15 parallel time units), so a
+    // handful of trials cannot resolve the H-separation; 20 trials can.
     let n = 24;
-    let t0 = sublinear_time(n, 0, 6, 21);
-    let t2 = sublinear_time(n, 2, 6, 23);
-    assert!(
-        t2 < t0,
-        "H = 2 ({t2}) should stabilize faster than direct detection H = 0 ({t0})"
-    );
+    let t0 = sublinear_time(n, 0, 20, 21);
+    let t2 = sublinear_time(n, 2, 20, 23);
+    assert!(t2 < t0, "H = 2 ({t2}) should stabilize faster than direct detection H = 0 ({t0})");
 }

@@ -86,11 +86,8 @@ fn optimal_silent_recovers_from_mid_run_faults() {
     assert!(outcome.condition_met());
 
     // Fault 1: duplicate the leader's state onto half the population.
-    let leader_state = *sim
-        .configuration()
-        .iter()
-        .find(|s| protocol.is_leader(s))
-        .expect("leader exists");
+    let leader_state =
+        *sim.configuration().iter().find(|s| protocol.is_leader(s)).expect("leader exists");
     sim.corrupt(|i, s| {
         if i % 2 == 0 {
             *s = leader_state;

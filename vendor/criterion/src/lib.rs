@@ -1,0 +1,243 @@
+//! Vendored, offline subset of the `criterion` benchmarking API.
+//!
+//! Provides just enough surface for this workspace's benches to compile and
+//! produce useful timings without network access: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Instead of criterion's
+//! statistical machinery it runs a fixed warm-up followed by timed batches and
+//! reports the mean time per iteration.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an identifier from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Creates an identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, measuring the mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        loop {
+            std::hint::black_box(routine());
+            if Instant::now() >= warm_up_end {
+                break;
+            }
+        }
+        // Measurement: `sample_size` samples or until the time budget runs
+        // out, whichever comes first (but at least one sample).
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            iterations += 1;
+            if iterations >= self.sample_size as u64 || start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iterations as f64;
+        self.iterations = iterations;
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input value.
+    pub fn bench_with_input<I, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            mean_ns: 0.0,
+            iterations: 0,
+        };
+        routine(&mut bencher, input);
+        self.criterion.report(&format!("{}/{}", self.name, id), &bencher);
+        self
+    }
+
+    /// Benchmarks `routine` with no input.
+    pub fn bench_function<R>(&mut self, id: impl fmt::Display, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            mean_ns: 0.0,
+            iterations: 0,
+        };
+        routine(&mut bencher);
+        self.criterion.report(&format!("{}/{}", self.name, id), &bencher);
+        self
+    }
+
+    /// Ends the group (no-op beyond matching criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<R>(&mut self, name: &str, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            mean_ns: 0.0,
+            iterations: 0,
+        };
+        routine(&mut bencher);
+        self.report(name, &bencher);
+        self
+    }
+
+    fn report(&mut self, name: &str, bencher: &Bencher) {
+        let mean = bencher.mean_ns;
+        let (value, unit) = if mean >= 1e9 {
+            (mean / 1e9, "s")
+        } else if mean >= 1e6 {
+            (mean / 1e6, "ms")
+        } else if mean >= 1e3 {
+            (mean / 1e3, "µs")
+        } else {
+            (mean, "ns")
+        };
+        println!("{name:<60} time: {value:>10.3} {unit}  ({} iterations)", bencher.iterations);
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3).measurement_time(Duration::from_millis(10));
+        group.warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("count", 1), &1u32, |b, &_n| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            });
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn ids_render_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,373 @@
+//! Vendored, offline subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! the small slice of `rand` that the simulator actually uses: [`RngCore`],
+//! [`Rng`] (with `gen`, `gen_range`, `gen_bool`, `sample`), [`SeedableRng`],
+//! the [`distributions`] module (`Distribution`, `Standard`, `Uniform`), and
+//! [`rngs::mock::StepRng`]. Semantics follow `rand` 0.8 closely enough for
+//! the simulation (uniformity, determinism-from-seed); the exact output
+//! streams differ from upstream `rand`, which is fine because nothing in the
+//! repository depends on upstream's bit-exact sequences.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: raw integer output.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A seedable generator, reproducible from a fixed-size seed or a `u64`.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it with SplitMix64 like
+    /// `rand_core` does.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut x = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Uniformly samples a value below `bound` (exclusive) using the widening
+/// multiplication method. The modulo bias is at most `bound / 2^64`, far below
+/// anything observable in simulation statistics.
+fn sample_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    (((rng.next_u64() as u128) * (bound as u128)) >> 64) as u64
+}
+
+/// Standard `f64` in `[0, 1)` with 53 bits of precision.
+fn sample_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// User-facing extension methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the [`distributions::Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        distributions::Distribution::sample(&distributions::Standard, self)
+    }
+
+    /// Samples uniformly from a (half-open or inclusive) range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        sample_f64(self) < p
+    }
+
+    /// Samples a value from the given distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that can be sampled uniformly (the argument of
+/// [`Rng::gen_range`]).
+pub trait SampleRange<T> {
+    /// Samples a single value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(sample_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Only reachable for the full u64/i64 domain.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(sample_below(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + sample_f64(rng) * (self.end - self.start)
+    }
+}
+
+/// Distributions over values, mirroring `rand::distributions`.
+pub mod distributions {
+    use super::{sample_f64, RngCore, SampleRange};
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Samples a value using `rng` as the source of randomness.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution of a type: uniform over all values for
+    /// integers and `bool`, uniform in `[0, 1)` for floats.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            sample_f64(rng)
+        }
+    }
+
+    /// A uniform distribution over a half-open range, constructed once and
+    /// sampled many times.
+    #[derive(Clone, Copy, PartialEq, Debug)]
+    pub struct Uniform<X> {
+        low: X,
+        high: X,
+    }
+
+    impl<X: PartialOrd + Copy> Uniform<X> {
+        /// Creates a uniform distribution over `[low, high)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `low >= high`.
+        pub fn new(low: X, high: X) -> Self {
+            assert!(low < high, "Uniform::new requires low < high");
+            Uniform { low, high }
+        }
+    }
+
+    impl Distribution<f64> for Uniform<f64> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            (self.low..self.high).sample_single(rng)
+        }
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Uniform<$t> {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    (self.low..self.high).sample_single(rng)
+                }
+            }
+        )*};
+    }
+    uniform_int!(u8, u16, u32, u64, usize, i32, i64);
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// Mock generators for tests, mirroring `rand::rngs::mock`.
+    pub mod mock {
+        use crate::RngCore;
+
+        /// A deterministic counter "generator": yields `initial`,
+        /// `initial + increment`, ... Useful only in tests.
+        #[derive(Clone, Debug, PartialEq, Eq)]
+        pub struct StepRng {
+            value: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// Creates a stepping generator.
+            pub fn new(initial: u64, increment: u64) -> Self {
+                StepRng { value: initial, increment }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u32(&mut self) -> u32 {
+                self.next_u64() as u32
+            }
+            fn next_u64(&mut self) -> u64 {
+                let out = self.value;
+                self.value = self.value.wrapping_add(self.increment);
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::mock::StepRng;
+    use super::*;
+
+    /// SplitMix64, good enough to exercise the trait plumbing.
+    struct Mix(u64);
+    impl RngCore for Mix {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Mix(1);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0u32..=5);
+            assert!(y <= 5);
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = Mix(7);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "count {c} too far from uniform");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = Mix(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((hits as f64 - 25_000.0).abs() < 1_500.0, "{hits} hits");
+    }
+
+    #[test]
+    fn uniform_distribution_samples_unit_interval() {
+        let mut rng = Mix(9);
+        let u = Uniform::new(0.0f64, 1.0);
+        let mean = (0..10_000).map(|_| u.sample(&mut rng)).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn step_rng_counts() {
+        let mut rng = StepRng::new(5, 2);
+        assert_eq!(rng.next_u64(), 5);
+        assert_eq!(rng.next_u64(), 7);
+    }
+
+    #[test]
+    fn rng_methods_work_through_dyn_rngcore() {
+        let mut concrete = Mix(11);
+        let rng: &mut dyn RngCore = &mut concrete;
+        let x = rng.gen_range(0usize..10);
+        assert!(x < 10);
+        let _ = rng.gen_bool(0.5);
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = Mix(2);
+        let mut buf = [0u8; 11];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
