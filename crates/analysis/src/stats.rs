@@ -2,6 +2,34 @@
 
 use std::fmt;
 
+/// Two-sided 95% Student-t quantile `t_{0.975, df}`: the half-width of a 95%
+/// confidence interval for a mean is `t_{0.975, n−1} · SE`, not `1.96 · SE`.
+///
+/// The experiment suites run 6–20 trials per cell, where the normal
+/// approximation is ~10–30% too narrow (`t_{0.975,5} = 2.571` vs 1.96); a
+/// small table covers the exact quantiles up to 30 degrees of freedom, with a
+/// coarse bridge to the normal limit beyond.
+///
+/// `df == 0` (a single observation) returns infinity: one sample carries no
+/// width information. Callers producing intervals should special-case it
+/// (see [`Summary::confidence_interval_95`]).
+pub fn t_quantile_975(df: usize) -> f64 {
+    // t_{0.975, df} for df = 1..=30 (standard table, 3 decimals).
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[df - 1],
+        31..=40 => 2.021,
+        41..=60 => 2.000,
+        61..=120 => 1.980,
+        _ => 1.96,
+    }
+}
+
 /// Descriptive statistics of a sample of `f64` observations.
 ///
 /// # Example
@@ -87,10 +115,22 @@ impl Summary {
         }
     }
 
-    /// An approximate 95% confidence interval for the mean (normal
-    /// approximation, ±1.96 standard errors).
+    /// The half-width of the 95% confidence interval for the mean:
+    /// `t_{0.975, count−1}` standard errors (zero for fewer than two
+    /// observations, where no width can be estimated).
+    pub fn half_width_95(&self) -> f64 {
+        if self.count <= 1 {
+            return 0.0;
+        }
+        t_quantile_975(self.count - 1) * self.standard_error()
+    }
+
+    /// A 95% confidence interval for the mean using Student-t quantiles,
+    /// which matter at the 6–20-trial sample sizes the experiment suites
+    /// actually run (the normal ±1.96·SE interval is ~30% too narrow at
+    /// 6 trials). Degenerate (zero-width) for fewer than two observations.
     pub fn confidence_interval_95(&self) -> (f64, f64) {
-        let half = 1.96 * self.standard_error();
+        let half = self.half_width_95();
         (self.mean - half, self.mean + half)
     }
 
@@ -109,7 +149,7 @@ impl fmt::Display for Summary {
             f,
             "mean={:.4} ±{:.4} (sd={:.4}, median={:.4}, min={:.4}, max={:.4}, n={})",
             self.mean,
-            1.96 * self.standard_error(),
+            self.half_width_95(),
             self.std_dev,
             self.median,
             self.min,
@@ -166,6 +206,51 @@ mod tests {
         let (lo, hi) = s.confidence_interval_95();
         assert!(lo < s.mean && s.mean < hi);
         assert!(hi - lo < 1.0);
+    }
+
+    #[test]
+    fn t_quantiles_match_the_standard_table() {
+        assert_eq!(t_quantile_975(1), 12.706);
+        assert_eq!(t_quantile_975(5), 2.571);
+        assert_eq!(t_quantile_975(19), 2.093);
+        assert_eq!(t_quantile_975(30), 2.042);
+        assert_eq!(t_quantile_975(1000), 1.96);
+        assert!(t_quantile_975(0).is_infinite());
+        // Monotone non-increasing toward the normal limit.
+        for df in 1..200 {
+            assert!(t_quantile_975(df) >= t_quantile_975(df + 1));
+            assert!(t_quantile_975(df) >= 1.96);
+        }
+    }
+
+    #[test]
+    fn six_trial_interval_uses_t_not_normal() {
+        // The equivalence suites run as few as 6 trials: the half-width must
+        // be 2.571·SE (df = 5), ~31% wider than the normal 1.96·SE.
+        let samples = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let s = Summary::from_samples(&samples);
+        let (lo, hi) = s.confidence_interval_95();
+        let expected_half = 2.571 * s.standard_error();
+        assert!((hi - s.mean - expected_half).abs() < 1e-12);
+        assert!((s.mean - lo - expected_half).abs() < 1e-12);
+        assert!(expected_half / (1.96 * s.standard_error()) > 1.3);
+    }
+
+    #[test]
+    fn twenty_trial_interval_uses_t_not_normal() {
+        let samples: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let s = Summary::from_samples(&samples);
+        let (lo, hi) = s.confidence_interval_95();
+        let expected_half = 2.093 * s.standard_error();
+        assert!((hi - lo - 2.0 * expected_half).abs() < 1e-12);
+        assert!(lo < s.mean && s.mean < hi);
+    }
+
+    #[test]
+    fn single_observation_interval_is_degenerate() {
+        let s = Summary::from_samples(&[3.5]);
+        assert_eq!(s.half_width_95(), 0.0);
+        assert_eq!(s.confidence_interval_95(), (3.5, 3.5));
     }
 
     #[test]

@@ -22,6 +22,112 @@ use ssle::{OptimalSilentSsr, SilentNStateSsr, SublinearTimeSsr};
 
 pub use ppsim::Engine;
 
+/// Parallel silence times of a [`Scenario`] family on the chosen engine: one
+/// trial per seed, each generating its family member and running it to
+/// silence.
+///
+/// This is the scenario subsystem's generic measurement routine for silent
+/// protocols (and silence-terminated processes); every trial must actually
+/// reach silence within `budget` interactions or the routine panics —
+/// adversarial starts that fail to stabilize are treated as errors, not
+/// data. Callers pick a budget comfortably above the protocol's expected
+/// stabilization time but small enough that a regression *panics* rather
+/// than hangs (on the exact engine a near-maximal budget would step for
+/// years before exhausting). Callers needing a correctness predicate
+/// instead of silence use [`scenario_convergence_times_with_engine`].
+pub fn scenario_times_with_engine<P, F>(
+    make_protocol: F,
+    scenario: &Scenario<P>,
+    trials: usize,
+    seed: u64,
+    engine: Engine,
+    budget: u64,
+) -> Vec<f64>
+where
+    P: EnumerableProtocol,
+    F: Fn(usize, u64) -> P + Sync,
+{
+    let plan = TrialPlan::new(trials, seed);
+    let reports = run_scenario_trials(&plan, engine, budget, scenario, make_protocol);
+    reports
+        .into_iter()
+        .map(|report| {
+            assert!(
+                report.outcome.is_silent(),
+                "scenario {:?} failed to silence within {budget} interactions",
+                scenario.name()
+            );
+            report.parallel_time().value()
+        })
+        .collect()
+}
+
+/// Parallel convergence times of a [`Scenario`] family on the chosen engine:
+/// each trial runs until `correct` holds for the configuration.
+///
+/// Every trial must converge within `budget` interactions or the routine
+/// panics. The budget must be finite-minded (see
+/// [`scenario_times_with_engine`]): the exact engine's `run_until` has no
+/// silence early-exit, so a non-converging regression runs the budget down
+/// step by step.
+pub fn scenario_convergence_times_with_engine<P, F, C>(
+    make_protocol: F,
+    scenario: &Scenario<P>,
+    correct: C,
+    trials: usize,
+    seed: u64,
+    engine: Engine,
+    budget: u64,
+) -> Vec<f64>
+where
+    P: EnumerableProtocol + Clone,
+    F: Fn(usize, u64) -> P + Sync,
+    C: Fn(&P, &ppsim::Configuration<P::State>) -> bool + Sync,
+{
+    let plan = TrialPlan::new(trials, seed);
+    run_trials(&plan, |trial, trial_seed| {
+        let protocol = make_protocol(trial, trial_seed);
+        let config = scenario.configuration(&protocol, trial_seed);
+        let report = engine
+            .run_until(protocol.clone(), &config, trial_seed, budget, |c| correct(&protocol, c));
+        assert!(
+            report.outcome.condition_met(),
+            "scenario {:?} failed to converge within {budget} interactions",
+            scenario.name()
+        );
+        report.parallel_time().value()
+    })
+}
+
+/// Parallel convergence times of a `Sublinear-Time-SSR` [`Scenario`] family.
+///
+/// The protocol's state space is not enumerable (names × history trees), so
+/// its scenarios always run on the exact engine; `budget` bounds each trial
+/// (the protocol is non-silent, so a run that never converges would
+/// otherwise spin forever).
+pub fn sublinear_scenario_times(
+    n: usize,
+    h: u32,
+    scenario: &Scenario<SublinearTimeSsr>,
+    trials: usize,
+    seed: u64,
+    budget: u64,
+) -> Vec<f64> {
+    let plan = TrialPlan::new(trials, seed);
+    run_trials(&plan, |_, trial_seed| {
+        let protocol = SublinearTimeSsr::new(SublinearParams::recommended(n, h));
+        let config = scenario.configuration(&protocol, trial_seed);
+        let mut sim = Simulation::new(protocol, config, trial_seed);
+        let outcome = sim.run_until(|c| protocol.is_correct(c), budget);
+        assert!(
+            outcome.condition_met(),
+            "scenario {:?} failed to converge within {budget} interactions",
+            scenario.name()
+        );
+        sim.parallel_time().value()
+    })
+}
+
 /// Picks the simulation engine from a `--engine exact|batched` (or
 /// `--engine=...`) command-line flag, falling back to `default`. Experiment
 /// binaries use this so each workload's default routing (batched where the
@@ -337,6 +443,44 @@ mod tests {
         assert!(clean <= worst);
         // A ranked configuration is already silent.
         assert_eq!(clean, 0.0);
+    }
+
+    #[test]
+    fn scenario_routines_measure_all_families() {
+        use ssle::SilentNStateSsr;
+        for scenario in SilentNStateSsr::adversarial_scenarios() {
+            for engine in [Engine::Exact, Engine::Batched] {
+                let times = scenario_times_with_engine(
+                    |_, _| SilentNStateSsr::new(10),
+                    &scenario,
+                    2,
+                    11,
+                    engine,
+                    50_000_000,
+                );
+                assert_eq!(times.len(), 2);
+                assert!(times.iter().all(|&t| t >= 0.0));
+            }
+        }
+        let scenarios = OptimalSilentSsr::adversarial_scenarios();
+        let times = scenario_convergence_times_with_engine(
+            |_, _| OptimalSilentSsr::new(OptimalSilentParams::recommended(10)),
+            &scenarios[0],
+            |p, c| p.is_correct(c),
+            2,
+            13,
+            Engine::Exact,
+            50_000_000,
+        );
+        assert!(times.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn sublinear_scenarios_measure_on_the_exact_engine() {
+        let scenarios = SublinearTimeSsr::adversarial_scenarios();
+        let times = sublinear_scenario_times(10, 1, &scenarios[0], 2, 17, 100_000_000);
+        assert_eq!(times.len(), 2);
+        assert!(times.iter().all(|&t| t > 0.0));
     }
 
     #[test]

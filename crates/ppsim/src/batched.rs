@@ -143,6 +143,56 @@ pub trait EnumerableProtocol: Protocol {
     }
 }
 
+/// Wraps an [`EnumerableProtocol`], dropping its sparse partner structure so
+/// the batched engine selects the dense present-scan backend regardless of
+/// what the inner protocol declares.
+///
+/// The two backends simulate the same Markov chain, so any observable
+/// difference between `P` and `ForceDense<P>` — non-null pair weight,
+/// silence verdict, final multiset distribution — is an engine bug. The
+/// cross-backend equivalence suites run matching configurations through
+/// both and compare.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ForceDense<P>(pub P);
+
+impl<P: Protocol> Protocol for ForceDense<P> {
+    type State = P::State;
+
+    fn population_size(&self) -> usize {
+        self.0.population_size()
+    }
+
+    fn transition(
+        &self,
+        initiator: &Self::State,
+        responder: &Self::State,
+        rng: &mut dyn RngCore,
+    ) -> (Self::State, Self::State) {
+        self.0.transition(initiator, responder, rng)
+    }
+
+    fn is_null(&self, initiator: &Self::State, responder: &Self::State) -> bool {
+        self.0.is_null(initiator, responder)
+    }
+}
+
+impl<P: EnumerableProtocol> EnumerableProtocol for ForceDense<P> {
+    fn num_states(&self) -> usize {
+        self.0.num_states()
+    }
+
+    fn state_index(&self, state: &Self::State) -> usize {
+        self.0.state_index(state)
+    }
+
+    fn state_from_index(&self, index: usize) -> Self::State {
+        self.0.state_from_index(index)
+    }
+
+    // interaction_partners deliberately left at the default `None`: that is
+    // the whole point of the wrapper.
+}
+
 /// Samples the length of a run of null interactions: the number of failures
 /// before the first success in i.i.d. trials with success probability
 /// `active_pairs / total_pairs`, drawn by inversion in O(1).
@@ -871,37 +921,6 @@ mod tests {
         }
     }
 
-    /// Same protocol forced onto the dense present-scan backend.
-    #[derive(Clone, Copy, Debug)]
-    struct FratDense {
-        n: usize,
-    }
-
-    impl Protocol for FratDense {
-        type State = u8;
-        fn population_size(&self) -> usize {
-            self.n
-        }
-        fn transition(&self, a: &u8, b: &u8, rng: &mut dyn RngCore) -> (u8, u8) {
-            Frat { n: self.n }.transition(a, b, rng)
-        }
-        fn is_null(&self, a: &u8, b: &u8) -> bool {
-            Frat { n: self.n }.is_null(a, b)
-        }
-    }
-
-    impl EnumerableProtocol for FratDense {
-        fn num_states(&self) -> usize {
-            2
-        }
-        fn state_index(&self, s: &u8) -> usize {
-            *s as usize
-        }
-        fn state_from_index(&self, i: usize) -> u8 {
-            i as u8
-        }
-    }
-
     #[test]
     fn all_null_configuration_is_immediately_silent() {
         // All followers: A = 0, so the run is silent with zero interactions.
@@ -936,7 +955,7 @@ mod tests {
             assert_eq!(sim.count_of(&1), 199);
 
             let mut dense = BatchedSimulation::new(
-                FratDense { n: 200 },
+                ForceDense(Frat { n: 200 }),
                 &Configuration::uniform(0u8, 200),
                 seed,
             );

@@ -24,8 +24,11 @@ pub enum StopReason {
 pub struct RunOutcome {
     /// Why the run stopped.
     pub reason: StopReason,
-    /// Total interactions executed by the simulation when it stopped
-    /// (cumulative over the simulation's lifetime, not just this run).
+    /// The interaction count (cumulative over the simulation's lifetime) at
+    /// which the run's outcome was established. For [`StopReason::Silent`]
+    /// this is the **exact** silence point: the last interaction that changed
+    /// the configuration (the configuration has been silent ever since). For
+    /// the other reasons it is the total executed when the run stopped.
     pub interactions: Interactions,
 }
 
@@ -86,6 +89,10 @@ pub struct Simulation<P: Protocol> {
     config: Configuration<P::State>,
     scheduler: Scheduler,
     interactions: Interactions,
+    /// Interaction count right after the configuration last changed (by a
+    /// state-changing step, [`Simulation::set_configuration`] or
+    /// [`Simulation::corrupt`]); the exact silence point once silence holds.
+    last_change: Interactions,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -126,6 +133,7 @@ impl<P: Protocol> Simulation<P> {
             config,
             scheduler: Scheduler::new(n, seed),
             interactions: Interactions::ZERO,
+            last_change: Interactions::ZERO,
         })
     }
 
@@ -152,17 +160,26 @@ impl<P: Protocol> Simulation<P> {
             "replacement configuration must keep the population size"
         );
         self.config = config;
+        self.last_change = self.interactions;
     }
 
     /// Applies an arbitrary corruption to the current configuration in place,
     /// modelling transient memory faults.
     pub fn corrupt(&mut self, f: impl FnMut(usize, &mut P::State)) {
         self.config.map_in_place(f);
+        self.last_change = self.interactions;
     }
 
     /// Total interactions executed so far.
     pub fn interactions(&self) -> Interactions {
         self.interactions
+    }
+
+    /// The interaction count right after the configuration last changed
+    /// (zero if it never has). Once the configuration is silent, this is the
+    /// exact silence point reported by [`Simulation::run_until_silent`].
+    pub fn last_change(&self) -> Interactions {
+        self.last_change
     }
 
     /// Total parallel time elapsed so far.
@@ -182,9 +199,13 @@ impl<P: Protocol> Simulation<P> {
         let a = self.config.state(pair.initiator).clone();
         let b = self.config.state(pair.responder).clone();
         let (a2, b2) = self.protocol.transition(&a, &b, rng);
+        let changed = a2 != a || b2 != b;
         self.config.set(pair.initiator, a2);
         self.config.set(pair.responder, b2);
         self.interactions += Interactions::new(1);
+        if changed {
+            self.last_change = self.interactions;
+        }
         pair
     }
 
@@ -208,12 +229,16 @@ impl<P: Protocol> Simulation<P> {
 
     /// Silence check that also reports how many distinct states are present,
     /// so callers can amortize the check's O(distinct²) cost.
+    ///
+    /// Both orders of each unordered pair are queried together, so only pairs
+    /// with `j ≥ i` are visited — half the iterations of the naive ordered
+    /// scan, on the exact engine's hot path.
     fn is_silent_with_distinct(&self) -> (bool, usize) {
         let counts = self.config.state_counts();
         let states: Vec<&P::State> = counts.keys().collect();
         for (i, &s) in states.iter().enumerate() {
-            for (j, &t) in states.iter().enumerate() {
-                if i == j && counts[s] < 2 {
+            for (offset, &t) in states[i..].iter().enumerate() {
+                if offset == 0 && counts[s] < 2 {
                     continue;
                 }
                 if !self.protocol.is_null(s, t) || !self.protocol.is_null(t, s) {
@@ -263,14 +288,17 @@ impl<P: Protocol> Simulation<P> {
     /// stabilization time ≤ silence time).
     ///
     /// The silence check costs O(distinct²) null-transition queries, so the
-    /// check interval is scaled with the number of distinct states present:
-    /// the reported silence point overshoots the true one by at most one
-    /// interval, a vanishing fraction of parallel time, while keeping the
-    /// check overhead proportional to the stepping work itself.
+    /// check interval is scaled with the number of distinct states present,
+    /// keeping the check overhead proportional to the stepping work itself.
+    /// The reported silence time is nevertheless **exact**: silence is only
+    /// *detected* up to one check interval late, but it is *reported* at the
+    /// last interaction that changed the configuration — the configuration
+    /// has been silent ever since, and trailing null interactions cannot have
+    /// changed it.
     pub fn run_until_silent(&mut self, budget: u64) -> RunOutcome {
         let (silent, mut distinct) = self.is_silent_with_distinct();
         if silent {
-            return RunOutcome { reason: StopReason::Silent, interactions: self.interactions };
+            return RunOutcome { reason: StopReason::Silent, interactions: self.last_change };
         }
         let mut executed = 0u64;
         while executed < budget {
@@ -283,7 +311,7 @@ impl<P: Protocol> Simulation<P> {
             executed += chunk;
             let (silent, now_distinct) = self.is_silent_with_distinct();
             if silent {
-                return RunOutcome { reason: StopReason::Silent, interactions: self.interactions };
+                return RunOutcome { reason: StopReason::Silent, interactions: self.last_change };
             }
             distinct = now_distinct;
         }
@@ -460,6 +488,46 @@ mod tests {
         let outcome = sim.run_until_silent(1_000_000);
         assert!(outcome.is_silent());
         assert_eq!(leaders(sim.configuration()), 1);
+    }
+
+    #[test]
+    fn silence_is_reported_at_the_last_state_changing_interaction() {
+        // Replay the same seeded trajectory step by step to find the true
+        // last state-changing interaction, then check that run_until_silent
+        // reports exactly that point (not the end of its check chunk).
+        for seed in [3u64, 7, 11, 42] {
+            let n = 40;
+            let mut manual =
+                Simulation::new(Fratricide { n }, Configuration::uniform(S::L, n), seed);
+            let mut last_change = Interactions::ZERO;
+            while !manual.is_silent() {
+                let before = manual.configuration().clone();
+                manual.step();
+                if manual.configuration() != &before {
+                    last_change = manual.interactions();
+                }
+            }
+            let mut sim = Simulation::new(Fratricide { n }, Configuration::uniform(S::L, n), seed);
+            let outcome = sim.run_until_silent(10_000_000);
+            assert!(outcome.is_silent());
+            assert_eq!(outcome.interactions, last_change, "seed {seed}");
+            assert_eq!(sim.last_change(), last_change);
+            // The simulation itself keeps stepping to the end of the check
+            // chunk; only the *reported* silence point is exact.
+            assert!(sim.interactions() >= outcome.interactions);
+        }
+    }
+
+    #[test]
+    fn silence_point_survives_trailing_null_interactions() {
+        // Run past silence with run_for: the extra null interactions must not
+        // move the reported silence point.
+        let mut sim = Simulation::new(Fratricide { n: 20 }, Configuration::uniform(S::L, 20), 9);
+        let first = sim.run_until_silent(10_000_000);
+        assert!(first.is_silent());
+        sim.run_for(5_000);
+        let again = sim.run_until_silent(10_000_000);
+        assert_eq!(again.interactions, first.interactions);
     }
 
     #[test]

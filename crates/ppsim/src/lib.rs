@@ -85,17 +85,23 @@ pub mod error;
 pub mod execution;
 pub mod protocol;
 pub mod runner;
+pub mod scenario;
 pub mod scheduler;
 pub mod time;
 pub mod trace;
 
 pub use agent::AgentId;
-pub use batched::{sample_null_run, BatchedSimulation, Engine, EngineReport, EnumerableProtocol};
+pub use batched::{
+    sample_null_run, BatchedSimulation, Engine, EngineReport, EnumerableProtocol, ForceDense,
+};
 pub use config::Configuration;
 pub use error::SimError;
 pub use execution::{ConvergenceOutcome, RunOutcome, Simulation, StopReason};
 pub use protocol::{LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
-pub use runner::{run_engine_trials, run_trials, run_trials_sequential, TrialPlan};
+pub use runner::{
+    run_engine_trials, run_scenario_trials, run_trials, run_trials_sequential, TrialPlan,
+};
+pub use scenario::{Scenario, ScenarioRng};
 pub use scheduler::{OrderedPair, Scheduler};
 pub use time::{Interactions, ParallelTime};
 pub use trace::{Trace, TraceEvent};
@@ -103,12 +109,17 @@ pub use trace::{Trace, TraceEvent};
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::agent::AgentId;
-    pub use crate::batched::{BatchedSimulation, Engine, EngineReport, EnumerableProtocol};
+    pub use crate::batched::{
+        BatchedSimulation, Engine, EngineReport, EnumerableProtocol, ForceDense,
+    };
     pub use crate::config::Configuration;
     pub use crate::error::SimError;
     pub use crate::execution::{ConvergenceOutcome, RunOutcome, Simulation, StopReason};
     pub use crate::protocol::{LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
-    pub use crate::runner::{run_engine_trials, run_trials, run_trials_sequential, TrialPlan};
+    pub use crate::runner::{
+        run_engine_trials, run_scenario_trials, run_trials, run_trials_sequential, TrialPlan,
+    };
+    pub use crate::scenario::{Scenario, ScenarioRng};
     pub use crate::scheduler::{OrderedPair, Scheduler};
     pub use crate::time::{Interactions, ParallelTime};
     pub use crate::trace::{Trace, TraceEvent};

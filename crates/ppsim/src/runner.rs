@@ -167,6 +167,75 @@ where
     })
 }
 
+/// Runs `plan.trials` independent to-silence executions of a
+/// [`crate::scenario::Scenario`] family through the chosen engine: each trial
+/// generates its family member from the trial seed and runs it to silence.
+///
+/// This is the scenario-subsystem entry point for enumerable protocols: one
+/// call sweeps an adversarial family on either the exact or the batched
+/// engine. Non-enumerable protocols (e.g. `Sublinear-Time-SSR`) drive their
+/// scenarios through [`crate::Simulation`] directly via
+/// [`crate::scenario::Scenario::configuration`].
+///
+/// # Example
+///
+/// ```
+/// use ppsim::prelude::*;
+/// use rand::RngCore;
+///
+/// #[derive(Clone, Copy)]
+/// struct Frat {
+///     n: usize,
+/// }
+/// impl Protocol for Frat {
+///     type State = u8;
+///     fn population_size(&self) -> usize {
+///         self.n
+///     }
+///     fn transition(&self, a: &u8, b: &u8, _rng: &mut dyn RngCore) -> (u8, u8) {
+///         if *a == 0 && *b == 0 { (0, 1) } else { (*a, *b) }
+///     }
+///     fn is_null(&self, a: &u8, b: &u8) -> bool {
+///         !(*a == 0 && *b == 0)
+///     }
+/// }
+/// impl EnumerableProtocol for Frat {
+///     fn num_states(&self) -> usize {
+///         2
+///     }
+///     fn state_index(&self, s: &u8) -> usize {
+///         *s as usize
+///     }
+///     fn state_from_index(&self, i: usize) -> u8 {
+///         i as u8
+///     }
+/// }
+///
+/// let all_leaders = Scenario::new("all-leader", |p: &Frat, _| Configuration::uniform(0u8, p.n));
+/// let plan = TrialPlan::new(4, 7);
+/// let reports = run_scenario_trials(&plan, Engine::Batched, u64::MAX >> 8, &all_leaders, |_, _| {
+///     Frat { n: 30 }
+/// });
+/// assert!(reports.iter().all(|r| r.outcome.is_silent()));
+/// ```
+pub fn run_scenario_trials<P, F>(
+    plan: &TrialPlan,
+    engine: crate::batched::Engine,
+    budget: u64,
+    scenario: &crate::scenario::Scenario<P>,
+    make_protocol: F,
+) -> Vec<crate::batched::EngineReport<P::State>>
+where
+    P: crate::batched::EnumerableProtocol,
+    F: Fn(usize, u64) -> P + Sync,
+{
+    run_engine_trials(plan, engine, budget, |trial, seed| {
+        let protocol = make_protocol(trial, seed);
+        let config = scenario.configuration(&protocol, seed);
+        (protocol, config)
+    })
+}
+
 /// Runs trials sequentially on the current thread; useful for closures that
 /// are not `Sync` or for deterministic debugging.
 pub fn run_trials_sequential<T>(

@@ -1,0 +1,220 @@
+//! Named families of initial configurations — the adversarial-initialization
+//! axis of self-stabilization experiments.
+//!
+//! The paper's central claim is convergence from **arbitrary** initial
+//! configurations, so experiments must be able to start a protocol from
+//! systematically chosen adversarial configurations, not just clean or
+//! uniform ones. A [`Scenario`] packages one such family: a human-readable
+//! name plus a deterministic generator that, given the protocol instance and
+//! a seed, produces one member of the family. Protocol crates expose their
+//! adversarial families as `Vec<Scenario<Self>>` (e.g.
+//! `SilentNStateSsr::adversarial_scenarios()` in the `ssle` crate), and
+//! [`crate::runner::run_scenario_trials`] drives a family through either
+//! simulation engine.
+//!
+//! Generators receive a [`ScenarioRng`] already seeded from the trial seed
+//! and the scenario name, so two scenarios in the same trial draw unrelated
+//! random streams and every configuration is reproducible from
+//! `(scenario, protocol, seed)` alone. Deterministic families simply ignore
+//! the RNG.
+//!
+//! # Example
+//!
+//! ```
+//! use ppsim::prelude::*;
+//! use rand::{Rng, RngCore};
+//!
+//! #[derive(Clone, Copy)]
+//! struct Frat {
+//!     n: usize,
+//! }
+//! impl Protocol for Frat {
+//!     type State = u8;
+//!     fn population_size(&self) -> usize {
+//!         self.n
+//!     }
+//!     fn transition(&self, a: &u8, b: &u8, _rng: &mut dyn RngCore) -> (u8, u8) {
+//!         if *a == 0 && *b == 0 { (0, 1) } else { (*a, *b) }
+//!     }
+//!     fn is_null(&self, a: &u8, b: &u8) -> bool {
+//!         !(*a == 0 && *b == 0)
+//!     }
+//! }
+//!
+//! // A deterministic family and a randomized one.
+//! let all_leaders =
+//!     Scenario::new("all-leader", |p: &Frat, _rng| Configuration::uniform(0u8, p.n));
+//! let random =
+//!     Scenario::new("random", |p: &Frat, rng| Configuration::from_fn(p.n, |_| rng.gen_range(0..2u8)));
+//!
+//! let config = all_leaders.configuration(&Frat { n: 10 }, 42);
+//! assert_eq!(config.count_matching(|&s| s == 0), 10);
+//! // Same (protocol, seed) -> same configuration.
+//! assert_eq!(random.configuration(&Frat { n: 10 }, 7), random.configuration(&Frat { n: 10 }, 7));
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use rand::SeedableRng;
+
+use crate::config::Configuration;
+use crate::protocol::Protocol;
+
+/// The concrete RNG handed to scenario generators (a seeded ChaCha stream).
+///
+/// A concrete (sized) type rather than `&mut dyn RngCore` so generators can
+/// call the full [`rand::Rng`] surface and pass it on to `&mut impl Rng`
+/// helpers like the protocols' `random_configuration` constructors.
+pub type ScenarioRng = rand_chacha::ChaCha8Rng;
+
+/// The boxed generator shared by a scenario's clones.
+type Generator<P> =
+    Arc<dyn Fn(&P, &mut ScenarioRng) -> Configuration<<P as Protocol>::State> + Send + Sync>;
+
+/// A named family of initial configurations for a protocol: the unit of the
+/// adversarial-initialization experiment axis.
+///
+/// Cheap to clone (the generator is shared behind an [`Arc`]) and `Sync`, so
+/// a scenario can be handed to the multi-threaded trial runner directly.
+pub struct Scenario<P: Protocol> {
+    name: String,
+    generate: Generator<P>,
+}
+
+impl<P: Protocol> Clone for Scenario<P> {
+    fn clone(&self) -> Self {
+        Scenario { name: self.name.clone(), generate: Arc::clone(&self.generate) }
+    }
+}
+
+impl<P: Protocol> fmt::Debug for Scenario<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+impl<P: Protocol> Scenario<P> {
+    /// Creates a scenario from a name and a configuration generator.
+    ///
+    /// The generator receives the protocol instance (which knows `n` and its
+    /// parameters) and a seeded RNG; it must return a configuration of
+    /// exactly `population_size` agents ([`Scenario::configuration`] checks).
+    pub fn new(
+        name: impl Into<String>,
+        generate: impl Fn(&P, &mut ScenarioRng) -> Configuration<P::State> + Send + Sync + 'static,
+    ) -> Self {
+        Scenario { name: name.into(), generate: Arc::new(generate) }
+    }
+
+    /// The family's name, used in experiment tables and test diagnostics.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Generates the family member for `(protocol, seed)`.
+    ///
+    /// Deterministic: the RNG handed to the generator is seeded from `seed`
+    /// and the scenario name, so distinct scenarios sharing a trial seed draw
+    /// unrelated streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator returns a configuration whose size differs
+    /// from the protocol's population size.
+    pub fn configuration(&self, protocol: &P, seed: u64) -> Configuration<P::State> {
+        let mut rng = ScenarioRng::seed_from_u64(seed ^ name_salt(&self.name));
+        let config = (self.generate)(protocol, &mut rng);
+        assert_eq!(
+            config.len(),
+            protocol.population_size(),
+            "scenario {:?} generated a configuration of the wrong size",
+            self.name
+        );
+        config
+    }
+}
+
+/// FNV-1a hash of the scenario name, folded into the trial seed so scenarios
+/// sharing a seed still draw unrelated random streams.
+fn name_salt(name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, RngCore};
+
+    #[derive(Clone, Copy, Debug)]
+    struct Toy {
+        n: usize,
+    }
+
+    impl Protocol for Toy {
+        type State = u8;
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn transition(&self, a: &u8, b: &u8, _rng: &mut dyn RngCore) -> (u8, u8) {
+            (*a, *b)
+        }
+        fn is_null(&self, _a: &u8, _b: &u8) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn deterministic_generators_ignore_the_rng() {
+        let s = Scenario::new("uniform", |p: &Toy, _| Configuration::uniform(3u8, p.n));
+        let c = s.configuration(&Toy { n: 5 }, 1);
+        assert_eq!(c.as_slice(), &[3, 3, 3, 3, 3]);
+        assert_eq!(s.name(), "uniform");
+    }
+
+    #[test]
+    fn randomized_generators_are_reproducible_and_seed_sensitive() {
+        let s = Scenario::new("random", |p: &Toy, rng| {
+            Configuration::from_fn(p.n, |_| rng.gen_range(0..u8::MAX))
+        });
+        let toy = Toy { n: 64 };
+        assert_eq!(s.configuration(&toy, 9), s.configuration(&toy, 9));
+        assert_ne!(s.configuration(&toy, 9), s.configuration(&toy, 10));
+    }
+
+    #[test]
+    fn distinct_scenario_names_draw_unrelated_streams() {
+        let make = |name: &str| {
+            Scenario::new(name.to_owned(), |p: &Toy, rng| {
+                Configuration::from_fn(p.n, |_| rng.gen_range(0..u8::MAX))
+            })
+        };
+        let toy = Toy { n: 64 };
+        // Same generator, same seed, different names: different members.
+        assert_ne!(make("a").configuration(&toy, 5), make("b").configuration(&toy, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn wrong_size_configurations_are_rejected() {
+        let s = Scenario::new("bad", |_: &Toy, _| Configuration::uniform(0u8, 3));
+        let _ = s.configuration(&Toy { n: 5 }, 0);
+    }
+
+    #[test]
+    fn clones_share_the_generator() {
+        let s = Scenario::new("uniform", |p: &Toy, _| Configuration::uniform(1u8, p.n));
+        let t = s.clone();
+        assert_eq!(t.name(), "uniform");
+        assert_eq!(
+            s.configuration(&Toy { n: 4 }, 2).as_slice(),
+            t.configuration(&Toy { n: 4 }, 2).as_slice()
+        );
+        assert!(format!("{s:?}").contains("uniform"));
+    }
+}

@@ -6,7 +6,7 @@
 //! coupons per step, completing after `~ (1/2)·n·ln n` interactions in
 //! expectation.
 
-use ppsim::{Configuration, EnumerableProtocol, Protocol};
+use ppsim::{Configuration, EnumerableProtocol, Protocol, Scenario};
 use rand::{Rng, RngCore};
 
 /// The participation status of one agent in the pairwise coupon collector.
@@ -45,6 +45,36 @@ impl Coupon {
     /// The standard initial configuration: nobody has participated yet.
     pub fn all_fresh_configuration(&self) -> Configuration<CouponState> {
         Configuration::uniform(CouponState::Fresh, self.n)
+    }
+
+    /// A configuration with the first `fresh` agents fresh and the rest
+    /// already collected (a skewed head start for the collector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fresh > n`.
+    pub fn skewed_configuration(&self, fresh: usize) -> Configuration<CouponState> {
+        assert!(fresh <= self.n, "cannot have more fresh agents than n");
+        Configuration::from_fn(self.n, |i| {
+            if i < fresh {
+                CouponState::Fresh
+            } else {
+                CouponState::Collected
+            }
+        })
+    }
+
+    /// Skewed coupon-count scenarios for the adversarial-initialization
+    /// experiments: the fresh-count extremes (everyone fresh, half fresh,
+    /// a single straggler) — each silences exactly when the last fresh agent
+    /// participates, and the straggler case isolates the coupon-collector
+    /// tail.
+    pub fn adversarial_scenarios() -> Vec<Scenario<Self>> {
+        vec![
+            Scenario::new("all-fresh", |p: &Self, _| p.all_fresh_configuration()),
+            Scenario::new("half-fresh", |p: &Self, _| p.skewed_configuration(p.n / 2)),
+            Scenario::new("one-straggler", |p: &Self, _| p.skewed_configuration(1)),
+        ]
     }
 }
 

@@ -12,7 +12,7 @@
 //! geometric waiting times (the number of infected agents is a sufficient
 //! statistic for this process).
 
-use ppsim::{Configuration, EnumerableProtocol, Protocol};
+use ppsim::{Configuration, EnumerableProtocol, Protocol, Scenario};
 use rand::distributions::{Distribution, Uniform};
 use rand::{Rng, RngCore};
 
@@ -55,9 +55,48 @@ impl Epidemic {
         })
     }
 
+    /// A configuration with the first `infected` agents infected and the rest
+    /// susceptible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `infected > n`.
+    pub fn seeded_configuration(&self, infected: usize) -> Configuration<EpidemicState> {
+        assert!(infected <= self.n, "cannot infect more than n agents");
+        Configuration::from_fn(self.n, |i| {
+            if i < infected {
+                EpidemicState::Infected
+            } else {
+                EpidemicState::Susceptible
+            }
+        })
+    }
+
     /// Whether every agent is infected.
     pub fn is_complete(config: &Configuration<EpidemicState>) -> bool {
         config.iter().all(|s| matches!(s, EpidemicState::Infected))
+    }
+
+    /// Seeded-epidemic corner cases for the adversarial-initialization
+    /// experiments: the infection-count extremes (one source, a half-infected
+    /// population, all but one infected) plus an independently random seed
+    /// set — each silences exactly when the infection completes.
+    pub fn adversarial_scenarios() -> Vec<Scenario<Self>> {
+        vec![
+            Scenario::new("single-source", |p: &Self, _| p.seeded_configuration(1)),
+            Scenario::new("half-infected", |p: &Self, _| p.seeded_configuration(p.n / 2)),
+            Scenario::new("all-but-one", |p: &Self, _| p.seeded_configuration(p.n - 1)),
+            Scenario::new("random-seeds", |p: &Self, rng| {
+                // At least one source, each further agent infected by coin flip.
+                Configuration::from_fn(p.n, |i| {
+                    if i == 0 || rng.gen_bool(0.5) {
+                        EpidemicState::Infected
+                    } else {
+                        EpidemicState::Susceptible
+                    }
+                })
+            }),
+        ]
     }
 }
 

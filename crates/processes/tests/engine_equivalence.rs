@@ -78,6 +78,64 @@ fn batched_and_exact_epidemic_agree_per_seed_on_the_verdict() {
 }
 
 #[test]
+fn epidemic_backends_agree_across_scenario_families() {
+    // The Indexed and PresentScan backends must report the same non-null
+    // pair weight and silence verdict on matching configurations from every
+    // seeded-epidemic corner case, for many (n, seed) pairs.
+    for n in [2usize, 3, 17, 64] {
+        for seed in 0..8 {
+            for scenario in Epidemic::adversarial_scenarios() {
+                let protocol = Epidemic::new(n);
+                let init = scenario.configuration(&protocol, seed);
+                let indexed = BatchedSimulation::new(protocol, &init, seed);
+                let dense = BatchedSimulation::new(ForceDense(protocol), &init, seed);
+                assert_eq!(
+                    indexed.active_pairs(),
+                    dense.active_pairs(),
+                    "scenario {} n={n} seed={seed}",
+                    scenario.name()
+                );
+                assert_eq!(indexed.is_silent(), dense.is_silent());
+                // Both backends silence into the all-infected multiset.
+                let mut indexed = indexed;
+                let mut dense = dense;
+                assert!(indexed.run_until_silent(BUDGET).is_silent());
+                assert!(dense.run_until_silent(BUDGET).is_silent());
+                assert_eq!(indexed.count_of(&EpidemicState::Infected), n as u64);
+                assert_eq!(dense.count_of(&EpidemicState::Infected), n as u64);
+            }
+        }
+    }
+}
+
+#[test]
+fn coupon_backends_agree_across_scenario_families() {
+    for n in [2usize, 5, 33] {
+        for seed in 0..8 {
+            for scenario in Coupon::adversarial_scenarios() {
+                let protocol = Coupon::new(n);
+                let init = scenario.configuration(&protocol, seed);
+                let indexed = BatchedSimulation::new(protocol, &init, seed);
+                let dense = BatchedSimulation::new(ForceDense(protocol), &init, seed);
+                assert_eq!(
+                    indexed.active_pairs(),
+                    dense.active_pairs(),
+                    "scenario {} n={n} seed={seed}",
+                    scenario.name()
+                );
+                assert_eq!(indexed.is_silent(), dense.is_silent());
+                let mut indexed = indexed;
+                let mut dense = dense;
+                assert!(indexed.run_until_silent(BUDGET).is_silent());
+                assert!(dense.run_until_silent(BUDGET).is_silent());
+                assert_eq!(indexed.count_of(&CouponState::Fresh), 0);
+                assert_eq!(dense.count_of(&CouponState::Fresh), 0);
+            }
+        }
+    }
+}
+
+#[test]
 fn batched_coupon_collector_requires_at_least_half_n_interactions() {
     // The deterministic lower bound holds per-run, not just in expectation:
     // each interaction touches two agents.

@@ -24,6 +24,7 @@
 
 use ppsim::{
     Configuration, EnumerableProtocol, LeaderElectionProtocol, Protocol, Rank, RankingProtocol,
+    Scenario,
 };
 use rand::RngCore;
 
@@ -129,6 +130,67 @@ impl OptimalSilentSsr {
                 },
             },
         })
+    }
+
+    /// An adversarial configuration with **no leader**: every agent settled
+    /// with a rank in `2..=n`, so rank 1 is unclaimed and (by pigeonhole)
+    /// some rank is duplicated. The duplicate collision must be noticed and
+    /// trigger a full `Propagate-Reset` before a leader can exist.
+    pub fn zero_leader_configuration(&self) -> Configuration<OptimalSilentState> {
+        let n = self.params.n as u32;
+        Configuration::from_fn(self.params.n, |i| OptimalSilentState::Settled {
+            rank: 2 + (i as u32 % (n - 1)),
+            children: 0,
+        })
+    }
+
+    /// A *near-silent-but-wrong* adversarial configuration: the correct
+    /// ranked configuration except that the agent of rank 2 instead
+    /// duplicates rank `n`. A unique leader exists and exactly one unordered
+    /// pair (the two rank-`n` agents) is active, so the configuration idles
+    /// one direct meeting away from a reset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` (with two agents replacing rank 2 by rank `n` is
+    /// the identity, leaving a correct configuration instead of a wrong one).
+    pub fn near_silent_wrong_configuration(&self) -> Configuration<OptimalSilentState> {
+        let n = self.params.n;
+        assert!(n >= 3, "the near-silent-wrong family needs at least three agents");
+        let mut states = self.ranked_configuration().into_states();
+        states[1] = OptimalSilentState::Settled { rank: n as u32, children: 0 };
+        Configuration::from_states(states)
+    }
+
+    /// An adversarial configuration with the whole population mid-
+    /// `Propagate-Reset`: random leader candidacies and independently random
+    /// timer values, mixing propagating (`resetcount > 0`) and dormant
+    /// (`resetcount = 0`) agents.
+    pub fn mid_reset_configuration(
+        &self,
+        rng: &mut impl rand::Rng,
+    ) -> Configuration<OptimalSilentState> {
+        Configuration::from_fn(self.params.n, |_| OptimalSilentState::Resetting {
+            leader: rng.gen_bool(0.5),
+            timers: ResetTimers {
+                resetcount: rng.gen_range(0..=self.params.reset.r_max),
+                delaytimer: rng.gen_range(0..=self.params.reset.d_max),
+            },
+        })
+    }
+
+    /// The protocol's adversarial scenario families, for the
+    /// adversarial-initialization experiments (`exp_adversarial`) and the
+    /// cross-engine/backend equivalence suites.
+    pub fn adversarial_scenarios() -> Vec<Scenario<Self>> {
+        vec![
+            Scenario::new("all-leader", |p: &Self, _| p.adversarial_all_same_rank(1)),
+            Scenario::new("zero-leader", |p: &Self, _| p.zero_leader_configuration()),
+            Scenario::new("all-unsettled", |p: &Self, _| p.all_unsettled_configuration()),
+            Scenario::new("near-silent-wrong", |p: &Self, _| p.near_silent_wrong_configuration()),
+            Scenario::new("mid-reset", |p: &Self, rng| p.mid_reset_configuration(rng)),
+            Scenario::new("random", |p: &Self, rng| p.random_configuration(rng)),
+        ]
     }
 
     /// The configuration reached right after a successful reset (an awakening
@@ -487,6 +549,39 @@ mod tests {
         }
         assert!(!saw_reset, "a clean start must not trigger a reset");
         assert!(sim.is_silent());
+    }
+
+    #[test]
+    fn zero_leader_configuration_has_no_leader_and_duplicates() {
+        let protocol = small_protocol(10);
+        let config = protocol.zero_leader_configuration();
+        assert_eq!(protocol.leader_count(&config), 0);
+        assert!(!protocol.is_correct(&config));
+        assert!(!Simulation::new(protocol, config, 0).is_silent());
+    }
+
+    #[test]
+    fn near_silent_wrong_configuration_idles_one_meeting_from_a_reset() {
+        let protocol = small_protocol(10);
+        let config = protocol.near_silent_wrong_configuration();
+        assert!(protocol.has_unique_leader(&config));
+        assert!(!protocol.is_correct(&config));
+        // Exactly one unordered active pair: the two rank-n agents.
+        let dupes = config
+            .iter()
+            .filter(|s| matches!(s, OptimalSilentState::Settled { rank: 10, .. }))
+            .count();
+        assert_eq!(dupes, 2);
+        assert!(!Simulation::new(protocol, config, 0).is_silent());
+    }
+
+    #[test]
+    fn every_adversarial_scenario_stabilizes_to_the_ranking() {
+        for scenario in OptimalSilentSsr::adversarial_scenarios() {
+            let protocol = small_protocol(16);
+            let config = scenario.configuration(&protocol, 31);
+            run_to_correct(protocol, config, 8);
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use ppsim::{
     Configuration, EnumerableProtocol, LeaderElectionProtocol, Protocol, Rank, RankingProtocol,
+    Scenario,
 };
 use rand::RngCore;
 
@@ -69,6 +70,55 @@ impl SilentNStateSsr {
     pub fn random_configuration(&self, rng: &mut impl rand::Rng) -> Configuration<SilentRank> {
         let n = self.n as u32;
         Configuration::from_fn(self.n, |_| SilentRank(rng.gen_range(0..n)))
+    }
+
+    /// An adversarial configuration with **no leader**: every agent claims a
+    /// rank in the lower half of `1..n`, so rank 0 (the leader rank) is
+    /// unclaimed and most ranks hold two or three agents. (A single-duplicate
+    /// zero-leader configuration would be a rank rotation of
+    /// [`SilentNStateSsr::worst_case_configuration`] — the transition is
+    /// shift-equivariant — so this family crams the population instead, a
+    /// genuinely different token placement.) The duplicates must spread out
+    /// and walk the rank cycle until one of them claims rank 0.
+    pub fn zero_leader_configuration(&self) -> Configuration<SilentRank> {
+        let half = ((self.n as u32 - 1) / 2).max(1);
+        Configuration::from_fn(self.n, |i| SilentRank(1 + (i as u32 % half)))
+    }
+
+    /// A *near-silent-but-wrong* adversarial configuration: a unique leader
+    /// (rank 0) with inconsistent follower tokens — agent `i` claims rank `i`
+    /// except the last agent, which duplicates rank `n − 2` and leaves rank
+    /// `n − 1` unclaimed. Exactly one unordered pair is active, so the
+    /// configuration sits one collision away from silence yet is incorrectly
+    /// ranked; silence detection and stabilization must both still fire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` (with two agents a duplicate of rank `n − 2 = 0`
+    /// would be a second leader, not an inconsistent follower).
+    pub fn near_silent_wrong_configuration(&self) -> Configuration<SilentRank> {
+        assert!(self.n >= 3, "the near-silent-wrong family needs at least three agents");
+        let n = self.n as u32;
+        Configuration::from_fn(self.n, |i| {
+            if i as u32 == n - 1 {
+                SilentRank(n - 2)
+            } else {
+                SilentRank(i as u32)
+            }
+        })
+    }
+
+    /// The protocol's adversarial scenario families, for the
+    /// adversarial-initialization experiments (`exp_adversarial`) and the
+    /// cross-engine/backend equivalence suites.
+    pub fn adversarial_scenarios() -> Vec<Scenario<Self>> {
+        vec![
+            Scenario::new("all-leader", |p: &Self, _| p.all_same_rank_configuration()),
+            Scenario::new("zero-leader", |p: &Self, _| p.zero_leader_configuration()),
+            Scenario::new("near-silent-wrong", |p: &Self, _| p.near_silent_wrong_configuration()),
+            Scenario::new("worst-case", |p: &Self, _| p.worst_case_configuration()),
+            Scenario::new("random", |p: &Self, rng| p.random_configuration(rng)),
+        ]
     }
 
     /// The already-correct configuration assigning agent `i` rank `i`.
@@ -281,6 +331,46 @@ mod tests {
         for _ in 0..200 {
             sim.run_for(25);
             assert!(sim.protocol().barrier_holds(sim.configuration(), k));
+        }
+    }
+
+    #[test]
+    fn zero_leader_configuration_avoids_rank_zero_and_is_not_silent() {
+        let protocol = SilentNStateSsr::new(12);
+        let config = protocol.zero_leader_configuration();
+        assert!(config.iter().all(|s| s.0 != 0), "no agent may claim the leader rank");
+        let sim = Simulation::new(protocol, config, 0);
+        assert!(!sim.is_silent(), "pigeonhole duplicates must keep the configuration active");
+    }
+
+    #[test]
+    fn near_silent_wrong_configuration_has_one_active_pair() {
+        let protocol = SilentNStateSsr::new(10);
+        let config = protocol.near_silent_wrong_configuration();
+        assert!(protocol.has_unique_leader(&config));
+        assert!(!protocol.is_correctly_ranked(&config));
+        let mut counts = [0usize; 10];
+        for s in config.iter() {
+            counts[s.0 as usize] += 1;
+        }
+        assert_eq!(counts[8], 2, "rank n−2 is duplicated");
+        assert_eq!(counts[9], 0, "rank n−1 is the hole");
+        assert!(!Simulation::new(protocol, config, 0).is_silent());
+    }
+
+    #[test]
+    fn every_adversarial_scenario_stabilizes_to_the_ranking() {
+        for scenario in SilentNStateSsr::adversarial_scenarios() {
+            let protocol = SilentNStateSsr::new(12);
+            let config = scenario.configuration(&protocol, 77);
+            let mut sim = Simulation::new(protocol, config, 5);
+            let outcome = sim.run_until_silent(50_000_000);
+            assert!(outcome.is_silent(), "scenario {:?} did not silence", scenario.name());
+            assert!(
+                sim.protocol().is_correctly_ranked(sim.configuration()),
+                "scenario {:?} silenced into a wrong ranking",
+                scenario.name()
+            );
         }
     }
 

@@ -27,7 +27,7 @@ pub mod history_tree;
 
 use std::collections::BTreeSet;
 
-use ppsim::{Configuration, LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
+use ppsim::{Configuration, LeaderElectionProtocol, Protocol, Rank, RankingProtocol, Scenario};
 use rand::{Rng, RngCore};
 
 use crate::name::Name;
@@ -120,9 +120,25 @@ impl SublinearTimeSsr {
     /// same name: the canonical workload for measuring collision-detection
     /// latency.
     pub fn colliding_configuration(&self, rng: &mut impl Rng) -> Configuration<SublinearState> {
+        self.k_way_colliding_configuration(2, rng)
+    }
+
+    /// A clean-start configuration in which the first `k` agents all share
+    /// one name (a `k`-way collision); `k = 2` is
+    /// [`SublinearTimeSsr::colliding_configuration`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not in `2..=n`.
+    pub fn k_way_colliding_configuration(
+        &self,
+        k: usize,
+        rng: &mut impl Rng,
+    ) -> Configuration<SublinearState> {
+        assert!((2..=self.params.n).contains(&k), "collision arity must be in 2..=n");
         let duplicate = Name::random(self.params.name_bits, rng);
         Configuration::from_fn(self.params.n, |i| {
-            let name = if i <= 1 { duplicate } else { Name::random(self.params.name_bits, rng) };
+            let name = if i < k { duplicate } else { Name::random(self.params.name_bits, rng) };
             self.reset_state(name)
         })
     }
@@ -130,12 +146,104 @@ impl SublinearTimeSsr {
     /// A clean-start configuration with unique names but a planted *ghost*
     /// name in agent 0's roster: a name no agent actually carries.
     pub fn ghost_configuration(&self, rng: &mut impl Rng) -> Configuration<SublinearState> {
-        let ghost = Name::random(self.params.name_bits, rng);
+        self.ghost_roster_configuration(1, rng)
+    }
+
+    /// A clean-start configuration with `ghosts` distinct ghost names planted
+    /// in the rosters of the first `ghosts` agents (one each, wrapping if
+    /// `ghosts > n`): roster entries no agent actually carries, which must
+    /// eventually inflate a merged roster past `n` and force a reset.
+    pub fn ghost_roster_configuration(
+        &self,
+        ghosts: usize,
+        rng: &mut impl Rng,
+    ) -> Configuration<SublinearState> {
         let mut states = self.fresh_configuration(rng).into_states();
-        if let SublinearState::Collecting { roster, .. } = &mut states[0] {
-            roster.insert(ghost);
+        for g in 0..ghosts {
+            let ghost = Name::random(self.params.name_bits, rng);
+            if let SublinearState::Collecting { roster, .. } = &mut states[g % self.params.n] {
+                roster.insert(ghost);
+            }
         }
         Configuration::from_states(states)
+    }
+
+    /// An adversarial configuration with corrupted [`HistoryTree`]s: every
+    /// agent holds a unique name, but about half of them carry a fabricated
+    /// history — a tree path (of depth up to `H`) ending at another agent's
+    /// real name under sync values that agent never generated. The fabricated
+    /// evidence fails cross-examination the first time its owner meets the
+    /// named agent, spuriously triggering `Detect-Name-Collision` and a
+    /// global reset that the protocol must recover from.
+    pub fn corrupted_tree_configuration(
+        &self,
+        rng: &mut impl Rng,
+    ) -> Configuration<SublinearState> {
+        let n = self.params.n;
+        let names: Vec<Name> = (0..n).map(|_| Name::random(self.params.name_bits, rng)).collect();
+        Configuration::from_fn(n, |i| {
+            let mut tree = HistoryTree::singleton(names[i]);
+            if self.params.h > 0 && rng.gen_bool(0.5) {
+                let victim = names[(i + 1 + rng.gen_range(0..n - 1)) % n];
+                let mut chain = HistoryTree::singleton(victim);
+                if self.params.h > 1 {
+                    // Hide the victim one level deeper behind a name nobody
+                    // carries, exercising multi-edge path checking.
+                    let mut deeper =
+                        HistoryTree::singleton(Name::random(self.params.name_bits, rng));
+                    deeper.absorb(
+                        &chain,
+                        rng.gen_range(1..=self.params.s_max),
+                        self.params.t_h,
+                        self.params.h,
+                    );
+                    chain = deeper;
+                }
+                tree.absorb(
+                    &chain,
+                    rng.gen_range(1..=self.params.s_max),
+                    self.params.t_h,
+                    self.params.h,
+                );
+            }
+            SublinearState::Collecting { name: names[i], roster: BTreeSet::from([names[i]]), tree }
+        })
+    }
+
+    /// An adversarial configuration with the whole population mid-
+    /// `Propagate-Reset` under independently random timers: propagating
+    /// agents (`resetcount > 0`) with cleared names mixed with dormant agents
+    /// holding partially regenerated names.
+    pub fn mid_reset_configuration(&self, rng: &mut impl Rng) -> Configuration<SublinearState> {
+        Configuration::from_fn(self.params.n, |_| {
+            let resetcount = rng.gen_range(0..=self.params.reset.r_max);
+            let delaytimer = rng.gen_range(0..=self.params.reset.d_max);
+            let name = if resetcount > 0 {
+                Name::empty()
+            } else {
+                Name::random(rng.gen_range(0..=self.params.name_bits), rng)
+            };
+            SublinearState::Resetting { name, timers: ResetTimers { resetcount, delaytimer } }
+        })
+    }
+
+    /// The protocol's adversarial scenario families, for the
+    /// adversarial-initialization experiments (`exp_adversarial`). The state
+    /// space is not enumerable, so these families run on the exact engine
+    /// only (via [`ppsim::Simulation`]).
+    pub fn adversarial_scenarios() -> Vec<Scenario<Self>> {
+        vec![
+            Scenario::new("collision-2way", |p: &Self, rng| {
+                p.k_way_colliding_configuration(2, rng)
+            }),
+            Scenario::new("collision-kway", |p: &Self, rng| {
+                let k = (p.params.n / 4).clamp(3, p.params.n);
+                p.k_way_colliding_configuration(k, rng)
+            }),
+            Scenario::new("ghost-roster", |p: &Self, rng| p.ghost_roster_configuration(3, rng)),
+            Scenario::new("corrupted-history", |p: &Self, rng| p.corrupted_tree_configuration(rng)),
+            Scenario::new("mid-reset", |p: &Self, rng| p.mid_reset_configuration(rng)),
+        ]
     }
 
     /// An adversarial configuration with every agent mid-reset at the maximum
@@ -362,6 +470,49 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let config = p.colliding_configuration(&mut rng);
         run_to_correct(p, config, 8);
+    }
+
+    #[test]
+    fn k_way_collisions_are_detected_and_repaired() {
+        let n = 12;
+        let p = protocol(n, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let config = p.k_way_colliding_configuration(4, &mut rng);
+        let shared = *config.as_slice()[0].name();
+        assert_eq!(config.iter().filter(|s| s.name() == &shared).count(), 4);
+        run_to_correct(p, config, 11);
+    }
+
+    #[test]
+    fn corrupted_history_trees_trigger_recovery() {
+        let n = 12;
+        let p = protocol(n, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let config = p.corrupted_tree_configuration(&mut rng);
+        // At least one fabricated history must be present for the scenario to
+        // mean anything.
+        assert!(config.iter().any(|s| match s {
+            SublinearState::Collecting { tree, .. } => tree.node_count() > 1,
+            _ => false,
+        }));
+        run_to_correct(p, config, 12);
+    }
+
+    #[test]
+    fn every_adversarial_scenario_recovers_to_a_correct_ranking() {
+        for scenario in SublinearTimeSsr::adversarial_scenarios() {
+            let p = protocol(10, 2);
+            let config = scenario.configuration(&p, 19);
+            let n = p.population_size();
+            let mut sim = Simulation::new(p, config, 23);
+            let budget = 400_000u64 * n as u64;
+            let outcome = sim.run_until(|c| p.is_correct(c), budget);
+            assert!(
+                outcome.condition_met(),
+                "scenario {:?} did not recover within {budget} interactions",
+                scenario.name()
+            );
+        }
     }
 
     #[test]
