@@ -3,8 +3,8 @@
 //! Support crate for the experiment harness reproducing *Time-Optimal
 //! Self-Stabilizing Leader Election in Population Protocols* (PODC 2021).
 //!
-//! * [`harmonic`] — harmonic numbers and related elementary functions that
-//!   appear throughout the paper's time bounds.
+//! * [`harmonic`](mod@harmonic) — harmonic numbers and related elementary
+//!   functions that appear throughout the paper's time bounds.
 //! * [`theory`] — closed-form predictions for every process and protocol the
 //!   paper analyses (epidemic, roll call, bounded epidemic, fratricide,
 //!   binary-tree ranking, and the Table 1 rows), used as the "paper" column

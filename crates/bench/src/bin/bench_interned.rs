@@ -1,0 +1,262 @@
+//! Perf trajectory: exact vs batched (interned) engine on the open-state-
+//! space workloads that PR 1's enumerated backends could not touch.
+//!
+//! The headline workload is `Sublinear-Time-SSR` collision **detection** from
+//! the merged-collision family at history depth `H = 0`: rosters are already
+//! fully exchanged, so every scheduled pair is null except the two agents
+//! sharing a name, and the run idles for the `Θ(n²)`-interaction direct-
+//! detection wait. The exact engine steps (and clones full rosters) through
+//! every one of those null interactions; the interned engine skips the whole
+//! wait in a single geometric draw. The same sweep also measures the
+//! roll-call process (`R_n`, Lemma 2.9) on both engines — a workload where
+//! the exact engine **wins** (its per-interaction cost is a handful of word
+//! ORs, while the interned engine pays O(present) bookkeeping per
+//! roster-changing transition and almost every pre-completion interaction
+//! changes a roster). The losing row is recorded deliberately: the interned
+//! backend's value for roll call is *expressiveness* (it runs on the batched
+//! engine at all, with cross-engine equivalence tests), and the decision
+//! tree in `ARCHITECTURE.md` is only trustworthy if the benches also show
+//! where batching does not pay.
+//!
+//! Writes `BENCH_interned.json` into the current directory so future PRs
+//! have a perf baseline to compare against.
+//!
+//! ```text
+//! cargo run --release -p bench --bin bench_interned            # full sweep
+//! cargo run --release -p bench --bin bench_interned -- --quick # CI smoke
+//! ```
+
+use bench::Engine;
+use ppsim::{InternedSimulation, Simulation};
+use processes::RollCall;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use ssle::params::SublinearParams;
+use ssle::{SublinearState, SublinearTimeSsr};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One engine's aggregate measurement at one population size.
+struct Measurement {
+    engine: Engine,
+    trials: usize,
+    mean_wall_s: f64,
+    mean_interactions: f64,
+    /// Non-null transitions actually applied (interned engine only).
+    mean_transitions: Option<f64>,
+}
+
+/// One workload row: the two engines head-to-head.
+struct Row {
+    workload: &'static str,
+    n: usize,
+    exact: Measurement,
+    interned: Measurement,
+}
+
+impl Row {
+    /// Direct wall-clock ratio of the two measurements. The engines draw
+    /// independent trajectories, so this conflates per-interaction cost with
+    /// draw luck (the detection wait is a bare geometric).
+    fn speedup(&self) -> f64 {
+        self.exact.mean_wall_s / self.interned.mean_wall_s
+    }
+
+    /// The exact engine's measured cost per interaction.
+    fn exact_ns_per_interaction(&self) -> f64 {
+        self.exact.mean_wall_s * 1e9 / self.exact.mean_interactions
+    }
+
+    /// Draw-luck-corrected speedup: what the exact engine would have paid
+    /// for the interned trials' own (exactly distributed) interaction
+    /// counts, at its measured per-interaction rate, over the interned
+    /// wall clock — the same normalization `bench_batched` uses for its
+    /// extrapolated rows.
+    fn normalized_speedup(&self) -> f64 {
+        let exact_wall_for_same_draws =
+            self.interned.mean_interactions * self.exact_ns_per_interaction() / 1e9;
+        exact_wall_for_same_draws / self.interned.mean_wall_s
+    }
+}
+
+fn merged_collision_setup(
+    n: usize,
+    seed: u64,
+) -> (SublinearTimeSsr, ppsim::Configuration<SublinearState>) {
+    let protocol = SublinearTimeSsr::new(SublinearParams::recommended(n, 0));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x11AD);
+    let config = protocol.merged_collision_configuration(2, &mut rng);
+    (protocol, config)
+}
+
+/// Detection latency (first reset trigger) of the merged-collision family at
+/// `H = 0`, on the exact engine.
+fn detection_exact(n: usize, trials: usize) -> Measurement {
+    let mut wall = 0.0;
+    let mut interactions = 0.0;
+    for trial in 0..trials {
+        let (protocol, config) = merged_collision_setup(n, trial as u64);
+        let start = Instant::now();
+        let mut sim = Simulation::new(protocol, config, trial as u64);
+        let outcome = sim.run_until(SublinearTimeSsr::any_resetting, u64::MAX >> 8);
+        assert!(outcome.condition_met());
+        wall += start.elapsed().as_secs_f64();
+        interactions += sim.interactions().count() as f64;
+    }
+    let t = trials as f64;
+    Measurement {
+        engine: Engine::Exact,
+        trials,
+        mean_wall_s: wall / t,
+        mean_interactions: interactions / t,
+        mean_transitions: None,
+    }
+}
+
+/// Same detection workload on the interned engine, with a count-based
+/// predicate so the measurement is not dominated by materializing per-agent
+/// configurations the engine does not otherwise need.
+fn detection_interned(n: usize, trials: usize) -> Measurement {
+    let mut wall = 0.0;
+    let mut interactions = 0.0;
+    let mut transitions = 0.0;
+    for trial in 0..trials {
+        let (protocol, config) = merged_collision_setup(n, trial as u64);
+        let start = Instant::now();
+        let mut sim = InternedSimulation::new(protocol, &config, trial as u64);
+        let outcome = sim.run_until_counts(
+            |s| s.state_counts().any(|(state, _)| state.is_resetting()),
+            u64::MAX >> 8,
+        );
+        assert!(outcome.condition_met());
+        wall += start.elapsed().as_secs_f64();
+        interactions += sim.interactions().count() as f64;
+        transitions += sim.transitions() as f64;
+    }
+    let t = trials as f64;
+    Measurement {
+        engine: Engine::Batched,
+        trials,
+        mean_wall_s: wall / t,
+        mean_interactions: interactions / t,
+        mean_transitions: Some(transitions / t),
+    }
+}
+
+/// Roll-call completion (= silence) on either engine.
+fn roll_call_measure(n: usize, trials: usize, engine: Engine) -> Measurement {
+    let mut wall = 0.0;
+    let mut interactions = 0.0;
+    let mut transitions = None;
+    for trial in 0..trials {
+        let protocol = RollCall::new(n);
+        let config = protocol.initial_configuration();
+        let start = Instant::now();
+        match engine {
+            Engine::Exact => {
+                let mut sim = Simulation::new(protocol, config, trial as u64);
+                let outcome = sim.run_until_silent(u64::MAX >> 8);
+                assert!(outcome.is_silent());
+                wall += start.elapsed().as_secs_f64();
+                interactions += outcome.interactions.count() as f64;
+            }
+            Engine::Batched => {
+                let mut sim = InternedSimulation::new(protocol, &config, trial as u64);
+                let outcome = sim.run_until_silent(u64::MAX >> 8);
+                assert!(outcome.is_silent());
+                wall += start.elapsed().as_secs_f64();
+                interactions += outcome.interactions.count() as f64;
+                *transitions.get_or_insert(0.0) += sim.transitions() as f64;
+            }
+        }
+    }
+    let t = trials as f64;
+    Measurement {
+        engine,
+        trials,
+        mean_wall_s: wall / t,
+        mean_interactions: interactions / t,
+        mean_transitions: transitions.map(|x| x / t),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let detection_sweep: &[(usize, usize)] =
+        if quick { &[(250, 3)] } else { &[(250, 5), (1_000, 5)] };
+    let roll_call_sweep: &[(usize, usize)] =
+        if quick { &[(250, 3)] } else { &[(250, 5), (1_000, 3)] };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &(n, trials) in detection_sweep {
+        eprintln!("measuring sublinear merged-collision detection, n = {n} ...");
+        // The exact engine pays ~n clone work per skipped-by-nobody null
+        // interaction (tens of seconds per trial at n = 10³), so cap its
+        // trial count; the detection wait is a bare geometric, so two trials
+        // already pin the scale.
+        let exact_trials = if n >= 1_000 { trials.min(2) } else { trials };
+        rows.push(Row {
+            workload: "sublinear-ssr merged-collision detection (H = 0)",
+            n,
+            exact: detection_exact(n, exact_trials),
+            interned: detection_interned(n, trials),
+        });
+    }
+    for &(n, trials) in roll_call_sweep {
+        eprintln!("measuring roll call, n = {n} ...");
+        rows.push(Row {
+            workload: "roll-call completion (R_n)",
+            n,
+            exact: roll_call_measure(n, trials, Engine::Exact),
+            interned: roll_call_measure(n, trials, Engine::Batched),
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"bench_interned/v1\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"results\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        for m in [&row.exact, &row.interned] {
+            let _ = write!(
+                json,
+                "    {{\"workload\": \"{}\", \"n\": {}, \"engine\": \"{}\", \"trials\": {}, \
+                 \"mean_wall_s\": {:.6}, \"mean_interactions\": {:.1}",
+                row.workload, row.n, m.engine, m.trials, m.mean_wall_s, m.mean_interactions,
+            );
+            if let Some(tr) = m.mean_transitions {
+                let _ = write!(json, ", \"mean_transitions\": {tr:.1}");
+            }
+            json.push_str("},\n");
+        }
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"n\": {}, \"engine\": \"speedup\", \
+             \"exact_wall_s\": {:.6}, \"interned_wall_s\": {:.6}, \"speedup\": {:.1}, \
+             \"exact_ns_per_interaction\": {:.1}, \"normalized_speedup\": {:.1}}}",
+            row.workload,
+            row.n,
+            row.exact.mean_wall_s,
+            row.interned.mean_wall_s,
+            row.speedup(),
+            row.exact_ns_per_interaction(),
+            row.normalized_speedup()
+        );
+        json.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+        println!(
+            "{:<48} n = {:>6}: exact {:>10.4} s | interned {:>9.4} s ({} transitions for {} \
+             interactions) | speedup {:>7.1}x ({:.1}x normalized)",
+            row.workload,
+            row.n,
+            row.exact.mean_wall_s,
+            row.interned.mean_wall_s,
+            row.interned.mean_transitions.unwrap_or(0.0) as u64,
+            row.interned.mean_interactions as u64,
+            row.speedup(),
+            row.normalized_speedup()
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_interned.json", &json).expect("write BENCH_interned.json");
+    eprintln!("wrote BENCH_interned.json{}", if quick { " (quick mode)" } else { "" });
+}

@@ -99,12 +99,41 @@ where
     })
 }
 
-/// Parallel convergence times of a `Sublinear-Time-SSR` [`Scenario`] family.
+/// Parallel convergence times of a `Sublinear-Time-SSR` [`Scenario`] family
+/// on the chosen engine.
 ///
-/// The protocol's state space is not enumerable (names × history trees), so
-/// its scenarios always run on the exact engine; `budget` bounds each trial
-/// (the protocol is non-silent, so a run that never converges would
-/// otherwise spin forever).
+/// The protocol's state space is not statically enumerable (names × history
+/// trees), so [`Engine::Batched`] routes through the dynamically interned
+/// backend ([`ppsim::InternedSimulation`]) rather than the enumerated one.
+/// `budget` bounds each trial (the protocol is non-silent at `H ≥ 1`, so a
+/// run that never converges would otherwise spin forever); every trial must
+/// converge within it or the routine panics.
+pub fn sublinear_scenario_times_with_engine(
+    n: usize,
+    h: u32,
+    scenario: &Scenario<SublinearTimeSsr>,
+    trials: usize,
+    seed: u64,
+    engine: Engine,
+    budget: u64,
+) -> Vec<f64> {
+    let plan = TrialPlan::new(trials, seed);
+    run_trials(&plan, |_, trial_seed| {
+        let protocol = SublinearTimeSsr::new(SublinearParams::recommended(n, h));
+        let config = scenario.configuration(&protocol, trial_seed);
+        let report = engine
+            .run_until_interned(protocol, &config, trial_seed, budget, |c| protocol.is_correct(c));
+        assert!(
+            report.outcome.condition_met(),
+            "scenario {:?} failed to converge within {budget} interactions",
+            scenario.name()
+        );
+        report.parallel_time().value()
+    })
+}
+
+/// [`sublinear_scenario_times_with_engine`] on the exact engine (the
+/// historical default).
 pub fn sublinear_scenario_times(
     n: usize,
     h: u32,
@@ -113,19 +142,66 @@ pub fn sublinear_scenario_times(
     seed: u64,
     budget: u64,
 ) -> Vec<f64> {
+    sublinear_scenario_times_with_engine(n, h, scenario, trials, seed, Engine::Exact, budget)
+}
+
+/// Parallel **detection** times of a `Sublinear-Time-SSR` [`Scenario`]
+/// family on the chosen engine: time from the adversarial configuration
+/// until the first agent enters the `Resetting` role (i.e. the planted error
+/// is noticed), rather than until full recovery.
+///
+/// This isolates the Lemma 5.6 quantity on arbitrary families the way
+/// [`sublinear_detection_times`] does for the classic planted-duplicate
+/// start. On the merged-collision family at `H = 0` almost every pair is
+/// null until the duplicates meet directly, which is the regime where the
+/// batched (interned) engine's null-run skipping dominates the exact engine
+/// — the headline workload of `bench_interned`.
+pub fn sublinear_detection_scenario_times_with_engine(
+    params: SublinearParams,
+    scenario: &Scenario<SublinearTimeSsr>,
+    trials: usize,
+    seed: u64,
+    engine: Engine,
+    budget: u64,
+) -> Vec<f64> {
     let plan = TrialPlan::new(trials, seed);
     run_trials(&plan, |_, trial_seed| {
-        let protocol = SublinearTimeSsr::new(SublinearParams::recommended(n, h));
+        let protocol = SublinearTimeSsr::new(params);
         let config = scenario.configuration(&protocol, trial_seed);
-        let mut sim = Simulation::new(protocol, config, trial_seed);
-        let outcome = sim.run_until(|c| protocol.is_correct(c), budget);
+        let report = engine.run_until_interned(
+            protocol,
+            &config,
+            trial_seed,
+            budget,
+            SublinearTimeSsr::any_resetting,
+        );
         assert!(
-            outcome.condition_met(),
-            "scenario {:?} failed to converge within {budget} interactions",
+            report.outcome.condition_met(),
+            "scenario {:?} was never detected within {budget} interactions",
             scenario.name()
         );
-        sim.parallel_time().value()
+        report.parallel_time().value()
     })
+}
+
+/// Parallel completion times of the roll-call process (`R_n / n`, Lemma 2.9)
+/// on the chosen engine. Completion coincides with silence (all rosters
+/// equal ⟺ all full), so this measures silence time; the roster state space
+/// is open, so [`Engine::Batched`] routes through the interned backend.
+pub fn roll_call_times_with_engine(n: usize, trials: usize, seed: u64, engine: Engine) -> Vec<f64> {
+    let plan = TrialPlan::new(trials, seed);
+    let reports = ppsim::run_interned_trials(&plan, engine, u64::MAX >> 8, |_, _| {
+        let protocol = processes::RollCall::new(n);
+        let config = protocol.initial_configuration();
+        (protocol, config)
+    });
+    reports
+        .into_iter()
+        .map(|report| {
+            assert!(report.outcome.is_silent());
+            report.parallel_time().value()
+        })
+        .collect()
 }
 
 /// Picks the simulation engine from a `--engine exact|batched` (or
@@ -476,11 +552,54 @@ mod tests {
     }
 
     #[test]
-    fn sublinear_scenarios_measure_on_the_exact_engine() {
+    fn sublinear_scenarios_measure_on_both_engines() {
         let scenarios = SublinearTimeSsr::adversarial_scenarios();
+        for engine in [Engine::Exact, Engine::Batched] {
+            let times = sublinear_scenario_times_with_engine(
+                10,
+                1,
+                &scenarios[0],
+                2,
+                17,
+                engine,
+                100_000_000,
+            );
+            assert_eq!(times.len(), 2);
+            assert!(times.iter().all(|&t| t > 0.0));
+        }
+        // The exact-engine wrapper is the same measurement.
         let times = sublinear_scenario_times(10, 1, &scenarios[0], 2, 17, 100_000_000);
         assert_eq!(times.len(), 2);
-        assert!(times.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn detection_scenario_times_measure_first_reset_on_both_engines() {
+        let scenarios = SublinearTimeSsr::adversarial_scenarios();
+        let merged = scenarios
+            .iter()
+            .find(|s| s.name() == "merged-collision")
+            .expect("the merged-collision family exists");
+        for engine in [Engine::Exact, Engine::Batched] {
+            let times = sublinear_detection_scenario_times_with_engine(
+                SublinearParams::recommended(12, 0),
+                merged,
+                2,
+                19,
+                engine,
+                100_000_000,
+            );
+            assert_eq!(times.len(), 2);
+            assert!(times.iter().all(|&t| t > 0.0));
+        }
+    }
+
+    #[test]
+    fn roll_call_times_measure_on_both_engines() {
+        for engine in [Engine::Exact, Engine::Batched] {
+            let times = roll_call_times_with_engine(20, 3, 23, engine);
+            assert_eq!(times.len(), 3);
+            assert!(times.iter().all(|&t| t > 0.0));
+        }
     }
 
     #[test]

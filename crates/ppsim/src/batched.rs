@@ -34,14 +34,17 @@
 //! interaction; dense protocols (`Optimal-Silent-SSR`, whose
 //! unsettled/resetting states interact with everything) fall back to a
 //! present-state scan that costs O(P²) per non-null interaction with `P ≤ n`
-//! distinct present states. Protocols with huge state spaces
-//! (`Sublinear-Time-SSR`'s history trees) simply keep using the exact engine
-//! — see [`Engine`] for the routing layer.
+//! distinct present states.
 //!
-//! The roll-call process cannot be expressed here at all: its per-agent
-//! rosters make states identity-dependent, so no multiset of anonymous states
-//! is a sufficient statistic; it keeps its specialized simulation in the
-//! `processes` crate.
+//! Protocols whose state space cannot be enumerated up front — the name ×
+//! roster × history-tree states of `Sublinear-Time-SSR`, the roster states
+//! of the roll-call process — use the third batched backend instead: the
+//! dynamically **interned** engine of [`crate::interned`], which assigns
+//! dense indices to states as they are first observed and grows its tables
+//! on demand ([`crate::InternableProtocol`] /
+//! [`crate::InternedSimulation`]). [`Engine`] is the routing layer for all
+//! of them, and `ARCHITECTURE.md` at the repository root draws the decision
+//! tree.
 //!
 //! # Example
 //!
@@ -788,13 +791,16 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
     }
 }
 
-/// Which simulation backend to run a workload on.
+/// Which simulation engine to run a workload on.
 ///
-/// The two engines simulate the same Markov chain; they differ only in cost
+/// The engines simulate the same Markov chain; they differ only in cost
 /// model. [`Engine::Exact`] pays O(1) per interaction and works for every
-/// [`Protocol`] (it is the only choice for `Sublinear-Time-SSR`, whose state
-/// space cannot be enumerated). [`Engine::Batched`] pays only per *non-null*
-/// interaction and requires [`EnumerableProtocol`].
+/// [`Protocol`]. [`Engine::Batched`] pays only per *non-null* interaction;
+/// its backend depends on the protocol's capability trait: the statically
+/// enumerated backends for [`EnumerableProtocol`] (via
+/// [`Engine::run_until_silent`] / [`Engine::run_until`]) and the
+/// dynamically interned backend for [`crate::InternableProtocol`] (via
+/// [`Engine::run_until_silent_interned`] / [`Engine::run_until_interned`]).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Engine {
     /// The per-agent engine: [`Simulation`].

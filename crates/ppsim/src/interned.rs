@@ -1,0 +1,1220 @@
+//! Count-based batched engine for **open** (non-enumerable) state spaces,
+//! built on dynamic state interning.
+//!
+//! The [`crate::batched`] engine requires a protocol to enumerate its state
+//! space up front ([`crate::EnumerableProtocol`]): a bijection `state ↔ 0..k` fixes
+//! the size of the count table and of the pair structures. That rules out the
+//! paper's headline `Sublinear-Time-SSR` protocol (states are names × rosters
+//! × history trees — astronomically many *possible* states) and the roll-call
+//! process (states are rosters over agent identities), even though any single
+//! execution only ever *visits* a modest number of distinct states (`n` at
+//! initialization, then at most 2 new states per non-null interaction, and in
+//! practice `O(n)` overall).
+//!
+//! This module closes that gap with the standard move of count-based
+//! population-protocol simulators on open state spaces: **intern states as
+//! they are first observed**. A [`StateInterner`] assigns dense indices
+//! `0, 1, 2, …` to distinct states in order of first appearance, and the
+//! count/row tables grow on demand, so the geometric null-run skipping
+//! machinery of the batched engine works unchanged:
+//!
+//! 1. the configuration is a multiset of counts over the *interned* states;
+//! 2. runs of null interactions are skipped in O(1) via
+//!    [`crate::batched::sample_null_run`];
+//! 3. one non-null transition is applied by sampling an ordered state pair
+//!    proportionally to its pair count, through a growable Fenwick tree over
+//!    per-state row weights that are maintained **incrementally** (O(present)
+//!    nullness queries per applied transition, not O(present²)).
+//!
+//! # Null classes
+//!
+//! The engine consults [`Protocol::is_null`] to weigh pairs. For protocols
+//! whose nullness predicate compares large payloads (equal rosters, equal
+//! trees), the worst case of that comparison is exactly the *null* case —
+//! e.g. two full, identical rosters must be walked to the end to prove
+//! equality. A near-silent configuration would pay that worst case for every
+//! pair. [`InternableProtocol::null_class`] lets the protocol short-circuit
+//! it: states may declare a *null class* key, with the contract that **two
+//! distinct states sharing a class key are null in both orders**. The engine
+//! then skips `is_null` for same-class pairs entirely (pairs of the *same*
+//! state are always checked directly, since `(s, s)` is frequently non-null
+//! — a name collision, say — even when `s` is null against the rest of its
+//! class). `Sublinear-Time-SSR` uses the roster as the class key for clean
+//! direct-detection states, which turns its near-silent merged phase from
+//! O(present² · n) comparisons into O(present²) hash lookups.
+//!
+//! # Choosing between the three batched backends
+//!
+//! * state space enumerable **and** sparse non-null structure → indexed
+//!   (Fenwick) backend of [`crate::BatchedSimulation`];
+//! * state space enumerable, dense non-null structure → present-scan backend
+//!   of [`crate::BatchedSimulation`];
+//! * state space not enumerable (open) → this module's
+//!   [`InternedSimulation`].
+//!
+//! See `ARCHITECTURE.md` at the repository root for the full decision tree.
+//!
+//! # Example
+//!
+//! A protocol over an open state space (unbounded counters) that no static
+//! enumeration covers, run on the interned engine:
+//!
+//! ```
+//! use ppsim::prelude::*;
+//! use rand::RngCore;
+//!
+//! /// Two equal tokens merge into one of double weight: (w, w) -> (2w, 0).
+//! /// Weights are unbounded, so the state space cannot be enumerated.
+//! struct Merge {
+//!     n: usize,
+//! }
+//!
+//! impl Protocol for Merge {
+//!     type State = u64;
+//!     fn population_size(&self) -> usize {
+//!         self.n
+//!     }
+//!     fn transition(&self, a: &u64, b: &u64, _rng: &mut dyn RngCore) -> (u64, u64) {
+//!         if a == b && *a > 0 {
+//!             (a + b, 0)
+//!         } else {
+//!             (*a, *b)
+//!         }
+//!     }
+//!     fn is_null(&self, a: &u64, b: &u64) -> bool {
+//!         !(a == b && *a > 0)
+//!     }
+//! }
+//!
+//! impl InternableProtocol for Merge {
+//!     type NullClass = ();
+//! }
+//!
+//! let mut sim =
+//!     InternedSimulation::new(Merge { n: 16 }, &Configuration::uniform(1u64, 16), 7);
+//! let outcome = sim.run_until_silent(u64::MAX >> 8);
+//! assert!(outcome.is_silent());
+//! // 16 unit tokens merge pairwise into one token of weight 16.
+//! assert_eq!(sim.count_of(&16), 1);
+//! ```
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::batched::{sample_null_run, Engine, EngineReport};
+use crate::config::Configuration;
+use crate::error::SimError;
+use crate::execution::{RunOutcome, Simulation, StopReason};
+use crate::protocol::Protocol;
+use crate::time::{Interactions, ParallelTime};
+
+/// A [`Protocol`] that opts into the dynamically interned batched engine.
+///
+/// No methods are required: every protocol state is already `Hash + Eq +
+/// Clone` (the [`Protocol::State`] bounds), which is all the interner needs.
+/// Implementing the trait is a declaration that the multiset of states is a
+/// sufficient statistic for the protocol — true for every population
+/// protocol whose transition reads only the two interacting states, which is
+/// the model itself — and an opt-in to the engine's cost profile (pay per
+/// distinct state present, not per possible state).
+///
+/// The two optional members tune performance, never correctness:
+///
+/// * [`InternableProtocol::null_class`] short-circuits expensive `is_null`
+///   comparisons (see the [module docs](self) for the contract);
+/// * [`InternableProtocol::distinct_states_hint`] pre-sizes the tables.
+pub trait InternableProtocol: Protocol {
+    /// Key type for the null-class optimization. Use `()` (with the default
+    /// [`InternableProtocol::null_class`] returning `None`) when the
+    /// protocol does not define classes.
+    type NullClass: Clone + Eq + Hash + Send + Sync;
+
+    /// The null class of a state, if it belongs to one.
+    ///
+    /// **Contract:** if two *distinct* states both return `Some` of equal
+    /// keys, the ordered pairs between them (both orders) must be null.
+    /// Pairs of the same state are never short-circuited, so `(s, s)`
+    /// nullness stays entirely with [`Protocol::is_null`]. Returning `None`
+    /// everywhere (the default) is always sound.
+    fn null_class(&self, _state: &Self::State) -> Option<Self::NullClass> {
+        None
+    }
+
+    /// Expected number of distinct states observed over a run, used to
+    /// pre-size the interner and count tables. Purely a capacity hint.
+    fn distinct_states_hint(&self) -> usize {
+        self.population_size().min(1 << 20)
+    }
+}
+
+/// Adapter running **any** protocol on the interned backend, whether or not
+/// it declares a static enumeration: the interner simply discovers (the
+/// visited subset of) the state space at run time.
+///
+/// A blanket `impl InternableProtocol for P: EnumerableProtocol` would make
+/// every downstream `InternableProtocol` impl a coherence conflict, so the
+/// adapter is an explicit wrapper instead — the same shape as
+/// [`crate::ForceDense`], and used the same way by the cross-backend
+/// equivalence suites to drive one protocol through all three batched
+/// backends.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AsInterned<P>(pub P);
+
+impl<P: Protocol> Protocol for AsInterned<P> {
+    type State = P::State;
+
+    fn population_size(&self) -> usize {
+        self.0.population_size()
+    }
+
+    fn transition(
+        &self,
+        initiator: &Self::State,
+        responder: &Self::State,
+        rng: &mut dyn rand::RngCore,
+    ) -> (Self::State, Self::State) {
+        self.0.transition(initiator, responder, rng)
+    }
+
+    fn is_null(&self, initiator: &Self::State, responder: &Self::State) -> bool {
+        self.0.is_null(initiator, responder)
+    }
+}
+
+impl<P: Protocol> InternableProtocol for AsInterned<P> {
+    type NullClass = ();
+}
+
+/// Assigns dense indices to states in order of first appearance.
+///
+/// The index of a state is stable for the lifetime of the interner, so it can
+/// key growable side tables (counts, row weights). Interning is
+/// deterministic: the same sequence of [`StateInterner::intern`] calls yields
+/// the same indices, which keeps seeded simulations reproducible.
+///
+/// # Example
+///
+/// ```
+/// use ppsim::StateInterner;
+/// let mut interner = StateInterner::new();
+/// let a = interner.intern(&"roster-a");
+/// let b = interner.intern(&"roster-b");
+/// assert_eq!((a, b), (0, 1));
+/// assert_eq!(interner.intern(&"roster-a"), 0); // stable on re-observation
+/// assert_eq!(interner.get(1), &"roster-b");
+/// assert_eq!(interner.lookup(&"roster-c"), None);
+/// assert_eq!(interner.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct StateInterner<S> {
+    states: Vec<S>,
+    index_of: HashMap<S, usize>,
+}
+
+impl<S: Clone + Eq + Hash> StateInterner<S> {
+    /// An empty interner.
+    pub fn new() -> Self {
+        StateInterner { states: Vec::new(), index_of: HashMap::new() }
+    }
+
+    /// An empty interner pre-sized for `capacity` distinct states.
+    pub fn with_capacity(capacity: usize) -> Self {
+        StateInterner {
+            states: Vec::with_capacity(capacity),
+            index_of: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// The dense index of `state`, assigning the next free index (and storing
+    /// a clone) on first observation.
+    pub fn intern(&mut self, state: &S) -> usize {
+        if let Some(&i) = self.index_of.get(state) {
+            return i;
+        }
+        let i = self.states.len();
+        self.states.push(state.clone());
+        self.index_of.insert(state.clone(), i);
+        i
+    }
+
+    /// The state with dense index `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has not been assigned.
+    pub fn get(&self, index: usize) -> &S {
+        &self.states[index]
+    }
+
+    /// The index of `state` if it has been observed, without interning it.
+    pub fn lookup(&self, state: &S) -> Option<usize> {
+        self.index_of.get(state).copied()
+    }
+
+    /// The number of distinct states interned so far.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether no state has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+/// A growable Fenwick (binary indexed) tree over explicit point weights:
+/// point reads are O(1) from the backing vector, point writes and prefix
+/// searches are O(log len), and appending past the allocated capacity
+/// rebuilds in O(len) (amortized O(1) per append by capacity doubling).
+#[derive(Clone, Debug)]
+struct WeightIndex {
+    values: Vec<u64>,
+    tree: Vec<u64>,
+    mask: usize,
+    total: u64,
+}
+
+impl WeightIndex {
+    fn with_capacity(capacity: usize) -> Self {
+        let mut w = WeightIndex { values: Vec::new(), tree: Vec::new(), mask: 0, total: 0 };
+        w.rebuild(capacity.max(1));
+        w
+    }
+
+    fn total(&self) -> u64 {
+        self.total
+    }
+
+    fn get(&self, index: usize) -> u64 {
+        self.values[index]
+    }
+
+    /// Appends a new slot with the given weight, growing the tree if needed.
+    fn push(&mut self, value: u64) {
+        self.values.push(value);
+        if self.values.len() >= self.tree.len() {
+            let capacity = (self.tree.len() - 1).max(1) * 2;
+            self.rebuild(capacity.max(self.values.len()));
+            return;
+        }
+        self.total += value;
+        if value > 0 {
+            let mut i = self.values.len(); // 1-based position of the new slot
+            while i < self.tree.len() {
+                self.tree[i] += value;
+                i += i & i.wrapping_neg();
+            }
+        }
+    }
+
+    /// Overwrites the weight of an existing slot.
+    fn set(&mut self, index: usize, value: u64) {
+        let old = self.values[index];
+        if old == value {
+            return;
+        }
+        self.values[index] = value;
+        let delta = value as i128 - old as i128;
+        self.total = (self.total as i128 + delta) as u64;
+        let mut i = index + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i128 + delta) as u64;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// The slot holding offset `target` of the weight mass, and the remainder
+    /// within that slot (requires `target < total`).
+    fn find(&self, mut target: u64) -> (usize, u64) {
+        debug_assert!(target < self.total);
+        let mut pos = 0usize;
+        let mut step = self.mask;
+        while step > 0 {
+            let next = pos + step;
+            if next < self.tree.len() && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            step /= 2;
+        }
+        (pos, target) // pos is the 0-based slot; target is the offset within
+    }
+
+    /// Rebuilds the tree from `values` with room for `capacity` slots.
+    fn rebuild(&mut self, capacity: usize) {
+        self.tree = vec![0; capacity + 1];
+        self.mask = 1;
+        while self.mask * 2 <= capacity {
+            self.mask *= 2;
+        }
+        self.total = 0;
+        for (i, &v) in self.values.iter().enumerate() {
+            self.total += v;
+            if v > 0 {
+                let mut j = i + 1;
+                while j < self.tree.len() {
+                    self.tree[j] += v;
+                    j += j & j.wrapping_neg();
+                }
+            }
+        }
+    }
+}
+
+const NOT_PRESENT: usize = usize::MAX;
+
+/// A single execution of a population protocol on the dynamically interned
+/// batched engine.
+///
+/// The public surface mirrors [`crate::BatchedSimulation`] (`run_until_silent`,
+/// `run_until`, `run_for`, multiset accessors), so measurement code written
+/// against one engine ports to the other mechanically; the difference is
+/// entirely internal — counts, rows and pair structures are keyed by a
+/// [`StateInterner`] that grows as new states are first observed, instead of
+/// by a static enumeration.
+#[derive(Clone, Debug)]
+pub struct InternedSimulation<P: InternableProtocol> {
+    protocol: P,
+    interner: StateInterner<P::State>,
+    /// Null-class id per interned state (`None` = no class declared).
+    classes: Vec<Option<u32>>,
+    class_ids: HashMap<P::NullClass, u32>,
+    counts: Vec<u64>,
+    /// Row weights `r_i = c_i · Σ_{u present} term(i, u)` behind a prefix-
+    /// searchable index; `term(i, u) = (c_u − [i = u])` if `(i, u)` is
+    /// non-null, else 0. `Σ r_i` is the non-null ordered agent-pair count.
+    rows: WeightIndex,
+    present: Vec<usize>,
+    position: Vec<usize>,
+    rng: ChaCha8Rng,
+    interactions: Interactions,
+    transitions: u64,
+    n: usize,
+}
+
+impl<P: InternableProtocol> InternedSimulation<P> {
+    /// Creates an interned simulation from a protocol, an initial
+    /// configuration and an RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same setup errors as [`Simulation::new`]. Use
+    /// [`InternedSimulation::try_new`] for a non-panicking constructor.
+    pub fn new(protocol: P, config: &Configuration<P::State>, seed: u64) -> Self {
+        Self::try_new(protocol, config, seed).expect("invalid simulation setup")
+    }
+
+    /// Creates an interned simulation, validating the setup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ConfigurationSizeMismatch`] if the configuration
+    /// length differs from the protocol's population size, and
+    /// [`SimError::PopulationTooSmall`] if the population has fewer than two
+    /// agents.
+    pub fn try_new(
+        protocol: P,
+        config: &Configuration<P::State>,
+        seed: u64,
+    ) -> Result<Self, SimError> {
+        let n = protocol.population_size();
+        if config.len() != n {
+            return Err(SimError::ConfigurationSizeMismatch { expected: n, actual: config.len() });
+        }
+        if n < 2 {
+            return Err(SimError::PopulationTooSmall { n });
+        }
+        let hint = protocol.distinct_states_hint().max(4);
+        let mut sim = InternedSimulation {
+            protocol,
+            interner: StateInterner::with_capacity(hint),
+            classes: Vec::with_capacity(hint),
+            class_ids: HashMap::new(),
+            counts: Vec::with_capacity(hint),
+            rows: WeightIndex::with_capacity(hint),
+            present: Vec::new(),
+            position: Vec::with_capacity(hint),
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            interactions: Interactions::ZERO,
+            transitions: 0,
+            n,
+        };
+        for state in config.iter() {
+            let i = sim.intern_state(state);
+            if sim.counts[i] == 0 {
+                sim.position[i] = sim.present.len();
+                sim.present.push(i);
+            }
+            sim.counts[i] += 1;
+        }
+        // Initial rows, built in one O(present²) pass (same-class pairs cost
+        // a hash compare, not an is_null evaluation).
+        for slot in 0..sim.present.len() {
+            let i = sim.present[slot];
+            let row = sim.row_weight(i);
+            sim.rows.set(i, row);
+        }
+        Ok(sim)
+    }
+
+    /// Interns a state, registering its null class and growing the side
+    /// tables on first observation.
+    fn intern_state(&mut self, state: &P::State) -> usize {
+        let i = self.interner.intern(state);
+        if i == self.counts.len() {
+            let class = self.protocol.null_class(state).map(|key| {
+                let next = self.class_ids.len() as u32;
+                *self.class_ids.entry(key).or_insert(next)
+            });
+            self.classes.push(class);
+            self.counts.push(0);
+            self.rows.push(0);
+            self.position.push(NOT_PRESENT);
+        }
+        i
+    }
+
+    /// `(c_j − [i = j])` if the ordered pair `(i, j)` is non-null, else 0.
+    ///
+    /// Distinct states of one null class are null by the
+    /// [`InternableProtocol::null_class`] contract, so the class comparison
+    /// short-circuits `is_null`; same-state pairs always consult `is_null`.
+    fn pair_term(&self, i: usize, j: usize) -> u64 {
+        let w = self.counts[j].saturating_sub((i == j) as u64);
+        if w == 0 {
+            return 0;
+        }
+        if i != j {
+            if let (Some(a), Some(b)) = (self.classes[i], self.classes[j]) {
+                if a == b {
+                    return 0;
+                }
+            }
+        }
+        if self.protocol.is_null(self.interner.get(i), self.interner.get(j)) {
+            0
+        } else {
+            w
+        }
+    }
+
+    /// Full row weight of state `i` against the present set.
+    fn row_weight(&self, i: usize) -> u64 {
+        let ci = self.counts[i];
+        if ci == 0 {
+            return 0;
+        }
+        let mut s = 0u64;
+        for &u in &self.present {
+            s += self.pair_term(i, u);
+        }
+        ci * s
+    }
+
+    /// The protocol being simulated.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The population size.
+    pub fn population_size(&self) -> usize {
+        self.n
+    }
+
+    /// Total interactions executed so far (including skipped null runs).
+    pub fn interactions(&self) -> Interactions {
+        self.interactions
+    }
+
+    /// Total parallel time elapsed so far.
+    pub fn parallel_time(&self) -> ParallelTime {
+        self.interactions.to_parallel_time(self.n)
+    }
+
+    /// The number of non-null transitions actually applied; the ratio
+    /// `interactions / transitions` is the effective batching factor.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// The number of distinct states interned over the whole run (present or
+    /// not) — the size the static enumeration would have needed, had one
+    /// existed.
+    pub fn interned_states(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// The multiset view: every present state with its count, in interning
+    /// order.
+    pub fn state_counts(&self) -> impl Iterator<Item = (&P::State, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.interner.get(i), c))
+    }
+
+    /// The number of agents currently holding `state`.
+    pub fn count_of(&self, state: &P::State) -> u64 {
+        self.interner.lookup(state).map_or(0, |i| self.counts[i])
+    }
+
+    /// The number of distinct states present.
+    pub fn distinct_states(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Materializes a canonical per-agent configuration (states in interning
+    /// order); suitable for any permutation-invariant predicate, which every
+    /// protocol-level predicate is (agents are anonymous).
+    pub fn to_configuration(&self) -> Configuration<P::State> {
+        let mut states = Vec::with_capacity(self.n);
+        for (i, &c) in self.counts.iter().enumerate() {
+            for _ in 0..c {
+                states.push(self.interner.get(i).clone());
+            }
+        }
+        Configuration::from_states(states)
+    }
+
+    /// The number of non-null ordered **agent** pairs in the current
+    /// configuration; O(1) (maintained incrementally).
+    pub fn active_pairs(&self) -> u64 {
+        self.rows.total()
+    }
+
+    /// Whether the configuration is silent (no non-null ordered pair
+    /// exists); O(1).
+    pub fn is_silent(&self) -> bool {
+        self.active_pairs() == 0
+    }
+
+    /// Recomputes the non-null pair weight from scratch in O(present²);
+    /// exposed so equivalence tests can audit the incremental bookkeeping.
+    pub fn recount_active_pairs(&self) -> u64 {
+        self.present.iter().map(|&i| self.row_weight(i)).sum()
+    }
+
+    /// Runs until the configuration is silent or `budget` additional
+    /// interactions (counting skipped nulls) have elapsed.
+    pub fn run_until_silent(&mut self, budget: u64) -> RunOutcome {
+        let mut remaining = budget;
+        loop {
+            let active = self.active_pairs();
+            if active == 0 {
+                return RunOutcome { reason: StopReason::Silent, interactions: self.interactions };
+            }
+            if !self.advance_one_transition(active, &mut remaining) {
+                return RunOutcome {
+                    reason: StopReason::BudgetExhausted,
+                    interactions: self.interactions,
+                };
+            }
+        }
+    }
+
+    /// Runs until `condition` holds, checking after every applied (non-null)
+    /// transition — a finer granularity than the exact engine's periodic
+    /// checks — or until silence or budget exhaustion.
+    ///
+    /// The predicate receives the canonical configuration, so any
+    /// permutation-invariant predicate written for the exact engine works
+    /// unchanged; materializing it costs O(n) per non-null transition. Use
+    /// [`InternedSimulation::run_until_counts`] for a count-based predicate
+    /// when that matters.
+    pub fn run_until(
+        &mut self,
+        mut condition: impl FnMut(&Configuration<P::State>) -> bool,
+        budget: u64,
+    ) -> RunOutcome {
+        self.run_until_counts(|sim| condition(&sim.to_configuration()), budget)
+    }
+
+    /// Runs until `condition` holds for the simulation's multiset state,
+    /// checking after every applied transition, or until silence or budget
+    /// exhaustion.
+    pub fn run_until_counts(
+        &mut self,
+        mut condition: impl FnMut(&Self) -> bool,
+        budget: u64,
+    ) -> RunOutcome {
+        if condition(self) {
+            return RunOutcome {
+                reason: StopReason::ConditionMet,
+                interactions: self.interactions,
+            };
+        }
+        let mut remaining = budget;
+        loop {
+            let active = self.active_pairs();
+            if active == 0 {
+                return RunOutcome { reason: StopReason::Silent, interactions: self.interactions };
+            }
+            if !self.advance_one_transition(active, &mut remaining) {
+                return RunOutcome {
+                    reason: StopReason::BudgetExhausted,
+                    interactions: self.interactions,
+                };
+            }
+            if condition(self) {
+                return RunOutcome {
+                    reason: StopReason::ConditionMet,
+                    interactions: self.interactions,
+                };
+            }
+        }
+    }
+
+    /// Executes exactly `budget` interactions (in batches).
+    pub fn run_for(&mut self, budget: u64) {
+        let mut remaining = budget;
+        while remaining > 0 {
+            let active = self.active_pairs();
+            if active == 0 {
+                // Silent: the remaining interactions are all null.
+                self.interactions += Interactions::new(remaining);
+                return;
+            }
+            if !self.advance_one_transition(active, &mut remaining) {
+                return;
+            }
+        }
+    }
+
+    /// Skips the null run preceding the next non-null interaction and applies
+    /// that interaction, staying within `remaining` interactions. Returns
+    /// `false` (with `remaining` driven to 0 and the interaction counter
+    /// advanced) if the budget ran out before the non-null interaction.
+    fn advance_one_transition(&mut self, active: u64, remaining: &mut u64) -> bool {
+        let total_pairs = (self.n as u64) * (self.n as u64 - 1);
+        let skip = sample_null_run(active, total_pairs, &mut self.rng);
+        if skip >= *remaining {
+            self.interactions += Interactions::new(*remaining);
+            *remaining = 0;
+            return false;
+        }
+        self.interactions += Interactions::new(skip + 1);
+        *remaining -= skip + 1;
+        self.transitions += 1;
+        self.apply_sampled_transition(active);
+        true
+    }
+
+    /// Samples the non-null ordered state pair, applies one transition, and
+    /// repairs the count/row tables incrementally.
+    fn apply_sampled_transition(&mut self, active: u64) {
+        let target = self.rng.gen_range(0..active);
+        let (i, within_row) = self.rows.find(target);
+        // Row i is c_i consecutive copies of the responder weights; reduce
+        // modulo the per-copy sum to select the responder.
+        let per_copy = self.rows.get(i) / self.counts[i];
+        let mut t = within_row % per_copy;
+        let mut responder = None;
+        for &v in &self.present {
+            let w = self.pair_term(i, v);
+            if t < w {
+                responder = Some(v);
+                break;
+            }
+            t -= w;
+        }
+        let j = responder.expect("responder weights sum to the per-copy total");
+        debug_assert!(!self.protocol.is_null(self.interner.get(i), self.interner.get(j)));
+        // Field-disjoint borrows: the interner lends the states while the
+        // transition draws from the rng — no clones on the hot path.
+        let (a2, b2) =
+            self.protocol.transition(self.interner.get(i), self.interner.get(j), &mut self.rng);
+        let i2 = self.intern_state(&a2);
+        let j2 = self.intern_state(&b2);
+        self.apply_count_deltas(&[(i, -1), (j, -1), (i2, 1), (j2, 1)]);
+    }
+
+    /// Applies signed count changes and repairs the present set and row
+    /// weights incrementally: rows of unchanged states shift by
+    /// `c_u · Σ_k [(u,k) non-null] Δc_k` (their nullness against the changed
+    /// states is count-independent), and only the changed states' own rows
+    /// are rebuilt by a full present scan.
+    fn apply_count_deltas(&mut self, deltas: &[(usize, i64)]) {
+        // Net the deltas per state (a state may both lose and gain an agent
+        // in one transition, and i may equal j).
+        let mut net: Vec<(usize, i64)> = Vec::with_capacity(deltas.len());
+        for &(k, d) in deltas {
+            match net.iter_mut().find(|(s, _)| *s == k) {
+                Some((_, acc)) => *acc += d,
+                None => net.push((k, d)),
+            }
+        }
+        net.retain(|&(_, d)| d != 0);
+        for &(k, d) in &net {
+            let c = self.counts[k] as i64 + d;
+            debug_assert!(c >= 0, "state count went negative");
+            self.counts[k] = c as u64;
+        }
+        // Present-set maintenance (swap-remove keeps positions dense).
+        for &(k, _) in &net {
+            let now_present = self.counts[k] > 0;
+            let was_present = self.position[k] != NOT_PRESENT;
+            if now_present && !was_present {
+                self.position[k] = self.present.len();
+                self.present.push(k);
+            } else if !now_present && was_present {
+                let pos = self.position[k];
+                let last = *self.present.last().expect("present is nonempty");
+                self.present.swap_remove(pos);
+                self.position[k] = NOT_PRESENT;
+                if last != k {
+                    self.position[last] = pos;
+                }
+            }
+        }
+        // Incremental row updates for states whose own count did not change:
+        // term(u, k) is linear in c_k with a count-independent nullness
+        // coefficient, so the row shifts by c_u · Δc_k per non-null (u, k).
+        for slot in 0..self.present.len() {
+            let u = self.present[slot];
+            if net.iter().any(|&(k, _)| k == u) {
+                continue;
+            }
+            let mut shift = 0i128;
+            for &(k, d) in &net {
+                if self.pair_nonnull(u, k) {
+                    shift += d as i128;
+                }
+            }
+            if shift != 0 {
+                let old = self.rows.get(u) as i128;
+                let new = old + self.counts[u] as i128 * shift;
+                debug_assert!(new >= 0, "row weight went negative");
+                self.rows.set(u, new as u64);
+            }
+        }
+        // Changed states: rebuild their rows from scratch (covers presence
+        // changes, the c_k factor, and terms against other changed states).
+        for &(k, _) in &net {
+            let row = self.row_weight(k);
+            self.rows.set(k, row);
+        }
+    }
+
+    /// Whether the ordered pair `(i, j)` is non-null, via the class
+    /// short-circuit; count-independent.
+    fn pair_nonnull(&self, i: usize, j: usize) -> bool {
+        if i != j {
+            if let (Some(a), Some(b)) = (self.classes[i], self.classes[j]) {
+                if a == b {
+                    return false;
+                }
+            }
+        }
+        !self.protocol.is_null(self.interner.get(i), self.interner.get(j))
+    }
+}
+
+impl Engine {
+    /// Runs an [`InternableProtocol`] from `init` until silence or `budget`
+    /// interactions: through [`Simulation`] for [`Engine::Exact`], through
+    /// [`InternedSimulation`] for [`Engine::Batched`].
+    ///
+    /// This is the open-state-space counterpart of
+    /// [`Engine::run_until_silent`]; enumerable protocols should keep using
+    /// that entry point (the static enumeration is cheaper than interning).
+    pub fn run_until_silent_interned<P: InternableProtocol>(
+        self,
+        protocol: P,
+        init: &Configuration<P::State>,
+        seed: u64,
+        budget: u64,
+    ) -> EngineReport<P::State> {
+        match self {
+            Engine::Exact => {
+                let mut sim = Simulation::new(protocol, init.clone(), seed);
+                let outcome = sim.run_until_silent(budget);
+                EngineReport { outcome, final_config: sim.configuration().clone() }
+            }
+            Engine::Batched => {
+                let mut sim = InternedSimulation::new(protocol, init, seed);
+                let outcome = sim.run_until_silent(budget);
+                EngineReport { outcome, final_config: sim.to_configuration() }
+            }
+        }
+    }
+
+    /// Runs an [`InternableProtocol`] from `init` until the (permutation-
+    /// invariant) predicate holds or `budget` interactions elapse; the
+    /// open-state-space counterpart of [`Engine::run_until`].
+    pub fn run_until_interned<P: InternableProtocol>(
+        self,
+        protocol: P,
+        init: &Configuration<P::State>,
+        seed: u64,
+        budget: u64,
+        condition: impl FnMut(&Configuration<P::State>) -> bool,
+    ) -> EngineReport<P::State> {
+        match self {
+            Engine::Exact => {
+                let mut sim = Simulation::new(protocol, init.clone(), seed);
+                let outcome = sim.run_until(condition, budget);
+                EngineReport { outcome, final_config: sim.configuration().clone() }
+            }
+            Engine::Batched => {
+                let mut sim = InternedSimulation::new(protocol, init, seed);
+                let outcome = sim.run_until(condition, budget);
+                EngineReport { outcome, final_config: sim.to_configuration() }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Protocol;
+    use rand::RngCore;
+
+    /// (L, L) -> (L, F) fratricide over an "open" state space: states are
+    /// arbitrary u32 values, 0 = leader, anything else = follower. Only the
+    /// states actually present are ever interned.
+    #[derive(Clone, Copy, Debug)]
+    struct Frat {
+        n: usize,
+    }
+
+    impl Protocol for Frat {
+        type State = u32;
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn transition(&self, a: &u32, b: &u32, _rng: &mut dyn RngCore) -> (u32, u32) {
+            if *a == 0 && *b == 0 {
+                (0, 1)
+            } else {
+                (*a, *b)
+            }
+        }
+        fn is_null(&self, a: &u32, b: &u32) -> bool {
+            !(*a == 0 && *b == 0)
+        }
+    }
+
+    impl InternableProtocol for Frat {
+        type NullClass = ();
+        fn distinct_states_hint(&self) -> usize {
+            2
+        }
+    }
+
+    /// Tokens merge pairwise: (w, w) -> (2w, 0) for w > 0. Starting from all
+    /// ones with n a power of two, silence leaves a single token of weight n.
+    /// Every doubling creates a state never seen before, forcing interner and
+    /// table growth across reallocation.
+    #[derive(Clone, Copy, Debug)]
+    struct Merge {
+        n: usize,
+    }
+
+    impl Protocol for Merge {
+        type State = u64;
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn transition(&self, a: &u64, b: &u64, _rng: &mut dyn RngCore) -> (u64, u64) {
+            if a == b && *a > 0 {
+                (a + b, 0)
+            } else {
+                (*a, *b)
+            }
+        }
+        fn is_null(&self, a: &u64, b: &u64) -> bool {
+            !(a == b && *a > 0)
+        }
+    }
+
+    impl InternableProtocol for Merge {
+        type NullClass = ();
+        fn distinct_states_hint(&self) -> usize {
+            2 // deliberately undersized: growth must reallocate repeatedly
+        }
+    }
+
+    #[test]
+    fn interner_round_trips_indices_and_states() {
+        let mut interner = StateInterner::new();
+        let states = ["a", "b", "c", "a", "b", "d"];
+        let indices: Vec<usize> = states.iter().map(|s| interner.intern(s)).collect();
+        assert_eq!(indices, vec![0, 1, 2, 0, 1, 3]);
+        assert_eq!(interner.len(), 4);
+        for (s, &i) in states.iter().zip(&indices) {
+            assert_eq!(interner.get(i), s);
+            assert_eq!(interner.lookup(s), Some(i));
+        }
+        assert_eq!(interner.lookup(&"zzz"), None);
+        assert!(!interner.is_empty());
+        assert!(StateInterner::<u8>::new().is_empty());
+    }
+
+    #[test]
+    fn interner_indices_survive_growth_across_reallocation() {
+        // Start from a capacity of 1 and intern far past it; early indices
+        // and states must be unaffected by the reallocations.
+        let mut interner = StateInterner::with_capacity(1);
+        for v in 0..1000u64 {
+            assert_eq!(interner.intern(&v), v as usize);
+        }
+        for v in 0..1000u64 {
+            assert_eq!(interner.lookup(&v), Some(v as usize));
+            assert_eq!(*interner.get(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn weight_index_prefix_search_matches_linear_scan_across_growth() {
+        let weights = [5u64, 0, 3, 7, 0, 1, 4, 9, 2, 0, 6];
+        let mut wi = WeightIndex::with_capacity(2); // forces several rebuilds
+        for &w in &weights {
+            wi.push(w);
+        }
+        assert_eq!(wi.total(), weights.iter().sum::<u64>());
+        for target in 0..wi.total() {
+            let mut t = target;
+            let mut expected = (0usize, 0u64);
+            for (i, &w) in weights.iter().enumerate() {
+                if t < w {
+                    expected = (i, t);
+                    break;
+                }
+                t -= w;
+            }
+            assert_eq!(wi.find(target), expected, "target {target}");
+        }
+        // Point updates, including to and from zero.
+        wi.set(3, 0);
+        wi.set(1, 2);
+        assert_eq!(wi.total(), weights.iter().sum::<u64>() - 7 + 2);
+        assert_eq!(wi.get(3), 0);
+        assert_eq!(wi.get(1), 2);
+        assert_eq!(wi.find(5), (1, 0));
+        assert_eq!(wi.find(6), (1, 1));
+        assert_eq!(wi.find(7), (2, 0));
+    }
+
+    #[test]
+    fn interned_fratricide_elects_one_leader() {
+        let mut sim =
+            InternedSimulation::new(Frat { n: 200 }, &Configuration::uniform(0u32, 200), 42);
+        let outcome = sim.run_until_silent(u64::MAX >> 8);
+        assert!(outcome.is_silent());
+        assert_eq!(sim.count_of(&0), 1);
+        assert_eq!(sim.count_of(&1), 199);
+        assert_eq!(sim.transitions(), 199);
+        // Only the two observed states were ever interned.
+        assert_eq!(sim.interned_states(), 2);
+    }
+
+    #[test]
+    fn tables_grow_past_the_hint_and_stay_consistent() {
+        let n = 64; // power of two: merging silences at a single token
+        let mut sim = InternedSimulation::new(Merge { n }, &Configuration::uniform(1u64, n), 3);
+        let outcome = sim.run_until_silent(u64::MAX >> 8);
+        assert!(outcome.is_silent());
+        assert_eq!(sim.count_of(&(n as u64)), 1);
+        assert_eq!(sim.count_of(&0), n as u64 - 1);
+        // log2(n) doublings plus the zero state, far past the hint of 2.
+        assert_eq!(sim.interned_states(), 8);
+        // Mass conservation across every grown table.
+        let total: u64 = sim.state_counts().map(|(_, c)| c).sum();
+        assert_eq!(total, n as u64);
+        assert_eq!(sim.recount_active_pairs(), sim.active_pairs());
+    }
+
+    #[test]
+    fn incremental_rows_match_a_full_recount_along_a_trajectory() {
+        let mut sim =
+            InternedSimulation::new(Merge { n: 32 }, &Configuration::uniform(1u64, 32), 9);
+        for _ in 0..40 {
+            if sim.is_silent() {
+                break;
+            }
+            sim.run_for(1);
+            assert_eq!(
+                sim.recount_active_pairs(),
+                sim.active_pairs(),
+                "incremental active-pair weight diverged after {} transitions",
+                sim.transitions()
+            );
+        }
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_trajectories() {
+        let run = |seed: u64| {
+            let mut sim =
+                InternedSimulation::new(Merge { n: 64 }, &Configuration::uniform(1u64, 64), seed);
+            sim.run_for(5_000);
+            let counts: Vec<(u64, u64)> = sim.state_counts().map(|(s, c)| (*s, c)).collect();
+            (counts, sim.interactions(), sim.transitions())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).1, Interactions::ZERO);
+        // Different seeds should (with overwhelming probability) diverge.
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn run_until_stops_at_the_predicate() {
+        let mut sim =
+            InternedSimulation::new(Frat { n: 60 }, &Configuration::uniform(0u32, 60), 11);
+        let outcome = sim.run_until(|c| c.iter().filter(|&&s| s == 0).count() <= 30, u64::MAX >> 8);
+        assert!(outcome.condition_met());
+        assert!(sim.count_of(&0) <= 30);
+    }
+
+    #[test]
+    fn run_for_advances_exactly_the_requested_interactions() {
+        let mut sim = InternedSimulation::new(Frat { n: 50 }, &Configuration::uniform(0u32, 50), 7);
+        sim.run_for(1234);
+        assert_eq!(sim.interactions().count(), 1234);
+        // A silent start still counts its (all-null) interactions.
+        let mut done =
+            InternedSimulation::new(Frat { n: 50 }, &Configuration::uniform(1u32, 50), 7);
+        done.run_for(777);
+        assert_eq!(done.interactions().count(), 777);
+        assert!(done.is_silent());
+    }
+
+    #[test]
+    fn silent_start_reports_silence_with_zero_interactions() {
+        let mut sim = InternedSimulation::new(Frat { n: 10 }, &Configuration::uniform(5u32, 10), 1);
+        assert!(sim.is_silent());
+        let outcome = sim.run_until_silent(1_000);
+        assert!(outcome.is_silent());
+        assert_eq!(sim.interactions(), Interactions::ZERO);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_partial_progress() {
+        let mut sim =
+            InternedSimulation::new(Frat { n: 100 }, &Configuration::uniform(0u32, 100), 3);
+        let outcome = sim.run_until_silent(50);
+        assert!(outcome.budget_exhausted());
+        assert_eq!(sim.interactions().count(), 50);
+    }
+
+    #[test]
+    fn engine_routing_reaches_the_same_verdict_on_both_engines() {
+        let config = Configuration::uniform(0u32, 40);
+        let exact =
+            Engine::Exact.run_until_silent_interned(Frat { n: 40 }, &config, 9, u64::MAX >> 8);
+        let interned =
+            Engine::Batched.run_until_silent_interned(Frat { n: 40 }, &config, 9, u64::MAX >> 8);
+        assert!(exact.outcome.is_silent());
+        assert!(interned.outcome.is_silent());
+        let leaders = |c: &Configuration<u32>| c.iter().filter(|&&s| s == 0).count();
+        assert_eq!(leaders(&exact.final_config), 1);
+        assert_eq!(leaders(&interned.final_config), 1);
+
+        let exact =
+            Engine::Exact.run_until_interned(Frat { n: 40 }, &config, 9, u64::MAX >> 8, |c| {
+                leaders(c) <= 20
+            });
+        let interned =
+            Engine::Batched.run_until_interned(Frat { n: 40 }, &config, 9, u64::MAX >> 8, |c| {
+                leaders(c) <= 20
+            });
+        assert!(exact.outcome.condition_met());
+        assert!(interned.outcome.condition_met());
+    }
+
+    /// A protocol with an expensive payload and a null class over it: pairs
+    /// with equal payloads are null (and declared so via the class), pairs
+    /// with different payloads merge toward the larger. Exercises the class
+    /// short-circuit against plain is_null.
+    #[derive(Clone, Debug)]
+    struct Gossip {
+        n: usize,
+    }
+
+    impl Protocol for Gossip {
+        type State = Vec<u32>;
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn transition(
+            &self,
+            a: &Vec<u32>,
+            b: &Vec<u32>,
+            _rng: &mut dyn RngCore,
+        ) -> (Vec<u32>, Vec<u32>) {
+            if a == b {
+                (a.clone(), b.clone())
+            } else {
+                let m = a.iter().chain(b.iter()).copied().max().unwrap_or(0);
+                (vec![m; a.len()], vec![m; b.len()])
+            }
+        }
+        fn is_null(&self, a: &Vec<u32>, b: &Vec<u32>) -> bool {
+            a == b
+        }
+    }
+
+    impl InternableProtocol for Gossip {
+        type NullClass = Vec<u32>;
+        fn null_class(&self, state: &Vec<u32>) -> Option<Vec<u32>> {
+            // Equal payloads are null in both orders; distinct states are
+            // distinct payloads here, so the class key is the payload itself
+            // — same-class distinct states cannot exist, making the claim
+            // vacuously sound, while equal-state pairs skip the class per
+            // the engine contract and hit is_null (which reports null).
+            Some(state.clone())
+        }
+    }
+
+    #[test]
+    fn null_classes_agree_with_plain_is_null() {
+        // Run the same seeds with and without classes; verdicts, counts and
+        // trajectories must match because classes only short-circuit.
+        #[derive(Clone, Debug)]
+        struct NoClass(Gossip);
+        impl Protocol for NoClass {
+            type State = Vec<u32>;
+            fn population_size(&self) -> usize {
+                self.0.population_size()
+            }
+            fn transition(
+                &self,
+                a: &Vec<u32>,
+                b: &Vec<u32>,
+                rng: &mut dyn RngCore,
+            ) -> (Vec<u32>, Vec<u32>) {
+                self.0.transition(a, b, rng)
+            }
+            fn is_null(&self, a: &Vec<u32>, b: &Vec<u32>) -> bool {
+                self.0.is_null(a, b)
+            }
+        }
+        impl InternableProtocol for NoClass {
+            type NullClass = ();
+        }
+
+        for seed in 0..4 {
+            let n = 24;
+            let init = Configuration::from_fn(n, |i| vec![(i % 5) as u32; 3]);
+            let mut with = InternedSimulation::new(Gossip { n }, &init, seed);
+            let mut without = InternedSimulation::new(NoClass(Gossip { n }), &init, seed);
+            assert_eq!(with.active_pairs(), without.active_pairs());
+            assert!(with.run_until_silent(u64::MAX >> 8).is_silent());
+            assert!(without.run_until_silent(u64::MAX >> 8).is_silent());
+            assert_eq!(with.interactions(), without.interactions());
+            let counts = |s: &InternedSimulation<Gossip>| -> Vec<(Vec<u32>, u64)> {
+                let mut v: Vec<_> = s.state_counts().map(|(x, c)| (x.clone(), c)).collect();
+                v.sort();
+                v
+            };
+            let mut other: Vec<_> = without.state_counts().map(|(x, c)| (x.clone(), c)).collect();
+            other.sort();
+            assert_eq!(counts(&with), other);
+        }
+    }
+}

@@ -17,17 +17,25 @@
 //! chain:
 //!
 //! * [`Simulation`] — the **exact** per-agent engine: O(1) per interaction,
-//!   works for every protocol (including `Sublinear-Time-SSR`'s
-//!   non-enumerable state space);
+//!   works for every protocol with no opt-in at all;
 //! * [`BatchedSimulation`] — the **batched** multiset engine: represents the
 //!   configuration as state counts, skips each run of null interactions in
 //!   O(1) by sampling its geometric length, and pays only per *non-null*
-//!   interaction. Protocols opt in via [`EnumerableProtocol`]; see the
-//!   [`batched`] module docs for the algorithm and its cost model.
+//!   interaction. Protocols with a finite state space opt in via
+//!   [`EnumerableProtocol`] (see the [`batched`] module docs for the
+//!   algorithm and its cost model); protocols with an **open** state space —
+//!   `Sublinear-Time-SSR`'s names × history trees, roll call's rosters —
+//!   opt in via [`InternableProtocol`] and run on [`InternedSimulation`],
+//!   which assigns dense indices to states as they are first observed (see
+//!   the [`interned`] module docs).
 //!
-//! [`Engine`] routes a workload to either engine behind one interface, and
-//! [`runner`] distributes multi-trial experiments across threads
-//! ([`run_trials`] for closures, [`run_engine_trials`] for engine runs).
+//! [`Engine`] routes a workload to either engine behind one interface
+//! (`run_until_silent` / `run_until` for enumerable protocols,
+//! `run_until_silent_interned` / `run_until_interned` for internable ones),
+//! and [`runner`] distributes multi-trial experiments across threads
+//! ([`run_trials`] for closures, [`run_engine_trials`] /
+//! [`run_interned_trials`] for engine runs). `ARCHITECTURE.md` at the
+//! repository root draws the full engine → backend decision tree.
 //!
 //! # Example
 //!
@@ -83,6 +91,7 @@ pub mod batched;
 pub mod config;
 pub mod error;
 pub mod execution;
+pub mod interned;
 pub mod protocol;
 pub mod runner;
 pub mod scenario;
@@ -97,9 +106,11 @@ pub use batched::{
 pub use config::Configuration;
 pub use error::SimError;
 pub use execution::{ConvergenceOutcome, RunOutcome, Simulation, StopReason};
+pub use interned::{AsInterned, InternableProtocol, InternedSimulation, StateInterner};
 pub use protocol::{LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
 pub use runner::{
-    run_engine_trials, run_scenario_trials, run_trials, run_trials_sequential, TrialPlan,
+    run_engine_trials, run_interned_scenario_trials, run_interned_trials, run_scenario_trials,
+    run_trials, run_trials_sequential, TrialPlan,
 };
 pub use scenario::{Scenario, ScenarioRng};
 pub use scheduler::{OrderedPair, Scheduler};
@@ -115,9 +126,11 @@ pub mod prelude {
     pub use crate::config::Configuration;
     pub use crate::error::SimError;
     pub use crate::execution::{ConvergenceOutcome, RunOutcome, Simulation, StopReason};
+    pub use crate::interned::{AsInterned, InternableProtocol, InternedSimulation, StateInterner};
     pub use crate::protocol::{LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
     pub use crate::runner::{
-        run_engine_trials, run_scenario_trials, run_trials, run_trials_sequential, TrialPlan,
+        run_engine_trials, run_interned_scenario_trials, run_interned_trials, run_scenario_trials,
+        run_trials, run_trials_sequential, TrialPlan,
     };
     pub use crate::scenario::{Scenario, ScenarioRng};
     pub use crate::scheduler::{OrderedPair, Scheduler};

@@ -101,8 +101,8 @@ where
 }
 
 /// Runs `plan.trials` independent to-silence executions through the chosen
-/// [`Engine`], in parallel, returning the per-trial [`EngineReport`]s in
-/// trial order.
+/// [`crate::Engine`], in parallel, returning the per-trial
+/// [`crate::EngineReport`]s in trial order.
 ///
 /// `setup` receives the trial index and derived seed and builds the
 /// `(protocol, initial configuration)` pair for that trial; the same seed
@@ -173,9 +173,9 @@ where
 ///
 /// This is the scenario-subsystem entry point for enumerable protocols: one
 /// call sweeps an adversarial family on either the exact or the batched
-/// engine. Non-enumerable protocols (e.g. `Sublinear-Time-SSR`) drive their
-/// scenarios through [`crate::Simulation`] directly via
-/// [`crate::scenario::Scenario::configuration`].
+/// engine. Protocols with open state spaces (e.g. `Sublinear-Time-SSR`)
+/// use [`run_interned_scenario_trials`], which routes `Engine::Batched`
+/// through the dynamically interned backend instead.
 ///
 /// # Example
 ///
@@ -230,6 +230,84 @@ where
     F: Fn(usize, u64) -> P + Sync,
 {
     run_engine_trials(plan, engine, budget, |trial, seed| {
+        let protocol = make_protocol(trial, seed);
+        let config = scenario.configuration(&protocol, seed);
+        (protocol, config)
+    })
+}
+
+/// Runs `plan.trials` independent to-silence executions of an
+/// [`crate::interned::InternableProtocol`] through the chosen engine, in
+/// parallel: the open-state-space counterpart of [`run_engine_trials`]
+/// ([`crate::batched::Engine::Batched`] routes to the dynamically interned
+/// backend instead of the statically enumerated one).
+///
+/// # Example
+///
+/// ```
+/// use ppsim::prelude::*;
+/// use rand::RngCore;
+///
+/// /// Tokens merge pairwise: (w, w) -> (2w, 0); the weights are unbounded,
+/// /// so no static enumeration exists.
+/// #[derive(Clone, Copy)]
+/// struct Merge {
+///     n: usize,
+/// }
+/// impl Protocol for Merge {
+///     type State = u64;
+///     fn population_size(&self) -> usize {
+///         self.n
+///     }
+///     fn transition(&self, a: &u64, b: &u64, _rng: &mut dyn RngCore) -> (u64, u64) {
+///         if a == b && *a > 0 { (a + b, 0) } else { (*a, *b) }
+///     }
+///     fn is_null(&self, a: &u64, b: &u64) -> bool {
+///         !(a == b && *a > 0)
+///     }
+/// }
+/// impl InternableProtocol for Merge {
+///     type NullClass = ();
+/// }
+///
+/// let plan = TrialPlan::new(4, 7);
+/// let reports = run_interned_trials(&plan, Engine::Batched, u64::MAX >> 8, |_, _| {
+///     (Merge { n: 16 }, Configuration::uniform(1u64, 16))
+/// });
+/// assert!(reports.iter().all(|r| r.outcome.is_silent()));
+/// ```
+pub fn run_interned_trials<P, F>(
+    plan: &TrialPlan,
+    engine: crate::batched::Engine,
+    budget: u64,
+    setup: F,
+) -> Vec<crate::batched::EngineReport<P::State>>
+where
+    P: crate::interned::InternableProtocol,
+    F: Fn(usize, u64) -> (P, crate::config::Configuration<P::State>) + Sync,
+{
+    run_trials(plan, |trial, seed| {
+        let (protocol, config) = setup(trial, seed);
+        engine.run_until_silent_interned(protocol, &config, seed, budget)
+    })
+}
+
+/// Runs `plan.trials` independent to-silence executions of a
+/// [`crate::scenario::Scenario`] family of an internable protocol through the
+/// chosen engine: the open-state-space counterpart of
+/// [`run_scenario_trials`].
+pub fn run_interned_scenario_trials<P, F>(
+    plan: &TrialPlan,
+    engine: crate::batched::Engine,
+    budget: u64,
+    scenario: &crate::scenario::Scenario<P>,
+    make_protocol: F,
+) -> Vec<crate::batched::EngineReport<P::State>>
+where
+    P: crate::interned::InternableProtocol,
+    F: Fn(usize, u64) -> P + Sync,
+{
+    run_interned_trials(plan, engine, budget, |trial, seed| {
         let protocol = make_protocol(trial, seed);
         let config = scenario.configuration(&protocol, seed);
         (protocol, config)

@@ -21,7 +21,11 @@
 //!   so experiments can sweep large `n` cheaply, and
 //! * where it is instructive, an agent-level [`ppsim::Protocol`]
 //!   implementation used in tests to cross-validate the specialized
-//!   simulation against the general simulator.
+//!   simulation against the general simulator. The enumerable ones
+//!   (epidemic, fratricide, coupon) run on the batched engine's static
+//!   backends; [`RollCall`], whose roster states cannot be enumerated up
+//!   front, opts into the dynamically interned backend via
+//!   [`ppsim::InternableProtocol`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,7 +45,7 @@ pub use bounded_epidemic::{simulate_bounded_epidemic, BoundedEpidemicOutcome};
 pub use coupon::{simulate_pairwise_coupon_collector, Coupon, CouponState};
 pub use epidemic::{simulate_epidemic_interactions, Epidemic, EpidemicState};
 pub use fratricide::{simulate_fratricide_interactions, Fratricide, LeaderState};
-pub use roll_call::simulate_roll_call_interactions;
+pub use roll_call::{simulate_roll_call_interactions, RollCall, Roster};
 pub use synthetic_coin::{
     simulate_coin_harvest, CoinHarvestOutcome, CoinRole, SyntheticCoin, SyntheticCoinState,
 };

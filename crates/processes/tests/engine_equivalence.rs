@@ -4,8 +4,9 @@
 
 use ppsim::prelude::*;
 use processes::{
-    simulate_epidemic_interactions, simulate_fratricide_interactions, Coupon, CouponState,
-    Epidemic, EpidemicState, Fratricide, LeaderState,
+    simulate_epidemic_interactions, simulate_fratricide_interactions,
+    simulate_roll_call_interactions, Coupon, CouponState, Epidemic, EpidemicState, Fratricide,
+    LeaderState, RollCall,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -132,6 +133,61 @@ fn coupon_backends_agree_across_scenario_families() {
                 assert_eq!(dense.count_of(&CouponState::Fresh), 0);
             }
         }
+    }
+}
+
+#[test]
+fn roll_call_engines_agree_per_seed_on_the_verdict() {
+    // Roll call's roster states cannot be enumerated up front, so the
+    // batched route goes through the interned backend. Both engines must
+    // report non-silence from the canonical start, silence after completion,
+    // and the all-full-roster multiset.
+    for seed in 0..10 {
+        let protocol = RollCall::new(24);
+        let init = protocol.initial_configuration();
+        let exact = Engine::Exact.run_until_silent_interned(protocol, &init, seed, BUDGET);
+        let interned = Engine::Batched.run_until_silent_interned(protocol, &init, seed, BUDGET);
+        assert_eq!(exact.outcome.reason, interned.outcome.reason);
+        assert!(exact.outcome.is_silent());
+        assert!(RollCall::is_complete(&exact.final_config));
+        assert!(RollCall::is_complete(&interned.final_config));
+        // Silence is reported at the completing interaction, which needs at
+        // least enough interactions for every agent to have spoken once.
+        assert!(exact.outcome.interactions.count() >= 12);
+        assert!(interned.outcome.interactions.count() >= 12);
+    }
+}
+
+#[test]
+fn roll_call_silence_times_match_the_specialized_sampler_on_both_engines() {
+    // The engines' silence times and the specialized sampler's completion
+    // count all sample R_n (Lemma 2.9); compare the three means pairwise.
+    let n = 60;
+    let trials = 120;
+    let plan = TrialPlan::new(trials, 77);
+    let engine_times = |engine: Engine, salt: u64| {
+        run_trials(&plan, |_, seed| {
+            let protocol = RollCall::new(n);
+            let report = engine.run_until_silent_interned(
+                protocol,
+                &protocol.initial_configuration(),
+                seed ^ salt,
+                BUDGET,
+            );
+            assert!(report.outcome.is_silent());
+            report.outcome.interactions.count() as f64
+        })
+    };
+    let exact = engine_times(Engine::Exact, 0x1111);
+    let interned = engine_times(Engine::Batched, 0x2222);
+    let specialized = run_trials(&plan, |_, seed| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x3333);
+        simulate_roll_call_interactions(n, &mut rng) as f64
+    });
+    let (me, mi, ms) = (mean(&exact), mean(&interned), mean(&specialized));
+    for (label, m) in [("exact", me), ("interned", mi)] {
+        let relative_gap = (m - ms).abs() / ms;
+        assert!(relative_gap < 0.08, "{label} mean {m:.0} vs specialized mean {ms:.0}");
     }
 }
 

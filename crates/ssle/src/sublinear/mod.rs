@@ -27,7 +27,10 @@ pub mod history_tree;
 
 use std::collections::BTreeSet;
 
-use ppsim::{Configuration, LeaderElectionProtocol, Protocol, Rank, RankingProtocol, Scenario};
+use ppsim::{
+    Configuration, InternableProtocol, LeaderElectionProtocol, Protocol, Rank, RankingProtocol,
+    Scenario,
+};
 use rand::{Rng, RngCore};
 
 use crate::name::Name;
@@ -210,6 +213,40 @@ impl SublinearTimeSsr {
         })
     }
 
+    /// A **merged** configuration with a planted `k`-way name collision: all
+    /// rosters have already been fully exchanged (as after the roll-call
+    /// phase completes), every history tree is a pristine singleton, and the
+    /// first `k` agents share one name. This isolates the *detection* phase:
+    /// nothing remains to merge, so at `H = 0` every pair except the
+    /// duplicates is null and the configuration idles until two duplicates
+    /// meet directly — the `Θ(n²)`-interaction wait of the direct-detection
+    /// lower bound, which the batched (interned) engine skips in one
+    /// geometric draw. At `H ≥ 1` the same configuration exercises
+    /// cross-examination from a merged start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not in `2..=n`.
+    pub fn merged_collision_configuration(
+        &self,
+        k: usize,
+        rng: &mut impl Rng,
+    ) -> Configuration<SublinearState> {
+        assert!((2..=self.params.n).contains(&k), "collision arity must be in 2..=n");
+        let duplicate = Name::random(self.params.name_bits, rng);
+        let names: Vec<Name> = (0..self.params.n)
+            .map(|i| if i < k { duplicate } else { Name::random(self.params.name_bits, rng) })
+            .collect();
+        // The merged roster: every name any agent carries (duplicates
+        // collapse, so it has n − k + 1 entries — within the ≤ n bound).
+        let roster: BTreeSet<Name> = names.iter().copied().collect();
+        Configuration::from_fn(self.params.n, |i| SublinearState::Collecting {
+            name: names[i],
+            roster: roster.clone(),
+            tree: HistoryTree::singleton(names[i]),
+        })
+    }
+
     /// An adversarial configuration with the whole population mid-
     /// `Propagate-Reset` under independently random timers: propagating
     /// agents (`resetcount > 0`) with cleared names mixed with dormant agents
@@ -229,8 +266,13 @@ impl SublinearTimeSsr {
 
     /// The protocol's adversarial scenario families, for the
     /// adversarial-initialization experiments (`exp_adversarial`). The state
-    /// space is not enumerable, so these families run on the exact engine
-    /// only (via [`ppsim::Simulation`]).
+    /// space is not statically enumerable (names × history trees), so these
+    /// families run on the exact engine ([`ppsim::Simulation`]) or on the
+    /// batched engine's dynamically interned backend
+    /// ([`ppsim::InternedSimulation`], via
+    /// [`ppsim::Engine::run_until_interned`]) — the protocol implements
+    /// [`InternableProtocol`], and the cross-engine equivalence suite holds
+    /// both routes to the same verdicts and time distributions.
     pub fn adversarial_scenarios() -> Vec<Scenario<Self>> {
         vec![
             Scenario::new("collision-2way", |p: &Self, rng| {
@@ -239,6 +281,9 @@ impl SublinearTimeSsr {
             Scenario::new("collision-kway", |p: &Self, rng| {
                 let k = (p.params.n / 4).clamp(3, p.params.n);
                 p.k_way_colliding_configuration(k, rng)
+            }),
+            Scenario::new("merged-collision", |p: &Self, rng| {
+                p.merged_collision_configuration(2, rng)
             }),
             Scenario::new("ghost-roster", |p: &Self, rng| p.ghost_roster_configuration(3, rng)),
             Scenario::new("corrupted-history", |p: &Self, rng| p.corrupted_tree_configuration(rng)),
@@ -292,6 +337,80 @@ impl Protocol for SublinearTimeSsr {
         } else {
             self.resetting_interaction(initiator.clone(), responder.clone(), rng)
         }
+    }
+
+    /// An ordered pair is null exactly in the direct-detection regime
+    /// `H = 0`, between two collecting agents with distinct names, equal
+    /// (not oversized) rosters, and no live history-tree edges: the
+    /// cross-examination finds no checkable paths, the roster union changes
+    /// nothing, `absorb` at depth 0 is a no-op, and there are no positive
+    /// timers left to decrement.
+    ///
+    /// Everything else can change state: equal names collide (→ reset), a
+    /// roster union grows or overflows (→ reset), `H ≥ 1` interactions
+    /// always record a fresh sync edge, and any interaction involving a
+    /// `Resetting` agent drives `Propagate-Reset` counters. The conservative
+    /// `false` in those cases is what [`ppsim::Protocol::is_null`] requires.
+    ///
+    /// This predicate is what lets the batched (interned) engine skip the
+    /// `Θ(n²)`-interaction wait for two duplicates to meet directly at
+    /// `H = 0` — the regime where almost every scheduled pair is null.
+    fn is_null(&self, initiator: &SublinearState, responder: &SublinearState) -> bool {
+        match (initiator, responder) {
+            (
+                SublinearState::Collecting { name: a_name, roster: a_roster, tree: a_tree },
+                SublinearState::Collecting { name: b_name, roster: b_roster, tree: b_tree },
+            ) => {
+                self.params.h == 0
+                    && a_name != b_name
+                    && !a_tree.has_live_edges()
+                    && !b_tree.has_live_edges()
+                    && a_roster.len() <= self.params.n
+                    && a_roster == b_roster
+            }
+            _ => false,
+        }
+    }
+}
+
+impl InternableProtocol for SublinearTimeSsr {
+    type NullClass = BTreeSet<Name>;
+
+    /// Clean direct-detection states (`H = 0`, collecting, a pristine
+    /// singleton tree rooted at the agent's **own** name, roster within
+    /// bounds) declare their roster as the null class: two *distinct* such
+    /// states necessarily carry different names (with the root pinned to the
+    /// name, the tree is determined by it), so sharing a roster makes them
+    /// null in both orders per [`SublinearTimeSsr::is_null`] — without the
+    /// engine ever comparing the rosters element by element. In the
+    /// near-silent merged phase this is the difference between
+    /// O(present²·n) set comparisons and O(present²) id compares when the
+    /// pair tables are (re)built.
+    ///
+    /// The `root_name == name` check is what makes the class contract hold
+    /// on *arbitrary* adversarial states, not just the shipped generators:
+    /// without it, two same-named agents whose fabricated singleton trees
+    /// differ would be distinct states in one class, and the engine would
+    /// skip their genuine name collision.
+    fn null_class(&self, state: &SublinearState) -> Option<BTreeSet<Name>> {
+        match state {
+            SublinearState::Collecting { name, roster, tree }
+                if self.params.h == 0
+                    && tree.node_count() == 1
+                    && tree.root_name() == name
+                    && roster.len() <= self.params.n =>
+            {
+                Some(roster.clone())
+            }
+            _ => None,
+        }
+    }
+
+    fn distinct_states_hint(&self) -> usize {
+        // Names are unique with high probability, so about one state per
+        // agent is present at a time; transitions retire old states and
+        // intern new ones.
+        2 * self.params.n
     }
 }
 
@@ -513,6 +632,89 @@ mod tests {
                 scenario.name()
             );
         }
+    }
+
+    #[test]
+    fn h0_merged_collision_exposes_only_the_duplicate_pairs() {
+        let n = 16;
+        let p = protocol(n, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let config = p.merged_collision_configuration(3, &mut rng);
+        // On the interned engine every pair except the 3·2 ordered duplicate
+        // pairs is null, so the wait for a direct duplicate meeting collapses
+        // to one geometric draw and a single applied transition.
+        let mut sim = ppsim::InternedSimulation::new(p, &config, 5);
+        assert_eq!(sim.active_pairs(), 6);
+        let outcome = sim.run_until(SublinearTimeSsr::any_resetting, u64::MAX >> 8);
+        assert!(outcome.condition_met());
+        assert_eq!(sim.transitions(), 1);
+        assert!(sim.interactions().count() >= 1);
+    }
+
+    #[test]
+    fn mislabeled_singleton_trees_do_not_join_a_null_class() {
+        // Adversarial corner of the null-class contract: two agents share
+        // name A with equal rosters, but one carries a fabricated singleton
+        // tree rooted at someone *else's* name. They are distinct states, so
+        // a roster-keyed class without the root-name pin would claim the
+        // pair null and the interned engine would skip the genuine name
+        // collision. With the pin, the mislabeled state is class-less and
+        // the collision pair stays active.
+        let n = 6;
+        let p = protocol(n, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let names: Vec<Name> =
+            (0..n).map(|_| Name::random(p.params().name_bits, &mut rng)).collect();
+        let mut shared = names.clone();
+        shared[1] = shared[0]; // agents 0 and 1 both carry name A
+        let roster: BTreeSet<Name> = shared.iter().copied().collect();
+        let config = Configuration::from_fn(n, |i| SublinearState::Collecting {
+            name: shared[i],
+            roster: roster.clone(),
+            // Agent 1's tree fabricates a root labelled with agent 2's name.
+            tree: HistoryTree::singleton(if i == 1 { names[2] } else { shared[i] }),
+        });
+        assert_eq!(
+            p.null_class(&config.as_slice()[1]),
+            None,
+            "a mislabeled tree must not join the roster class"
+        );
+        let mut sim = ppsim::InternedSimulation::new(p, &config, 3);
+        // Exactly the two ordered duplicate pairs are non-null.
+        assert_eq!(sim.active_pairs(), 2);
+        assert_eq!(sim.active_pairs(), sim.recount_active_pairs());
+        let outcome = sim.run_until(SublinearTimeSsr::any_resetting, u64::MAX >> 8);
+        assert!(outcome.condition_met(), "the collision must be detected");
+        assert_eq!(sim.transitions(), 1);
+    }
+
+    #[test]
+    fn h0_nullness_requires_equal_rosters_dead_trees_and_distinct_names() {
+        let n = 8;
+        let p = protocol(n, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let config = p.merged_collision_configuration(2, &mut rng);
+        let s = config.as_slice();
+        // Agents 0 and 1 share a name: non-null (a collision to detect).
+        assert!(!p.is_null(&s[0], &s[1]));
+        // Agents 2 and 3 have distinct names and identical full rosters: null.
+        assert!(p.is_null(&s[2], &s[3]));
+        // A fresh (unmerged) roster against a full one: non-null.
+        let fresh = p.fresh_configuration(&mut rng);
+        assert!(!p.is_null(fresh.as_slice().first().unwrap(), &s[2]));
+        // Resetting agents are never null partners.
+        let resetting = SublinearState::Resetting {
+            name: Name::empty(),
+            timers: ResetTimers { resetcount: 1, delaytimer: 0 },
+        };
+        assert!(!p.is_null(&resetting, &s[2]));
+        assert!(!p.is_null(&s[2], &resetting));
+        // At H ≥ 1 even the merged configuration is never null (every
+        // consistent interaction records a fresh sync edge).
+        let p1 = protocol(n, 1);
+        let config1 = p1.merged_collision_configuration(2, &mut rng);
+        let s1 = config1.as_slice();
+        assert!(!p1.is_null(&s1[2], &s1[3]));
     }
 
     #[test]

@@ -13,8 +13,8 @@ use ppsim::prelude::*;
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use ssle::params::OptimalSilentParams;
-use ssle::{OptimalSilentSsr, SilentNStateSsr, SilentRank};
+use ssle::params::{OptimalSilentParams, SublinearParams};
+use ssle::{OptimalSilentSsr, SilentNStateSsr, SilentRank, SublinearTimeSsr};
 
 const BUDGET: u64 = u64::MAX >> 8;
 
@@ -130,6 +130,93 @@ proptest! {
         let mut dense = BatchedSimulation::new(ForceDense(protocol), &init, seed);
         prop_assert!(dense.run_until_silent(BUDGET).is_silent());
         prop_assert!(protocol.is_correctly_ranked(&dense.to_configuration()));
+    }
+
+    // Interned-backend equivalence on a *closed* state space: routing
+    // Silent-n-state-SSR through the dynamically interned backend (via the
+    // AsInterned adapter) must reach the same silence verdict and the same
+    // final multiset as the exact engine, for any initial multiset.
+    #[test]
+    fn interned_backend_silences_into_the_ranked_multiset(
+        n in 4usize..16,
+        seed in any::<u64>(),
+        scramble in any::<u64>(),
+    ) {
+        let protocol = SilentNStateSsr::new(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(scramble);
+        let init = protocol.random_configuration(&mut rng);
+
+        let exact = Engine::Exact.run_until_silent(protocol, &init, seed, BUDGET);
+        let interned =
+            Engine::Batched.run_until_silent_interned(AsInterned(protocol), &init, seed, BUDGET);
+
+        prop_assert_eq!(exact.outcome.reason, interned.outcome.reason);
+        prop_assert!(exact.outcome.is_silent());
+        prop_assert_eq!(
+            rank_counts(n, &exact.final_config),
+            rank_counts(n, &interned.final_config)
+        );
+        prop_assert!(protocol.is_correctly_ranked(&interned.final_config));
+    }
+
+    // All three batched backends — indexed (Fenwick), present-scan, interned
+    // — agree on the non-null pair weight and the silence verdict on
+    // matching configurations from every adversarial scenario family, and
+    // the interned backend's incrementally maintained weight survives a
+    // from-scratch audit.
+    #[test]
+    fn all_three_batched_backends_agree_on_scenario_families(
+        n in 4usize..24,
+        seed in any::<u64>(),
+    ) {
+        for scenario in SilentNStateSsr::adversarial_scenarios() {
+            let protocol = SilentNStateSsr::new(n);
+            let init = scenario.configuration(&protocol, seed);
+            let indexed = BatchedSimulation::new(protocol, &init, seed);
+            let dense = BatchedSimulation::new(ForceDense(protocol), &init, seed);
+            let interned = InternedSimulation::new(AsInterned(protocol), &init, seed);
+            prop_assert_eq!(
+                indexed.active_pairs(),
+                dense.active_pairs(),
+                "scenario {}",
+                scenario.name()
+            );
+            prop_assert_eq!(
+                indexed.active_pairs(),
+                interned.active_pairs(),
+                "scenario {}",
+                scenario.name()
+            );
+            prop_assert_eq!(interned.active_pairs(), interned.recount_active_pairs());
+            prop_assert_eq!(indexed.is_silent(), interned.is_silent());
+        }
+    }
+
+    // Sublinear-Time-SSR nullness soundness: whenever is_null claims an
+    // ordered pair is null, the transition must leave it unchanged — for
+    // every history depth, over states drawn from every scenario family.
+    #[test]
+    fn sublinear_is_null_claims_are_sound(
+        n in 4usize..12,
+        h in 0u32..3,
+        seed in any::<u64>(),
+    ) {
+        let protocol = SublinearTimeSsr::new(SublinearParams::recommended(n, h));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for scenario in SublinearTimeSsr::adversarial_scenarios() {
+            let config = scenario.configuration(&protocol, seed);
+            let states = config.as_slice();
+            for a in states.iter().take(4) {
+                for b in states.iter().take(4) {
+                    if std::ptr::eq(a, b) || !protocol.is_null(a, b) {
+                        continue;
+                    }
+                    let (a2, b2) = protocol.transition(a, b, &mut rng);
+                    prop_assert_eq!(&a2, a, "null claim changed the initiator");
+                    prop_assert_eq!(&b2, b, "null claim changed the responder");
+                }
+            }
+        }
     }
 
     // The Optimal-Silent-SSR state enumeration is a bijection wherever the
@@ -250,6 +337,127 @@ fn optimal_silent_convergence_matches_across_engines() {
             (me - mb).abs()
         );
     }
+}
+
+/// Sublinear-Time-SSR on both engines: every adversarial scenario family
+/// recovers to a correct ranking through the exact engine *and* through the
+/// batched engine's interned backend, and the mean convergence times agree
+/// within combined confidence bounds.
+///
+/// This was the last exact-engine-only protocol: its state space (names ×
+/// history trees) admits no static enumeration, so the batched route goes
+/// through dynamic interning. The protocol is non-silent at `H ≥ 1`, so
+/// correctness of the ranking is the stabilization criterion.
+#[test]
+fn sublinear_scenarios_converge_equivalently_on_both_engines() {
+    let n = 10;
+    let h = 2;
+    let trials = 8;
+    let budget = 400_000u64 * n as u64;
+    for scenario in SublinearTimeSsr::adversarial_scenarios() {
+        let times = |engine: Engine, seed: u64| -> Vec<f64> {
+            run_trials(&TrialPlan::new(trials, seed), |_, s| {
+                let protocol = SublinearTimeSsr::new(SublinearParams::recommended(n, h));
+                let config = scenario.configuration(&protocol, s);
+                let report = engine
+                    .run_until_interned(protocol, &config, s, budget, |c| protocol.is_correct(c));
+                assert!(
+                    report.outcome.condition_met(),
+                    "scenario {:?} failed to converge on {engine}",
+                    scenario.name()
+                );
+                report.parallel_time().value()
+            })
+        };
+        let exact = times(Engine::Exact, 301 + n as u64);
+        let interned = times(Engine::Batched, 907 + n as u64);
+        let (me, se_e) = mean_and_se(&exact);
+        let (mb, se_b) = mean_and_se(&interned);
+        let combined = (se_e * se_e + se_b * se_b).sqrt();
+        // 1.5·t·SE is the statistical allowance (see
+        // mean_stabilization_times_match_across_engines for the factor); the
+        // additive 0.125 covers the exact engine's convergence-check
+        // granularity (conditions probed every ~n/8 interactions).
+        let allowance = 1.5 * t_quantile_975(trials - 1) * combined.max(1e-9) + 0.125;
+        assert!(
+            (me - mb).abs() <= allowance,
+            "scenario {:?}: exact mean {me:.3} vs interned mean {mb:.3} \
+             (gap {:.3} > allowance {allowance:.3})",
+            scenario.name(),
+            (me - mb).abs()
+        );
+    }
+}
+
+/// The null-class short-circuit is an optimization, never a semantic: on the
+/// one protocol where same-class distinct states actually occur
+/// (`Sublinear-Time-SSR` at `H = 0`, roster-keyed classes), the interned
+/// engine with classes and the class-less route (via the [`AsInterned`]
+/// adapter, whose `null_class` is `None` everywhere) must agree on the pair
+/// weight and, under the same seed, on the entire trajectory. An over-broad
+/// `null_class` (say, a future edit dropping the `h == 0` or root-name
+/// guard) diverges here, because `recount_active_pairs` shares the
+/// class-aware term and cannot catch it alone.
+#[test]
+fn null_classes_are_a_pure_shortcircuit_on_sublinear_h0() {
+    for n in [8usize, 16] {
+        for seed in 0..6u64 {
+            let protocol = SublinearTimeSsr::new(SublinearParams::recommended(n, 0));
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xC1A5);
+            let config = protocol.merged_collision_configuration(2 + (seed as usize % 3), &mut rng);
+            let mut with = InternedSimulation::new(protocol, &config, seed);
+            let mut without = InternedSimulation::new(AsInterned(protocol), &config, seed);
+            assert_eq!(with.active_pairs(), without.active_pairs(), "n={n} seed={seed}");
+            assert!(with.active_pairs() > 0, "the planted duplicates must stay visible");
+            // Same seed + same pair weights → identical geometric draws and
+            // sampled transitions: the trajectories coincide step by step.
+            let w = with.run_until(SublinearTimeSsr::any_resetting, u64::MAX >> 8);
+            let wo = without.run_until(SublinearTimeSsr::any_resetting, u64::MAX >> 8);
+            assert!(w.condition_met() && wo.condition_met());
+            assert_eq!(w.interactions, wo.interactions, "n={n} seed={seed}");
+            assert_eq!(with.transitions(), without.transitions());
+            assert_eq!(with.active_pairs(), without.active_pairs());
+        }
+    }
+}
+
+/// The `H = 0` direct-detection regime from the merged-collision family:
+/// almost every pair is null, so this is where the interned backend's
+/// null-run skipping pays off. Both engines must report the same detection
+/// verdict, and the mean detection times (first reset trigger) must agree
+/// within combined confidence bounds.
+#[test]
+fn merged_collision_detection_times_match_across_engines() {
+    let n = 24;
+    let trials = 16;
+    let budget = 10_000u64 * (n as u64).pow(2);
+    let times = |engine: Engine, seed: u64| -> Vec<f64> {
+        run_trials(&TrialPlan::new(trials, seed), |_, s| {
+            let protocol = SublinearTimeSsr::new(SublinearParams::recommended(n, 0));
+            let mut rng = ChaCha8Rng::seed_from_u64(s ^ 0x11AD);
+            let config = protocol.merged_collision_configuration(2, &mut rng);
+            let report = engine.run_until_interned(
+                protocol,
+                &config,
+                s,
+                budget,
+                SublinearTimeSsr::any_resetting,
+            );
+            assert!(report.outcome.condition_met(), "collision was never detected on {engine}");
+            report.parallel_time().value()
+        })
+    };
+    let exact = times(Engine::Exact, 41);
+    let interned = times(Engine::Batched, 83);
+    let (me, se_e) = mean_and_se(&exact);
+    let (mb, se_b) = mean_and_se(&interned);
+    let combined = (se_e * se_e + se_b * se_b).sqrt();
+    let allowance = 1.5 * t_quantile_975(trials - 1) * combined.max(1e-9) + 0.125;
+    assert!(
+        (me - mb).abs() <= allowance,
+        "exact mean {me:.3} vs interned mean {mb:.3} (gap {:.3} > allowance {allowance:.3})",
+        (me - mb).abs()
+    );
 }
 
 /// The exact engine reports convergence with a coarse check interval (up to

@@ -56,7 +56,8 @@ pub mod prelude {
     pub use processes::{
         binary_tree_layout, simulate_bounded_epidemic, simulate_coin_harvest,
         simulate_epidemic_interactions, simulate_fratricide_interactions,
-        simulate_roll_call_interactions, BinaryTreeAssignment, Epidemic, Fratricide, SyntheticCoin,
+        simulate_roll_call_interactions, BinaryTreeAssignment, Epidemic, Fratricide, RollCall,
+        Roster, SyntheticCoin,
     };
     pub use ssle::{
         Name, OptimalSilentParams, OptimalSilentSsr, OptimalSilentState, SilentNStateSsr,
