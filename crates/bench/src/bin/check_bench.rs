@@ -1,0 +1,99 @@
+//! Perf-regression gate: compares freshly produced bench JSON against the
+//! committed baselines and fails when any recorded speedup degrades beyond
+//! a tolerance.
+//!
+//! Speedups are same-machine wall-clock ratios (exact engine vs batched /
+//! interned engine), so the runner's absolute speed cancels to first order
+//! and the committed baselines stay comparable across machines; the
+//! tolerance (default 30%, generous for shared CI runners) absorbs the
+//! residual noise. Baseline cells the fresh file does not measure (quick
+//! sweeps cover a subset of the full committed sweep) are skipped, never
+//! failed.
+//!
+//! ```text
+//! cargo run --release -p bench --bin check_bench -- \
+//!     BASELINE.json FRESH.json [BASELINE2.json FRESH2.json ...] \
+//!     [--tolerance 0.3]
+//! ```
+//!
+//! Exits nonzero on any regression (or unreadable/unparsable input), which
+//! is what wires it into the nightly CI job as an enforced gate.
+
+use bench::perf::{compare_speedups, parse, GateReport, Json};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn print_report(baseline: &str, fresh: &str, report: &GateReport, tolerance: f64) {
+    println!("== {fresh} vs baseline {baseline} (tolerance {:.0}%) ==", tolerance * 100.0);
+    println!("   {} cell(s) compared, {} skipped", report.compared, report.skipped.len());
+    for key in &report.skipped {
+        println!("   skipped (not measured in fresh run): {key}");
+    }
+    for r in &report.regressions {
+        println!(
+            "   REGRESSION: {} — baseline speedup {:.1}x, fresh {:.1}x ({:.0}% of baseline)",
+            r.key,
+            r.baseline,
+            r.fresh,
+            r.ratio() * 100.0
+        );
+    }
+    if report.regressions.is_empty() {
+        println!("   ok: no speedup degraded beyond tolerance");
+    }
+}
+
+fn main() -> ExitCode {
+    let mut tolerance = 0.3f64;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--tolerance" {
+            let value = args.next().expect("--tolerance requires a value, e.g. 0.3");
+            tolerance = value.parse().expect("--tolerance must be a number in [0, 1)");
+        } else if let Some(value) = arg.strip_prefix("--tolerance=") {
+            tolerance = value.parse().expect("--tolerance must be a number in [0, 1)");
+        } else {
+            paths.push(arg);
+        }
+    }
+    assert!((0.0..1.0).contains(&tolerance), "tolerance must lie in [0, 1)");
+    if paths.is_empty() || !paths.len().is_multiple_of(2) {
+        eprintln!(
+            "usage: check_bench BASELINE.json FRESH.json [BASELINE2.json FRESH2.json ...] \
+             [--tolerance 0.3]"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for pair in paths.chunks(2) {
+        let (baseline_path, fresh_path) = (&pair[0], &pair[1]);
+        let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+            (Ok(b), Ok(f)) => (b, f),
+            (b, f) => {
+                for e in [b.err(), f.err()].into_iter().flatten() {
+                    eprintln!("error: {e}");
+                }
+                failed = true;
+                continue;
+            }
+        };
+        let report = compare_speedups(&baseline, &fresh, tolerance);
+        print_report(baseline_path, fresh_path, &report, tolerance);
+        if report.compared == 0 {
+            eprintln!("error: {fresh_path} shares no speedup cell with {baseline_path}");
+            failed = true;
+        }
+        failed |= !report.passed();
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,335 @@
+//! Experiment F: mid-run fault injection — the paper's *self-stabilization*
+//! claim exercised at the point it actually speaks about: recovery from an
+//! arbitrary transient corruption **during** the run, not just an
+//! adversarial configuration at t = 0 (which `exp_adversarial` covers).
+//!
+//! Sweeps **protocol × fault plan × n** on **all three engines** (exact,
+//! statically batched, dynamically interned):
+//!
+//! * `Silent-n-state-SSR` from a random start under a one-shot all-leader
+//!   burst, periodic random-rank bursts, and Poisson-arrival random-rank
+//!   bursts (k agents per burst, drawn uniformly — ∝ counts in count space);
+//! * the roll-call process under periodic roster-wiping bursts planted after
+//!   completion (the exact and interned engines; rosters are not statically
+//!   enumerable).
+//!
+//! Three properties are asserted, not just printed:
+//!
+//! * every trial re-silences within budget after the final injected burst,
+//!   into a unique leader / valid ranking (resp. a complete roll call);
+//! * the recovery clock restarts at each burst (recovery times are measured
+//!   from the injection, so they stay O(stabilization time) even though the
+//!   bursts land long after t = 0);
+//! * the batched engine's one-shot recovery times fit a power law with
+//!   exponent inside the Θ(n²) envelope — recovering from a transient
+//!   corruption costs what Theorem 2.4 says stabilization costs.
+//!
+//! Writes `BENCH_faults.json` into the current directory; the nightly CI job
+//! runs `--quick` and uploads it with the other perf artifacts.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp_faults [-- --quick]
+//! ```
+
+use analysis::table::format_value;
+use analysis::{fit_power_law, Summary, Table};
+use bench::Engine;
+use ppsim::prelude::*;
+use processes::RollCall;
+use ssle::{SilentNStateSsr, SilentRank};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Which backend a sweep cell ran on (the interned backend is reached
+/// through `Engine::Batched` + `AsInterned`, so `Engine` alone cannot name
+/// it in tables).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Backend {
+    Exact,
+    Batched,
+    Interned,
+}
+
+impl Backend {
+    fn label(self) -> &'static str {
+        match self {
+            Backend::Exact => "exact",
+            Backend::Batched => "batched",
+            Backend::Interned => "interned",
+        }
+    }
+}
+
+/// One measured sweep cell, destined for the table and the JSON.
+struct Cell {
+    protocol: &'static str,
+    plan: String,
+    n: usize,
+    backend: Backend,
+    trials: usize,
+    /// Mean bursts fired per trial (Poisson plans vary).
+    mean_bursts: f64,
+    /// Final-burst recovery times, parallel.
+    recoveries: Vec<f64>,
+    mean_wall_s: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    if quick {
+        println!("(quick mode: reduced n sweep and trial counts)\n");
+    }
+    let mut cells = Vec::new();
+    silent_n_state(quick, &mut cells);
+    roll_call(quick, &mut cells);
+    let fit = fit_recovery_scaling(&cells);
+    write_json(quick, &cells, &fit);
+    println!("all faulted trials re-stabilized after their final burst on every engine");
+}
+
+fn silent_n_state(quick: bool, cells: &mut Vec<Cell>) {
+    println!("== Silent-n-state-SSR: mid-run bursts from a random start, all three engines ==\n");
+    let ns: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64, 128] };
+    let trials = if quick { 3 } else { 5 };
+    // Extra batched-only sizes for the recovery-scaling fit: the batched
+    // engine skips the Θ(n³) null interactions, so large n stays cheap.
+    let fit_ns: &[usize] = if quick { &[64, 128] } else { &[256, 512] };
+
+    let scenario = Scenario::new("random", |p: &SilentNStateSsr, rng| p.random_configuration(rng));
+    let scenario_interned = Scenario::new("random", |p: &AsInterned<SilentNStateSsr>, rng| {
+        p.0.random_configuration(rng)
+    });
+
+    let mut table =
+        Table::new(vec!["plan", "n", "exact recovery", "batched recovery", "interned recovery"]);
+    for &n in ns {
+        for plan in SilentNStateSsr::new(n).adversarial_fault_plans() {
+            let mut row = vec![plan.name().to_owned(), n.to_string()];
+            for backend in [Backend::Exact, Backend::Batched, Backend::Interned] {
+                let cell =
+                    measure_silent_cell(n, &plan, backend, trials, &scenario, &scenario_interned);
+                row.push(format_value(Summary::from_samples(&cell.recoveries).mean));
+                cells.push(cell);
+            }
+            table.add_row(row);
+        }
+    }
+    // Batched-only extension of the one-shot sweep for the scaling fit.
+    for &n in fit_ns {
+        let plan = &SilentNStateSsr::new(n).adversarial_fault_plans()[0];
+        let cell =
+            measure_silent_cell(n, plan, Backend::Batched, trials, &scenario, &scenario_interned);
+        table.add_row(vec![
+            plan.name().to_owned(),
+            n.to_string(),
+            "-".to_owned(),
+            format_value(Summary::from_samples(&cell.recoveries).mean),
+            "-".to_owned(),
+        ]);
+        cells.push(cell);
+    }
+    println!("{}", table.to_plain_text());
+    println!(
+        "recovery = exact silence point minus last-injection time (parallel); bursts\n\
+         corrupt k agents drawn uniformly (∝ counts on the count engines) into\n\
+         adversary-chosen or random ranks.\n"
+    );
+}
+
+fn measure_silent_cell(
+    n: usize,
+    plan: &FaultPlan<SilentRank>,
+    backend: Backend,
+    trials: usize,
+    scenario: &Scenario<SilentNStateSsr>,
+    scenario_interned: &Scenario<AsInterned<SilentNStateSsr>>,
+) -> Cell {
+    // ~60× the expected n³/2 interactions to silence: room for the initial
+    // stabilization plus every burst's recovery, yet small enough that a
+    // non-recovering regression exhausts it (and panics below).
+    let budget = 30 * (n as u64).pow(3) + 1_000_000;
+    let tp = TrialPlan::new(trials, 131 + n as u64);
+    let start = Instant::now();
+    let reports = match backend {
+        Backend::Exact => run_scenario_fault_trials(&tp, Engine::Exact, budget, scenario, plan, {
+            move |_, _| SilentNStateSsr::new(n)
+        }),
+        Backend::Batched => {
+            run_scenario_fault_trials(&tp, Engine::Batched, budget, scenario, plan, {
+                move |_, _| SilentNStateSsr::new(n)
+            })
+        }
+        Backend::Interned => run_interned_scenario_fault_trials(
+            &tp,
+            Engine::Batched,
+            budget,
+            scenario_interned,
+            plan,
+            move |_, _| AsInterned(SilentNStateSsr::new(n)),
+        ),
+    };
+    let wall = start.elapsed().as_secs_f64();
+    let protocol = SilentNStateSsr::new(n);
+    let mut recoveries = Vec::new();
+    let mut bursts = 0usize;
+    for report in &reports {
+        let ctx = format!("{} n={n} {}", plan.name(), backend.label());
+        assert!(report.outcome.is_silent(), "{ctx}: did not re-silence within budget");
+        assert!(
+            protocol.is_correctly_ranked(&report.final_config),
+            "{ctx}: silenced into a wrong ranking"
+        );
+        assert!(
+            protocol.has_unique_leader(&report.final_config),
+            "{ctx}: ended without a unique leader"
+        );
+        bursts += report.injections.len();
+        if !report.injections.is_empty() {
+            let recovery = report
+                .final_recovery()
+                .unwrap_or_else(|| panic!("{ctx}: final burst not recovered from"));
+            recoveries.push(recovery.to_parallel_time(n).value());
+        }
+    }
+    Cell {
+        protocol: "SilentNStateSsr",
+        plan: plan.name().to_owned(),
+        n,
+        backend,
+        trials,
+        mean_bursts: bursts as f64 / trials as f64,
+        recoveries,
+        mean_wall_s: wall / trials as f64,
+    }
+}
+
+fn roll_call(quick: bool, cells: &mut Vec<Cell>) {
+    println!("== Roll call: post-completion roster wipes, exact and interned engines ==\n");
+    let ns: &[usize] = if quick { &[32] } else { &[64, 128] };
+    let trials = if quick { 3 } else { 5 };
+
+    let mut table = Table::new(vec!["plan", "n", "exact recovery", "interned recovery"]);
+    for &n in ns {
+        // Post-completion wipes only: roll call recovers lost ids from
+        // surviving copies, so the plan's scheduling guard (bursts far past
+        // the expected R_n completion) is what keeps re-completion certain.
+        let plan = RollCall::new(n).roster_wipe_fault_plan(3, (n / 8).max(1));
+        let base = match plan.schedule() {
+            FaultSchedule::Periodic { start, .. } => start,
+            _ => unreachable!("roster wipes are periodic"),
+        };
+        let budget = 100 * base;
+        let tp = TrialPlan::new(trials, 977 + n as u64);
+        let mut row = vec![plan.name().to_owned(), n.to_string()];
+        for backend in [Backend::Exact, Backend::Interned] {
+            let engine = match backend {
+                Backend::Exact => Engine::Exact,
+                _ => Engine::Batched,
+            };
+            let start = Instant::now();
+            let reports = run_interned_fault_trials(&tp, engine, budget, &plan, move |_, _| {
+                let protocol = RollCall::new(n);
+                let config = protocol.initial_configuration();
+                (protocol, config)
+            });
+            let wall = start.elapsed().as_secs_f64();
+            let mut recoveries = Vec::new();
+            let mut bursts = 0usize;
+            for report in &reports {
+                let ctx = format!("roll-call n={n} {}", backend.label());
+                assert!(report.outcome.is_silent(), "{ctx}: did not re-complete within budget");
+                assert!(
+                    RollCall::is_complete(&report.final_config),
+                    "{ctx}: silenced without a complete roll call"
+                );
+                bursts += report.injections.len();
+                let recovery = report
+                    .final_recovery()
+                    .unwrap_or_else(|| panic!("{ctx}: final burst not recovered from"));
+                recoveries.push(recovery.to_parallel_time(n).value());
+            }
+            row.push(format_value(Summary::from_samples(&recoveries).mean));
+            cells.push(Cell {
+                protocol: "RollCall",
+                plan: plan.name().to_owned(),
+                n,
+                backend,
+                trials,
+                mean_bursts: bursts as f64 / trials as f64,
+                recoveries,
+                mean_wall_s: wall / trials as f64,
+            });
+        }
+        table.add_row(row);
+    }
+    println!("{}", table.to_plain_text());
+    println!(
+        "each burst wipes k rosters to random singletons after completion; the wiped\n\
+         ids survive in the untouched full rosters, so the union re-spreads and the\n\
+         process re-completes (silence ⟺ completion).\n"
+    );
+}
+
+/// Fits the batched engine's one-shot recovery times against n and asserts
+/// the Θ(n²) envelope: a transient corruption of n/4 agents costs what
+/// Theorem 2.4 says a fresh adversarial start costs.
+fn fit_recovery_scaling(cells: &[Cell]) -> analysis::PowerLawFit {
+    let points: Vec<(f64, f64)> = cells
+        .iter()
+        .filter(|c| {
+            c.protocol == "SilentNStateSsr"
+                && c.backend == Backend::Batched
+                && c.plan == "one-shot-all-leader"
+        })
+        .map(|c| (c.n as f64, Summary::from_samples(&c.recoveries).mean))
+        .collect();
+    let (xs, ys): (Vec<f64>, Vec<f64>) = points.into_iter().unzip();
+    let fit = fit_power_law(&xs, &ys);
+    println!(
+        "one-shot recovery power law (batched): time ~ {:.3}·n^{:.3} (r² = {:.4}); \
+         Theorem 2.4 predicts n²\n",
+        fit.coefficient, fit.exponent, fit.r_squared
+    );
+    assert!(
+        (1.7..=2.4).contains(&fit.exponent),
+        "recovery exponent {:.3} escapes the Θ(n²) envelope [1.7, 2.4]",
+        fit.exponent
+    );
+    fit
+}
+
+fn write_json(quick: bool, cells: &[Cell], fit: &analysis::PowerLawFit) {
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"exp_faults/v1\",\n");
+    json.push_str("  \"recovery\": \"parallel silence time minus last-injection time\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"results\": [\n");
+    for cell in cells {
+        let summary = Summary::from_samples(&cell.recoveries);
+        let _ = writeln!(
+            json,
+            "    {{\"protocol\": \"{}\", \"plan\": \"{}\", \"n\": {}, \"engine\": \"{}\", \
+             \"trials\": {}, \"mean_bursts\": {:.1}, \"mean_recovery_parallel\": {:.4}, \
+             \"se_recovery\": {:.4}, \"mean_wall_s\": {:.6}}},",
+            cell.protocol,
+            cell.plan,
+            cell.n,
+            cell.backend.label(),
+            cell.trials,
+            cell.mean_bursts,
+            summary.mean,
+            summary.standard_error(),
+            cell.mean_wall_s,
+        );
+    }
+    let _ = writeln!(
+        json,
+        "    {{\"protocol\": \"SilentNStateSsr\", \"plan\": \"one-shot-all-leader\", \
+         \"engine\": \"fit-batched\", \"exponent\": {:.4}, \"coefficient\": {:.6}, \
+         \"r_squared\": {:.4}}}",
+        fit.exponent, fit.coefficient, fit.r_squared
+    );
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
+    eprintln!("wrote BENCH_faults.json{}", if quick { " (quick mode)" } else { "" });
+}

@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use ppsim::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;

@@ -1,0 +1,454 @@
+//! Perf-baseline parsing and regression gating.
+//!
+//! The nightly CI job regenerates `BENCH_batched.json` / `BENCH_interned.json`
+//! and, instead of uploading them write-only, compares every recorded
+//! **speedup** against the committed baselines: a speedup that degrades
+//! beyond a tolerance fails the job. Speedups are wall-clock *ratios*
+//! (exact vs batched on the same machine), so the machine-speed factor of a
+//! shared runner cancels to first order, which is what makes a cross-machine
+//! gate meaningful at all; the tolerance absorbs the second-order noise.
+//!
+//! The container has no JSON dependency (and must not grow one), so this
+//! module carries a [minimal recursive-descent parser](parse) for the strict
+//! subset of JSON the bench binaries emit. It is a real parser — nesting,
+//! strings with escapes, numbers in scientific notation — not a line
+//! scraper, so reordering or reformatting the bench output cannot silently
+//! disable the gate.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`, which covers the bench output).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is irrelevant to the gate, so a sorted map
+    /// keeps lookups simple and `Debug` output stable.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup on an object (`None` on other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure, with the byte offset it occurred at.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+/// Parses a JSON document (object, array, or scalar at top level).
+pub fn parse(text: &str) -> Result<Json, ParseError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err(pos, "trailing content after the document"));
+    }
+    Ok(value)
+}
+
+fn err(at: usize, message: impl Into<String>) -> ParseError {
+    ParseError { at, message: message.into() }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), ParseError> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(*pos, format!("expected {:?}", byte as char)))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        _ => Err(err(*pos, "expected a JSON value")),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &str,
+    value: Json,
+) -> Result<Json, ParseError> {
+    if bytes[*pos..].starts_with(literal.as_bytes()) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, format!("expected {literal:?}")))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}' in object")),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']' in array")),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let escaped = bytes.get(*pos).ok_or_else(|| err(*pos, "dangling escape"))?;
+                match escaped {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let code = std::str::from_utf8(hex)
+                            .ok()
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| err(*pos, "invalid \\u escape"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(err(*pos, format!("unknown escape \\{}", *other as char))),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so byte
+                // boundaries are valid).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).expect("valid UTF-8 input"));
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && (bytes[*pos].is_ascii_digit() || matches!(bytes[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| err(start, "invalid number"))
+}
+
+/// One speedup record extracted from a bench JSON: a stable key identifying
+/// the measurement cell and the recorded exact-vs-batched speedup.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SpeedupRecord {
+    /// `"<workload> @ n=<n>"` (the workload falls back to the document's
+    /// top-level `protocol`/`workload` fields for `bench_batched`'s schema).
+    pub key: String,
+    /// The recorded wall-clock speedup.
+    pub speedup: f64,
+}
+
+/// Extracts every `"engine": "speedup"` row of a bench document.
+///
+/// Both emitted schemas (`bench_batched/v1`, `bench_interned/v1`) share the
+/// row shape `{"n": ..., "engine": "speedup", "speedup": ...}`, with the
+/// workload either per-row (`bench_interned`) or document-level
+/// (`bench_batched`).
+pub fn speedup_records(doc: &Json) -> Vec<SpeedupRecord> {
+    let doc_workload = doc
+        .get("workload")
+        .and_then(Json::as_str)
+        .or_else(|| doc.get("protocol").and_then(Json::as_str))
+        .unwrap_or("unnamed");
+    let Some(results) = doc.get("results").and_then(Json::as_array) else {
+        return Vec::new();
+    };
+    results
+        .iter()
+        .filter(|row| row.get("engine").and_then(Json::as_str) == Some("speedup"))
+        .filter_map(|row| {
+            let speedup = row.get("speedup")?.as_f64()?;
+            let n = row.get("n")?.as_f64()?;
+            let workload = row.get("workload").and_then(Json::as_str).unwrap_or(doc_workload);
+            Some(SpeedupRecord { key: format!("{workload} @ n={n}"), speedup })
+        })
+        .collect()
+}
+
+/// One speedup that degraded beyond the tolerance.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Regression {
+    /// The measurement-cell key.
+    pub key: String,
+    /// The committed baseline speedup.
+    pub baseline: f64,
+    /// The freshly measured speedup.
+    pub fresh: f64,
+}
+
+impl Regression {
+    /// `fresh / baseline` — below `1 − tolerance` for a reported regression.
+    pub fn ratio(&self) -> f64 {
+        self.fresh / self.baseline
+    }
+}
+
+/// The outcome of comparing a fresh bench document against a baseline.
+#[derive(Clone, PartialEq, Debug)]
+pub struct GateReport {
+    /// Cells compared (present in both documents).
+    pub compared: usize,
+    /// Baseline cells the fresh document did not measure (e.g. `--quick`
+    /// sweeps fewer sizes); informational, never failing.
+    pub skipped: Vec<String>,
+    /// Cells whose speedup degraded beyond the tolerance.
+    pub regressions: Vec<Regression>,
+}
+
+impl GateReport {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares every baseline speedup cell against the fresh measurement:
+/// a cell regresses when `fresh < baseline · (1 − tolerance)`.
+///
+/// Cells only in the baseline are skipped (quick CI sweeps measure a subset
+/// of the committed full sweep); cells only in the fresh document are new
+/// coverage and pass by construction.
+pub fn compare_speedups(baseline: &Json, fresh: &Json, tolerance: f64) -> GateReport {
+    let fresh_records = speedup_records(fresh);
+    let mut compared = 0;
+    let mut skipped = Vec::new();
+    let mut regressions = Vec::new();
+    for base in speedup_records(baseline) {
+        match fresh_records.iter().find(|r| r.key == base.key) {
+            None => skipped.push(base.key),
+            Some(fresh) => {
+                compared += 1;
+                if fresh.speedup < base.speedup * (1.0 - tolerance) {
+                    regressions.push(Regression {
+                        key: base.key,
+                        baseline: base.speedup,
+                        fresh: fresh.speedup,
+                    });
+                }
+            }
+        }
+    }
+    GateReport { compared, skipped, regressions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_and_nested_objects() {
+        let doc = parse(r#"{"a": [1, -2.5, 3e2], "b": {"c": true, "d": null}, "e": "x\ny"}"#)
+            .expect("valid document");
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap()[2], Json::Num(300.0));
+        assert_eq!(doc.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("b").unwrap().get("d"), Some(&Json::Null));
+        assert_eq!(doc.get("e").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(parse("{}").unwrap(), Json::Obj(BTreeMap::new()));
+        let unicode = parse(r#""café — ünïcode""#).unwrap();
+        assert_eq!(unicode.as_str(), Some("café — ünïcode"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,", "\"open", "{\"a\" 1}", "123 456", "tru"] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn parses_the_committed_baselines() {
+        for path in ["../../BENCH_batched.json", "../../BENCH_interned.json"] {
+            let text = std::fs::read_to_string(path).expect("committed baseline exists");
+            let doc = parse(&text).expect("baseline parses");
+            let records = speedup_records(&doc);
+            assert!(!records.is_empty(), "{path} has speedup rows");
+            assert!(records.iter().all(|r| r.speedup > 0.0));
+        }
+    }
+
+    fn bench_doc(speedups: &[(u64, f64)]) -> Json {
+        let rows: Vec<String> = speedups
+            .iter()
+            .map(|(n, s)| format!("{{\"n\": {n}, \"engine\": \"speedup\", \"speedup\": {s}}}"))
+            .collect();
+        parse(&format!("{{\"workload\": \"w\", \"results\": [{}]}}", rows.join(", "))).unwrap()
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond_it() {
+        let baseline = bench_doc(&[(100, 1000.0), (1000, 5000.0)]);
+        // 25% degradation at n=100: inside a 30% tolerance.
+        let ok = bench_doc(&[(100, 750.0), (1000, 5200.0)]);
+        let report = compare_speedups(&baseline, &ok, 0.3);
+        assert!(report.passed());
+        assert_eq!(report.compared, 2);
+
+        // 40% degradation at n=1000: a regression.
+        let bad = bench_doc(&[(100, 990.0), (1000, 3000.0)]);
+        let report = compare_speedups(&baseline, &bad, 0.3);
+        assert!(!report.passed());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].key, "w @ n=1000");
+        assert!((report.regressions[0].ratio() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quick_sweeps_skip_unmeasured_baseline_cells() {
+        let baseline = bench_doc(&[(100, 1000.0), (1000, 5000.0), (10_000, 9000.0)]);
+        let quick = bench_doc(&[(100, 1100.0)]);
+        let report = compare_speedups(&baseline, &quick, 0.3);
+        assert!(report.passed());
+        assert_eq!(report.compared, 1);
+        assert_eq!(report.skipped, vec!["w @ n=1000", "w @ n=10000"]);
+    }
+
+    #[test]
+    fn per_row_workloads_key_the_interned_schema() {
+        let doc = parse(
+            r#"{"schema": "bench_interned/v1", "results": [
+                {"workload": "a", "n": 10, "engine": "speedup", "speedup": 2.0},
+                {"workload": "b", "n": 10, "engine": "speedup", "speedup": 3.0}
+            ]}"#,
+        )
+        .unwrap();
+        let records = speedup_records(&doc);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].key, "a @ n=10");
+        assert_eq!(records[1].key, "b @ n=10");
+    }
+}

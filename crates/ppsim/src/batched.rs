@@ -698,6 +698,46 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
         Self::row_weight(&self.protocol, &self.counts, &self.decoded, u, present)
     }
 
+    /// Applies one fault burst in count space: draws `states.len()` victim
+    /// agents **proportionally to the current counts without replacement**
+    /// (the count-space image of choosing distinct agents uniformly — agents
+    /// are anonymous, so the multiset distribution is identical to the exact
+    /// engine's [`Simulation::inject_states`]) and moves the `i`-th victim
+    /// into `states[i]`, repairing the affected row weights incrementally
+    /// through the same path as an applied transition (see [`crate::faults`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` exceeds the population size.
+    pub fn inject_states(&mut self, states: &[P::State], rng: &mut impl Rng) {
+        let k = states.len();
+        assert!(k <= self.n, "cannot corrupt more agents than the population holds");
+        // `taken` tracks per-state draws so the scan below sees the
+        // without-replacement distribution while `counts` stays untouched
+        // until the single delta application at the end.
+        let mut taken = vec![0u64; self.counts.len()];
+        let mut deltas: Vec<(usize, i64)> = Vec::with_capacity(2 * k);
+        let mut remaining = self.n as u64;
+        for s in states {
+            let mut t = rng.gen_range(0..remaining);
+            let mut src = usize::MAX;
+            for (i, &c) in self.counts.iter().enumerate() {
+                let avail = c - taken[i];
+                if t < avail {
+                    src = i;
+                    break;
+                }
+                t -= avail;
+            }
+            debug_assert!(src != usize::MAX, "victim draws cover the whole population");
+            taken[src] += 1;
+            remaining -= 1;
+            deltas.push((src, -1));
+            deltas.push((self.protocol.state_index(s), 1));
+        }
+        self.apply_count_deltas(&deltas);
+    }
+
     /// Applies signed count changes and repairs the backend structures.
     fn apply_count_deltas(&mut self, deltas: &[(usize, i64)]) {
         // Net the deltas per state first (i may equal j, or a state may both

@@ -170,6 +170,35 @@ impl<P: Protocol> Simulation<P> {
         self.last_change = self.interactions;
     }
 
+    /// Applies one fault burst: chooses `states.len()` **distinct** agents
+    /// uniformly at random and forces the `i`-th chosen agent into
+    /// `states[i]`, restarting the silence clock at the current interaction
+    /// count (see [`crate::faults`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` exceeds the population size.
+    pub fn inject_states(&mut self, states: &[P::State], rng: &mut impl rand::Rng) {
+        let n = self.protocol.population_size();
+        let k = states.len();
+        assert!(k <= n, "cannot corrupt more agents than the population holds");
+        // Floyd's sampling: k distinct indices uniform over 0..n.
+        let mut chosen = std::collections::HashSet::with_capacity(k);
+        let mut victims = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = rng.gen_range(0..j + 1);
+            let pick = if chosen.insert(t) { t } else { j };
+            if pick != t {
+                chosen.insert(pick);
+            }
+            victims.push(pick);
+        }
+        for (v, s) in victims.into_iter().zip(states) {
+            self.config.set(crate::agent::AgentId::new(v), s.clone());
+        }
+        self.last_change = self.interactions;
+    }
+
     /// Total interactions executed so far.
     pub fn interactions(&self) -> Interactions {
         self.interactions

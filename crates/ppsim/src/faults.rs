@@ -1,0 +1,867 @@
+//! Mid-run transient-fault injection and recovery-time measurement.
+//!
+//! The paper's headline guarantee is *self-stabilization*: the protocols
+//! recover from an **arbitrary transient corruption at any point in the
+//! run**, not merely from an adversarial initial configuration (which the
+//! [`crate::scenario`] subsystem covers). This module adds the missing axis:
+//! a [`FaultPlan`] schedules corruption bursts at chosen interaction indices,
+//! every engine can pause at those indices, apply the corruption, and keep
+//! running with its silence/null bookkeeping intact, and the driver reports
+//! **recovery time** — the exact silence point re-reached after each burst,
+//! minus the injection time — which is the quantity the paper's
+//! stabilization-time theorems are actually about.
+//!
+//! # Anatomy of a plan
+//!
+//! A plan is a [`FaultSchedule`] (one-shot burst, periodic bursts, or
+//! Poisson arrivals), a burst size `k`, and a [`CorruptionTarget`] choosing
+//! the states the corrupted agents are forced into (a fixed adversary-chosen
+//! state, or an independent random draw per agent). [`FaultPlan::resolve`]
+//! expands the plan deterministically from a seed into concrete
+//! [`FaultEvent`]s — times plus per-agent target states — so the *same*
+//! seeded plan injects the same corruption stream on every engine; only the
+//! victim choice below consumes engine-side randomness.
+//!
+//! # Engine hooks
+//!
+//! Each engine exposes an `inject_states` hook and implements [`FaultHost`]:
+//!
+//! * [`crate::Simulation`] picks `k` **distinct agents uniformly** and
+//!   overwrites their states, restarting the exact-silence clock
+//!   (`last_change`) exactly as [`crate::Simulation::corrupt`] does;
+//! * [`crate::BatchedSimulation`] and [`crate::InternedSimulation`] have no
+//!   agent identities, so they draw `k` victims **proportionally to the
+//!   state counts without replacement** — the count-space image of the same
+//!   distribution — and apply the burst as count-table edits routed through
+//!   the engines' incremental row repair (`apply_count_deltas`), so affected
+//!   rows are re-audited incrementally, never by a full recount.
+//!
+//! [`run_until_silent_with_faults`] drives any host segment by segment:
+//! run to silence (capped at the next injection index), advance the trailing
+//! null interactions to the injection index, inject, repeat; the per-event
+//! recovery times fall out of the exact silence points. [`crate::Engine`]
+//! gains `run_until_silent_with_faults` /
+//! `run_until_silent_interned_with_faults` so fault plans compose with the
+//! engine routing and, via [`crate::runner::run_scenario_fault_trials`],
+//! with the adversarial initial families.
+//!
+//! # Example
+//!
+//! ```
+//! use ppsim::prelude::*;
+//! use rand::RngCore;
+//!
+//! /// (L, L) -> (L, F) with L = 0, F = 1.
+//! #[derive(Clone, Copy)]
+//! struct Frat {
+//!     n: usize,
+//! }
+//! impl Protocol for Frat {
+//!     type State = u8;
+//!     fn population_size(&self) -> usize {
+//!         self.n
+//!     }
+//!     fn transition(&self, a: &u8, b: &u8, _rng: &mut dyn RngCore) -> (u8, u8) {
+//!         if *a == 0 && *b == 0 { (0, 1) } else { (*a, *b) }
+//!     }
+//!     fn is_null(&self, a: &u8, b: &u8) -> bool {
+//!         !(*a == 0 && *b == 0)
+//!     }
+//! }
+//! impl EnumerableProtocol for Frat {
+//!     fn num_states(&self) -> usize {
+//!         2
+//!     }
+//!     fn state_index(&self, s: &u8) -> usize {
+//!         *s as usize
+//!     }
+//!     fn state_from_index(&self, i: usize) -> u8 {
+//!         i as u8
+//!     }
+//! }
+//!
+//! // Corrupt 10 agents back into leaders, 2000 interactions into the run.
+//! let plan = FaultPlan::one_shot(2_000, 10, CorruptionTarget::Fixed(0u8));
+//! let report = Engine::Batched.run_until_silent_with_faults(
+//!     Frat { n: 50 },
+//!     &Configuration::uniform(0u8, 50),
+//!     7,
+//!     u64::MAX >> 8,
+//!     &plan,
+//! );
+//! assert!(report.outcome.is_silent());
+//! assert_eq!(report.injections.len(), 1);
+//! // The run re-silenced after the burst; recovery is measured from the
+//! // injection, not from the start of the run.
+//! let recovery = report.final_recovery().unwrap();
+//! assert!(report.outcome.interactions.count() >= 2_000 + recovery.count());
+//! ```
+
+use std::fmt;
+use std::sync::Arc;
+
+use rand::{Rng, SeedableRng};
+
+use crate::batched::{BatchedSimulation, Engine, EngineReport, EnumerableProtocol};
+use crate::config::Configuration;
+use crate::execution::{RunOutcome, Simulation, StopReason};
+use crate::interned::{InternableProtocol, InternedSimulation};
+use crate::protocol::Protocol;
+use crate::scenario::{name_salt, ScenarioRng};
+use crate::time::{Interactions, ParallelTime};
+
+/// When the bursts of a [`FaultPlan`] fire, in absolute interaction indices.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum FaultSchedule {
+    /// A single burst at interaction index `at`.
+    OneShot {
+        /// The interaction index of the burst.
+        at: u64,
+    },
+    /// `bursts` bursts at `start, start + period, start + 2·period, …`.
+    Periodic {
+        /// The interaction index of the first burst.
+        start: u64,
+        /// The gap between consecutive bursts (must be positive).
+        period: u64,
+        /// How many bursts fire in total.
+        bursts: u32,
+    },
+    /// Poisson arrivals: burst gaps drawn i.i.d. from an exponential law
+    /// with the given mean, until `horizon` interactions have elapsed.
+    Poisson {
+        /// Mean gap between consecutive bursts, in interactions.
+        mean_gap: u64,
+        /// No burst fires at or beyond this interaction index.
+        horizon: u64,
+    },
+}
+
+/// How the states of the corrupted agents are chosen.
+pub enum CorruptionTarget<S> {
+    /// Every corrupted agent is forced into the same adversary-chosen state.
+    Fixed(S),
+    /// Each corrupted agent independently draws its new state.
+    Random(Arc<dyn Fn(&mut ScenarioRng) -> S + Send + Sync>),
+}
+
+impl<S: Clone> Clone for CorruptionTarget<S> {
+    fn clone(&self) -> Self {
+        match self {
+            CorruptionTarget::Fixed(s) => CorruptionTarget::Fixed(s.clone()),
+            CorruptionTarget::Random(f) => CorruptionTarget::Random(Arc::clone(f)),
+        }
+    }
+}
+
+impl<S: fmt::Debug> fmt::Debug for CorruptionTarget<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptionTarget::Fixed(s) => f.debug_tuple("Fixed").field(s).finish(),
+            CorruptionTarget::Random(_) => f.write_str("Random(..)"),
+        }
+    }
+}
+
+impl<S> CorruptionTarget<S> {
+    /// A target drawing each corrupted agent's state independently from `f`.
+    pub fn random(f: impl Fn(&mut ScenarioRng) -> S + Send + Sync + 'static) -> Self {
+        CorruptionTarget::Random(Arc::new(f))
+    }
+}
+
+/// A plan of transient corruption bursts: a schedule, a burst size, and a
+/// target-state rule. The unit of the mid-run fault-injection experiment
+/// axis, the way [`crate::Scenario`] is the unit of the adversarial
+/// *initialization* axis.
+#[derive(Clone, Debug)]
+pub struct FaultPlan<S> {
+    name: String,
+    schedule: FaultSchedule,
+    k: usize,
+    target: CorruptionTarget<S>,
+}
+
+/// One resolved burst: the interaction index it fires at and the target
+/// state for each of the `k` corrupted agents.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FaultEvent<S> {
+    /// Absolute interaction index of the burst.
+    pub at: u64,
+    /// Target states, one per corrupted agent.
+    pub states: Vec<S>,
+}
+
+impl<S: Clone> FaultPlan<S> {
+    /// A plan with a single burst of `k` corruptions at interaction `at`.
+    pub fn one_shot(at: u64, k: usize, target: CorruptionTarget<S>) -> Self {
+        let name = format!("one-shot@{at}·k{k}");
+        FaultPlan { name, schedule: FaultSchedule::OneShot { at }, k, target }
+    }
+
+    /// A plan with `bursts` bursts of `k` corruptions, `period` interactions
+    /// apart, starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` (bursts must fire at distinct indices).
+    pub fn periodic(
+        start: u64,
+        period: u64,
+        bursts: u32,
+        k: usize,
+        target: CorruptionTarget<S>,
+    ) -> Self {
+        assert!(period > 0, "periodic bursts need a positive period");
+        let name = format!("periodic@{start}+i·{period}×{bursts}·k{k}");
+        FaultPlan { name, schedule: FaultSchedule::Periodic { start, period, bursts }, k, target }
+    }
+
+    /// A plan with Poisson-arrival bursts of `k` corruptions: exponential
+    /// gaps of the given mean until `horizon` interactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_gap == 0`.
+    pub fn poisson(mean_gap: u64, horizon: u64, k: usize, target: CorruptionTarget<S>) -> Self {
+        assert!(mean_gap > 0, "Poisson arrivals need a positive mean gap");
+        let name = format!("poisson·gap{mean_gap}·h{horizon}·k{k}");
+        FaultPlan { name, schedule: FaultSchedule::Poisson { mean_gap, horizon }, k, target }
+    }
+
+    /// Replaces the auto-generated name (used in experiment tables).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The plan's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of agents corrupted per burst.
+    pub fn burst_size(&self) -> usize {
+        self.k
+    }
+
+    /// The schedule of the plan.
+    pub fn schedule(&self) -> FaultSchedule {
+        self.schedule
+    }
+
+    /// Expands the plan into concrete events for a trial seed: burst times in
+    /// strictly increasing order, each with its `k` target states.
+    ///
+    /// Deterministic in `(plan, seed)` and independent of the engine: the RNG
+    /// is seeded from the seed and the plan's name, so the same seeded plan
+    /// produces the identical corruption stream on the exact, batched, and
+    /// interned engines (only the victim draw is engine-side).
+    pub fn resolve(&self, seed: u64) -> Vec<FaultEvent<S>> {
+        let mut rng = ScenarioRng::seed_from_u64(seed ^ name_salt(&self.name) ^ FAULT_PLAN_SALT);
+        let times: Vec<u64> = match self.schedule {
+            FaultSchedule::OneShot { at } => vec![at],
+            FaultSchedule::Periodic { start, period, bursts } => {
+                (0..bursts as u64).map(|i| start + i * period).collect()
+            }
+            FaultSchedule::Poisson { mean_gap, horizon } => {
+                let mut times = Vec::new();
+                let mut t = 0u64;
+                loop {
+                    t = t.saturating_add(sample_exponential_gap(mean_gap, &mut rng));
+                    if t >= horizon {
+                        break;
+                    }
+                    times.push(t);
+                }
+                times
+            }
+        };
+        times
+            .into_iter()
+            .map(|at| {
+                let states = (0..self.k)
+                    .map(|_| match &self.target {
+                        CorruptionTarget::Fixed(s) => s.clone(),
+                        CorruptionTarget::Random(f) => f(&mut rng),
+                    })
+                    .collect();
+                FaultEvent { at, states }
+            })
+            .collect()
+    }
+}
+
+const FAULT_PLAN_SALT: u64 = 0xFA01_75A1;
+const VICTIM_SALT: u64 = 0x7_1C71_C71C;
+
+/// A positive exponential gap with the given mean, drawn by inversion
+/// (rounded up, so consecutive bursts never share an interaction index).
+fn sample_exponential_gap(mean: u64, rng: &mut impl Rng) -> u64 {
+    // u ∈ (0, 1]: ln is finite, and u = 1 maps to the minimal gap of 1.
+    let u = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+    let gap = (-u.ln() * mean as f64).ceil();
+    if gap.is_finite() && gap >= 1.0 && gap < u64::MAX as f64 {
+        gap as u64
+    } else {
+        1
+    }
+}
+
+/// The engine-side surface the fault driver needs: every simulation backend
+/// that can pause at an interaction index, apply a corruption burst, and
+/// resume implements this. The three engines do
+/// ([`Simulation`], [`BatchedSimulation`], [`InternedSimulation`]).
+pub trait FaultHost {
+    /// The protocol state type.
+    type State;
+
+    /// Total interactions executed so far.
+    fn interactions_so_far(&self) -> Interactions;
+
+    /// Runs until silence or `budget` further interactions; for silence the
+    /// reported interaction count must be the exact silence point.
+    fn run_to_silence(&mut self, budget: u64) -> RunOutcome;
+
+    /// Executes exactly `budget` further interactions (null ones included).
+    fn advance(&mut self, budget: u64);
+
+    /// Applies one corruption burst: `states.len()` victims drawn uniformly
+    /// over agents (or ∝ counts without replacement in count space), the
+    /// `i`-th victim forced into `states[i]`.
+    fn inject(&mut self, states: &[Self::State], rng: &mut ScenarioRng);
+}
+
+impl<P: Protocol> FaultHost for Simulation<P> {
+    type State = P::State;
+
+    fn interactions_so_far(&self) -> Interactions {
+        self.interactions()
+    }
+
+    fn run_to_silence(&mut self, budget: u64) -> RunOutcome {
+        self.run_until_silent(budget)
+    }
+
+    fn advance(&mut self, budget: u64) {
+        self.run_for(budget);
+    }
+
+    fn inject(&mut self, states: &[Self::State], rng: &mut ScenarioRng) {
+        self.inject_states(states, rng);
+    }
+}
+
+impl<P: EnumerableProtocol> FaultHost for BatchedSimulation<P> {
+    type State = P::State;
+
+    fn interactions_so_far(&self) -> Interactions {
+        self.interactions()
+    }
+
+    fn run_to_silence(&mut self, budget: u64) -> RunOutcome {
+        self.run_until_silent(budget)
+    }
+
+    fn advance(&mut self, budget: u64) {
+        self.run_for(budget);
+    }
+
+    fn inject(&mut self, states: &[Self::State], rng: &mut ScenarioRng) {
+        self.inject_states(states, rng);
+    }
+}
+
+impl<P: InternableProtocol> FaultHost for InternedSimulation<P> {
+    type State = P::State;
+
+    fn interactions_so_far(&self) -> Interactions {
+        self.interactions()
+    }
+
+    fn run_to_silence(&mut self, budget: u64) -> RunOutcome {
+        self.run_until_silent(budget)
+    }
+
+    fn advance(&mut self, budget: u64) {
+        self.run_for(budget);
+    }
+
+    fn inject(&mut self, states: &[Self::State], rng: &mut ScenarioRng) {
+        self.inject_states(states, rng);
+    }
+}
+
+/// What a faulted run measured, independent of the final configuration (see
+/// [`FaultReport`] for the engine-level result that includes it).
+#[derive(Clone, PartialEq, Debug)]
+pub struct FaultOutcome {
+    /// Why and when the run finally stopped. For [`StopReason::Silent`] the
+    /// interaction count is the exact silence point of the last segment.
+    pub outcome: RunOutcome,
+    /// The interaction index of every burst that fired (bursts scheduled at
+    /// or beyond the budget never fire and are not listed).
+    pub injections: Vec<Interactions>,
+    /// The exact silence point reached before the first burst, if the run
+    /// silenced before it (the adversarial-initialization stabilization
+    /// time; not a recovery).
+    pub initial_silence: Option<Interactions>,
+    /// Per fired burst, the **recovery time**: the exact silence point
+    /// re-reached after the burst and before the next one (or the end of the
+    /// run), minus the injection time. `None` when the next burst (or budget
+    /// exhaustion) arrived before silence did.
+    pub recoveries: Vec<Option<Interactions>>,
+}
+
+/// The recovery time of the last burst, if it fired and the run re-silenced
+/// after it (shared by [`FaultOutcome`] and [`FaultReport`], which mirror
+/// each other's measurement fields by construction).
+fn last_recovery(recoveries: &[Option<Interactions>]) -> Option<Interactions> {
+    recoveries.last().copied().flatten()
+}
+
+/// Whether every fired burst was recovered from before the next one (see
+/// [`last_recovery`] for the sharing rationale).
+fn all_bursts_recovered(recoveries: &[Option<Interactions>]) -> bool {
+    !recoveries.is_empty() && recoveries.iter().all(|r| r.is_some())
+}
+
+impl FaultOutcome {
+    /// The recovery time of the **last** burst, if it fired and the run
+    /// re-silenced after it — the paper's "stabilization time from the final
+    /// transient corruption".
+    pub fn final_recovery(&self) -> Option<Interactions> {
+        last_recovery(&self.recoveries)
+    }
+
+    /// Whether every fired burst was recovered from before the next one.
+    pub fn recovered_after_every_burst(&self) -> bool {
+        all_bursts_recovered(&self.recoveries)
+    }
+}
+
+/// Drives a [`FaultHost`] to silence through a resolved corruption stream:
+/// for each event, runs to silence capped at the event's interaction index
+/// (recording the recovery of the previous burst if silence arrived first),
+/// advances the trailing null interactions to the index, injects, and
+/// finally runs the last segment to silence or budget exhaustion.
+///
+/// Events must be in strictly increasing time order (as produced by
+/// [`FaultPlan::resolve`]); events at or beyond `budget` never fire.
+pub fn run_until_silent_with_faults<H: FaultHost>(
+    host: &mut H,
+    events: &[FaultEvent<H::State>],
+    victim_rng: &mut ScenarioRng,
+    budget: u64,
+) -> FaultOutcome {
+    let mut injections: Vec<Interactions> = Vec::new();
+    let mut initial_silence = None;
+    let mut recoveries: Vec<Option<Interactions>> = Vec::new();
+
+    let mut record_silence =
+        |out: &RunOutcome,
+         injections: &[Interactions],
+         recoveries: &mut Vec<Option<Interactions>>| {
+            if out.reason != StopReason::Silent {
+                return;
+            }
+            match injections.last() {
+                Some(&at) => {
+                    let slot = recoveries.last_mut().expect("one recovery slot per injection");
+                    if slot.is_none() {
+                        *slot = Some(out.interactions - at);
+                    }
+                }
+                None => {
+                    if initial_silence.is_none() {
+                        initial_silence = Some(out.interactions);
+                    }
+                }
+            }
+        };
+
+    for event in events {
+        if event.at >= budget {
+            break;
+        }
+        let now = host.interactions_so_far().count();
+        debug_assert!(now <= event.at, "fault events must be in increasing time order");
+        let out = host.run_to_silence(event.at - now);
+        record_silence(&out, &injections, &mut recoveries);
+        // The host may have stopped short of the index (silence detected, or
+        // an exact-engine check chunk ended early): pad with null
+        // interactions so the burst lands exactly at its scheduled index.
+        let now = host.interactions_so_far().count();
+        host.advance(event.at - now);
+        host.inject(&event.states, victim_rng);
+        injections.push(Interactions::new(event.at));
+        recoveries.push(None);
+    }
+
+    let now = host.interactions_so_far().count();
+    let outcome = host.run_to_silence(budget.saturating_sub(now));
+    record_silence(&outcome, &injections, &mut recoveries);
+    FaultOutcome { outcome, injections, initial_silence, recoveries }
+}
+
+/// The result of running a workload with faults through an [`Engine`]: the
+/// measurements of [`FaultOutcome`] plus the final configuration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FaultReport<S> {
+    /// Why and when the run finally stopped.
+    pub outcome: RunOutcome,
+    /// The interaction index of every burst that fired.
+    pub injections: Vec<Interactions>,
+    /// The silence point reached before the first burst, if any.
+    pub initial_silence: Option<Interactions>,
+    /// Per fired burst, the recovery time (see [`FaultOutcome::recoveries`]).
+    pub recoveries: Vec<Option<Interactions>>,
+    /// The final configuration (canonical materialization for the count
+    /// engines, as in [`EngineReport`]).
+    pub final_config: Configuration<S>,
+}
+
+impl<S> FaultReport<S> {
+    /// The recovery time of the last burst, if the run re-silenced after it.
+    pub fn final_recovery(&self) -> Option<Interactions> {
+        last_recovery(&self.recoveries)
+    }
+
+    /// The last burst's recovery expressed as parallel time.
+    pub fn final_recovery_parallel_time(&self) -> Option<ParallelTime> {
+        self.final_recovery().map(|i| i.to_parallel_time(self.final_config.len()))
+    }
+
+    /// Whether every fired burst was recovered from before the next one.
+    pub fn recovered_after_every_burst(&self) -> bool {
+        all_bursts_recovered(&self.recoveries)
+    }
+
+    /// The plain engine report (outcome + final configuration) of the run.
+    pub fn engine_report(&self) -> EngineReport<S>
+    where
+        S: Clone,
+    {
+        EngineReport { outcome: self.outcome, final_config: self.final_config.clone() }
+    }
+
+    fn from_outcome(outcome: FaultOutcome, final_config: Configuration<S>) -> Self {
+        FaultReport {
+            outcome: outcome.outcome,
+            injections: outcome.injections,
+            initial_silence: outcome.initial_silence,
+            recoveries: outcome.recoveries,
+            final_config,
+        }
+    }
+}
+
+impl Engine {
+    /// Runs the protocol from `init` to silence under a [`FaultPlan`]:
+    /// the fault-injection counterpart of [`Engine::run_until_silent`].
+    ///
+    /// The plan is resolved from `seed`, so the same `(plan, seed)` injects
+    /// the identical corruption stream on both engines; victims are drawn
+    /// from a separate stream derived from the same seed.
+    pub fn run_until_silent_with_faults<P: EnumerableProtocol>(
+        self,
+        protocol: P,
+        init: &Configuration<P::State>,
+        seed: u64,
+        budget: u64,
+        plan: &FaultPlan<P::State>,
+    ) -> FaultReport<P::State> {
+        let events = plan.resolve(seed);
+        let mut victim_rng = ScenarioRng::seed_from_u64(seed ^ VICTIM_SALT);
+        match self {
+            Engine::Exact => {
+                let mut sim = Simulation::new(protocol, init.clone(), seed);
+                let out = run_until_silent_with_faults(&mut sim, &events, &mut victim_rng, budget);
+                FaultReport::from_outcome(out, sim.configuration().clone())
+            }
+            Engine::Batched => {
+                let mut sim = BatchedSimulation::new(protocol, init, seed);
+                let out = run_until_silent_with_faults(&mut sim, &events, &mut victim_rng, budget);
+                FaultReport::from_outcome(out, sim.to_configuration())
+            }
+        }
+    }
+
+    /// Runs an [`InternableProtocol`] from `init` to silence under a
+    /// [`FaultPlan`]: the open-state-space counterpart of
+    /// [`Engine::run_until_silent_with_faults`] ([`Engine::Batched`] routes
+    /// through the dynamically interned backend).
+    pub fn run_until_silent_interned_with_faults<P: InternableProtocol>(
+        self,
+        protocol: P,
+        init: &Configuration<P::State>,
+        seed: u64,
+        budget: u64,
+        plan: &FaultPlan<P::State>,
+    ) -> FaultReport<P::State> {
+        let events = plan.resolve(seed);
+        let mut victim_rng = ScenarioRng::seed_from_u64(seed ^ VICTIM_SALT);
+        match self {
+            Engine::Exact => {
+                let mut sim = Simulation::new(protocol, init.clone(), seed);
+                let out = run_until_silent_with_faults(&mut sim, &events, &mut victim_rng, budget);
+                FaultReport::from_outcome(out, sim.configuration().clone())
+            }
+            Engine::Batched => {
+                let mut sim = InternedSimulation::new(protocol, init, seed);
+                let out = run_until_silent_with_faults(&mut sim, &events, &mut victim_rng, budget);
+                FaultReport::from_outcome(out, sim.to_configuration())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batched::ForceDense;
+    use crate::interned::AsInterned;
+    use rand::RngCore;
+
+    /// (L, L) -> (L, F) with L = 0, F = 1.
+    #[derive(Clone, Copy, Debug)]
+    struct Frat {
+        n: usize,
+    }
+
+    impl Protocol for Frat {
+        type State = u8;
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn transition(&self, a: &u8, b: &u8, _rng: &mut dyn RngCore) -> (u8, u8) {
+            if *a == 0 && *b == 0 {
+                (0, 1)
+            } else {
+                (*a, *b)
+            }
+        }
+        fn is_null(&self, a: &u8, b: &u8) -> bool {
+            !(*a == 0 && *b == 0)
+        }
+    }
+
+    impl EnumerableProtocol for Frat {
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn state_index(&self, s: &u8) -> usize {
+            *s as usize
+        }
+        fn state_from_index(&self, i: usize) -> u8 {
+            i as u8
+        }
+        fn interaction_partners(&self, i: usize) -> Option<Vec<usize>> {
+            Some(if i == 0 { vec![0] } else { vec![] })
+        }
+    }
+
+    const BUDGET: u64 = u64::MAX >> 8;
+
+    fn leaders(c: &Configuration<u8>) -> usize {
+        c.iter().filter(|&&s| s == 0).count()
+    }
+
+    #[test]
+    fn resolve_is_deterministic_and_increasing() {
+        let fixed = FaultPlan::one_shot(500, 3, CorruptionTarget::Fixed(0u8));
+        assert_eq!(fixed.resolve(1), fixed.resolve(1));
+        assert_eq!(fixed.resolve(1)[0].states, vec![0, 0, 0]);
+        assert_eq!(fixed.burst_size(), 3);
+
+        let periodic = FaultPlan::periodic(100, 50, 4, 2, CorruptionTarget::Fixed(0u8));
+        let times: Vec<u64> = periodic.resolve(9).iter().map(|e| e.at).collect();
+        assert_eq!(times, vec![100, 150, 200, 250]);
+
+        let poisson = FaultPlan::poisson(200, 2_000, 1, CorruptionTarget::Fixed(0u8));
+        let events = poisson.resolve(5);
+        assert_eq!(events, poisson.resolve(5));
+        assert!(events.windows(2).all(|w| w[0].at < w[1].at));
+        assert!(events.iter().all(|e| e.at < 2_000));
+        // Mean gap 200 over a 2000-interaction horizon: some bursts fire.
+        assert!(!events.is_empty());
+        // Distinct seeds draw distinct arrival streams (overwhelmingly).
+        assert_ne!(events, poisson.resolve(6));
+    }
+
+    #[test]
+    fn random_targets_are_reproducible_per_seed() {
+        let plan =
+            FaultPlan::one_shot(10, 8, CorruptionTarget::random(|rng| rng.gen_range(0..2u8)));
+        let a = plan.resolve(3);
+        assert_eq!(a, plan.resolve(3));
+        assert_eq!(a[0].states.len(), 8);
+    }
+
+    #[test]
+    fn all_three_engines_recover_from_a_mid_run_burst() {
+        let init = Configuration::uniform(0u8, 60);
+        let plan = FaultPlan::one_shot(3_000, 20, CorruptionTarget::Fixed(0u8));
+        for seed in 0..3 {
+            let exact = Engine::Exact.run_until_silent_with_faults(
+                Frat { n: 60 },
+                &init,
+                seed,
+                BUDGET,
+                &plan,
+            );
+            let batched = Engine::Batched.run_until_silent_with_faults(
+                Frat { n: 60 },
+                &init,
+                seed,
+                BUDGET,
+                &plan,
+            );
+            let dense = Engine::Batched.run_until_silent_with_faults(
+                ForceDense(Frat { n: 60 }),
+                &init,
+                seed,
+                BUDGET,
+                &plan,
+            );
+            let interned = Engine::Batched.run_until_silent_interned_with_faults(
+                AsInterned(Frat { n: 60 }),
+                &init,
+                seed,
+                BUDGET,
+                &plan,
+            );
+            for report in [&exact, &batched, &dense, &interned] {
+                assert!(report.outcome.is_silent());
+                assert_eq!(report.injections, vec![Interactions::new(3_000)]);
+                assert_eq!(leaders(&report.final_config), 1, "seed {seed}");
+                assert!(report.recovered_after_every_burst());
+                // Silence after the burst lies beyond the injection index.
+                assert!(report.outcome.interactions.count() >= 3_000);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupting_a_silent_configuration_restarts_the_silence_clock() {
+        // Start *in* the silent configuration (one leader); a burst at
+        // t = 10_000 re-plants 5 leaders. Recovery must be measured from the
+        // injection, not from t = 0 — the earlier silence must not leak into
+        // the recovery of the burst.
+        let n = 40;
+        let init = Configuration::from_fn(n, |i| u8::from(i > 0));
+        let plan = FaultPlan::one_shot(10_000, 5, CorruptionTarget::Fixed(0u8));
+        for (engine, interned) in
+            [(Engine::Exact, false), (Engine::Batched, false), (Engine::Batched, true)]
+        {
+            let report = if interned {
+                Engine::Batched.run_until_silent_interned_with_faults(
+                    AsInterned(Frat { n }),
+                    &init,
+                    7,
+                    BUDGET,
+                    &plan,
+                )
+            } else {
+                engine.run_until_silent_with_faults(Frat { n }, &init, 7, BUDGET, &plan)
+            };
+            // The initial configuration was already silent at interaction 0.
+            assert_eq!(report.initial_silence, Some(Interactions::ZERO));
+            assert_eq!(report.injections, vec![Interactions::new(10_000)]);
+            let recovery = report.final_recovery().expect("the burst is recovered from");
+            // The clock restarted: the reported recovery is the silence point
+            // *minus the injection time* — with 5 leaders to merge it is
+            // positive yet far smaller than the absolute silence point.
+            assert!(recovery.count() > 0);
+            assert_eq!(
+                report.outcome.interactions.count(),
+                10_000 + recovery.count(),
+                "recovery must be measured from the injection"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_into_the_current_silent_state_recovers_instantly() {
+        // Burst forces followers to follower: the configuration stays silent,
+        // so recovery is exactly zero on every engine.
+        let n = 20;
+        let init = Configuration::from_fn(n, |i| u8::from(i > 0));
+        let plan = FaultPlan::one_shot(1_000, 4, CorruptionTarget::Fixed(1u8));
+        for engine in [Engine::Exact, Engine::Batched] {
+            let report = engine.run_until_silent_with_faults(Frat { n }, &init, 3, BUDGET, &plan);
+            assert!(report.outcome.is_silent());
+            // With a single leader among n agents a burst of 4 usually hits
+            // followers only; when it hits the leader the configuration is
+            // still all-null (leader count 0 or 1). Either way silence is
+            // re-reported at the injection index.
+            assert_eq!(report.final_recovery(), Some(Interactions::ZERO));
+            assert_eq!(report.outcome.interactions.count(), 1_000);
+        }
+    }
+
+    #[test]
+    fn bursts_beyond_the_budget_never_fire() {
+        let init = Configuration::uniform(0u8, 30);
+        let plan = FaultPlan::periodic(1_000, 1_000, 5, 3, CorruptionTarget::Fixed(0u8));
+        let report =
+            Engine::Batched.run_until_silent_with_faults(Frat { n: 30 }, &init, 1, 2_500, &plan);
+        // Only the bursts at 1000 and 2000 fit inside the budget of 2500.
+        assert_eq!(report.injections.len(), 2);
+        assert_eq!(report.recoveries.len(), 2);
+    }
+
+    #[test]
+    fn overlapping_bursts_leave_unrecovered_slots() {
+        // Bursts every 10 interactions re-seed 10 leaders each: recovery
+        // within a 10-interaction window is essentially impossible, so the
+        // early slots stay None until the final burst's segment.
+        let init = Configuration::uniform(0u8, 100);
+        let plan = FaultPlan::periodic(10, 10, 10, 10, CorruptionTarget::Fixed(0u8));
+        let report =
+            Engine::Exact.run_until_silent_with_faults(Frat { n: 100 }, &init, 5, BUDGET, &plan);
+        assert!(report.outcome.is_silent());
+        assert_eq!(report.injections.len(), 10);
+        assert!(report.recoveries[..9].iter().any(|r| r.is_none()));
+        assert!(report.final_recovery().is_some());
+        assert_eq!(leaders(&report.final_config), 1);
+    }
+
+    #[test]
+    fn exact_inject_states_corrupts_distinct_agents() {
+        let n = 12;
+        let mut sim = Simulation::new(Frat { n }, Configuration::uniform(1u8, n), 1);
+        let mut rng = ScenarioRng::seed_from_u64(9);
+        sim.inject_states(&[0u8; 5], &mut rng);
+        // Exactly 5 distinct agents became leaders.
+        assert_eq!(leaders(sim.configuration()), 5);
+        assert_eq!(sim.configuration().len(), n);
+        // The silence clock restarted at the (zero-interaction) injection.
+        assert_eq!(sim.last_change(), sim.interactions());
+    }
+
+    #[test]
+    fn count_space_injection_conserves_the_population() {
+        let n = 50;
+        let init = Configuration::uniform(0u8, n);
+        let mut batched = BatchedSimulation::new(Frat { n }, &init, 2);
+        let mut interned = InternedSimulation::new(AsInterned(Frat { n }), &init, 2);
+        let mut rng = ScenarioRng::seed_from_u64(11);
+        batched.run_for(500);
+        interned.run_for(500);
+        batched.inject_states(&[1u8; 30], &mut rng);
+        interned.inject_states(&[1u8; 30], &mut rng);
+        assert_eq!(batched.state_counts().map(|(_, c)| c).sum::<u64>(), n as u64);
+        assert_eq!(interned.state_counts().map(|(_, c)| c).sum::<u64>(), n as u64);
+        // The interned engine's incremental rows survive the burst.
+        assert_eq!(interned.recount_active_pairs(), interned.active_pairs());
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn oversized_bursts_are_rejected() {
+        let mut sim = Simulation::new(Frat { n: 4 }, Configuration::uniform(0u8, 4), 1);
+        let mut rng = ScenarioRng::seed_from_u64(1);
+        sim.inject_states(&[0u8; 5], &mut rng);
+    }
+}

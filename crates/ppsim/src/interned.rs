@@ -732,6 +732,46 @@ impl<P: InternableProtocol> InternedSimulation<P> {
         self.apply_count_deltas(&[(i, -1), (j, -1), (i2, 1), (j2, 1)]);
     }
 
+    /// Applies one fault burst in count space: interns the target states,
+    /// draws `states.len()` victims **proportionally to the current counts
+    /// without replacement** over the present set, and moves the `i`-th
+    /// victim into `states[i]`, repairing the row weights through the same
+    /// incremental path as an applied transition — never a full recount
+    /// (see [`crate::faults`]; [`InternedSimulation::recount_active_pairs`]
+    /// audits the repair in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len()` exceeds the population size.
+    pub fn inject_states(&mut self, states: &[P::State], rng: &mut impl Rng) {
+        let k = states.len();
+        assert!(k <= self.n, "cannot corrupt more agents than the population holds");
+        // Intern targets first: the side tables may grow, and the draw below
+        // reads counts (new states enter with count 0, weightless).
+        let dsts: Vec<usize> = states.iter().map(|s| self.intern_state(s)).collect();
+        let mut taken = vec![0u64; self.counts.len()];
+        let mut deltas: Vec<(usize, i64)> = Vec::with_capacity(2 * k);
+        let mut remaining = self.n as u64;
+        for &dst in &dsts {
+            let mut t = rng.gen_range(0..remaining);
+            let mut src = usize::MAX;
+            for &i in &self.present {
+                let avail = self.counts[i] - taken[i];
+                if t < avail {
+                    src = i;
+                    break;
+                }
+                t -= avail;
+            }
+            debug_assert!(src != usize::MAX, "victim draws cover the whole population");
+            taken[src] += 1;
+            remaining -= 1;
+            deltas.push((src, -1));
+            deltas.push((dst, 1));
+        }
+        self.apply_count_deltas(&deltas);
+    }
+
     /// Applies signed count changes and repairs the present set and row
     /// weights incrementally: rows of unchanged states shift by
     /// `c_u · Σ_k [(u,k) non-null] Δc_k` (their nullness against the changed

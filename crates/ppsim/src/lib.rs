@@ -91,6 +91,7 @@ pub mod batched;
 pub mod config;
 pub mod error;
 pub mod execution;
+pub mod faults;
 pub mod interned;
 pub mod protocol;
 pub mod runner;
@@ -106,11 +107,13 @@ pub use batched::{
 pub use config::Configuration;
 pub use error::SimError;
 pub use execution::{ConvergenceOutcome, RunOutcome, Simulation, StopReason};
+pub use faults::{CorruptionTarget, FaultEvent, FaultHost, FaultPlan, FaultReport, FaultSchedule};
 pub use interned::{AsInterned, InternableProtocol, InternedSimulation, StateInterner};
 pub use protocol::{LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
 pub use runner::{
-    run_engine_trials, run_interned_scenario_trials, run_interned_trials, run_scenario_trials,
-    run_trials, run_trials_sequential, TrialPlan,
+    run_engine_trials, run_fault_trials, run_interned_fault_trials,
+    run_interned_scenario_fault_trials, run_interned_scenario_trials, run_interned_trials,
+    run_scenario_fault_trials, run_scenario_trials, run_trials, run_trials_sequential, TrialPlan,
 };
 pub use scenario::{Scenario, ScenarioRng};
 pub use scheduler::{OrderedPair, Scheduler};
@@ -126,11 +129,16 @@ pub mod prelude {
     pub use crate::config::Configuration;
     pub use crate::error::SimError;
     pub use crate::execution::{ConvergenceOutcome, RunOutcome, Simulation, StopReason};
+    pub use crate::faults::{
+        CorruptionTarget, FaultEvent, FaultHost, FaultPlan, FaultReport, FaultSchedule,
+    };
     pub use crate::interned::{AsInterned, InternableProtocol, InternedSimulation, StateInterner};
     pub use crate::protocol::{LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
     pub use crate::runner::{
-        run_engine_trials, run_interned_scenario_trials, run_interned_trials, run_scenario_trials,
-        run_trials, run_trials_sequential, TrialPlan,
+        run_engine_trials, run_fault_trials, run_interned_fault_trials,
+        run_interned_scenario_fault_trials, run_interned_scenario_trials, run_interned_trials,
+        run_scenario_fault_trials, run_scenario_trials, run_trials, run_trials_sequential,
+        TrialPlan,
     };
     pub use crate::scenario::{Scenario, ScenarioRng};
     pub use crate::scheduler::{OrderedPair, Scheduler};

@@ -314,6 +314,100 @@ where
     })
 }
 
+/// Runs `plan.trials` independent to-silence executions under a
+/// [`crate::faults::FaultPlan`] through the chosen engine, in parallel,
+/// returning the per-trial [`crate::faults::FaultReport`]s in trial order:
+/// the fault-injection counterpart of [`run_engine_trials`].
+///
+/// Each trial resolves the fault plan from its own derived seed, so the
+/// corruption streams are independent across trials yet reproducible from
+/// the trial plan alone.
+pub fn run_fault_trials<P, F>(
+    plan: &TrialPlan,
+    engine: crate::batched::Engine,
+    budget: u64,
+    faults: &crate::faults::FaultPlan<P::State>,
+    setup: F,
+) -> Vec<crate::faults::FaultReport<P::State>>
+where
+    P: crate::batched::EnumerableProtocol,
+    F: Fn(usize, u64) -> (P, crate::config::Configuration<P::State>) + Sync,
+{
+    run_trials(plan, |trial, seed| {
+        let (protocol, config) = setup(trial, seed);
+        engine.run_until_silent_with_faults(protocol, &config, seed, budget, faults)
+    })
+}
+
+/// Runs `plan.trials` independent executions of a
+/// [`crate::scenario::Scenario`] family under a
+/// [`crate::faults::FaultPlan`]: each trial generates its adversarial
+/// initial configuration from the trial seed, then runs to silence with the
+/// seeded corruption stream. This is how mid-run fault plans compose with
+/// the adversarial-initialization families of [`run_scenario_trials`].
+pub fn run_scenario_fault_trials<P, F>(
+    plan: &TrialPlan,
+    engine: crate::batched::Engine,
+    budget: u64,
+    scenario: &crate::scenario::Scenario<P>,
+    faults: &crate::faults::FaultPlan<P::State>,
+    make_protocol: F,
+) -> Vec<crate::faults::FaultReport<P::State>>
+where
+    P: crate::batched::EnumerableProtocol,
+    F: Fn(usize, u64) -> P + Sync,
+{
+    run_fault_trials(plan, engine, budget, faults, |trial, seed| {
+        let protocol = make_protocol(trial, seed);
+        let config = scenario.configuration(&protocol, seed);
+        (protocol, config)
+    })
+}
+
+/// Runs `plan.trials` independent to-silence executions of an
+/// [`crate::interned::InternableProtocol`] under a
+/// [`crate::faults::FaultPlan`]: the open-state-space counterpart of
+/// [`run_fault_trials`] ([`crate::batched::Engine::Batched`] routes through
+/// the dynamically interned backend).
+pub fn run_interned_fault_trials<P, F>(
+    plan: &TrialPlan,
+    engine: crate::batched::Engine,
+    budget: u64,
+    faults: &crate::faults::FaultPlan<P::State>,
+    setup: F,
+) -> Vec<crate::faults::FaultReport<P::State>>
+where
+    P: crate::interned::InternableProtocol,
+    F: Fn(usize, u64) -> (P, crate::config::Configuration<P::State>) + Sync,
+{
+    run_trials(plan, |trial, seed| {
+        let (protocol, config) = setup(trial, seed);
+        engine.run_until_silent_interned_with_faults(protocol, &config, seed, budget, faults)
+    })
+}
+
+/// Runs a [`crate::scenario::Scenario`] family of an internable protocol
+/// under a [`crate::faults::FaultPlan`]: the open-state-space counterpart of
+/// [`run_scenario_fault_trials`].
+pub fn run_interned_scenario_fault_trials<P, F>(
+    plan: &TrialPlan,
+    engine: crate::batched::Engine,
+    budget: u64,
+    scenario: &crate::scenario::Scenario<P>,
+    faults: &crate::faults::FaultPlan<P::State>,
+    make_protocol: F,
+) -> Vec<crate::faults::FaultReport<P::State>>
+where
+    P: crate::interned::InternableProtocol,
+    F: Fn(usize, u64) -> P + Sync,
+{
+    run_interned_fault_trials(plan, engine, budget, faults, |trial, seed| {
+        let protocol = make_protocol(trial, seed);
+        let config = scenario.configuration(&protocol, seed);
+        (protocol, config)
+    })
+}
+
 /// Runs trials sequentially on the current thread; useful for closures that
 /// are not `Sync` or for deterministic debugging.
 pub fn run_trials_sequential<T>(

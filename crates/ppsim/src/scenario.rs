@@ -135,9 +135,10 @@ impl<P: Protocol> Scenario<P> {
     }
 }
 
-/// FNV-1a hash of the scenario name, folded into the trial seed so scenarios
-/// sharing a seed still draw unrelated random streams.
-fn name_salt(name: &str) -> u64 {
+/// FNV-1a hash of a family name (scenario or fault plan), folded into the
+/// trial seed so families sharing a seed still draw unrelated random
+/// streams. Shared with [`crate::faults`].
+pub(crate) fn name_salt(name: &str) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for byte in name.bytes() {
         hash ^= byte as u64;

@@ -2,7 +2,7 @@
 
 use ppsim::prelude::*;
 use proptest::prelude::*;
-use rand::RngCore;
+use rand::{Rng, RngCore, SeedableRng};
 
 /// A protocol whose transition conserves the sum of all states: useful for
 /// checking that the simulator applies transitions to exactly the scheduled
@@ -126,5 +126,150 @@ proptest! {
         for (state, count) in counts {
             prop_assert_eq!(states.iter().filter(|&&s| s == state).count(), count);
         }
+    }
+
+    // Fault injection preserves the engine invariants on every backend: the
+    // population size never changes, the count tables stay non-negative and
+    // sum to n, and the interned engine's incrementally maintained row
+    // weights still match a from-scratch recount after the burst.
+    #[test]
+    fn fault_injection_preserves_invariants_on_all_backends(
+        n in 2usize..40,
+        seed in any::<u64>(),
+        steps in 0u64..1_500,
+        k in 0usize..12,
+        target in 0u8..5,
+    ) {
+        let k = k.min(n);
+        let protocol = Spread { n };
+        let init = Configuration::from_fn(n, |i| (i % 5) as u8);
+        let states = vec![target; k];
+        let mut fault_rng = ScenarioRng::seed_from_u64(seed ^ 0xF417);
+
+        // Exact engine: the population vector keeps its length and at most
+        // k agents change state.
+        let mut exact = Simulation::new(protocol, init.clone(), seed);
+        exact.run_for(steps);
+        let before = exact.configuration().clone();
+        exact.inject_states(&states, &mut fault_rng);
+        prop_assert_eq!(exact.configuration().len(), n);
+        let changed = before
+            .iter()
+            .zip(exact.configuration().iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        prop_assert!(changed <= k);
+        prop_assert_eq!(exact.last_change(), exact.interactions());
+
+        // Batched engine, both static backends: counts sum to n (they are
+        // u64, so non-negativity rides on the sum staying exact), and the
+        // incrementally repaired pair weight matches a from-scratch rebuild.
+        let mut indexed = BatchedSimulation::new(protocol, &init, seed);
+        let mut dense = BatchedSimulation::new(ForceDense(protocol), &init, seed);
+        // Interned backend: same burst, plus the row-weight audit.
+        let mut interned = InternedSimulation::new(AsInterned(protocol), &init, seed);
+        for _ in 0..2 {
+            // Two rounds: a burst right after `steps` interactions, and a
+            // second burst after running on from the corrupted counts.
+            indexed.run_for(steps);
+            dense.run_for(steps);
+            interned.run_for(steps);
+            indexed.inject_states(&states, &mut fault_rng);
+            dense.inject_states(&states, &mut fault_rng);
+            interned.inject_states(&states, &mut fault_rng);
+
+            let sum: u64 = indexed.state_counts().map(|(_, c)| c).sum();
+            prop_assert_eq!(sum, n as u64);
+            let sum: u64 = dense.state_counts().map(|(_, c)| c).sum();
+            prop_assert_eq!(sum, n as u64);
+            let sum: u64 = interned.state_counts().map(|(_, c)| c).sum();
+            prop_assert_eq!(sum, n as u64);
+
+            let rebuilt = BatchedSimulation::new(protocol, &indexed.to_configuration(), 0);
+            prop_assert_eq!(
+                indexed.active_pairs(),
+                rebuilt.active_pairs(),
+                "indexed rows diverged from a rebuild after the burst"
+            );
+            prop_assert_eq!(
+                dense.active_pairs(),
+                BatchedSimulation::new(ForceDense(protocol), &dense.to_configuration(), 0)
+                    .active_pairs()
+            );
+            prop_assert_eq!(
+                interned.recount_active_pairs(),
+                interned.active_pairs(),
+                "interned incremental rows diverged from the recount after the burst"
+            );
+        }
+    }
+
+    // A resolved fault plan is pure data: times strictly increase, every
+    // event carries exactly k target states, and the expansion is a function
+    // of (plan, seed) alone.
+    #[test]
+    fn fault_plans_resolve_deterministically(
+        seed in any::<u64>(),
+        start in 0u64..10_000,
+        period in 1u64..5_000,
+        bursts in 0u32..20,
+        mean_gap in 1u64..2_000,
+        horizon in 0u64..20_000,
+        k in 0usize..8,
+    ) {
+        let plans = [
+            FaultPlan::one_shot(start, k, CorruptionTarget::Fixed(1u8)),
+            FaultPlan::periodic(start, period, bursts, k, CorruptionTarget::Fixed(1u8)),
+            FaultPlan::poisson(
+                mean_gap,
+                horizon,
+                k,
+                CorruptionTarget::random(|rng| rng.gen_range(0..5u8)),
+            ),
+        ];
+        for plan in &plans {
+            let events = plan.resolve(seed);
+            prop_assert_eq!(&events, &plan.resolve(seed), "plan {}", plan.name());
+            prop_assert!(events.windows(2).all(|w| w[0].at < w[1].at));
+            prop_assert!(events.iter().all(|e| e.states.len() == k));
+        }
+        prop_assert_eq!(plans[1].resolve(seed).len(), bursts as usize);
+    }
+}
+
+/// A protocol that spreads the largest state value: non-null on unequal
+/// pairs, so corrupting states materially changes the active-pair structure
+/// — a good stress for the incremental row repair.
+#[derive(Clone, Copy, Debug)]
+struct Spread {
+    n: usize,
+}
+
+impl Protocol for Spread {
+    type State = u8;
+    fn population_size(&self) -> usize {
+        self.n
+    }
+    fn transition(&self, a: &u8, b: &u8, _rng: &mut dyn RngCore) -> (u8, u8) {
+        let m = (*a).max(*b);
+        (m, m)
+    }
+    fn is_null(&self, a: &u8, b: &u8) -> bool {
+        a == b
+    }
+}
+
+impl EnumerableProtocol for Spread {
+    fn num_states(&self) -> usize {
+        5
+    }
+    fn state_index(&self, s: &u8) -> usize {
+        *s as usize
+    }
+    fn state_from_index(&self, i: usize) -> u8 {
+        i as u8
+    }
+    fn interaction_partners(&self, i: usize) -> Option<Vec<usize>> {
+        Some((0..5).filter(|&j| j != i).collect())
     }
 }

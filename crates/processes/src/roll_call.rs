@@ -21,7 +21,7 @@
 //! (`O(n/64)` words per interaction, no engine overhead) that the
 //! engine-based runs are cross-validated against.
 
-use ppsim::{Configuration, InternableProtocol, Protocol};
+use ppsim::{Configuration, CorruptionTarget, FaultPlan, InternableProtocol, Protocol};
 use rand::{Rng, RngCore};
 
 /// A roll-call roster: the set of agent IDs an agent has heard of, as a
@@ -162,6 +162,38 @@ impl RollCall {
     pub fn is_complete(config: &Configuration<Roster>) -> bool {
         let n = config.len();
         config.iter().all(|r| r.len() == n)
+    }
+
+    /// A post-completion roster-wipe fault plan for the fault-injection
+    /// experiments (`exp_faults`): `bursts` periodic bursts, each wiping
+    /// `k` rosters to random singletons, starting at `40·n·ln n`
+    /// interactions — more than 25× the expected `R_n ~ 1.5·n·ln n`
+    /// completion time (Lemma 2.9), so the first burst lands after
+    /// completion except with negligible probability.
+    ///
+    /// The scheduling guard matters: roll call recovers a wiped ID only
+    /// from surviving copies, so a pre-completion wipe could erase the last
+    /// roster containing some agent's ID and make completion impossible.
+    /// After completion every untouched roster is full, so any burst of
+    /// `k ≤ n − 1` rosters leaves a full copy for the union to re-spread
+    /// from and the process re-completes (silence ⟺ completion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or leaves no untouched roster (`k ≥ n`).
+    pub fn roster_wipe_fault_plan(&self, bursts: u32, k: usize) -> FaultPlan<Roster> {
+        assert!(k >= 1, "a wipe must corrupt at least one roster");
+        assert!(k < self.n, "a wipe must leave at least one untouched roster");
+        let n = self.n;
+        let base = (40.0 * n as f64 * (n as f64).ln()) as u64;
+        FaultPlan::periodic(
+            base,
+            (base / 2).max(1),
+            bursts,
+            k,
+            CorruptionTarget::random(move |rng| Roster::singleton(n, rng.gen_range(0..n))),
+        )
+        .with_name("periodic-roster-wipe")
     }
 }
 
@@ -345,6 +377,36 @@ mod tests {
     // The statistical comparison of engine silence times against the
     // specialized sampler (all three routes sample R_n) lives in
     // tests/engine_equivalence.rs, which covers both engines.
+
+    #[test]
+    fn roster_wipes_re_complete_on_both_engines() {
+        use ppsim::Engine;
+        let n = 24;
+        let protocol = RollCall::new(n);
+        let plan = protocol.roster_wipe_fault_plan(2, n / 8);
+        let init = protocol.initial_configuration();
+        for engine in [Engine::Exact, Engine::Batched] {
+            let report = engine.run_until_silent_interned_with_faults(
+                protocol,
+                &init,
+                5,
+                u64::MAX >> 8,
+                &plan,
+            );
+            assert!(report.outcome.is_silent());
+            assert!(RollCall::is_complete(&report.final_config));
+            assert_eq!(report.injections.len(), 2);
+            // Both wipes land post-completion, so both are recovered from.
+            assert!(report.recovered_after_every_burst());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "untouched roster")]
+    fn roster_wipe_must_leave_a_survivor() {
+        let protocol = RollCall::new(4);
+        let _ = protocol.roster_wipe_fault_plan(1, 4);
+    }
 
     #[test]
     #[should_panic(expected = "at least two agents")]

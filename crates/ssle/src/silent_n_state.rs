@@ -14,10 +14,10 @@
 //! tests in this crate verify it is preserved by transitions.
 
 use ppsim::{
-    Configuration, EnumerableProtocol, LeaderElectionProtocol, Protocol, Rank, RankingProtocol,
-    Scenario,
+    Configuration, CorruptionTarget, EnumerableProtocol, FaultPlan, LeaderElectionProtocol,
+    Protocol, Rank, RankingProtocol, Scenario,
 };
-use rand::RngCore;
+use rand::{Rng, RngCore};
 
 /// The state of one agent: its claimed rank, in the paper's `0`-based
 /// convention `{0, …, n−1}`.
@@ -124,6 +124,34 @@ impl SilentNStateSsr {
     /// The already-correct configuration assigning agent `i` rank `i`.
     pub fn ranked_configuration(&self) -> Configuration<SilentRank> {
         Configuration::from_fn(self.n, |i| SilentRank(i as u32))
+    }
+
+    /// The protocol's adversarial mid-run fault plans, scaled to this
+    /// instance's `n`, for the fault-injection experiments (`exp_faults`)
+    /// — the [`ppsim::faults`] counterpart of
+    /// [`SilentNStateSsr::adversarial_scenarios`].
+    ///
+    /// Silence from a random start costs ~n³/2 interactions, so bursts are
+    /// scheduled in units of n³: the one-shot all-leader burst (k = n/4
+    /// agents forced to the leader rank) lands after the run has typically
+    /// stabilized, measuring recovery in isolation; the periodic and
+    /// Poisson random-rank plans (k = n/8 per burst) also fire while a
+    /// previous recovery is still in flight, exercising overlapping bursts.
+    pub fn adversarial_fault_plans(&self) -> Vec<FaultPlan<SilentRank>> {
+        let cube = (self.n as u64).pow(3);
+        let k_big = (self.n / 4).max(1);
+        let k_small = (self.n / 8).max(1);
+        let ranks = self.n as u32;
+        let random_rank =
+            || CorruptionTarget::random(move |rng| SilentRank(rng.gen_range(0..ranks)));
+        vec![
+            FaultPlan::one_shot(cube, k_big, CorruptionTarget::Fixed(SilentRank(0)))
+                .with_name("one-shot-all-leader"),
+            FaultPlan::periodic(cube, cube / 2, 3, k_small, random_rank())
+                .with_name("periodic-random-rank"),
+            FaultPlan::poisson(cube / 2, 3 * cube, k_small, random_rank())
+                .with_name("poisson-random-rank"),
+        ]
     }
 
     /// A barrier rank for `config` in the sense of Lemma 2.2: a rank `k` such
@@ -371,6 +399,40 @@ mod tests {
                 "scenario {:?} silenced into a wrong ranking",
                 scenario.name()
             );
+        }
+    }
+
+    #[test]
+    fn fault_plans_recover_to_the_ranking_on_both_engines() {
+        use ppsim::Engine;
+        let n = 12;
+        let protocol = SilentNStateSsr::new(n);
+        let plans = protocol.adversarial_fault_plans();
+        assert_eq!(plans.len(), 3);
+        // Every plan's bursts fit the protocol's population.
+        assert!(plans.iter().all(|p| p.burst_size() <= n));
+        for engine in [Engine::Exact, Engine::Batched] {
+            for plan in &plans {
+                let report = engine.run_until_silent_with_faults(
+                    protocol,
+                    &protocol.ranked_configuration(),
+                    13,
+                    u64::MAX >> 8,
+                    plan,
+                );
+                assert!(report.outcome.is_silent(), "{} did not re-silence", plan.name());
+                assert!(
+                    protocol.is_correctly_ranked(&report.final_config),
+                    "{} recovered into a wrong ranking",
+                    plan.name()
+                );
+                // Started silent: the pre-burst silence is at t = 0, and any
+                // fired burst is eventually recovered from.
+                assert_eq!(report.initial_silence, Some(ppsim::Interactions::ZERO));
+                if !report.injections.is_empty() {
+                    assert!(report.final_recovery().is_some());
+                }
+            }
         }
     }
 

@@ -488,3 +488,59 @@ fn batched_worst_case_time_matches_the_closed_form() {
          (allowance {allowance:.1})"
     );
 }
+
+/// Mid-run fault recovery is engine-independent: the same seeded
+/// [`FaultPlan`] (identical burst times and target states; victims drawn
+/// per-engine but from the same distribution) yields final-burst recovery
+/// times whose means agree across the exact, batched, and interned engines
+/// within the suite's 1.5·t·SE allowance.
+#[test]
+fn mean_fault_recovery_times_match_across_engines() {
+    let n = 24;
+    let trials = 24;
+    // Silence from a random start costs ~n³/2 interactions; burst after the
+    // run has typically stabilized, corrupting a quarter of the population
+    // back into leaders.
+    let plan = FaultPlan::one_shot(
+        (n as u64).pow(3), // well past the expected silence point
+        n / 4,
+        CorruptionTarget::Fixed(SilentRank(0)),
+    );
+    let recovery_times = |engine: Engine, interned: bool, seed: u64| -> Vec<f64> {
+        run_trials(&TrialPlan::new(trials, seed), |_, s| {
+            let protocol = SilentNStateSsr::new(n);
+            let mut rng = ChaCha8Rng::seed_from_u64(s ^ 0xFA);
+            let init = protocol.random_configuration(&mut rng);
+            let report = if interned {
+                Engine::Batched.run_until_silent_interned_with_faults(
+                    AsInterned(protocol),
+                    &init,
+                    s,
+                    BUDGET,
+                    &plan,
+                )
+            } else {
+                engine.run_until_silent_with_faults(protocol, &init, s, BUDGET, &plan)
+            };
+            assert!(report.outcome.is_silent());
+            assert!(protocol.is_correctly_ranked(&report.final_config));
+            let recovery = report.final_recovery().expect("the burst is recovered from");
+            recovery.to_parallel_time(n).value()
+        })
+    };
+    let exact = recovery_times(Engine::Exact, false, 211);
+    let batched = recovery_times(Engine::Batched, false, 223);
+    let interned = recovery_times(Engine::Batched, true, 227);
+    let (me, se_e) = mean_and_se(&exact);
+    for (label, samples) in [("batched", &batched), ("interned", &interned)] {
+        let (mb, se_b) = mean_and_se(samples);
+        let combined = (se_e * se_e + se_b * se_b).sqrt();
+        let allowance = 1.5 * t_quantile_975(trials - 1) * combined.max(1e-9);
+        assert!(
+            (me - mb).abs() <= allowance,
+            "exact mean recovery {me:.3} vs {label} mean {mb:.3} \
+             (gap {:.3} > 1.5·t·SE allowance {allowance:.3})",
+            (me - mb).abs()
+        );
+    }
+}
