@@ -3,12 +3,15 @@
 //! a tolerance.
 //!
 //! Speedups are same-machine wall-clock ratios (exact engine vs batched /
-//! interned engine), so the runner's absolute speed cancels to first order
-//! and the committed baselines stay comparable across machines; the
-//! tolerance (default 30%, generous for shared CI runners) absorbs the
-//! residual noise. Baseline cells the fresh file does not measure (quick
-//! sweeps cover a subset of the full committed sweep) are skipped, never
-//! failed.
+//! interned engine, or the model checker's verification-cost ratio), so the
+//! runner's absolute speed cancels to first order and the committed
+//! baselines stay comparable across machines; the tolerance (default 30%,
+//! generous for shared CI runners) absorbs the residual noise. Baseline
+//! cells the fresh file does not measure are skipped only while their
+//! *workload* is still measured at some size (quick sweeps cover a
+//! size-subset of the full committed sweep); a baseline workload with no
+//! fresh cell at all **fails** — a renamed benchmark must not silently
+//! drop out of the gate.
 //!
 //! ```text
 //! cargo run --release -p bench --bin check_bench -- \
@@ -33,6 +36,12 @@ fn print_report(baseline: &str, fresh: &str, report: &GateReport, tolerance: f64
     for key in &report.skipped {
         println!("   skipped (not measured in fresh run): {key}");
     }
+    for workload in &report.missing_workloads {
+        println!(
+            "   MISSING: workload {workload:?} has baseline speedups but no fresh cell at any \
+             size (renamed or dropped benchmark?)"
+        );
+    }
     for r in &report.regressions {
         println!(
             "   REGRESSION: {} — baseline speedup {:.1}x, fresh {:.1}x ({:.0}% of baseline)",
@@ -42,8 +51,8 @@ fn print_report(baseline: &str, fresh: &str, report: &GateReport, tolerance: f64
             r.ratio() * 100.0
         );
     }
-    if report.regressions.is_empty() {
-        println!("   ok: no speedup degraded beyond tolerance");
+    if report.passed() {
+        println!("   ok: no speedup degraded beyond tolerance, no workload missing");
     }
 }
 

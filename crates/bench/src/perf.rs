@@ -1,12 +1,16 @@
 //! Perf-baseline parsing and regression gating.
 //!
 //! The nightly CI job regenerates `BENCH_batched.json` / `BENCH_interned.json`
-//! and, instead of uploading them write-only, compares every recorded
-//! **speedup** against the committed baselines: a speedup that degrades
-//! beyond a tolerance fails the job. Speedups are wall-clock *ratios*
-//! (exact vs batched on the same machine), so the machine-speed factor of a
-//! shared runner cancels to first order, which is what makes a cross-machine
-//! gate meaningful at all; the tolerance absorbs the second-order noise.
+//! / `BENCH_mc.json` and, instead of uploading them write-only, compares
+//! every recorded **speedup** against the committed baselines: a speedup
+//! that degrades beyond a tolerance fails the job, and so does a baseline
+//! *workload* that vanishes from the fresh document (a renamed benchmark
+//! must not silently drop out of the gate). Speedups are wall-clock
+//! *ratios* (exact vs batched on the same machine; for the model checker,
+//! configurations verified per simulated interaction), so the machine-speed
+//! factor of a shared runner cancels to first order, which is what makes a
+//! cross-machine gate meaningful at all; the tolerance absorbs the
+//! second-order noise.
 //!
 //! The container has no JSON dependency (and must not grow one), so this
 //! module carries a [minimal recursive-descent parser](parse) for the strict
@@ -323,33 +327,57 @@ pub struct GateReport {
     /// Cells compared (present in both documents).
     pub compared: usize,
     /// Baseline cells the fresh document did not measure (e.g. `--quick`
-    /// sweeps fewer sizes); informational, never failing.
+    /// sweeps fewer sizes); informational as long as the cell's *workload*
+    /// is still measured at some size.
     pub skipped: Vec<String>,
+    /// Baseline **workloads** with no fresh cell at any size. A quick sweep
+    /// covers fewer sizes per workload but never zero, so a missing
+    /// workload means a benchmark was renamed or dropped — previously that
+    /// silently removed it from the gate; now it fails the gate.
+    pub missing_workloads: Vec<String>,
     /// Cells whose speedup degraded beyond the tolerance.
     pub regressions: Vec<Regression>,
 }
 
 impl GateReport {
-    /// Whether the gate passes.
+    /// Whether the gate passes: no regression and no baseline workload
+    /// missing from the fresh document.
     pub fn passed(&self) -> bool {
-        self.regressions.is_empty()
+        self.regressions.is_empty() && self.missing_workloads.is_empty()
     }
+}
+
+/// The workload part of a `"<workload> @ n=<n>"` cell key.
+fn workload_of(key: &str) -> &str {
+    key.rsplit_once(" @ n=").map_or(key, |(w, _)| w)
 }
 
 /// Compares every baseline speedup cell against the fresh measurement:
 /// a cell regresses when `fresh < baseline · (1 − tolerance)`.
 ///
-/// Cells only in the baseline are skipped (quick CI sweeps measure a subset
-/// of the committed full sweep); cells only in the fresh document are new
-/// coverage and pass by construction.
+/// Cells only in the baseline are skipped when their workload is still
+/// measured at some other size (quick CI sweeps measure a size-subset of
+/// the committed full sweep); a baseline workload with **no** fresh cell at
+/// all is reported in [`GateReport::missing_workloads`] and fails the gate
+/// — a renamed benchmark must not silently drop out of the regression gate.
+/// Cells only in the fresh document are new coverage and pass by
+/// construction.
 pub fn compare_speedups(baseline: &Json, fresh: &Json, tolerance: f64) -> GateReport {
     let fresh_records = speedup_records(fresh);
     let mut compared = 0;
     let mut skipped = Vec::new();
+    let mut missing_workloads = Vec::new();
     let mut regressions = Vec::new();
     for base in speedup_records(baseline) {
         match fresh_records.iter().find(|r| r.key == base.key) {
-            None => skipped.push(base.key),
+            None => {
+                let workload = workload_of(&base.key);
+                if fresh_records.iter().any(|r| workload_of(&r.key) == workload) {
+                    skipped.push(base.key);
+                } else if !missing_workloads.iter().any(|w| w == workload) {
+                    missing_workloads.push(workload.to_owned());
+                }
+            }
             Some(fresh) => {
                 compared += 1;
                 if fresh.speedup < base.speedup * (1.0 - tolerance) {
@@ -362,7 +390,7 @@ pub fn compare_speedups(baseline: &Json, fresh: &Json, tolerance: f64) -> GateRe
             }
         }
     }
-    GateReport { compared, skipped, regressions }
+    GateReport { compared, skipped, missing_workloads, regressions }
 }
 
 #[cfg(test)]
@@ -392,7 +420,8 @@ mod tests {
 
     #[test]
     fn parses_the_committed_baselines() {
-        for path in ["../../BENCH_batched.json", "../../BENCH_interned.json"] {
+        for path in ["../../BENCH_batched.json", "../../BENCH_interned.json", "../../BENCH_mc.json"]
+        {
             let text = std::fs::read_to_string(path).expect("committed baseline exists");
             let doc = parse(&text).expect("baseline parses");
             let records = speedup_records(&doc);
@@ -435,6 +464,44 @@ mod tests {
         assert!(report.passed());
         assert_eq!(report.compared, 1);
         assert_eq!(report.skipped, vec!["w @ n=1000", "w @ n=10000"]);
+        assert!(report.missing_workloads.is_empty());
+    }
+
+    #[test]
+    fn renamed_workloads_fail_the_gate() {
+        // A renamed benchmark's cells all vanish from the fresh document;
+        // before the miss path existed they were silently "skipped" and the
+        // gate still passed. Now the missing workload fails it.
+        let baseline = parse(
+            r#"{"results": [
+                {"workload": "old-name", "n": 10, "engine": "speedup", "speedup": 2.0},
+                {"workload": "old-name", "n": 100, "engine": "speedup", "speedup": 3.0},
+                {"workload": "kept", "n": 10, "engine": "speedup", "speedup": 4.0}
+            ]}"#,
+        )
+        .unwrap();
+        let fresh = parse(
+            r#"{"results": [
+                {"workload": "new-name", "n": 10, "engine": "speedup", "speedup": 2.0},
+                {"workload": "kept", "n": 10, "engine": "speedup", "speedup": 4.1}
+            ]}"#,
+        )
+        .unwrap();
+        let report = compare_speedups(&baseline, &fresh, 0.3);
+        assert!(!report.passed(), "a fully missing workload must fail the gate");
+        assert_eq!(report.missing_workloads, vec!["old-name"]);
+        assert!(report.regressions.is_empty());
+        assert_eq!(report.compared, 1);
+        // The two old-name cells collapse into one missing-workload entry,
+        // not two skipped cells.
+        assert!(report.skipped.is_empty());
+    }
+
+    #[test]
+    fn workload_extraction_handles_keys_without_n() {
+        assert_eq!(workload_of("w @ n=100"), "w");
+        assert_eq!(workload_of("merged-collision @ n=1000"), "merged-collision");
+        assert_eq!(workload_of("oddball"), "oddball");
     }
 
     #[test]

@@ -245,6 +245,12 @@ impl<S: Clone> FaultPlan<S> {
         self.k
     }
 
+    /// The target-state rule of the plan (used by `mcheck`'s exhaustive
+    /// fault-closure check to enumerate every state a burst can force).
+    pub fn target(&self) -> &CorruptionTarget<S> {
+        &self.target
+    }
+
     /// The schedule of the plan.
     pub fn schedule(&self) -> FaultSchedule {
         self.schedule

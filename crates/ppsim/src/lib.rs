@@ -93,6 +93,7 @@ pub mod error;
 pub mod execution;
 pub mod faults;
 pub mod interned;
+pub mod mcheck;
 pub mod protocol;
 pub mod runner;
 pub mod scenario;
@@ -109,6 +110,12 @@ pub use error::SimError;
 pub use execution::{ConvergenceOutcome, RunOutcome, Simulation, StopReason};
 pub use faults::{CorruptionTarget, FaultEvent, FaultHost, FaultPlan, FaultReport, FaultSchedule};
 pub use interned::{AsInterned, InternableProtocol, InternedSimulation, StateInterner};
+pub use mcheck::{
+    check_convergence_from, check_fault_plan_closure, check_self_stabilization,
+    expected_silence_time_exact, explore_reachable, CorrectnessOracle, ExactSilenceTime,
+    FaultClosureReport, MCheckError, MCheckOptions, ModelChecker, ReachabilityReport,
+    ReachableSpace, StabilizationReport,
+};
 pub use protocol::{LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
 pub use runner::{
     run_engine_trials, run_fault_trials, run_interned_fault_trials,
@@ -133,6 +140,12 @@ pub mod prelude {
         CorruptionTarget, FaultEvent, FaultHost, FaultPlan, FaultReport, FaultSchedule,
     };
     pub use crate::interned::{AsInterned, InternableProtocol, InternedSimulation, StateInterner};
+    pub use crate::mcheck::{
+        check_convergence_from, check_fault_plan_closure, check_self_stabilization,
+        expected_silence_time_exact, explore_reachable, CorrectnessOracle, ExactSilenceTime,
+        FaultClosureReport, MCheckError, MCheckOptions, ModelChecker, ReachabilityReport,
+        StabilizationReport,
+    };
     pub use crate::protocol::{LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
     pub use crate::runner::{
         run_engine_trials, run_fault_trials, run_interned_fault_trials,

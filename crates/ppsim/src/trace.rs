@@ -1,5 +1,28 @@
 //! Recording of execution traces: labelled events and configuration
-//! snapshots, used by the figure-reproduction experiments and the examples.
+//! snapshots.
+//!
+//! # Status and scope
+//!
+//! [`Trace`] is a passive recording container — **no engine emits traces on
+//! its own**. The exact engine ([`crate::Simulation`]) exposes per-agent
+//! configurations a caller can snapshot between `run_for` segments; the
+//! count-based engines ([`crate::BatchedSimulation`],
+//! [`crate::InternedSimulation`]) jump over entire null runs, so a
+//! per-interaction trace is not even well defined there — only multiset
+//! snapshots at the applied transitions are, via `to_configuration`. For
+//! that reason trace capture is deliberately **not** routed through
+//! [`crate::Engine`]: a trace-shaped API over the batched engines would
+//! promise a granularity they cannot deliver (see `ARCHITECTURE.md`,
+//! "Traces and counterexamples").
+//!
+//! The type's load-bearing consumer is the model checker:
+//! [`crate::mcheck`] returns **counterexample traces** — shortest forward
+//! paths of non-null transitions into a witness configuration, one snapshot
+//! per step — from
+//! [`crate::mcheck::StabilizationReport::counterexample_trace`] when a
+//! verification fails. There the step-indexed snapshot sequence is exactly
+//! the right format, because the checker reasons in applied transitions,
+//! not wall-clock interactions.
 
 use crate::config::Configuration;
 use crate::time::Interactions;

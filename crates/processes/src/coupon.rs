@@ -6,7 +6,7 @@
 //! coupons per step, completing after `~ (1/2)·n·ln n` interactions in
 //! expectation.
 
-use ppsim::{Configuration, EnumerableProtocol, Protocol, Scenario};
+use ppsim::{Configuration, CorrectnessOracle, EnumerableProtocol, Protocol, Scenario};
 use rand::{Rng, RngCore};
 
 /// The participation status of one agent in the pairwise coupon collector.
@@ -124,6 +124,17 @@ impl EnumerableProtocol for Coupon {
 
     fn interaction_partners(&self, index: usize) -> Option<Vec<usize>> {
         Some(if index == 0 { vec![0, 1] } else { vec![0] })
+    }
+}
+
+/// The verification target for [`ppsim::mcheck::check_self_stabilization`]:
+/// full participation (no fresh agent left). Silence ⟺ completion, since
+/// any fresh agent keeps a non-null pair alive; the model checker proves
+/// convergence from every configuration and solves the pairwise
+/// coupon-collector expectation exactly.
+impl CorrectnessOracle for Coupon {
+    fn is_correct(&self, config: &Configuration<CouponState>) -> bool {
+        config.iter().all(|s| matches!(s, CouponState::Collected))
     }
 }
 

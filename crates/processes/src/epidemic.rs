@@ -12,7 +12,7 @@
 //! geometric waiting times (the number of infected agents is a sufficient
 //! statistic for this process).
 
-use ppsim::{Configuration, EnumerableProtocol, Protocol, Scenario};
+use ppsim::{Configuration, CorrectnessOracle, EnumerableProtocol, Protocol, Scenario};
 use rand::distributions::{Distribution, Uniform};
 use rand::{Rng, RngCore};
 
@@ -150,6 +150,20 @@ impl EnumerableProtocol for Epidemic {
 
     fn interaction_partners(&self, index: usize) -> Option<Vec<usize>> {
         Some(vec![1 - index])
+    }
+}
+
+/// The verification target for [`ppsim::mcheck::check_self_stabilization`]:
+/// **consensus** on the infection status. Silence ⟺ everyone agrees (a
+/// mixed population always holds a non-null `(Infected, Susceptible)`
+/// pair), and the exact expected silence time from a single source is
+/// `(n − 1)·H_{n−1}` — Lemma 2.7's closed form, which the model checker's
+/// absorbing-chain solve reproduces to machine precision.
+impl CorrectnessOracle for Epidemic {
+    fn is_correct(&self, config: &Configuration<EpidemicState>) -> bool {
+        let mut states = config.iter();
+        let first = states.next();
+        states.all(|s| Some(s) == first)
     }
 }
 

@@ -13,7 +13,9 @@
 //!   agents run exactly this process so that, with constant probability, a
 //!   single leader remains when the population awakens.
 
-use ppsim::{Configuration, EnumerableProtocol, LeaderElectionProtocol, Protocol};
+use ppsim::{
+    Configuration, CorrectnessOracle, EnumerableProtocol, LeaderElectionProtocol, Protocol,
+};
 use rand::distributions::Uniform;
 use rand::{Rng, RngCore};
 
@@ -109,6 +111,21 @@ impl EnumerableProtocol for Fratricide {
 
     fn interaction_partners(&self, index: usize) -> Option<Vec<usize>> {
         Some(if index == 0 { vec![0] } else { vec![] })
+    }
+}
+
+/// The verification target for [`ppsim::mcheck::check_self_stabilization`]:
+/// **at most** one leader — deliberately not "exactly one". Fratricide
+/// cannot create leaders, so the all-followers configuration is silent and
+/// leaderless; judged by the strict unique-leader oracle the model checker
+/// *falsifies* self-stabilization with that configuration as witness, which
+/// is Observation 2.6's reason silent SSLE needs `Ω(n)` time machine-checked
+/// (see this crate's `mcheck` integration tests). Under the honest
+/// at-most-one oracle every configuration converges, and the exact expected
+/// silence time from all leaders is `(n − 1)²` (proof of Lemma 4.2).
+impl CorrectnessOracle for Fratricide {
+    fn is_correct(&self, config: &Configuration<LeaderState>) -> bool {
+        self.leader_count(config) <= 1
     }
 }
 

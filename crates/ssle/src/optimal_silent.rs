@@ -23,8 +23,8 @@
 //! `O(n log n)` with high probability (Corollary 4.4).
 
 use ppsim::{
-    Configuration, EnumerableProtocol, LeaderElectionProtocol, Protocol, Rank, RankingProtocol,
-    Scenario,
+    Configuration, CorrectnessOracle, EnumerableProtocol, LeaderElectionProtocol, Protocol, Rank,
+    RankingProtocol, Scenario,
 };
 use rand::RngCore;
 
@@ -466,6 +466,20 @@ impl RankingProtocol for OptimalSilentSsr {
 impl LeaderElectionProtocol for OptimalSilentSsr {
     fn is_leader(&self, state: &OptimalSilentState) -> bool {
         matches!(state, OptimalSilentState::Settled { rank: 1, .. })
+    }
+}
+
+/// The verification target for [`ppsim::mcheck::check_self_stabilization`]:
+/// a valid ranking (every agent settled, every rank exactly once). With the
+/// deliberately tiny timers of
+/// [`crate::params::OptimalSilentParams::mcheck`] the model checker proves
+/// silent ⟺ correctly ranked and convergence from **every** configuration of
+/// the full lattice at small `n` — timers only shift the constants of
+/// Theorem 4.3, not the correctness argument, and the exhaustive check is
+/// exactly quantifier-faithful to "from any initial configuration".
+impl CorrectnessOracle for OptimalSilentSsr {
+    fn is_correct(&self, config: &Configuration<OptimalSilentState>) -> bool {
+        self.is_correctly_ranked(config)
     }
 }
 

@@ -108,6 +108,31 @@ impl OptimalSilentParams {
             e_max: (e_mult as u64 * n as u64) as u32,
         }
     }
+
+    /// Deliberately **tiny** timers for exhaustive model checking
+    /// (`ppsim::mcheck`): the state count is `3n + (Emax + 1) +
+    /// 2·(Rmax + 1)·(Dmax + 1)`, and the full configuration lattice
+    /// `C(n + |S| − 1, |S| − 1)` must stay enumerable, so every counter is
+    /// cut to the smallest value that keeps the protocol *correct* (timer
+    /// sizes only shift the constants of the paper's expected-time theorems,
+    /// never the self-stabilization argument, which is exactly what the
+    /// checker verifies): `Rmax = 2` still lets one triggered agent's reset
+    /// wave cover a population of `n ≤ 6` along a chain of draggings,
+    /// `Dmax = 3` leaves dormant leader candidates two fratricide meetings
+    /// before awakening, and `Emax = 1` forces an unsettled agent to be
+    /// recruited on its first interaction or trigger a reset.
+    ///
+    /// The recommended `Θ(n)` timers make stabilization *fast*; these make
+    /// the correctness question *decidable* at small `n`. Use
+    /// [`OptimalSilentParams::recommended`] for simulations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn mcheck(n: usize) -> Self {
+        assert!(n >= 2, "population must have at least two agents");
+        OptimalSilentParams { n, reset: ResetParams { r_max: 2, d_max: 3 }, e_max: 1 }
+    }
 }
 
 /// Parameters of `Sublinear-Time-SSR` (Protocol 5) and its

@@ -14,8 +14,8 @@
 //! tests in this crate verify it is preserved by transitions.
 
 use ppsim::{
-    Configuration, CorruptionTarget, EnumerableProtocol, FaultPlan, LeaderElectionProtocol,
-    Protocol, Rank, RankingProtocol, Scenario,
+    Configuration, CorrectnessOracle, CorruptionTarget, EnumerableProtocol, FaultPlan,
+    LeaderElectionProtocol, Protocol, Rank, RankingProtocol, Scenario,
 };
 use rand::{Rng, RngCore};
 
@@ -259,6 +259,18 @@ impl EnumerableProtocol for SilentNStateSsr {
 impl LeaderElectionProtocol for SilentNStateSsr {
     fn is_leader(&self, state: &SilentRank) -> bool {
         state.0 == 0
+    }
+}
+
+/// The verification target for [`ppsim::mcheck::check_self_stabilization`]:
+/// a valid ranking (every rank exactly once). At small `n` the model checker
+/// proves silent ⟺ correctly ranked over the **entire**
+/// `C(2n − 1, n)`-configuration lattice and reproduces Theorem 2.4's exact
+/// worst-case expectation `(n − 1)·C(n, 2)` via
+/// [`ppsim::mcheck::expected_silence_time_exact`].
+impl CorrectnessOracle for SilentNStateSsr {
+    fn is_correct(&self, config: &Configuration<SilentRank>) -> bool {
+        self.is_correctly_ranked(config)
     }
 }
 

@@ -1,0 +1,189 @@
+//! Exhaustive model-checking suites for the paper's ranking protocols: the
+//! statements the simulators sample are *proved* here at small `n`, and the
+//! exact absorbing-chain expectations are cross-validated against both the
+//! closed forms of `analysis::theory` and the exact engine's sample means.
+
+use analysis::{t_quantile_975, Summary};
+use ppsim::mcheck::{
+    check_fault_plan_closure, check_self_stabilization, expected_silence_time_exact, MCheckOptions,
+};
+use ppsim::{run_trials, Configuration, Simulation, TrialPlan};
+use proptest::prelude::*;
+use ssle::{OptimalSilentParams, OptimalSilentSsr, SilentNStateSsr};
+
+/// Mean-vs-exact agreement with the repo's standard 1.5·t·SE allowance
+/// (designed false-failure ≈ 0.2% per cell; see `engine_equivalence.rs`).
+fn assert_mean_matches_exact(samples: &[f64], exact: f64, context: &str) {
+    let summary = Summary::from_samples(samples);
+    let allowance = 1.5 * t_quantile_975(summary.count - 1) * summary.standard_error();
+    assert!(
+        (summary.mean - exact).abs() <= allowance.max(1e-9),
+        "{context}: simulated mean {} vs exact {exact} (allowance {allowance})",
+        summary.mean
+    );
+}
+
+/// 200 exact-engine silence times (in interactions) from one configuration.
+fn exact_engine_silence_times<P>(protocol: P, config: &Configuration<P::State>) -> Vec<f64>
+where
+    P: ppsim::Protocol + Clone + Send + Sync,
+    P::State: Clone,
+{
+    let plan = TrialPlan::new(200, 0xE5EED);
+    run_trials(&plan, |_, seed| {
+        let mut sim = Simulation::new(protocol.clone(), config.clone(), seed);
+        let outcome = sim.run_until_silent(u64::MAX >> 8);
+        assert!(outcome.is_silent());
+        outcome.interactions.count() as f64
+    })
+}
+
+#[test]
+fn silent_n_state_self_stabilization_is_proved_exhaustively() {
+    for n in 2..=5usize {
+        let report =
+            check_self_stabilization(SilentNStateSsr::new(n), &MCheckOptions::default()).unwrap();
+        assert!(report.verified(), "n = {n} must verify");
+        assert_eq!(
+            report.configurations as u128,
+            ppsim::mcheck::lattice_size(n, n).unwrap(),
+            "full lattice enumerated"
+        );
+        // Exactly one silent multiset: every rank present once (the valid
+        // rankings all share it — agents are anonymous).
+        assert_eq!(report.silent, 1, "one silent multiset at n = {n}");
+        assert_eq!(report.correct, 1);
+    }
+}
+
+#[test]
+fn silent_n_state_worst_case_time_is_exactly_the_theorem_2_4_closed_form() {
+    for n in 2..=6usize {
+        let protocol = SilentNStateSsr::new(n);
+        let exact = expected_silence_time_exact(
+            protocol,
+            &protocol.worst_case_configuration(),
+            &MCheckOptions::default(),
+        )
+        .unwrap();
+        let closed_form = analysis::theory::silent_n_state_worst_case_interactions(n);
+        assert!(
+            (exact.expected_interactions - closed_form).abs() <= 1e-9 * closed_form,
+            "n = {n}: {} vs (n−1)·C(n,2) = {closed_form}",
+            exact.expected_interactions
+        );
+        // The worst-case chain is the bottleneck path: n − 1 duplicate
+        // positions plus the silent configuration.
+        assert_eq!(exact.states, n);
+    }
+}
+
+#[test]
+fn silent_n_state_n2_closed_forms_pin_the_solver() {
+    // n = 2: every non-silent configuration is one bump away from the
+    // ranking and every ordered pair is active, so E = 1 interaction from
+    // both (2, 0) and (0, 2); the worst case (n−1)²/2 parallel = 1/2.
+    let protocol = SilentNStateSsr::new(2);
+    for config in [protocol.all_same_rank_configuration(), protocol.worst_case_configuration()] {
+        let exact =
+            expected_silence_time_exact(protocol, &config, &MCheckOptions::default()).unwrap();
+        assert!((exact.expected_interactions - 1.0).abs() < 1e-12);
+        assert!((exact.expected_parallel - 0.5).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn optimal_silent_self_stabilization_is_proved_exhaustively_at_n3() {
+    let protocol = OptimalSilentSsr::new(OptimalSilentParams::mcheck(3));
+    let report = check_self_stabilization(protocol, &MCheckOptions::default()).unwrap();
+    assert!(
+        report.verified(),
+        "n = 3: silent∧¬correct {}, correct∧¬silent {}, non-convergent {} of {} (witness {:?})",
+        report.silent_incorrect,
+        report.correct_nonsilent,
+        report.non_convergent,
+        report.configurations,
+        report.non_convergent_witness,
+    );
+    // Silent ⟺ correct was checked; silent multisets are the complete
+    // rankings (one per combination of child counts consistent with every
+    // rank present once — ranks alone decide nullness).
+    assert!(report.silent >= 1);
+    assert_eq!(report.silent, report.correct);
+}
+
+#[test]
+fn optimal_silent_exact_time_matches_the_exact_engine() {
+    let protocol = OptimalSilentSsr::new(OptimalSilentParams::mcheck(3));
+    let config = protocol.adversarial_all_same_rank(2);
+    let exact = expected_silence_time_exact(protocol, &config, &MCheckOptions::default()).unwrap();
+    let samples = exact_engine_silence_times(protocol, &config);
+    assert_mean_matches_exact(&samples, exact.expected_interactions, "optimal-silent all-rank-2");
+}
+
+#[test]
+fn silent_n_state_fault_closure_holds_exhaustively() {
+    // Exhaustive version of the fault-recovery claim: every burst the plan
+    // can fire, on every configuration reachable from the ranked start,
+    // lands inside the verified-convergent set (= the whole lattice).
+    let n = 5;
+    let protocol = SilentNStateSsr::new(n);
+    for plan in protocol.adversarial_fault_plans() {
+        let report = check_fault_plan_closure(
+            protocol,
+            &plan,
+            &[protocol.ranked_configuration(), protocol.worst_case_configuration()],
+            &MCheckOptions::default(),
+        )
+        .unwrap();
+        assert!(report.verified(), "{}: {} violations", plan.name(), report.violations);
+        assert!(report.perturbations > 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The exact expected silence time lies inside the (1.5×-widened) 95%
+    /// CI of 200 exact-engine trials, for every enumerable scenario family
+    /// of `Silent-n-state-SSR` at n ∈ {2, 3, 4}.
+    #[test]
+    fn silent_n_state_scenario_times_match_the_exact_engine(seed in 0u64..1_000, n in 2usize..=4) {
+        for scenario in SilentNStateSsr::adversarial_scenarios() {
+            if n < 3 && scenario.name() == "near-silent-wrong" {
+                continue; // family needs n ≥ 3
+            }
+            let protocol = SilentNStateSsr::new(n);
+            let config = scenario.configuration(&protocol, seed);
+            let exact =
+                expected_silence_time_exact(protocol, &config, &MCheckOptions::default()).unwrap();
+            let samples = exact_engine_silence_times(protocol, &config);
+            assert_mean_matches_exact(
+                &samples,
+                exact.expected_interactions,
+                &format!("silent-n-state {} n={n} seed={seed}", scenario.name()),
+            );
+        }
+    }
+
+    /// Same agreement for every scenario family of `Optimal-Silent-SSR`
+    /// under the mcheck timers at n ∈ {2, 3}.
+    #[test]
+    fn optimal_silent_scenario_times_match_the_exact_engine(seed in 0u64..1_000, n in 2usize..=3) {
+        for scenario in OptimalSilentSsr::adversarial_scenarios() {
+            if n < 3 && scenario.name() == "near-silent-wrong" {
+                continue; // family needs n ≥ 3
+            }
+            let protocol = OptimalSilentSsr::new(OptimalSilentParams::mcheck(n));
+            let config = scenario.configuration(&protocol, seed);
+            let exact =
+                expected_silence_time_exact(protocol, &config, &MCheckOptions::default()).unwrap();
+            let samples = exact_engine_silence_times(protocol, &config);
+            assert_mean_matches_exact(
+                &samples,
+                exact.expected_interactions,
+                &format!("optimal-silent {} n={n} seed={seed}", scenario.name()),
+            );
+        }
+    }
+}

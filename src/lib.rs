@@ -7,7 +7,9 @@
 //! This facade crate re-exports the four workspace crates:
 //!
 //! * [`ppsim`] — the population-protocol simulation substrate (uniformly
-//!   random scheduler, configurations, executions, multi-trial runner);
+//!   random scheduler, configurations, executions, multi-trial runner) and
+//!   the exact configuration-space model checker (`ppsim::mcheck`), which
+//!   proves the self-stabilization claims exhaustively at small `n`;
 //! * [`processes`] — the foundational stochastic processes of Section 2.1
 //!   (epidemic, roll call, bounded epidemic, fratricide, coupon collector,
 //!   binary-tree ranking, synthetic coins);
