@@ -31,5 +31,5 @@ pub use fit::{
     fit_linear, fit_power_law, fit_proportional, LinearFit, PowerLawFit, ProportionalFit,
 };
 pub use harmonic::{harmonic, harmonic_partial, ln};
-pub use stats::{t_quantile_975, Summary};
+pub use stats::{chi_square_critical_999, t_quantile_975, Summary};
 pub use table::Table;

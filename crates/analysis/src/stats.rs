@@ -30,6 +30,30 @@ pub fn t_quantile_975(df: usize) -> f64 {
     }
 }
 
+/// Upper 0.999 quantile of the chi-square distribution with `df` degrees of
+/// freedom, via the Wilson–Hilferty cube-root normal approximation
+/// `χ²_q ≈ df · (1 − 2/(9·df) + z_q·√(2/(9·df)))³` with `z_{0.999} = 3.0902`.
+///
+/// This is the acceptance threshold of the sampler goodness-of-fit suites
+/// (`crates/ppsim/tests/sampling_stats.rs`): each chi-square statistic is
+/// compared against the 0.999 quantile, so a correct sampler fails a single
+/// comparison with probability ~10⁻³ — the same designed false-failure
+/// budget as the 1.5·t·SE equivalence suites. The approximation is within
+/// ~3% of the exact quantile for every `df ≥ 1`, erring on the **large**
+/// side at small `df` (slightly conservative: fewer false failures, never
+/// more).
+///
+/// # Panics
+///
+/// Panics if `df == 0` (no free cells — the statistic is identically zero).
+pub fn chi_square_critical_999(df: usize) -> f64 {
+    assert!(df > 0, "chi-square needs at least one degree of freedom");
+    let k = df as f64;
+    let z = 3.090_232_306_167_813_5; // Φ⁻¹(0.999)
+    let h = 2.0 / (9.0 * k);
+    k * (1.0 - h + z * h.sqrt()).powi(3)
+}
+
 /// Descriptive statistics of a sample of `f64` observations.
 ///
 /// # Example
@@ -162,6 +186,27 @@ impl fmt::Display for Summary {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn chi_square_critical_tracks_the_exact_quantiles() {
+        // Exact χ²_{0.999} quantiles (standard tables): the Wilson–Hilferty
+        // approximation must land within 3.5% and never undershoot by more
+        // than rounding (undershooting would raise the false-failure rate).
+        let exact =
+            [(1, 10.828), (2, 13.816), (5, 20.515), (9, 27.877), (19, 43.820), (63, 103.442)];
+        for &(df, q) in &exact {
+            let approx = chi_square_critical_999(df);
+            let rel = (approx - q) / q;
+            assert!(rel.abs() < 0.035, "df={df}: approx {approx} vs exact {q}");
+            assert!(rel > -0.005, "df={df}: approx {approx} undershoots exact {q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degree")]
+    fn chi_square_critical_rejects_zero_df() {
+        let _ = chi_square_critical_999(0);
+    }
 
     #[test]
     fn basic_statistics() {

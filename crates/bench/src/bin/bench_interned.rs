@@ -160,8 +160,9 @@ fn roll_call_measure(n: usize, trials: usize, engine: Engine) -> Measurement {
                 wall += start.elapsed().as_secs_f64();
                 interactions += outcome.interactions.count() as f64;
             }
-            Engine::Batched => {
-                let mut sim = InternedSimulation::new(protocol, &config, trial as u64);
+            Engine::Batched | Engine::BatchedCounts => {
+                let mut sim = InternedSimulation::new(protocol, &config, trial as u64)
+                    .with_sampling_mode(engine.sampling_mode());
                 let outcome = sim.run_until_silent(u64::MAX >> 8);
                 assert!(outcome.is_silent());
                 wall += start.elapsed().as_secs_f64();

@@ -49,14 +49,15 @@ fn main() {
 }
 
 fn silent_n_state(quick: bool) {
-    println!("== Silent-n-state-SSR: adversarial starts on both engines ==\n");
+    println!("== Silent-n-state-SSR: adversarial starts on all engines ==\n");
     let ns: &[usize] = if quick { &[16, 32, 64] } else { &[16, 32, 64, 128, 256] };
     let trials = if quick { 4 } else { 10 };
 
     let mut scenarios = SilentNStateSsr::adversarial_scenarios();
     scenarios.push(Scenario::new("clean-start", |p: &SilentNStateSsr, _| p.ranked_configuration()));
 
-    let mut table = Table::new(vec!["scenario", "n", "exact mean", "batched mean"]);
+    let mut table =
+        Table::new(vec!["scenario", "n", "exact mean", "batched mean", "batchcount mean"]);
     let mut worst_case_means = Vec::new();
     for scenario in &scenarios {
         for &n in ns {
@@ -66,7 +67,7 @@ fn silent_n_state(quick: bool) {
             // regression exhausts it (and panics below) instead of hanging.
             let budget = 20 * (n as u64).pow(3) + 1_000_000;
             let mut means = Vec::new();
-            for engine in [Engine::Exact, Engine::Batched] {
+            for engine in [Engine::Exact, Engine::Batched, Engine::BatchedCounts] {
                 let reports = run_scenario_trials(
                     &TrialPlan::new(trials, 41 + n as u64),
                     engine,
@@ -102,6 +103,7 @@ fn silent_n_state(quick: bool) {
                 n.to_string(),
                 format_value(means[0]),
                 format_value(means[1]),
+                format_value(means[2]),
             ]);
         }
     }
@@ -121,7 +123,7 @@ fn silent_n_state(quick: bool) {
 }
 
 fn optimal_silent(quick: bool) {
-    println!("== Optimal-Silent-SSR: adversarial starts on both engines ==\n");
+    println!("== Optimal-Silent-SSR: adversarial starts on all engines ==\n");
     let ns: &[usize] = if quick { &[12] } else { &[16, 32] };
     let trials = if quick { 3 } else { 8 };
 
@@ -129,11 +131,12 @@ fn optimal_silent(quick: bool) {
     scenarios
         .push(Scenario::new("clean-start", |p: &OptimalSilentSsr, _| p.post_reset_configuration()));
 
-    let mut table = Table::new(vec!["scenario", "n", "exact mean", "batched mean"]);
+    let mut table =
+        Table::new(vec!["scenario", "n", "exact mean", "batched mean", "batchcount mean"]);
     for scenario in &scenarios {
         for &n in ns {
             let mut means = Vec::new();
-            for engine in [Engine::Exact, Engine::Batched] {
+            for engine in [Engine::Exact, Engine::Batched, Engine::BatchedCounts] {
                 let times = scenario_convergence_times_with_engine(
                     move |_, _| OptimalSilentSsr::new(OptimalSilentParams::recommended(n)),
                     scenario,
@@ -153,6 +156,7 @@ fn optimal_silent(quick: bool) {
                 n.to_string(),
                 format_value(means[0]),
                 format_value(means[1]),
+                format_value(means[2]),
             ]);
         }
     }
@@ -165,7 +169,7 @@ fn optimal_silent(quick: bool) {
 }
 
 fn sublinear(quick: bool) {
-    println!("== Sublinear-Time-SSR: adversarial starts on both engines ==\n");
+    println!("== Sublinear-Time-SSR: adversarial starts on all engines ==\n");
     let (ns, trials): (&[usize], usize) = if quick { (&[10], 2) } else { (&[12, 16], 3) };
     let h = 2;
 
@@ -173,12 +177,13 @@ fn sublinear(quick: bool) {
     scenarios
         .push(Scenario::new("clean-start", |p: &SublinearTimeSsr, rng| p.fresh_configuration(rng)));
 
-    let mut table = Table::new(vec!["scenario", "n", "exact mean", "interned mean"]);
+    let mut table =
+        Table::new(vec!["scenario", "n", "exact mean", "interned mean", "batchcount mean"]);
     for scenario in &scenarios {
         for &n in ns {
             let budget = 400_000u64 * n as u64;
             let mut means = Vec::new();
-            for engine in [Engine::Exact, Engine::Batched] {
+            for engine in [Engine::Exact, Engine::Batched, Engine::BatchedCounts] {
                 let times = sublinear_scenario_times_with_engine(
                     n,
                     h,
@@ -195,6 +200,7 @@ fn sublinear(quick: bool) {
                 n.to_string(),
                 format_value(means[0]),
                 format_value(means[1]),
+                format_value(means[2]),
             ]);
         }
     }
@@ -212,10 +218,17 @@ fn epidemic_and_coupon(quick: bool) {
     let n = if quick { 50 } else { 200 };
     let trials = if quick { 10 } else { 40 };
 
-    let mut table = Table::new(vec!["process", "scenario", "n", "exact mean", "batched mean"]);
+    let mut table = Table::new(vec![
+        "process",
+        "scenario",
+        "n",
+        "exact mean",
+        "batched mean",
+        "batchcount mean",
+    ]);
     for scenario in Epidemic::adversarial_scenarios() {
         let mut means = Vec::new();
-        for engine in [Engine::Exact, Engine::Batched] {
+        for engine in [Engine::Exact, Engine::Batched, Engine::BatchedCounts] {
             let times = scenario_times_with_engine(
                 move |_, _| Epidemic::new(n),
                 &scenario,
@@ -232,11 +245,12 @@ fn epidemic_and_coupon(quick: bool) {
             n.to_string(),
             format_value(means[0]),
             format_value(means[1]),
+            format_value(means[2]),
         ]);
     }
     for scenario in Coupon::adversarial_scenarios() {
         let mut means = Vec::new();
-        for engine in [Engine::Exact, Engine::Batched] {
+        for engine in [Engine::Exact, Engine::Batched, Engine::BatchedCounts] {
             let times = scenario_times_with_engine(
                 move |_, _| Coupon::new(n),
                 &scenario,
@@ -253,6 +267,7 @@ fn epidemic_and_coupon(quick: bool) {
             n.to_string(),
             format_value(means[0]),
             format_value(means[1]),
+            format_value(means[2]),
         ]);
     }
     println!("{}", table.to_plain_text());

@@ -48,6 +48,9 @@ enum Backend {
     Exact,
     Batched,
     Interned,
+    /// The batch-count sampling mode ([`Engine::BatchedCounts`]) on the
+    /// statically enumerated count engine.
+    BatchCount,
 }
 
 impl Backend {
@@ -56,6 +59,7 @@ impl Backend {
             Backend::Exact => "exact",
             Backend::Batched => "batched",
             Backend::Interned => "interned",
+            Backend::BatchCount => "batchcount",
         }
     }
 }
@@ -88,7 +92,7 @@ fn main() {
 }
 
 fn silent_n_state(quick: bool, cells: &mut Vec<Cell>) {
-    println!("== Silent-n-state-SSR: mid-run bursts from a random start, all three engines ==\n");
+    println!("== Silent-n-state-SSR: mid-run bursts from a random start, all four engines ==\n");
     let ns: &[usize] = if quick { &[16, 32] } else { &[16, 32, 64, 128] };
     let trials = if quick { 3 } else { 5 };
     // Extra batched-only sizes for the recovery-scaling fit: the batched
@@ -100,12 +104,20 @@ fn silent_n_state(quick: bool, cells: &mut Vec<Cell>) {
         p.0.random_configuration(rng)
     });
 
-    let mut table =
-        Table::new(vec!["plan", "n", "exact recovery", "batched recovery", "interned recovery"]);
+    let mut table = Table::new(vec![
+        "plan",
+        "n",
+        "exact recovery",
+        "batched recovery",
+        "interned recovery",
+        "batchcount recovery",
+    ]);
     for &n in ns {
         for plan in SilentNStateSsr::new(n).adversarial_fault_plans() {
             let mut row = vec![plan.name().to_owned(), n.to_string()];
-            for backend in [Backend::Exact, Backend::Batched, Backend::Interned] {
+            for backend in
+                [Backend::Exact, Backend::Batched, Backend::Interned, Backend::BatchCount]
+            {
                 let cell =
                     measure_silent_cell(n, &plan, backend, trials, &scenario, &scenario_interned);
                 row.push(format_value(Summary::from_samples(&cell.recoveries).mean));
@@ -124,6 +136,7 @@ fn silent_n_state(quick: bool, cells: &mut Vec<Cell>) {
             n.to_string(),
             "-".to_owned(),
             format_value(Summary::from_samples(&cell.recoveries).mean),
+            "-".to_owned(),
             "-".to_owned(),
         ]);
         cells.push(cell);
@@ -167,6 +180,11 @@ fn measure_silent_cell(
             plan,
             move |_, _| AsInterned(SilentNStateSsr::new(n)),
         ),
+        Backend::BatchCount => {
+            run_scenario_fault_trials(&tp, Engine::BatchedCounts, budget, scenario, plan, {
+                move |_, _| SilentNStateSsr::new(n)
+            })
+        }
     };
     let wall = start.elapsed().as_secs_f64();
     let protocol = SilentNStateSsr::new(n);
@@ -208,7 +226,8 @@ fn roll_call(quick: bool, cells: &mut Vec<Cell>) {
     let ns: &[usize] = if quick { &[32] } else { &[64, 128] };
     let trials = if quick { 3 } else { 5 };
 
-    let mut table = Table::new(vec!["plan", "n", "exact recovery", "interned recovery"]);
+    let mut table =
+        Table::new(vec!["plan", "n", "exact recovery", "interned recovery", "batchcount recovery"]);
     for &n in ns {
         // Post-completion wipes only: roll call recovers lost ids from
         // surviving copies, so the plan's scheduling guard (bursts far past
@@ -221,9 +240,10 @@ fn roll_call(quick: bool, cells: &mut Vec<Cell>) {
         let budget = 100 * base;
         let tp = TrialPlan::new(trials, 977 + n as u64);
         let mut row = vec![plan.name().to_owned(), n.to_string()];
-        for backend in [Backend::Exact, Backend::Interned] {
+        for backend in [Backend::Exact, Backend::Interned, Backend::BatchCount] {
             let engine = match backend {
                 Backend::Exact => Engine::Exact,
+                Backend::BatchCount => Engine::BatchedCounts,
                 _ => Engine::Batched,
             };
             let start = Instant::now();

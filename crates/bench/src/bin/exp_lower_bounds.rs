@@ -36,7 +36,7 @@ fn theorem_2_4() {
     // bottleneck meetings, which is what lets this sweep reach n = 1024;
     // `--engine exact` restores the per-agent engine on the smaller sizes.
     let engine = engine_from_args(Engine::Batched);
-    let ns: &[usize] = if engine == Engine::Batched {
+    let ns: &[usize] = if engine != Engine::Exact {
         &[16, 32, 64, 128, 256, 512, 1024]
     } else {
         &[16, 32, 64, 128]

@@ -30,7 +30,7 @@ fn main() {
     // per-agent engine (with a reduced size sweep).
     // ------------------------------------------------------------------
     let engine = engine_from_args(Engine::Batched);
-    let ns: &[usize] = if engine == Engine::Batched {
+    let ns: &[usize] = if engine != Engine::Exact {
         &[16, 32, 64, 128, 256, 512, 1024, 2048]
     } else {
         &[16, 32, 64, 128, 256]

@@ -206,10 +206,11 @@ pub fn roll_call_times_with_engine(n: usize, trials: usize, seed: u64, engine: E
         .collect()
 }
 
-/// Picks the simulation engine from a `--engine exact|batched` (or
-/// `--engine=...`) command-line flag, falling back to `default`. Experiment
-/// binaries use this so each workload's default routing (batched where the
-/// null-skip pays off, exact elsewhere) can be overridden without recompiling.
+/// Picks the simulation engine from a `--engine exact|batched|batchcount`
+/// (or `--engine=...`) command-line flag, falling back to `default`.
+/// Experiment binaries use this so each workload's default routing (batched
+/// where the null-skip pays off, exact elsewhere) can be overridden without
+/// recompiling.
 ///
 /// # Panics
 ///
@@ -218,7 +219,10 @@ pub fn engine_from_args(default: Engine) -> Engine {
     let mut args = std::env::args();
     while let Some(arg) = args.next() {
         let value = if arg == "--engine" {
-            Some(args.next().expect("--engine requires a value: \"exact\" or \"batched\""))
+            Some(
+                args.next()
+                    .expect("--engine requires a value: \"exact\", \"batched\" or \"batchcount\""),
+            )
         } else {
             arg.strip_prefix("--engine=").map(str::to_owned)
         };
@@ -226,7 +230,10 @@ pub fn engine_from_args(default: Engine) -> Engine {
             return match value.as_str() {
                 "exact" => Engine::Exact,
                 "batched" => Engine::Batched,
-                other => panic!("unknown engine {other:?}; expected \"exact\" or \"batched\""),
+                "batchcount" => Engine::BatchedCounts,
+                other => panic!(
+                    "unknown engine {other:?}; expected \"exact\", \"batched\" or \"batchcount\""
+                ),
             };
         }
     }

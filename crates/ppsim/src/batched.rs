@@ -106,6 +106,7 @@ use crate::config::Configuration;
 use crate::error::SimError;
 use crate::execution::{RunOutcome, Simulation, StopReason};
 use crate::protocol::Protocol;
+use crate::sampling::{sample_hypergeometric, sample_interleaved_nulls};
 use crate::time::{Interactions, ParallelTime};
 
 /// A [`Protocol`] with a finite, enumerable state space: a bijection between
@@ -176,6 +177,10 @@ impl<P: Protocol> Protocol for ForceDense<P> {
 
     fn is_null(&self, initiator: &Self::State, responder: &Self::State) -> bool {
         self.0.is_null(initiator, responder)
+    }
+
+    fn deterministic_transitions(&self) -> bool {
+        self.0.deterministic_transitions()
     }
 }
 
@@ -270,6 +275,51 @@ impl Fenwick {
         self.total
     }
 
+    /// Splits a without-replacement batch of `draws` interaction slots across
+    /// the tree's leaves: jointly, the leaf shares follow the multivariate
+    /// hypergeometric law over the current leaf weights. Implemented by
+    /// recursive conditional [`sample_hypergeometric`] splits down the
+    /// implicit binary structure, so the cost is O(k · log len) for the `k`
+    /// leaves that receive a nonzero share — independent of how many leaves
+    /// exist, which is what keeps epoch draws affordable when the state
+    /// space is as large as the population (`Silent-n-state-SSR`).
+    ///
+    /// Calls `sink(leaf, share)` once per leaf with a nonzero share, in
+    /// ascending leaf order. Requires `draws <= total()`.
+    fn split_batch(&self, draws: u64, rng: &mut impl RngCore, sink: &mut impl FnMut(usize, u64)) {
+        debug_assert!(draws <= self.total);
+        self.split_range(0, 2 * self.mask, self.total, draws, rng, sink);
+    }
+
+    /// Recursive step of [`Fenwick::split_batch`] on the aligned range
+    /// `(pos, pos + step]` holding `weight` total and `draws` slots to place.
+    fn split_range(
+        &self,
+        pos: usize,
+        step: usize,
+        weight: u64,
+        draws: u64,
+        rng: &mut impl RngCore,
+        sink: &mut impl FnMut(usize, u64),
+    ) {
+        if draws == 0 {
+            return;
+        }
+        if step == 1 {
+            sink(pos, draws);
+            return;
+        }
+        let half = step / 2;
+        // `pos` is a multiple of `step`, so `pos + half` has lowest set bit
+        // exactly `half` and its tree entry stores the left child's range sum
+        // whenever it is in bounds; an out-of-bounds right child is entirely
+        // past the last leaf and holds no weight.
+        let left_w = if pos + half <= self.len() { self.tree[pos + half] } else { weight };
+        let left_d = sample_hypergeometric(weight, left_w, draws, rng);
+        self.split_range(pos, half, left_w, left_d, rng, sink);
+        self.split_range(pos + half, half, weight - left_w, draws - left_d, rng, sink);
+    }
+
     /// The smallest index whose inclusive prefix sum exceeds `target`
     /// (requires `target < total`).
     fn find(&self, mut target: u64) -> usize {
@@ -300,6 +350,31 @@ enum Backend {
 
 const NOT_PRESENT: usize = usize::MAX;
 
+/// How the count engines ([`BatchedSimulation`] and
+/// [`crate::InternedSimulation`]) draw the non-null interaction schedule.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SamplingMode {
+    /// One geometric null-run skip plus one weighted pair draw per applied
+    /// transition: exact per-interaction sampling of the scheduler's chain.
+    #[default]
+    PerTransition,
+    /// Per **collision-free epoch**, draw the interaction-count table for all
+    /// active ordered state pairs in one multivariate-hypergeometric pass
+    /// over the frozen pair weights, clamp it so each agent participates in
+    /// at most one interaction per epoch, and apply the whole table through
+    /// one bulk count-delta pass — no per-interaction loop.
+    ///
+    /// Every primitive draw is exact (see [`crate::sampling`]); the
+    /// approximation is purely *in schedule*: pair weights are frozen for
+    /// the `B ≤ min(n/16, A/8)` transitions of an epoch, and interaction
+    /// tables exceeding an agent's availability are truncated
+    /// ([`BatchedSimulation::batch_truncations`] counts how often). Epochs
+    /// shrink automatically near silence, small populations, and budget or
+    /// measurement-tick boundaries, where the engine degenerates to the
+    /// per-transition path and is exact again.
+    BatchCount,
+}
+
 /// A single execution of a population protocol under the uniformly random
 /// scheduler, simulated in batches of null interactions.
 ///
@@ -318,6 +393,15 @@ pub struct BatchedSimulation<P: EnumerableProtocol> {
     interactions: Interactions,
     transitions: u64,
     n: usize,
+    mode: SamplingMode,
+    /// Batch-count diagnostics: epochs drawn and table entries clamped away
+    /// by the collision-free availability cap.
+    epochs: u64,
+    truncations: u64,
+    /// Per-epoch agent availability, stamped with the epoch number so
+    /// clearing between epochs is free (lazily sized on first epoch).
+    scratch_avail: Vec<u64>,
+    scratch_stamp: Vec<u64>,
 }
 
 impl<P: EnumerableProtocol> BatchedSimulation<P> {
@@ -393,9 +477,40 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
             interactions: Interactions::ZERO,
             transitions: 0,
             n,
+            mode: SamplingMode::default(),
+            epochs: 0,
+            truncations: 0,
+            scratch_avail: Vec::new(),
+            scratch_stamp: Vec::new(),
         };
         sim.rebuild_rows();
         Ok(sim)
+    }
+
+    /// Selects the sampling mode (builder style); the default is
+    /// [`SamplingMode::PerTransition`].
+    pub fn with_sampling_mode(mut self, mode: SamplingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The active sampling mode.
+    pub fn sampling_mode(&self) -> SamplingMode {
+        self.mode
+    }
+
+    /// The number of batch-count epochs drawn so far (always 0 in
+    /// per-transition mode).
+    pub fn batch_epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The number of drawn table interactions clamped away by the
+    /// collision-free availability cap, summed over all epochs. The ratio
+    /// `batch_truncations / transitions` is the schedule-approximation
+    /// diagnostic the statistical suites pin down.
+    pub fn batch_truncations(&self) -> u64 {
+        self.truncations
     }
 
     /// The protocol being simulated.
@@ -478,6 +593,23 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
         self.active_pairs() == 0
     }
 
+    /// Recomputes the non-null pair weight from the raw counts, bypassing
+    /// every incrementally maintained structure. Agreement with
+    /// [`BatchedSimulation::active_pairs`] is the row-maintenance audit the
+    /// property suites check after epochs and fault bursts.
+    pub fn recount_active_pairs(&self) -> u64 {
+        match &self.backend {
+            Backend::Indexed { partners, .. } => (0..self.counts.len())
+                .map(|i| {
+                    Self::row_weight(&self.protocol, &self.counts, &self.decoded, i, &partners[i])
+                })
+                .sum(),
+            Backend::PresentScan { present, .. } => {
+                present.iter().map(|&u| self.row_weight_scan(u, present)).sum()
+            }
+        }
+    }
+
     /// Runs until the configuration is silent or `budget` additional
     /// interactions (counting skipped nulls) have elapsed.
     pub fn run_until_silent(&mut self, budget: u64) -> RunOutcome {
@@ -487,7 +619,7 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
             if active == 0 {
                 return RunOutcome { reason: StopReason::Silent, interactions: self.interactions };
             }
-            if !self.advance_one_transition(active, &mut remaining) {
+            if !self.advance(active, &mut remaining, None) {
                 return RunOutcome {
                     reason: StopReason::BudgetExhausted,
                     interactions: self.interactions,
@@ -499,6 +631,9 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
     /// Runs until `condition` holds, checking after every applied (non-null)
     /// transition — a *finer* granularity than the exact engine's periodic
     /// checks — or until the configuration is silent or the budget runs out.
+    /// Under [`SamplingMode::BatchCount`] the check instead lands after every
+    /// epoch, with epochs capped to `n/8` expected interactions so conditions
+    /// are examined about as often as the exact engine examines them.
     ///
     /// The predicate receives the canonical configuration, so any
     /// permutation-invariant predicate written for the exact engine works
@@ -528,12 +663,13 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
             };
         }
         let mut remaining = budget;
+        let check_cap = ((self.n as u64) / 8).max(1);
         loop {
             let active = self.active_pairs();
             if active == 0 {
                 return RunOutcome { reason: StopReason::Silent, interactions: self.interactions };
             }
-            if !self.advance_one_transition(active, &mut remaining) {
+            if !self.advance(active, &mut remaining, Some(check_cap)) {
                 return RunOutcome {
                     reason: StopReason::BudgetExhausted,
                     interactions: self.interactions,
@@ -558,9 +694,19 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
                 self.interactions += Interactions::new(remaining);
                 return;
             }
-            if !self.advance_one_transition(active, &mut remaining) {
+            if !self.advance(active, &mut remaining, None) {
                 return;
             }
+        }
+    }
+
+    /// Dispatches one advance step according to the sampling mode.
+    /// `elapsed_cap` soft-caps an epoch's expected elapsed interactions;
+    /// predicate runs pass their check granularity through it.
+    fn advance(&mut self, active: u64, remaining: &mut u64, elapsed_cap: Option<u64>) -> bool {
+        match self.mode {
+            SamplingMode::PerTransition => self.advance_one_transition(active, remaining),
+            SamplingMode::BatchCount => self.advance_epoch(active, remaining, elapsed_cap),
         }
     }
 
@@ -581,6 +727,242 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
         self.transitions += 1;
         self.apply_sampled_transition(active);
         true
+    }
+
+    /// Advances one **batch-count epoch**: draws how many times each active
+    /// ordered state pair interacts over the next `B` non-null interactions
+    /// (jointly multivariate-hypergeometric over the frozen pair weights),
+    /// clamps the table so each agent participates at most once per epoch
+    /// (the collision-free guarantee — it also means the table has a valid
+    /// sequential realization, so silence cannot strike mid-epoch), applies
+    /// every cell through one bulk [`Self::apply_count_deltas`], and accounts
+    /// the interleaved null interactions with a segmented negative-binomial
+    /// clock that tracks the evolving active-pair mass
+    /// ([`sample_interleaved_nulls`]) and ends **on** the last applied
+    /// transition — no trailing nulls, hence no late-silence bias.
+    ///
+    /// Falls back to [`Self::advance_one_transition`] whenever the
+    /// collision-free batch length clamps to one: small populations, few
+    /// active pairs (near silence), or a nearly exhausted budget. Budget and
+    /// measurement-tick boundaries therefore land exactly as in the
+    /// per-transition mode.
+    fn advance_epoch(
+        &mut self,
+        active: u64,
+        remaining: &mut u64,
+        elapsed_cap: Option<u64>,
+    ) -> bool {
+        let total_pairs = (self.n as u64) * (self.n as u64 - 1);
+        let p = active as f64 / total_pairs as f64;
+        // Collision-free batch length: small enough that (a) at most n/8
+        // agents are consumed per epoch, (b) the frozen weights stay close to
+        // the evolving truth (B ≤ A/8, which also bounds the availability
+        // truncation rate), (c) the epoch's expected elapsed time stays
+        // within half the remaining budget and the caller's granularity cap.
+        let mut b_target = ((self.n as u64) / 16).min(active / 8);
+        b_target = b_target.min((*remaining as f64 * p * 0.5) as u64);
+        if let Some(cap) = elapsed_cap {
+            b_target = b_target.min((cap as f64 * p) as u64);
+        }
+        if b_target <= 1 {
+            return self.advance_one_transition(active, remaining);
+        }
+
+        // Phase 1: draw the interaction-count table over the frozen weights.
+        // Rows first (initiator states), then each row's share across its
+        // partner cells, all by exact conditional hypergeometric splits.
+        let mut cells: Vec<(usize, usize, u64)> = Vec::new();
+        {
+            let Self { protocol, counts, decoded, backend, rng, .. } = self;
+            match backend {
+                Backend::Indexed { partners, rows } => {
+                    let mut row_shares: Vec<(usize, u64)> = Vec::new();
+                    rows.split_batch(b_target, rng, &mut |leaf, share| {
+                        row_shares.push((leaf, share));
+                    });
+                    for (i, n_i) in row_shares {
+                        let ci = counts[i];
+                        let mut row_rem =
+                            Self::row_weight(protocol, counts, decoded, i, &partners[i]);
+                        let mut n_rem = n_i;
+                        for &j in &partners[i] {
+                            if n_rem == 0 {
+                                break;
+                            }
+                            let w = ci * Self::pair_term(protocol, counts, decoded, i, j);
+                            let m = sample_hypergeometric(row_rem, w, n_rem, rng);
+                            row_rem -= w;
+                            n_rem -= m;
+                            if m > 0 {
+                                cells.push((i, j, m));
+                            }
+                        }
+                        debug_assert_eq!(n_rem, 0, "row share exceeds row weight");
+                    }
+                }
+                Backend::PresentScan { present, .. } => {
+                    let mut a_rem = active;
+                    let mut b_rem = b_target;
+                    for &u in present.iter() {
+                        if b_rem == 0 {
+                            break;
+                        }
+                        let r = Self::row_weight(protocol, counts, decoded, u, present);
+                        let n_u = sample_hypergeometric(a_rem, r, b_rem, rng);
+                        a_rem -= r;
+                        b_rem -= n_u;
+                        if n_u == 0 {
+                            continue;
+                        }
+                        let cu = counts[u];
+                        let mut row_rem = r;
+                        let mut n_rem = n_u;
+                        for &v in present.iter() {
+                            if n_rem == 0 {
+                                break;
+                            }
+                            let w = cu * Self::pair_term(protocol, counts, decoded, u, v);
+                            let m = sample_hypergeometric(row_rem, w, n_rem, rng);
+                            row_rem -= w;
+                            n_rem -= m;
+                            if m > 0 {
+                                cells.push((u, v, m));
+                            }
+                        }
+                        debug_assert_eq!(n_rem, 0, "row share exceeds row weight");
+                    }
+                    debug_assert_eq!(b_rem, 0, "batch exceeds the active pair weight");
+                }
+            }
+        }
+
+        // Phase 2: clamp to per-agent availability. A diagonal cell (i, i)
+        // consumes two agents of state i per interaction; off-diagonal cells
+        // one of each. The first nonzero cell always fits (its states have
+        // full availability and a positive pair weight), so b_applied >= 1.
+        if self.scratch_avail.len() < self.counts.len() {
+            self.scratch_avail.resize(self.counts.len(), 0);
+            self.scratch_stamp.resize(self.counts.len(), 0);
+        }
+        self.epochs += 1;
+        let stamp = self.epochs;
+        let mut b_applied = 0u64;
+        for cell in &mut cells {
+            let (i, j, drawn) = *cell;
+            for s in [i, j] {
+                if self.scratch_stamp[s] != stamp {
+                    self.scratch_stamp[s] = stamp;
+                    self.scratch_avail[s] = self.counts[s];
+                }
+            }
+            let cap = if i == j {
+                self.scratch_avail[i] / 2
+            } else {
+                self.scratch_avail[i].min(self.scratch_avail[j])
+            };
+            let m = drawn.min(cap);
+            self.truncations += drawn - m;
+            if i == j {
+                self.scratch_avail[i] -= 2 * m;
+            } else {
+                self.scratch_avail[i] -= m;
+                self.scratch_avail[j] -= m;
+            }
+            cell.2 = m;
+            b_applied += m;
+        }
+        debug_assert!(b_applied >= 1, "the first drawn cell always fits");
+
+        // Phases 3 and 4, optimistically ordered: apply the table, audit the
+        // epoch-end active mass, then draw the null clock segmented over the
+        // evolving mass ([`sample_interleaved_nulls`]) — a clock frozen at
+        // the epoch-start probability under-counts nulls whenever the mass
+        // shrinks several-fold within an epoch, which epidemic tails do
+        // under the n/16 batch clamp. The epoch still ends **on** its last
+        // applied transition. If the clock overshoots the remaining budget,
+        // the apply is undone exactly (count deltas are invertible, and
+        // every derived structure is recomputed from counts) and the run
+        // advances per-transition instead, which lands the budget exactly;
+        // the discarded draws leave the law of the continuation unchanged.
+        // One path for every budget also keeps epoch boundaries
+        // seed-reproducible: replaying with the budget set to an observed
+        // silence time makes the same draws in the same order.
+        let mut deltas = self.apply_epoch_cells(&cells, stamp);
+        let a_end = self.active_pairs();
+        let nulls = sample_interleaved_nulls(b_applied, active, a_end, total_pairs, &mut self.rng);
+        match b_applied.checked_add(nulls) {
+            Some(elapsed) if elapsed <= *remaining => {
+                self.interactions += Interactions::new(elapsed);
+                *remaining -= elapsed;
+                self.transitions += b_applied;
+                true
+            }
+            _ => {
+                for d in &mut deltas {
+                    d.1 = -d.1;
+                }
+                self.apply_count_deltas(&deltas);
+                self.advance_one_transition(active, remaining)
+            }
+        }
+    }
+
+    /// Phase 4 of [`Self::advance_epoch`]: applies a clamped interaction-count
+    /// table through one bulk [`Self::apply_count_deltas`]. Deterministic
+    /// protocols evaluate each cell's transition once and apply the outcome
+    /// m-fold; randomized protocols evaluate per counted interaction
+    /// (correct, just without the per-cell collapse). Returns the applied
+    /// deltas so an epoch that overshoots the budget can be undone exactly.
+    fn apply_epoch_cells(
+        &mut self,
+        cells: &[(usize, usize, u64)],
+        stamp: u64,
+    ) -> Vec<(usize, i64)> {
+        // The probe streams below exist only under debug_assertions.
+        let _ = stamp;
+        let deterministic = self.protocol.deterministic_transitions();
+        let mut deltas: Vec<(usize, i64)> = Vec::with_capacity(4 * cells.len());
+        for &(i, j, m) in cells {
+            if m == 0 {
+                continue;
+            }
+            #[cfg(debug_assertions)]
+            if deterministic && m > 1 {
+                // Two independent probe streams must agree if the protocol's
+                // determinism declaration is truthful.
+                let mut probe_a = ChaCha8Rng::seed_from_u64(stamp ^ 0xD371);
+                let mut probe_b = ChaCha8Rng::seed_from_u64(stamp ^ 0x9E37);
+                let (xa, ya) =
+                    self.protocol.transition(&self.decoded[i], &self.decoded[j], &mut probe_a);
+                let (xb, yb) =
+                    self.protocol.transition(&self.decoded[i], &self.decoded[j], &mut probe_b);
+                debug_assert!(
+                    self.protocol.state_index(&xa) == self.protocol.state_index(&xb)
+                        && self.protocol.state_index(&ya) == self.protocol.state_index(&yb),
+                    "protocol declares deterministic_transitions but outcomes differ"
+                );
+            }
+            let reps = if deterministic { 1 } else { m };
+            let per = (m / reps) as i64;
+            for _ in 0..reps {
+                let (a2, b2) = {
+                    let (a, b) = (&self.decoded[i], &self.decoded[j]);
+                    self.protocol.transition(a, b, &mut self.rng)
+                };
+                let i2 = self.protocol.state_index(&a2);
+                let j2 = self.protocol.state_index(&b2);
+                if i == j {
+                    deltas.push((i, -2 * per));
+                } else {
+                    deltas.push((i, -per));
+                    deltas.push((j, -per));
+                }
+                deltas.push((i2, per));
+                deltas.push((j2, per));
+            }
+        }
+        self.apply_count_deltas(&deltas);
+        deltas
     }
 
     /// Samples the non-null ordered state pair and applies one transition.
@@ -741,12 +1123,25 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
     /// Applies signed count changes and repairs the backend structures.
     fn apply_count_deltas(&mut self, deltas: &[(usize, i64)]) {
         // Net the deltas per state first (i may equal j, or a state may both
-        // lose and gain an agent in the same transition).
+        // lose and gain an agent in the same transition). Small lists — the
+        // per-transition path — net by linear scan; epoch-sized lists sort,
+        // which keeps the netting O(k log k) instead of O(k²).
         let mut net: Vec<(usize, i64)> = Vec::with_capacity(deltas.len());
-        for &(k, d) in deltas {
-            match net.iter_mut().find(|(s, _)| *s == k) {
-                Some((_, acc)) => *acc += d,
-                None => net.push((k, d)),
+        if deltas.len() <= 16 {
+            for &(k, d) in deltas {
+                match net.iter_mut().find(|(s, _)| *s == k) {
+                    Some((_, acc)) => *acc += d,
+                    None => net.push((k, d)),
+                }
+            }
+        } else {
+            let mut sorted = deltas.to_vec();
+            sorted.sort_unstable_by_key(|&(s, _)| s);
+            for (s, d) in sorted {
+                match net.last_mut() {
+                    Some((ls, acc)) if *ls == s => *acc += d,
+                    _ => net.push((s, d)),
+                }
             }
         }
         net.retain(|&(_, d)| d != 0);
@@ -845,8 +1240,12 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
 pub enum Engine {
     /// The per-agent engine: [`Simulation`].
     Exact,
-    /// The count-based engine: [`BatchedSimulation`].
+    /// The count-based engine: [`BatchedSimulation`], sampling each non-null
+    /// transition individually.
     Batched,
+    /// The count-based engine in [`SamplingMode::BatchCount`]: whole
+    /// interaction-count tables per collision-free epoch.
+    BatchedCounts,
 }
 
 impl std::fmt::Display for Engine {
@@ -854,6 +1253,7 @@ impl std::fmt::Display for Engine {
         match self {
             Engine::Exact => write!(f, "exact"),
             Engine::Batched => write!(f, "batched"),
+            Engine::BatchedCounts => write!(f, "batchcount"),
         }
     }
 }
@@ -877,6 +1277,16 @@ impl<S> EngineReport<S> {
 }
 
 impl Engine {
+    /// The [`SamplingMode`] this engine variant selects on the count-based
+    /// simulations ([`Engine::Exact`] has no count simulation; its mode is
+    /// vacuous and maps to the default).
+    pub fn sampling_mode(self) -> SamplingMode {
+        match self {
+            Engine::Exact | Engine::Batched => SamplingMode::PerTransition,
+            Engine::BatchedCounts => SamplingMode::BatchCount,
+        }
+    }
+
     /// Runs the protocol from `init` until silence or `budget` interactions.
     pub fn run_until_silent<P: EnumerableProtocol>(
         self,
@@ -891,8 +1301,9 @@ impl Engine {
                 let outcome = sim.run_until_silent(budget);
                 EngineReport { outcome, final_config: sim.configuration().clone() }
             }
-            Engine::Batched => {
-                let mut sim = BatchedSimulation::new(protocol, init, seed);
+            Engine::Batched | Engine::BatchedCounts => {
+                let mut sim = BatchedSimulation::new(protocol, init, seed)
+                    .with_sampling_mode(self.sampling_mode());
                 let outcome = sim.run_until_silent(budget);
                 EngineReport { outcome, final_config: sim.to_configuration() }
             }
@@ -915,8 +1326,9 @@ impl Engine {
                 let outcome = sim.run_until(condition, budget);
                 EngineReport { outcome, final_config: sim.configuration().clone() }
             }
-            Engine::Batched => {
-                let mut sim = BatchedSimulation::new(protocol, init, seed);
+            Engine::Batched | Engine::BatchedCounts => {
+                let mut sim = BatchedSimulation::new(protocol, init, seed)
+                    .with_sampling_mode(self.sampling_mode());
                 let outcome = sim.run_until(condition, budget);
                 EngineReport { outcome, final_config: sim.to_configuration() }
             }
@@ -1105,5 +1517,163 @@ mod tests {
         assert_eq!(leaders(&exact.final_config), 1);
         assert_eq!(leaders(&batched.final_config), 1);
         assert!(batched.parallel_time().value() > 0.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Batch-count edge cases: the regimes where the epoch machinery must
+    // hand over to (or exactly agree with) the per-transition path.
+    // ------------------------------------------------------------------
+
+    fn batchcount(
+        protocol: Frat,
+        config: &Configuration<u8>,
+        seed: u64,
+    ) -> BatchedSimulation<Frat> {
+        BatchedSimulation::new(protocol, config, seed).with_sampling_mode(SamplingMode::BatchCount)
+    }
+
+    #[test]
+    fn batchcount_clamps_the_batch_to_one_near_silence() {
+        // Two leaders in 30 agents: a single non-null cell of multiplicity
+        // one. The collision-free bound clamps every epoch to B ≤ 1, so the
+        // run must degrade to per-transition sampling and still end silent
+        // after exactly one applied transition.
+        let config = Configuration::from_fn(30, |i| u8::from(i >= 2));
+        let mut sim = batchcount(Frat { n: 30 }, &config, 5);
+        assert_eq!(sim.active_pairs(), 2);
+        let outcome = sim.run_until_silent(u64::MAX >> 8);
+        assert!(outcome.is_silent());
+        assert_eq!(sim.count_of(&0), 1);
+        assert_eq!(sim.transitions(), 1);
+    }
+
+    #[test]
+    fn batchcount_handles_n_equals_2() {
+        // n = 2 forces b_target = 0 (n/16 = 0): pure fallback territory.
+        let mut sim = batchcount(Frat { n: 2 }, &Configuration::uniform(0u8, 2), 3);
+        let outcome = sim.run_until_silent(1_000);
+        assert!(outcome.is_silent());
+        assert_eq!(sim.count_of(&0), 1);
+        assert_eq!(sim.transitions(), 1);
+        assert_eq!(sim.batch_epochs(), 0, "no epoch can open at n = 2");
+    }
+
+    #[test]
+    fn batchcount_single_state_populations() {
+        // All-null single state: instantly silent, zero interactions.
+        let mut done = batchcount(Frat { n: 40 }, &Configuration::uniform(1u8, 40), 1);
+        assert!(done.run_until_silent(1_000).is_silent());
+        assert_eq!(done.interactions(), Interactions::ZERO);
+
+        // All-active single state: the entire weight sits on the (L, L)
+        // diagonal, so epochs exercise the 2m-per-pair availability rule.
+        // The run still elects exactly one leader on both backends.
+        let mut sim = batchcount(Frat { n: 400 }, &Configuration::uniform(0u8, 400), 7);
+        assert!(sim.run_until_silent(u64::MAX >> 8).is_silent());
+        assert_eq!(sim.count_of(&0), 1);
+        assert_eq!(sim.transitions(), 399);
+        assert!(sim.batch_epochs() > 0, "n = 400 from all-leaders must open epochs");
+        let mut dense = BatchedSimulation::new(
+            ForceDense(Frat { n: 400 }),
+            &Configuration::uniform(0u8, 400),
+            7,
+        )
+        .with_sampling_mode(SamplingMode::BatchCount);
+        assert!(dense.run_until_silent(u64::MAX >> 8).is_silent());
+        assert_eq!(dense.count_of(&0), 1);
+    }
+
+    #[test]
+    fn batchcount_run_for_hits_the_budget_exactly() {
+        // Epochs whose negative-binomial clock would overshoot the remaining
+        // budget are abandoned for single steps, so run_for still lands
+        // exactly on the requested interaction count — even when the run
+        // silences mid-way and the tail is all nulls.
+        let mut sim = batchcount(Frat { n: 50 }, &Configuration::uniform(0u8, 50), 7);
+        sim.run_for(1234);
+        assert_eq!(sim.interactions().count(), 1234);
+        let mut done = batchcount(Frat { n: 50 }, &Configuration::uniform(1u8, 50), 7);
+        done.run_for(777);
+        assert_eq!(done.interactions().count(), 777);
+        assert!(done.is_silent());
+    }
+
+    #[test]
+    fn batchcount_budget_landing_on_the_silence_tick_still_reports_silent() {
+        // No late-silence bias at epoch boundaries: the interaction clock
+        // ends ON the last applied transition, so replaying the same seed
+        // with the budget set to the observed silence time must still report
+        // silence, not exhaustion (PR 2 fixed this for the per-transition
+        // path; the epoch clock must preserve it).
+        for seed in 0..10u64 {
+            let config = Configuration::uniform(0u8, 120);
+            let mut probe = batchcount(Frat { n: 120 }, &config, seed);
+            let outcome = probe.run_until_silent(u64::MAX >> 8);
+            assert!(outcome.is_silent());
+            let t = outcome.interactions.count();
+            let mut replay = batchcount(Frat { n: 120 }, &config, seed);
+            let replayed = replay.run_until_silent(t);
+            assert!(replayed.is_silent(), "seed {seed}: budget = {t} must still silence");
+            assert_eq!(replayed.interactions.count(), t);
+        }
+    }
+
+    #[test]
+    fn split_batch_realizes_the_multivariate_hypergeometric_joint() {
+        // The Fenwick batch splitter must produce leaf shares that are
+        // jointly multivariate hypergeometric — the joint law (every outcome
+        // vector its own chi-square category), not just the marginals.
+        // Seeded; the 0.999 threshold gives a ~10⁻³ false-failure rate on a
+        // reseed (see tests/sampling_stats.rs for the suite-wide budget).
+        let weights = [3u64, 0, 2, 5];
+        let mut fw = Fenwick::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            fw.add(i, w as i64);
+        }
+        let draws = 4u64;
+        let choose = |n: u64, k: u64| -> f64 {
+            if k > n {
+                return 0.0;
+            }
+            (0..k).map(|i| (n - i) as f64 / (i + 1) as f64).product()
+        };
+        let mut support = Vec::new();
+        for n0 in 0..=weights[0].min(draws) {
+            for n2 in 0..=weights[2].min(draws - n0) {
+                let n3 = draws - n0 - n2;
+                if n3 <= weights[3] {
+                    support.push([n0, 0, n2, n3]);
+                }
+            }
+        }
+        let samples = 30_000usize;
+        let denominator = choose(10, draws);
+        let expected: Vec<f64> = support
+            .iter()
+            .map(|v| {
+                let ways: f64 = v.iter().zip(&weights).map(|(&k, &w)| choose(w, k)).product();
+                samples as f64 * ways / denominator
+            })
+            .collect();
+        let mut observed = vec![0u64; support.len()];
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5B1D);
+        for _ in 0..samples {
+            let mut drawn = [0u64; 4];
+            fw.split_batch(draws, &mut rng, &mut |leaf, share| drawn[leaf] += share);
+            assert_eq!(drawn[1], 0, "zero-weight leaves must receive nothing");
+            assert_eq!(drawn.iter().sum::<u64>(), draws);
+            let index = support.iter().position(|v| *v == drawn).expect("in support");
+            observed[index] += 1;
+        }
+        let statistic: f64 = observed
+            .iter()
+            .zip(&expected)
+            .map(|(&o, &e)| (o as f64 - e) * (o as f64 - e) / e)
+            .sum();
+        let critical = analysis::chi_square_critical_999(support.len() - 1);
+        assert!(
+            statistic <= critical,
+            "split_batch joint chi-square {statistic:.2} exceeds {critical:.2}"
+        );
     }
 }

@@ -585,8 +585,9 @@ impl Engine {
                 let out = run_until_silent_with_faults(&mut sim, &events, &mut victim_rng, budget);
                 FaultReport::from_outcome(out, sim.configuration().clone())
             }
-            Engine::Batched => {
-                let mut sim = BatchedSimulation::new(protocol, init, seed);
+            Engine::Batched | Engine::BatchedCounts => {
+                let mut sim = BatchedSimulation::new(protocol, init, seed)
+                    .with_sampling_mode(self.sampling_mode());
                 let out = run_until_silent_with_faults(&mut sim, &events, &mut victim_rng, budget);
                 FaultReport::from_outcome(out, sim.to_configuration())
             }
@@ -613,8 +614,9 @@ impl Engine {
                 let out = run_until_silent_with_faults(&mut sim, &events, &mut victim_rng, budget);
                 FaultReport::from_outcome(out, sim.configuration().clone())
             }
-            Engine::Batched => {
-                let mut sim = InternedSimulation::new(protocol, init, seed);
+            Engine::Batched | Engine::BatchedCounts => {
+                let mut sim = InternedSimulation::new(protocol, init, seed)
+                    .with_sampling_mode(self.sampling_mode());
                 let out = run_until_silent_with_faults(&mut sim, &events, &mut victim_rng, budget);
                 FaultReport::from_outcome(out, sim.to_configuration())
             }

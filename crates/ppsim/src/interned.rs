@@ -104,11 +104,12 @@ use std::hash::Hash;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use crate::batched::{sample_null_run, Engine, EngineReport};
+use crate::batched::{sample_null_run, Engine, EngineReport, SamplingMode};
 use crate::config::Configuration;
 use crate::error::SimError;
 use crate::execution::{RunOutcome, Simulation, StopReason};
 use crate::protocol::Protocol;
+use crate::sampling::{sample_hypergeometric, sample_interleaved_nulls};
 use crate::time::{Interactions, ParallelTime};
 
 /// A [`Protocol`] that opts into the dynamically interned batched engine.
@@ -181,6 +182,10 @@ impl<P: Protocol> Protocol for AsInterned<P> {
 
     fn is_null(&self, initiator: &Self::State, responder: &Self::State) -> bool {
         self.0.is_null(initiator, responder)
+    }
+
+    fn deterministic_transitions(&self) -> bool {
+        self.0.deterministic_transitions()
     }
 }
 
@@ -393,6 +398,15 @@ pub struct InternedSimulation<P: InternableProtocol> {
     interactions: Interactions,
     transitions: u64,
     n: usize,
+    mode: SamplingMode,
+    /// Batch-count diagnostics: epochs drawn and table entries clamped away
+    /// by the collision-free availability cap.
+    epochs: u64,
+    truncations: u64,
+    /// Per-epoch agent availability, stamped with the epoch number so
+    /// clearing between epochs is free (lazily sized on first epoch).
+    scratch_avail: Vec<u64>,
+    scratch_stamp: Vec<u64>,
 }
 
 impl<P: InternableProtocol> InternedSimulation<P> {
@@ -441,6 +455,11 @@ impl<P: InternableProtocol> InternedSimulation<P> {
             interactions: Interactions::ZERO,
             transitions: 0,
             n,
+            mode: SamplingMode::default(),
+            epochs: 0,
+            truncations: 0,
+            scratch_avail: Vec::new(),
+            scratch_stamp: Vec::new(),
         };
         for state in config.iter() {
             let i = sim.intern_state(state);
@@ -458,6 +477,31 @@ impl<P: InternableProtocol> InternedSimulation<P> {
             sim.rows.set(i, row);
         }
         Ok(sim)
+    }
+
+    /// Selects the sampling mode (builder style); the default is
+    /// [`SamplingMode::PerTransition`].
+    pub fn with_sampling_mode(mut self, mode: SamplingMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The active sampling mode.
+    pub fn sampling_mode(&self) -> SamplingMode {
+        self.mode
+    }
+
+    /// The number of batch-count epochs drawn so far (always 0 in
+    /// per-transition mode).
+    pub fn batch_epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The number of drawn table interactions clamped away by the
+    /// collision-free availability cap, summed over all epochs; see
+    /// [`crate::BatchedSimulation::batch_truncations`].
+    pub fn batch_truncations(&self) -> u64 {
+        self.truncations
     }
 
     /// Interns a state, registering its null class and growing the side
@@ -483,18 +527,32 @@ impl<P: InternableProtocol> InternedSimulation<P> {
     /// [`InternableProtocol::null_class`] contract, so the class comparison
     /// short-circuits `is_null`; same-state pairs always consult `is_null`.
     fn pair_term(&self, i: usize, j: usize) -> u64 {
-        let w = self.counts[j].saturating_sub((i == j) as u64);
+        Self::pair_term_parts(&self.protocol, &self.interner, &self.classes, &self.counts, i, j)
+    }
+
+    /// [`Self::pair_term`] over the individual fields (rather than `&self`)
+    /// so the epoch draw can evaluate weights while the RNG is mutably
+    /// borrowed.
+    fn pair_term_parts(
+        protocol: &P,
+        interner: &StateInterner<P::State>,
+        classes: &[Option<u32>],
+        counts: &[u64],
+        i: usize,
+        j: usize,
+    ) -> u64 {
+        let w = counts[j].saturating_sub((i == j) as u64);
         if w == 0 {
             return 0;
         }
         if i != j {
-            if let (Some(a), Some(b)) = (self.classes[i], self.classes[j]) {
+            if let (Some(a), Some(b)) = (classes[i], classes[j]) {
                 if a == b {
                     return 0;
                 }
             }
         }
-        if self.protocol.is_null(self.interner.get(i), self.interner.get(j)) {
+        if protocol.is_null(interner.get(i), interner.get(j)) {
             0
         } else {
             w
@@ -607,7 +665,7 @@ impl<P: InternableProtocol> InternedSimulation<P> {
             if active == 0 {
                 return RunOutcome { reason: StopReason::Silent, interactions: self.interactions };
             }
-            if !self.advance_one_transition(active, &mut remaining) {
+            if !self.advance(active, &mut remaining, None) {
                 return RunOutcome {
                     reason: StopReason::BudgetExhausted,
                     interactions: self.interactions,
@@ -618,7 +676,10 @@ impl<P: InternableProtocol> InternedSimulation<P> {
 
     /// Runs until `condition` holds, checking after every applied (non-null)
     /// transition — a finer granularity than the exact engine's periodic
-    /// checks — or until silence or budget exhaustion.
+    /// checks — or until silence or budget exhaustion. Under
+    /// [`SamplingMode::BatchCount`] the check instead lands after every
+    /// epoch, with epochs capped to `n/8` expected interactions so conditions
+    /// are examined about as often as the exact engine examines them.
     ///
     /// The predicate receives the canonical configuration, so any
     /// permutation-invariant predicate written for the exact engine works
@@ -648,12 +709,13 @@ impl<P: InternableProtocol> InternedSimulation<P> {
             };
         }
         let mut remaining = budget;
+        let check_cap = ((self.n as u64) / 8).max(1);
         loop {
             let active = self.active_pairs();
             if active == 0 {
                 return RunOutcome { reason: StopReason::Silent, interactions: self.interactions };
             }
-            if !self.advance_one_transition(active, &mut remaining) {
+            if !self.advance(active, &mut remaining, Some(check_cap)) {
                 return RunOutcome {
                     reason: StopReason::BudgetExhausted,
                     interactions: self.interactions,
@@ -678,9 +740,19 @@ impl<P: InternableProtocol> InternedSimulation<P> {
                 self.interactions += Interactions::new(remaining);
                 return;
             }
-            if !self.advance_one_transition(active, &mut remaining) {
+            if !self.advance(active, &mut remaining, None) {
                 return;
             }
+        }
+    }
+
+    /// Dispatches one advance step according to the sampling mode.
+    /// `elapsed_cap` soft-caps an epoch's expected elapsed interactions;
+    /// predicate runs pass their check granularity through it.
+    fn advance(&mut self, active: u64, remaining: &mut u64, elapsed_cap: Option<u64>) -> bool {
+        match self.mode {
+            SamplingMode::PerTransition => self.advance_one_transition(active, remaining),
+            SamplingMode::BatchCount => self.advance_epoch(active, remaining, elapsed_cap),
         }
     }
 
@@ -701,6 +773,208 @@ impl<P: InternableProtocol> InternedSimulation<P> {
         self.transitions += 1;
         self.apply_sampled_transition(active);
         true
+    }
+
+    /// Advances one **batch-count epoch** on the interned backend: identical
+    /// in law to [`crate::BatchedSimulation`]'s epoch (see its
+    /// `advance_epoch`), drawing row shares by sequential conditional
+    /// hypergeometric splits over the present list with the incrementally
+    /// maintained row weights as the frozen pair weights, clamping to
+    /// per-agent availability, accounting the interleaved nulls with a
+    /// segmented negative-binomial clock that tracks the evolving active
+    /// mass ([`sample_interleaved_nulls`]) and ends **on** the last applied
+    /// transition, and applying the whole table through one bulk
+    /// [`Self::apply_count_deltas`]. Falls back to
+    /// [`Self::advance_one_transition`] whenever the collision-free batch
+    /// length clamps to one.
+    fn advance_epoch(
+        &mut self,
+        active: u64,
+        remaining: &mut u64,
+        elapsed_cap: Option<u64>,
+    ) -> bool {
+        let total_pairs = (self.n as u64) * (self.n as u64 - 1);
+        let p = active as f64 / total_pairs as f64;
+        let mut b_target = ((self.n as u64) / 16).min(active / 8);
+        b_target = b_target.min((*remaining as f64 * p * 0.5) as u64);
+        if let Some(cap) = elapsed_cap {
+            b_target = b_target.min((cap as f64 * p) as u64);
+        }
+        if b_target <= 1 {
+            return self.advance_one_transition(active, remaining);
+        }
+
+        // Phase 1: draw the interaction-count table over the frozen weights
+        // by sequential conditional hypergeometric splits: rows first (the
+        // maintained row weights are exact), then each row's share across
+        // the present responder cells.
+        let mut cells: Vec<(usize, usize, u64)> = Vec::new();
+        {
+            let Self { protocol, interner, classes, counts, rows, present, rng, .. } = self;
+            let mut a_rem = active;
+            let mut b_rem = b_target;
+            for &u in present.iter() {
+                if b_rem == 0 {
+                    break;
+                }
+                let r = rows.get(u);
+                let n_u = sample_hypergeometric(a_rem, r, b_rem, rng);
+                a_rem -= r;
+                b_rem -= n_u;
+                if n_u == 0 {
+                    continue;
+                }
+                let cu = counts[u];
+                let mut row_rem = r;
+                let mut n_rem = n_u;
+                for &v in present.iter() {
+                    if n_rem == 0 {
+                        break;
+                    }
+                    let w = cu * Self::pair_term_parts(protocol, interner, classes, counts, u, v);
+                    let m = sample_hypergeometric(row_rem, w, n_rem, rng);
+                    row_rem -= w;
+                    n_rem -= m;
+                    if m > 0 {
+                        cells.push((u, v, m));
+                    }
+                }
+                debug_assert_eq!(n_rem, 0, "row share exceeds row weight");
+            }
+            debug_assert_eq!(b_rem, 0, "batch exceeds the active pair weight");
+        }
+
+        // Phase 2: clamp to per-agent availability (diagonal cells consume
+        // two agents per interaction). The first nonzero cell always fits,
+        // so b_applied >= 1.
+        if self.scratch_avail.len() < self.counts.len() {
+            self.scratch_avail.resize(self.counts.len(), 0);
+            self.scratch_stamp.resize(self.counts.len(), 0);
+        }
+        self.epochs += 1;
+        let stamp = self.epochs;
+        let mut b_applied = 0u64;
+        for cell in &mut cells {
+            let (i, j, drawn) = *cell;
+            for s in [i, j] {
+                if self.scratch_stamp[s] != stamp {
+                    self.scratch_stamp[s] = stamp;
+                    self.scratch_avail[s] = self.counts[s];
+                }
+            }
+            let cap = if i == j {
+                self.scratch_avail[i] / 2
+            } else {
+                self.scratch_avail[i].min(self.scratch_avail[j])
+            };
+            let m = drawn.min(cap);
+            self.truncations += drawn - m;
+            if i == j {
+                self.scratch_avail[i] -= 2 * m;
+            } else {
+                self.scratch_avail[i] -= m;
+                self.scratch_avail[j] -= m;
+            }
+            cell.2 = m;
+            b_applied += m;
+        }
+        debug_assert!(b_applied >= 1, "the first drawn cell always fits");
+
+        // Phases 3 and 4, optimistically ordered: apply the table, audit the
+        // epoch-end active mass, then draw the null clock segmented over the
+        // evolving mass ([`sample_interleaved_nulls`]) — a clock frozen at
+        // the epoch-start probability under-counts nulls whenever the mass
+        // shrinks several-fold within an epoch. The epoch still ends **on**
+        // its last applied transition. If the clock overshoots the remaining
+        // budget, the apply is undone exactly (count deltas are invertible,
+        // and every derived structure is recomputed from counts) and the run
+        // advances per-transition instead, which lands the budget exactly;
+        // the discarded draws leave the law of the continuation unchanged.
+        // One path for every budget also keeps epoch boundaries
+        // seed-reproducible: replaying with the budget set to an observed
+        // silence time makes the same draws in the same order.
+        let mut deltas = self.apply_epoch_cells(&cells, stamp);
+        let a_end = self.active_pairs();
+        let nulls = sample_interleaved_nulls(b_applied, active, a_end, total_pairs, &mut self.rng);
+        match b_applied.checked_add(nulls) {
+            Some(elapsed) if elapsed <= *remaining => {
+                self.interactions += Interactions::new(elapsed);
+                *remaining -= elapsed;
+                self.transitions += b_applied;
+                true
+            }
+            _ => {
+                for d in &mut deltas {
+                    d.1 = -d.1;
+                }
+                self.apply_count_deltas(&deltas);
+                self.advance_one_transition(active, remaining)
+            }
+        }
+    }
+
+    /// Phase 4 of [`Self::advance_epoch`]: applies a clamped interaction-count
+    /// table through one bulk [`Self::apply_count_deltas`]. Deterministic
+    /// protocols evaluate each cell once and apply the outcome m-fold;
+    /// randomized protocols evaluate per counted interaction. Returns the
+    /// applied deltas so an epoch that overshoots the budget can be undone
+    /// exactly.
+    fn apply_epoch_cells(
+        &mut self,
+        cells: &[(usize, usize, u64)],
+        stamp: u64,
+    ) -> Vec<(usize, i64)> {
+        // The probe streams below exist only under debug_assertions.
+        let _ = stamp;
+        let deterministic = self.protocol.deterministic_transitions();
+        let mut deltas: Vec<(usize, i64)> = Vec::with_capacity(4 * cells.len());
+        for &(i, j, m) in cells {
+            if m == 0 {
+                continue;
+            }
+            #[cfg(debug_assertions)]
+            if deterministic && m > 1 {
+                // Two independent probe streams must agree if the protocol's
+                // determinism declaration is truthful.
+                let mut probe_a = ChaCha8Rng::seed_from_u64(stamp ^ 0xD371);
+                let mut probe_b = ChaCha8Rng::seed_from_u64(stamp ^ 0x9E37);
+                let (xa, ya) = self.protocol.transition(
+                    self.interner.get(i),
+                    self.interner.get(j),
+                    &mut probe_a,
+                );
+                let (xb, yb) = self.protocol.transition(
+                    self.interner.get(i),
+                    self.interner.get(j),
+                    &mut probe_b,
+                );
+                debug_assert!(
+                    xa == xb && ya == yb,
+                    "protocol declares deterministic_transitions but outcomes differ"
+                );
+            }
+            let reps = if deterministic { 1 } else { m };
+            let per = (m / reps) as i64;
+            for _ in 0..reps {
+                let (a2, b2) = self.protocol.transition(
+                    self.interner.get(i),
+                    self.interner.get(j),
+                    &mut self.rng,
+                );
+                let i2 = self.intern_state(&a2);
+                let j2 = self.intern_state(&b2);
+                if i == j {
+                    deltas.push((i, -2 * per));
+                } else {
+                    deltas.push((i, -per));
+                    deltas.push((j, -per));
+                }
+                deltas.push((i2, per));
+                deltas.push((j2, per));
+            }
+        }
+        self.apply_count_deltas(&deltas);
+        deltas
     }
 
     /// Samples the non-null ordered state pair, applies one transition, and
@@ -779,12 +1053,24 @@ impl<P: InternableProtocol> InternedSimulation<P> {
     /// are rebuilt by a full present scan.
     fn apply_count_deltas(&mut self, deltas: &[(usize, i64)]) {
         // Net the deltas per state (a state may both lose and gain an agent
-        // in one transition, and i may equal j).
+        // in one transition, and i may equal j). Short lists scan linearly;
+        // whole-epoch lists sort and merge instead of scanning quadratically.
         let mut net: Vec<(usize, i64)> = Vec::with_capacity(deltas.len());
-        for &(k, d) in deltas {
-            match net.iter_mut().find(|(s, _)| *s == k) {
-                Some((_, acc)) => *acc += d,
-                None => net.push((k, d)),
+        if deltas.len() <= 16 {
+            for &(k, d) in deltas {
+                match net.iter_mut().find(|(s, _)| *s == k) {
+                    Some((_, acc)) => *acc += d,
+                    None => net.push((k, d)),
+                }
+            }
+        } else {
+            let mut sorted = deltas.to_vec();
+            sorted.sort_unstable_by_key(|&(k, _)| k);
+            for (k, d) in sorted {
+                match net.last_mut() {
+                    Some((s, acc)) if *s == k => *acc += d,
+                    _ => net.push((k, d)),
+                }
             }
         }
         net.retain(|&(_, d)| d != 0);
@@ -856,7 +1142,8 @@ impl<P: InternableProtocol> InternedSimulation<P> {
 impl Engine {
     /// Runs an [`InternableProtocol`] from `init` until silence or `budget`
     /// interactions: through [`Simulation`] for [`Engine::Exact`], through
-    /// [`InternedSimulation`] for [`Engine::Batched`].
+    /// [`InternedSimulation`] for [`Engine::Batched`] and
+    /// [`Engine::BatchedCounts`] (the latter in batch-count sampling mode).
     ///
     /// This is the open-state-space counterpart of
     /// [`Engine::run_until_silent`]; enumerable protocols should keep using
@@ -874,8 +1161,9 @@ impl Engine {
                 let outcome = sim.run_until_silent(budget);
                 EngineReport { outcome, final_config: sim.configuration().clone() }
             }
-            Engine::Batched => {
-                let mut sim = InternedSimulation::new(protocol, init, seed);
+            Engine::Batched | Engine::BatchedCounts => {
+                let mut sim = InternedSimulation::new(protocol, init, seed)
+                    .with_sampling_mode(self.sampling_mode());
                 let outcome = sim.run_until_silent(budget);
                 EngineReport { outcome, final_config: sim.to_configuration() }
             }
@@ -899,8 +1187,9 @@ impl Engine {
                 let outcome = sim.run_until(condition, budget);
                 EngineReport { outcome, final_config: sim.configuration().clone() }
             }
-            Engine::Batched => {
-                let mut sim = InternedSimulation::new(protocol, init, seed);
+            Engine::Batched | Engine::BatchedCounts => {
+                let mut sim = InternedSimulation::new(protocol, init, seed)
+                    .with_sampling_mode(self.sampling_mode());
                 let outcome = sim.run_until(condition, budget);
                 EngineReport { outcome, final_config: sim.to_configuration() }
             }

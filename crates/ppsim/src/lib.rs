@@ -96,6 +96,7 @@ pub mod interned;
 pub mod mcheck;
 pub mod protocol;
 pub mod runner;
+pub mod sampling;
 pub mod scenario;
 pub mod scheduler;
 pub mod time;
@@ -104,6 +105,7 @@ pub mod trace;
 pub use agent::AgentId;
 pub use batched::{
     sample_null_run, BatchedSimulation, Engine, EngineReport, EnumerableProtocol, ForceDense,
+    SamplingMode,
 };
 pub use config::Configuration;
 pub use error::SimError;
@@ -131,7 +133,7 @@ pub use trace::{Trace, TraceEvent};
 pub mod prelude {
     pub use crate::agent::AgentId;
     pub use crate::batched::{
-        BatchedSimulation, Engine, EngineReport, EnumerableProtocol, ForceDense,
+        BatchedSimulation, Engine, EngineReport, EnumerableProtocol, ForceDense, SamplingMode,
     };
     pub use crate::config::Configuration;
     pub use crate::error::SimError;

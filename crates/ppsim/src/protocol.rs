@@ -93,6 +93,21 @@ pub trait Protocol {
     fn is_null(&self, _initiator: &Self::State, _responder: &Self::State) -> bool {
         false
     }
+
+    /// Whether [`Protocol::transition`] ignores its RNG, making every ordered
+    /// pair's outcome a fixed function of the two states.
+    ///
+    /// The batch-count sampling mode (`SamplingMode::BatchCount` in the
+    /// `batched` module) uses this as a licence to evaluate a multi-count
+    /// table cell once and apply the outcome that many times; protocols that
+    /// keep the default `false` get one evaluation per counted interaction
+    /// instead — still correct, just without the per-cell collapse.
+    /// Declaring `true` for a randomized transition is a logic error (all
+    /// interactions of a cell would share one random outcome); debug builds
+    /// assert against it with independent probe draws.
+    fn deterministic_transitions(&self) -> bool {
+        false
+    }
 }
 
 /// A protocol solving the ranking problem: each agent outputs a rank in

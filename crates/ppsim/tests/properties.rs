@@ -204,6 +204,74 @@ proptest! {
         }
     }
 
+    // The batch-count epoch machinery preserves the engine invariants on
+    // every backend: interaction clocks never overrun the requested budget,
+    // count tables still sum to n, applied transitions never exceed elapsed
+    // interactions, and the incrementally maintained pair weights survive a
+    // from-scratch audit — after plain epochs AND after a mid-run fault
+    // burst lands between epochs.
+    #[test]
+    fn batchcount_epochs_preserve_invariants_on_all_backends(
+        n in 2usize..60,
+        seed in any::<u64>(),
+        steps in 0u64..3_000,
+        k in 0usize..12,
+        target in 0u8..5,
+    ) {
+        let protocol = Spread { n };
+        let init = Configuration::from_fn(n, |i| (i % 5) as u8);
+        let mut fault_rng = ScenarioRng::seed_from_u64(seed ^ 0xBC17);
+        let states = vec![target; k.min(n)];
+
+        let mut indexed = BatchedSimulation::new(protocol, &init, seed)
+            .with_sampling_mode(SamplingMode::BatchCount);
+        let mut dense = BatchedSimulation::new(ForceDense(protocol), &init, seed)
+            .with_sampling_mode(SamplingMode::BatchCount);
+        let mut interned = InternedSimulation::new(AsInterned(protocol), &init, seed)
+            .with_sampling_mode(SamplingMode::BatchCount);
+
+        for round in 0u64..2 {
+            // Round 0: plain batch-count epochs. Round 1: re-run after a
+            // burst corrupted the counts mid-run.
+            indexed.run_for(steps);
+            dense.run_for(steps);
+            interned.run_for(steps);
+
+            prop_assert!(indexed.interactions().count() <= (round + 1) * steps);
+            prop_assert!(indexed.transitions() <= indexed.interactions().count());
+            prop_assert!(interned.transitions() <= interned.interactions().count());
+
+            let sum: u64 = indexed.state_counts().map(|(_, c)| c).sum();
+            prop_assert_eq!(sum, n as u64, "indexed counts round {}", round);
+            let sum: u64 = dense.state_counts().map(|(_, c)| c).sum();
+            prop_assert_eq!(sum, n as u64, "dense counts round {}", round);
+            let sum: u64 = interned.state_counts().map(|(_, c)| c).sum();
+            prop_assert_eq!(sum, n as u64, "interned counts round {}", round);
+
+            let rebuilt = BatchedSimulation::new(protocol, &indexed.to_configuration(), 0);
+            prop_assert_eq!(
+                indexed.active_pairs(),
+                rebuilt.active_pairs(),
+                "indexed rows diverged from a rebuild after batch-count epochs"
+            );
+            prop_assert_eq!(indexed.is_silent(), rebuilt.is_silent());
+            prop_assert_eq!(
+                dense.active_pairs(),
+                BatchedSimulation::new(ForceDense(protocol), &dense.to_configuration(), 0)
+                    .active_pairs()
+            );
+            prop_assert_eq!(
+                interned.recount_active_pairs(),
+                interned.active_pairs(),
+                "interned incremental rows diverged from the recount after batch-count epochs"
+            );
+
+            indexed.inject_states(&states, &mut fault_rng);
+            dense.inject_states(&states, &mut fault_rng);
+            interned.inject_states(&states, &mut fault_rng);
+        }
+    }
+
     // A resolved fault plan is pure data: times strictly increase, every
     // event carries exactly k target states, and the expansion is a function
     // of (plan, seed) alone.
@@ -256,6 +324,9 @@ impl Protocol for Spread {
     }
     fn is_null(&self, a: &u8, b: &u8) -> bool {
         a == b
+    }
+    fn deterministic_transitions(&self) -> bool {
+        true // the transition ignores its RNG: batch-count applies m-fold bundles
     }
 }
 

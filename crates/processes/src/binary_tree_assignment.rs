@@ -132,6 +132,10 @@ impl Protocol for BinaryTreeAssignment {
     fn is_null(&self, a: &AssignmentState, b: &AssignmentState) -> bool {
         !can_recruit(self.n, a, b) && !can_recruit(self.n, b, a)
     }
+
+    fn deterministic_transitions(&self) -> bool {
+        true // the transition ignores its RNG
+    }
 }
 
 impl RankingProtocol for BinaryTreeAssignment {

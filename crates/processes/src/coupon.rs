@@ -97,6 +97,10 @@ impl Protocol for Coupon {
     fn is_null(&self, a: &CouponState, b: &CouponState) -> bool {
         matches!((a, b), (CouponState::Collected, CouponState::Collected))
     }
+
+    fn deterministic_transitions(&self) -> bool {
+        true // the transition ignores its RNG
+    }
 }
 
 /// Two states (fresh = 0, collected = 1); a pair is non-null whenever a fresh

@@ -123,6 +123,10 @@ impl Protocol for Epidemic {
     fn is_null(&self, a: &EpidemicState, b: &EpidemicState) -> bool {
         a == b
     }
+
+    fn deterministic_transitions(&self) -> bool {
+        true // the transition ignores its RNG
+    }
 }
 
 /// Two states (susceptible = 0, infected = 1); a pair is non-null exactly

@@ -78,6 +78,10 @@ impl Protocol for Fratricide {
     fn is_null(&self, a: &LeaderState, b: &LeaderState) -> bool {
         !matches!((a, b), (LeaderState::Leader, LeaderState::Leader))
     }
+
+    fn deterministic_transitions(&self) -> bool {
+        true // the transition ignores its RNG
+    }
 }
 
 impl LeaderElectionProtocol for Fratricide {

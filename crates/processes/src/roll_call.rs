@@ -221,6 +221,10 @@ impl Protocol for RollCall {
     fn is_null(&self, initiator: &Roster, responder: &Roster) -> bool {
         initiator == responder
     }
+
+    fn deterministic_transitions(&self) -> bool {
+        true // the transition ignores its RNG
+    }
 }
 
 impl InternableProtocol for RollCall {

@@ -141,6 +141,10 @@ impl Protocol for SyntheticCoin {
         // intentionally non-silent (it is a building block, not a full task).
         false
     }
+
+    fn deterministic_transitions(&self) -> bool {
+        true // the synthetic coin extracts randomness from roles, not the RNG
+    }
 }
 
 fn toggle(role: CoinRole) -> CoinRole {

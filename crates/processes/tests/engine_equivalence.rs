@@ -63,6 +63,61 @@ fn batched_fratricide_matches_the_specialized_sampler() {
     assert!(relative_gap < 0.08, "batched mean {mb:.0} vs specialized mean {ms:.0}");
 }
 
+/// The batch-count mode on the few-state processes — the regime it was built
+/// for, where per-cell multiplicities are large and whole bundles of
+/// identical transitions are applied per epoch. Its silence-time
+/// distributions must still match the specialized samplers (which validate
+/// the paper's closed forms), on both the enumerated and interned backends.
+#[test]
+fn batchcount_matches_the_specialized_samplers() {
+    let trials = 200;
+
+    // Epidemic T_n: silence = everyone infected.
+    let n = 150;
+    let plan = TrialPlan::new(trials, 5);
+    let batchcount = run_trials(&plan, |_, seed| {
+        let protocol = Epidemic::new(n);
+        let config = protocol.single_source_configuration();
+        let mut sim = BatchedSimulation::new(protocol, &config, seed)
+            .with_sampling_mode(SamplingMode::BatchCount);
+        assert!(sim.run_until_silent(BUDGET).is_silent());
+        assert_eq!(sim.count_of(&EpidemicState::Infected), n as u64);
+        assert!(sim.batch_epochs() > 0, "n = 150 must engage the epoch path");
+        sim.interactions().count() as f64
+    });
+    let specialized = run_trials(&plan, |_, seed| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xEE11D);
+        simulate_epidemic_interactions(n, 1, &mut rng) as f64
+    });
+    let (mb, ms) = (mean(&batchcount), mean(&specialized));
+    assert!(
+        (mb - ms).abs() / ms < 0.08,
+        "epidemic: batchcount mean {mb:.0} vs specialized mean {ms:.0}"
+    );
+
+    // Fratricide from all leaders: silence = one leader left.
+    let n = 120;
+    let plan = TrialPlan::new(trials, 8);
+    let batchcount = run_trials(&plan, |_, seed| {
+        let protocol = Fratricide::new(n);
+        let config = protocol.all_leaders_configuration();
+        let mut sim = BatchedSimulation::new(protocol, &config, seed)
+            .with_sampling_mode(SamplingMode::BatchCount);
+        assert!(sim.run_until_silent(BUDGET).is_silent());
+        assert_eq!(sim.count_of(&LeaderState::Leader), 1);
+        sim.interactions().count() as f64
+    });
+    let specialized = run_trials(&plan, |_, seed| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xF8A7);
+        simulate_fratricide_interactions(n, n, &mut rng) as f64
+    });
+    let (mb, ms) = (mean(&batchcount), mean(&specialized));
+    assert!(
+        (mb - ms).abs() / ms < 0.08,
+        "fratricide: batchcount mean {mb:.0} vs specialized mean {ms:.0}"
+    );
+}
+
 #[test]
 fn batched_and_exact_epidemic_agree_per_seed_on_the_verdict() {
     // Both engines must (a) report non-silence from a single source, (b)
@@ -180,12 +235,17 @@ fn roll_call_silence_times_match_the_specialized_sampler_on_both_engines() {
     };
     let exact = engine_times(Engine::Exact, 0x1111);
     let interned = engine_times(Engine::Batched, 0x2222);
+    let batchcount = engine_times(Engine::BatchedCounts, 0x4444);
     let specialized = run_trials(&plan, |_, seed| {
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x3333);
         simulate_roll_call_interactions(n, &mut rng) as f64
     });
-    let (me, mi, ms) = (mean(&exact), mean(&interned), mean(&specialized));
-    for (label, m) in [("exact", me), ("interned", mi)] {
+    let ms = mean(&specialized);
+    for (label, m) in [
+        ("exact", mean(&exact)),
+        ("interned", mean(&interned)),
+        ("interned batchcount", mean(&batchcount)),
+    ] {
         let relative_gap = (m - ms).abs() / ms;
         assert!(relative_gap < 0.08, "{label} mean {m:.0} vs specialized mean {ms:.0}");
     }

@@ -309,6 +309,10 @@ impl Protocol for OptimalSilentSsr {
             _ => false,
         }
     }
+
+    fn deterministic_transitions(&self) -> bool {
+        true // the transition ignores its RNG
+    }
 }
 
 impl OptimalSilentSsr {

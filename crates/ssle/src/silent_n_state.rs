@@ -223,6 +223,10 @@ impl Protocol for SilentNStateSsr {
     fn is_null(&self, initiator: &SilentRank, responder: &SilentRank) -> bool {
         initiator.0 != responder.0
     }
+
+    fn deterministic_transitions(&self) -> bool {
+        true // the transition ignores its RNG
+    }
 }
 
 impl RankingProtocol for SilentNStateSsr {

@@ -56,6 +56,33 @@ proptest! {
         prop_assert!(protocol.is_correctly_ranked(&batched.final_config));
     }
 
+    // The batch-count sampling mode reaches the same almost-sure verdict on
+    // *both* of its backends (enumerated Fenwick and dynamically interned):
+    // silence in the unique correctly ranked multiset, from any initial
+    // multiset.
+    #[test]
+    fn batchcount_silences_into_the_ranked_multiset(
+        n in 4usize..20,
+        seed in any::<u64>(),
+        scramble in any::<u64>(),
+    ) {
+        let protocol = SilentNStateSsr::new(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(scramble);
+        let init = protocol.random_configuration(&mut rng);
+
+        let batched = Engine::BatchedCounts.run_until_silent(protocol, &init, seed, BUDGET);
+        let interned = Engine::BatchedCounts
+            .run_until_silent_interned(AsInterned(protocol), &init, seed, BUDGET);
+
+        prop_assert!(batched.outcome.is_silent());
+        prop_assert!(interned.outcome.is_silent());
+        prop_assert_eq!(
+            rank_counts(n, &batched.final_config),
+            rank_counts(n, &interned.final_config)
+        );
+        prop_assert!(protocol.is_correctly_ranked(&batched.final_config));
+    }
+
     // A silent initial configuration is reported silent by both engines with
     // zero interactions, for every seed.
     #[test]
@@ -283,17 +310,60 @@ fn mean_and_se(samples: &[f64]) -> (f64, f64) {
 fn mean_stabilization_times_match_across_engines() {
     for (n, trials) in [(8usize, 60), (32, 40), (128, 24)] {
         let exact = silence_times(n, Engine::Exact, trials, 101 + n as u64);
-        let batched = silence_times(n, Engine::Batched, trials, 707 + n as u64);
         let (me, se_e) = mean_and_se(&exact);
-        let (mb, se_b) = mean_and_se(&batched);
-        let combined = (se_e * se_e + se_b * se_b).sqrt();
-        let allowance = 1.5 * t_quantile_975(trials - 1) * combined.max(1e-9);
-        let gap = (me - mb).abs();
-        assert!(
-            gap <= allowance,
-            "n = {n}: exact mean {me:.3} vs batched mean {mb:.3} \
-             (gap {gap:.3} > 1.5·t·SE allowance {allowance:.3})"
-        );
+        for (label, engine, seed) in [
+            ("batched", Engine::Batched, 707 + n as u64),
+            ("batchcount", Engine::BatchedCounts, 523 + n as u64),
+        ] {
+            let other = silence_times(n, engine, trials, seed);
+            let (mb, se_b) = mean_and_se(&other);
+            let combined = (se_e * se_e + se_b * se_b).sqrt();
+            let allowance = 1.5 * t_quantile_975(trials - 1) * combined.max(1e-9);
+            let gap = (me - mb).abs();
+            assert!(
+                gap <= allowance,
+                "n = {n}: exact mean {me:.3} vs {label} mean {mb:.3} \
+                 (gap {gap:.3} > 1.5·t·SE allowance {allowance:.3})"
+            );
+        }
+    }
+}
+
+/// The same four-way comparison routed through the *interned* backend: both
+/// sampling modes of `InternedSimulation` (per-transition and batch-count)
+/// produce silence-time distributions whose means match the exact engine's
+/// within the suite's 1.5·t·SE allowance.
+#[test]
+fn mean_stabilization_times_match_on_the_interned_backend() {
+    let interned_times = |mode_engine: Engine, n: usize, trials: usize, seed: u64| -> Vec<f64> {
+        run_trials(&TrialPlan::new(trials, seed), |_, s| {
+            let protocol = SilentNStateSsr::new(n);
+            let mut rng = ChaCha8Rng::seed_from_u64(s ^ 0xD1CE);
+            let config = protocol.random_configuration(&mut rng);
+            let report =
+                mode_engine.run_until_silent_interned(AsInterned(protocol), &config, s, BUDGET);
+            assert!(report.outcome.is_silent());
+            report.parallel_time().value()
+        })
+    };
+    for (n, trials) in [(8usize, 60), (32, 32)] {
+        let exact = silence_times(n, Engine::Exact, trials, 101 + n as u64);
+        let (me, se_e) = mean_and_se(&exact);
+        for (label, engine, seed) in [
+            ("interned", Engine::Batched, 311 + n as u64),
+            ("interned batchcount", Engine::BatchedCounts, 419 + n as u64),
+        ] {
+            let other = interned_times(engine, n, trials, seed);
+            let (mb, se_b) = mean_and_se(&other);
+            let combined = (se_e * se_e + se_b * se_b).sqrt();
+            let allowance = 1.5 * t_quantile_975(trials - 1) * combined.max(1e-9);
+            assert!(
+                (me - mb).abs() <= allowance,
+                "n = {n}: exact mean {me:.3} vs {label} mean {mb:.3} \
+                 (gap {:.3} > 1.5·t·SE allowance {allowance:.3})",
+                (me - mb).abs()
+            );
+        }
     }
 }
 
@@ -469,24 +539,28 @@ fn merged_collision_detection_times_match_across_engines() {
 fn batched_worst_case_time_matches_the_closed_form() {
     let n = 64;
     let trials = 32;
-    let reports = run_engine_trials(&TrialPlan::new(trials, 9), Engine::Batched, BUDGET, |_, _| {
-        let protocol = SilentNStateSsr::new(n);
-        (protocol, protocol.worst_case_configuration())
-    });
-    let times: Vec<f64> = reports.iter().map(|r| r.parallel_time().value()).collect();
-    let (mean, se) = mean_and_se(&times);
     // E[T] = (n−1)²/2 parallel time for the bottleneck chain (Theorem 2.4).
     // 1.5·t·SE is the one-sample statistical allowance (see
     // mean_stabilization_times_match_across_engines for the factor); the 2%
     // additive term covers the closed form being the bottleneck chain alone
-    // (the measured time includes the non-bottleneck prefix).
+    // (the measured time includes the non-bottleneck prefix). The batch-count
+    // mode's interaction clock is drawn per epoch rather than per transition,
+    // so it faces the same closed form independently.
     let expected = ((n - 1) as f64).powi(2) / 2.0;
-    let allowance = 1.5 * t_quantile_975(trials - 1) * se + 0.02 * expected;
-    assert!(
-        (mean - expected).abs() <= allowance,
-        "batched worst-case mean {mean:.1} far from the closed form {expected:.1} \
-         (allowance {allowance:.1})"
-    );
+    for (engine, seed) in [(Engine::Batched, 9u64), (Engine::BatchedCounts, 15)] {
+        let reports = run_engine_trials(&TrialPlan::new(trials, seed), engine, BUDGET, |_, _| {
+            let protocol = SilentNStateSsr::new(n);
+            (protocol, protocol.worst_case_configuration())
+        });
+        let times: Vec<f64> = reports.iter().map(|r| r.parallel_time().value()).collect();
+        let (mean, se) = mean_and_se(&times);
+        let allowance = 1.5 * t_quantile_975(trials - 1) * se + 0.02 * expected;
+        assert!(
+            (mean - expected).abs() <= allowance,
+            "{engine} worst-case mean {mean:.1} far from the closed form {expected:.1} \
+             (allowance {allowance:.1})"
+        );
+    }
 }
 
 /// Mid-run fault recovery is engine-independent: the same seeded
@@ -512,7 +586,7 @@ fn mean_fault_recovery_times_match_across_engines() {
             let mut rng = ChaCha8Rng::seed_from_u64(s ^ 0xFA);
             let init = protocol.random_configuration(&mut rng);
             let report = if interned {
-                Engine::Batched.run_until_silent_interned_with_faults(
+                engine.run_until_silent_interned_with_faults(
                     AsInterned(protocol),
                     &init,
                     s,
@@ -531,8 +605,15 @@ fn mean_fault_recovery_times_match_across_engines() {
     let exact = recovery_times(Engine::Exact, false, 211);
     let batched = recovery_times(Engine::Batched, false, 223);
     let interned = recovery_times(Engine::Batched, true, 227);
+    let batchcount = recovery_times(Engine::BatchedCounts, false, 229);
+    let batchcount_interned = recovery_times(Engine::BatchedCounts, true, 233);
     let (me, se_e) = mean_and_se(&exact);
-    for (label, samples) in [("batched", &batched), ("interned", &interned)] {
+    for (label, samples) in [
+        ("batched", &batched),
+        ("interned", &interned),
+        ("batchcount", &batchcount),
+        ("interned batchcount", &batchcount_interned),
+    ] {
         let (mb, se_b) = mean_and_se(samples);
         let combined = (se_e * se_e + se_b * se_b).sqrt();
         let allowance = 1.5 * t_quantile_975(trials - 1) * combined.max(1e-9);

@@ -7,7 +7,7 @@ use analysis::{t_quantile_975, Summary};
 use ppsim::mcheck::{
     check_fault_plan_closure, check_self_stabilization, expected_silence_time_exact, MCheckOptions,
 };
-use ppsim::{run_trials, Configuration, Simulation, TrialPlan};
+use ppsim::{run_trials, Configuration, Engine, Simulation, TrialPlan};
 use proptest::prelude::*;
 use ssle::{OptimalSilentParams, OptimalSilentSsr, SilentNStateSsr};
 
@@ -119,6 +119,52 @@ fn optimal_silent_exact_time_matches_the_exact_engine() {
     let exact = expected_silence_time_exact(protocol, &config, &MCheckOptions::default()).unwrap();
     let samples = exact_engine_silence_times(protocol, &config);
     assert_mean_matches_exact(&samples, exact.expected_interactions, "optimal-silent all-rank-2");
+}
+
+/// 200 batch-count-engine silence times (in interactions) from one
+/// configuration: the epoch clock (negative-binomial elapsed draws) must
+/// reproduce the absorbing chain's expected interaction counts, not just the
+/// per-transition engines' — this is the distribution-level acceptance test
+/// for the `BatchCount` clock.
+fn batchcount_engine_silence_times<P>(protocol: P, config: &Configuration<P::State>) -> Vec<f64>
+where
+    P: ppsim::EnumerableProtocol + Clone + Send + Sync,
+    P::State: Clone + Send + Sync,
+{
+    let plan = TrialPlan::new(200, 0xBC5EED);
+    run_trials(&plan, |_, seed| {
+        let report =
+            Engine::BatchedCounts.run_until_silent(protocol.clone(), config, seed, u64::MAX >> 8);
+        assert!(report.outcome.is_silent());
+        report.outcome.interactions.count() as f64
+    })
+}
+
+/// The exact expected silence time lies inside the widened CI of 200
+/// batch-count trials, for every enumerable scenario family of
+/// `Silent-n-state-SSR` at n ∈ {2, 3, 4}. At these sizes the collision-free
+/// batch bound clamps `B` to 1 almost everywhere, so this primarily pins
+/// the epoch clock's fallback agreement; the large-`B` regime is covered by
+/// the engine-vs-engine suites at n ≥ 32 and the bench equivalence run.
+#[test]
+fn silent_n_state_batchcount_times_match_the_exact_expectation() {
+    for n in 2usize..=4 {
+        for scenario in SilentNStateSsr::adversarial_scenarios() {
+            if n < 3 && scenario.name() == "near-silent-wrong" {
+                continue; // family needs n ≥ 3
+            }
+            let protocol = SilentNStateSsr::new(n);
+            let config = scenario.configuration(&protocol, 0x2217);
+            let exact =
+                expected_silence_time_exact(protocol, &config, &MCheckOptions::default()).unwrap();
+            let samples = batchcount_engine_silence_times(protocol, &config);
+            assert_mean_matches_exact(
+                &samples,
+                exact.expected_interactions,
+                &format!("batchcount silent-n-state {} n={n}", scenario.name()),
+            );
+        }
+    }
 }
 
 #[test]
