@@ -64,6 +64,46 @@ where
         .collect()
 }
 
+/// Parallel silence times of a [`Scenario`] family under an explicit
+/// [`InteractionScheduler`] on the chosen engine: the scheduler-threaded
+/// counterpart of [`scenario_times_with_engine`] (which it reproduces sample
+/// for sample under [`InteractionScheduler::Uniform`]).
+///
+/// Incompatible scheduler/engine pairings — a graph-restricted scheduler on
+/// a count engine, a weighted scheduler whose rates are all zero — are
+/// rejected once upfront with the typed [`SimError`] every trial would
+/// produce, before any trial runs.
+pub fn scenario_times_with_engine_scheduled<P, F>(
+    make_protocol: F,
+    scenario: &Scenario<P>,
+    scheduler: &InteractionScheduler<P::State>,
+    trials: usize,
+    seed: u64,
+    engine: Engine,
+    budget: u64,
+) -> Result<Vec<f64>, SimError>
+where
+    P: EnumerableProtocol,
+    F: Fn(usize, u64) -> P + Sync,
+{
+    let plan = TrialPlan::new(trials, seed);
+    let reports =
+        run_scenario_scheduled_trials(&plan, engine, budget, scheduler, scenario, make_protocol)?;
+    Ok(reports
+        .into_iter()
+        .map(|report| {
+            assert!(
+                report.outcome.is_silent(),
+                "scenario {:?} failed to silence within {budget} interactions under the {} \
+                 scheduler",
+                scenario.name(),
+                scheduler.label()
+            );
+            report.parallel_time().value()
+        })
+        .collect())
+}
+
 /// Parallel convergence times of a [`Scenario`] family on the chosen engine:
 /// each trial runs until `correct` holds for the configuration.
 ///
@@ -206,6 +246,35 @@ pub fn roll_call_times_with_engine(n: usize, trials: usize, seed: u64, engine: E
         .collect()
 }
 
+/// Parallel completion times of the roll-call process under an explicit
+/// [`InteractionScheduler`]: the scheduler-threaded counterpart of
+/// [`roll_call_times_with_engine`], routed through the dynamically interned
+/// backend on the count engines. Graph-restricted schedulers are accepted
+/// only by [`Engine::Exact`]; elsewhere the typed [`SimError`] is returned
+/// upfront.
+pub fn roll_call_times_with_scheduler(
+    n: usize,
+    trials: usize,
+    seed: u64,
+    engine: Engine,
+    scheduler: &InteractionScheduler<processes::Roster>,
+) -> Result<Vec<f64>, SimError> {
+    let plan = TrialPlan::new(trials, seed);
+    let reports =
+        run_interned_scheduled_trials(&plan, engine, u64::MAX >> 8, scheduler, |_, _| {
+            let protocol = processes::RollCall::new(n);
+            let config = protocol.initial_configuration();
+            (protocol, config)
+        })?;
+    Ok(reports
+        .into_iter()
+        .map(|report| {
+            assert!(report.outcome.is_silent());
+            report.parallel_time().value()
+        })
+        .collect())
+}
+
 /// Picks the simulation engine from a `--engine exact|batched|batchcount`
 /// (or `--engine=...`) command-line flag, falling back to `default`.
 /// Experiment binaries use this so each workload's default routing (batched
@@ -301,6 +370,61 @@ pub fn silent_n_state_times_with_engine(
             report.parallel_time().value()
         })
         .collect()
+}
+
+/// Stabilization times (parallel) of `Silent-n-state-SSR` under an explicit
+/// [`InteractionScheduler`]: the scheduler-threaded counterpart of
+/// [`silent_n_state_times_with_engine`] (which it reproduces sample for
+/// sample under [`InteractionScheduler::Uniform`]). Graph-restricted
+/// schedulers run only on [`Engine::Exact`]; elsewhere the typed
+/// [`SimError`] is returned upfront.
+pub fn silent_n_state_times_with_scheduler(
+    n: usize,
+    workload: Workload,
+    scheduler: &InteractionScheduler<ssle::SilentRank>,
+    trials: usize,
+    seed: u64,
+    engine: Engine,
+) -> Result<Vec<f64>, SimError> {
+    let plan = TrialPlan::new(trials, seed);
+    let reports =
+        run_scheduled_trials(&plan, engine, u64::MAX >> 8, scheduler, |_, trial_seed| {
+            let protocol = SilentNStateSsr::new(n);
+            let config = silent_n_state_workload(&protocol, workload, trial_seed);
+            (protocol, config)
+        })?;
+    Ok(reports
+        .into_iter()
+        .map(|report| {
+            assert!(report.outcome.is_silent());
+            report.parallel_time().value()
+        })
+        .collect())
+}
+
+/// Per-trial churn reports of `Silent-n-state-SSR` under an
+/// [`InteractionScheduler`] and a [`ChurnPlan`] on the chosen engine: the
+/// population-churn counterpart of [`silent_n_state_times_with_scheduler`],
+/// returning the full [`ChurnReport`]s so callers can extract per-event
+/// re-stabilization times and final-population arithmetic (churn resizes
+/// the population, so a single silence time would under-report).
+#[allow(clippy::too_many_arguments)]
+pub fn silent_n_state_churn_reports(
+    n: usize,
+    workload: Workload,
+    scheduler: &InteractionScheduler<ssle::SilentRank>,
+    churn: &ChurnPlan<ssle::SilentRank>,
+    trials: usize,
+    seed: u64,
+    engine: Engine,
+    budget: u64,
+) -> Result<Vec<ChurnReport<ssle::SilentRank>>, SimError> {
+    let plan = TrialPlan::new(trials, seed);
+    run_churn_trials(&plan, engine, budget, scheduler, churn, |_, trial_seed| {
+        let protocol = SilentNStateSsr::new(n);
+        let config = silent_n_state_workload(&protocol, workload, trial_seed);
+        (protocol, config)
+    })
 }
 
 /// Stabilization times (parallel) of `Optimal-Silent-SSR`, measured by running
@@ -608,6 +732,121 @@ mod tests {
             let times = roll_call_times_with_engine(20, 3, 23, engine);
             assert_eq!(times.len(), 3);
             assert!(times.iter().all(|&t| t > 0.0));
+        }
+    }
+
+    #[test]
+    fn scheduled_measurement_helpers_thread_the_scheduler() {
+        use ssle::SilentRank;
+        let boosted = InteractionScheduler::WeightedPairs(PairRates::new(1).with_rate(
+            SilentRank(0),
+            SilentRank(0),
+            3,
+        ));
+        for engine in [Engine::Exact, Engine::Batched] {
+            let times = silent_n_state_times_with_scheduler(
+                12,
+                Workload::WorstCase,
+                &boosted,
+                2,
+                3,
+                engine,
+            )
+            .unwrap();
+            assert_eq!(times.len(), 2);
+            assert!(times.iter().all(|&t| t > 0.0));
+        }
+        // The uniform strategy reproduces the plain measurement sample for
+        // sample (trajectory preservation, surfaced at the bench layer).
+        let plain = silent_n_state_times(12, Workload::WorstCase, 3, 5);
+        let scheduled = silent_n_state_times_with_scheduler(
+            12,
+            Workload::WorstCase,
+            &InteractionScheduler::Uniform,
+            3,
+            5,
+            Engine::Exact,
+        )
+        .unwrap();
+        assert_eq!(plain, scheduled);
+        // Graph topologies on a count engine are rejected before any trial.
+        let ring = InteractionScheduler::GraphRestricted(Topology::Ring);
+        assert!(matches!(
+            silent_n_state_times_with_scheduler(
+                12,
+                Workload::WorstCase,
+                &ring,
+                2,
+                3,
+                Engine::Batched
+            ),
+            Err(SimError::SchedulerNeedsIdentities { .. })
+        ));
+    }
+
+    #[test]
+    fn scheduled_scenario_and_roll_call_helpers_measure() {
+        use ssle::{SilentNStateSsr, SilentRank};
+        let scenario = &SilentNStateSsr::adversarial_scenarios()[0];
+        let boosted = InteractionScheduler::WeightedPairs(PairRates::new(1).with_rate(
+            SilentRank(0),
+            SilentRank(0),
+            4,
+        ));
+        for engine in [Engine::Exact, Engine::Batched] {
+            let times = scenario_times_with_engine_scheduled(
+                |_, _| SilentNStateSsr::new(10),
+                scenario,
+                &boosted,
+                2,
+                11,
+                engine,
+                50_000_000,
+            )
+            .unwrap();
+            assert_eq!(times.len(), 2);
+            assert!(times.iter().all(|&t| t > 0.0));
+        }
+        // Uniform-scheduled roll call matches the plain interned measurement.
+        let plain = roll_call_times_with_engine(20, 2, 23, Engine::Batched);
+        let scheduled = roll_call_times_with_scheduler(
+            20,
+            2,
+            23,
+            Engine::Batched,
+            &InteractionScheduler::Uniform,
+        )
+        .unwrap();
+        assert_eq!(plain, scheduled);
+    }
+
+    #[test]
+    fn churn_reports_resize_and_restabilize() {
+        use ssle::SilentRank;
+        let n = 16usize;
+        let cube = (n as u64).pow(3);
+        let plan = ChurnPlan::periodic(
+            cube,
+            cube / 2,
+            2,
+            ChurnAction::Replace { count: 2, state: CorruptionTarget::Fixed(SilentRank(0)) },
+        );
+        let reports = silent_n_state_churn_reports(
+            n,
+            Workload::Random,
+            &InteractionScheduler::Uniform,
+            &plan,
+            3,
+            29,
+            Engine::Batched,
+            u64::MAX >> 8,
+        )
+        .unwrap();
+        for report in &reports {
+            assert!(report.outcome.is_silent());
+            assert_eq!(report.final_population(), n);
+            assert_eq!(report.events.len(), 2);
+            assert!(report.restabilized_after_every_event());
         }
     }
 

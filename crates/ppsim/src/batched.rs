@@ -106,7 +106,8 @@ use crate::config::Configuration;
 use crate::error::SimError;
 use crate::execution::{RunOutcome, Simulation, StopReason};
 use crate::protocol::Protocol;
-use crate::sampling::{sample_hypergeometric, sample_interleaved_nulls};
+use crate::sampling::{sample_hypergeometric, sample_interleaved_nulls, sample_victims_by_counts};
+use crate::scheduler::{IndexRates, InteractionScheduler};
 use crate::time::{Interactions, ParallelTime};
 
 /// A [`Protocol`] with a finite, enumerable state space: a bijection between
@@ -394,6 +395,13 @@ pub struct BatchedSimulation<P: EnumerableProtocol> {
     transitions: u64,
     n: usize,
     mode: SamplingMode,
+    /// Resolved weighted-scheduler rates (`None` = the uniform scheduler;
+    /// the `None` path is byte-for-byte the pre-scheduler arithmetic, which
+    /// keeps uniform trajectories seed-stable across the layer).
+    rates: Option<IndexRates>,
+    /// How often a batch-count run fell back to per-transition sampling
+    /// because the scheduler is not uniform.
+    scheduler_fallbacks: u64,
     /// Batch-count diagnostics: epochs drawn and table entries clamped away
     /// by the collision-free availability cap.
     epochs: u64,
@@ -478,12 +486,69 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
             transitions: 0,
             n,
             mode: SamplingMode::default(),
+            rates: None,
+            scheduler_fallbacks: 0,
             epochs: 0,
             truncations: 0,
             scratch_avail: Vec::new(),
             scratch_stamp: Vec::new(),
         };
         sim.rebuild_rows();
+        Ok(sim)
+    }
+
+    /// Creates a batched simulation under an explicit scheduling strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the setup errors [`BatchedSimulation::try_new_scheduled`]
+    /// reports.
+    pub fn new_scheduled(
+        protocol: P,
+        config: &Configuration<P::State>,
+        seed: u64,
+        scheduler: &InteractionScheduler<P::State>,
+    ) -> Self {
+        Self::try_new_scheduled(protocol, config, seed, scheduler)
+            .expect("invalid simulation setup")
+    }
+
+    /// Creates a batched simulation under an explicit scheduling strategy,
+    /// validating both the setup and the scheduler/engine compatibility.
+    ///
+    /// [`InteractionScheduler::Uniform`] is trajectory-preserving: it runs
+    /// the exact same code path (and RNG draws) as
+    /// [`BatchedSimulation::try_new`]. [`InteractionScheduler::WeightedPairs`]
+    /// reweighs the count-level pair measure by the resolved rates.
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`BatchedSimulation::try_new`]'s errors, returns
+    /// [`SimError::SchedulerNeedsIdentities`] for
+    /// [`InteractionScheduler::GraphRestricted`] (a graph measure depends on
+    /// which agent holds which state, and this engine erases identities) and
+    /// [`SimError::ZeroRateScheduler`] if every weighted rate is zero.
+    pub fn try_new_scheduled(
+        protocol: P,
+        config: &Configuration<P::State>,
+        seed: u64,
+        scheduler: &InteractionScheduler<P::State>,
+    ) -> Result<Self, SimError> {
+        if !scheduler.is_exchangeable() {
+            return Err(SimError::SchedulerNeedsIdentities {
+                scheduler: scheduler.label(),
+                engine: "batched",
+            });
+        }
+        let mut sim = Self::try_new(protocol, config, seed)?;
+        if let InteractionScheduler::WeightedPairs(rates) = scheduler {
+            if rates.max_rate() == 0 {
+                return Err(SimError::ZeroRateScheduler);
+            }
+            let resolved = IndexRates::resolve(rates, |s| sim.protocol.state_index(s));
+            sim.rates = Some(resolved);
+            sim.rebuild_rows();
+        }
         Ok(sim)
     }
 
@@ -511,6 +576,14 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
     /// diagnostic the statistical suites pin down.
     pub fn batch_truncations(&self) -> u64 {
         self.truncations
+    }
+
+    /// How often a [`SamplingMode::BatchCount`] run fell back to
+    /// per-transition sampling because the scheduler is not uniform (the
+    /// epoch tables freeze an exchangeable pair measure, which a weighted
+    /// scheduler reshapes mid-epoch). Always 0 under the uniform scheduler.
+    pub fn scheduler_fallbacks(&self) -> u64 {
+        self.scheduler_fallbacks
     }
 
     /// The protocol being simulated.
@@ -571,8 +644,11 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
         Configuration::from_states(states)
     }
 
-    /// The number of non-null ordered **agent** pairs in the current
-    /// configuration (the quantity `A` of the module docs).
+    /// The active pair weight of the current configuration: under the
+    /// uniform scheduler, the number of non-null ordered **agent** pairs
+    /// (the quantity `A` of the module docs); under a weighted scheduler,
+    /// the rate-weighted sum over those pairs, so rate-0 pairs contribute
+    /// nothing (scheduler-relative silence).
     pub fn active_pairs(&self) -> u64 {
         match &self.backend {
             Backend::Indexed { rows, .. } => rows.total(),
@@ -601,7 +677,14 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
         match &self.backend {
             Backend::Indexed { partners, .. } => (0..self.counts.len())
                 .map(|i| {
-                    Self::row_weight(&self.protocol, &self.counts, &self.decoded, i, &partners[i])
+                    Self::row_weight(
+                        &self.protocol,
+                        &self.counts,
+                        &self.decoded,
+                        self.rates.as_ref(),
+                        i,
+                        &partners[i],
+                    )
                 })
                 .sum(),
             Backend::PresentScan { present, .. } => {
@@ -706,6 +789,14 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
     fn advance(&mut self, active: u64, remaining: &mut u64, elapsed_cap: Option<u64>) -> bool {
         match self.mode {
             SamplingMode::PerTransition => self.advance_one_transition(active, remaining),
+            // Epoch tables freeze an exchangeable pair measure; a weighted
+            // scheduler reshapes the measure with every count change, so
+            // batch-count runs degrade to exact per-transition sampling and
+            // record that they did.
+            SamplingMode::BatchCount if self.rates.is_some() => {
+                self.scheduler_fallbacks += 1;
+                self.advance_one_transition(active, remaining)
+            }
             SamplingMode::BatchCount => self.advance_epoch(active, remaining, elapsed_cap),
         }
     }
@@ -715,8 +806,7 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
     /// `false` (with `remaining` driven to 0 and the interaction counter
     /// advanced) if the budget ran out before the non-null interaction.
     fn advance_one_transition(&mut self, active: u64, remaining: &mut u64) -> bool {
-        let total_pairs = (self.n as u64) * (self.n as u64 - 1);
-        let skip = sample_null_run(active, total_pairs, &mut self.rng);
+        let skip = sample_null_run(active, self.total_weight(), &mut self.rng);
         if skip >= *remaining {
             self.interactions += Interactions::new(*remaining);
             *remaining = 0;
@@ -773,7 +863,8 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
         // partner cells, all by exact conditional hypergeometric splits.
         let mut cells: Vec<(usize, usize, u64)> = Vec::new();
         {
-            let Self { protocol, counts, decoded, backend, rng, .. } = self;
+            let Self { protocol, counts, decoded, backend, rng, rates, .. } = self;
+            let rates = rates.as_ref();
             match backend {
                 Backend::Indexed { partners, rows } => {
                     let mut row_shares: Vec<(usize, u64)> = Vec::new();
@@ -783,13 +874,13 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
                     for (i, n_i) in row_shares {
                         let ci = counts[i];
                         let mut row_rem =
-                            Self::row_weight(protocol, counts, decoded, i, &partners[i]);
+                            Self::row_weight(protocol, counts, decoded, rates, i, &partners[i]);
                         let mut n_rem = n_i;
                         for &j in &partners[i] {
                             if n_rem == 0 {
                                 break;
                             }
-                            let w = ci * Self::pair_term(protocol, counts, decoded, i, j);
+                            let w = ci * Self::pair_term(protocol, counts, decoded, rates, i, j);
                             let m = sample_hypergeometric(row_rem, w, n_rem, rng);
                             row_rem -= w;
                             n_rem -= m;
@@ -807,7 +898,7 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
                         if b_rem == 0 {
                             break;
                         }
-                        let r = Self::row_weight(protocol, counts, decoded, u, present);
+                        let r = Self::row_weight(protocol, counts, decoded, rates, u, present);
                         let n_u = sample_hypergeometric(a_rem, r, b_rem, rng);
                         a_rem -= r;
                         b_rem -= n_u;
@@ -821,7 +912,7 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
                             if n_rem == 0 {
                                 break;
                             }
-                            let w = cu * Self::pair_term(protocol, counts, decoded, u, v);
+                            let w = cu * Self::pair_term(protocol, counts, decoded, rates, u, v);
                             let m = sample_hypergeometric(row_rem, w, n_rem, rng);
                             row_rem -= w;
                             n_rem -= m;
@@ -1032,15 +1123,29 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
     }
 
     /// The contribution of responder state `j` to initiator `i`'s row:
-    /// `(c_j − [i = j])` if `(i, j)` is non-null, else 0.
+    /// `(c_j − [i = j])` if `(i, j)` is non-null, else 0 — scaled by the
+    /// scheduler rate of `(i, j)` when a weighted scheduler is installed.
     ///
     /// Associated function over the individual fields (rather than `&self`)
     /// so row repairs can call it while the backend is mutably borrowed.
-    fn pair_term(protocol: &P, counts: &[u64], decoded: &[P::State], i: usize, j: usize) -> u64 {
+    fn pair_term(
+        protocol: &P,
+        counts: &[u64],
+        decoded: &[P::State],
+        rates: Option<&IndexRates>,
+        i: usize,
+        j: usize,
+    ) -> u64 {
         if protocol.is_null(&decoded[i], &decoded[j]) {
-            0
-        } else {
-            counts[j].saturating_sub((i == j) as u64)
+            return 0;
+        }
+        let c = counts[j].saturating_sub((i == j) as u64);
+        match rates {
+            None => c,
+            Some(r) => r
+                .rate(i, j)
+                .checked_mul(c)
+                .expect("weighted pair term overflows u64; scale the rates down"),
         }
     }
 
@@ -1050,6 +1155,7 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
         protocol: &P,
         counts: &[u64],
         decoded: &[P::State],
+        rates: Option<&IndexRates>,
         i: usize,
         partners: &[usize],
     ) -> u64 {
@@ -1059,14 +1165,27 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
         }
         let mut s = 0u64;
         for &j in partners {
-            s += Self::pair_term(protocol, counts, decoded, i, j);
+            s += Self::pair_term(protocol, counts, decoded, rates, i, j);
         }
-        ci * s
+        ci.checked_mul(s).expect("weighted row weight overflows u64; scale the rates down")
     }
 
     /// Method form of [`Self::pair_term`] for call sites holding `&self`.
     fn pair_weight_term(&self, i: usize, j: usize) -> u64 {
-        Self::pair_term(&self.protocol, &self.counts, &self.decoded, i, j)
+        Self::pair_term(&self.protocol, &self.counts, &self.decoded, self.rates.as_ref(), i, j)
+    }
+
+    /// The total pair measure the scheduler draws each interaction from:
+    /// `n(n−1)` under the uniform scheduler, the rate-weighted `W(c)` under
+    /// a weighted one. The null-run success probability is
+    /// `active_pairs() / total_weight()` either way.
+    fn total_weight(&self) -> u64 {
+        let n = self.n as u64;
+        let total_pairs = n * (n - 1);
+        match &self.rates {
+            None => total_pairs,
+            Some(r) => r.total_weight(&self.counts, total_pairs),
+        }
     }
 
     /// Same as [`Self::pair_weight_term`] for the dense backend (identical
@@ -1077,7 +1196,14 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
 
     /// Full row weight of state `u` against the present set (dense backend).
     fn row_weight_scan(&self, u: usize, present: &[usize]) -> u64 {
-        Self::row_weight(&self.protocol, &self.counts, &self.decoded, u, present)
+        Self::row_weight(
+            &self.protocol,
+            &self.counts,
+            &self.decoded,
+            self.rates.as_ref(),
+            u,
+            present,
+        )
     }
 
     /// Applies one fault burst in count space: draws `states.len()` victim
@@ -1094,29 +1220,48 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
     pub fn inject_states(&mut self, states: &[P::State], rng: &mut impl Rng) {
         let k = states.len();
         assert!(k <= self.n, "cannot corrupt more agents than the population holds");
-        // `taken` tracks per-state draws so the scan below sees the
-        // without-replacement distribution while `counts` stays untouched
-        // until the single delta application at the end.
-        let mut taken = vec![0u64; self.counts.len()];
+        let victims = sample_victims_by_counts(&self.counts, None, k, rng);
         let mut deltas: Vec<(usize, i64)> = Vec::with_capacity(2 * k);
-        let mut remaining = self.n as u64;
-        for s in states {
-            let mut t = rng.gen_range(0..remaining);
-            let mut src = usize::MAX;
-            for (i, &c) in self.counts.iter().enumerate() {
-                let avail = c - taken[i];
-                if t < avail {
-                    src = i;
-                    break;
-                }
-                t -= avail;
-            }
-            debug_assert!(src != usize::MAX, "victim draws cover the whole population");
-            taken[src] += 1;
-            remaining -= 1;
+        for (src, s) in victims.into_iter().zip(states) {
             deltas.push((src, -1));
             deltas.push((self.protocol.state_index(s), 1));
         }
+        self.apply_count_deltas(&deltas);
+    }
+
+    /// Population churn: `states.len()` fresh agents join in the given
+    /// states. A no-op for an empty slice.
+    pub fn join(&mut self, states: &[P::State]) {
+        if states.is_empty() {
+            return;
+        }
+        let deltas: Vec<(usize, i64)> = states
+            .iter()
+            .map(|s| {
+                let i = self.protocol.state_index(s);
+                assert!(i < self.counts.len(), "joining state outside the enumerated space");
+                (i, 1)
+            })
+            .collect();
+        self.n += states.len();
+        self.apply_count_deltas(&deltas);
+    }
+
+    /// Population churn: `k` agents, drawn proportionally to the current
+    /// counts without replacement (the count-space image of uniform distinct
+    /// departures), leave the population. A no-op for `k == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless at least two agents remain after the departures.
+    pub fn leave(&mut self, k: usize, rng: &mut impl Rng) {
+        if k == 0 {
+            return;
+        }
+        assert!(self.n >= k + 2, "churn departures must leave at least two agents");
+        let victims = sample_victims_by_counts(&self.counts, None, k, rng);
+        let deltas: Vec<(usize, i64)> = victims.into_iter().map(|i| (i, -1)).collect();
+        self.n -= k;
         self.apply_count_deltas(&deltas);
     }
 
@@ -1166,6 +1311,7 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
                         &self.protocol,
                         &self.counts,
                         &self.decoded,
+                        self.rates.as_ref(),
                         i,
                         &partners[i],
                     );
@@ -1216,7 +1362,14 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
         };
         let mut fresh = Fenwick::new(self.counts.len());
         for (i, list) in partners.iter().enumerate() {
-            let w = Self::row_weight(&self.protocol, &self.counts, &self.decoded, i, list);
+            let w = Self::row_weight(
+                &self.protocol,
+                &self.counts,
+                &self.decoded,
+                self.rates.as_ref(),
+                i,
+                list,
+            );
             fresh.add(i, w as i64);
         }
         if let Backend::Indexed { partners: p, rows } = &mut self.backend {
@@ -1306,6 +1459,43 @@ impl Engine {
                     .with_sampling_mode(self.sampling_mode());
                 let outcome = sim.run_until_silent(budget);
                 EngineReport { outcome, final_config: sim.to_configuration() }
+            }
+        }
+    }
+
+    /// Runs the protocol from `init` to silence under an explicit
+    /// [`InteractionScheduler`]: [`Engine::Exact`] accepts every strategy;
+    /// the count engines erase agent identities and reject graph-restricted
+    /// schedulers with a typed error. Silence is **scheduler-relative**
+    /// (see [`crate::scheduler`]). With the uniform scheduler this is
+    /// trajectory-identical to [`Engine::run_until_silent`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SchedulerNeedsIdentities`] for a graph-restricted
+    /// scheduler on a count engine; [`SimError::ZeroRateScheduler`] when
+    /// every pair rate of a weighted scheduler is zero.
+    pub fn run_until_silent_scheduled<P: EnumerableProtocol>(
+        self,
+        protocol: P,
+        init: &Configuration<P::State>,
+        seed: u64,
+        budget: u64,
+        scheduler: &InteractionScheduler<P::State>,
+    ) -> Result<EngineReport<P::State>, SimError> {
+        match self {
+            Engine::Exact => {
+                let mut sim =
+                    Simulation::try_new_scheduled(protocol, init.clone(), seed, scheduler)?;
+                let outcome = sim.run_until_silent(budget);
+                Ok(EngineReport { outcome, final_config: sim.configuration().clone() })
+            }
+            Engine::Batched | Engine::BatchedCounts => {
+                let mut sim =
+                    BatchedSimulation::try_new_scheduled(protocol, init, seed, scheduler)?
+                        .with_sampling_mode(self.sampling_mode());
+                let outcome = sim.run_until_silent(budget);
+                Ok(EngineReport { outcome, final_config: sim.to_configuration() })
             }
         }
     }
@@ -1675,5 +1865,163 @@ mod tests {
             statistic <= critical,
             "split_batch joint chi-square {statistic:.2} exceeds {critical:.2}"
         );
+    }
+
+    mod scheduled {
+        use super::*;
+        use crate::scheduler::{PairRates, Topology};
+
+        const BUDGET: u64 = u64::MAX >> 8;
+
+        fn leaders(c: &Configuration<u8>) -> usize {
+            c.iter().filter(|&&s| s == 0).count()
+        }
+
+        #[test]
+        fn graph_schedulers_are_rejected_with_a_typed_error() {
+            let ring = InteractionScheduler::GraphRestricted(Topology::Ring);
+            let err = BatchedSimulation::try_new_scheduled(
+                Frat { n: 8 },
+                &Configuration::uniform(0u8, 8),
+                1,
+                &ring,
+            )
+            .unwrap_err();
+            assert_eq!(
+                err,
+                SimError::SchedulerNeedsIdentities {
+                    scheduler: "ring".to_owned(),
+                    engine: "batched"
+                }
+            );
+            let err = Engine::Batched
+                .run_until_silent_scheduled(
+                    Frat { n: 8 },
+                    &Configuration::uniform(0u8, 8),
+                    1,
+                    BUDGET,
+                    &ring,
+                )
+                .unwrap_err();
+            assert!(matches!(err, SimError::SchedulerNeedsIdentities { .. }));
+        }
+
+        #[test]
+        fn zero_rate_schedulers_are_rejected() {
+            let dead = InteractionScheduler::WeightedPairs(PairRates::new(0));
+            let err = BatchedSimulation::try_new_scheduled(
+                Frat { n: 8 },
+                &Configuration::uniform(0u8, 8),
+                1,
+                &dead,
+            )
+            .unwrap_err();
+            assert_eq!(err, SimError::ZeroRateScheduler);
+        }
+
+        #[test]
+        fn scheduled_uniform_is_trajectory_identical_to_plain() {
+            for seed in [1u64, 9, 23] {
+                let init = Configuration::uniform(0u8, 30);
+                let plain = Engine::Batched.run_until_silent(Frat { n: 30 }, &init, seed, BUDGET);
+                let scheduled = Engine::Batched
+                    .run_until_silent_scheduled(
+                        Frat { n: 30 },
+                        &init,
+                        seed,
+                        BUDGET,
+                        &InteractionScheduler::Uniform,
+                    )
+                    .unwrap();
+                assert_eq!(plain, scheduled);
+            }
+        }
+
+        #[test]
+        fn weighted_runs_silence_on_both_backends() {
+            let rates = PairRates::new(1).with_rate(0u8, 0u8, 7);
+            let scheduler = InteractionScheduler::WeightedPairs(rates);
+            let init = Configuration::uniform(0u8, 40);
+            let mut indexed =
+                BatchedSimulation::try_new_scheduled(Frat { n: 40 }, &init, 3, &scheduler).unwrap();
+            assert!(indexed.run_until_silent(BUDGET).is_silent());
+            assert_eq!(leaders(&indexed.to_configuration()), 1);
+            let mut dense = BatchedSimulation::try_new_scheduled(
+                ForceDense(Frat { n: 40 }),
+                &init,
+                3,
+                &scheduler,
+            )
+            .unwrap();
+            assert!(dense.run_until_silent(BUDGET).is_silent());
+            assert_eq!(leaders(&dense.to_configuration()), 1);
+        }
+
+        #[test]
+        fn rate_zero_pairs_make_silence_scheduler_relative() {
+            // Fratricide's only non-null pair at rate 0: every configuration
+            // is silent for the weighted scheduler, active for the uniform.
+            let rates = PairRates::new(1).with_rate(0u8, 0u8, 0);
+            let scheduler = InteractionScheduler::WeightedPairs(rates);
+            let init = Configuration::uniform(0u8, 10);
+            let sim =
+                BatchedSimulation::try_new_scheduled(Frat { n: 10 }, &init, 1, &scheduler).unwrap();
+            assert!(sim.is_silent());
+            assert!(!BatchedSimulation::new(Frat { n: 10 }, &init, 1).is_silent());
+        }
+
+        // Satellite pin: under a non-uniform scheduler, `Engine::BatchedCounts`
+        // must not sample the (uniform-law) batch-count epochs — it falls back
+        // to per-transition sampling, counted, and the trajectory is exactly
+        // the per-transition engine's.
+        #[test]
+        fn batchcount_weighted_fallback_is_trajectory_equal_to_batched() {
+            let rates = PairRates::new(1).with_rate(0u8, 0u8, 4);
+            let scheduler = InteractionScheduler::WeightedPairs(rates);
+            let init = Configuration::uniform(0u8, 50);
+            for seed in [2u64, 5, 31] {
+                let mut per_transition =
+                    BatchedSimulation::try_new_scheduled(Frat { n: 50 }, &init, seed, &scheduler)
+                        .unwrap()
+                        .with_sampling_mode(SamplingMode::PerTransition);
+                let mut batchcount =
+                    BatchedSimulation::try_new_scheduled(Frat { n: 50 }, &init, seed, &scheduler)
+                        .unwrap()
+                        .with_sampling_mode(SamplingMode::BatchCount);
+                let a = per_transition.run_until_silent(BUDGET);
+                let b = batchcount.run_until_silent(BUDGET);
+                assert_eq!(a, b, "seed {seed}");
+                assert_eq!(
+                    per_transition.to_configuration(),
+                    batchcount.to_configuration(),
+                    "seed {seed}"
+                );
+                assert!(
+                    batchcount.scheduler_fallbacks() > 0,
+                    "fallback diagnostic must count the diverted batches"
+                );
+                assert_eq!(per_transition.scheduler_fallbacks(), 0);
+            }
+        }
+
+        #[test]
+        fn churn_keeps_weighted_row_weights_consistent() {
+            use rand::SeedableRng;
+            let rates = PairRates::new(2).with_rate(0u8, 0u8, 5);
+            let scheduler = InteractionScheduler::WeightedPairs(rates);
+            let init = Configuration::uniform(0u8, 20);
+            let mut rng = ChaCha8Rng::seed_from_u64(8);
+            let mut sim =
+                BatchedSimulation::try_new_scheduled(Frat { n: 20 }, &init, 8, &scheduler).unwrap();
+            sim.run_until_silent(BUDGET);
+            sim.join(&[0u8, 0, 0, 0]);
+            assert_eq!(sim.population_size(), 24);
+            assert_eq!(sim.active_pairs(), sim.recount_active_pairs());
+            sim.leave(10, &mut rng);
+            assert_eq!(sim.population_size(), 14);
+            assert_eq!(sim.active_pairs(), sim.recount_active_pairs());
+            assert!(sim.run_until_silent(BUDGET).is_silent());
+            assert_eq!(leaders(&sim.to_configuration()), 1);
+        }
     }
 }

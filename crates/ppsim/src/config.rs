@@ -108,6 +108,22 @@ impl<S> Configuration<S> {
             f(i, s);
         }
     }
+
+    /// Appends one agent in the given state (population churn: a join).
+    pub fn push(&mut self, state: S) {
+        self.states.push(state);
+    }
+
+    /// Removes one agent and returns its state, moving the last agent into
+    /// the vacated slot (population churn: a departure). O(1); agent
+    /// identities after the removed index are renumbered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the agent index is out of bounds.
+    pub fn swap_remove(&mut self, agent: AgentId) -> S {
+        self.states.swap_remove(agent.index())
+    }
 }
 
 impl<S: Clone> Configuration<S> {
@@ -221,6 +237,15 @@ mod tests {
     fn into_states_returns_vector() {
         let c = Configuration::from_states(vec![1, 2, 3]);
         assert_eq!(c.into_states(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn push_and_swap_remove_resize_the_population() {
+        let mut c = Configuration::from_states(vec![1, 2, 3]);
+        c.push(4);
+        assert_eq!(c.as_slice(), &[1, 2, 3, 4]);
+        assert_eq!(c.swap_remove(AgentId::new(0)), 1);
+        assert_eq!(c.as_slice(), &[4, 2, 3]);
     }
 
     #[test]

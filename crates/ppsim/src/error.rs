@@ -26,6 +26,20 @@ pub enum SimError {
         /// The interaction budget that was exhausted.
         budget: u64,
     },
+    /// The scheduler's pair measure depends on agent identities (e.g. a
+    /// graph-restricted topology), which the count-based engines erase:
+    /// sampling it there would silently draw from the wrong law, so the
+    /// engine rejects it. Route identity-based schedulers to the exact
+    /// engine.
+    SchedulerNeedsIdentities {
+        /// The scheduler strategy that was rejected (its label).
+        scheduler: String,
+        /// The engine that rejected it.
+        engine: &'static str,
+    },
+    /// Every pair rate of a weighted scheduler is zero: no interaction can
+    /// ever be scheduled.
+    ZeroRateScheduler,
 }
 
 impl fmt::Display for SimError {
@@ -40,6 +54,14 @@ impl fmt::Display for SimError {
             ),
             SimError::BudgetExhausted { budget } => {
                 write!(f, "interaction budget of {budget} exhausted before the goal was reached")
+            }
+            SimError::SchedulerNeedsIdentities { scheduler, engine } => write!(
+                f,
+                "the {scheduler} scheduler needs agent identities, which the {engine} engine \
+                 erases; use the exact engine"
+            ),
+            SimError::ZeroRateScheduler => {
+                write!(f, "every pair rate of the weighted scheduler is zero")
             }
         }
     }
@@ -60,6 +82,10 @@ mod tests {
         assert!(e.to_string().contains("declares 5"));
         let e = SimError::BudgetExhausted { budget: 10 };
         assert!(e.to_string().contains("10"));
+        let e = SimError::SchedulerNeedsIdentities { scheduler: "ring".into(), engine: "batched" };
+        assert!(e.to_string().contains("ring"));
+        assert!(e.to_string().contains("batched"));
+        assert!(SimError::ZeroRateScheduler.to_string().contains("zero"));
     }
 
     #[test]

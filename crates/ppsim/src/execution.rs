@@ -4,7 +4,10 @@
 use crate::config::Configuration;
 use crate::error::SimError;
 use crate::protocol::Protocol;
-use crate::scheduler::{OrderedPair, Scheduler};
+use crate::sampling::sample_distinct_indices;
+use crate::scheduler::{
+    InteractionGraph, InteractionScheduler, OrderedPair, PairRates, Scheduler, Topology,
+};
 use crate::time::{Interactions, ParallelTime};
 
 /// Why a run stopped.
@@ -75,8 +78,26 @@ impl ConvergenceOutcome {
     }
 }
 
-/// A single execution of a population protocol under the uniformly random
-/// scheduler.
+/// The exact engine's resolved scheduling strategy: the per-step sampling
+/// machinery an [`InteractionScheduler`] expands to when agent identities
+/// are available.
+#[derive(Clone, Debug)]
+enum ExactStrategy<S> {
+    /// The paper's uniform pair draw, byte-for-byte the pre-layer behavior.
+    Uniform,
+    /// Rejection sampling against the maximum-rate envelope.
+    Weighted { rates: PairRates<S>, max: u64 },
+    /// A uniform edge-and-orientation draw; the topology recipe is kept so
+    /// churn can rebuild the graph at the new population size.
+    Graph { topology: Topology, graph: InteractionGraph },
+}
+
+/// A single execution of a population protocol under a pluggable interaction
+/// scheduler — the paper's uniformly random scheduler by default
+/// ([`Simulation::new`]), or any [`InteractionScheduler`] strategy via
+/// [`Simulation::new_scheduled`]. The exact engine tracks agent identities,
+/// so it is the only engine that supports every strategy, including the
+/// identity-based [`InteractionScheduler::GraphRestricted`].
 ///
 /// The simulation owns the protocol instance, the current configuration, and
 /// a seeded scheduler; all randomness (scheduling and transition randomness)
@@ -88,6 +109,7 @@ pub struct Simulation<P: Protocol> {
     protocol: P,
     config: Configuration<P::State>,
     scheduler: Scheduler,
+    strategy: ExactStrategy<P::State>,
     interactions: Interactions,
     /// Interaction count right after the configuration last changed (by a
     /// state-changing step, [`Simulation::set_configuration`] or
@@ -121,6 +143,46 @@ impl<P: Protocol> Simulation<P> {
         config: Configuration<P::State>,
         seed: u64,
     ) -> Result<Self, SimError> {
+        Self::try_new_scheduled(protocol, config, seed, &InteractionScheduler::Uniform)
+    }
+
+    /// Creates a simulation running under the given scheduling strategy
+    /// (panicking counterpart of [`Simulation::try_new_scheduled`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the errors of [`Simulation::try_new_scheduled`], or if a
+    /// [`Topology`] recipe is infeasible for the population size.
+    pub fn new_scheduled(
+        protocol: P,
+        config: Configuration<P::State>,
+        seed: u64,
+        scheduler: &InteractionScheduler<P::State>,
+    ) -> Self {
+        Self::try_new_scheduled(protocol, config, seed, scheduler)
+            .expect("invalid simulation setup")
+    }
+
+    /// Creates a simulation running under the given scheduling strategy.
+    /// [`InteractionScheduler::Uniform`] reproduces [`Simulation::try_new`]
+    /// exactly (same seed ⇒ same trajectory).
+    ///
+    /// # Errors
+    ///
+    /// The errors of [`Simulation::try_new`], plus
+    /// [`SimError::ZeroRateScheduler`] if a weighted scheduler has no
+    /// positive rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Topology`] recipe is infeasible for the population size
+    /// (e.g. a random-regular degree of the wrong parity).
+    pub fn try_new_scheduled(
+        protocol: P,
+        config: Configuration<P::State>,
+        seed: u64,
+        scheduler: &InteractionScheduler<P::State>,
+    ) -> Result<Self, SimError> {
         let n = protocol.population_size();
         if config.len() != n {
             return Err(SimError::ConfigurationSizeMismatch { expected: n, actual: config.len() });
@@ -128,10 +190,24 @@ impl<P: Protocol> Simulation<P> {
         if n < 2 {
             return Err(SimError::PopulationTooSmall { n });
         }
+        let strategy = match scheduler {
+            InteractionScheduler::Uniform => ExactStrategy::Uniform,
+            InteractionScheduler::WeightedPairs(rates) => {
+                let max = rates.max_rate();
+                if max == 0 {
+                    return Err(SimError::ZeroRateScheduler);
+                }
+                ExactStrategy::Weighted { rates: rates.clone(), max }
+            }
+            InteractionScheduler::GraphRestricted(topology) => {
+                ExactStrategy::Graph { topology: *topology, graph: topology.build(n) }
+            }
+        };
         Ok(Simulation {
             protocol,
             config,
             scheduler: Scheduler::new(n, seed),
+            strategy,
             interactions: Interactions::ZERO,
             last_change: Interactions::ZERO,
         })
@@ -156,7 +232,7 @@ impl<P: Protocol> Simulation<P> {
     pub fn set_configuration(&mut self, config: Configuration<P::State>) {
         assert_eq!(
             config.len(),
-            self.protocol.population_size(),
+            self.config.len(),
             "replacement configuration must keep the population size"
         );
         self.config = config;
@@ -179,24 +255,61 @@ impl<P: Protocol> Simulation<P> {
     ///
     /// Panics if `states.len()` exceeds the population size.
     pub fn inject_states(&mut self, states: &[P::State], rng: &mut impl rand::Rng) {
-        let n = self.protocol.population_size();
+        let n = self.config.len();
         let k = states.len();
         assert!(k <= n, "cannot corrupt more agents than the population holds");
-        // Floyd's sampling: k distinct indices uniform over 0..n.
-        let mut chosen = std::collections::HashSet::with_capacity(k);
-        let mut victims = Vec::with_capacity(k);
-        for j in (n - k)..n {
-            let t = rng.gen_range(0..j + 1);
-            let pick = if chosen.insert(t) { t } else { j };
-            if pick != t {
-                chosen.insert(pick);
-            }
-            victims.push(pick);
-        }
+        let victims = sample_distinct_indices(n, k, rng);
         for (v, s) in victims.into_iter().zip(states) {
             self.config.set(crate::agent::AgentId::new(v), s.clone());
         }
         self.last_change = self.interactions;
+    }
+
+    /// Adds one agent per state in `states` (population churn: joins),
+    /// restarting the silence clock. Under a graph-restricted strategy the
+    /// interaction topology is rebuilt from its recipe at the new size.
+    pub fn join(&mut self, states: &[P::State]) {
+        if states.is_empty() {
+            return;
+        }
+        for s in states {
+            self.config.push(s.clone());
+        }
+        self.resize_scheduler();
+        self.last_change = self.interactions;
+    }
+
+    /// Removes `k` distinct agents chosen uniformly at random (population
+    /// churn: departures), restarting the silence clock. Under a
+    /// graph-restricted strategy the interaction topology is rebuilt from
+    /// its recipe at the new size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two agents would remain.
+    pub fn leave(&mut self, k: usize, rng: &mut impl rand::Rng) {
+        if k == 0 {
+            return;
+        }
+        let n = self.config.len();
+        assert!(n >= k + 2, "churn departures must leave at least two agents");
+        let mut victims = sample_distinct_indices(n, k, rng);
+        // Remove from the highest index down so swap_remove never disturbs a
+        // still-pending victim.
+        victims.sort_unstable_by(|a, b| b.cmp(a));
+        for v in victims {
+            self.config.swap_remove(crate::agent::AgentId::new(v));
+        }
+        self.resize_scheduler();
+        self.last_change = self.interactions;
+    }
+
+    fn resize_scheduler(&mut self) {
+        let n = self.config.len();
+        self.scheduler.resize(n);
+        if let ExactStrategy::Graph { topology, graph } = &mut self.strategy {
+            *graph = topology.build(n);
+        }
     }
 
     /// Total interactions executed so far.
@@ -211,26 +324,35 @@ impl<P: Protocol> Simulation<P> {
         self.last_change
     }
 
-    /// Total parallel time elapsed so far.
+    /// Total parallel time elapsed so far, relative to the **current**
+    /// population size (which churn can change mid-run).
     pub fn parallel_time(&self) -> ParallelTime {
-        self.interactions.to_parallel_time(self.protocol.population_size())
+        self.interactions.to_parallel_time(self.config.len())
     }
 
-    /// The population size.
+    /// The current population size ([`Protocol::population_size`] at
+    /// construction; churn joins and departures move it).
     pub fn population_size(&self) -> usize {
-        self.protocol.population_size()
+        self.config.len()
     }
 
-    /// Executes one interaction: draws a uniformly random ordered pair and
-    /// applies the transition function, returning the scheduled pair.
+    /// Executes one interaction: draws an ordered pair from the scheduling
+    /// strategy and applies the transition function, returning the scheduled
+    /// pair.
     pub fn step(&mut self) -> OrderedPair {
-        let (pair, rng) = self.scheduler.next_pair_with_rng();
-        let a = self.config.state(pair.initiator).clone();
-        let b = self.config.state(pair.responder).clone();
-        let (a2, b2) = self.protocol.transition(&a, &b, rng);
+        let Simulation { protocol, config, scheduler, strategy, .. } = self;
+        let (pair, rng) = match strategy {
+            ExactStrategy::Uniform => scheduler.next_pair_with_rng(),
+            ExactStrategy::Weighted { rates, max } => scheduler
+                .next_weighted_pair(*max, |a, b| rates.rate(config.state(a), config.state(b))),
+            ExactStrategy::Graph { graph, .. } => scheduler.next_pair_from_edges(graph.edges()),
+        };
+        let a = config.state(pair.initiator).clone();
+        let b = config.state(pair.responder).clone();
+        let (a2, b2) = protocol.transition(&a, &b, rng);
         let changed = a2 != a || b2 != b;
-        self.config.set(pair.initiator, a2);
-        self.config.set(pair.responder, b2);
+        config.set(pair.initiator, a2);
+        config.set(pair.responder, b2);
         self.interactions += Interactions::new(1);
         if changed {
             self.last_change = self.interactions;
@@ -245,37 +367,60 @@ impl<P: Protocol> Simulation<P> {
         }
     }
 
-    /// Whether the current configuration is silent: every ordered pair of
-    /// present states (including two copies of the same state if it has
-    /// multiplicity at least two) admits only null transitions, per the
-    /// protocol's [`Protocol::is_null`].
+    /// Whether the current configuration is silent **relative to the
+    /// scheduling strategy**: every ordered pair the scheduler can draw
+    /// admits only null transitions, per the protocol's
+    /// [`Protocol::is_null`]. Under the uniform scheduler that is the
+    /// paper's silence; a weighted scheduler excludes rate-`0` pairs, and a
+    /// graph-restricted scheduler checks only adjacent pairs.
     ///
-    /// The check runs over distinct states rather than agents, so it is cheap
-    /// when few distinct states are present.
+    /// The uniform and weighted checks run over distinct states rather than
+    /// agents, so they are cheap when few distinct states are present; the
+    /// graph check runs over the edges.
     pub fn is_silent(&self) -> bool {
-        self.is_silent_with_distinct().0
+        self.is_silent_with_cost().0
     }
 
-    /// Silence check that also reports how many distinct states are present,
-    /// so callers can amortize the check's O(distinct²) cost.
+    /// Silence check that also reports its own cost in pair queries, so
+    /// callers can amortize the check against stepping work.
     ///
-    /// Both orders of each unordered pair are queried together, so only pairs
-    /// with `j ≥ i` are visited — half the iterations of the naive ordered
-    /// scan, on the exact engine's hot path.
-    fn is_silent_with_distinct(&self) -> (bool, usize) {
+    /// For the exchangeable strategies, both orders of each unordered
+    /// distinct-state pair are queried together, so only pairs with `j ≥ i`
+    /// are visited — half the iterations of the naive ordered scan, on the
+    /// exact engine's hot path.
+    fn is_silent_with_cost(&self) -> (bool, u64) {
+        if let ExactStrategy::Graph { graph, .. } = &self.strategy {
+            let cost = graph.edges().len() as u64;
+            for &(u, v) in graph.edges() {
+                let su = self.config.state(crate::agent::AgentId::new(u as usize));
+                let sv = self.config.state(crate::agent::AgentId::new(v as usize));
+                if !self.protocol.is_null(su, sv) || !self.protocol.is_null(sv, su) {
+                    return (false, cost);
+                }
+            }
+            return (true, cost);
+        }
+        let rates = match &self.strategy {
+            ExactStrategy::Weighted { rates, .. } => Some(rates),
+            _ => None,
+        };
+        let active = |s: &P::State, t: &P::State| -> bool {
+            !self.protocol.is_null(s, t) && rates.is_none_or(|r| r.rate(s, t) > 0)
+        };
         let counts = self.config.state_counts();
         let states: Vec<&P::State> = counts.keys().collect();
+        let cost = (states.len() * states.len()) as u64;
         for (i, &s) in states.iter().enumerate() {
             for (offset, &t) in states[i..].iter().enumerate() {
                 if offset == 0 && counts[s] < 2 {
                     continue;
                 }
-                if !self.protocol.is_null(s, t) || !self.protocol.is_null(t, s) {
-                    return (false, states.len());
+                if active(s, t) || active(t, s) {
+                    return (false, cost);
                 }
             }
         }
-        (true, states.len())
+        (true, cost)
     }
 
     /// Runs until `condition` holds for the current configuration, checking
@@ -325,24 +470,23 @@ impl<P: Protocol> Simulation<P> {
     /// has been silent ever since, and trailing null interactions cannot have
     /// changed it.
     pub fn run_until_silent(&mut self, budget: u64) -> RunOutcome {
-        let (silent, mut distinct) = self.is_silent_with_distinct();
+        let (silent, mut cost) = self.is_silent_with_cost();
         if silent {
             return RunOutcome { reason: StopReason::Silent, interactions: self.last_change };
         }
         let mut executed = 0u64;
         while executed < budget {
-            let check_interval =
-                self.default_check_interval().max((distinct * distinct) as u64 / 16);
+            let check_interval = self.default_check_interval().max(cost / 16);
             let chunk = check_interval.min(budget - executed);
             for _ in 0..chunk {
                 self.step();
             }
             executed += chunk;
-            let (silent, now_distinct) = self.is_silent_with_distinct();
+            let (silent, now_cost) = self.is_silent_with_cost();
             if silent {
                 return RunOutcome { reason: StopReason::Silent, interactions: self.last_change };
             }
-            distinct = now_distinct;
+            cost = now_cost;
         }
         RunOutcome { reason: StopReason::BudgetExhausted, interactions: self.interactions }
     }
@@ -404,7 +548,7 @@ impl<P: Protocol> Simulation<P> {
     }
 
     fn default_check_interval(&self) -> u64 {
-        (self.protocol.population_size() as u64 / 8).max(1)
+        (self.config.len() as u64 / 8).max(1)
     }
 }
 
@@ -572,6 +716,160 @@ mod tests {
         let mut sim = Simulation::new(Fratricide { n: 4 }, Configuration::uniform(S::L, 4), 1);
         sim.set_configuration(Configuration::uniform(S::F, 4));
         assert_eq!(leaders(sim.configuration()), 0);
+    }
+
+    #[test]
+    fn scheduled_uniform_is_trajectory_preserving() {
+        // The layer's core guarantee: an explicit Uniform strategy replays
+        // the plain constructor's execution step for step, seed for seed.
+        for seed in [3u64, 7, 11, 42] {
+            let n = 24;
+            let mut plain =
+                Simulation::new(Fratricide { n }, Configuration::uniform(S::L, n), seed);
+            let mut scheduled = Simulation::new_scheduled(
+                Fratricide { n },
+                Configuration::uniform(S::L, n),
+                seed,
+                &InteractionScheduler::Uniform,
+            );
+            for _ in 0..2_000 {
+                assert_eq!(plain.step(), scheduled.step());
+                assert_eq!(plain.configuration(), scheduled.configuration());
+            }
+            assert_eq!(plain.last_change(), scheduled.last_change());
+        }
+    }
+
+    #[test]
+    fn weighted_rate_zero_pairs_do_not_count_against_silence() {
+        // Fratricide's only non-null pair is (L, L); rate 0 on it makes every
+        // configuration scheduler-relatively silent.
+        let rates = PairRates::new(1).with_rate(S::L, S::L, 0);
+        let sim = Simulation::new_scheduled(
+            Fratricide { n: 6 },
+            Configuration::uniform(S::L, 6),
+            1,
+            &InteractionScheduler::WeightedPairs(rates),
+        );
+        assert!(sim.is_silent());
+        // Under the uniform scheduler the same configuration is active.
+        let sim = Simulation::new(Fratricide { n: 6 }, Configuration::uniform(S::L, 6), 1);
+        assert!(!sim.is_silent());
+    }
+
+    #[test]
+    fn all_zero_rates_are_rejected() {
+        let err = Simulation::try_new_scheduled(
+            Fratricide { n: 4 },
+            Configuration::uniform(S::L, 4),
+            1,
+            &InteractionScheduler::WeightedPairs(PairRates::new(0)),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::ZeroRateScheduler);
+    }
+
+    #[test]
+    fn weighted_runs_still_reach_silence() {
+        // Boosting the (L, L) rate only shortens the embedded chain's null
+        // stretches; the run must still silence into one leader.
+        let rates = PairRates::new(1).with_rate(S::L, S::L, 9);
+        let mut sim = Simulation::new_scheduled(
+            Fratricide { n: 30 },
+            Configuration::uniform(S::L, 30),
+            5,
+            &InteractionScheduler::WeightedPairs(rates),
+        );
+        let outcome = sim.run_until_silent(10_000_000);
+        assert!(outcome.is_silent());
+        assert_eq!(leaders(sim.configuration()), 1);
+    }
+
+    #[test]
+    fn ring_silence_is_adjacency_relative() {
+        // Two leaders on a 4-ring: adjacent -> active, opposite -> silent
+        // (they can never meet through the ring's edges).
+        let ring = InteractionScheduler::GraphRestricted(Topology::Ring);
+        let adjacent = Configuration::from_states(vec![S::L, S::L, S::F, S::F]);
+        let sim = Simulation::new_scheduled(Fratricide { n: 4 }, adjacent, 1, &ring);
+        assert!(!sim.is_silent());
+        let opposite = Configuration::from_states(vec![S::L, S::F, S::L, S::F]);
+        let sim = Simulation::new_scheduled(Fratricide { n: 4 }, opposite, 1, &ring);
+        assert!(sim.is_silent());
+        // The same opposite-leaders configuration is active for the uniform
+        // scheduler, which can schedule any pair.
+        let sim = Simulation::new(
+            Fratricide { n: 4 },
+            Configuration::from_states(vec![S::L, S::F, S::L, S::F]),
+            1,
+        );
+        assert!(!sim.is_silent());
+    }
+
+    #[test]
+    fn ring_runs_only_schedule_adjacent_pairs() {
+        let ring = InteractionScheduler::GraphRestricted(Topology::Ring);
+        let n = 8;
+        let mut sim =
+            Simulation::new_scheduled(Fratricide { n }, Configuration::uniform(S::L, n), 2, &ring);
+        for _ in 0..5_000 {
+            let p = sim.step();
+            let (i, j) = (p.initiator.index(), p.responder.index());
+            let d = (i + n - j) % n;
+            assert!(d == 1 || d == n - 1, "non-adjacent pair ({i}, {j}) scheduled on a ring");
+        }
+        let outcome = sim.run_until_silent(10_000_000);
+        assert!(outcome.is_silent());
+        // A ring run of fratricide silences with >= 1 leader; from all
+        // leaders elimination proceeds until no two leaders are adjacent.
+        assert!(leaders(sim.configuration()) >= 1);
+    }
+
+    #[test]
+    fn churn_joins_and_departures_resize_the_population() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        let mut sim = Simulation::new(Fratricide { n: 10 }, Configuration::uniform(S::L, 10), 3);
+        sim.run_until_silent(1_000_000);
+        assert_eq!(leaders(sim.configuration()), 1);
+        sim.join(&[S::L, S::L, S::L]);
+        assert_eq!(sim.population_size(), 13);
+        assert!(!sim.is_silent(), "joining leaders must restart the silence clock");
+        let outcome = sim.run_until_silent(1_000_000);
+        assert!(outcome.is_silent());
+        assert_eq!(leaders(sim.configuration()), 1);
+        sim.leave(6, &mut rng);
+        assert_eq!(sim.population_size(), 7);
+        let outcome = sim.run_until_silent(1_000_000);
+        assert!(outcome.is_silent());
+        assert!(leaders(sim.configuration()) <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two agents")]
+    fn churn_cannot_empty_the_population() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        let mut sim = Simulation::new(Fratricide { n: 4 }, Configuration::uniform(S::L, 4), 1);
+        sim.leave(3, &mut rng);
+    }
+
+    #[test]
+    fn churn_rebuilds_a_graph_topology_at_the_new_size() {
+        let ring = InteractionScheduler::GraphRestricted(Topology::Ring);
+        let n = 6;
+        let mut sim =
+            Simulation::new_scheduled(Fratricide { n }, Configuration::uniform(S::L, n), 4, &ring);
+        sim.join(&[S::L, S::L]);
+        let m = sim.population_size();
+        assert_eq!(m, 8);
+        for _ in 0..2_000 {
+            let p = sim.step();
+            let (i, j) = (p.initiator.index(), p.responder.index());
+            assert!(i < m && j < m);
+            let d = (i + m - j) % m;
+            assert!(d == 1 || d == m - 1, "non-adjacent pair ({i}, {j}) after churn");
+        }
     }
 
     #[test]

@@ -299,11 +299,12 @@ impl<S: Clone> FaultPlan<S> {
 }
 
 const FAULT_PLAN_SALT: u64 = 0xFA01_75A1;
-const VICTIM_SALT: u64 = 0x7_1C71_C71C;
+pub(crate) const VICTIM_SALT: u64 = 0x7_1C71_C71C;
 
 /// A positive exponential gap with the given mean, drawn by inversion
 /// (rounded up, so consecutive bursts never share an interaction index).
-fn sample_exponential_gap(mean: u64, rng: &mut impl Rng) -> u64 {
+/// Shared with [`crate::churn`]'s Poisson arrival schedule.
+pub(crate) fn sample_exponential_gap(mean: u64, rng: &mut impl Rng) -> u64 {
     // u ∈ (0, 1]: ln is finite, and u = 1 maps to the minimal gap of 1.
     let u = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
     let gap = (-u.ln() * mean as f64).ceil();

@@ -109,7 +109,8 @@ use crate::config::Configuration;
 use crate::error::SimError;
 use crate::execution::{RunOutcome, Simulation, StopReason};
 use crate::protocol::Protocol;
-use crate::sampling::{sample_hypergeometric, sample_interleaved_nulls};
+use crate::sampling::{sample_hypergeometric, sample_interleaved_nulls, sample_victims_by_counts};
+use crate::scheduler::{IndexRates, InteractionScheduler};
 use crate::time::{Interactions, ParallelTime};
 
 /// A [`Protocol`] that opts into the dynamically interned batched engine.
@@ -399,6 +400,13 @@ pub struct InternedSimulation<P: InternableProtocol> {
     transitions: u64,
     n: usize,
     mode: SamplingMode,
+    /// Resolved weighted-scheduler rates over interned indices (`None` = the
+    /// uniform scheduler, whose path is byte-for-byte the pre-scheduler
+    /// arithmetic). States interned later fall under the default rate.
+    rates: Option<IndexRates>,
+    /// How often a batch-count run fell back to per-transition sampling
+    /// because the scheduler is not uniform.
+    scheduler_fallbacks: u64,
     /// Batch-count diagnostics: epochs drawn and table entries clamped away
     /// by the collision-free availability cap.
     epochs: u64,
@@ -456,6 +464,8 @@ impl<P: InternableProtocol> InternedSimulation<P> {
             transitions: 0,
             n,
             mode: SamplingMode::default(),
+            rates: None,
+            scheduler_fallbacks: 0,
             epochs: 0,
             truncations: 0,
             scratch_avail: Vec::new(),
@@ -475,6 +485,64 @@ impl<P: InternableProtocol> InternedSimulation<P> {
             let i = sim.present[slot];
             let row = sim.row_weight(i);
             sim.rows.set(i, row);
+        }
+        Ok(sim)
+    }
+
+    /// Creates an interned simulation under an explicit scheduling strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the setup errors [`InternedSimulation::try_new_scheduled`]
+    /// reports.
+    pub fn new_scheduled(
+        protocol: P,
+        config: &Configuration<P::State>,
+        seed: u64,
+        scheduler: &InteractionScheduler<P::State>,
+    ) -> Self {
+        Self::try_new_scheduled(protocol, config, seed, scheduler)
+            .expect("invalid simulation setup")
+    }
+
+    /// Creates an interned simulation under an explicit scheduling strategy,
+    /// validating both the setup and the scheduler/engine compatibility.
+    /// Weighted override states are interned eagerly so their rates apply
+    /// from the first observation; states discovered later fall under the
+    /// default rate.
+    ///
+    /// # Errors
+    ///
+    /// In addition to [`InternedSimulation::try_new`]'s errors, returns
+    /// [`SimError::SchedulerNeedsIdentities`] for
+    /// [`InteractionScheduler::GraphRestricted`] (this engine erases agent
+    /// identities) and [`SimError::ZeroRateScheduler`] if every weighted
+    /// rate is zero.
+    pub fn try_new_scheduled(
+        protocol: P,
+        config: &Configuration<P::State>,
+        seed: u64,
+        scheduler: &InteractionScheduler<P::State>,
+    ) -> Result<Self, SimError> {
+        if !scheduler.is_exchangeable() {
+            return Err(SimError::SchedulerNeedsIdentities {
+                scheduler: scheduler.label(),
+                engine: "interned",
+            });
+        }
+        let mut sim = Self::try_new(protocol, config, seed)?;
+        if let InteractionScheduler::WeightedPairs(rates) = scheduler {
+            if rates.max_rate() == 0 {
+                return Err(SimError::ZeroRateScheduler);
+            }
+            let resolved = IndexRates::resolve(rates, |s| sim.intern_state(s));
+            sim.rates = Some(resolved);
+            // Reweigh every present row under the weighted measure.
+            for slot in 0..sim.present.len() {
+                let i = sim.present[slot];
+                let row = sim.row_weight(i);
+                sim.rows.set(i, row);
+            }
         }
         Ok(sim)
     }
@@ -504,6 +572,13 @@ impl<P: InternableProtocol> InternedSimulation<P> {
         self.truncations
     }
 
+    /// How often a [`SamplingMode::BatchCount`] run fell back to
+    /// per-transition sampling because the scheduler is not uniform; see
+    /// [`crate::BatchedSimulation::scheduler_fallbacks`].
+    pub fn scheduler_fallbacks(&self) -> u64 {
+        self.scheduler_fallbacks
+    }
+
     /// Interns a state, registering its null class and growing the side
     /// tables on first observation.
     fn intern_state(&mut self, state: &P::State) -> usize {
@@ -521,13 +596,23 @@ impl<P: InternableProtocol> InternedSimulation<P> {
         i
     }
 
-    /// `(c_j − [i = j])` if the ordered pair `(i, j)` is non-null, else 0.
+    /// `(c_j − [i = j])` if the ordered pair `(i, j)` is non-null, else 0 —
+    /// scaled by the scheduler rate of `(i, j)` when a weighted scheduler is
+    /// installed.
     ///
     /// Distinct states of one null class are null by the
     /// [`InternableProtocol::null_class`] contract, so the class comparison
     /// short-circuits `is_null`; same-state pairs always consult `is_null`.
     fn pair_term(&self, i: usize, j: usize) -> u64 {
-        Self::pair_term_parts(&self.protocol, &self.interner, &self.classes, &self.counts, i, j)
+        Self::pair_term_parts(
+            &self.protocol,
+            &self.interner,
+            &self.classes,
+            &self.counts,
+            self.rates.as_ref(),
+            i,
+            j,
+        )
     }
 
     /// [`Self::pair_term`] over the individual fields (rather than `&self`)
@@ -538,6 +623,7 @@ impl<P: InternableProtocol> InternedSimulation<P> {
         interner: &StateInterner<P::State>,
         classes: &[Option<u32>],
         counts: &[u64],
+        rates: Option<&IndexRates>,
         i: usize,
         j: usize,
     ) -> u64 {
@@ -553,9 +639,14 @@ impl<P: InternableProtocol> InternedSimulation<P> {
             }
         }
         if protocol.is_null(interner.get(i), interner.get(j)) {
-            0
-        } else {
-            w
+            return 0;
+        }
+        match rates {
+            None => w,
+            Some(r) => r
+                .rate(i, j)
+                .checked_mul(w)
+                .expect("weighted pair term overflows u64; scale the rates down"),
         }
     }
 
@@ -569,7 +660,19 @@ impl<P: InternableProtocol> InternedSimulation<P> {
         for &u in &self.present {
             s += self.pair_term(i, u);
         }
-        ci * s
+        ci.checked_mul(s).expect("weighted row weight overflows u64; scale the rates down")
+    }
+
+    /// The total pair measure the scheduler draws each interaction from:
+    /// `n(n−1)` under the uniform scheduler, the rate-weighted `W(c)` under
+    /// a weighted one.
+    fn total_weight(&self) -> u64 {
+        let n = self.n as u64;
+        let total_pairs = n * (n - 1);
+        match &self.rates {
+            None => total_pairs,
+            Some(r) => r.total_weight(&self.counts, total_pairs),
+        }
     }
 
     /// The protocol being simulated.
@@ -752,6 +855,14 @@ impl<P: InternableProtocol> InternedSimulation<P> {
     fn advance(&mut self, active: u64, remaining: &mut u64, elapsed_cap: Option<u64>) -> bool {
         match self.mode {
             SamplingMode::PerTransition => self.advance_one_transition(active, remaining),
+            // Epoch tables freeze an exchangeable pair measure; a weighted
+            // scheduler reshapes the measure with every count change, so
+            // batch-count runs degrade to exact per-transition sampling and
+            // record that they did.
+            SamplingMode::BatchCount if self.rates.is_some() => {
+                self.scheduler_fallbacks += 1;
+                self.advance_one_transition(active, remaining)
+            }
             SamplingMode::BatchCount => self.advance_epoch(active, remaining, elapsed_cap),
         }
     }
@@ -761,8 +872,7 @@ impl<P: InternableProtocol> InternedSimulation<P> {
     /// `false` (with `remaining` driven to 0 and the interaction counter
     /// advanced) if the budget ran out before the non-null interaction.
     fn advance_one_transition(&mut self, active: u64, remaining: &mut u64) -> bool {
-        let total_pairs = (self.n as u64) * (self.n as u64 - 1);
-        let skip = sample_null_run(active, total_pairs, &mut self.rng);
+        let skip = sample_null_run(active, self.total_weight(), &mut self.rng);
         if skip >= *remaining {
             self.interactions += Interactions::new(*remaining);
             *remaining = 0;
@@ -810,7 +920,8 @@ impl<P: InternableProtocol> InternedSimulation<P> {
         // the present responder cells.
         let mut cells: Vec<(usize, usize, u64)> = Vec::new();
         {
-            let Self { protocol, interner, classes, counts, rows, present, rng, .. } = self;
+            let Self { protocol, interner, classes, counts, rows, present, rng, rates, .. } = self;
+            let rates = rates.as_ref();
             let mut a_rem = active;
             let mut b_rem = b_target;
             for &u in present.iter() {
@@ -831,7 +942,8 @@ impl<P: InternableProtocol> InternedSimulation<P> {
                     if n_rem == 0 {
                         break;
                     }
-                    let w = cu * Self::pair_term_parts(protocol, interner, classes, counts, u, v);
+                    let w = cu
+                        * Self::pair_term_parts(protocol, interner, classes, counts, rates, u, v);
                     let m = sample_hypergeometric(row_rem, w, n_rem, rng);
                     row_rem -= w;
                     n_rem -= m;
@@ -1023,26 +1135,42 @@ impl<P: InternableProtocol> InternedSimulation<P> {
         // Intern targets first: the side tables may grow, and the draw below
         // reads counts (new states enter with count 0, weightless).
         let dsts: Vec<usize> = states.iter().map(|s| self.intern_state(s)).collect();
-        let mut taken = vec![0u64; self.counts.len()];
+        let victims = sample_victims_by_counts(&self.counts, Some(&self.present), k, rng);
         let mut deltas: Vec<(usize, i64)> = Vec::with_capacity(2 * k);
-        let mut remaining = self.n as u64;
-        for &dst in &dsts {
-            let mut t = rng.gen_range(0..remaining);
-            let mut src = usize::MAX;
-            for &i in &self.present {
-                let avail = self.counts[i] - taken[i];
-                if t < avail {
-                    src = i;
-                    break;
-                }
-                t -= avail;
-            }
-            debug_assert!(src != usize::MAX, "victim draws cover the whole population");
-            taken[src] += 1;
-            remaining -= 1;
+        for (src, dst) in victims.into_iter().zip(dsts) {
             deltas.push((src, -1));
             deltas.push((dst, 1));
         }
+        self.apply_count_deltas(&deltas);
+    }
+
+    /// Population churn: `states.len()` fresh agents join in the given
+    /// states (interning any state not yet observed). A no-op for an empty
+    /// slice.
+    pub fn join(&mut self, states: &[P::State]) {
+        if states.is_empty() {
+            return;
+        }
+        let deltas: Vec<(usize, i64)> = states.iter().map(|s| (self.intern_state(s), 1)).collect();
+        self.n += states.len();
+        self.apply_count_deltas(&deltas);
+    }
+
+    /// Population churn: `k` agents, drawn proportionally to the current
+    /// counts without replacement, leave the population. A no-op for
+    /// `k == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless at least two agents remain after the departures.
+    pub fn leave(&mut self, k: usize, rng: &mut impl Rng) {
+        if k == 0 {
+            return;
+        }
+        assert!(self.n >= k + 2, "churn departures must leave at least two agents");
+        let victims = sample_victims_by_counts(&self.counts, Some(&self.present), k, rng);
+        let deltas: Vec<(usize, i64)> = victims.into_iter().map(|i| (i, -1)).collect();
+        self.n -= k;
         self.apply_count_deltas(&deltas);
     }
 
@@ -1097,8 +1225,9 @@ impl<P: InternableProtocol> InternedSimulation<P> {
             }
         }
         // Incremental row updates for states whose own count did not change:
-        // term(u, k) is linear in c_k with a count-independent nullness
-        // coefficient, so the row shifts by c_u · Δc_k per non-null (u, k).
+        // term(u, k) is linear in c_k with a count-independent coefficient
+        // (the nullness indicator times the scheduler rate), so the row
+        // shifts by c_u · rate(u, k) · Δc_k per non-null (u, k).
         for slot in 0..self.present.len() {
             let u = self.present[slot];
             if net.iter().any(|&(k, _)| k == u) {
@@ -1107,7 +1236,8 @@ impl<P: InternableProtocol> InternedSimulation<P> {
             let mut shift = 0i128;
             for &(k, d) in &net {
                 if self.pair_nonnull(u, k) {
-                    shift += d as i128;
+                    let r = self.rates.as_ref().map_or(1, |rt| rt.rate(u, k));
+                    shift += r as i128 * d as i128;
                 }
             }
             if shift != 0 {
@@ -1166,6 +1296,41 @@ impl Engine {
                     .with_sampling_mode(self.sampling_mode());
                 let outcome = sim.run_until_silent(budget);
                 EngineReport { outcome, final_config: sim.to_configuration() }
+            }
+        }
+    }
+
+    /// Runs an [`InternableProtocol`] from `init` to silence under an
+    /// explicit [`crate::scheduler::InteractionScheduler`]: the
+    /// open-state-space counterpart of
+    /// [`Engine::run_until_silent_scheduled`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SchedulerNeedsIdentities`] for a graph-restricted
+    /// scheduler on a count engine; [`SimError::ZeroRateScheduler`] when
+    /// every pair rate of a weighted scheduler is zero.
+    pub fn run_until_silent_interned_scheduled<P: InternableProtocol>(
+        self,
+        protocol: P,
+        init: &Configuration<P::State>,
+        seed: u64,
+        budget: u64,
+        scheduler: &InteractionScheduler<P::State>,
+    ) -> Result<EngineReport<P::State>, SimError> {
+        match self {
+            Engine::Exact => {
+                let mut sim =
+                    Simulation::try_new_scheduled(protocol, init.clone(), seed, scheduler)?;
+                let outcome = sim.run_until_silent(budget);
+                Ok(EngineReport { outcome, final_config: sim.configuration().clone() })
+            }
+            Engine::Batched | Engine::BatchedCounts => {
+                let mut sim =
+                    InternedSimulation::try_new_scheduled(protocol, init, seed, scheduler)?
+                        .with_sampling_mode(self.sampling_mode());
+                let outcome = sim.run_until_silent(budget);
+                Ok(EngineReport { outcome, final_config: sim.to_configuration() })
             }
         }
     }
@@ -1544,6 +1709,123 @@ mod tests {
             let mut other: Vec<_> = without.state_counts().map(|(x, c)| (x.clone(), c)).collect();
             other.sort();
             assert_eq!(counts(&with), other);
+        }
+    }
+
+    mod scheduled {
+        use super::*;
+        use crate::scheduler::{InteractionScheduler, PairRates, Topology};
+
+        const BUDGET: u64 = u64::MAX >> 8;
+
+        #[test]
+        fn graph_schedulers_are_rejected_with_a_typed_error() {
+            let ring = InteractionScheduler::GraphRestricted(Topology::Star);
+            let err = InternedSimulation::try_new_scheduled(
+                Frat { n: 8 },
+                &Configuration::uniform(0u32, 8),
+                1,
+                &ring,
+            )
+            .unwrap_err();
+            assert_eq!(
+                err,
+                SimError::SchedulerNeedsIdentities {
+                    scheduler: "star".to_owned(),
+                    engine: "interned"
+                }
+            );
+        }
+
+        #[test]
+        fn zero_rate_schedulers_are_rejected() {
+            let dead = InteractionScheduler::WeightedPairs(PairRates::new(0));
+            let err = InternedSimulation::try_new_scheduled(
+                Frat { n: 8 },
+                &Configuration::uniform(0u32, 8),
+                1,
+                &dead,
+            )
+            .unwrap_err();
+            assert_eq!(err, SimError::ZeroRateScheduler);
+        }
+
+        #[test]
+        fn scheduled_uniform_is_trajectory_identical_to_plain() {
+            for seed in [4u64, 17] {
+                let init = Configuration::uniform(0u32, 30);
+                let mut plain = InternedSimulation::new(Frat { n: 30 }, &init, seed);
+                let mut scheduled = InternedSimulation::try_new_scheduled(
+                    Frat { n: 30 },
+                    &init,
+                    seed,
+                    &InteractionScheduler::Uniform,
+                )
+                .unwrap();
+                let a = plain.run_until_silent(BUDGET);
+                let b = scheduled.run_until_silent(BUDGET);
+                assert_eq!(a, b);
+                assert_eq!(plain.to_configuration(), scheduled.to_configuration());
+            }
+        }
+
+        #[test]
+        fn weighted_runs_silence_on_open_state_spaces() {
+            // Merge's non-null pairs are (w, w): boost them all via the
+            // default rate and pin a specific pair higher. States appear
+            // dynamically, so the rate map is consulted through the interner.
+            let rates = PairRates::new(1).with_rate(1u64, 1u64, 6);
+            let scheduler = InteractionScheduler::WeightedPairs(rates);
+            let init = Configuration::uniform(1u64, 32);
+            let mut sim =
+                InternedSimulation::try_new_scheduled(Merge { n: 32 }, &init, 5, &scheduler)
+                    .unwrap();
+            assert!(sim.run_until_silent(BUDGET).is_silent());
+            let config = sim.to_configuration();
+            assert_eq!(config.iter().copied().max(), Some(32));
+            assert_eq!(sim.active_pairs(), sim.recount_active_pairs());
+        }
+
+        #[test]
+        fn batchcount_weighted_fallback_is_trajectory_equal_to_per_transition() {
+            let rates = PairRates::new(1).with_rate(0u32, 0u32, 3);
+            let scheduler = InteractionScheduler::WeightedPairs(rates);
+            let init = Configuration::uniform(0u32, 40);
+            for seed in [6u64, 29] {
+                let mut per =
+                    InternedSimulation::try_new_scheduled(Frat { n: 40 }, &init, seed, &scheduler)
+                        .unwrap()
+                        .with_sampling_mode(SamplingMode::PerTransition);
+                let mut bc =
+                    InternedSimulation::try_new_scheduled(Frat { n: 40 }, &init, seed, &scheduler)
+                        .unwrap()
+                        .with_sampling_mode(SamplingMode::BatchCount);
+                let a = per.run_until_silent(BUDGET);
+                let b = bc.run_until_silent(BUDGET);
+                assert_eq!(a, b, "seed {seed}");
+                assert_eq!(per.to_configuration(), bc.to_configuration(), "seed {seed}");
+                assert!(bc.scheduler_fallbacks() > 0);
+                assert_eq!(per.scheduler_fallbacks(), 0);
+            }
+        }
+
+        #[test]
+        fn churn_keeps_weighted_row_weights_consistent() {
+            let rates = PairRates::new(2).with_rate(0u32, 0u32, 5);
+            let scheduler = InteractionScheduler::WeightedPairs(rates);
+            let init = Configuration::uniform(0u32, 20);
+            let mut rng = ChaCha8Rng::seed_from_u64(12);
+            let mut sim =
+                InternedSimulation::try_new_scheduled(Frat { n: 20 }, &init, 12, &scheduler)
+                    .unwrap();
+            sim.run_until_silent(BUDGET);
+            sim.join(&[0u32, 0, 7, 9]);
+            assert_eq!(sim.population_size(), 24);
+            assert_eq!(sim.active_pairs(), sim.recount_active_pairs());
+            sim.leave(8, &mut rng);
+            assert_eq!(sim.population_size(), 16);
+            assert_eq!(sim.active_pairs(), sim.recount_active_pairs());
+            assert!(sim.run_until_silent(BUDGET).is_silent());
         }
     }
 }

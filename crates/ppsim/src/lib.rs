@@ -88,6 +88,7 @@
 
 pub mod agent;
 pub mod batched;
+pub mod churn;
 pub mod config;
 pub mod error;
 pub mod execution;
@@ -107,6 +108,10 @@ pub use batched::{
     sample_null_run, BatchedSimulation, Engine, EngineReport, EnumerableProtocol, ForceDense,
     SamplingMode,
 };
+pub use churn::{
+    run_until_silent_with_churn, run_until_silent_with_churn_and_faults, ChurnAction, ChurnEvent,
+    ChurnHost, ChurnOutcome, ChurnPlan, ChurnRecord, ChurnReport,
+};
 pub use config::Configuration;
 pub use error::SimError;
 pub use execution::{ConvergenceOutcome, RunOutcome, Simulation, StopReason};
@@ -114,18 +119,24 @@ pub use faults::{CorruptionTarget, FaultEvent, FaultHost, FaultPlan, FaultReport
 pub use interned::{AsInterned, InternableProtocol, InternedSimulation, StateInterner};
 pub use mcheck::{
     check_convergence_from, check_fault_plan_closure, check_self_stabilization,
-    expected_silence_time_exact, explore_reachable, CorrectnessOracle, ExactSilenceTime,
-    FaultClosureReport, MCheckError, MCheckOptions, ModelChecker, ReachabilityReport,
-    ReachableSpace, StabilizationReport,
+    expected_silence_time_exact, expected_silence_time_scheduled, explore_reachable,
+    CorrectnessOracle, ExactSilenceTime, FaultClosureReport, MCheckError, MCheckOptions,
+    ModelChecker, ReachabilityReport, ReachableSpace, StabilizationReport,
 };
 pub use protocol::{LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
 pub use runner::{
-    run_engine_trials, run_fault_trials, run_interned_fault_trials,
-    run_interned_scenario_fault_trials, run_interned_scenario_trials, run_interned_trials,
-    run_scenario_fault_trials, run_scenario_trials, run_trials, run_trials_sequential, TrialPlan,
+    run_churn_trials, run_engine_trials, run_fault_trials, run_interned_churn_trials,
+    run_interned_fault_trials, run_interned_scenario_churn_trials,
+    run_interned_scenario_fault_trials, run_interned_scenario_scheduled_trials,
+    run_interned_scenario_trials, run_interned_scheduled_trials, run_interned_trials,
+    run_scenario_churn_trials, run_scenario_fault_trials, run_scenario_scheduled_trials,
+    run_scenario_trials, run_scheduled_trials, run_trials, run_trials_sequential, TrialPlan,
 };
+pub use sampling::{sample_distinct_indices, sample_victims_by_counts};
 pub use scenario::{Scenario, ScenarioRng};
-pub use scheduler::{OrderedPair, Scheduler};
+pub use scheduler::{
+    InteractionGraph, InteractionScheduler, OrderedPair, PairRates, Scheduler, Topology,
+};
 pub use time::{Interactions, ParallelTime};
 pub use trace::{Trace, TraceEvent};
 
@@ -134,6 +145,10 @@ pub mod prelude {
     pub use crate::agent::AgentId;
     pub use crate::batched::{
         BatchedSimulation, Engine, EngineReport, EnumerableProtocol, ForceDense, SamplingMode,
+    };
+    pub use crate::churn::{
+        run_until_silent_with_churn, run_until_silent_with_churn_and_faults, ChurnAction,
+        ChurnEvent, ChurnHost, ChurnOutcome, ChurnPlan, ChurnRecord, ChurnReport,
     };
     pub use crate::config::Configuration;
     pub use crate::error::SimError;
@@ -144,19 +159,24 @@ pub mod prelude {
     pub use crate::interned::{AsInterned, InternableProtocol, InternedSimulation, StateInterner};
     pub use crate::mcheck::{
         check_convergence_from, check_fault_plan_closure, check_self_stabilization,
-        expected_silence_time_exact, explore_reachable, CorrectnessOracle, ExactSilenceTime,
-        FaultClosureReport, MCheckError, MCheckOptions, ModelChecker, ReachabilityReport,
-        StabilizationReport,
+        expected_silence_time_exact, expected_silence_time_scheduled, explore_reachable,
+        CorrectnessOracle, ExactSilenceTime, FaultClosureReport, MCheckError, MCheckOptions,
+        ModelChecker, ReachabilityReport, StabilizationReport,
     };
     pub use crate::protocol::{LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
     pub use crate::runner::{
-        run_engine_trials, run_fault_trials, run_interned_fault_trials,
-        run_interned_scenario_fault_trials, run_interned_scenario_trials, run_interned_trials,
-        run_scenario_fault_trials, run_scenario_trials, run_trials, run_trials_sequential,
-        TrialPlan,
+        run_churn_trials, run_engine_trials, run_fault_trials, run_interned_churn_trials,
+        run_interned_fault_trials, run_interned_scenario_churn_trials,
+        run_interned_scenario_fault_trials, run_interned_scenario_scheduled_trials,
+        run_interned_scenario_trials, run_interned_scheduled_trials, run_interned_trials,
+        run_scenario_churn_trials, run_scenario_fault_trials, run_scenario_scheduled_trials,
+        run_scenario_trials, run_scheduled_trials, run_trials, run_trials_sequential, TrialPlan,
     };
+    pub use crate::sampling::{sample_distinct_indices, sample_victims_by_counts};
     pub use crate::scenario::{Scenario, ScenarioRng};
-    pub use crate::scheduler::{OrderedPair, Scheduler};
+    pub use crate::scheduler::{
+        InteractionGraph, InteractionScheduler, OrderedPair, PairRates, Scheduler, Topology,
+    };
     pub use crate::time::{Interactions, ParallelTime};
     pub use crate::trace::{Trace, TraceEvent};
 }

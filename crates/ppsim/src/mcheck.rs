@@ -126,6 +126,7 @@ use crate::batched::EnumerableProtocol;
 use crate::config::Configuration;
 use crate::faults::{CorruptionTarget, FaultPlan};
 use crate::protocol::Protocol;
+use crate::scheduler::{IndexRates, InteractionScheduler};
 use crate::time::Interactions;
 use crate::trace::Trace;
 
@@ -216,6 +217,17 @@ pub enum MCheckError {
         /// Residual (maximum relative update) after the final sweep.
         residual: f64,
     },
+    /// The requested scheduler distinguishes individual agents (e.g. a
+    /// graph-restricted topology), but the model checker works on count
+    /// vectors, which erase agent identities. Use the exact per-agent
+    /// engine for such schedulers.
+    SchedulerNeedsIdentities {
+        /// The scheduler's display label.
+        scheduler: String,
+    },
+    /// Every pair rate of the weighted scheduler is zero: the interaction
+    /// measure is empty and no pair can ever be scheduled.
+    ZeroRateScheduler,
 }
 
 impl fmt::Display for MCheckError {
@@ -247,6 +259,14 @@ impl fmt::Display for MCheckError {
             }
             MCheckError::NotConverged { residual } => {
                 write!(f, "linear solve stalled at residual {residual:e}")
+            }
+            MCheckError::SchedulerNeedsIdentities { scheduler } => write!(
+                f,
+                "the {scheduler} scheduler distinguishes individual agents, but the model checker \
+                 works on count vectors; use the exact per-agent engine"
+            ),
+            MCheckError::ZeroRateScheduler => {
+                write!(f, "every pair rate is zero; the scheduler can never select a pair")
             }
         }
     }
@@ -538,16 +558,17 @@ impl<P: EnumerableProtocol> ModelChecker<P> {
         self.active_pairs(counts, &present) == 0
     }
 
-    /// Calls `f(weight, successor_counts)` for every distinct successor of
-    /// `counts` under one non-null interaction, with `weight` the number of
-    /// ordered agent pairs mapping to it (weights sum to the active-pair
-    /// count). `scratch` must have length `k`.
+    /// Calls `f(i, j, weight, successor_counts)` for every distinct successor
+    /// of `counts` under one non-null interaction of the ordered state pair
+    /// `(i, j)`, with `weight` the number of ordered agent pairs mapping to
+    /// it (weights sum to the active-pair count). `scratch` must have length
+    /// `k`.
     fn for_each_successor(
         &self,
         counts: &[u32],
         present: &[u32],
         scratch: &mut [u32],
-        mut f: impl FnMut(u64, &[u32]),
+        mut f: impl FnMut(u32, u32, u64, &[u32]),
     ) {
         for &i in present {
             let ci = counts[i as usize] as u64;
@@ -562,7 +583,7 @@ impl<P: EnumerableProtocol> ModelChecker<P> {
                     scratch[j as usize] -= 1;
                     scratch[i2 as usize] += 1;
                     scratch[j2 as usize] += 1;
-                    f(w, scratch);
+                    f(i, j, w, scratch);
                 }
             }
         }
@@ -832,11 +853,16 @@ pub struct ReachableSpace<P: EnumerableProtocol> {
     /// Count vectors, `k`-strided, in discovery (BFS) order.
     flat: Vec<u32>,
     /// CSR successor lists: per state, `(target, weight)` with weights
-    /// summing to the state's active-pair count.
+    /// summing to the state's active pair weight (rate-weighted under a
+    /// weighted scheduler).
     succ_offsets: Vec<u32>,
     succ_edges: Vec<(u32, u64)>,
-    /// Active-pair count per state (0 ⟺ silent).
+    /// Active pair weight per state (0 ⟺ silent under the scheduler).
     active: Vec<u64>,
+    /// Total pair weight `W(c)` per state under a weighted scheduler;
+    /// `None` under the uniform scheduler, where it is the constant
+    /// `n(n−1)`.
+    totals: Option<Vec<u64>>,
 }
 
 impl<P: EnumerableProtocol> ReachableSpace<P> {
@@ -868,6 +894,19 @@ impl<P: EnumerableProtocol> ReachableSpace<P> {
     fn successors(&self, state: u32) -> &[(u32, u64)] {
         &self.succ_edges[self.succ_offsets[state as usize] as usize
             ..self.succ_offsets[state as usize + 1] as usize]
+    }
+
+    /// Total pair weight of a state: the numerator of the expected null-run
+    /// marginalization — `n(n−1)` under the uniform scheduler, `W(c)` under
+    /// a weighted one.
+    fn total_weight_of(&self, state: usize) -> f64 {
+        match &self.totals {
+            Some(totals) => totals[state] as f64,
+            None => {
+                let n = self.checker.n as f64;
+                n * (n - 1.0)
+            }
+        }
     }
 
     /// BFS distances to the nearest silent state over the *forward* relation
@@ -925,13 +964,29 @@ pub fn explore_reachable<P: EnumerableProtocol>(
     seeds: &[Configuration<P::State>],
     options: &MCheckOptions,
 ) -> Result<ReachableSpace<P>, MCheckError> {
+    explore_reachable_with_rates(protocol, seeds, None, options)
+}
+
+/// The rate-aware body of [`explore_reachable`]: with `rates` the ordered
+/// state pair `(i, j)` carries weight `rate(i, j) · c_i · (c_j − [i = j])`
+/// instead of the uniform agent-pair count, rate-0 pairs drop out of the
+/// active measure (and the reachable relation — they fire with probability
+/// 0), and the per-state total weight `W(c)` is recorded for the solve.
+fn explore_reachable_with_rates<P: EnumerableProtocol>(
+    protocol: P,
+    seeds: &[Configuration<P::State>],
+    rates: Option<IndexRates>,
+    options: &MCheckOptions,
+) -> Result<ReachableSpace<P>, MCheckError> {
     let checker = ModelChecker::new(protocol)?;
     let k = checker.k;
+    let total_pairs = checker.n as u64 * (checker.n as u64 - 1);
     let mut flat: Vec<u32> = Vec::new();
     let mut index: HashMap<Box<[u32]>, u32> = HashMap::new();
     let mut succ_offsets: Vec<u32> = vec![0];
     let mut succ_edges: Vec<(u32, u64)> = Vec::new();
     let mut active: Vec<u64> = Vec::new();
+    let mut totals: Option<Vec<u64>> = rates.as_ref().map(|_| Vec::new());
     let mut frontier: VecDeque<u32> = VecDeque::new();
 
     let intern = |counts: &[u32],
@@ -958,19 +1013,25 @@ pub fn explore_reachable<P: EnumerableProtocol>(
     }
     let mut scratch = vec![0u32; k];
     let mut counts = vec![0u32; k];
+    let mut counts64 = vec![0u64; k];
     let mut local: Vec<(u32, u64)> = Vec::new();
     while let Some(id) = frontier.pop_front() {
         counts.copy_from_slice(&flat[id as usize * k..(id as usize + 1) * k]);
         let present = present_states(&counts);
-        let a = checker.active_pairs(&counts, &present);
-        debug_assert_eq!(id as usize, active.len(), "BFS order matches state ids");
-        active.push(a);
         local.clear();
         let mut error = None;
-        checker.for_each_successor(&counts, &present, &mut scratch, |w, succ| {
+        checker.for_each_successor(&counts, &present, &mut scratch, |i, j, w, succ| {
             if error.is_some() {
                 return;
             }
+            let w = match &rates {
+                None => w,
+                Some(r) => match r.rate(i as usize, j as usize).checked_mul(w) {
+                    Some(0) => return, // rate-0 pair: never scheduled
+                    Some(w) => w,
+                    None => panic!("weighted pair term overflows u64; scale the rates down"),
+                },
+            };
             match intern(succ, &mut flat, &mut index, &mut frontier) {
                 Ok(t) => match local.iter_mut().find(|(s, _)| *s == t) {
                     Some((_, acc)) => *acc += w,
@@ -982,12 +1043,26 @@ pub fn explore_reachable<P: EnumerableProtocol>(
         if let Some(e) = error {
             return Err(e);
         }
-        debug_assert_eq!(local.iter().map(|&(_, w)| w).sum::<u64>(), a);
+        let a: u64 = local.iter().map(|&(_, w)| w).sum();
+        debug_assert!(
+            rates.is_some() || a == checker.active_pairs(&counts, &present),
+            "uniform edge weights sum to the active-pair count"
+        );
+        debug_assert_eq!(id as usize, active.len(), "BFS order matches state ids");
+        active.push(a);
+        if let (Some(totals), Some(r)) = (totals.as_mut(), rates.as_ref()) {
+            for (dst, &c) in counts64.iter_mut().zip(counts.iter()) {
+                *dst = c as u64;
+            }
+            let w = r.total_weight(&counts64, total_pairs);
+            debug_assert!(a <= w, "active pair weight is bounded by the total measure");
+            totals.push(w);
+        }
         succ_edges.extend_from_slice(&local);
         succ_offsets.push(succ_edges.len() as u32);
     }
     drop(index);
-    Ok(ReachableSpace { checker, flat, succ_offsets, succ_edges, active })
+    Ok(ReachableSpace { checker, flat, succ_offsets, succ_edges, active, totals })
 }
 
 /// The exact expected silence time of an initial configuration, solved from
@@ -1025,8 +1100,55 @@ pub fn expected_silence_time_exact<P: EnumerableProtocol>(
     options: &MCheckOptions,
 ) -> Result<ExactSilenceTime, MCheckError> {
     let space = explore_reachable(protocol, std::slice::from_ref(init), options)?;
+    solve_silence_time(&space, options)
+}
+
+/// Solves for the **exact** expected number of scheduler draws until
+/// silence from `init` under an explicit [`InteractionScheduler`]. The
+/// uniform scheduler reduces to [`expected_silence_time_exact`]; a weighted
+/// scheduler generalizes the linear system to
+/// `E[c] = W(c)/A(c) + Σ_m (w_m·rate_m/A(c))·E[succ_m(c)]` with `W(c)` the
+/// total pair measure and `A(c)` the rate-weighted active measure —
+/// silence (and hence the expectation) is **scheduler-relative**: rate-0
+/// pairs neither delay silence nor contribute transitions.
+///
+/// # Errors
+///
+/// [`MCheckError::SchedulerNeedsIdentities`] for graph-restricted
+/// schedulers (the count-vector chain erases agent identities),
+/// [`MCheckError::ZeroRateScheduler`] when every pair rate is zero,
+/// [`MCheckError::RandomizedTransition`] for randomized transitions (as
+/// for every checker entry point), plus the errors of
+/// [`expected_silence_time_exact`].
+pub fn expected_silence_time_scheduled<P: EnumerableProtocol>(
+    protocol: P,
+    init: &Configuration<P::State>,
+    scheduler: &InteractionScheduler<P::State>,
+    options: &MCheckOptions,
+) -> Result<ExactSilenceTime, MCheckError> {
+    let rates = match scheduler {
+        InteractionScheduler::Uniform => None,
+        InteractionScheduler::WeightedPairs(rates) => {
+            if rates.max_rate() == 0 {
+                return Err(MCheckError::ZeroRateScheduler);
+            }
+            Some(IndexRates::resolve(rates, |s| protocol.state_index(s)))
+        }
+        InteractionScheduler::GraphRestricted(_) => {
+            return Err(MCheckError::SchedulerNeedsIdentities { scheduler: scheduler.label() });
+        }
+    };
+    let space = explore_reachable_with_rates(protocol, std::slice::from_ref(init), rates, options)?;
+    solve_silence_time(&space, options)
+}
+
+/// The shared Gauss–Seidel solve over an explored closure; see
+/// [`expected_silence_time_exact`] for the system and the sweep order.
+fn solve_silence_time<P: EnumerableProtocol>(
+    space: &ReachableSpace<P>,
+    options: &MCheckOptions,
+) -> Result<ExactSilenceTime, MCheckError> {
     let n = space.checker.n as f64;
-    let total_pairs = n * (n - 1.0);
     let dist = space.distance_to_silence();
     if dist.contains(&u32::MAX) {
         return Err(MCheckError::NonConvergent);
@@ -1047,7 +1169,7 @@ pub fn expected_silence_time_exact<P: EnumerableProtocol>(
             if a == 0 {
                 continue;
             }
-            let mut acc = total_pairs / a as f64;
+            let mut acc = space.total_weight_of(s as usize) / a as f64;
             let mut self_weight = 0u64;
             for &(t, w) in space.successors(s) {
                 if t == s {
@@ -1264,7 +1386,7 @@ pub fn check_fault_plan_closure<P: EnumerableProtocol + CorrectnessOracle>(
         reachable.push(idx);
         lattice.counts_of(idx, &mut counts);
         let present = present_states(&counts);
-        checker.for_each_successor(&counts, &present, &mut scratch, |_, succ| {
+        checker.for_each_successor(&counts, &present, &mut scratch, |_, _, _, succ| {
             let sidx = lattice.index_of(succ);
             if !visited.get(sidx) {
                 visited.set(sidx);
@@ -1367,6 +1489,7 @@ fn enumerate_target_multisets(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::PairRates;
     use rand::RngCore;
 
     /// (L, L) → (L, F) with L = 0, F = 1.
@@ -1660,9 +1783,153 @@ mod tests {
             MCheckError::UnsoundNull { i: 1, j: 2 }.to_string(),
             MCheckError::NonConvergent.to_string(),
             MCheckError::NotConverged { residual: 0.5 }.to_string(),
+            MCheckError::SchedulerNeedsIdentities { scheduler: "ring graph".to_owned() }
+                .to_string(),
+            MCheckError::ZeroRateScheduler.to_string(),
         ];
         for m in messages {
             assert!(!m.is_empty());
         }
+    }
+
+    #[test]
+    fn scheduled_uniform_matches_the_exact_solver() {
+        for n in [2usize, 4, 7] {
+            let init = Configuration::uniform(0u8, n);
+            let options = MCheckOptions::default();
+            let exact = expected_silence_time_exact(Frat { n }, &init, &options).unwrap();
+            let scheduled = expected_silence_time_scheduled(
+                Frat { n },
+                &init,
+                &InteractionScheduler::Uniform,
+                &options,
+            )
+            .unwrap();
+            assert_eq!(exact, scheduled);
+        }
+    }
+
+    #[test]
+    fn uniformly_scaled_rates_leave_the_expected_time_unchanged() {
+        // A constant rate r rescales both the total measure W and the active
+        // measure A by r, so every E[c] is invariant.
+        let init = Configuration::uniform(0u8, 6);
+        let options = MCheckOptions::default();
+        let uniform = expected_silence_time_exact(Frat { n: 6 }, &init, &options).unwrap();
+        let scaled = expected_silence_time_scheduled(
+            Frat { n: 6 },
+            &init,
+            &InteractionScheduler::WeightedPairs(PairRates::new(7)),
+            &options,
+        )
+        .unwrap();
+        assert!((scaled.expected_interactions - uniform.expected_interactions).abs() < 1e-9);
+        assert_eq!(scaled.states, uniform.states);
+    }
+
+    #[test]
+    fn weighted_rates_reshape_the_expected_time() {
+        // Fratricide at n = 3 with (L, L) at rate 2 over default 1. From
+        // two leaders: W = 6 + (2−1)·2·1 = 8, A = 2·2·1 = 4, E = 2. From
+        // three leaders: W = 6 + 1·3·2 = 12 = A, so E = 1 + 2 = 3 — versus
+        // (n−1)² = 4 under the uniform scheduler.
+        let init = Configuration::uniform(0u8, 3);
+        let rates = PairRates::new(1).with_rate(0u8, 0u8, 2);
+        let weighted = expected_silence_time_scheduled(
+            Frat { n: 3 },
+            &init,
+            &InteractionScheduler::WeightedPairs(rates),
+            &MCheckOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            (weighted.expected_interactions - 3.0).abs() < 1e-9,
+            "got {}",
+            weighted.expected_interactions
+        );
+    }
+
+    #[test]
+    fn rate_zero_pairs_make_silence_scheduler_relative() {
+        // With the one non-null pair (L, L) at rate 0, no transition can
+        // ever fire: every configuration is silent under the scheduler and
+        // the rate-0 edge is not even explored.
+        let init = Configuration::uniform(0u8, 5);
+        let rates = PairRates::new(1).with_rate(0u8, 0u8, 0);
+        let weighted = expected_silence_time_scheduled(
+            Frat { n: 5 },
+            &init,
+            &InteractionScheduler::WeightedPairs(rates),
+            &MCheckOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(weighted.expected_interactions, 0.0);
+        assert_eq!(weighted.states, 1);
+    }
+
+    #[test]
+    fn graph_schedulers_are_rejected_by_the_model_checker() {
+        let init = Configuration::uniform(0u8, 4);
+        let err = expected_silence_time_scheduled(
+            Frat { n: 4 },
+            &init,
+            &InteractionScheduler::GraphRestricted(crate::scheduler::Topology::Ring),
+            &MCheckOptions::default(),
+        )
+        .unwrap_err();
+        match err {
+            MCheckError::SchedulerNeedsIdentities { scheduler } => {
+                assert!(scheduler.contains("ring"), "label names the topology: {scheduler}");
+            }
+            other => panic!("expected SchedulerNeedsIdentities, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_rate_schedulers_are_rejected_by_the_model_checker() {
+        let init = Configuration::uniform(0u8, 4);
+        let err = expected_silence_time_scheduled(
+            Frat { n: 4 },
+            &init,
+            &InteractionScheduler::WeightedPairs(PairRates::new(0)),
+            &MCheckOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, MCheckError::ZeroRateScheduler);
+    }
+
+    #[test]
+    fn randomized_transitions_are_rejected_for_scheduled_solves() {
+        #[derive(Clone, Copy)]
+        struct Coin;
+        impl Protocol for Coin {
+            type State = u8;
+            fn population_size(&self) -> usize {
+                3
+            }
+            fn transition(&self, _a: &u8, _b: &u8, rng: &mut dyn RngCore) -> (u8, u8) {
+                ((rng.next_u32() & 1) as u8, 0)
+            }
+        }
+        impl EnumerableProtocol for Coin {
+            fn num_states(&self) -> usize {
+                2
+            }
+            fn state_index(&self, s: &u8) -> usize {
+                *s as usize
+            }
+            fn state_from_index(&self, i: usize) -> u8 {
+                i as u8
+            }
+        }
+        let init = Configuration::uniform(0u8, 3);
+        let err = expected_silence_time_scheduled(
+            Coin,
+            &init,
+            &InteractionScheduler::WeightedPairs(PairRates::new(2)),
+            &MCheckOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MCheckError::RandomizedTransition { .. }));
     }
 }

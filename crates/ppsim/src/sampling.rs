@@ -583,6 +583,95 @@ fn mode_centered_walk(
     }
 }
 
+/// `k` **distinct** indices drawn uniformly at random from `0..n` by Floyd's
+/// algorithm: exactly `k` range draws regardless of `n`, no rejection.
+///
+/// This is the *identity-space* victim draw shared by the exact engine's
+/// fault bursts and churn departures; [`sample_victims_by_counts`] is its
+/// count-space image. The returned order is the draw order (a uniformly
+/// random `k`-subset, **not** a uniformly random permutation of one).
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_distinct_indices(n: usize, k: usize, rng: &mut impl rand::Rng) -> Vec<usize> {
+    assert!(k <= n, "cannot draw more distinct indices than the range holds");
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut picks = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..j + 1);
+        let pick = if chosen.insert(t) { t } else { j };
+        if pick != t {
+            chosen.insert(pick);
+        }
+        picks.push(pick);
+    }
+    picks
+}
+
+/// `k` victim **states** drawn proportionally to their counts *without
+/// replacement*: the count-space image of drawing `k` distinct agents
+/// uniformly and reading off their states. One `gen_range(0..remaining)`
+/// draw per victim, located by a linear scan over the states in `order`
+/// (`None` scans `0..counts.len()` — the dense engines' order; the interned
+/// engine passes its present list).
+///
+/// Returns the state index of each victim, in draw order (a state appears
+/// once per victim drawn from it).
+///
+/// # Panics
+///
+/// Panics if `k` exceeds the total count of the scanned states.
+pub fn sample_victims_by_counts(
+    counts: &[u64],
+    order: Option<&[usize]>,
+    k: usize,
+    rng: &mut impl rand::Rng,
+) -> Vec<usize> {
+    let total: u64 = match order {
+        Some(order) => order.iter().map(|&i| counts[i]).sum(),
+        None => counts.iter().sum(),
+    };
+    assert!(k as u64 <= total, "cannot draw more victims than the population holds");
+    let mut taken = vec![0u64; counts.len()];
+    let mut victims = Vec::with_capacity(k);
+    let mut remaining = total;
+    for _ in 0..k {
+        let mut t = rng.gen_range(0..remaining);
+        let mut src = usize::MAX;
+        let mut scan = |i: usize| -> bool {
+            let avail = counts[i] - taken[i];
+            if t < avail {
+                src = i;
+                return true;
+            }
+            t -= avail;
+            false
+        };
+        match order {
+            Some(order) => {
+                for &i in order {
+                    if scan(i) {
+                        break;
+                    }
+                }
+            }
+            None => {
+                for i in 0..counts.len() {
+                    if scan(i) {
+                        break;
+                    }
+                }
+            }
+        }
+        debug_assert!(src != usize::MAX, "victim draws cover the whole population");
+        taken[src] += 1;
+        remaining -= 1;
+        victims.push(src);
+    }
+    victims
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -717,5 +806,82 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let nulls = sample_negative_binomial(1_000_000, 1e-7, &mut rng);
         assert!(nulls > 1_000_000_000_000 && nulls < u64::MAX);
+    }
+
+    #[test]
+    fn distinct_indices_are_distinct_and_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for k in [0usize, 1, 7, 20] {
+            let picks = sample_distinct_indices(20, k, &mut rng);
+            assert_eq!(picks.len(), k);
+            let set: std::collections::HashSet<_> = picks.iter().copied().collect();
+            assert_eq!(set.len(), k, "duplicated index in {picks:?}");
+            assert!(picks.iter().all(|&i| i < 20));
+        }
+    }
+
+    #[test]
+    fn distinct_indices_are_uniform_over_subsets() {
+        // Every index of 0..6 should land in a 3-subset with frequency 1/2.
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let trials = 60_000;
+        let mut hits = [0u64; 6];
+        for _ in 0..trials {
+            for i in sample_distinct_indices(6, 3, &mut rng) {
+                hits[i] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            let freq = h as f64 / trials as f64;
+            assert!((freq - 0.5).abs() < 0.02, "index {i} frequency {freq}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more distinct indices")]
+    fn distinct_indices_overdraw_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let _ = sample_distinct_indices(3, 4, &mut rng);
+    }
+
+    #[test]
+    fn victims_by_counts_match_marginals_without_replacement() {
+        // counts (3, 1, 0, 2): drawing all six victims must return each
+        // state exactly count-many times, in any order.
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        for order in [None, Some(&[0usize, 1, 2, 3][..])] {
+            let victims = sample_victims_by_counts(&[3, 1, 0, 2], order, 6, &mut rng);
+            let mut per_state = [0u64; 4];
+            for v in victims {
+                per_state[v] += 1;
+            }
+            assert_eq!(per_state, [3, 1, 0, 2]);
+        }
+        // Single draws are count-proportional: state 0 with probability 1/2.
+        let trials = 40_000;
+        let mut zero = 0u64;
+        for _ in 0..trials {
+            if sample_victims_by_counts(&[3, 1, 0, 2], None, 1, &mut rng)[0] == 0 {
+                zero += 1;
+            }
+        }
+        let freq = zero as f64 / trials as f64;
+        assert!((freq - 0.5).abs() < 0.02, "state-0 frequency {freq}");
+    }
+
+    #[test]
+    fn victims_by_counts_respect_a_sparse_scan_order() {
+        // Present list skips state 1 entirely: its count is invisible.
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let victims = sample_victims_by_counts(&[2, 5, 1], Some(&[0, 2]), 3, &mut rng);
+        assert_eq!(victims.len(), 3);
+        assert!(victims.iter().all(|&v| v != 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "more victims")]
+    fn victims_overdraw_rejected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let _ = sample_victims_by_counts(&[1, 1], None, 3, &mut rng);
     }
 }

@@ -344,3 +344,144 @@ impl EnumerableProtocol for Spread {
         Some((0..5).filter(|&j| j != i).collect())
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Churn invariants on every backend: joins and departures keep the count
+    // tables summing to the resized population, and the incrementally
+    // repaired pair weights survive a from-scratch audit — under the uniform
+    // AND a weighted scheduler.
+    #[test]
+    fn churn_preserves_count_sums_and_row_weights_on_all_backends(
+        n in 4usize..40,
+        seed in any::<u64>(),
+        steps in 0u64..1_500,
+        joins in 0usize..10,
+        leaves in 0usize..10,
+        target in 0u8..5,
+    ) {
+        let protocol = Spread { n };
+        let init = Configuration::from_fn(n, |i| (i % 5) as u8);
+        let joining = vec![target; joins];
+        let mut rng = ScenarioRng::seed_from_u64(seed ^ 0xC4A2);
+
+        let rates = PairRates::new(1).with_symmetric_rate(0u8, 4u8, 5);
+        let weighted = InteractionScheduler::WeightedPairs(rates);
+
+        // Exact engine: population vector resizes and the silence clock
+        // restarts at the churn point.
+        let mut exact = Simulation::new(protocol, init.clone(), seed);
+        exact.run_for(steps);
+        exact.join(&joining);
+        let departing = leaves.min(exact.population_size().saturating_sub(2));
+        exact.leave(departing, &mut rng);
+        let survivors = n + joins - departing;
+        prop_assert_eq!(exact.population_size(), survivors);
+        if joins > 0 {
+            // A non-empty join restarts the silence clock.
+            prop_assert_eq!(exact.last_change(), exact.interactions());
+        }
+
+        // Count backends: indexed (uniform), indexed (weighted), dense, and
+        // interned all resize their count tables and keep the incremental
+        // pair weights consistent with a from-scratch rebuild.
+        let mut indexed = BatchedSimulation::new(protocol, &init, seed);
+        let mut rated =
+            BatchedSimulation::try_new_scheduled(protocol, &init, seed, &weighted).unwrap();
+        let mut dense = BatchedSimulation::new(ForceDense(protocol), &init, seed);
+        let mut interned = InternedSimulation::new(AsInterned(protocol), &init, seed);
+        for _ in 0..2 {
+            indexed.run_for(steps);
+            rated.run_for(steps);
+            dense.run_for(steps);
+            interned.run_for(steps);
+
+            indexed.join(&joining);
+            rated.join(&joining);
+            dense.join(&joining);
+            interned.join(&joining);
+            let departing = leaves.min(indexed.population_size().saturating_sub(2));
+            indexed.leave(departing, &mut rng);
+            rated.leave(departing, &mut rng);
+            dense.leave(departing, &mut rng);
+            interned.leave(departing, &mut rng);
+
+            let expected = indexed.population_size() as u64;
+            for (label, sum) in [
+                ("indexed", indexed.state_counts().map(|(_, c)| c).sum::<u64>()),
+                ("rated", rated.state_counts().map(|(_, c)| c).sum::<u64>()),
+                ("dense", dense.state_counts().map(|(_, c)| c).sum::<u64>()),
+                ("interned", interned.state_counts().map(|(_, c)| c).sum::<u64>()),
+            ] {
+                prop_assert_eq!(sum, expected, "{} counts diverged after churn", label);
+            }
+
+            let resized = Spread { n: indexed.population_size() };
+            prop_assert_eq!(
+                indexed.active_pairs(),
+                BatchedSimulation::new(resized, &indexed.to_configuration(), 0).active_pairs(),
+                "indexed rows diverged from a rebuild after churn"
+            );
+            prop_assert_eq!(
+                rated.active_pairs(),
+                BatchedSimulation::try_new_scheduled(
+                    resized,
+                    &rated.to_configuration(),
+                    0,
+                    &weighted,
+                )
+                .unwrap()
+                .active_pairs(),
+                "weighted rows diverged from a rebuild after churn"
+            );
+            prop_assert_eq!(
+                dense.active_pairs(),
+                BatchedSimulation::new(ForceDense(resized), &dense.to_configuration(), 0)
+                    .active_pairs()
+            );
+            prop_assert_eq!(
+                interned.recount_active_pairs(),
+                interned.active_pairs(),
+                "interned incremental rows diverged from the recount after churn"
+            );
+        }
+    }
+
+    // A resolved churn stream applied through the engine driver preserves
+    // the count sum at every event boundary: the final population is the
+    // initial one plus all fired joins minus all fired (clamped) departures.
+    #[test]
+    fn churn_driver_reports_consistent_population_arithmetic(
+        n in 4usize..30,
+        seed in any::<u64>(),
+        count in 1usize..6,
+        period in 500u64..2_000,
+    ) {
+        let plan = ChurnPlan::periodic(
+            period,
+            period,
+            3,
+            ChurnAction::Replace { count, state: CorruptionTarget::Fixed(0u8) },
+        );
+        for engine in [Engine::Exact, Engine::Batched, Engine::BatchedCounts] {
+            let report = engine
+                .run_until_silent_with_churn(
+                    Spread { n },
+                    &Configuration::from_fn(n, |i| (i % 5) as u8),
+                    seed,
+                    u64::MAX >> 8,
+                    &InteractionScheduler::Uniform,
+                    &plan,
+                )
+                .unwrap();
+            let mut expected = n;
+            for record in &report.events {
+                expected = expected + record.joined - record.departed;
+                prop_assert_eq!(record.population_after, expected, "{}", engine);
+            }
+            prop_assert_eq!(report.final_population(), expected, "{}", engine);
+            prop_assert!(report.outcome.is_silent(), "{}", engine);
+        }
+    }
+}
