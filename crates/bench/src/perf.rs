@@ -15,9 +15,14 @@
 //! The container has no JSON dependency (and must not grow one), so this
 //! module carries a [minimal recursive-descent parser](parse) for the strict
 //! subset of JSON the bench binaries emit. It is a real parser — nesting,
-//! strings with escapes, numbers in scientific notation — not a line
-//! scraper, so reordering or reformatting the bench output cannot silently
-//! disable the gate.
+//! strings with escapes, numbers in scientific notation, duplicate-key
+//! rejection — not a line scraper, so reordering or reformatting the bench
+//! output cannot silently disable the gate. The matching [serializer]
+//! (`to_string`) emits a **canonical** compact form (sorted keys, no
+//! whitespace), which is also what the `ppsimd` daemon's line protocol and
+//! content-addressed result cache are built on.
+//!
+//! [serializer]: to_string
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -45,6 +50,22 @@ impl Json {
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The member map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(map) => Some(map),
             _ => None,
         }
     }
@@ -87,6 +108,79 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "JSON parse error at byte {}: {}", self.at, self.message)
     }
+}
+
+/// Serializes a [`Json`] value to its **canonical** compact text form:
+/// no whitespace, object members in sorted key order (the [`BTreeMap`]
+/// representation makes this automatic), strings with minimal escaping, and
+/// numbers in Rust's shortest round-trip `f64` notation.
+///
+/// Canonical means `parse ∘ to_string` is the identity on values and
+/// `to_string ∘ parse` collapses formatting: two documents that differ only
+/// in whitespace or member order serialize identically, which is what the
+/// `ppsimd` result cache keys on. Non-finite numbers have no JSON form and
+/// serialize as `null`.
+pub fn to_string(value: &Json) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value);
+    out
+}
+
+fn write_value(out: &mut String, value: &Json) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(x) if x.is_finite() => {
+            // `{}` on f64 is the shortest representation that round-trips,
+            // and it never emits exponents, so `parse` reads it back exactly.
+            let _ = std::fmt::Write::write_fmt(out, format_args!("{x}"));
+        }
+        Json::Num(_) => out.push_str("null"),
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Json::Obj(map) => {
+            out.push('{');
+            for (i, (key, member)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, key);
+                out.push(':');
+                write_value(out, member);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parses a JSON document (object, array, or scalar at top level).
@@ -158,11 +252,17 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
     }
     loop {
         skip_ws(bytes, pos);
+        let key_at = *pos;
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
         let value = parse_value(bytes, pos)?;
-        map.insert(key, value);
+        // A duplicate key would silently drop one of the two values (and
+        // which one depends on the parser), so a document carrying one is
+        // ambiguous; reject it rather than guess.
+        if map.insert(key.clone(), value).is_some() {
+            return Err(err(key_at, format!("duplicate object key {key:?}")));
+        }
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -415,6 +515,49 @@ mod tests {
     fn rejects_malformed_documents() {
         for bad in ["{", "[1,", "\"open", "{\"a\" 1}", "123 456", "tru"] {
             assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_object_keys() {
+        let err = parse(r#"{"a": 1, "a": 2}"#).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+        assert!(err.message.contains("\"a\""), "{err}");
+        // Nested objects are checked too, and distinct keys still parse.
+        assert!(parse(r#"{"outer": {"x": 1, "x": 2}}"#).is_err());
+        assert!(parse(r#"{"a": 1, "b": {"a": 2}}"#).is_ok());
+    }
+
+    #[test]
+    fn serializer_emits_canonical_compact_form() {
+        let doc = parse(r#"{ "b" : [1, -2.5, 300],  "a": {"y": true, "x": null}, "s": "q\n\"" }"#)
+            .unwrap();
+        // Sorted keys, no whitespace, shortest numbers, escaped strings.
+        assert_eq!(to_string(&doc), r#"{"a":{"x":null,"y":true},"b":[1,-2.5,300],"s":"q\n\""}"#);
+        // Formatting and member order collapse to the same canonical text.
+        let reordered = parse(r#"{"s":"q\n\"","a":{"x":null,"y":true},"b":[1,-2.5,3e2]}"#).unwrap();
+        assert_eq!(to_string(&doc), to_string(&reordered));
+        // Control characters take the \u form; non-finite numbers have no
+        // JSON representation and degrade to null.
+        assert_eq!(to_string(&Json::Str("\u{1}".into())), "\"\\u0001\"");
+        assert_eq!(to_string(&Json::Num(f64::NAN)), "null");
+        assert_eq!(to_string(&Json::Num(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn serialize_parse_round_trips() {
+        for text in [
+            r#"{"a":[1,-2.5,300],"b":{"c":true,"d":null},"e":"x\ny"}"#,
+            "[]",
+            "{}",
+            "[[[1]],\"café — ünïcode\",-0.125,1e300]",
+            "\"\\u0007tab\\there\"",
+        ] {
+            let value = parse(text).unwrap();
+            let emitted = to_string(&value);
+            assert_eq!(parse(&emitted).unwrap(), value, "{text}");
+            // Canonical: a second round trip is a fixed point.
+            assert_eq!(to_string(&parse(&emitted).unwrap()), emitted);
         }
     }
 

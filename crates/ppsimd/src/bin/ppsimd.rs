@@ -1,0 +1,67 @@
+//! The `ppsimd` daemon: serves simulation, expectation and verification
+//! requests over line-delimited JSON on TCP until killed.
+//!
+//! ```text
+//! ppsimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache-mb N]
+//! ```
+
+use std::time::Duration;
+
+use ppsimd::{serve, CacheConfig, ServerConfig};
+
+fn main() {
+    let mut config = ServerConfig { addr: "127.0.0.1:7411".to_owned(), ..ServerConfig::default() };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs {what}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("a HOST:PORT"),
+            "--workers" => config.workers = parse(&flag, &value("a thread count")),
+            "--queue" => config.queue_capacity = parse(&flag, &value("a slot count")),
+            "--cache-mb" => {
+                config.cache = CacheConfig {
+                    byte_budget: parse::<usize>(&flag, &value("a size")) << 20,
+                    ..CacheConfig::default()
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: ppsimd [--addr HOST:PORT] [--workers N] [--queue N] [--cache-mb N]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("error: unknown flag {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let server = match serve(config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "ppsimd listening on {} ({} workers, {} queue slots)",
+        server.addr(),
+        config.workers,
+        config.queue_capacity
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid value {value:?} for {flag}");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,247 @@
+//! Sharded content-addressed result cache with per-shard LRU eviction
+//! under a byte budget.
+//!
+//! The cache maps the **canonical request text** (see
+//! [`crate::proto::Request::canonical_text`]) to the full serialized
+//! response line, so a cache hit replays the byte-identical response of the
+//! cold computation. Keys are addressed by a 128-bit content hash (two
+//! independent FNV-1a streams); the full key string is stored alongside the
+//! value and compared on every hit, so hash collisions degrade to misses
+//! instead of serving the wrong result.
+//!
+//! Sharding bounds lock contention: the hash picks the shard, each shard is
+//! an independent `Mutex<Shard>` holding a hash map into an intrusive
+//! doubly-linked LRU list over a slab. Each shard evicts from its own tail
+//! whenever its byte account (keys + values + a fixed per-entry overhead)
+//! exceeds `budget / shards`.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Configuration of a [`ResultCache`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheConfig {
+    /// Number of independent shards (rounded up to a power of two, min 1).
+    pub shards: usize,
+    /// Total byte budget across all shards.
+    pub byte_budget: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { shards: 16, byte_budget: 64 << 20 }
+    }
+}
+
+/// Fixed accounting overhead charged per entry, on top of key and value
+/// lengths (slab slot, hash-map slot, list links).
+pub const ENTRY_OVERHEAD: usize = 96;
+
+/// Aggregated cache occupancy counters (monotonic `evictions`, current
+/// `entries`/`bytes`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Live entries across all shards.
+    pub entries: usize,
+    /// Accounted bytes across all shards.
+    pub bytes: usize,
+    /// Total LRU evictions since startup.
+    pub evictions: u64,
+}
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    hash: u128,
+    key: String,
+    value: String,
+    prev: usize,
+    next: usize,
+}
+
+impl Entry {
+    fn cost(&self) -> usize {
+        self.key.len() + self.value.len() + ENTRY_OVERHEAD
+    }
+}
+
+struct Shard {
+    map: HashMap<u128, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    bytes: usize,
+    budget: usize,
+    evictions: u64,
+}
+
+impl Shard {
+    fn new(budget: usize) -> Self {
+        Shard {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+            budget,
+            evictions: 0,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.slab[h].prev = idx,
+        }
+        self.head = idx;
+    }
+
+    fn get(&mut self, hash: u128, key: &str) -> Option<String> {
+        let idx = *self.map.get(&hash)?;
+        // Full-key compare: a 128-bit collision must read as a miss, never
+        // as the other request's result.
+        if self.slab[idx].key != key {
+            return None;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(self.slab[idx].value.clone())
+    }
+
+    fn insert(&mut self, hash: u128, key: String, value: String) {
+        if let Some(&idx) = self.map.get(&hash) {
+            // Same hash already present: refresh the value (same key) or
+            // replace the colliding entry wholesale (last writer wins — the
+            // full-key compare on `get` keeps correctness either way).
+            self.bytes -= self.slab[idx].cost();
+            self.slab[idx].key = key;
+            self.slab[idx].value = value;
+            self.bytes += self.slab[idx].cost();
+            self.unlink(idx);
+            self.push_front(idx);
+        } else {
+            let entry = Entry { hash, key, value, prev: NIL, next: NIL };
+            if entry.cost() > self.budget {
+                return;
+            }
+            self.bytes += entry.cost();
+            let idx = match self.free.pop() {
+                Some(idx) => {
+                    self.slab[idx] = entry;
+                    idx
+                }
+                None => {
+                    self.slab.push(entry);
+                    self.slab.len() - 1
+                }
+            };
+            self.map.insert(hash, idx);
+            self.push_front(idx);
+        }
+        while self.bytes > self.budget {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "byte account exceeds budget with an empty LRU list");
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].hash);
+            self.bytes -= self.slab[victim].cost();
+            self.slab[victim].key = String::new();
+            self.slab[victim].value = String::new();
+            self.free.push(victim);
+            self.evictions += 1;
+        }
+    }
+}
+
+/// The sharded content-addressed cache.
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    mask: u64,
+}
+
+impl ResultCache {
+    /// Builds a cache from `config`, splitting the byte budget evenly
+    /// across shards.
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1).next_power_of_two();
+        let per_shard = (config.byte_budget / shards).max(1);
+        ResultCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::new(per_shard))).collect(),
+            mask: shards as u64 - 1,
+        }
+    }
+
+    /// Looks up the response cached under the canonical request text,
+    /// refreshing its recency. Returns `None` on miss (including 128-bit
+    /// hash collisions, which the stored-key compare demotes to misses).
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.get_hashed(content_hash(key), key)
+    }
+
+    /// Caches `value` under the canonical request text `key`.
+    pub fn insert(&self, key: String, value: String) {
+        self.insert_hashed(content_hash(&key), key, value);
+    }
+
+    /// `get` with an explicit hash — exposed so tests can force two
+    /// distinct keys onto one hash and observe the collision behave as a
+    /// miss.
+    #[doc(hidden)]
+    pub fn get_hashed(&self, hash: u128, key: &str) -> Option<String> {
+        self.shard(hash).lock().expect("cache shard poisoned").get(hash, key)
+    }
+
+    /// `insert` with an explicit hash (see [`ResultCache::get_hashed`]).
+    #[doc(hidden)]
+    pub fn insert_hashed(&self, hash: u128, key: String, value: String) {
+        self.shard(hash).lock().expect("cache shard poisoned").insert(hash, key, value);
+    }
+
+    /// Aggregated occupancy counters across all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = CacheStats::default();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            stats.entries += shard.map.len();
+            stats.bytes += shard.bytes;
+            stats.evictions += shard.evictions;
+        }
+        stats
+    }
+
+    fn shard(&self, hash: u128) -> &Mutex<Shard> {
+        // The low 64 bits address content; the high bits pick the shard so
+        // shard choice and map key stay decorrelated.
+        &self.shards[((hash >> 64) as u64 & self.mask) as usize]
+    }
+}
+
+/// 128-bit content hash of the canonical request text: two independent
+/// FNV-1a streams (the standard 64-bit parameters and the same structure
+/// re-keyed), concatenated.
+pub fn content_hash(key: &str) -> u128 {
+    const OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+    const OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let (mut a, mut b) = (OFFSET_A, OFFSET_B);
+    for &byte in key.as_bytes() {
+        a = (a ^ byte as u64).wrapping_mul(PRIME);
+        b = (b ^ byte.rotate_left(3) as u64).wrapping_mul(PRIME);
+    }
+    ((a as u128) << 64) | b as u128
+}

@@ -1,0 +1,413 @@
+//! Request execution: translates parsed wire requests into calls on the
+//! simulation engines and the model checker, and renders results back to
+//! canonical JSON.
+//!
+//! Everything here is deterministic in the request (seeded engines, exact
+//! model checking), which is what makes the responses cacheable under the
+//! canonical request text. A worker panic is caught and rendered as a typed
+//! `internal` error rather than taking the worker thread down.
+
+use std::collections::BTreeMap;
+use std::panic::{self, AssertUnwindSafe};
+
+use bench::perf::Json;
+use ppsim::batched::EnumerableProtocol;
+use ppsim::mcheck::{
+    check_self_stabilization, expected_silence_time_exact, CorrectnessOracle, MCheckError,
+    MCheckOptions,
+};
+use ppsim::{
+    ChurnAction, ChurnPlan, Configuration, CorruptionTarget, FaultPlan, InteractionScheduler,
+    Interactions, Protocol, Scenario, SimError, Topology, TrialPlan,
+};
+use processes::{Coupon, Epidemic, Fratricide, LeaderState};
+use rand::Rng;
+use ssle::{OptimalSilentParams, OptimalSilentSsr, SilentNStateSsr};
+
+use crate::proto::{
+    ChurnKind, ChurnSpec, ErrorKind, ExpectSpec, FaultSpec, ProtocolId, Request, Response, RunSpec,
+    ScheduleSpec, SchedulerSpec, VerifySpec, WireError,
+};
+
+/// Executes one non-compound request (run / expect / verify), converting
+/// panics into typed `internal` errors. `sweep` and `stats` are composed by
+/// the server, not here.
+pub fn execute(request: &Request) -> Response {
+    let kind = request.kind();
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| match request {
+        Request::Run(spec) => dispatch_run(spec),
+        Request::Expect(spec) => dispatch_expect(spec),
+        Request::Verify(spec) => dispatch_verify(spec),
+        Request::Sweep(_) | Request::Stats => Err(WireError::new(
+            ErrorKind::Internal,
+            "compound requests must be decomposed by the server",
+        )),
+    }));
+    match outcome {
+        Ok(Ok(result)) => Response::ok(kind, result),
+        Ok(Err(err)) => Response::Err(err),
+        Err(payload) => {
+            let what = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".to_owned());
+            Response::error(ErrorKind::Internal, format!("execution panicked: {what}"))
+        }
+    }
+}
+
+/// Expands `protocol`/`params` into a concrete protocol value plus its
+/// scenario list and runs `$body` with both in scope. The scenario list is
+/// the protocol's own adversarial set (plus a synthesized pair for
+/// fratricide, which ships none).
+macro_rules! with_protocol {
+    ($spec:expr, $protocol:ident, $scenarios:ident, $body:expr) => {
+        match $spec.protocol {
+            ProtocolId::SilentNState => {
+                let $protocol = SilentNStateSsr::new($spec.n);
+                let $scenarios = SilentNStateSsr::adversarial_scenarios();
+                $body
+            }
+            ProtocolId::OptimalSilent => {
+                let params = match $spec.params {
+                    crate::proto::ParamsId::Paper => OptimalSilentParams::recommended($spec.n),
+                    crate::proto::ParamsId::MCheck => OptimalSilentParams::mcheck($spec.n),
+                };
+                let $protocol = OptimalSilentSsr::new(params);
+                let $scenarios = OptimalSilentSsr::adversarial_scenarios();
+                $body
+            }
+            ProtocolId::Epidemic => {
+                let $protocol = Epidemic::new($spec.n);
+                let $scenarios = Epidemic::adversarial_scenarios();
+                $body
+            }
+            ProtocolId::Coupon => {
+                let $protocol = Coupon::new($spec.n);
+                let $scenarios = Coupon::adversarial_scenarios();
+                $body
+            }
+            ProtocolId::Fratricide => {
+                let $protocol = Fratricide::new($spec.n);
+                let $scenarios = fratricide_scenarios();
+                $body
+            }
+        }
+    };
+}
+
+fn dispatch_run(spec: &RunSpec) -> Result<Json, WireError> {
+    with_protocol!(spec, protocol, scenarios, run_protocol(protocol, &scenarios, spec))
+}
+
+fn dispatch_expect(spec: &ExpectSpec) -> Result<Json, WireError> {
+    with_protocol!(spec, protocol, scenarios, expect_protocol(protocol, &scenarios, spec))
+}
+
+fn dispatch_verify(spec: &VerifySpec) -> Result<Json, WireError> {
+    with_protocol!(spec, protocol, scenarios, {
+        let _ = scenarios;
+        verify_protocol(protocol)
+    })
+}
+
+/// Scenarios for [`Fratricide`], which ships none of its own: the all-leader
+/// worst case and a uniform random leader/follower split.
+fn fratricide_scenarios() -> Vec<Scenario<Fratricide>> {
+    vec![
+        Scenario::new("all-leader", |p: &Fratricide, _| p.all_leaders_configuration()),
+        Scenario::new("random", |p: &Fratricide, rng| {
+            Configuration::from_fn(p.population_size(), |_| {
+                if rng.gen_bool(0.5) {
+                    LeaderState::Leader
+                } else {
+                    LeaderState::Follower
+                }
+            })
+        }),
+    ]
+}
+
+fn resolve_scenario<'a, P: Protocol>(
+    scenarios: &'a [Scenario<P>],
+    name: &str,
+    protocol: ProtocolId,
+) -> Result<&'a Scenario<P>, WireError> {
+    scenarios.iter().find(|s| s.name() == name).ok_or_else(|| {
+        let known: Vec<&str> = scenarios.iter().map(Scenario::name).collect();
+        WireError::new(
+            ErrorKind::BadRequest,
+            format!(
+                "unknown scenario {name:?} for protocol {:?} (expected one of {known:?})",
+                protocol.label()
+            ),
+        )
+    })
+}
+
+fn build_scheduler<S>(
+    spec: SchedulerSpec,
+    n: usize,
+    seed: u64,
+) -> Result<InteractionScheduler<S>, WireError> {
+    let topology = match spec {
+        SchedulerSpec::Uniform => return Ok(InteractionScheduler::Uniform),
+        SchedulerSpec::Ring => Topology::Ring,
+        SchedulerSpec::Star => Topology::Star,
+        SchedulerSpec::RandomRegular(degree) => {
+            if degree >= n || !(degree * n).is_multiple_of(2) {
+                return Err(WireError::new(
+                    ErrorKind::BadRequest,
+                    format!("infeasible random-regular degree {degree} for n={n} (need degree < n and degree·n even)"),
+                ));
+            }
+            Topology::RandomRegular { degree, seed }
+        }
+    };
+    Ok(InteractionScheduler::GraphRestricted(topology))
+}
+
+fn resolve_state<P: EnumerableProtocol>(
+    protocol: &P,
+    index: usize,
+    field: &str,
+) -> Result<P::State, WireError> {
+    let states = protocol.num_states();
+    if index >= states {
+        return Err(WireError::new(
+            ErrorKind::BadRequest,
+            format!("{field} index {index} out of range (protocol has {states} states)"),
+        ));
+    }
+    Ok(protocol.state_from_index(index))
+}
+
+fn build_fault_plan<P: EnumerableProtocol>(
+    protocol: &P,
+    spec: &FaultSpec,
+) -> Result<FaultPlan<P::State>, WireError> {
+    let target = CorruptionTarget::Fixed(resolve_state(protocol, spec.state, "fault state")?);
+    Ok(match spec.schedule {
+        ScheduleSpec::OneShot { at } => FaultPlan::one_shot(at, spec.k, target),
+        ScheduleSpec::Periodic { start, period, events } => {
+            FaultPlan::periodic(start, period, events, spec.k, target)
+        }
+        ScheduleSpec::Poisson { mean_gap, horizon } => {
+            FaultPlan::poisson(mean_gap, horizon, spec.k, target)
+        }
+    })
+}
+
+fn build_churn_plan<P: EnumerableProtocol>(
+    protocol: &P,
+    spec: &ChurnSpec,
+) -> Result<ChurnPlan<P::State>, WireError> {
+    let state = match spec.state {
+        Some(index) => {
+            Some(CorruptionTarget::Fixed(resolve_state(protocol, index, "churn state")?))
+        }
+        None => None,
+    };
+    let action = match spec.action {
+        ChurnKind::Join => {
+            ChurnAction::Join { count: spec.count, state: state.expect("validated at parse") }
+        }
+        ChurnKind::Leave => ChurnAction::Leave { count: spec.count },
+        ChurnKind::Replace => {
+            ChurnAction::Replace { count: spec.count, state: state.expect("validated at parse") }
+        }
+    };
+    Ok(match spec.schedule {
+        ScheduleSpec::OneShot { at } => ChurnPlan::one_shot(at, action),
+        ScheduleSpec::Periodic { start, period, events } => {
+            ChurnPlan::periodic(start, period, events, action)
+        }
+        ScheduleSpec::Poisson { mean_gap, horizon } => {
+            ChurnPlan::poisson(mean_gap, horizon, action)
+        }
+    })
+}
+
+fn sim_err(err: SimError) -> WireError {
+    WireError::new(ErrorKind::Unsupported, format!("engine rejected the request: {err:?}"))
+}
+
+fn mcheck_err(err: MCheckError) -> WireError {
+    WireError::new(ErrorKind::Unsupported, format!("model checker: {err:?}"))
+}
+
+/// Per-trial aggregates of a `run` request.
+#[derive(Default)]
+struct RunAccumulator {
+    interactions: Vec<Json>,
+    silent_trials: usize,
+    total_interactions: f64,
+    total_parallel: f64,
+    // Fault aggregates (populated only for fault runs).
+    recovered_trials: usize,
+    final_recovery_parallel: Vec<Json>,
+    // Churn aggregates (populated only for churn runs).
+    final_population: Vec<Json>,
+    restabilized_trials: usize,
+}
+
+impl RunAccumulator {
+    fn record(&mut self, outcome_interactions: Interactions, silent: bool, final_n: usize) {
+        let count = outcome_interactions.count();
+        self.interactions.push(Json::Num(count as f64));
+        self.silent_trials += usize::from(silent);
+        self.total_interactions += count as f64;
+        self.total_parallel += count as f64 / final_n as f64;
+    }
+}
+
+fn run_protocol<P: EnumerableProtocol + Copy>(
+    protocol: P,
+    scenarios: &[Scenario<P>],
+    spec: &RunSpec,
+) -> Result<Json, WireError> {
+    let scenario = resolve_scenario(scenarios, &spec.scenario, spec.protocol)?;
+    let scheduler = build_scheduler::<P::State>(spec.scheduler, spec.n, spec.seed)?;
+    if spec.faults.is_some() && spec.churn.is_none() && spec.scheduler != SchedulerSpec::Uniform {
+        return Err(WireError::new(
+            ErrorKind::Unsupported,
+            "fault plans without churn are only supported under the uniform scheduler",
+        ));
+    }
+    let fault_plan = spec.faults.as_ref().map(|f| build_fault_plan(&protocol, f)).transpose()?;
+    let churn_plan = spec.churn.as_ref().map(|c| build_churn_plan(&protocol, c)).transpose()?;
+    let plan = TrialPlan::new(spec.trials, spec.seed);
+
+    let mut acc = RunAccumulator::default();
+    for trial in 0..spec.trials {
+        let seed = plan.seed_for(trial);
+        let init = scenario.configuration(&protocol, seed);
+        match (&fault_plan, &churn_plan) {
+            (None, None) => {
+                let report = spec
+                    .engine
+                    .run_until_silent_scheduled(protocol, &init, seed, spec.budget, &scheduler)
+                    .map_err(sim_err)?;
+                acc.record(
+                    report.outcome.interactions,
+                    report.outcome.is_silent(),
+                    report.final_config.len(),
+                );
+            }
+            (Some(faults), None) => {
+                let report = spec.engine.run_until_silent_with_faults(
+                    protocol,
+                    &init,
+                    seed,
+                    spec.budget,
+                    faults,
+                );
+                acc.record(
+                    report.outcome.interactions,
+                    report.outcome.is_silent(),
+                    report.final_config.len(),
+                );
+                acc.recovered_trials += usize::from(report.recovered_after_every_burst());
+                acc.final_recovery_parallel.push(
+                    report
+                        .final_recovery_parallel_time()
+                        .map_or(Json::Null, |t| Json::Num(t.value())),
+                );
+            }
+            (faults, Some(churn)) => {
+                let report = match faults {
+                    None => spec.engine.run_until_silent_with_churn(
+                        protocol,
+                        &init,
+                        seed,
+                        spec.budget,
+                        &scheduler,
+                        churn,
+                    ),
+                    Some(faults) => spec.engine.run_until_silent_with_churn_and_faults(
+                        protocol,
+                        &init,
+                        seed,
+                        spec.budget,
+                        &scheduler,
+                        churn,
+                        faults,
+                    ),
+                }
+                .map_err(sim_err)?;
+                acc.record(
+                    report.outcome.interactions,
+                    report.outcome.is_silent(),
+                    report.final_population(),
+                );
+                acc.final_population.push(Json::Num(report.final_population() as f64));
+                acc.restabilized_trials += usize::from(report.restabilized_after_every_event());
+            }
+        }
+    }
+
+    let mut map = BTreeMap::new();
+    map.insert("protocol".to_owned(), Json::Str(spec.protocol.label().to_owned()));
+    map.insert("n".to_owned(), Json::Num(spec.n as f64));
+    map.insert("engine".to_owned(), Json::Str(spec.engine.to_string()));
+    map.insert("scenario".to_owned(), Json::Str(spec.scenario.clone()));
+    map.insert("trials".to_owned(), Json::Num(spec.trials as f64));
+    map.insert("silent-trials".to_owned(), Json::Num(acc.silent_trials as f64));
+    map.insert("interactions".to_owned(), Json::Arr(acc.interactions));
+    map.insert(
+        "mean-interactions".to_owned(),
+        Json::Num(acc.total_interactions / spec.trials as f64),
+    );
+    map.insert("mean-parallel".to_owned(), Json::Num(acc.total_parallel / spec.trials as f64));
+    if spec.faults.is_some() {
+        let mut faults = BTreeMap::new();
+        faults.insert("recovered-trials".to_owned(), Json::Num(acc.recovered_trials as f64));
+        faults.insert("final-recovery-parallel".to_owned(), Json::Arr(acc.final_recovery_parallel));
+        map.insert("faults".to_owned(), Json::Obj(faults));
+    }
+    if spec.churn.is_some() {
+        let mut churn = BTreeMap::new();
+        churn.insert("final-population".to_owned(), Json::Arr(acc.final_population));
+        churn.insert("restabilized-trials".to_owned(), Json::Num(acc.restabilized_trials as f64));
+        map.insert("churn".to_owned(), Json::Obj(churn));
+    }
+    Ok(Json::Obj(map))
+}
+
+fn expect_protocol<P: EnumerableProtocol + Copy>(
+    protocol: P,
+    scenarios: &[Scenario<P>],
+    spec: &ExpectSpec,
+) -> Result<Json, WireError> {
+    let scenario = resolve_scenario(scenarios, &spec.scenario, spec.protocol)?;
+    let init = scenario.configuration(&protocol, spec.seed);
+    let est = expected_silence_time_exact(protocol, &init, &MCheckOptions::default())
+        .map_err(mcheck_err)?;
+    let mut map = BTreeMap::new();
+    map.insert("protocol".to_owned(), Json::Str(spec.protocol.label().to_owned()));
+    map.insert("n".to_owned(), Json::Num(spec.n as f64));
+    map.insert("scenario".to_owned(), Json::Str(spec.scenario.clone()));
+    map.insert("expected-interactions".to_owned(), Json::Num(est.expected_interactions));
+    map.insert("expected-parallel".to_owned(), Json::Num(est.expected_parallel));
+    map.insert("states".to_owned(), Json::Num(est.states as f64));
+    map.insert("sweeps".to_owned(), Json::Num(est.sweeps as f64));
+    map.insert("residual".to_owned(), Json::Num(est.residual));
+    Ok(Json::Obj(map))
+}
+
+fn verify_protocol<P: EnumerableProtocol + CorrectnessOracle + Copy>(
+    protocol: P,
+) -> Result<Json, WireError> {
+    let report =
+        check_self_stabilization(protocol, &MCheckOptions::default()).map_err(mcheck_err)?;
+    let mut map = BTreeMap::new();
+    map.insert("verified".to_owned(), Json::Bool(report.verified()));
+    map.insert("configurations".to_owned(), Json::Num(report.configurations as f64));
+    map.insert("silent".to_owned(), Json::Num(report.silent as f64));
+    map.insert("correct".to_owned(), Json::Num(report.correct as f64));
+    map.insert("silent-incorrect".to_owned(), Json::Num(report.silent_incorrect as f64));
+    map.insert("correct-nonsilent".to_owned(), Json::Num(report.correct_nonsilent as f64));
+    map.insert("non-convergent".to_owned(), Json::Num(report.non_convergent as f64));
+    Ok(Json::Obj(map))
+}

@@ -1,0 +1,26 @@
+//! `ppsimd` — simulation-as-a-service for the population-protocol stack.
+//!
+//! A long-lived TCP daemon wrapping every capability of the workspace —
+//! the three engines, adversarial scenarios, interaction schedulers, fault
+//! and churn plans, and the exact model checker — behind a line-delimited
+//! JSON protocol ([`proto`]), with a sharded content-addressed result
+//! cache ([`cache`]), monotonic metrics ([`metrics`]), and a bounded-queue
+//! worker pool ([`server`]).
+//!
+//! Binaries: `ppsimd` (the daemon) and `bench_service` (a closed-loop load
+//! generator measuring cold/warm/mixed throughput and latency
+//! percentiles).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod exec;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use cache::{CacheConfig, CacheStats, ResultCache};
+pub use metrics::{Metrics, ReqKind};
+pub use proto::{ErrorKind, Request, Response, WireError};
+pub use server::{serve, Server, ServerConfig};

@@ -1,0 +1,206 @@
+//! Monotonic server metrics: lock-free counters, a queue-depth high-water
+//! mark, and per-request-type latency histograms with fixed log-spaced
+//! buckets.
+//!
+//! Everything is `AtomicU64` with relaxed ordering — the metrics are
+//! monotonic event counts, not synchronization, and a snapshot taken while
+//! the server runs is allowed to be a few events torn. The `stats` request
+//! serializes a snapshot through [`Metrics::snapshot`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use bench::perf::Json;
+use std::collections::BTreeMap;
+
+use crate::cache::CacheStats;
+
+/// The request kinds metered separately.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReqKind {
+    /// `run` requests.
+    Run = 0,
+    /// `expect` requests.
+    Expect = 1,
+    /// `verify` requests.
+    Verify = 2,
+    /// `sweep` requests.
+    Sweep = 3,
+    /// `stats` requests.
+    Stats = 4,
+}
+
+impl ReqKind {
+    /// All kinds, indexable by `as usize`.
+    pub const ALL: [ReqKind; 5] =
+        [ReqKind::Run, ReqKind::Expect, ReqKind::Verify, ReqKind::Sweep, ReqKind::Stats];
+
+    /// The wire label of the kind.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReqKind::Run => "run",
+            ReqKind::Expect => "expect",
+            ReqKind::Verify => "verify",
+            ReqKind::Sweep => "sweep",
+            ReqKind::Stats => "stats",
+        }
+    }
+
+    /// Maps a wire label to the kind.
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.label() == label)
+    }
+}
+
+/// Number of latency buckets: bucket `i` counts samples in
+/// `[2^(i−1), 2^i)` microseconds (bucket 0 counts sub-microsecond
+/// samples), with the last bucket open-ended.
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// A fixed log-spaced latency histogram (power-of-two microsecond buckets).
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    total_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one latency sample.
+    pub fn record(&self, elapsed: Duration) {
+        let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - micros.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Snapshot as JSON: sample count, total microseconds, and the
+    /// non-empty buckets as `[upper_bound_micros, count]` pairs.
+    pub fn to_json(&self) -> Json {
+        let mut map = BTreeMap::new();
+        map.insert("count".to_owned(), Json::Num(self.count.load(Ordering::Relaxed) as f64));
+        map.insert(
+            "total-micros".to_owned(),
+            Json::Num(self.total_micros.load(Ordering::Relaxed) as f64),
+        );
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let count = b.load(Ordering::Relaxed);
+                (count > 0).then(|| {
+                    Json::Arr(vec![Json::Num((1u64 << i) as f64), Json::Num(count as f64)])
+                })
+            })
+            .collect();
+        map.insert("buckets".to_owned(), Json::Arr(buckets));
+        Json::Obj(map)
+    }
+}
+
+/// The server's monotonic counters.
+#[derive(Default)]
+pub struct Metrics {
+    requests: [AtomicU64; 5],
+    latency: [Histogram; 5],
+    /// Successful responses written.
+    pub responses_ok: AtomicU64,
+    /// Error responses written (all kinds, including overloads).
+    pub responses_err: AtomicU64,
+    /// Lines rejected before dispatch (parse / bad-request / unknown-type /
+    /// oversized / truncated).
+    pub protocol_errors: AtomicU64,
+    /// Cache hits (cacheable requests answered without executing).
+    pub cache_hits: AtomicU64,
+    /// Cache misses (cacheable requests that had to execute).
+    pub cache_misses: AtomicU64,
+    /// Requests shed because the bounded queue was full.
+    pub overloaded: AtomicU64,
+    /// Jobs currently queued or executing.
+    pub queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    pub queue_highwater: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+impl Metrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Counts one request of `kind`.
+    pub fn record_request(&self, kind: ReqKind) {
+        self.requests[kind as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the end-to-end service latency of one request of `kind`.
+    pub fn record_latency(&self, kind: ReqKind, elapsed: Duration) {
+        self.latency[kind as usize].record(elapsed);
+    }
+
+    /// Counts a job entering the queue, maintaining the high-water mark.
+    pub fn job_enqueued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut seen = self.queue_highwater.load(Ordering::Relaxed);
+        while depth > seen {
+            match self.queue_highwater.compare_exchange_weak(
+                seen,
+                depth,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => seen = actual,
+            }
+        }
+    }
+
+    /// Counts a job leaving the queue (picked up by a worker).
+    pub fn job_dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Serializes a point-in-time snapshot, folding in the cache occupancy.
+    pub fn snapshot(&self, cache: CacheStats) -> Json {
+        let load = |c: &AtomicU64| Json::Num(c.load(Ordering::Relaxed) as f64);
+        let mut requests = BTreeMap::new();
+        let mut latency = BTreeMap::new();
+        for kind in ReqKind::ALL {
+            requests.insert(kind.label().to_owned(), load(&self.requests[kind as usize]));
+            latency.insert(kind.label().to_owned(), self.latency[kind as usize].to_json());
+        }
+        let mut cache_map = BTreeMap::new();
+        cache_map.insert("hits".to_owned(), load(&self.cache_hits));
+        cache_map.insert("misses".to_owned(), load(&self.cache_misses));
+        cache_map.insert("entries".to_owned(), Json::Num(cache.entries as f64));
+        cache_map.insert("bytes".to_owned(), Json::Num(cache.bytes as f64));
+        cache_map.insert("evictions".to_owned(), Json::Num(cache.evictions as f64));
+        let mut queue = BTreeMap::new();
+        queue.insert("depth".to_owned(), load(&self.queue_depth));
+        queue.insert("highwater".to_owned(), load(&self.queue_highwater));
+        let mut map = BTreeMap::new();
+        map.insert("requests".to_owned(), Json::Obj(requests));
+        map.insert("latency-micros".to_owned(), Json::Obj(latency));
+        map.insert("cache".to_owned(), Json::Obj(cache_map));
+        map.insert("queue".to_owned(), Json::Obj(queue));
+        map.insert("responses-ok".to_owned(), load(&self.responses_ok));
+        map.insert("responses-err".to_owned(), load(&self.responses_err));
+        map.insert("protocol-errors".to_owned(), load(&self.protocol_errors));
+        map.insert("overloaded".to_owned(), load(&self.overloaded));
+        map.insert("connections".to_owned(), load(&self.connections));
+        Json::Obj(map)
+    }
+}

@@ -1,0 +1,949 @@
+//! Wire protocol of the `ppsimd` daemon: line-delimited JSON requests and
+//! responses over TCP.
+//!
+//! Every request and every response is a single JSON object on a single
+//! `\n`-terminated line, parsed and emitted with [`bench::perf`]'s
+//! dependency-free JSON codec. Parsing is *strict*: unknown fields, wrong
+//! types, out-of-range numbers and duplicate keys are all rejected with a
+//! typed error response instead of being silently ignored — strictness is
+//! what makes the canonical re-serialization of a parsed request a sound
+//! cache key (two requests that parse to the same [`Request`] value are
+//! the same request; see [`Request::canonical_text`]).
+//!
+//! Request kinds: `run` (seeded trials of a protocol × scenario × engine ×
+//! scheduler × fault/churn plan), `expect` (exact expected silence time via
+//! the model checker), `verify` (exhaustive self-stabilization check),
+//! `sweep` (a batch of the above), and `stats` (metrics snapshot).
+
+use std::collections::BTreeMap;
+
+use bench::perf::{self, Json};
+use ppsim::batched::Engine;
+
+/// Default interaction budget for `run` requests: the largest power of two
+/// exactly representable in an `f64` (JSON numbers are doubles).
+pub const DEFAULT_BUDGET: u64 = 1 << 53;
+
+/// Default trial count for `run` requests.
+pub const DEFAULT_TRIALS: usize = 4;
+
+/// Largest accepted population size (guards the daemon against memory-bomb
+/// requests; the engines are O(n) per trial).
+pub const MAX_N: usize = 10_000_000;
+
+/// Largest accepted trial count per `run` request.
+pub const MAX_TRIALS: usize = 10_000;
+
+/// Largest accepted `sweep` batch.
+pub const MAX_SWEEP_ITEMS: usize = 4096;
+
+/// The typed error vocabulary of the wire protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorKind {
+    /// The line was not valid JSON.
+    Parse,
+    /// The line was JSON but not a valid request (wrong shape, wrong types,
+    /// unknown fields, out-of-range values).
+    BadRequest,
+    /// The `type` field named no known request kind.
+    UnknownType,
+    /// The line exceeded the server's byte cap before a `\n` arrived.
+    OversizedLine,
+    /// The connection ended mid-line (bytes after the last `\n`).
+    TruncatedFrame,
+    /// The bounded job queue was full; the request was shed, not queued.
+    Overloaded,
+    /// The request was well-formed but names an unsupported combination
+    /// (e.g. a graph scheduler on a count engine, or a state space too
+    /// large for the model checker).
+    Unsupported,
+    /// The server failed internally (a worker panicked or disappeared).
+    Internal,
+}
+
+impl ErrorKind {
+    /// The wire label of the kind.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::UnknownType => "unknown-type",
+            ErrorKind::OversizedLine => "oversized-line",
+            ErrorKind::TruncatedFrame => "truncated-frame",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Unsupported => "unsupported",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parses a wire label back into the kind.
+    pub fn from_label(label: &str) -> Option<Self> {
+        Some(match label {
+            "parse" => ErrorKind::Parse,
+            "bad-request" => ErrorKind::BadRequest,
+            "unknown-type" => ErrorKind::UnknownType,
+            "oversized-line" => ErrorKind::OversizedLine,
+            "truncated-frame" => ErrorKind::TruncatedFrame,
+            "overloaded" => ErrorKind::Overloaded,
+            "unsupported" => ErrorKind::Unsupported,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A typed protocol error: the payload of every `"ok": false` response.
+#[derive(Clone, PartialEq, Debug)]
+pub struct WireError {
+    /// The error class.
+    pub kind: ErrorKind,
+    /// A human-readable description.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error of `kind` with the given message.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        WireError { kind, message: message.into() }
+    }
+
+    fn bad(message: impl Into<String>) -> Self {
+        WireError::new(ErrorKind::BadRequest, message)
+    }
+}
+
+/// The protocols the daemon can serve.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProtocolId {
+    /// `ssle::SilentNStateSsr` — the paper's silent n-state ranking protocol.
+    SilentNState,
+    /// `ssle::OptimalSilentSsr` — the paper's time-optimal silent protocol.
+    OptimalSilent,
+    /// `processes::Epidemic` — one-way infection.
+    Epidemic,
+    /// `processes::Coupon` — full pairwise meeting closure.
+    Coupon,
+    /// `processes::Fratricide` — leader elimination.
+    Fratricide,
+}
+
+impl ProtocolId {
+    /// Every protocol, in wire-label order.
+    pub const ALL: [ProtocolId; 5] = [
+        ProtocolId::Coupon,
+        ProtocolId::Epidemic,
+        ProtocolId::Fratricide,
+        ProtocolId::OptimalSilent,
+        ProtocolId::SilentNState,
+    ];
+
+    /// The wire label of the protocol.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolId::SilentNState => "silent-n-state",
+            ProtocolId::OptimalSilent => "optimal-silent",
+            ProtocolId::Epidemic => "epidemic",
+            ProtocolId::Coupon => "coupon",
+            ProtocolId::Fratricide => "fratricide",
+        }
+    }
+
+    fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|p| p.label() == label)
+    }
+}
+
+/// Parameterization of [`ProtocolId::OptimalSilent`] (ignored by the other
+/// protocols, but always part of the canonical request).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParamsId {
+    /// `OptimalSilentParams::recommended(n)` — the paper's constants.
+    Paper,
+    /// `OptimalSilentParams::mcheck(n)` — minimal constants, small enough
+    /// for exhaustive model checking.
+    MCheck,
+}
+
+impl ParamsId {
+    /// The wire label of the parameterization.
+    pub fn label(self) -> &'static str {
+        match self {
+            ParamsId::Paper => "paper",
+            ParamsId::MCheck => "mcheck",
+        }
+    }
+
+    fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "paper" => Some(ParamsId::Paper),
+            "mcheck" => Some(ParamsId::MCheck),
+            _ => None,
+        }
+    }
+}
+
+/// An interaction-scheduler choice on the wire.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedulerSpec {
+    /// Uniform random matching (the population-protocol default).
+    Uniform,
+    /// Ring topology (exact engine only).
+    Ring,
+    /// Star topology (exact engine only).
+    Star,
+    /// Random `d`-regular topology, drawn from the request seed
+    /// (exact engine only).
+    RandomRegular(usize),
+}
+
+impl SchedulerSpec {
+    /// The wire label (`"uniform"`, `"ring"`, `"star"`,
+    /// `"random-<d>-regular"`).
+    pub fn label(self) -> String {
+        match self {
+            SchedulerSpec::Uniform => "uniform".to_owned(),
+            SchedulerSpec::Ring => "ring".to_owned(),
+            SchedulerSpec::Star => "star".to_owned(),
+            SchedulerSpec::RandomRegular(d) => format!("random-{d}-regular"),
+        }
+    }
+
+    fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "uniform" => return Some(SchedulerSpec::Uniform),
+            "ring" => return Some(SchedulerSpec::Ring),
+            "star" => return Some(SchedulerSpec::Star),
+            _ => {}
+        }
+        let degree =
+            label.strip_prefix("random-").and_then(|rest| rest.strip_suffix("-regular"))?;
+        let degree: usize = degree.parse().ok().filter(|&d| d >= 1)?;
+        Some(SchedulerSpec::RandomRegular(degree))
+    }
+}
+
+/// When a fault or churn plan fires.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScheduleSpec {
+    /// A single event at interaction `at`.
+    OneShot {
+        /// Absolute interaction index of the event.
+        at: u64,
+    },
+    /// `events` events at `start, start + period, …`.
+    Periodic {
+        /// Interaction index of the first event.
+        start: u64,
+        /// Gap between events, in interactions.
+        period: u64,
+        /// Number of events.
+        events: u32,
+    },
+    /// Exponential gaps with the given mean, truncated at `horizon`.
+    Poisson {
+        /// Mean gap between events, in interactions.
+        mean_gap: u64,
+        /// No events fire at or beyond this interaction index.
+        horizon: u64,
+    },
+}
+
+/// A transient-corruption plan on the wire: a schedule plus a burst size
+/// and the dense state index every victim is forced into.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultSpec {
+    /// When bursts fire.
+    pub schedule: ScheduleSpec,
+    /// Agents corrupted per burst.
+    pub k: usize,
+    /// Dense state index (`EnumerableProtocol::state_from_index`) the
+    /// victims are forced into.
+    pub state: usize,
+}
+
+/// What a churn event does.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChurnKind {
+    /// Agents join in a fixed state.
+    Join,
+    /// Agents leave (count-proportionally).
+    Leave,
+    /// Size-preserving turnover.
+    Replace,
+}
+
+impl ChurnKind {
+    /// The wire label of the action.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChurnKind::Join => "join",
+            ChurnKind::Leave => "leave",
+            ChurnKind::Replace => "replace",
+        }
+    }
+
+    fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "join" => Some(ChurnKind::Join),
+            "leave" => Some(ChurnKind::Leave),
+            "replace" => Some(ChurnKind::Replace),
+            _ => None,
+        }
+    }
+}
+
+/// A population-churn plan on the wire.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChurnSpec {
+    /// When events fire.
+    pub schedule: ScheduleSpec,
+    /// The action per event.
+    pub action: ChurnKind,
+    /// Agents affected per event.
+    pub count: usize,
+    /// Dense state index of joining/replacement agents (required for
+    /// `join`/`replace`, forbidden for `leave`).
+    pub state: Option<usize>,
+}
+
+/// A `run` request: seeded trials of one workload cell.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RunSpec {
+    /// Which protocol to run.
+    pub protocol: ProtocolId,
+    /// Population size.
+    pub n: usize,
+    /// Which engine executes the trials.
+    pub engine: Engine,
+    /// Initial-configuration scenario (a name from the protocol's scenario
+    /// list).
+    pub scenario: String,
+    /// Number of seeded trials.
+    pub trials: usize,
+    /// Base seed; per-trial seeds derive via `TrialPlan::seed_for`.
+    pub seed: u64,
+    /// Interaction budget per trial.
+    pub budget: u64,
+    /// Interaction scheduler.
+    pub scheduler: SchedulerSpec,
+    /// Optional transient-corruption plan.
+    pub faults: Option<FaultSpec>,
+    /// Optional population-churn plan.
+    pub churn: Option<ChurnSpec>,
+    /// Parameterization (optimal-silent only).
+    pub params: ParamsId,
+}
+
+/// An `expect` request: exact expected silence time from one scenario.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ExpectSpec {
+    /// Which protocol to check.
+    pub protocol: ProtocolId,
+    /// Population size.
+    pub n: usize,
+    /// Initial-configuration scenario.
+    pub scenario: String,
+    /// Seed of the scenario draw.
+    pub seed: u64,
+    /// Parameterization (optimal-silent only; defaults to `mcheck`).
+    pub params: ParamsId,
+}
+
+/// A `verify` request: exhaustive self-stabilization check over the full
+/// configuration lattice.
+#[derive(Clone, PartialEq, Debug)]
+pub struct VerifySpec {
+    /// Which protocol to verify.
+    pub protocol: ProtocolId,
+    /// Population size.
+    pub n: usize,
+    /// Parameterization (optimal-silent only; defaults to `mcheck`).
+    pub params: ParamsId,
+}
+
+/// A parsed request.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Request {
+    /// Seeded simulation trials.
+    Run(RunSpec),
+    /// Exact expected silence time.
+    Expect(ExpectSpec),
+    /// Exhaustive self-stabilization check.
+    Verify(VerifySpec),
+    /// A batch of run/expect/verify requests (no nesting).
+    Sweep(Vec<Request>),
+    /// Metrics snapshot.
+    Stats,
+}
+
+impl Request {
+    /// The wire label of the request kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Run(_) => "run",
+            Request::Expect(_) => "expect",
+            Request::Verify(_) => "verify",
+            Request::Sweep(_) => "sweep",
+            Request::Stats => "stats",
+        }
+    }
+
+    /// Whether responses to this request are cacheable (deterministic in
+    /// the canonical request text).
+    pub fn cacheable(&self) -> bool {
+        matches!(self, Request::Run(_) | Request::Expect(_) | Request::Verify(_))
+    }
+
+    /// Parses one request line. Strict: every error maps to a typed
+    /// [`WireError`].
+    pub fn parse_line(line: &str) -> Result<Self, WireError> {
+        let value = perf::parse(line)
+            .map_err(|e| WireError::new(ErrorKind::Parse, format!("invalid JSON: {e}")))?;
+        Self::from_json(&value, true)
+    }
+
+    /// Parses a request from an already-parsed JSON value.
+    /// `allow_compound` gates `sweep`/`stats` (sub-requests of a sweep may
+    /// only be run/expect/verify).
+    pub fn from_json(value: &Json, allow_compound: bool) -> Result<Self, WireError> {
+        let map = value.as_object().ok_or_else(|| Self::not_an_object(value))?;
+        let kind = match map.get("type") {
+            None => return Err(WireError::bad("missing request field \"type\"")),
+            Some(Json::Str(s)) => s.as_str(),
+            Some(_) => return Err(WireError::bad("request field \"type\" must be a string")),
+        };
+        match kind {
+            "run" => Ok(Request::Run(RunSpec::from_map(map)?)),
+            "expect" => Ok(Request::Expect(ExpectSpec::from_map(map)?)),
+            "verify" => Ok(Request::Verify(VerifySpec::from_map(map)?)),
+            "sweep" if allow_compound => {
+                check_fields(map, &["type", "requests"])?;
+                let items = match map.get("requests") {
+                    Some(Json::Arr(items)) => items,
+                    _ => return Err(WireError::bad("sweep field \"requests\" must be an array")),
+                };
+                if items.is_empty() {
+                    return Err(WireError::bad("sweep field \"requests\" must be non-empty"));
+                }
+                if items.len() > MAX_SWEEP_ITEMS {
+                    return Err(WireError::bad(format!(
+                        "sweep of {} requests exceeds the limit of {MAX_SWEEP_ITEMS}",
+                        items.len()
+                    )));
+                }
+                let parsed: Result<Vec<Request>, WireError> =
+                    items.iter().map(|item| Request::from_json(item, false)).collect();
+                Ok(Request::Sweep(parsed?))
+            }
+            "stats" if allow_compound => {
+                check_fields(map, &["type"])?;
+                Ok(Request::Stats)
+            }
+            "sweep" | "stats" => {
+                Err(WireError::bad(format!("request type {kind:?} cannot appear inside a sweep")))
+            }
+            other => Err(WireError::new(
+                ErrorKind::UnknownType,
+                format!("unknown request type {other:?}"),
+            )),
+        }
+    }
+
+    /// The canonical JSON value of the request: every defaultable field
+    /// materialized, object keys sorted (the parser's `BTreeMap` does
+    /// this), no insignificant whitespace once serialized.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Run(spec) => spec.to_json(),
+            Request::Expect(spec) => spec.to_json(),
+            Request::Verify(spec) => spec.to_json(),
+            Request::Sweep(items) => {
+                let mut map = BTreeMap::new();
+                map.insert("type".to_owned(), Json::Str("sweep".to_owned()));
+                map.insert(
+                    "requests".to_owned(),
+                    Json::Arr(items.iter().map(Request::to_json).collect()),
+                );
+                Json::Obj(map)
+            }
+            Request::Stats => {
+                let mut map = BTreeMap::new();
+                map.insert("type".to_owned(), Json::Str("stats".to_owned()));
+                Json::Obj(map)
+            }
+        }
+    }
+
+    /// The canonical request text: the cache key. Field order and
+    /// whitespace of the original line are irrelevant — the key is the
+    /// compact serialization of the *parsed* request with defaults filled.
+    pub fn canonical_text(&self) -> String {
+        perf::to_string(&self.to_json())
+    }
+
+    fn not_an_object(value: &Json) -> WireError {
+        let got = match value {
+            Json::Null => "null",
+            Json::Bool(_) => "a boolean",
+            Json::Num(_) => "a number",
+            Json::Str(_) => "a string",
+            Json::Arr(_) => "an array",
+            Json::Obj(_) => unreachable!("object handled by caller"),
+        };
+        WireError::bad(format!("request must be a JSON object, got {got}"))
+    }
+}
+
+impl RunSpec {
+    const FIELDS: &'static [&'static str] = &[
+        "type",
+        "protocol",
+        "n",
+        "engine",
+        "scenario",
+        "trials",
+        "seed",
+        "budget",
+        "scheduler",
+        "faults",
+        "churn",
+        "params",
+    ];
+
+    fn from_map(map: &BTreeMap<String, Json>) -> Result<Self, WireError> {
+        check_fields(map, Self::FIELDS)?;
+        let spec = RunSpec {
+            protocol: parse_protocol(map)?,
+            n: parse_n(map)?,
+            engine: match opt_str(map, "engine")?.unwrap_or("batched") {
+                "exact" => Engine::Exact,
+                "batched" => Engine::Batched,
+                "batchcount" => Engine::BatchedCounts,
+                other => {
+                    return Err(WireError::bad(format!(
+                        "unknown engine {other:?} (expected \"exact\", \"batched\" or \"batchcount\")"
+                    )))
+                }
+            },
+            scenario: opt_str(map, "scenario")?.unwrap_or("random").to_owned(),
+            trials: match opt_index(map, "trials")?.unwrap_or(DEFAULT_TRIALS) {
+                0 => return Err(WireError::bad("field \"trials\" must be >= 1")),
+                t if t > MAX_TRIALS => {
+                    return Err(WireError::bad(format!(
+                        "field \"trials\" exceeds the limit of {MAX_TRIALS}"
+                    )))
+                }
+                t => t,
+            },
+            seed: opt_u64(map, "seed")?.unwrap_or(0),
+            budget: match opt_u64(map, "budget")?.unwrap_or(DEFAULT_BUDGET) {
+                0 => return Err(WireError::bad("field \"budget\" must be >= 1")),
+                b => b,
+            },
+            scheduler: match opt_str(map, "scheduler")? {
+                None => SchedulerSpec::Uniform,
+                Some(label) => SchedulerSpec::from_label(label).ok_or_else(|| {
+                    WireError::bad(format!(
+                        "unknown scheduler {label:?} (expected \"uniform\", \"ring\", \"star\" or \"random-<d>-regular\")"
+                    ))
+                })?,
+            },
+            faults: match map.get("faults") {
+                None => None,
+                Some(value) => Some(FaultSpec::from_json(value)?),
+            },
+            churn: match map.get("churn") {
+                None => None,
+                Some(value) => Some(ChurnSpec::from_json(value)?),
+            },
+            params: parse_params(map, ParamsId::Paper)?,
+        };
+        Ok(spec)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut map = BTreeMap::new();
+        map.insert("type".to_owned(), Json::Str("run".to_owned()));
+        map.insert("protocol".to_owned(), Json::Str(self.protocol.label().to_owned()));
+        map.insert("n".to_owned(), Json::Num(self.n as f64));
+        map.insert("engine".to_owned(), Json::Str(self.engine.to_string()));
+        map.insert("scenario".to_owned(), Json::Str(self.scenario.clone()));
+        map.insert("trials".to_owned(), Json::Num(self.trials as f64));
+        map.insert("seed".to_owned(), Json::Num(self.seed as f64));
+        map.insert("budget".to_owned(), Json::Num(self.budget as f64));
+        map.insert("scheduler".to_owned(), Json::Str(self.scheduler.label()));
+        if let Some(faults) = &self.faults {
+            map.insert("faults".to_owned(), faults.to_json());
+        }
+        if let Some(churn) = &self.churn {
+            map.insert("churn".to_owned(), churn.to_json());
+        }
+        map.insert("params".to_owned(), Json::Str(self.params.label().to_owned()));
+        Json::Obj(map)
+    }
+}
+
+impl ExpectSpec {
+    const FIELDS: &'static [&'static str] =
+        &["type", "protocol", "n", "scenario", "seed", "params"];
+
+    fn from_map(map: &BTreeMap<String, Json>) -> Result<Self, WireError> {
+        check_fields(map, Self::FIELDS)?;
+        Ok(ExpectSpec {
+            protocol: parse_protocol(map)?,
+            n: parse_n(map)?,
+            scenario: opt_str(map, "scenario")?.unwrap_or("random").to_owned(),
+            seed: opt_u64(map, "seed")?.unwrap_or(0),
+            params: parse_params(map, ParamsId::MCheck)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        let mut map = BTreeMap::new();
+        map.insert("type".to_owned(), Json::Str("expect".to_owned()));
+        map.insert("protocol".to_owned(), Json::Str(self.protocol.label().to_owned()));
+        map.insert("n".to_owned(), Json::Num(self.n as f64));
+        map.insert("scenario".to_owned(), Json::Str(self.scenario.clone()));
+        map.insert("seed".to_owned(), Json::Num(self.seed as f64));
+        map.insert("params".to_owned(), Json::Str(self.params.label().to_owned()));
+        Json::Obj(map)
+    }
+}
+
+impl VerifySpec {
+    const FIELDS: &'static [&'static str] = &["type", "protocol", "n", "params"];
+
+    fn from_map(map: &BTreeMap<String, Json>) -> Result<Self, WireError> {
+        check_fields(map, Self::FIELDS)?;
+        Ok(VerifySpec {
+            protocol: parse_protocol(map)?,
+            n: parse_n(map)?,
+            params: parse_params(map, ParamsId::MCheck)?,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        let mut map = BTreeMap::new();
+        map.insert("type".to_owned(), Json::Str("verify".to_owned()));
+        map.insert("protocol".to_owned(), Json::Str(self.protocol.label().to_owned()));
+        map.insert("n".to_owned(), Json::Num(self.n as f64));
+        map.insert("params".to_owned(), Json::Str(self.params.label().to_owned()));
+        Json::Obj(map)
+    }
+}
+
+impl ScheduleSpec {
+    /// Parses the schedule fields out of a fault/churn object.
+    fn from_map(map: &BTreeMap<String, Json>) -> Result<Self, WireError> {
+        let label = opt_str(map, "schedule")?
+            .ok_or_else(|| WireError::bad("missing plan field \"schedule\""))?;
+        match label {
+            "one-shot" => Ok(ScheduleSpec::OneShot { at: req_u64(map, "at")? }),
+            "periodic" => Ok(ScheduleSpec::Periodic {
+                start: req_u64(map, "start")?,
+                period: match req_u64(map, "period")? {
+                    0 => return Err(WireError::bad("field \"period\" must be >= 1")),
+                    p => p,
+                },
+                events: match req_u64(map, "events")? {
+                    0 => return Err(WireError::bad("field \"events\" must be >= 1")),
+                    e if e > u32::MAX as u64 => {
+                        return Err(WireError::bad("field \"events\" exceeds u32"))
+                    }
+                    e => e as u32,
+                },
+            }),
+            "poisson" => Ok(ScheduleSpec::Poisson {
+                mean_gap: match req_u64(map, "mean-gap")? {
+                    0 => return Err(WireError::bad("field \"mean-gap\" must be >= 1")),
+                    g => g,
+                },
+                horizon: req_u64(map, "horizon")?,
+            }),
+            other => Err(WireError::bad(format!(
+                "unknown schedule {other:?} (expected \"one-shot\", \"periodic\" or \"poisson\")"
+            ))),
+        }
+    }
+
+    /// The field names this schedule contributes to a plan object.
+    fn fields(self) -> &'static [&'static str] {
+        match self {
+            ScheduleSpec::OneShot { .. } => &["at"],
+            ScheduleSpec::Periodic { .. } => &["start", "period", "events"],
+            ScheduleSpec::Poisson { .. } => &["mean-gap", "horizon"],
+        }
+    }
+
+    fn write(self, map: &mut BTreeMap<String, Json>) {
+        match self {
+            ScheduleSpec::OneShot { at } => {
+                map.insert("schedule".to_owned(), Json::Str("one-shot".to_owned()));
+                map.insert("at".to_owned(), Json::Num(at as f64));
+            }
+            ScheduleSpec::Periodic { start, period, events } => {
+                map.insert("schedule".to_owned(), Json::Str("periodic".to_owned()));
+                map.insert("start".to_owned(), Json::Num(start as f64));
+                map.insert("period".to_owned(), Json::Num(period as f64));
+                map.insert("events".to_owned(), Json::Num(events as f64));
+            }
+            ScheduleSpec::Poisson { mean_gap, horizon } => {
+                map.insert("schedule".to_owned(), Json::Str("poisson".to_owned()));
+                map.insert("mean-gap".to_owned(), Json::Num(mean_gap as f64));
+                map.insert("horizon".to_owned(), Json::Num(horizon as f64));
+            }
+        }
+    }
+}
+
+impl FaultSpec {
+    fn from_json(value: &Json) -> Result<Self, WireError> {
+        let map = value
+            .as_object()
+            .ok_or_else(|| WireError::bad("field \"faults\" must be a JSON object"))?;
+        let schedule = ScheduleSpec::from_map(map)?;
+        let mut allowed = vec!["schedule", "k", "state"];
+        allowed.extend_from_slice(schedule.fields());
+        check_fields(map, &allowed)?;
+        Ok(FaultSpec {
+            schedule,
+            k: match req_index(map, "k")? {
+                0 => return Err(WireError::bad("field \"k\" must be >= 1")),
+                k => k,
+            },
+            state: req_index(map, "state")?,
+        })
+    }
+
+    fn to_json(self) -> Json {
+        let mut map = BTreeMap::new();
+        self.schedule.write(&mut map);
+        map.insert("k".to_owned(), Json::Num(self.k as f64));
+        map.insert("state".to_owned(), Json::Num(self.state as f64));
+        Json::Obj(map)
+    }
+}
+
+impl ChurnSpec {
+    fn from_json(value: &Json) -> Result<Self, WireError> {
+        let map = value
+            .as_object()
+            .ok_or_else(|| WireError::bad("field \"churn\" must be a JSON object"))?;
+        let schedule = ScheduleSpec::from_map(map)?;
+        let mut allowed = vec!["schedule", "action", "count", "state"];
+        allowed.extend_from_slice(schedule.fields());
+        check_fields(map, &allowed)?;
+        let action = opt_str(map, "action")?
+            .ok_or_else(|| WireError::bad("missing churn field \"action\""))
+            .and_then(|label| {
+                ChurnKind::from_label(label).ok_or_else(|| {
+                    WireError::bad(format!(
+                        "unknown churn action {label:?} (expected \"join\", \"leave\" or \"replace\")"
+                    ))
+                })
+            })?;
+        let state = opt_index(map, "state")?;
+        match action {
+            ChurnKind::Join | ChurnKind::Replace if state.is_none() => {
+                return Err(WireError::bad(format!(
+                    "churn action {:?} requires field \"state\"",
+                    action.label()
+                )));
+            }
+            ChurnKind::Leave if state.is_some() => {
+                return Err(WireError::bad("churn action \"leave\" forbids field \"state\""));
+            }
+            _ => {}
+        }
+        Ok(ChurnSpec {
+            schedule,
+            action,
+            count: match req_index(map, "count")? {
+                0 => return Err(WireError::bad("field \"count\" must be >= 1")),
+                c => c,
+            },
+            state,
+        })
+    }
+
+    fn to_json(self) -> Json {
+        let mut map = BTreeMap::new();
+        self.schedule.write(&mut map);
+        map.insert("action".to_owned(), Json::Str(self.action.label().to_owned()));
+        map.insert("count".to_owned(), Json::Num(self.count as f64));
+        if let Some(state) = self.state {
+            map.insert("state".to_owned(), Json::Num(state as f64));
+        }
+        Json::Obj(map)
+    }
+}
+
+/// A parsed response: the other direction of the wire.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Response {
+    /// A successful result; `kind` echoes the request type.
+    Ok {
+        /// The request type this result answers.
+        kind: String,
+        /// The result payload.
+        result: Json,
+    },
+    /// A typed error.
+    Err(WireError),
+}
+
+impl Response {
+    /// Builds a success response.
+    pub fn ok(kind: &str, result: Json) -> Self {
+        Response::Ok { kind: kind.to_owned(), result }
+    }
+
+    /// Builds an error response.
+    pub fn error(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Response::Err(WireError::new(kind, message))
+    }
+
+    /// The canonical JSON value of the response.
+    pub fn to_json(&self) -> Json {
+        let mut map = BTreeMap::new();
+        match self {
+            Response::Ok { kind, result } => {
+                map.insert("ok".to_owned(), Json::Bool(true));
+                map.insert("type".to_owned(), Json::Str(kind.clone()));
+                map.insert("result".to_owned(), result.clone());
+            }
+            Response::Err(err) => {
+                map.insert("ok".to_owned(), Json::Bool(false));
+                let mut inner = BTreeMap::new();
+                inner.insert("kind".to_owned(), Json::Str(err.kind.label().to_owned()));
+                inner.insert("message".to_owned(), Json::Str(err.message.clone()));
+                map.insert("error".to_owned(), Json::Obj(inner));
+            }
+        }
+        Json::Obj(map)
+    }
+
+    /// The canonical response text (no trailing newline).
+    pub fn to_line(&self) -> String {
+        perf::to_string(&self.to_json())
+    }
+
+    /// Parses a response from an already-parsed JSON value.
+    pub fn from_json(value: &Json) -> Result<Self, WireError> {
+        let map =
+            value.as_object().ok_or_else(|| WireError::bad("response must be a JSON object"))?;
+        match map.get("ok").and_then(Json::as_bool) {
+            Some(true) => {
+                check_fields(map, &["ok", "type", "result"])?;
+                let kind = match map.get("type") {
+                    Some(Json::Str(s)) => s.clone(),
+                    _ => return Err(WireError::bad("response field \"type\" must be a string")),
+                };
+                let result = map
+                    .get("result")
+                    .cloned()
+                    .ok_or_else(|| WireError::bad("missing response field \"result\""))?;
+                Ok(Response::Ok { kind, result })
+            }
+            Some(false) => {
+                check_fields(map, &["ok", "error"])?;
+                let inner = map
+                    .get("error")
+                    .and_then(Json::as_object)
+                    .ok_or_else(|| WireError::bad("response field \"error\" must be an object"))?;
+                check_fields(inner, &["kind", "message"])?;
+                let kind = inner
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .and_then(ErrorKind::from_label)
+                    .ok_or_else(|| WireError::bad("unknown error kind in response"))?;
+                let message = inner
+                    .get("message")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| WireError::bad("error field \"message\" must be a string"))?
+                    .to_owned();
+                Ok(Response::Err(WireError { kind, message }))
+            }
+            None => Err(WireError::bad("response field \"ok\" must be a boolean")),
+        }
+    }
+
+    /// Parses one response line.
+    pub fn parse_line(line: &str) -> Result<Self, WireError> {
+        let value = perf::parse(line)
+            .map_err(|e| WireError::new(ErrorKind::Parse, format!("invalid JSON: {e}")))?;
+        Self::from_json(&value)
+    }
+}
+
+fn check_fields(map: &BTreeMap<String, Json>, allowed: &[&str]) -> Result<(), WireError> {
+    for key in map.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(WireError::bad(format!("unknown field {key:?}")));
+        }
+    }
+    Ok(())
+}
+
+fn parse_protocol(map: &BTreeMap<String, Json>) -> Result<ProtocolId, WireError> {
+    let label = opt_str(map, "protocol")?
+        .ok_or_else(|| WireError::bad("missing request field \"protocol\""))?;
+    ProtocolId::from_label(label).ok_or_else(|| {
+        let known: Vec<&str> = ProtocolId::ALL.iter().map(|p| p.label()).collect();
+        WireError::bad(format!("unknown protocol {label:?} (expected one of {known:?})"))
+    })
+}
+
+fn parse_n(map: &BTreeMap<String, Json>) -> Result<usize, WireError> {
+    match req_index(map, "n")? {
+        n if n < 2 => Err(WireError::bad("field \"n\" must be >= 2")),
+        n if n > MAX_N => Err(WireError::bad(format!("field \"n\" exceeds the limit of {MAX_N}"))),
+        n => Ok(n),
+    }
+}
+
+fn parse_params(map: &BTreeMap<String, Json>, default: ParamsId) -> Result<ParamsId, WireError> {
+    match opt_str(map, "params")? {
+        None => Ok(default),
+        Some(label) => ParamsId::from_label(label).ok_or_else(|| {
+            WireError::bad(format!("unknown params {label:?} (expected \"paper\" or \"mcheck\")"))
+        }),
+    }
+}
+
+fn opt_str<'a>(map: &'a BTreeMap<String, Json>, key: &str) -> Result<Option<&'a str>, WireError> {
+    match map.get(key) {
+        None => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.as_str())),
+        Some(_) => Err(WireError::bad(format!("field {key:?} must be a string"))),
+    }
+}
+
+/// Reads an optional non-negative integer field. JSON numbers are doubles,
+/// so anything beyond 2^53 is rejected rather than silently rounded.
+fn opt_u64(map: &BTreeMap<String, Json>, key: &str) -> Result<Option<u64>, WireError> {
+    match map.get(key) {
+        None => Ok(None),
+        Some(Json::Num(x)) => {
+            if !(x.is_finite() && x.fract() == 0.0 && (0.0..=(1u64 << 53) as f64).contains(x)) {
+                return Err(WireError::bad(format!(
+                    "field {key:?} must be an integer in [0, 2^53]"
+                )));
+            }
+            Ok(Some(*x as u64))
+        }
+        Some(_) => Err(WireError::bad(format!("field {key:?} must be a number"))),
+    }
+}
+
+fn req_u64(map: &BTreeMap<String, Json>, key: &str) -> Result<u64, WireError> {
+    opt_u64(map, key)?.ok_or_else(|| WireError::bad(format!("missing field {key:?}")))
+}
+
+fn opt_index(map: &BTreeMap<String, Json>, key: &str) -> Result<Option<usize>, WireError> {
+    Ok(opt_u64(map, key)?.map(|x| x as usize))
+}
+
+fn req_index(map: &BTreeMap<String, Json>, key: &str) -> Result<usize, WireError> {
+    Ok(req_u64(map, key)? as usize)
+}

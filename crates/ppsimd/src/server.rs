@@ -1,0 +1,432 @@
+//! The daemon core: a `TcpListener` accept loop feeding a bounded job queue
+//! drained by a fixed worker pool, all inside one `std::thread::scope`.
+//!
+//! Threading model:
+//!
+//! - The **control thread** owns the (non-blocking) listener: it polls
+//!   `accept` against the stop flag and spawns one scoped handler thread
+//!   per connection.
+//! - **Connection handlers** frame `\n`-delimited request lines under a
+//!   byte cap, parse them, answer `stats` and cache hits inline, and push
+//!   everything else onto the bounded queue with `try_send` — a full queue
+//!   sheds the request with a typed `overloaded` response instead of
+//!   growing memory.
+//! - **Workers** share the queue receiver behind a mutex with a short
+//!   `recv_timeout`, execute jobs, fill the cache, and hand the serialized
+//!   response line back over a rendezvous channel. On shutdown the
+//!   handlers stop *sending* first, so workers observe `Disconnected` only
+//!   after the queue has drained: in-flight jobs always complete.
+//!
+//! Responses to cacheable requests are cached as full serialized lines, so
+//! a warm hit replays the byte-identical cold response.
+
+use std::io::{self, BufRead, BufReader, BufWriter, ErrorKind as IoKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bench::perf::Json;
+
+use crate::cache::{CacheConfig, ResultCache};
+use crate::exec;
+use crate::metrics::{Metrics, ReqKind};
+use crate::proto::{ErrorKind, Request, Response};
+
+/// Configuration of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue sheds load with a typed
+    /// `overloaded` response.
+    pub queue_capacity: usize,
+    /// Result-cache shape.
+    pub cache: CacheConfig,
+    /// Byte cap per request line; longer lines get a typed
+    /// `oversized-line` response and the connection closes.
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let workers = thread::available_parallelism().map_or(4, |p| p.get()).clamp(2, 8);
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers,
+            queue_capacity: 256,
+            cache: CacheConfig::default(),
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Interval at which blocking-ish loops re-check the stop flag.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Accept-loop poll interval: much shorter than [`POLL`], because every
+/// new connection's first request eats this latency before being served.
+const ACCEPT_POLL: Duration = Duration::from_millis(1);
+
+/// Shared server state: metrics, cache, and the queue sender template.
+struct Shared {
+    metrics: Metrics,
+    cache: ResultCache,
+    queue_capacity: usize,
+    workers: usize,
+    max_line_bytes: usize,
+}
+
+/// One queued unit of work: a parsed request plus the canonical text of
+/// its cacheable payload, answered over a rendezvous channel.
+struct Job {
+    request: Request,
+    canonical: String,
+    reply: SyncSender<String>,
+}
+
+/// A running server handle. Dropping it (or calling
+/// [`Server::shutdown`]) stops the accept loop, drains queued jobs, and
+/// joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// The actual bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's metrics block (shared with the running threads).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Stops accepting, drains in-flight jobs, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Binds the listener and spawns the server. Returns once the port is
+/// bound, so [`Server::addr`] is immediately connectable.
+pub fn serve(config: ServerConfig) -> io::Result<Server> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let shared = Arc::new(Shared {
+        metrics: Metrics::new(),
+        cache: ResultCache::new(config.cache),
+        queue_capacity: config.queue_capacity.max(1),
+        workers: config.workers.max(1),
+        max_line_bytes: config.max_line_bytes.max(2),
+    });
+    let thread = {
+        let shared = Arc::clone(&shared);
+        let stop = Arc::clone(&stop);
+        thread::Builder::new()
+            .name("ppsimd-accept".to_owned())
+            .spawn(move || run_loop(listener, shared, stop))?
+    };
+    Ok(Server { addr, stop, shared, thread: Some(thread) })
+}
+
+fn run_loop(listener: TcpListener, shared: Arc<Shared>, stop: Arc<AtomicBool>) {
+    thread::scope(|scope| {
+        let (tx, rx) = mpsc::sync_channel::<Job>(shared.queue_capacity);
+        let rx = Arc::new(Mutex::new(rx));
+        for _ in 0..shared.workers {
+            let rx = Arc::clone(&rx);
+            let shared = &shared;
+            scope.spawn(move || worker_loop(rx, shared));
+        }
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                    let tx = tx.clone();
+                    let shared = &shared;
+                    let stop = &stop;
+                    scope.spawn(move || {
+                        let _ = handle_connection(stream, tx, shared, stop);
+                    });
+                }
+                Err(e) if e.kind() == IoKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+                Err(_) => break,
+            }
+        }
+        // Dropping the original sender (each handler holds a clone that
+        // dies with it) disconnects the queue once every handler exits;
+        // workers drain what is buffered, then observe Disconnected.
+        drop(tx);
+    });
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>, shared: &Shared) {
+    loop {
+        let job = rx.lock().expect("queue receiver poisoned").recv_timeout(POLL);
+        match job {
+            Ok(job) => {
+                let line = process_job(&job, shared);
+                shared.metrics.job_dequeued();
+                // A handler that gave up (client vanished) is not an error.
+                let _ = job.reply.try_send(line);
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+fn process_job(job: &Job, shared: &Shared) -> String {
+    match &job.request {
+        Request::Sweep(items) => {
+            let mut results = Vec::with_capacity(items.len());
+            for item in items {
+                let canonical = item.canonical_text();
+                let line = match shared.cache.get(&canonical) {
+                    Some(hit) => {
+                        shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        hit
+                    }
+                    None => {
+                        shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                        execute_cacheable(item, canonical, shared)
+                    }
+                };
+                // Re-parse the cached line so the sweep payload is composed
+                // structurally (and stays canonical when re-serialized).
+                results.push(
+                    Response::parse_line(&line)
+                        .map(|r| r.to_json())
+                        .unwrap_or_else(|e| Response::Err(e).to_json()),
+                );
+            }
+            Response::ok("sweep", Json::Arr(results)).to_line()
+        }
+        request => {
+            debug_assert!(request.cacheable(), "stats never reaches the queue");
+            execute_cacheable(request, job.canonical.clone(), shared)
+        }
+    }
+}
+
+/// Executes a run/expect/verify request and caches successful responses
+/// under the canonical request text.
+fn execute_cacheable(request: &Request, canonical: String, shared: &Shared) -> String {
+    let response = exec::execute(request);
+    let line = response.to_line();
+    if matches!(response, Response::Ok { .. }) {
+        shared.cache.insert(canonical, line.clone());
+    }
+    line
+}
+
+/// What one framed read attempt produced.
+enum Frame {
+    /// A complete `\n`-terminated line (terminator stripped).
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// The server is shutting down.
+    Stopped,
+    /// The line exceeded the byte cap before terminating.
+    Oversized,
+    /// The stream ended with an unterminated partial line.
+    Truncated,
+}
+
+/// Reads one `\n`-framed line with a byte cap, polling the stop flag
+/// through read timeouts. Works byte-exact via `fill_buf`/`consume`, so a
+/// too-long line is detected without buffering it whole.
+fn read_frame(
+    reader: &mut BufReader<impl Read>,
+    max_line_bytes: usize,
+    stop: &AtomicBool,
+) -> io::Result<Frame> {
+    let mut line = Vec::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(Frame::Stopped);
+        }
+        let available = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == IoKind::WouldBlock || e.kind() == IoKind::TimedOut => continue,
+            Err(e) if e.kind() == IoKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(if line.is_empty() { Frame::Eof } else { Frame::Truncated });
+        }
+        let (chunk, terminated) = match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => (&available[..pos + 1], true),
+            None => (available, false),
+        };
+        if line.len() + chunk.len() > max_line_bytes + 1 {
+            return Ok(Frame::Oversized);
+        }
+        line.extend_from_slice(chunk);
+        let consumed = chunk.len();
+        reader.consume(consumed);
+        if terminated {
+            line.pop();
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(Frame::Line(String::from_utf8_lossy(&line).into_owned()));
+        }
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    tx: SyncSender<Job>,
+    shared: &Shared,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match read_frame(&mut reader, shared.max_line_bytes, stop)? {
+            Frame::Eof | Frame::Stopped => return Ok(()),
+            Frame::Oversized => {
+                shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+                let line = Response::error(
+                    ErrorKind::OversizedLine,
+                    format!("request line exceeds {} bytes", shared.max_line_bytes),
+                )
+                .to_line();
+                writer.write_all(line.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Frame::Truncated => {
+                // The client half-closed mid-line; the write side is still
+                // open, so the typed error is deliverable.
+                shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+                let line = Response::error(
+                    ErrorKind::TruncatedFrame,
+                    "connection ended mid-line (missing trailing newline)",
+                )
+                .to_line();
+                writer.write_all(line.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            Frame::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let started = Instant::now();
+                let (kind, response_line) = handle_line(&line, &tx, shared);
+                let ok = response_line.starts_with("{\"ok\":true");
+                if ok {
+                    shared.metrics.responses_ok.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shared.metrics.responses_err.fetch_add(1, Ordering::Relaxed);
+                }
+                writer.write_all(response_line.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                if let Some(kind) = kind {
+                    shared.metrics.record_latency(kind, started.elapsed());
+                }
+            }
+        }
+    }
+}
+
+/// Parses and dispatches one request line, returning the metered request
+/// kind (None for pre-dispatch protocol errors) and the response line.
+fn handle_line(line: &str, tx: &SyncSender<Job>, shared: &Shared) -> (Option<ReqKind>, String) {
+    let request = match Request::parse_line(line) {
+        Ok(request) => request,
+        Err(err) => {
+            shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return (None, Response::Err(err).to_line());
+        }
+    };
+    let kind = ReqKind::from_label(request.kind()).expect("every request kind is metered");
+    shared.metrics.record_request(kind);
+    match &request {
+        Request::Stats => {
+            let snapshot = shared.metrics.snapshot(shared.cache.stats());
+            (Some(kind), Response::ok("stats", snapshot).to_line())
+        }
+        _ => {
+            let canonical =
+                if request.cacheable() { request.canonical_text() } else { String::new() };
+            if request.cacheable() {
+                if let Some(hit) = shared.cache.get(&canonical) {
+                    shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return (Some(kind), hit);
+                }
+                shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            let (reply_tx, reply_rx) = mpsc::sync_channel::<String>(1);
+            // Count the job before sending it: the worker's matching
+            // decrement (after completion) must never observe depth 0.
+            shared.metrics.job_enqueued();
+            match tx.try_send(Job { request, canonical, reply: reply_tx }) {
+                Ok(()) => match reply_rx.recv() {
+                    Ok(line) => (Some(kind), line),
+                    Err(_) => (
+                        Some(kind),
+                        Response::error(ErrorKind::Internal, "worker disappeared before answering")
+                            .to_line(),
+                    ),
+                },
+                Err(TrySendError::Full(_)) => {
+                    shared.metrics.job_dequeued();
+                    shared.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
+                    (
+                        Some(kind),
+                        Response::error(
+                            ErrorKind::Overloaded,
+                            format!("job queue full ({} slots)", shared.queue_capacity),
+                        )
+                        .to_line(),
+                    )
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    shared.metrics.job_dequeued();
+                    (
+                        Some(kind),
+                        Response::error(ErrorKind::Internal, "server is shutting down").to_line(),
+                    )
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Unit and property tests for the content-addressed result cache and its
+//! canonical keys.
+//!
+//! - **Key stability**: the cache key is the canonical serialization of the
+//!   *parsed* request, so field order, whitespace, and spelled-out defaults
+//!   never change it — while every semantic change does.
+//! - **Collision safety**: two distinct requests forced onto the same
+//!   128-bit hash degrade to a miss, never to the other request's result.
+//! - **LRU byte budget**: the byte account never exceeds the budget, tracks
+//!   live entries exactly, and evicts in recency order.
+
+use ppsimd::cache::{content_hash, ENTRY_OVERHEAD};
+use ppsimd::{CacheConfig, Request, ResultCache};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Canonical-key stability
+// ---------------------------------------------------------------------------
+
+fn canonical(line: &str) -> String {
+    Request::parse_line(line).expect("line should parse").canonical_text()
+}
+
+#[test]
+fn canonical_key_ignores_field_order_and_whitespace() {
+    let variants = [
+        r#"{"type":"run","protocol":"epidemic","n":50,"seed":7}"#,
+        r#"{"seed":7,"n":50,"protocol":"epidemic","type":"run"}"#,
+        "  { \"type\" : \"run\" ,\t\"protocol\": \"epidemic\",\r\n  \"n\": 50, \"seed\": 7 }  ",
+    ];
+    let keys: Vec<String> = variants.iter().map(|v| canonical(v)).collect();
+    assert_eq!(keys[0], keys[1], "field order must not change the key");
+    assert_eq!(keys[0], keys[2], "whitespace must not change the key");
+}
+
+#[test]
+fn canonical_key_materializes_defaults() {
+    let minimal = canonical(r#"{"type":"run","protocol":"epidemic","n":50}"#);
+    let spelled = canonical(
+        r#"{"type":"run","protocol":"epidemic","n":50,"engine":"batched","scenario":"random",
+           "trials":4,"seed":0,"budget":9007199254740992,"scheduler":"uniform","params":"paper"}"#,
+    );
+    assert_eq!(minimal, spelled, "spelling out the defaults must not change the key");
+}
+
+#[test]
+fn canonical_key_separates_semantic_changes() {
+    let base = r#"{"type":"run","protocol":"epidemic","n":50}"#;
+    let changed = [
+        r#"{"type":"run","protocol":"coupon","n":50}"#,
+        r#"{"type":"run","protocol":"epidemic","n":51}"#,
+        r#"{"type":"run","protocol":"epidemic","n":50,"seed":1}"#,
+        r#"{"type":"run","protocol":"epidemic","n":50,"trials":5}"#,
+        r#"{"type":"run","protocol":"epidemic","n":50,"engine":"exact"}"#,
+        r#"{"type":"run","protocol":"epidemic","n":50,"scheduler":"ring"}"#,
+        r#"{"type":"expect","protocol":"epidemic","n":50}"#,
+    ];
+    for line in changed {
+        assert_ne!(canonical(base), canonical(line), "line {line}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Collision safety
+// ---------------------------------------------------------------------------
+
+#[test]
+fn forced_hash_collisions_read_as_misses_never_as_wrong_values() {
+    let cache = ResultCache::new(CacheConfig { shards: 1, byte_budget: 1 << 16 });
+    let hash = content_hash("key-a");
+
+    cache.insert_hashed(hash, "key-a".to_owned(), "value-a".to_owned());
+    assert_eq!(cache.get_hashed(hash, "key-a").as_deref(), Some("value-a"));
+    // Same hash, different key: must be a miss, never value-a.
+    assert_eq!(cache.get_hashed(hash, "key-b"), None);
+
+    // A colliding insert replaces the slot wholesale (last writer wins);
+    // the displaced key turns into a miss, and the byte account stays sane.
+    cache.insert_hashed(hash, "key-b".to_owned(), "value-b".to_owned());
+    assert_eq!(cache.get_hashed(hash, "key-b").as_deref(), Some("value-b"));
+    assert_eq!(cache.get_hashed(hash, "key-a"), None);
+    let stats = cache.stats();
+    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.bytes, "key-b".len() + "value-b".len() + ENTRY_OVERHEAD);
+}
+
+#[test]
+fn distinct_request_keys_hash_apart() {
+    // Not a guarantee (128-bit hashes can collide), but the canonical keys
+    // of a realistic request family must not collide in practice — and if
+    // they ever did, the full-key compare above keeps results correct.
+    let mut hashes = std::collections::HashSet::new();
+    let mut keys = 0u32;
+    for n in [2usize, 10, 100, 1000] {
+        for seed in 0u64..16 {
+            for protocol in ["silent-n-state", "optimal-silent", "epidemic", "coupon"] {
+                let line =
+                    format!(r#"{{"type":"expect","protocol":"{protocol}","n":{n},"seed":{seed}}}"#);
+                assert!(hashes.insert(content_hash(&canonical(&line))), "collision on {line}");
+                keys += 1;
+            }
+        }
+    }
+    assert_eq!(hashes.len(), keys as usize);
+}
+
+// ---------------------------------------------------------------------------
+// LRU byte budget
+// ---------------------------------------------------------------------------
+
+/// A value padded so each entry costs exactly `cost` accounted bytes.
+fn padded(key: &str, cost: usize) -> String {
+    "v".repeat(cost - key.len() - ENTRY_OVERHEAD)
+}
+
+#[test]
+fn lru_evicts_oldest_first_and_respects_recency() {
+    const COST: usize = 200;
+    // Budget for exactly three entries in one shard.
+    let cache = ResultCache::new(CacheConfig { shards: 1, byte_budget: 3 * COST });
+    for key in ["a", "b", "c"] {
+        cache.insert(key.to_owned(), padded(key, COST));
+    }
+    assert_eq!(cache.stats().entries, 3);
+
+    // Touch "a" so "b" becomes the least recently used, then overflow.
+    assert!(cache.get("a").is_some());
+    cache.insert("d".to_owned(), padded("d", COST));
+
+    assert_eq!(cache.get("b"), None, "least recently used entry is evicted");
+    assert!(cache.get("a").is_some(), "recently touched entry survives");
+    assert!(cache.get("c").is_some());
+    assert!(cache.get("d").is_some());
+    let stats = cache.stats();
+    assert_eq!(stats.entries, 3);
+    assert_eq!(stats.evictions, 1);
+    assert!(stats.bytes <= 3 * COST);
+}
+
+#[test]
+fn entries_larger_than_the_budget_are_skipped_not_destructive() {
+    let cache = ResultCache::new(CacheConfig { shards: 1, byte_budget: 600 });
+    cache.insert("keep".to_owned(), padded("keep", 300));
+    // An entry that could never fit is refused outright instead of evicting
+    // everything else on its way to an impossible fit.
+    cache.insert("huge".to_owned(), "x".repeat(4096));
+    assert_eq!(cache.get("huge"), None);
+    assert!(cache.get("keep").is_some(), "existing entries survive an oversized insert");
+    assert_eq!(cache.stats().evictions, 0);
+}
+
+#[test]
+fn reinserting_a_key_updates_bytes_in_place() {
+    let cache = ResultCache::new(CacheConfig { shards: 1, byte_budget: 1 << 16 });
+    cache.insert("k".to_owned(), "short".to_owned());
+    let small = cache.stats();
+    cache.insert("k".to_owned(), "a much longer replacement value".to_owned());
+    let grown = cache.stats();
+    assert_eq!(small.entries, 1);
+    assert_eq!(grown.entries, 1);
+    assert_eq!(grown.bytes - small.bytes, "a much longer replacement value".len() - "short".len());
+    assert_eq!(cache.get("k").as_deref(), Some("a much longer replacement value"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under an arbitrary insert/get stream, the byte account never exceeds
+    /// the budget and always equals the summed cost of exactly the live
+    /// entries.
+    #[test]
+    fn byte_budget_holds_under_arbitrary_insert_streams(
+        ops in proptest::collection::vec((0usize..40, 0usize..300, any::<bool>()), 1..120),
+    ) {
+        const BUDGET: usize = 4096;
+        let cache = ResultCache::new(CacheConfig { shards: 1, byte_budget: BUDGET });
+        for &(key, len, probe) in &ops {
+            let key = format!("key-{key:02}");
+            if probe {
+                // Interleaved gets only refresh recency; they must never
+                // change the byte account.
+                let before = cache.stats().bytes;
+                let _ = cache.get(&key);
+                prop_assert_eq!(cache.stats().bytes, before);
+            } else {
+                cache.insert(key, "v".repeat(len));
+            }
+            prop_assert!(cache.stats().bytes <= BUDGET);
+        }
+
+        // Reconcile: the account must equal the summed cost of exactly the
+        // entries still answering, and nothing else.
+        let mut live_bytes = 0;
+        let mut live_entries = 0;
+        for key in 0..40 {
+            let key = format!("key-{key:02}");
+            if let Some(value) = cache.get(&key) {
+                live_bytes += key.len() + value.len() + ENTRY_OVERHEAD;
+                live_entries += 1;
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.bytes, live_bytes);
+        prop_assert_eq!(stats.entries, live_entries);
+    }
+
+    /// The budget splits across shards; many shards with a shared budget
+    /// still bound the total.
+    #[test]
+    fn sharded_budget_bounds_total_bytes(
+        shards in 1usize..9,
+        keys in 1usize..200,
+    ) {
+        const BUDGET: usize = 1 << 14;
+        let cache = ResultCache::new(CacheConfig { shards, byte_budget: BUDGET });
+        for i in 0..keys {
+            cache.insert(format!("key-{i}"), "v".repeat(i % 97));
+        }
+        prop_assert!(cache.stats().bytes <= BUDGET);
+    }
+}

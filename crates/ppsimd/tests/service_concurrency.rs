@@ -1,0 +1,226 @@
+//! Concurrency tests for the `ppsimd` daemon: an in-process server on an
+//! ephemeral port hammered by client threads.
+//!
+//! Covered invariants:
+//!
+//! - Cached responses are **byte-identical** to the cold computation, no
+//!   matter how many clients race on the same keys.
+//! - Every cacheable request is accounted as exactly one cache hit or one
+//!   cache miss.
+//! - A full bounded queue sheds load with a typed `overloaded` response
+//!   instead of queueing unboundedly — and the server stays responsive.
+//! - Shutdown drains in-flight jobs: a request that reached the queue gets
+//!   its response even when the server stops while it executes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+use ppsimd::{serve, ErrorKind, Response, Server, ServerConfig};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(60))).expect("read timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { reader, stream }
+    }
+
+    /// Sends one request line, returns the raw response line (no newline).
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.stream.write_all(line.as_bytes()).expect("write");
+        self.stream.write_all(b"\n").expect("write");
+        self.stream.flush().expect("flush");
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).expect("read");
+        assert!(n > 0, "server closed the connection mid-request");
+        response.trim_end().to_owned()
+    }
+}
+
+/// A cheap deterministic cacheable request (exact expected silence time of
+/// the n-state ranking protocol from a seeded scenario).
+fn expect_line(scenario: &str, n: usize, seed: u64) -> String {
+    format!(
+        r#"{{"type":"expect","protocol":"silent-n-state","n":{n},"scenario":"{scenario}","seed":{seed}}}"#
+    )
+}
+
+/// A deliberately slow cacheable request (~100 ms of absorbing-chain
+/// solving), used to hold workers busy.
+fn slow_line(seed: u64) -> String {
+    format!(
+        r#"{{"type":"expect","protocol":"optimal-silent","n":4,"scenario":"random","seed":{seed},"params":"mcheck"}}"#
+    )
+}
+
+fn error_kind(line: &str) -> Option<ErrorKind> {
+    match Response::parse_line(line).expect("response should parse") {
+        Response::Ok { .. } => None,
+        Response::Err(err) => Some(err.kind),
+    }
+}
+
+#[test]
+fn concurrent_clients_get_byte_identical_cached_responses() {
+    let server = serve(ServerConfig { workers: 4, queue_capacity: 64, ..ServerConfig::default() })
+        .expect("bind");
+
+    let scenarios = ["all-leader", "zero-leader", "near-silent-wrong", "worst-case", "random"];
+    let lines: Vec<String> =
+        scenarios.iter().enumerate().map(|(i, s)| expect_line(s, 3 + i % 2, i as u64)).collect();
+
+    // Cold pass: one client computes every cell once.
+    let mut cold = Client::connect(&server);
+    let expected: Vec<String> = lines.iter().map(|line| cold.roundtrip(line)).collect();
+    for (line, response) in lines.iter().zip(&expected) {
+        assert_eq!(error_kind(response), None, "cold {line} failed: {response}");
+    }
+
+    // Warm pass: many clients race on the same keys; every response must be
+    // byte-identical to the cold one.
+    const CLIENTS: usize = 6;
+    const ROUNDS: usize = 4;
+    thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let (server, lines, expected) = (&server, &lines, &expected);
+            scope.spawn(move || {
+                let mut conn = Client::connect(server);
+                // Stagger the starting offset so clients collide on
+                // different keys at the same time.
+                for round in 0..ROUNDS {
+                    for i in 0..lines.len() {
+                        let at = (client + round + i) % lines.len();
+                        let response = conn.roundtrip(&lines[at]);
+                        assert_eq!(
+                            response, expected[at],
+                            "warm response diverged from cold for {}",
+                            lines[at]
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // Accounting: every cacheable request was exactly one hit or one miss,
+    // and only the cold pass could miss.
+    let metrics = server.metrics();
+    let hits = metrics.cache_hits.load(Ordering::Relaxed);
+    let misses = metrics.cache_misses.load(Ordering::Relaxed);
+    let sent = (lines.len() + CLIENTS * ROUNDS * lines.len()) as u64;
+    assert_eq!(hits + misses, sent, "hits ({hits}) + misses ({misses}) must equal requests");
+    assert_eq!(misses, lines.len() as u64, "only the cold pass may miss");
+    assert_eq!(metrics.overloaded.load(Ordering::Relaxed), 0);
+    assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 0, "queue drains when idle");
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_with_typed_overload_and_recovers() {
+    // One worker, one queue slot: at most two slow jobs in flight; the rest
+    // of a simultaneous burst must shed.
+    let server = serve(ServerConfig { workers: 1, queue_capacity: 1, ..ServerConfig::default() })
+        .expect("bind");
+
+    const BURST: usize = 6;
+    let barrier = Barrier::new(BURST);
+    let responses: Vec<String> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..BURST)
+            .map(|i| {
+                let (server, barrier) = (&server, &barrier);
+                scope.spawn(move || {
+                    let mut conn = Client::connect(server);
+                    let line = slow_line(1000 + i as u64); // distinct keys: no cache hits
+                    barrier.wait();
+                    conn.roundtrip(&line)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    let shed = responses.iter().filter(|r| error_kind(r) == Some(ErrorKind::Overloaded)).count();
+    let served = responses.iter().filter(|r| error_kind(r).is_none()).count();
+    assert_eq!(shed + served, BURST, "every response is either served or typed-overloaded");
+    assert!(shed >= 1, "a {BURST}-wide burst against 1 worker + 1 slot must shed");
+    assert!(served >= 1, "the burst must not shed entirely");
+    assert_eq!(server.metrics().overloaded.load(Ordering::Relaxed), shed as u64);
+
+    // Shedding is load protection, not a failure mode: the server still
+    // serves, and a previously shed request now succeeds.
+    let mut conn = Client::connect(&server);
+    let replay = conn.roundtrip(&slow_line(1000));
+    assert_eq!(error_kind(&replay), None, "shed request succeeds on retry: {replay}");
+    assert_eq!(error_kind(&conn.roundtrip(r#"{"type":"stats"}"#)), None);
+    assert_eq!(server.metrics().queue_depth.load(Ordering::Relaxed), 0);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_jobs() {
+    let server = serve(ServerConfig { workers: 2, queue_capacity: 8, ..ServerConfig::default() })
+        .expect("bind");
+    let (sent_tx, sent_rx) = mpsc::channel();
+
+    let client = thread::spawn({
+        let addr = server.addr();
+        move || {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_read_timeout(Some(Duration::from_secs(60))).expect("read timeout");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut stream = stream;
+            let line = slow_line(777);
+            stream.write_all(line.as_bytes()).expect("write");
+            stream.write_all(b"\n").expect("write");
+            stream.flush().expect("flush");
+            sent_tx.send(()).expect("signal");
+            let mut response = String::new();
+            let n = reader.read_line(&mut response).expect("read");
+            (n, response.trim_end().to_owned())
+        }
+    });
+
+    // Wait until the request is on the wire, give the handler a moment to
+    // enqueue it, then stop the server while the job is still executing.
+    sent_rx.recv().expect("client sent");
+    thread::sleep(Duration::from_millis(30));
+    server.shutdown();
+
+    let (n, response) = client.join().expect("client thread");
+    assert!(n > 0, "in-flight job must be answered, not dropped, on shutdown");
+    assert_eq!(error_kind(&response), None, "drained response should be ok: {response}");
+}
+
+#[test]
+fn sweep_accounts_each_item_against_the_cache() {
+    let server = serve(ServerConfig::default()).expect("bind");
+    let mut conn = Client::connect(&server);
+
+    let items: Vec<String> = (0..4).map(|i| expect_line("random", 3, 400 + i)).collect();
+    let sweep = format!(r#"{{"type":"sweep","requests":[{}]}}"#, items.join(","));
+
+    let first = conn.roundtrip(&sweep);
+    assert_eq!(error_kind(&first), None, "sweep failed: {first}");
+    let second = conn.roundtrip(&sweep);
+    assert_eq!(second, first, "a fully cached sweep replays byte-identically");
+
+    let metrics = server.metrics();
+    assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), items.len() as u64);
+    assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), items.len() as u64);
+
+    // The individual items are now warm for plain requests too.
+    let single = conn.roundtrip(&items[0]);
+    assert_eq!(error_kind(&single), None);
+    assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), items.len() as u64 + 1);
+    server.shutdown();
+}
