@@ -61,20 +61,22 @@ fn silent_n_state(quick: bool) {
     let mut worst_case_means = Vec::new();
     for scenario in &scenarios {
         for &n in ns {
-            let make = move |_: usize, _: u64| SilentNStateSsr::new(n);
             // ~40× the expected n³/2 interactions to silence: generous for
             // the Θ(n²) worst case, yet small enough that a non-stabilizing
             // regression exhausts it (and panics below) instead of hanging.
             let budget = 20 * (n as u64).pow(3) + 1_000_000;
             let mut means = Vec::new();
             for engine in [Engine::Exact, Engine::Batched, Engine::BatchedCounts] {
-                let reports = run_scenario_trials(
-                    &TrialPlan::new(trials, 41 + n as u64),
-                    engine,
-                    budget,
-                    scenario,
-                    make,
-                );
+                let plan = TrialPlan::new(trials, 41 + n as u64);
+                let reports = run_trials(&plan, |_, trial_seed| {
+                    RunSpec::new(SilentNStateSsr::new(n))
+                        .engine(engine)
+                        .budget(budget)
+                        .scenario(scenario)
+                        .seed(trial_seed)
+                        .run_one()
+                        .expect("a uniform-scheduled scenario spec always builds")
+                });
                 let protocol = SilentNStateSsr::new(n);
                 let times: Vec<f64> = reports
                     .iter()

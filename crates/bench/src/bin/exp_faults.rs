@@ -164,25 +164,31 @@ fn measure_silent_cell(
     let tp = TrialPlan::new(trials, 131 + n as u64);
     let start = Instant::now();
     let reports = match backend {
-        Backend::Exact => run_scenario_fault_trials(&tp, Engine::Exact, budget, scenario, plan, {
-            move |_, _| SilentNStateSsr::new(n)
+        Backend::Interned => run_trials(&tp, |_, trial_seed| {
+            RunSpec::new(AsInterned(SilentNStateSsr::new(n)))
+                .engine(Engine::Batched)
+                .budget(budget)
+                .scenario(scenario_interned)
+                .faults(plan.clone())
+                .seed(trial_seed)
+                .run_one_interned()
+                .expect("a uniform-scheduled fault spec always builds")
         }),
-        Backend::Batched => {
-            run_scenario_fault_trials(&tp, Engine::Batched, budget, scenario, plan, {
-                move |_, _| SilentNStateSsr::new(n)
-            })
-        }
-        Backend::Interned => run_interned_scenario_fault_trials(
-            &tp,
-            Engine::Batched,
-            budget,
-            scenario_interned,
-            plan,
-            move |_, _| AsInterned(SilentNStateSsr::new(n)),
-        ),
-        Backend::BatchCount => {
-            run_scenario_fault_trials(&tp, Engine::BatchedCounts, budget, scenario, plan, {
-                move |_, _| SilentNStateSsr::new(n)
+        Backend::Exact | Backend::Batched | Backend::BatchCount => {
+            let engine = match backend {
+                Backend::Exact => Engine::Exact,
+                Backend::BatchCount => Engine::BatchedCounts,
+                _ => Engine::Batched,
+            };
+            run_trials(&tp, |_, trial_seed| {
+                RunSpec::new(SilentNStateSsr::new(n))
+                    .engine(engine)
+                    .budget(budget)
+                    .scenario(scenario)
+                    .faults(plan.clone())
+                    .seed(trial_seed)
+                    .run_one()
+                    .expect("a uniform-scheduled fault spec always builds")
             })
         }
     };
@@ -247,10 +253,17 @@ fn roll_call(quick: bool, cells: &mut Vec<Cell>) {
                 _ => Engine::Batched,
             };
             let start = Instant::now();
-            let reports = run_interned_fault_trials(&tp, engine, budget, &plan, move |_, _| {
+            let reports = run_trials(&tp, |_, trial_seed| {
                 let protocol = RollCall::new(n);
                 let config = protocol.initial_configuration();
-                (protocol, config)
+                RunSpec::new(protocol)
+                    .engine(engine)
+                    .budget(budget)
+                    .init(config)
+                    .faults(plan.clone())
+                    .seed(trial_seed)
+                    .run_one_interned()
+                    .expect("a uniform-scheduled interned fault spec always builds")
             });
             let wall = start.elapsed().as_secs_f64();
             let mut recoveries = Vec::new();

@@ -2,22 +2,36 @@
 //! quantified claims *proved* (not sampled) at small `n`, and exact expected
 //! silence times cross-validating the closed forms and the simulators.
 //!
-//! Four sweeps, all **asserted**, not just printed:
+//! Six sweeps, all **asserted**, not just printed:
 //!
-//! * **Verification** — `ppsim::mcheck::check_self_stabilization` enumerates
-//!   the full `C(n + |S| − 1, |S| − 1)` configuration lattice and proves,
-//!   for `Silent-n-state-SSR` (n ≤ 8), `Optimal-Silent-SSR` with the tiny
-//!   `mcheck` timers (n ≤ 6, a 14-million-configuration lattice), the
-//!   epidemic, the coupon collector and fratricide (n ≤ 64): every
-//!   configuration reaches a correct silent configuration, and silent ⟺
-//!   correct. This is the self-stabilization theorem, decided exhaustively.
+//! * **Dense verification** — `ppsim::mcheck::check_self_stabilization`
+//!   enumerates the full `C(n + |S| − 1, |S| − 1)` configuration lattice
+//!   and proves, for `Silent-n-state-SSR` (n ≤ 8), `Optimal-Silent-SSR`
+//!   with the tiny `mcheck` timers (n ≤ 6, a 14-million-configuration
+//!   lattice), the epidemic, the coupon collector and fratricide (n ≤ 64):
+//!   every configuration reaches a correct silent configuration, and
+//!   silent ⟺ correct — the self-stabilization theorem, decided
+//!   exhaustively.
+//! * **Quotient verification** — `check_self_stabilization_quotient` pushes
+//!   the same full-lattice proof past the dense wall by classifying only
+//!   canonical orbit representatives of each protocol's declared state
+//!   symmetry: `Silent-n-state-SSR` to n = 12 (a 1 352 078-configuration
+//!   lattice proved from 112 720 Z/12-orbits), plus the
+//!   `Optimal-Silent-SSR` n = 5 cross-check of a non-cyclic (block-swap)
+//!   group against the dense sweep's verdict on the same lattice.
+//! * **Closure convergence** — past *both* lattice guards
+//!   (`Optimal-Silent-SSR` at n = 8 has a ~1.65 × 10⁹-configuration
+//!   lattice), `check_convergence_from` proves every configuration
+//!   reachable from the adversarial starts convergent on the compressed,
+//!   quotiented closure.
 //! * **Exact expected silence times** — the absorbing-chain solve reproduces
-//!   `(n − 1)·C(n, 2)` for `Silent-n-state-SSR`'s worst case (Theorem 2.4),
-//!   `(n − 1)·H_{n−1}` for the single-source epidemic (Lemma 2.7) and
-//!   `(n − 1)²` for fratricide (Lemma 4.2) to `1e−9` relative error, and
-//!   agrees with 200-trial exact-engine means within the repo's standard
-//!   `1.5·t·SE` allowance where no closed form exists (coupon,
-//!   `Optimal-Silent-SSR`).
+//!   `(n − 1)·C(n, 2)` for `Silent-n-state-SSR`'s worst case (Theorem 2.4,
+//!   up to the n = 12 flagship on the quotient), `(n − 1)·H_{n−1}` for the
+//!   single-source epidemic (Lemma 2.7) and `(n − 1)²` for fratricide
+//!   (Lemma 4.2) to `1e−9` relative error — once *through the spill store*
+//!   with a zero resident-edge budget — and agrees with 200-trial
+//!   exact-engine means within the repo's standard `1.5·t·SE` allowance
+//!   where no closed form exists (coupon, `Optimal-Silent-SSR`).
 //! * **Fault closure** — every possible corruption burst of the protocols'
 //!   fault plans, applied to every configuration reachable from their
 //!   standard starts, lands inside the verified-convergent set: the
@@ -27,11 +41,12 @@
 //!   (Observation 2.6), demonstrating the checker rejects wrong claims
 //!   rather than rubber-stamping protocols.
 //!
-//! Writes `BENCH_mc.json` into the current directory, including a
-//! same-machine verification-throughput row (`engine: "speedup"` —
-//! configurations exhaustively verified per exact-engine interaction
-//! simulated, which drops when the checker regresses) that the nightly perf
-//! gate compares against the committed baseline.
+//! Writes `BENCH_mc.json` into the current directory, including two
+//! same-machine throughput rows (`engine: "speedup"` — configurations
+//! exhaustively verified per exact-engine interaction simulated, one for
+//! the dense checker and one for the n = 12 quotient flagship, which drop
+//! when the checker regresses) that the nightly perf gate compares against
+//! the committed baseline.
 //!
 //! ```text
 //! cargo run --release -p bench --bin exp_mcheck [-- --quick]
@@ -43,8 +58,8 @@ use analysis::theory::{
 };
 use analysis::{t_quantile_975, Summary, Table};
 use ppsim::mcheck::{
-    check_fault_plan_closure, check_self_stabilization, expected_silence_time_exact, lattice_size,
-    MCheckOptions,
+    check_convergence_from, check_fault_plan_closure, check_self_stabilization,
+    check_self_stabilization_quotient, expected_silence_time_exact, lattice_size, MCheckOptions,
 };
 use ppsim::prelude::*;
 use processes::{Coupon, Epidemic, Fratricide, LeaderState};
@@ -62,6 +77,31 @@ struct VerifyCell {
     wall_s: f64,
 }
 
+/// One symmetry-quotient full-lattice proof cell: the verdict covers all
+/// `configurations`, but only `orbits` representatives were classified.
+struct QuotientCell {
+    protocol: &'static str,
+    n: usize,
+    states: usize,
+    configurations: u128,
+    orbits: u64,
+    group_order: u128,
+    silent: u64,
+    wall_s: f64,
+}
+
+/// One compressed-reachable-closure convergence cell (the layer past both
+/// lattice guards: proves the seeded statement for every configuration
+/// reachable from the adversarial starts).
+struct ClosureCell {
+    protocol: &'static str,
+    n: usize,
+    seeds: usize,
+    states: usize,
+    silent: usize,
+    wall_s: f64,
+}
+
 /// One exact-expected-time cell.
 struct TimeCell {
     protocol: &'static str,
@@ -73,6 +113,10 @@ struct TimeCell {
     /// 200-trial exact-engine mean it was asserted against otherwise.
     sim_mean_parallel: Option<f64>,
     reachable: usize,
+    /// Whether the closure was built on the symmetry quotient.
+    quotient: bool,
+    /// Whether the successor store spilled and the solve streamed from disk.
+    spilled: bool,
 }
 
 /// One fault-closure cell.
@@ -91,16 +135,30 @@ fn main() {
     }
     let options = MCheckOptions::default();
     let mut verify_cells = Vec::new();
+    let mut quotient_cells = Vec::new();
+    let mut closure_cells = Vec::new();
     let mut time_cells = Vec::new();
     let mut fault_cells = Vec::new();
 
     verify_sweep(quick, &options, &mut verify_cells);
+    quotient_sweep(quick, &options, &mut quotient_cells);
+    closure_sweep(quick, &options, &mut closure_cells);
     exact_time_sweep(quick, &options, &mut time_cells);
     fault_closure_sweep(&options, &mut fault_cells);
     falsification_demo(&options);
     let cost_ratio = cost_ratio_cell(&verify_cells);
+    let quotient_ratio = quotient_ratio_cell(&quotient_cells);
 
-    write_json(quick, &verify_cells, &time_cells, &fault_cells, cost_ratio);
+    write_json(
+        quick,
+        &verify_cells,
+        &quotient_cells,
+        &closure_cells,
+        &time_cells,
+        &fault_cells,
+        cost_ratio,
+        quotient_ratio,
+    );
     println!(
         "\nall verifications proved, all exact times matched their closed form or simulation, \
          all fault closures held, and the strict-oracle falsification produced its witness"
@@ -172,6 +230,141 @@ fn run_verify_cell<P: EnumerableProtocol + CorrectnessOracle>(
     });
 }
 
+/// Proves self-stabilization over the full lattice on the symmetry
+/// quotient, past the dense sweep's wall: the enumeration touches only
+/// canonical orbit representatives, so the verdict covers `lattice_size`
+/// configurations while classifying `orbits ≈ lattice / |G|` of them.
+fn quotient_sweep(quick: bool, options: &MCheckOptions, cells: &mut Vec<QuotientCell>) {
+    println!("== symmetry-quotient verification: full-lattice proofs past the dense wall ==\n");
+    let mut table =
+        Table::new(vec!["protocol", "n", "configurations", "orbits", "|G|", "verified", "wall"]);
+
+    // Z/n rank rotation: the n = 12 flagship runs in every mode (it is also
+    // the nightly gate's throughput row); the dense sweep stops at n = 8.
+    let ssr_ns: &[usize] = if quick { &[8, 12] } else { &[8, 10, 12] };
+    for &n in ssr_ns {
+        let protocol = SilentNStateSsr::new(n);
+        let states = protocol.num_states();
+        let start = Instant::now();
+        let report = check_self_stabilization_quotient(protocol, options)
+            .expect("quotient enumeration within the guards");
+        let wall_s = start.elapsed().as_secs_f64();
+        assert!(
+            report.verified(),
+            "SilentNStateSsr n = {n} quotient: silent∧¬correct {}, non-convergent {}",
+            report.silent_incorrect,
+            report.non_convergent,
+        );
+        assert_eq!(report.configurations, lattice_size(n, states).unwrap());
+        assert_eq!(report.group_order, n as u128, "Z/n rotation");
+        assert!(u128::from(report.orbits) < report.configurations);
+        push_quotient_cell(cells, &mut table, "SilentNStateSsr", n, states, &report, wall_s);
+    }
+
+    // Commuting leaf-rank block swaps (|G| = 2^⌊n/2⌋ ranks with 2r > n,
+    // order 8 at n = 5): most configurations contain no swappable leaf
+    // state, so the reduction is modest (1.22M → 880K orbits) — the cell's
+    // value is the cross-check that a *non-trivial, non-cyclic* group
+    // reproduces the dense sweep's verdict on the same lattice.
+    let opt_ns: &[usize] = &[5];
+    for &n in opt_ns {
+        let protocol = OptimalSilentSsr::new(OptimalSilentParams::mcheck(n));
+        let states = protocol.num_states();
+        let start = Instant::now();
+        let report = check_self_stabilization_quotient(protocol, options)
+            .expect("quotient enumeration within the guards");
+        let wall_s = start.elapsed().as_secs_f64();
+        assert!(report.verified(), "OptimalSilentSsr n = {n} quotient");
+        assert_eq!(report.configurations, lattice_size(n, states).unwrap());
+        assert!(u128::from(report.orbits) < report.configurations);
+        push_quotient_cell(cells, &mut table, "OptimalSilentSsr", n, states, &report, wall_s);
+    }
+    println!("{}", table.to_plain_text());
+}
+
+fn push_quotient_cell<S>(
+    cells: &mut Vec<QuotientCell>,
+    table: &mut Table,
+    name: &'static str,
+    n: usize,
+    states: usize,
+    report: &ppsim::mcheck::QuotientStabilizationReport<S>,
+    wall_s: f64,
+) {
+    table.add_row(vec![
+        name.to_owned(),
+        n.to_string(),
+        report.configurations.to_string(),
+        report.orbits.to_string(),
+        report.group_order.to_string(),
+        "proved".to_owned(),
+        format!("{wall_s:.2}s"),
+    ]);
+    cells.push(QuotientCell {
+        protocol: name,
+        n,
+        states,
+        configurations: report.configurations,
+        orbits: report.orbits,
+        group_order: report.group_order,
+        silent: report.silent,
+        wall_s,
+    });
+}
+
+/// Convergence proofs on the compressed reachable closure — the layer past
+/// *both* lattice guards: `Optimal-Silent-SSR`'s mcheck lattice at n = 8 is
+/// ~1.65 × 10⁹ configurations (over even the quotient's time guard), but
+/// the closure of its adversarial starts is small enough to enumerate,
+/// canonicalize, and prove convergent.
+fn closure_sweep(quick: bool, options: &MCheckOptions, cells: &mut Vec<ClosureCell>) {
+    println!("== compressed-closure convergence: adversarial starts past both lattice guards ==\n");
+    let mut table =
+        Table::new(vec!["protocol", "n", "seeds", "closure states", "silent", "verified", "wall"]);
+
+    let opt_ns: &[usize] = if quick { &[6] } else { &[6, 7, 8] };
+    for &n in opt_ns {
+        let protocol = OptimalSilentSsr::new(OptimalSilentParams::mcheck(n));
+        let seeds = [
+            protocol.adversarial_all_same_rank(2),
+            protocol.all_unsettled_configuration(),
+            protocol.ranked_configuration(),
+        ];
+        // The n = 8 closure holds ~5.9M orbit representatives; raise the
+        // reachable guard for it (memory stays bounded by the compressed
+        // store + the spill threshold, not the guard).
+        let opts = MCheckOptions { max_reachable: 16_000_000, ..options.clone() };
+        let start = Instant::now();
+        let report =
+            check_convergence_from(protocol, &seeds, &opts).expect("closure within the guard");
+        let wall_s = start.elapsed().as_secs_f64();
+        assert!(
+            report.verified(),
+            "OptimalSilentSsr n = {n} closure: silent∧¬correct {}, non-convergent {}",
+            report.silent_incorrect,
+            report.non_convergent,
+        );
+        table.add_row(vec![
+            "OptimalSilentSsr".to_owned(),
+            n.to_string(),
+            seeds.len().to_string(),
+            report.states.to_string(),
+            report.silent.to_string(),
+            "proved".to_owned(),
+            format!("{wall_s:.2}s"),
+        ]);
+        cells.push(ClosureCell {
+            protocol: "OptimalSilentSsr",
+            n,
+            seeds: seeds.len(),
+            states: report.states,
+            silent: report.silent,
+            wall_s,
+        });
+    }
+    println!("{}", table.to_plain_text());
+}
+
 /// Solves exact expected silence times and asserts them against closed
 /// forms (to 1e−9 relative) or 200-trial exact-engine means (1.5·t·SE).
 fn exact_time_sweep(quick: bool, options: &MCheckOptions, cells: &mut Vec<TimeCell>) {
@@ -179,7 +372,11 @@ fn exact_time_sweep(quick: bool, options: &MCheckOptions, cells: &mut Vec<TimeCe
     let mut table =
         Table::new(vec!["protocol", "scenario", "n", "exact E[time]", "reference", "agreement"]);
 
-    let ssr_ns: &[usize] = if quick { &[2, 3, 4, 5, 6] } else { &[2, 3, 4, 5, 6, 7, 8] };
+    // n = 10 and the n = 12 flagship ride the symmetry quotient (the closure
+    // of the worst-case start is canonicalized to orbit representatives);
+    // the closed form must come out identically either way.
+    let ssr_ns: &[usize] =
+        if quick { &[2, 3, 4, 5, 6, 12] } else { &[2, 3, 4, 5, 6, 7, 8, 10, 12] };
     for &n in ssr_ns {
         let protocol = SilentNStateSsr::new(n);
         let exact =
@@ -200,7 +397,40 @@ fn exact_time_sweep(quick: bool, options: &MCheckOptions, cells: &mut Vec<TimeCe
             exact.expected_parallel,
             Some(closed / n as f64),
             None,
-            exact.states,
+            &exact,
+        );
+    }
+
+    // The spill layer: a zero resident-edge budget forces the successor
+    // store onto disk and the sweeps to stream from the distance-ordered
+    // edge file — Lemma 4.2's closed form must still come out exactly.
+    {
+        let n = 64usize;
+        let protocol = Fratricide::new(n);
+        let spill_opts = MCheckOptions { max_resident_bytes: 0, ..options.clone() };
+        let exact = expected_silence_time_exact(
+            protocol,
+            &protocol.all_leaders_configuration(),
+            &spill_opts,
+        )
+        .expect("fratricide chain converges through the spill store");
+        assert!(exact.spilled, "a zero resident budget must route through the spill store");
+        let closed = fratricide_expected_interactions(n);
+        assert!(
+            (exact.expected_interactions - closed).abs() <= 1e-9 * closed,
+            "Lemma 4.2 closed form violated through the spill store at n = {n}: {} vs {closed}",
+            exact.expected_interactions
+        );
+        push_time_cell(
+            cells,
+            &mut table,
+            "Fratricide",
+            "all-leaders-spilled",
+            n,
+            exact.expected_parallel,
+            Some(closed / n as f64),
+            None,
+            &exact,
         );
     }
 
@@ -225,7 +455,7 @@ fn exact_time_sweep(quick: bool, options: &MCheckOptions, cells: &mut Vec<TimeCe
             exact.expected_parallel,
             Some(closed / n as f64),
             None,
-            exact.states,
+            &exact,
         );
 
         let protocol = Fratricide::new(n);
@@ -247,7 +477,7 @@ fn exact_time_sweep(quick: bool, options: &MCheckOptions, cells: &mut Vec<TimeCe
             exact.expected_parallel,
             Some(closed / n as f64),
             None,
-            exact.states,
+            &exact,
         );
     }
 
@@ -268,7 +498,7 @@ fn exact_time_sweep(quick: bool, options: &MCheckOptions, cells: &mut Vec<TimeCe
             exact.expected_parallel,
             None,
             Some(mean / n as f64),
-            exact.states,
+            &exact,
         );
     }
     for &n in &[3usize, 4] {
@@ -290,7 +520,7 @@ fn exact_time_sweep(quick: bool, options: &MCheckOptions, cells: &mut Vec<TimeCe
                 exact.expected_parallel,
                 None,
                 Some(mean / n as f64),
-                exact.states,
+                &exact,
             );
         }
     }
@@ -307,7 +537,7 @@ fn push_time_cell(
     exact_parallel: f64,
     closed_form_parallel: Option<f64>,
     sim_mean_parallel: Option<f64>,
-    reachable: usize,
+    exact: &ppsim::mcheck::ExactSilenceTime,
 ) {
     let (reference, agreement) = match (closed_form_parallel, sim_mean_parallel) {
         (Some(c), _) => (format!("closed form {c:.4}"), "exact (≤1e−9)".to_owned()),
@@ -329,7 +559,9 @@ fn push_time_cell(
         exact_parallel,
         closed_form_parallel,
         sim_mean_parallel,
-        reachable,
+        reachable: exact.states,
+        quotient: exact.quotient,
+        spilled: exact.spilled,
     });
 }
 
@@ -549,12 +781,49 @@ fn cost_ratio_cell(verify_cells: &[VerifyCell]) -> f64 {
     ratio
 }
 
+/// Same-machine throughput ratio for the quotient layer's gate row:
+/// full-lattice configurations *covered by the quotient proof* per
+/// exact-engine interaction simulated, both rates measured in this process
+/// on `Silent-n-state-SSR` at n = 12 — the flagship cell the dense checker
+/// cannot reach at all. Present in both quick and full mode (the sweep
+/// always runs n = 12), and it drops when the quotient enumeration or the
+/// canonicalization regresses.
+fn quotient_ratio_cell(quotient_cells: &[QuotientCell]) -> f64 {
+    let n = 12;
+    let cell = quotient_cells
+        .iter()
+        .find(|c| c.protocol == "SilentNStateSsr" && c.n == n)
+        .expect("the quotient sweep proves SilentNStateSsr at n = 12 in every mode");
+    let configs_per_s = cell.configurations as f64 / cell.wall_s;
+
+    let protocol = SilentNStateSsr::new(n);
+    let mut sim = Simulation::new(protocol, protocol.worst_case_configuration(), 0xC058);
+    let start = Instant::now();
+    let mut interactions = 0u64;
+    while start.elapsed().as_secs_f64() < 0.25 {
+        sim.run_for(200_000);
+        interactions += 200_000;
+    }
+    let interactions_per_s = interactions as f64 / start.elapsed().as_secs_f64();
+
+    let ratio = configs_per_s / interactions_per_s;
+    println!(
+        "quotient throughput: {ratio:.4} lattice configurations proved per simulated interaction \
+         ({configs_per_s:.0} configs/s vs {interactions_per_s:.0} interactions/s)\n"
+    );
+    ratio
+}
+
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     quick: bool,
     verify_cells: &[VerifyCell],
+    quotient_cells: &[QuotientCell],
+    closure_cells: &[ClosureCell],
     time_cells: &[TimeCell],
     fault_cells: &[FaultCell],
     cost_ratio: f64,
+    quotient_ratio: f64,
 ) {
     let mut json = String::new();
     json.push_str("{\n  \"schema\": \"exp_mcheck/v1\",\n");
@@ -572,6 +841,24 @@ fn write_json(
             c.protocol, c.n, c.states, c.configurations, c.silent, c.wall_s
         );
     }
+    for c in quotient_cells {
+        let _ =
+            writeln!(
+            json,
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"engine\": \"mcheck-quotient\", \"states\": \
+             {}, \"configurations\": {}, \"orbits\": {}, \"group_order\": {}, \"silent_orbits\": \
+             {}, \"verified\": true, \"wall_s\": {:.4}}},",
+            c.protocol, c.n, c.states, c.configurations, c.orbits, c.group_order, c.silent, c.wall_s
+        );
+    }
+    for c in closure_cells {
+        let _ = writeln!(
+            json,
+            "    {{\"protocol\": \"{}\", \"n\": {}, \"engine\": \"mcheck-closure\", \"seeds\": {}, \
+             \"closure_states\": {}, \"silent\": {}, \"verified\": true, \"wall_s\": {:.4}}},",
+            c.protocol, c.n, c.seeds, c.states, c.silent, c.wall_s
+        );
+    }
     for c in time_cells {
         let reference = match (c.closed_form_parallel, c.sim_mean_parallel) {
             (Some(v), _) => format!("\"closed_form_parallel\": {v:.6}"),
@@ -581,8 +868,9 @@ fn write_json(
         let _ = writeln!(
             json,
             "    {{\"protocol\": \"{}\", \"scenario\": \"{}\", \"n\": {}, \"engine\": \
-             \"mcheck-exact-time\", \"exact_parallel\": {:.6}, {reference}, \"reachable\": {}}},",
-            c.protocol, c.scenario, c.n, c.exact_parallel, c.reachable
+             \"mcheck-exact-time\", \"exact_parallel\": {:.6}, {reference}, \"reachable\": {}, \
+             \"quotient\": {}, \"spilled\": {}}},",
+            c.protocol, c.scenario, c.n, c.exact_parallel, c.reachable, c.quotient, c.spilled
         );
     }
     for c in fault_cells {
@@ -597,7 +885,12 @@ fn write_json(
     let _ = writeln!(
         json,
         "    {{\"workload\": \"mcheck-verify-OptimalSilentSsr\", \"n\": 5, \"engine\": \
-         \"speedup\", \"speedup\": {cost_ratio:.4}}}"
+         \"speedup\", \"speedup\": {cost_ratio:.4}}},"
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"workload\": \"mcheck-quotient-SilentNStateSsr\", \"n\": 12, \"engine\": \
+         \"speedup\", \"speedup\": {quotient_ratio:.4}}}"
     );
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_mc.json", &json).expect("write BENCH_mc.json");

@@ -270,25 +270,21 @@ fn measure_weighted(
             .expect("weighted schedulers run on every backend")
         }
         Backend::Interned => {
-            let reports = run_interned_scheduled_trials(
-                &TrialPlan::new(trials, seed),
-                Engine::Batched,
-                budget(n),
-                scheduler,
-                move |_, _| {
-                    let protocol = SilentNStateSsr::new(n);
-                    let config = protocol.all_same_rank_configuration();
-                    (AsInterned(protocol), config)
-                },
-            )
-            .expect("weighted schedulers run on the interned backend");
-            reports
-                .into_iter()
-                .map(|report| {
-                    assert!(report.outcome.is_silent());
-                    report.parallel_time().value()
-                })
-                .collect()
+            let plan = TrialPlan::new(trials, seed);
+            run_trials(&plan, |_, trial_seed| {
+                let protocol = SilentNStateSsr::new(n);
+                let config = protocol.all_same_rank_configuration();
+                let report = RunSpec::new(AsInterned(protocol))
+                    .engine(Engine::Batched)
+                    .budget(budget(n))
+                    .scheduler(scheduler.clone())
+                    .init(config)
+                    .seed(trial_seed)
+                    .run_one_interned()
+                    .expect("weighted schedulers run on the interned backend");
+                assert!(report.outcome.is_silent());
+                report.parallel_time().value()
+            })
         }
     }
 }
@@ -312,14 +308,17 @@ fn topology_sweep(quick: bool, cells: &mut Vec<Cell>) {
         for &n in ns {
             let plan = TrialPlan::new(trials, 311 + n as u64);
             let start = Instant::now();
-            let reports = run_scheduled_trials(&plan, Engine::Exact, budget(n), scheduler, {
-                move |_, _| {
-                    let frat = Fratricide::new(n);
-                    let init = frat.all_leaders_configuration();
-                    (frat, init)
-                }
-            })
-            .expect("every topology runs on the exact engine");
+            let reports = run_trials(&plan, |_, trial_seed| {
+                let frat = Fratricide::new(n);
+                let init = frat.all_leaders_configuration();
+                RunSpec::new(frat)
+                    .budget(budget(n))
+                    .scheduler(scheduler.clone())
+                    .init(init)
+                    .seed(trial_seed)
+                    .run_one()
+                    .expect("every topology runs on the exact engine")
+            });
             let wall = start.elapsed().as_secs_f64() / trials as f64;
             let mut times = Vec::new();
             let mut survivors_total = 0usize;
@@ -364,18 +363,17 @@ fn topology_sweep(quick: bool, cells: &mut Vec<Cell>) {
     );
     // The count engines reject every one of these topologies upfront.
     for (name, scheduler) in &topologies[1..] {
-        let err = run_scheduled_trials(
-            &TrialPlan::new(1, 1),
-            Engine::Batched,
-            1_000,
-            scheduler,
-            |_, _| {
-                let frat = Fratricide::new(8);
-                let init = frat.all_leaders_configuration();
-                (frat, init)
-            },
-        )
-        .expect_err("count engines have no agent identities to restrict");
+        let frat = Fratricide::new(8);
+        let init = frat.all_leaders_configuration();
+        let err = RunSpec::new(frat)
+            .engine(Engine::Batched)
+            .budget(1_000)
+            .scheduler(scheduler.clone())
+            .init(init)
+            .seed(1)
+            .run_one()
+            .map(|_| ())
+            .expect_err("count engines have no agent identities to restrict");
         assert!(
             matches!(err, SimError::SchedulerNeedsIdentities { .. }),
             "{name} on the batched engine returned the wrong error: {err:?}"
@@ -434,7 +432,7 @@ fn churn_sweep(quick: bool, cells: &mut Vec<Cell>) {
             for report in &reports {
                 let ctx = format!("{} under {sched_name} at n={n}", plan.name());
                 assert!(report.outcome.is_silent(), "{ctx}: did not re-silence within budget");
-                events += report.events.len();
+                events += report.churn.len();
                 if plan.name().contains("replace") {
                     assert_eq!(
                         report.final_population(),
@@ -449,7 +447,7 @@ fn churn_sweep(quick: bool, cells: &mut Vec<Cell>) {
                     assert!(report.final_population() >= 2, "{ctx}: churn broke the clamp");
                     assert!(report.final_population() < n, "{ctx}: departures did not shrink");
                 }
-                if !report.events.is_empty() {
+                if !report.churn.is_empty() {
                     // Events can overlap (the period is of the order of the
                     // recovery time), so only the final event's recovery is
                     // guaranteed — and required.

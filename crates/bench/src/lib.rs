@@ -46,22 +46,25 @@ pub fn scenario_times_with_engine<P, F>(
     budget: u64,
 ) -> Vec<f64>
 where
-    P: EnumerableProtocol,
+    P: EnumerableProtocol + Clone + Sync,
     F: Fn(usize, u64) -> P + Sync,
 {
     let plan = TrialPlan::new(trials, seed);
-    let reports = run_scenario_trials(&plan, engine, budget, scenario, make_protocol);
-    reports
-        .into_iter()
-        .map(|report| {
-            assert!(
-                report.outcome.is_silent(),
-                "scenario {:?} failed to silence within {budget} interactions",
-                scenario.name()
-            );
-            report.parallel_time().value()
-        })
-        .collect()
+    run_trials(&plan, |trial, trial_seed| {
+        let report = RunSpec::new(make_protocol(trial, trial_seed))
+            .engine(engine)
+            .budget(budget)
+            .scenario(scenario)
+            .seed(trial_seed)
+            .run_one()
+            .expect("a scenario spec under the uniform scheduler always builds");
+        assert!(
+            report.outcome.is_silent(),
+            "scenario {:?} failed to silence within {budget} interactions",
+            scenario.name()
+        );
+        report.parallel_time().value()
+    })
 }
 
 /// Parallel silence times of a [`Scenario`] family under an explicit
@@ -83,25 +86,33 @@ pub fn scenario_times_with_engine_scheduled<P, F>(
     budget: u64,
 ) -> Result<Vec<f64>, SimError>
 where
-    P: EnumerableProtocol,
+    P: EnumerableProtocol + Clone + Sync,
     F: Fn(usize, u64) -> P + Sync,
 {
     let plan = TrialPlan::new(trials, seed);
-    let reports =
-        run_scenario_scheduled_trials(&plan, engine, budget, scheduler, scenario, make_protocol)?;
-    Ok(reports
-        .into_iter()
-        .map(|report| {
-            assert!(
-                report.outcome.is_silent(),
-                "scenario {:?} failed to silence within {budget} interactions under the {} \
-                 scheduler",
-                scenario.name(),
-                scheduler.label()
-            );
-            report.parallel_time().value()
-        })
-        .collect())
+    let spec_for = |trial: usize, trial_seed: u64| {
+        RunSpec::new(make_protocol(trial, trial_seed))
+            .engine(engine)
+            .budget(budget)
+            .scheduler(scheduler.clone())
+            .scenario(scenario)
+            .seed(trial_seed)
+    };
+    // Reject incompatible scheduler/engine pairings once, before any trial.
+    spec_for(0, plan.seed_for(0)).build()?;
+    Ok(run_trials(&plan, |trial, trial_seed| {
+        let report = spec_for(trial, trial_seed)
+            .run_one()
+            .expect("the probe build above validated this pairing");
+        assert!(
+            report.outcome.is_silent(),
+            "scenario {:?} failed to silence within {budget} interactions under the {} \
+             scheduler",
+            scenario.name(),
+            scheduler.label()
+        );
+        report.parallel_time().value()
+    }))
 }
 
 /// Parallel convergence times of a [`Scenario`] family on the chosen engine:
@@ -232,18 +243,18 @@ pub fn sublinear_detection_scenario_times_with_engine(
 /// is open, so [`Engine::Batched`] routes through the interned backend.
 pub fn roll_call_times_with_engine(n: usize, trials: usize, seed: u64, engine: Engine) -> Vec<f64> {
     let plan = TrialPlan::new(trials, seed);
-    let reports = ppsim::run_interned_trials(&plan, engine, u64::MAX >> 8, |_, _| {
+    run_trials(&plan, |_, trial_seed| {
         let protocol = processes::RollCall::new(n);
         let config = protocol.initial_configuration();
-        (protocol, config)
-    });
-    reports
-        .into_iter()
-        .map(|report| {
-            assert!(report.outcome.is_silent());
-            report.parallel_time().value()
-        })
-        .collect()
+        let report = RunSpec::new(protocol)
+            .engine(engine)
+            .init(config)
+            .seed(trial_seed)
+            .run_one_interned()
+            .expect("an interned roll-call spec under the uniform scheduler always builds");
+        assert!(report.outcome.is_silent());
+        report.parallel_time().value()
+    })
 }
 
 /// Parallel completion times of the roll-call process under an explicit
@@ -260,19 +271,23 @@ pub fn roll_call_times_with_scheduler(
     scheduler: &InteractionScheduler<processes::Roster>,
 ) -> Result<Vec<f64>, SimError> {
     let plan = TrialPlan::new(trials, seed);
-    let reports =
-        run_interned_scheduled_trials(&plan, engine, u64::MAX >> 8, scheduler, |_, _| {
-            let protocol = processes::RollCall::new(n);
-            let config = protocol.initial_configuration();
-            (protocol, config)
-        })?;
-    Ok(reports
-        .into_iter()
-        .map(|report| {
-            assert!(report.outcome.is_silent());
-            report.parallel_time().value()
-        })
-        .collect())
+    let spec_for = |trial_seed: u64| {
+        let protocol = processes::RollCall::new(n);
+        let config = protocol.initial_configuration();
+        RunSpec::new(protocol)
+            .engine(engine)
+            .init(config)
+            .scheduler(scheduler.clone())
+            .seed(trial_seed)
+    };
+    spec_for(plan.seed_for(0)).build()?;
+    Ok(run_trials(&plan, |_, trial_seed| {
+        let report = spec_for(trial_seed)
+            .run_one_interned()
+            .expect("the probe build above validated this pairing");
+        assert!(report.outcome.is_silent());
+        report.parallel_time().value()
+    }))
 }
 
 /// Picks the simulation engine from a `--engine exact|batched|batchcount`
@@ -358,18 +373,18 @@ pub fn silent_n_state_times_with_engine(
     engine: Engine,
 ) -> Vec<f64> {
     let plan = TrialPlan::new(trials, seed);
-    let reports = run_engine_trials(&plan, engine, u64::MAX >> 8, |_, trial_seed| {
+    run_trials(&plan, |_, trial_seed| {
         let protocol = SilentNStateSsr::new(n);
         let config = silent_n_state_workload(&protocol, workload, trial_seed);
-        (protocol, config)
-    });
-    reports
-        .into_iter()
-        .map(|report| {
-            assert!(report.outcome.is_silent());
-            report.parallel_time().value()
-        })
-        .collect()
+        let report = RunSpec::new(protocol)
+            .engine(engine)
+            .init(config)
+            .seed(trial_seed)
+            .run_one()
+            .expect("a uniform-scheduled spec always builds");
+        assert!(report.outcome.is_silent());
+        report.parallel_time().value()
+    })
 }
 
 /// Stabilization times (parallel) of `Silent-n-state-SSR` under an explicit
@@ -387,25 +402,28 @@ pub fn silent_n_state_times_with_scheduler(
     engine: Engine,
 ) -> Result<Vec<f64>, SimError> {
     let plan = TrialPlan::new(trials, seed);
-    let reports =
-        run_scheduled_trials(&plan, engine, u64::MAX >> 8, scheduler, |_, trial_seed| {
-            let protocol = SilentNStateSsr::new(n);
-            let config = silent_n_state_workload(&protocol, workload, trial_seed);
-            (protocol, config)
-        })?;
-    Ok(reports
-        .into_iter()
-        .map(|report| {
-            assert!(report.outcome.is_silent());
-            report.parallel_time().value()
-        })
-        .collect())
+    let spec_for = |trial_seed: u64| {
+        let protocol = SilentNStateSsr::new(n);
+        let config = silent_n_state_workload(&protocol, workload, trial_seed);
+        RunSpec::new(protocol)
+            .engine(engine)
+            .init(config)
+            .scheduler(scheduler.clone())
+            .seed(trial_seed)
+    };
+    spec_for(plan.seed_for(0)).build()?;
+    Ok(run_trials(&plan, |_, trial_seed| {
+        let report =
+            spec_for(trial_seed).run_one().expect("the probe build above validated this pairing");
+        assert!(report.outcome.is_silent());
+        report.parallel_time().value()
+    }))
 }
 
 /// Per-trial churn reports of `Silent-n-state-SSR` under an
 /// [`InteractionScheduler`] and a [`ChurnPlan`] on the chosen engine: the
 /// population-churn counterpart of [`silent_n_state_times_with_scheduler`],
-/// returning the full [`ChurnReport`]s so callers can extract per-event
+/// returning the full [`TrialReport`]s so callers can extract per-event
 /// re-stabilization times and final-population arithmetic (churn resizes
 /// the population, so a single silence time would under-report).
 #[allow(clippy::too_many_arguments)]
@@ -418,13 +436,23 @@ pub fn silent_n_state_churn_reports(
     seed: u64,
     engine: Engine,
     budget: u64,
-) -> Result<Vec<ChurnReport<ssle::SilentRank>>, SimError> {
+) -> Result<Vec<TrialReport<ssle::SilentRank>>, SimError> {
     let plan = TrialPlan::new(trials, seed);
-    run_churn_trials(&plan, engine, budget, scheduler, churn, |_, trial_seed| {
+    let spec_for = |trial_seed: u64| {
         let protocol = SilentNStateSsr::new(n);
         let config = silent_n_state_workload(&protocol, workload, trial_seed);
-        (protocol, config)
-    })
+        RunSpec::new(protocol)
+            .engine(engine)
+            .budget(budget)
+            .init(config)
+            .scheduler(scheduler.clone())
+            .churn(churn.clone())
+            .seed(trial_seed)
+    };
+    spec_for(plan.seed_for(0)).build()?;
+    Ok(run_trials(&plan, |_, trial_seed| {
+        spec_for(trial_seed).run_one().expect("the probe build above validated this pairing")
+    }))
 }
 
 /// Stabilization times (parallel) of `Optimal-Silent-SSR`, measured by running
@@ -845,7 +873,7 @@ mod tests {
         for report in &reports {
             assert!(report.outcome.is_silent());
             assert_eq!(report.final_population(), n);
-            assert_eq!(report.events.len(), 2);
+            assert_eq!(report.churn.len(), 2);
             assert!(report.restabilized_after_every_event());
         }
     }

@@ -108,6 +108,7 @@ use crate::execution::{RunOutcome, Simulation, StopReason};
 use crate::protocol::Protocol;
 use crate::sampling::{sample_hypergeometric, sample_interleaved_nulls, sample_victims_by_counts};
 use crate::scheduler::{IndexRates, InteractionScheduler};
+use crate::symmetry::StateSymmetry;
 use crate::time::{Interactions, ParallelTime};
 
 /// A [`Protocol`] with a finite, enumerable state space: a bijection between
@@ -145,6 +146,19 @@ pub trait EnumerableProtocol: Protocol {
     /// states.
     fn interaction_partners(&self, _index: usize) -> Option<Vec<usize>> {
         None
+    }
+
+    /// The protocol's state-relabeling symmetry group, used by the model
+    /// checker in [`crate::mcheck`] to quotient the configuration space.
+    ///
+    /// The declared group must commute with [`Protocol::transition`],
+    /// [`Protocol::is_null`], and (for verification entry points) the
+    /// correctness oracle. Declarations are validated, not trusted: the
+    /// checker tests every generator against the transition table and rejects
+    /// unsound groups with [`crate::MCheckError::UnsoundSymmetry`]. The
+    /// default is [`StateSymmetry::Identity`], which is always sound.
+    fn state_symmetry(&self) -> StateSymmetry {
+        StateSymmetry::Identity
     }
 }
 
@@ -200,6 +214,10 @@ impl<P: EnumerableProtocol> EnumerableProtocol for ForceDense<P> {
 
     // interaction_partners deliberately left at the default `None`: that is
     // the whole point of the wrapper.
+
+    fn state_symmetry(&self) -> StateSymmetry {
+        self.0.state_symmetry()
+    }
 }
 
 /// Samples the length of a run of null interactions: the number of failures
@@ -1385,10 +1403,10 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
 /// model. [`Engine::Exact`] pays O(1) per interaction and works for every
 /// [`Protocol`]. [`Engine::Batched`] pays only per *non-null* interaction;
 /// its backend depends on the protocol's capability trait: the statically
-/// enumerated backends for [`EnumerableProtocol`] (via
-/// [`Engine::run_until_silent`] / [`Engine::run_until`]) and the
-/// dynamically interned backend for [`crate::InternableProtocol`] (via
-/// [`Engine::run_until_silent_interned`] / [`Engine::run_until_interned`]).
+/// enumerated backends for [`EnumerableProtocol`] (driven by
+/// [`crate::RunSpec::run`] or, for custom predicates, [`Engine::run_until`])
+/// and the dynamically interned backend for [`crate::InternableProtocol`]
+/// ([`crate::RunSpec::run_interned`] / [`Engine::run_until_interned`]).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Engine {
     /// The per-agent engine: [`Simulation`].
@@ -1437,66 +1455,6 @@ impl Engine {
         match self {
             Engine::Exact | Engine::Batched => SamplingMode::PerTransition,
             Engine::BatchedCounts => SamplingMode::BatchCount,
-        }
-    }
-
-    /// Runs the protocol from `init` until silence or `budget` interactions.
-    pub fn run_until_silent<P: EnumerableProtocol>(
-        self,
-        protocol: P,
-        init: &Configuration<P::State>,
-        seed: u64,
-        budget: u64,
-    ) -> EngineReport<P::State> {
-        match self {
-            Engine::Exact => {
-                let mut sim = Simulation::new(protocol, init.clone(), seed);
-                let outcome = sim.run_until_silent(budget);
-                EngineReport { outcome, final_config: sim.configuration().clone() }
-            }
-            Engine::Batched | Engine::BatchedCounts => {
-                let mut sim = BatchedSimulation::new(protocol, init, seed)
-                    .with_sampling_mode(self.sampling_mode());
-                let outcome = sim.run_until_silent(budget);
-                EngineReport { outcome, final_config: sim.to_configuration() }
-            }
-        }
-    }
-
-    /// Runs the protocol from `init` to silence under an explicit
-    /// [`InteractionScheduler`]: [`Engine::Exact`] accepts every strategy;
-    /// the count engines erase agent identities and reject graph-restricted
-    /// schedulers with a typed error. Silence is **scheduler-relative**
-    /// (see [`crate::scheduler`]). With the uniform scheduler this is
-    /// trajectory-identical to [`Engine::run_until_silent`].
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::SchedulerNeedsIdentities`] for a graph-restricted
-    /// scheduler on a count engine; [`SimError::ZeroRateScheduler`] when
-    /// every pair rate of a weighted scheduler is zero.
-    pub fn run_until_silent_scheduled<P: EnumerableProtocol>(
-        self,
-        protocol: P,
-        init: &Configuration<P::State>,
-        seed: u64,
-        budget: u64,
-        scheduler: &InteractionScheduler<P::State>,
-    ) -> Result<EngineReport<P::State>, SimError> {
-        match self {
-            Engine::Exact => {
-                let mut sim =
-                    Simulation::try_new_scheduled(protocol, init.clone(), seed, scheduler)?;
-                let outcome = sim.run_until_silent(budget);
-                Ok(EngineReport { outcome, final_config: sim.configuration().clone() })
-            }
-            Engine::Batched | Engine::BatchedCounts => {
-                let mut sim =
-                    BatchedSimulation::try_new_scheduled(protocol, init, seed, scheduler)?
-                        .with_sampling_mode(self.sampling_mode());
-                let outcome = sim.run_until_silent(budget);
-                Ok(EngineReport { outcome, final_config: sim.to_configuration() })
-            }
         }
     }
 
@@ -1698,9 +1656,15 @@ mod tests {
 
     #[test]
     fn engine_reports_agree_on_verdict() {
+        use crate::runspec::RunSpec;
         let config = Configuration::uniform(0u8, 40);
-        let exact = Engine::Exact.run_until_silent(Frat { n: 40 }, &config, 9, u64::MAX >> 8);
-        let batched = Engine::Batched.run_until_silent(Frat { n: 40 }, &config, 9, u64::MAX >> 8);
+        let exact = RunSpec::new(Frat { n: 40 }).init(config.clone()).seed(9).run_one().unwrap();
+        let batched = RunSpec::new(Frat { n: 40 })
+            .engine(Engine::Batched)
+            .init(config.clone())
+            .seed(9)
+            .run_one()
+            .unwrap();
         assert!(exact.outcome.is_silent());
         assert!(batched.outcome.is_silent());
         let leaders = |c: &Configuration<u8>| c.iter().filter(|&&s| s == 0).count();
@@ -1894,14 +1858,11 @@ mod tests {
                     engine: "batched"
                 }
             );
-            let err = Engine::Batched
-                .run_until_silent_scheduled(
-                    Frat { n: 8 },
-                    &Configuration::uniform(0u8, 8),
-                    1,
-                    BUDGET,
-                    &ring,
-                )
+            let err = crate::runspec::RunSpec::new(Frat { n: 8 })
+                .engine(Engine::Batched)
+                .init(Configuration::uniform(0u8, 8))
+                .scheduler(ring)
+                .run_one()
                 .unwrap_err();
             assert!(matches!(err, SimError::SchedulerNeedsIdentities { .. }));
         }
@@ -1921,19 +1882,22 @@ mod tests {
 
         #[test]
         fn scheduled_uniform_is_trajectory_identical_to_plain() {
+            // The spec runner always goes through the scheduled constructor;
+            // pin that under the uniform scheduler it reproduces the plain
+            // constructor's trajectory bit for bit.
             for seed in [1u64, 9, 23] {
                 let init = Configuration::uniform(0u8, 30);
-                let plain = Engine::Batched.run_until_silent(Frat { n: 30 }, &init, seed, BUDGET);
-                let scheduled = Engine::Batched
-                    .run_until_silent_scheduled(
-                        Frat { n: 30 },
-                        &init,
-                        seed,
-                        BUDGET,
-                        &InteractionScheduler::Uniform,
-                    )
+                let mut plain = BatchedSimulation::new(Frat { n: 30 }, &init, seed);
+                let outcome = plain.run_until_silent(BUDGET);
+                let spec = crate::runspec::RunSpec::new(Frat { n: 30 })
+                    .engine(Engine::Batched)
+                    .init(init)
+                    .seed(seed)
+                    .budget(BUDGET)
+                    .run_one()
                     .unwrap();
-                assert_eq!(plain, scheduled);
+                assert_eq!(spec.outcome, outcome);
+                assert_eq!(spec.final_config, plain.to_configuration());
             }
         }
 

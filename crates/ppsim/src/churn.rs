@@ -32,14 +32,13 @@
 //!
 //! # Composition
 //!
-//! Churn composes with the other experiment axes: the engine entry points
-//! take an [`InteractionScheduler`] (so churn runs under weighted rates or,
-//! on the exact engine, a graph topology rebuilt at each resize),
-//! [`run_until_silent_with_churn_and_faults`] merges a churn stream with a
-//! [`FaultPlan`]'s corruption stream into one segment-wise drive, and the
-//! [`crate::runner`] wrappers (`run_churn_trials`,
-//! `run_scenario_churn_trials`, …) compose with the adversarial
-//! [`crate::Scenario`] families.
+//! Churn composes with the other experiment axes through
+//! [`crate::RunSpec::churn`]: the spec's scheduler applies (so churn runs
+//! under weighted rates or, on the exact engine, a graph topology rebuilt at
+//! each resize), [`run_until_silent_with_churn_and_faults`] merges a churn
+//! stream with a [`FaultPlan`](crate::faults::FaultPlan)'s corruption stream into one segment-wise
+//! drive, and the spec's scenario axis supplies adversarial
+//! [`crate::Scenario`] initial families.
 //!
 //! # Example
 //!
@@ -81,15 +80,12 @@
 //!     2_000,
 //!     ChurnAction::Join { count: 10, state: CorruptionTarget::Fixed(0u8) },
 //! );
-//! let report = Engine::Batched
-//!     .run_until_silent_with_churn(
-//!         Frat { n: 50 },
-//!         &Configuration::uniform(0u8, 50),
-//!         7,
-//!         u64::MAX >> 8,
-//!         &InteractionScheduler::Uniform,
-//!         &plan,
-//!     )
+//! let report = RunSpec::new(Frat { n: 50 })
+//!     .engine(Engine::Batched)
+//!     .init(Configuration::uniform(0u8, 50))
+//!     .churn(plan)
+//!     .seed(7)
+//!     .run_one()
 //!     .unwrap();
 //! assert!(report.outcome.is_silent());
 //! assert_eq!(report.final_config.len(), 60);
@@ -98,19 +94,15 @@
 
 use rand::SeedableRng;
 
-use crate::batched::{BatchedSimulation, Engine, EngineReport, EnumerableProtocol};
-use crate::config::Configuration;
-use crate::error::SimError;
+use crate::batched::{BatchedSimulation, EnumerableProtocol};
 use crate::execution::{RunOutcome, Simulation, StopReason};
 use crate::faults::{
-    sample_exponential_gap, CorruptionTarget, FaultEvent, FaultHost, FaultPlan, FaultSchedule,
-    VICTIM_SALT,
+    sample_exponential_gap, CorruptionTarget, FaultEvent, FaultHost, FaultSchedule,
 };
 use crate::interned::{InternableProtocol, InternedSimulation};
 use crate::protocol::Protocol;
 use crate::scenario::{name_salt, ScenarioRng};
-use crate::scheduler::InteractionScheduler;
-use crate::time::{Interactions, ParallelTime};
+use crate::time::Interactions;
 
 /// What a churn event does to the population.
 #[derive(Clone, Debug)]
@@ -148,7 +140,7 @@ impl<S> ChurnAction<S> {
 }
 
 /// A plan of population-resizing events: a schedule and an action. The unit
-/// of the churn experiment axis, the way [`FaultPlan`] is the unit of the
+/// of the churn experiment axis, the way [`FaultPlan`](crate::faults::FaultPlan) is the unit of the
 /// corruption axis — the two share their schedule vocabulary and compose in
 /// one drive via [`run_until_silent_with_churn_and_faults`].
 #[derive(Clone, Debug)]
@@ -232,7 +224,7 @@ impl<S: Clone> ChurnPlan<S> {
     /// count.
     ///
     /// Deterministic in `(plan, seed)` and independent of the engine, exactly
-    /// as [`FaultPlan::resolve`]: the same seeded plan produces the identical
+    /// as [`FaultPlan::resolve`](crate::faults::FaultPlan::resolve): the same seeded plan produces the identical
     /// churn stream on the exact, batched, and interned engines (only the
     /// departure draw is engine-side).
     pub fn resolve(&self, seed: u64) -> Vec<ChurnEvent<S>> {
@@ -281,7 +273,7 @@ impl<S: Clone> ChurnPlan<S> {
 }
 
 const CHURN_PLAN_SALT: u64 = 0xC4A2_B11E;
-const DEPARTURE_SALT: u64 = 0xDE9A_2217;
+pub(crate) const DEPARTURE_SALT: u64 = 0xDE9A_2217;
 
 /// The engine-side surface the churn driver needs on top of [`FaultHost`]:
 /// report the current population size, append joining agents, and remove
@@ -358,7 +350,7 @@ pub struct ChurnRecord {
     /// Agents that departed (after clamping so ≥ 2 remain).
     pub departed: usize,
     /// Agents corrupted at this event (0 for pure churn events; positive for
-    /// the bursts of a composed [`FaultPlan`]).
+    /// the bursts of a composed [`FaultPlan`](crate::faults::FaultPlan)).
     pub corrupted: usize,
     /// Population size immediately after the event.
     pub population_after: usize,
@@ -370,7 +362,7 @@ pub struct ChurnRecord {
 }
 
 /// What a churned run measured, independent of the final configuration (see
-/// [`ChurnReport`] for the engine-level result that includes it).
+/// [`crate::TrialReport`] for the spec-level result that includes it).
 #[derive(Clone, PartialEq, Debug)]
 pub struct ChurnOutcome {
     /// Why and when the run finally stopped. For [`StopReason::Silent`] the
@@ -384,11 +376,11 @@ pub struct ChurnOutcome {
     pub events: Vec<ChurnRecord>,
 }
 
-fn final_restabilization(events: &[ChurnRecord]) -> Option<Interactions> {
+pub(crate) fn final_restabilization(events: &[ChurnRecord]) -> Option<Interactions> {
     events.last().and_then(|r| r.restabilization)
 }
 
-fn all_events_restabilized(events: &[ChurnRecord]) -> bool {
+pub(crate) fn all_events_restabilized(events: &[ChurnRecord]) -> bool {
     !events.is_empty() && events.iter().all(|r| r.restabilization.is_some())
 }
 
@@ -432,7 +424,7 @@ pub fn run_until_silent_with_churn<H: ChurnHost>(
 /// and zero join/depart counts.
 ///
 /// Both streams must be in strictly increasing time order (as produced by
-/// [`ChurnPlan::resolve`] / [`FaultPlan::resolve`]).
+/// [`ChurnPlan::resolve`] / [`FaultPlan::resolve`](crate::faults::FaultPlan::resolve)).
 pub fn run_until_silent_with_churn_and_faults<H: ChurnHost>(
     host: &mut H,
     churn: &[ChurnEvent<H::State>],
@@ -528,204 +520,16 @@ pub fn run_until_silent_with_churn_and_faults<H: ChurnHost>(
     ChurnOutcome { outcome, initial_silence, events }
 }
 
-/// The result of running a workload with churn through an [`Engine`]: the
-/// measurements of [`ChurnOutcome`] plus the final configuration (whose
-/// length is the final population size).
-#[derive(Clone, PartialEq, Debug)]
-pub struct ChurnReport<S> {
-    /// Why and when the run finally stopped.
-    pub outcome: RunOutcome,
-    /// The silence point reached before the first event, if any.
-    pub initial_silence: Option<Interactions>,
-    /// One record per fired event, in time order.
-    pub events: Vec<ChurnRecord>,
-    /// The final configuration (canonical materialization for the count
-    /// engines, as in [`EngineReport`]).
-    pub final_config: Configuration<S>,
-}
-
-impl<S> ChurnReport<S> {
-    /// The final population size.
-    pub fn final_population(&self) -> usize {
-        self.final_config.len()
-    }
-
-    /// The re-stabilization time of the last event, if the run re-silenced
-    /// after it.
-    pub fn final_restabilization(&self) -> Option<Interactions> {
-        final_restabilization(&self.events)
-    }
-
-    /// The last event's re-stabilization expressed as parallel time **at the
-    /// final population size**.
-    pub fn final_restabilization_parallel_time(&self) -> Option<ParallelTime> {
-        self.final_restabilization().map(|i| i.to_parallel_time(self.final_config.len()))
-    }
-
-    /// Whether every fired event was re-stabilized from before the next one.
-    pub fn restabilized_after_every_event(&self) -> bool {
-        all_events_restabilized(&self.events)
-    }
-
-    /// The plain engine report (outcome + final configuration) of the run.
-    pub fn engine_report(&self) -> EngineReport<S>
-    where
-        S: Clone,
-    {
-        EngineReport { outcome: self.outcome, final_config: self.final_config.clone() }
-    }
-
-    fn from_outcome(outcome: ChurnOutcome, final_config: Configuration<S>) -> Self {
-        ChurnReport {
-            outcome: outcome.outcome,
-            initial_silence: outcome.initial_silence,
-            events: outcome.events,
-            final_config,
-        }
-    }
-}
-
-impl Engine {
-    /// Runs the protocol from `init` to silence under a [`ChurnPlan`] and an
-    /// explicit [`InteractionScheduler`]: the churn counterpart of
-    /// [`Engine::run_until_silent_scheduled`].
-    ///
-    /// The plan is resolved from `seed`, so the same `(plan, seed)` drives
-    /// the identical churn stream on every engine; departures are drawn from
-    /// a separate stream derived from the same seed.
-    ///
-    /// # Errors
-    ///
-    /// The scheduler-compatibility errors of
-    /// [`Engine::run_until_silent_scheduled`].
-    pub fn run_until_silent_with_churn<P: EnumerableProtocol>(
-        self,
-        protocol: P,
-        init: &Configuration<P::State>,
-        seed: u64,
-        budget: u64,
-        scheduler: &InteractionScheduler<P::State>,
-        plan: &ChurnPlan<P::State>,
-    ) -> Result<ChurnReport<P::State>, SimError> {
-        let events = plan.resolve(seed);
-        let mut departure_rng = ScenarioRng::seed_from_u64(seed ^ DEPARTURE_SALT);
-        match self {
-            Engine::Exact => {
-                let mut sim =
-                    Simulation::try_new_scheduled(protocol, init.clone(), seed, scheduler)?;
-                let out =
-                    run_until_silent_with_churn(&mut sim, &events, &mut departure_rng, budget);
-                Ok(ChurnReport::from_outcome(out, sim.configuration().clone()))
-            }
-            Engine::Batched | Engine::BatchedCounts => {
-                let mut sim =
-                    BatchedSimulation::try_new_scheduled(protocol, init, seed, scheduler)?
-                        .with_sampling_mode(self.sampling_mode());
-                let out =
-                    run_until_silent_with_churn(&mut sim, &events, &mut departure_rng, budget);
-                Ok(ChurnReport::from_outcome(out, sim.to_configuration()))
-            }
-        }
-    }
-
-    /// Runs the protocol from `init` to silence under a [`ChurnPlan`] **and**
-    /// a [`FaultPlan`] merged into one event stream — the full composition of
-    /// the churn, corruption, and scheduler axes.
-    ///
-    /// # Errors
-    ///
-    /// The scheduler-compatibility errors of
-    /// [`Engine::run_until_silent_scheduled`].
-    #[allow(clippy::too_many_arguments)]
-    pub fn run_until_silent_with_churn_and_faults<P: EnumerableProtocol>(
-        self,
-        protocol: P,
-        init: &Configuration<P::State>,
-        seed: u64,
-        budget: u64,
-        scheduler: &InteractionScheduler<P::State>,
-        churn: &ChurnPlan<P::State>,
-        faults: &FaultPlan<P::State>,
-    ) -> Result<ChurnReport<P::State>, SimError> {
-        let churn_events = churn.resolve(seed);
-        let fault_events = faults.resolve(seed);
-        let mut departure_rng = ScenarioRng::seed_from_u64(seed ^ DEPARTURE_SALT);
-        let mut victim_rng = ScenarioRng::seed_from_u64(seed ^ VICTIM_SALT);
-        match self {
-            Engine::Exact => {
-                let mut sim =
-                    Simulation::try_new_scheduled(protocol, init.clone(), seed, scheduler)?;
-                let out = run_until_silent_with_churn_and_faults(
-                    &mut sim,
-                    &churn_events,
-                    &fault_events,
-                    &mut departure_rng,
-                    &mut victim_rng,
-                    budget,
-                );
-                Ok(ChurnReport::from_outcome(out, sim.configuration().clone()))
-            }
-            Engine::Batched | Engine::BatchedCounts => {
-                let mut sim =
-                    BatchedSimulation::try_new_scheduled(protocol, init, seed, scheduler)?
-                        .with_sampling_mode(self.sampling_mode());
-                let out = run_until_silent_with_churn_and_faults(
-                    &mut sim,
-                    &churn_events,
-                    &fault_events,
-                    &mut departure_rng,
-                    &mut victim_rng,
-                    budget,
-                );
-                Ok(ChurnReport::from_outcome(out, sim.to_configuration()))
-            }
-        }
-    }
-
-    /// Runs an [`InternableProtocol`] from `init` to silence under a
-    /// [`ChurnPlan`]: the open-state-space counterpart of
-    /// [`Engine::run_until_silent_with_churn`].
-    ///
-    /// # Errors
-    ///
-    /// The scheduler-compatibility errors of
-    /// [`Engine::run_until_silent_interned_scheduled`].
-    pub fn run_until_silent_interned_with_churn<P: InternableProtocol>(
-        self,
-        protocol: P,
-        init: &Configuration<P::State>,
-        seed: u64,
-        budget: u64,
-        scheduler: &InteractionScheduler<P::State>,
-        plan: &ChurnPlan<P::State>,
-    ) -> Result<ChurnReport<P::State>, SimError> {
-        let events = plan.resolve(seed);
-        let mut departure_rng = ScenarioRng::seed_from_u64(seed ^ DEPARTURE_SALT);
-        match self {
-            Engine::Exact => {
-                let mut sim =
-                    Simulation::try_new_scheduled(protocol, init.clone(), seed, scheduler)?;
-                let out =
-                    run_until_silent_with_churn(&mut sim, &events, &mut departure_rng, budget);
-                Ok(ChurnReport::from_outcome(out, sim.configuration().clone()))
-            }
-            Engine::Batched | Engine::BatchedCounts => {
-                let mut sim =
-                    InternedSimulation::try_new_scheduled(protocol, init, seed, scheduler)?
-                        .with_sampling_mode(self.sampling_mode());
-                let out =
-                    run_until_silent_with_churn(&mut sim, &events, &mut departure_rng, budget);
-                Ok(ChurnReport::from_outcome(out, sim.to_configuration()))
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batched::Engine;
+    use crate::config::Configuration;
+    use crate::error::SimError;
+    use crate::faults::FaultPlan;
     use crate::interned::AsInterned;
-    use crate::scheduler::{PairRates, Topology};
+    use crate::runspec::RunSpec;
+    use crate::scheduler::{InteractionScheduler, PairRates, Topology};
     use rand::{Rng, RngCore};
 
     /// (L, L) -> (L, F) with L = 0, F = 1.
@@ -770,6 +574,16 @@ mod tests {
 
     fn leaders(c: &Configuration<u8>) -> usize {
         c.iter().filter(|&&s| s == 0).count()
+    }
+
+    /// A spec over `Frat { n }` starting from the all-leader configuration.
+    fn churn_spec(engine: Engine, n: usize, seed: u64, plan: &ChurnPlan<u8>) -> RunSpec<Frat> {
+        RunSpec::new(Frat { n })
+            .engine(engine)
+            .init(Configuration::uniform(0u8, n))
+            .seed(seed)
+            .budget(BUDGET)
+            .churn(plan.clone())
     }
 
     #[test]
@@ -828,35 +642,24 @@ mod tests {
         );
         let init = Configuration::uniform(0u8, 50);
         for engine in [Engine::Exact, Engine::Batched, Engine::BatchedCounts] {
-            let report = engine
-                .run_until_silent_with_churn(
-                    Frat { n: 50 },
-                    &init,
-                    7,
-                    BUDGET,
-                    &InteractionScheduler::Uniform,
-                    &plan,
-                )
-                .unwrap();
+            let report = churn_spec(engine, 50, 7, &plan).run_one().unwrap();
             assert_eq!(report.outcome.reason, StopReason::Silent, "{engine}");
             assert_eq!(report.final_population(), 60, "{engine}");
             assert_eq!(leaders(&report.final_config), 1, "{engine}");
-            assert_eq!(report.events.len(), 1, "{engine}");
-            assert_eq!(report.events[0].joined, 10, "{engine}");
-            assert_eq!(report.events[0].population_after, 60, "{engine}");
+            assert_eq!(report.churn.len(), 1, "{engine}");
+            assert_eq!(report.churn[0].joined, 10, "{engine}");
+            assert_eq!(report.churn[0].population_after, 60, "{engine}");
             assert!(report.initial_silence.is_some(), "{engine}");
             assert!(report.restabilized_after_every_event(), "{engine}");
             assert!(report.final_restabilization_parallel_time().is_some(), "{engine}");
         }
-        let interned = Engine::Batched
-            .run_until_silent_interned_with_churn(
-                AsInterned(Frat { n: 50 }),
-                &init,
-                7,
-                BUDGET,
-                &InteractionScheduler::Uniform,
-                &plan,
-            )
+        let interned = RunSpec::new(AsInterned(Frat { n: 50 }))
+            .engine(Engine::Batched)
+            .init(init)
+            .seed(7)
+            .budget(BUDGET)
+            .churn(plan)
+            .run_one_interned()
             .unwrap();
         assert_eq!(interned.outcome.reason, StopReason::Silent);
         assert_eq!(interned.final_population(), 60);
@@ -868,18 +671,9 @@ mod tests {
     fn departures_clamp_so_two_agents_remain() {
         let plan = ChurnPlan::one_shot(200, ChurnAction::Leave { count: 1_000 });
         for engine in [Engine::Exact, Engine::Batched] {
-            let report = engine
-                .run_until_silent_with_churn(
-                    Frat { n: 8 },
-                    &Configuration::uniform(0u8, 8),
-                    11,
-                    BUDGET,
-                    &InteractionScheduler::Uniform,
-                    &plan,
-                )
-                .unwrap();
-            assert_eq!(report.events[0].departed, 6, "{engine}");
-            assert_eq!(report.events[0].population_after, 2, "{engine}");
+            let report = churn_spec(engine, 8, 11, &plan).run_one().unwrap();
+            assert_eq!(report.churn[0].departed, 6, "{engine}");
+            assert_eq!(report.churn[0].population_after, 2, "{engine}");
             assert_eq!(report.final_population(), 2, "{engine}");
             assert_eq!(report.outcome.reason, StopReason::Silent, "{engine}");
         }
@@ -893,18 +687,9 @@ mod tests {
             3,
             ChurnAction::Replace { count: 5, state: CorruptionTarget::Fixed(0u8) },
         );
-        let report = Engine::Batched
-            .run_until_silent_with_churn(
-                Frat { n: 40 },
-                &Configuration::uniform(0u8, 40),
-                13,
-                BUDGET,
-                &InteractionScheduler::Uniform,
-                &plan,
-            )
-            .unwrap();
-        assert_eq!(report.events.len(), 3);
-        for record in &report.events {
+        let report = churn_spec(Engine::Batched, 40, 13, &plan).run_one().unwrap();
+        assert_eq!(report.churn.len(), 3);
+        for record in &report.churn {
             assert_eq!(record.joined, 5);
             assert_eq!(record.departed, 5);
             assert_eq!(record.population_after, 40);
@@ -922,27 +707,17 @@ mod tests {
             ChurnAction::Join { count: 4, state: CorruptionTarget::Fixed(0u8) },
         );
         let faults = FaultPlan::one_shot(4_000, 3, CorruptionTarget::Fixed(0u8));
-        let report = Engine::Batched
-            .run_until_silent_with_churn_and_faults(
-                Frat { n: 30 },
-                &Configuration::uniform(0u8, 30),
-                17,
-                BUDGET,
-                &InteractionScheduler::Uniform,
-                &churn,
-                &faults,
-            )
-            .unwrap();
-        assert_eq!(report.events.len(), 2);
-        assert_eq!(report.events[0].corrupted, 3);
-        assert_eq!(report.events[0].joined, 0);
-        assert_eq!(report.events[1].corrupted, 0);
-        assert_eq!(report.events[1].joined, 4);
-        assert_eq!(report.events[1].population_after, 34);
+        let report = churn_spec(Engine::Batched, 30, 17, &churn).faults(faults).run_one().unwrap();
+        assert_eq!(report.churn.len(), 2);
+        assert_eq!(report.churn[0].corrupted, 3);
+        assert_eq!(report.churn[0].joined, 0);
+        assert_eq!(report.churn[1].corrupted, 0);
+        assert_eq!(report.churn[1].joined, 4);
+        assert_eq!(report.churn[1].population_after, 34);
         // The burst got zero interactions before the churn event landed on
         // the same index, so only the churn record carries re-stabilization.
-        assert!(report.events[0].restabilization.is_none());
-        assert!(report.events[1].restabilization.is_some());
+        assert!(report.churn[0].restabilization.is_none());
+        assert!(report.churn[1].restabilization.is_some());
         assert_eq!(report.outcome.reason, StopReason::Silent);
         assert_eq!(leaders(&report.final_config), 1);
     }
@@ -956,16 +731,8 @@ mod tests {
         let rates = PairRates::new(1).with_rate(0u8, 0u8, 5);
         let scheduler = InteractionScheduler::WeightedPairs(rates);
         for engine in [Engine::Exact, Engine::Batched, Engine::BatchedCounts] {
-            let report = engine
-                .run_until_silent_with_churn(
-                    Frat { n: 30 },
-                    &Configuration::uniform(0u8, 30),
-                    19,
-                    BUDGET,
-                    &scheduler,
-                    &plan,
-                )
-                .unwrap();
+            let report =
+                churn_spec(engine, 30, 19, &plan).scheduler(scheduler.clone()).run_one().unwrap();
             assert_eq!(report.outcome.reason, StopReason::Silent, "{engine}");
             assert_eq!(report.final_population(), 36, "{engine}");
             assert_eq!(leaders(&report.final_config), 1, "{engine}");
@@ -983,17 +750,9 @@ mod tests {
             ChurnAction::Replace { count: 3, state: CorruptionTarget::Fixed(0u8) },
         );
         let scheduler = InteractionScheduler::GraphRestricted(Topology::Ring);
-        let report = Engine::Exact
-            .run_until_silent_with_churn(
-                Frat { n: 20 },
-                &Configuration::uniform(0u8, 20),
-                23,
-                BUDGET,
-                &scheduler,
-                &plan,
-            )
-            .unwrap();
-        assert_eq!(report.events.len(), 3);
+        let report =
+            churn_spec(Engine::Exact, 20, 23, &plan).scheduler(scheduler).run_one().unwrap();
+        assert_eq!(report.churn.len(), 3);
         assert_eq!(report.final_population(), 20);
         assert_eq!(report.outcome.reason, StopReason::Silent);
         // Ring silence is scheduler-relative: no adjacent (L, L) pair. The
@@ -1008,26 +767,17 @@ mod tests {
             ChurnAction::Join { count: 1, state: CorruptionTarget::Fixed(0u8) },
         );
         let scheduler = InteractionScheduler::GraphRestricted(Topology::Ring);
-        let err = Engine::Batched
-            .run_until_silent_with_churn(
-                Frat { n: 10 },
-                &Configuration::uniform(0u8, 10),
-                1,
-                BUDGET,
-                &scheduler,
-                &plan,
-            )
+        let err = churn_spec(Engine::Batched, 10, 1, &plan)
+            .scheduler(scheduler.clone())
+            .run_one()
             .unwrap_err();
         assert!(matches!(err, SimError::SchedulerNeedsIdentities { .. }), "{err}");
-        let err = Engine::BatchedCounts
-            .run_until_silent_interned_with_churn(
-                AsInterned(Frat { n: 10 }),
-                &Configuration::uniform(0u8, 10),
-                1,
-                BUDGET,
-                &scheduler,
-                &plan,
-            )
+        let err = RunSpec::new(AsInterned(Frat { n: 10 }))
+            .engine(Engine::BatchedCounts)
+            .init(Configuration::uniform(0u8, 10))
+            .scheduler(scheduler)
+            .churn(plan)
+            .run_one_interned()
             .unwrap_err();
         assert!(matches!(err, SimError::SchedulerNeedsIdentities { .. }), "{err}");
     }
@@ -1038,17 +788,8 @@ mod tests {
             10_000,
             ChurnAction::Join { count: 5, state: CorruptionTarget::Fixed(0u8) },
         );
-        let report = Engine::Batched
-            .run_until_silent_with_churn(
-                Frat { n: 20 },
-                &Configuration::uniform(0u8, 20),
-                29,
-                10_000,
-                &InteractionScheduler::Uniform,
-                &plan,
-            )
-            .unwrap();
-        assert!(report.events.is_empty());
+        let report = churn_spec(Engine::Batched, 20, 29, &plan).budget(10_000).run_one().unwrap();
+        assert!(report.churn.is_empty());
         assert_eq!(report.final_population(), 20);
     }
 
@@ -1065,17 +806,8 @@ mod tests {
             },
         );
         let events = plan.resolve(31);
-        let report = Engine::Exact
-            .run_until_silent_with_churn(
-                Frat { n: 25 },
-                &Configuration::uniform(0u8, 25),
-                31,
-                BUDGET,
-                &InteractionScheduler::Uniform,
-                &plan,
-            )
-            .unwrap();
-        let fired: Vec<u64> = report.events.iter().map(|r| r.at.count()).collect();
+        let report = churn_spec(Engine::Exact, 25, 31, &plan).run_one().unwrap();
+        let fired: Vec<u64> = report.churn.iter().map(|r| r.at.count()).collect();
         let expected: Vec<u64> = events.iter().map(|e| e.at).collect();
         assert_eq!(fired, expected);
         assert_eq!(report.final_population(), 25 + 2 * events.len());

@@ -40,6 +40,10 @@ pub enum SimError {
     /// Every pair rate of a weighted scheduler is zero: no interaction can
     /// ever be scheduled.
     ZeroRateScheduler,
+    /// A [`crate::RunSpec`] was built without an initial configuration:
+    /// none of `init`, `init_with`, or `scenario` was called, so there is
+    /// nothing to run the trials from.
+    MissingInitialConfiguration,
 }
 
 impl fmt::Display for SimError {
@@ -63,6 +67,11 @@ impl fmt::Display for SimError {
             SimError::ZeroRateScheduler => {
                 write!(f, "every pair rate of the weighted scheduler is zero")
             }
+            SimError::MissingInitialConfiguration => write!(
+                f,
+                "the run spec has no initial configuration; call init, init_with, or scenario \
+                 before running"
+            ),
         }
     }
 }
@@ -86,6 +95,8 @@ mod tests {
         assert!(e.to_string().contains("ring"));
         assert!(e.to_string().contains("batched"));
         assert!(SimError::ZeroRateScheduler.to_string().contains("zero"));
+        let e = SimError::MissingInitialConfiguration;
+        assert!(e.to_string().contains("no initial configuration"));
     }
 
     #[test]

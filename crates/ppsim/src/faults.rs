@@ -39,11 +39,9 @@
 //! [`run_until_silent_with_faults`] drives any host segment by segment:
 //! run to silence (capped at the next injection index), advance the trailing
 //! null interactions to the injection index, inject, repeat; the per-event
-//! recovery times fall out of the exact silence points. [`crate::Engine`]
-//! gains `run_until_silent_with_faults` /
-//! `run_until_silent_interned_with_faults` so fault plans compose with the
-//! engine routing and, via [`crate::runner::run_scenario_fault_trials`],
-//! with the adversarial initial families.
+//! recovery times fall out of the exact silence points. Fault plans enter a
+//! workload through [`crate::RunSpec::faults`], which composes them with the
+//! engine choice, the scheduler, and the adversarial initial families.
 //!
 //! # Example
 //!
@@ -82,13 +80,13 @@
 //!
 //! // Corrupt 10 agents back into leaders, 2000 interactions into the run.
 //! let plan = FaultPlan::one_shot(2_000, 10, CorruptionTarget::Fixed(0u8));
-//! let report = Engine::Batched.run_until_silent_with_faults(
-//!     Frat { n: 50 },
-//!     &Configuration::uniform(0u8, 50),
-//!     7,
-//!     u64::MAX >> 8,
-//!     &plan,
-//! );
+//! let report = RunSpec::new(Frat { n: 50 })
+//!     .engine(Engine::Batched)
+//!     .init(Configuration::uniform(0u8, 50))
+//!     .faults(plan)
+//!     .seed(7)
+//!     .run_one()
+//!     .unwrap();
 //! assert!(report.outcome.is_silent());
 //! assert_eq!(report.injections.len(), 1);
 //! // The run re-silenced after the burst; recovery is measured from the
@@ -102,13 +100,12 @@ use std::sync::Arc;
 
 use rand::{Rng, SeedableRng};
 
-use crate::batched::{BatchedSimulation, Engine, EngineReport, EnumerableProtocol};
-use crate::config::Configuration;
+use crate::batched::{BatchedSimulation, EnumerableProtocol};
 use crate::execution::{RunOutcome, Simulation, StopReason};
 use crate::interned::{InternableProtocol, InternedSimulation};
 use crate::protocol::Protocol;
 use crate::scenario::{name_salt, ScenarioRng};
-use crate::time::{Interactions, ParallelTime};
+use crate::time::Interactions;
 
 /// When the bursts of a [`FaultPlan`] fire, in absolute interaction indices.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -399,8 +396,8 @@ impl<P: InternableProtocol> FaultHost for InternedSimulation<P> {
     }
 }
 
-/// What a faulted run measured, independent of the final configuration (see
-/// [`FaultReport`] for the engine-level result that includes it).
+/// What a faulted run measured, independent of the final configuration
+/// (see [`crate::TrialReport`] for the spec-level result that includes it).
 #[derive(Clone, PartialEq, Debug)]
 pub struct FaultOutcome {
     /// Why and when the run finally stopped. For [`StopReason::Silent`] the
@@ -421,15 +418,15 @@ pub struct FaultOutcome {
 }
 
 /// The recovery time of the last burst, if it fired and the run re-silenced
-/// after it (shared by [`FaultOutcome`] and [`FaultReport`], which mirror
-/// each other's measurement fields by construction).
-fn last_recovery(recoveries: &[Option<Interactions>]) -> Option<Interactions> {
+/// after it (shared by [`FaultOutcome`] and [`crate::TrialReport`], which
+/// mirror each other's measurement fields by construction).
+pub(crate) fn last_recovery(recoveries: &[Option<Interactions>]) -> Option<Interactions> {
     recoveries.last().copied().flatten()
 }
 
 /// Whether every fired burst was recovered from before the next one (see
 /// [`last_recovery`] for the sharing rationale).
-fn all_bursts_recovered(recoveries: &[Option<Interactions>]) -> bool {
+pub(crate) fn all_bursts_recovered(recoveries: &[Option<Interactions>]) -> bool {
     !recoveries.is_empty() && recoveries.iter().all(|r| r.is_some())
 }
 
@@ -511,125 +508,13 @@ pub fn run_until_silent_with_faults<H: FaultHost>(
     FaultOutcome { outcome, injections, initial_silence, recoveries }
 }
 
-/// The result of running a workload with faults through an [`Engine`]: the
-/// measurements of [`FaultOutcome`] plus the final configuration.
-#[derive(Clone, PartialEq, Debug)]
-pub struct FaultReport<S> {
-    /// Why and when the run finally stopped.
-    pub outcome: RunOutcome,
-    /// The interaction index of every burst that fired.
-    pub injections: Vec<Interactions>,
-    /// The silence point reached before the first burst, if any.
-    pub initial_silence: Option<Interactions>,
-    /// Per fired burst, the recovery time (see [`FaultOutcome::recoveries`]).
-    pub recoveries: Vec<Option<Interactions>>,
-    /// The final configuration (canonical materialization for the count
-    /// engines, as in [`EngineReport`]).
-    pub final_config: Configuration<S>,
-}
-
-impl<S> FaultReport<S> {
-    /// The recovery time of the last burst, if the run re-silenced after it.
-    pub fn final_recovery(&self) -> Option<Interactions> {
-        last_recovery(&self.recoveries)
-    }
-
-    /// The last burst's recovery expressed as parallel time.
-    pub fn final_recovery_parallel_time(&self) -> Option<ParallelTime> {
-        self.final_recovery().map(|i| i.to_parallel_time(self.final_config.len()))
-    }
-
-    /// Whether every fired burst was recovered from before the next one.
-    pub fn recovered_after_every_burst(&self) -> bool {
-        all_bursts_recovered(&self.recoveries)
-    }
-
-    /// The plain engine report (outcome + final configuration) of the run.
-    pub fn engine_report(&self) -> EngineReport<S>
-    where
-        S: Clone,
-    {
-        EngineReport { outcome: self.outcome, final_config: self.final_config.clone() }
-    }
-
-    fn from_outcome(outcome: FaultOutcome, final_config: Configuration<S>) -> Self {
-        FaultReport {
-            outcome: outcome.outcome,
-            injections: outcome.injections,
-            initial_silence: outcome.initial_silence,
-            recoveries: outcome.recoveries,
-            final_config,
-        }
-    }
-}
-
-impl Engine {
-    /// Runs the protocol from `init` to silence under a [`FaultPlan`]:
-    /// the fault-injection counterpart of [`Engine::run_until_silent`].
-    ///
-    /// The plan is resolved from `seed`, so the same `(plan, seed)` injects
-    /// the identical corruption stream on both engines; victims are drawn
-    /// from a separate stream derived from the same seed.
-    pub fn run_until_silent_with_faults<P: EnumerableProtocol>(
-        self,
-        protocol: P,
-        init: &Configuration<P::State>,
-        seed: u64,
-        budget: u64,
-        plan: &FaultPlan<P::State>,
-    ) -> FaultReport<P::State> {
-        let events = plan.resolve(seed);
-        let mut victim_rng = ScenarioRng::seed_from_u64(seed ^ VICTIM_SALT);
-        match self {
-            Engine::Exact => {
-                let mut sim = Simulation::new(protocol, init.clone(), seed);
-                let out = run_until_silent_with_faults(&mut sim, &events, &mut victim_rng, budget);
-                FaultReport::from_outcome(out, sim.configuration().clone())
-            }
-            Engine::Batched | Engine::BatchedCounts => {
-                let mut sim = BatchedSimulation::new(protocol, init, seed)
-                    .with_sampling_mode(self.sampling_mode());
-                let out = run_until_silent_with_faults(&mut sim, &events, &mut victim_rng, budget);
-                FaultReport::from_outcome(out, sim.to_configuration())
-            }
-        }
-    }
-
-    /// Runs an [`InternableProtocol`] from `init` to silence under a
-    /// [`FaultPlan`]: the open-state-space counterpart of
-    /// [`Engine::run_until_silent_with_faults`] ([`Engine::Batched`] routes
-    /// through the dynamically interned backend).
-    pub fn run_until_silent_interned_with_faults<P: InternableProtocol>(
-        self,
-        protocol: P,
-        init: &Configuration<P::State>,
-        seed: u64,
-        budget: u64,
-        plan: &FaultPlan<P::State>,
-    ) -> FaultReport<P::State> {
-        let events = plan.resolve(seed);
-        let mut victim_rng = ScenarioRng::seed_from_u64(seed ^ VICTIM_SALT);
-        match self {
-            Engine::Exact => {
-                let mut sim = Simulation::new(protocol, init.clone(), seed);
-                let out = run_until_silent_with_faults(&mut sim, &events, &mut victim_rng, budget);
-                FaultReport::from_outcome(out, sim.configuration().clone())
-            }
-            Engine::Batched | Engine::BatchedCounts => {
-                let mut sim = InternedSimulation::new(protocol, init, seed)
-                    .with_sampling_mode(self.sampling_mode());
-                let out = run_until_silent_with_faults(&mut sim, &events, &mut victim_rng, budget);
-                FaultReport::from_outcome(out, sim.to_configuration())
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::batched::ForceDense;
+    use crate::batched::{Engine, ForceDense};
+    use crate::config::Configuration;
     use crate::interned::AsInterned;
+    use crate::runspec::{RunSpec, TrialReport};
     use rand::RngCore;
 
     /// (L, L) -> (L, F) with L = 0, F = 1.
@@ -676,6 +561,28 @@ mod tests {
         c.iter().filter(|&&s| s == 0).count()
     }
 
+    /// One faulty run through the unified spec, seed taken verbatim.
+    fn run_faulty<P>(
+        engine: Engine,
+        protocol: P,
+        init: &Configuration<u8>,
+        seed: u64,
+        budget: u64,
+        plan: &FaultPlan<u8>,
+    ) -> TrialReport<u8>
+    where
+        P: EnumerableProtocol<State = u8> + Clone + Sync,
+    {
+        RunSpec::new(protocol)
+            .engine(engine)
+            .init(init.clone())
+            .seed(seed)
+            .budget(budget)
+            .faults(plan.clone())
+            .run_one()
+            .unwrap()
+    }
+
     #[test]
     fn resolve_is_deterministic_and_increasing() {
         let fixed = FaultPlan::one_shot(500, 3, CorruptionTarget::Fixed(0u8));
@@ -712,34 +619,18 @@ mod tests {
         let init = Configuration::uniform(0u8, 60);
         let plan = FaultPlan::one_shot(3_000, 20, CorruptionTarget::Fixed(0u8));
         for seed in 0..3 {
-            let exact = Engine::Exact.run_until_silent_with_faults(
-                Frat { n: 60 },
-                &init,
-                seed,
-                BUDGET,
-                &plan,
-            );
-            let batched = Engine::Batched.run_until_silent_with_faults(
-                Frat { n: 60 },
-                &init,
-                seed,
-                BUDGET,
-                &plan,
-            );
-            let dense = Engine::Batched.run_until_silent_with_faults(
-                ForceDense(Frat { n: 60 }),
-                &init,
-                seed,
-                BUDGET,
-                &plan,
-            );
-            let interned = Engine::Batched.run_until_silent_interned_with_faults(
-                AsInterned(Frat { n: 60 }),
-                &init,
-                seed,
-                BUDGET,
-                &plan,
-            );
+            let exact = run_faulty(Engine::Exact, Frat { n: 60 }, &init, seed, BUDGET, &plan);
+            let batched = run_faulty(Engine::Batched, Frat { n: 60 }, &init, seed, BUDGET, &plan);
+            let dense =
+                run_faulty(Engine::Batched, ForceDense(Frat { n: 60 }), &init, seed, BUDGET, &plan);
+            let interned = RunSpec::new(AsInterned(Frat { n: 60 }))
+                .engine(Engine::Batched)
+                .init(init.clone())
+                .seed(seed)
+                .budget(BUDGET)
+                .faults(plan.clone())
+                .run_one_interned()
+                .unwrap();
             for report in [&exact, &batched, &dense, &interned] {
                 assert!(report.outcome.is_silent());
                 assert_eq!(report.injections, vec![Interactions::new(3_000)]);
@@ -764,15 +655,16 @@ mod tests {
             [(Engine::Exact, false), (Engine::Batched, false), (Engine::Batched, true)]
         {
             let report = if interned {
-                Engine::Batched.run_until_silent_interned_with_faults(
-                    AsInterned(Frat { n }),
-                    &init,
-                    7,
-                    BUDGET,
-                    &plan,
-                )
+                RunSpec::new(AsInterned(Frat { n }))
+                    .engine(Engine::Batched)
+                    .init(init.clone())
+                    .seed(7)
+                    .budget(BUDGET)
+                    .faults(plan.clone())
+                    .run_one_interned()
+                    .unwrap()
             } else {
-                engine.run_until_silent_with_faults(Frat { n }, &init, 7, BUDGET, &plan)
+                run_faulty(engine, Frat { n }, &init, 7, BUDGET, &plan)
             };
             // The initial configuration was already silent at interaction 0.
             assert_eq!(report.initial_silence, Some(Interactions::ZERO));
@@ -798,7 +690,7 @@ mod tests {
         let init = Configuration::from_fn(n, |i| u8::from(i > 0));
         let plan = FaultPlan::one_shot(1_000, 4, CorruptionTarget::Fixed(1u8));
         for engine in [Engine::Exact, Engine::Batched] {
-            let report = engine.run_until_silent_with_faults(Frat { n }, &init, 3, BUDGET, &plan);
+            let report = run_faulty(engine, Frat { n }, &init, 3, BUDGET, &plan);
             assert!(report.outcome.is_silent());
             // With a single leader among n agents a burst of 4 usually hits
             // followers only; when it hits the leader the configuration is
@@ -813,8 +705,7 @@ mod tests {
     fn bursts_beyond_the_budget_never_fire() {
         let init = Configuration::uniform(0u8, 30);
         let plan = FaultPlan::periodic(1_000, 1_000, 5, 3, CorruptionTarget::Fixed(0u8));
-        let report =
-            Engine::Batched.run_until_silent_with_faults(Frat { n: 30 }, &init, 1, 2_500, &plan);
+        let report = run_faulty(Engine::Batched, Frat { n: 30 }, &init, 1, 2_500, &plan);
         // Only the bursts at 1000 and 2000 fit inside the budget of 2500.
         assert_eq!(report.injections.len(), 2);
         assert_eq!(report.recoveries.len(), 2);
@@ -827,8 +718,7 @@ mod tests {
         // early slots stay None until the final burst's segment.
         let init = Configuration::uniform(0u8, 100);
         let plan = FaultPlan::periodic(10, 10, 10, 10, CorruptionTarget::Fixed(0u8));
-        let report =
-            Engine::Exact.run_until_silent_with_faults(Frat { n: 100 }, &init, 5, BUDGET, &plan);
+        let report = run_faulty(Engine::Exact, Frat { n: 100 }, &init, 5, BUDGET, &plan);
         assert!(report.outcome.is_silent());
         assert_eq!(report.injections.len(), 10);
         assert!(report.recoveries[..9].iter().any(|r| r.is_none()));

@@ -1270,71 +1270,6 @@ impl<P: InternableProtocol> InternedSimulation<P> {
 }
 
 impl Engine {
-    /// Runs an [`InternableProtocol`] from `init` until silence or `budget`
-    /// interactions: through [`Simulation`] for [`Engine::Exact`], through
-    /// [`InternedSimulation`] for [`Engine::Batched`] and
-    /// [`Engine::BatchedCounts`] (the latter in batch-count sampling mode).
-    ///
-    /// This is the open-state-space counterpart of
-    /// [`Engine::run_until_silent`]; enumerable protocols should keep using
-    /// that entry point (the static enumeration is cheaper than interning).
-    pub fn run_until_silent_interned<P: InternableProtocol>(
-        self,
-        protocol: P,
-        init: &Configuration<P::State>,
-        seed: u64,
-        budget: u64,
-    ) -> EngineReport<P::State> {
-        match self {
-            Engine::Exact => {
-                let mut sim = Simulation::new(protocol, init.clone(), seed);
-                let outcome = sim.run_until_silent(budget);
-                EngineReport { outcome, final_config: sim.configuration().clone() }
-            }
-            Engine::Batched | Engine::BatchedCounts => {
-                let mut sim = InternedSimulation::new(protocol, init, seed)
-                    .with_sampling_mode(self.sampling_mode());
-                let outcome = sim.run_until_silent(budget);
-                EngineReport { outcome, final_config: sim.to_configuration() }
-            }
-        }
-    }
-
-    /// Runs an [`InternableProtocol`] from `init` to silence under an
-    /// explicit [`crate::scheduler::InteractionScheduler`]: the
-    /// open-state-space counterpart of
-    /// [`Engine::run_until_silent_scheduled`].
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::SchedulerNeedsIdentities`] for a graph-restricted
-    /// scheduler on a count engine; [`SimError::ZeroRateScheduler`] when
-    /// every pair rate of a weighted scheduler is zero.
-    pub fn run_until_silent_interned_scheduled<P: InternableProtocol>(
-        self,
-        protocol: P,
-        init: &Configuration<P::State>,
-        seed: u64,
-        budget: u64,
-        scheduler: &InteractionScheduler<P::State>,
-    ) -> Result<EngineReport<P::State>, SimError> {
-        match self {
-            Engine::Exact => {
-                let mut sim =
-                    Simulation::try_new_scheduled(protocol, init.clone(), seed, scheduler)?;
-                let outcome = sim.run_until_silent(budget);
-                Ok(EngineReport { outcome, final_config: sim.configuration().clone() })
-            }
-            Engine::Batched | Engine::BatchedCounts => {
-                let mut sim =
-                    InternedSimulation::try_new_scheduled(protocol, init, seed, scheduler)?
-                        .with_sampling_mode(self.sampling_mode());
-                let outcome = sim.run_until_silent(budget);
-                Ok(EngineReport { outcome, final_config: sim.to_configuration() })
-            }
-        }
-    }
-
     /// Runs an [`InternableProtocol`] from `init` until the (permutation-
     /// invariant) predicate holds or `budget` interactions elapse; the
     /// open-state-space counterpart of [`Engine::run_until`].
@@ -1599,10 +1534,16 @@ mod tests {
     #[test]
     fn engine_routing_reaches_the_same_verdict_on_both_engines() {
         let config = Configuration::uniform(0u32, 40);
-        let exact =
-            Engine::Exact.run_until_silent_interned(Frat { n: 40 }, &config, 9, u64::MAX >> 8);
-        let interned =
-            Engine::Batched.run_until_silent_interned(Frat { n: 40 }, &config, 9, u64::MAX >> 8);
+        let spec = |engine| {
+            crate::runspec::RunSpec::new(Frat { n: 40 })
+                .engine(engine)
+                .init(config.clone())
+                .seed(9)
+                .run_one_interned()
+                .unwrap()
+        };
+        let exact = spec(Engine::Exact);
+        let interned = spec(Engine::Batched);
         assert!(exact.outcome.is_silent());
         assert!(interned.outcome.is_silent());
         let leaders = |c: &Configuration<u32>| c.iter().filter(|&&s| s == 0).count();

@@ -29,13 +29,18 @@
 //!   which assigns dense indices to states as they are first observed (see
 //!   the [`interned`] module docs).
 //!
-//! [`Engine`] routes a workload to either engine behind one interface
-//! (`run_until_silent` / `run_until` for enumerable protocols,
-//! `run_until_silent_interned` / `run_until_interned` for internable ones),
-//! and [`runner`] distributes multi-trial experiments across threads
-//! ([`run_trials`] for closures, [`run_engine_trials`] /
-//! [`run_interned_trials`] for engine runs). `ARCHITECTURE.md` at the
-//! repository root draws the full engine → backend decision tree.
+//! [`Engine`] names the engine choice, and every to-silence workload —
+//! single runs and multi-trial experiments, with or without an explicit
+//! scheduler, fault plan, or churn plan — is described by one composable
+//! [`RunSpec`] builder: `RunSpec::new(protocol).engine(e).scenario(&s)
+//! .scheduler(sch).faults(fp).churn(cp).trials(t).seed(b).run()`. Invalid
+//! combinations (e.g. a graph-restricted scheduler on a count-based engine)
+//! are rejected with a typed [`SimError`] when the spec is built, before any
+//! trial runs. The lower-level pieces remain public for custom predicates:
+//! [`Engine::run_until`] / [`Engine::run_until_interned`] stop on arbitrary
+//! conditions and [`runner`] ([`run_trials`], [`TrialPlan`]) distributes any
+//! closure across threads. `ARCHITECTURE.md` at the repository root draws
+//! the full engine → backend decision tree.
 //!
 //! # Example
 //!
@@ -97,9 +102,11 @@ pub mod interned;
 pub mod mcheck;
 pub mod protocol;
 pub mod runner;
+pub mod runspec;
 pub mod sampling;
 pub mod scenario;
 pub mod scheduler;
+pub mod symmetry;
 pub mod time;
 pub mod trace;
 
@@ -110,33 +117,29 @@ pub use batched::{
 };
 pub use churn::{
     run_until_silent_with_churn, run_until_silent_with_churn_and_faults, ChurnAction, ChurnEvent,
-    ChurnHost, ChurnOutcome, ChurnPlan, ChurnRecord, ChurnReport,
+    ChurnHost, ChurnOutcome, ChurnPlan, ChurnRecord,
 };
 pub use config::Configuration;
 pub use error::SimError;
 pub use execution::{ConvergenceOutcome, RunOutcome, Simulation, StopReason};
-pub use faults::{CorruptionTarget, FaultEvent, FaultHost, FaultPlan, FaultReport, FaultSchedule};
+pub use faults::{CorruptionTarget, FaultEvent, FaultHost, FaultPlan, FaultSchedule};
 pub use interned::{AsInterned, InternableProtocol, InternedSimulation, StateInterner};
 pub use mcheck::{
     check_convergence_from, check_fault_plan_closure, check_self_stabilization,
-    expected_silence_time_exact, expected_silence_time_scheduled, explore_reachable,
-    CorrectnessOracle, ExactSilenceTime, FaultClosureReport, MCheckError, MCheckOptions,
-    ModelChecker, ReachabilityReport, ReachableSpace, StabilizationReport,
+    check_self_stabilization_quotient, expected_silence_time_exact,
+    expected_silence_time_scheduled, explore_reachable, CorrectnessOracle, ExactSilenceTime,
+    FaultClosureReport, MCheckError, MCheckOptions, ModelChecker, QuotientStabilizationReport,
+    ReachabilityReport, ReachableSpace, StabilizationReport,
 };
 pub use protocol::{LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
-pub use runner::{
-    run_churn_trials, run_engine_trials, run_fault_trials, run_interned_churn_trials,
-    run_interned_fault_trials, run_interned_scenario_churn_trials,
-    run_interned_scenario_fault_trials, run_interned_scenario_scheduled_trials,
-    run_interned_scenario_trials, run_interned_scheduled_trials, run_interned_trials,
-    run_scenario_churn_trials, run_scenario_fault_trials, run_scenario_scheduled_trials,
-    run_scenario_trials, run_scheduled_trials, run_trials, run_trials_sequential, TrialPlan,
-};
+pub use runner::{run_trials, run_trials_sequential, TrialPlan};
+pub use runspec::{ReadyRun, RunSpec, TrialReport};
 pub use sampling::{sample_distinct_indices, sample_victims_by_counts};
 pub use scenario::{Scenario, ScenarioRng};
 pub use scheduler::{
     InteractionGraph, InteractionScheduler, OrderedPair, PairRates, Scheduler, Topology,
 };
+pub use symmetry::StateSymmetry;
 pub use time::{Interactions, ParallelTime};
 pub use trace::{Trace, TraceEvent};
 
@@ -148,35 +151,29 @@ pub mod prelude {
     };
     pub use crate::churn::{
         run_until_silent_with_churn, run_until_silent_with_churn_and_faults, ChurnAction,
-        ChurnEvent, ChurnHost, ChurnOutcome, ChurnPlan, ChurnRecord, ChurnReport,
+        ChurnEvent, ChurnHost, ChurnOutcome, ChurnPlan, ChurnRecord,
     };
     pub use crate::config::Configuration;
     pub use crate::error::SimError;
     pub use crate::execution::{ConvergenceOutcome, RunOutcome, Simulation, StopReason};
-    pub use crate::faults::{
-        CorruptionTarget, FaultEvent, FaultHost, FaultPlan, FaultReport, FaultSchedule,
-    };
+    pub use crate::faults::{CorruptionTarget, FaultEvent, FaultHost, FaultPlan, FaultSchedule};
     pub use crate::interned::{AsInterned, InternableProtocol, InternedSimulation, StateInterner};
     pub use crate::mcheck::{
         check_convergence_from, check_fault_plan_closure, check_self_stabilization,
-        expected_silence_time_exact, expected_silence_time_scheduled, explore_reachable,
-        CorrectnessOracle, ExactSilenceTime, FaultClosureReport, MCheckError, MCheckOptions,
-        ModelChecker, ReachabilityReport, StabilizationReport,
+        check_self_stabilization_quotient, expected_silence_time_exact,
+        expected_silence_time_scheduled, explore_reachable, CorrectnessOracle, ExactSilenceTime,
+        FaultClosureReport, MCheckError, MCheckOptions, ModelChecker, QuotientStabilizationReport,
+        ReachabilityReport, StabilizationReport,
     };
     pub use crate::protocol::{LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
-    pub use crate::runner::{
-        run_churn_trials, run_engine_trials, run_fault_trials, run_interned_churn_trials,
-        run_interned_fault_trials, run_interned_scenario_churn_trials,
-        run_interned_scenario_fault_trials, run_interned_scenario_scheduled_trials,
-        run_interned_scenario_trials, run_interned_scheduled_trials, run_interned_trials,
-        run_scenario_churn_trials, run_scenario_fault_trials, run_scenario_scheduled_trials,
-        run_scenario_trials, run_scheduled_trials, run_trials, run_trials_sequential, TrialPlan,
-    };
+    pub use crate::runner::{run_trials, run_trials_sequential, TrialPlan};
+    pub use crate::runspec::{ReadyRun, RunSpec, TrialReport};
     pub use crate::sampling::{sample_distinct_indices, sample_victims_by_counts};
     pub use crate::scenario::{Scenario, ScenarioRng};
     pub use crate::scheduler::{
         InteractionGraph, InteractionScheduler, OrderedPair, PairRates, Scheduler, Topology,
     };
+    pub use crate::symmetry::StateSymmetry;
     pub use crate::time::{Interactions, ParallelTime};
     pub use crate::trace::{Trace, TraceEvent};
 }

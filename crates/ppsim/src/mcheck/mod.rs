@@ -115,9 +115,12 @@
 //! assert!((exact.expected_interactions - 16.0).abs() < 1e-9);
 //! ```
 
+mod store;
+
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::path::PathBuf;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -127,8 +130,11 @@ use crate::config::Configuration;
 use crate::faults::{CorruptionTarget, FaultPlan};
 use crate::protocol::Protocol;
 use crate::scheduler::{IndexRates, InteractionScheduler};
+use crate::symmetry::StateSymmetry;
 use crate::time::Interactions;
 use crate::trace::Trace;
+
+use store::{hash_counts, ConfigStore, EdgeStore, HashIndex};
 
 /// The per-protocol definition of a **correct** configuration — the target
 /// predicate the exhaustive verification proves every configuration reaches.
@@ -146,19 +152,32 @@ pub trait CorrectnessOracle: Protocol {
 }
 
 /// Tuning knobs and capacity guards for the model checker.
-#[derive(Clone, Copy, PartialEq, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct MCheckOptions {
     /// Dense-lattice capacity guard: [`check_self_stabilization`] refuses
     /// state spaces whose full lattice exceeds this many configurations
-    /// (use the sparse [`check_convergence_from`] for those).
+    /// (use [`check_self_stabilization_quotient`] or the sparse
+    /// [`check_convergence_from`] for those).
     pub max_configurations: u64,
     /// Sparse-exploration capacity guard: reachable-closure workloads refuse
-    /// to grow beyond this many configurations.
+    /// to grow beyond this many configurations (orbit representatives when
+    /// the symmetry quotient is active).
     pub max_reachable: usize,
     /// Relative convergence tolerance of the Gauss–Seidel solve.
     pub tolerance: f64,
     /// Sweep budget of the Gauss–Seidel solve.
     pub max_sweeps: usize,
+    /// Whether to quotient the configuration space by the protocol's
+    /// declared [`StateSymmetry`] (validated, never trusted). Only the
+    /// uniform scheduler is quotiented — pair rates can break a state
+    /// symmetry, so weighted explorations always run unquotiented.
+    pub use_symmetry: bool,
+    /// Resident-set bound (in bytes) for the successor-edge store of
+    /// reachable-closure workloads; past it, edges spill to a self-deleting
+    /// temp file and the distance/solve passes stream from disk.
+    pub max_resident_bytes: usize,
+    /// Directory for spill files; `None` uses [`std::env::temp_dir`].
+    pub spill_dir: Option<PathBuf>,
 }
 
 impl Default for MCheckOptions {
@@ -168,6 +187,9 @@ impl Default for MCheckOptions {
             max_reachable: 4_000_000,
             tolerance: 1e-12,
             max_sweeps: 20_000,
+            use_symmetry: true,
+            max_resident_bytes: 2 << 30,
+            spill_dir: None,
         }
     }
 }
@@ -228,6 +250,28 @@ pub enum MCheckError {
     /// Every pair rate of the weighted scheduler is zero: the interaction
     /// measure is empty and no pair can ever be scheduled.
     ZeroRateScheduler,
+    /// The protocol's declared [`StateSymmetry`] is not an automorphism
+    /// group of its transition structure (or its correctness oracle): some
+    /// generator fails to commute with the transition function, the null
+    /// predicate, or the oracle, or the declaration itself is malformed.
+    /// Quotienting under such a group would prove statements about the wrong
+    /// chain, so the checker refuses.
+    UnsoundSymmetry {
+        /// What failed, with the offending generator and state pair.
+        detail: String,
+    },
+    /// An I/O error in the spill store backing an over-budget
+    /// reachable-closure workload (temp-file creation, write, or read).
+    SpillIo {
+        /// The underlying I/O error.
+        detail: String,
+    },
+}
+
+impl MCheckError {
+    fn from_spill(e: std::io::Error) -> Self {
+        MCheckError::SpillIo { detail: e.to_string() }
+    }
 }
 
 impl fmt::Display for MCheckError {
@@ -267,6 +311,12 @@ impl fmt::Display for MCheckError {
             ),
             MCheckError::ZeroRateScheduler => {
                 write!(f, "every pair rate is zero; the scheduler can never select a pair")
+            }
+            MCheckError::UnsoundSymmetry { detail } => {
+                write!(f, "declared state symmetry is not an automorphism group: {detail}")
+            }
+            MCheckError::SpillIo { detail } => {
+                write!(f, "spill store I/O failed: {detail}")
             }
         }
     }
@@ -438,6 +488,9 @@ pub struct ModelChecker<P: EnumerableProtocol> {
     moves: Vec<Option<(u32, u32)>>,
     /// Source pairs grouped by their target pair, for predecessor walks.
     moves_by_target: HashMap<(u32, u32), Vec<(u32, u32)>>,
+    /// The protocol's declared state symmetry, validated against the
+    /// transition structure in [`ModelChecker::new`].
+    symmetry: StateSymmetry,
 }
 
 impl<P: EnumerableProtocol> ModelChecker<P> {
@@ -450,7 +503,11 @@ impl<P: EnumerableProtocol> ModelChecker<P> {
     /// [`MCheckError::RandomizedTransition`] if differently seeded probe
     /// evaluations of a pair transition disagree (see the variant docs for
     /// the probe's limits); [`MCheckError::UnsoundNull`] if a pair claimed
-    /// null is changed by its transition.
+    /// null is changed by its transition;
+    /// [`MCheckError::UnsoundSymmetry`] if the protocol's declared
+    /// [`StateSymmetry`] is malformed or some generator fails to commute
+    /// with the transition function or the null predicate over any state
+    /// pair (checked exhaustively — `k²` pairs per generator).
     pub fn new(protocol: P) -> Result<Self, MCheckError> {
         let n = protocol.population_size();
         let k = protocol.num_states();
@@ -494,7 +551,50 @@ impl<P: EnumerableProtocol> ModelChecker<P> {
                 }
             }
         }
-        Ok(ModelChecker { protocol, n, k, decoded, null, moves, moves_by_target })
+        let symmetry = protocol.state_symmetry();
+        if let Err(detail) = symmetry.validate_shape(k) {
+            return Err(MCheckError::UnsoundSymmetry { detail });
+        }
+        for (g, perm) in symmetry.generators(k).iter().enumerate() {
+            let mut seen = vec![false; k];
+            for &image in perm {
+                if image >= k || std::mem::replace(&mut seen[image], true) {
+                    return Err(MCheckError::UnsoundSymmetry {
+                        detail: format!("generator {g} is not a permutation of 0..{k}"),
+                    });
+                }
+            }
+            for i in 0..k {
+                for j in 0..k {
+                    let (pi, pj) = (perm[i], perm[j]);
+                    if null[i * k + j] != null[pi * k + pj] {
+                        return Err(MCheckError::UnsoundSymmetry {
+                            detail: format!(
+                                "generator {g} breaks null-equivariance on state pair \
+                                 ({i}, {j}) ↦ ({pi}, {pj})"
+                            ),
+                        });
+                    }
+                    if let Some((i2, j2)) = moves[i * k + j] {
+                        let image = Some((perm[i2 as usize] as u32, perm[j2 as usize] as u32));
+                        if moves[pi * k + pj] != image {
+                            return Err(MCheckError::UnsoundSymmetry {
+                                detail: format!(
+                                    "generator {g} breaks transition-equivariance on state \
+                                     pair ({i}, {j}): σ·δ(i, j) ≠ δ(σ·i, σ·j)"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(ModelChecker { protocol, n, k, decoded, null, moves, moves_by_target, symmetry })
+    }
+
+    /// The protocol's validated state symmetry.
+    pub fn symmetry(&self) -> &StateSymmetry {
+        &self.symmetry
     }
 
     /// The protocol under verification.
@@ -556,6 +656,37 @@ impl<P: EnumerableProtocol> ModelChecker<P> {
     pub fn is_silent(&self, counts: &[u32]) -> bool {
         let present = present_states(counts);
         self.active_pairs(counts, &present) == 0
+    }
+
+    /// Checks that the correctness oracle gives the same verdict on `counts`
+    /// and on its image under every generator in `gens` — the orbit-
+    /// invariance a sound quotient proof needs (transition equivariance is
+    /// already validated in [`ModelChecker::new`]; the oracle can only be
+    /// probed on the configurations the caller actually classifies).
+    /// `image` is `k`-length scratch.
+    fn oracle_invariant_under(
+        &self,
+        counts: &[u32],
+        gens: &[Vec<usize>],
+        image: &mut [u32],
+    ) -> Result<(), MCheckError>
+    where
+        P: CorrectnessOracle,
+    {
+        let verdict = self.protocol.is_correct(&self.configuration_of_counts(counts));
+        for (g, perm) in gens.iter().enumerate() {
+            for (i, &c) in counts.iter().enumerate() {
+                image[perm[i]] = c;
+            }
+            if self.protocol.is_correct(&self.configuration_of_counts(image)) != verdict {
+                return Err(MCheckError::UnsoundSymmetry {
+                    detail: format!(
+                        "correctness oracle is not orbit-invariant under generator {g}"
+                    ),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Calls `f(i, j, weight, successor_counts)` for every distinct successor
@@ -845,28 +976,228 @@ pub fn check_self_stabilization<P: EnumerableProtocol + CorrectnessOracle>(
     })
 }
 
-/// The sparse, hash-indexed reachable closure of a seed set: the fallback
-/// representation for state spaces whose full lattice exceeds the dense
-/// guard, and the substrate of the exact expected-time solve.
+/// The verdict of an exhaustive self-stabilization proof over the **full**
+/// configuration lattice, computed on the quotient by the protocol's
+/// validated [`StateSymmetry`]; see [`check_self_stabilization_quotient`].
+///
+/// Because the quotient chain is an exact lumping of the full chain (the
+/// group is validated to commute with the transition structure, and the
+/// oracle is probed for orbit-invariance on every classified orbit), the
+/// verdict is a statement about **every** configuration, exactly as with
+/// [`check_self_stabilization`] — only the working set shrinks, from
+/// `C(n + k − 1, k − 1)` configurations to the orbit count.
+#[derive(Clone, PartialEq, Debug)]
+pub struct QuotientStabilizationReport<S> {
+    /// Full-lattice size `C(n + k − 1, k − 1)` the verdict covers.
+    pub configurations: u128,
+    /// Orbit representatives actually enumerated and classified.
+    pub orbits: u64,
+    /// Order of the validated symmetry group.
+    pub group_order: u128,
+    /// Silent orbits (silence is orbit-invariant by null-equivariance).
+    pub silent: u64,
+    /// Correct orbits (the oracle is probed for orbit-invariance).
+    pub correct: u64,
+    /// Orbits that are silent but not correct.
+    pub silent_incorrect: u64,
+    /// Orbits that are correct but not silent.
+    pub correct_nonsilent: u64,
+    /// Orbits that cannot reach a correct silent orbit.
+    pub non_convergent: u64,
+    /// A silent-but-incorrect representative, if any.
+    pub silent_incorrect_witness: Option<Configuration<S>>,
+    /// A correct-but-nonsilent representative, if any.
+    pub correct_nonsilent_witness: Option<Configuration<S>>,
+    /// A representative that cannot converge, if any.
+    pub non_convergent_witness: Option<Configuration<S>>,
+}
+
+impl<S> QuotientStabilizationReport<S> {
+    /// Whether the protocol is verified: over the full lattice, silent ⟺
+    /// correct and every configuration converges.
+    pub fn verified(&self) -> bool {
+        self.silent_incorrect == 0 && self.correct_nonsilent == 0 && self.non_convergent == 0
+    }
+}
+
+/// Proves self-stabilization over the **full** configuration lattice on the
+/// symmetry quotient: enumerates only canonical orbit representatives
+/// (odometer sweep, skipping non-canonical vectors in place), classifies
+/// each orbit, builds the quotient successor relation, and runs the
+/// backward-reachability pass from the correct silent orbits. With the
+/// identity symmetry this degenerates to a (compressed) dense check.
+///
+/// Capacity guards: the enumeration still *walks* the full lattice once, so
+/// its size is guarded by `max_configurations × |G|` (time); the orbit
+/// count — the actual working set — is guarded by `max_reachable` (memory),
+/// and the quotient successor store spills past `max_resident_bytes`.
+///
+/// # Errors
+///
+/// [`MCheckError::SpaceTooLarge`] / [`MCheckError::ReachableTooLarge`] past
+/// the guards, [`MCheckError::UnsoundSymmetry`] if the oracle is not
+/// orbit-invariant (transition equivariance is validated by
+/// [`ModelChecker::new`]), plus the construction errors of
+/// [`ModelChecker::new`].
+pub fn check_self_stabilization_quotient<P: EnumerableProtocol + CorrectnessOracle>(
+    protocol: P,
+    options: &MCheckOptions,
+) -> Result<QuotientStabilizationReport<P::State>, MCheckError> {
+    let checker = ModelChecker::new(protocol)?;
+    let k = checker.k;
+    let n = checker.n;
+    let group_order = checker.symmetry.order(k);
+    // Time guard: the odometer touches every lattice point once (amortized
+    // O(1) plus an is-canonical test), so allow the full size to exceed
+    // the dense guard by up to the group order — the quotient's win is that
+    // only canonical representatives are stored and classified.
+    let budget = (options.max_configurations as u128)
+        .saturating_mul(group_order)
+        .min(u64::MAX as u128) as u64;
+    let lattice = Lattice::new(n, k, budget)?;
+    let symmetry = checker.symmetry.clone();
+    let gens = symmetry.generators(k);
+
+    // Pass 1: enumerate canonical representatives into the compressed store.
+    let mut store = ConfigStore::new(k);
+    let mut index = HashIndex::new();
+    let mut counts = vec![0u32; k];
+    let mut cmp = vec![0u32; k];
+    lattice.first(&mut counts);
+    loop {
+        if symmetry.is_canonical(&counts) {
+            if store.len() >= options.max_reachable {
+                return Err(MCheckError::ReachableTooLarge { limit: options.max_reachable });
+            }
+            let id = store.push(&counts);
+            index.insert(hash_counts(&counts), id);
+        }
+        if !lattice.advance(&mut counts) {
+            break;
+        }
+    }
+    let orbits = store.len() as u64;
+
+    // Pass 2: classify every orbit and build the quotient successor lists.
+    let mut succ = EdgeStore::new(options.max_resident_bytes, options.spill_dir.clone());
+    let mut active: Vec<u64> = Vec::with_capacity(store.len());
+    let mut targets = vec![false; store.len()];
+    let mut silent = 0u64;
+    let mut correct = 0u64;
+    let mut silent_incorrect = 0u64;
+    let mut correct_nonsilent = 0u64;
+    let mut silent_incorrect_witness = None;
+    let mut correct_nonsilent_witness = None;
+    let mut scratch = vec![0u32; k];
+    let mut canon = vec![0u32; k];
+    let mut image = vec![0u32; k];
+    let mut local: Vec<(u32, u64)> = Vec::new();
+    for id in 0..store.len() as u32 {
+        store.get(id, &mut counts);
+        checker.oracle_invariant_under(&counts, &gens, &mut image)?;
+        let present = present_states(&counts);
+        local.clear();
+        checker.for_each_successor(&counts, &present, &mut scratch, |_, _, w, succ_counts| {
+            canon.copy_from_slice(succ_counts);
+            symmetry.canonicalize(&mut canon);
+            let t = index
+                .lookup(hash_counts(&canon), |cand| {
+                    store.get(cand, &mut cmp);
+                    cmp[..] == canon[..]
+                })
+                .expect("every canonical successor was enumerated in pass 1");
+            match local.iter_mut().find(|(s, _)| *s == t) {
+                Some((_, acc)) => *acc += w,
+                None => local.push((t, w)),
+            }
+        });
+        let a: u64 = local.iter().map(|&(_, w)| w).sum();
+        debug_assert_eq!(a, checker.active_pairs(&counts, &present));
+        let is_silent = a == 0;
+        let is_correct = checker.protocol.is_correct(&checker.configuration_of_counts(&counts));
+        if is_silent {
+            silent += 1;
+        }
+        if is_correct {
+            correct += 1;
+        }
+        match (is_silent, is_correct) {
+            (true, true) => targets[id as usize] = true,
+            (true, false) => {
+                silent_incorrect += 1;
+                if silent_incorrect_witness.is_none() {
+                    silent_incorrect_witness = Some(checker.configuration_of_counts(&counts));
+                }
+            }
+            (false, true) => {
+                correct_nonsilent += 1;
+                if correct_nonsilent_witness.is_none() {
+                    correct_nonsilent_witness = Some(checker.configuration_of_counts(&counts));
+                }
+            }
+            (false, false) => {}
+        }
+        active.push(a);
+        succ.push_state(&local).map_err(MCheckError::from_spill)?;
+    }
+    succ.seal().map_err(MCheckError::from_spill)?;
+
+    // Pass 3: backward reachability from the correct silent orbits, reusing
+    // the reachable-space machinery (resident reverse BFS or spilled
+    // fixpoint scans).
+    let quotient = !symmetry.is_identity();
+    let space = ReachableSpace { checker, store, succ, active, totals: None, quotient };
+    let mut reached = targets;
+    space.extend_reverse_reachable(&mut reached)?;
+    let non_convergent = reached.iter().filter(|&&r| !r).count() as u64;
+    let non_convergent_witness = reached.iter().position(|&r| !r).map(|s| {
+        space.counts_into(s as u32, &mut counts);
+        space.checker.configuration_of_counts(&counts)
+    });
+
+    Ok(QuotientStabilizationReport {
+        configurations: lattice_size(n, k).unwrap_or(u128::MAX),
+        orbits,
+        group_order,
+        silent,
+        correct,
+        silent_incorrect,
+        correct_nonsilent,
+        non_convergent,
+        silent_incorrect_witness,
+        correct_nonsilent_witness,
+        non_convergent_witness,
+    })
+}
+
+/// The compressed reachable closure of a seed set — the checker's default
+/// substrate. Count vectors live in a delta/varint `ConfigStore`, successor
+/// lists in a spillable `EdgeStore`, and when the protocol declares a
+/// nontrivial (validated) [`StateSymmetry`] and the scheduler is uniform,
+/// the states are canonical orbit representatives of the symmetry quotient,
+/// so the working set is proportional to reachable *orbits*.
 pub struct ReachableSpace<P: EnumerableProtocol> {
     checker: ModelChecker<P>,
-    /// Count vectors, `k`-strided, in discovery (BFS) order.
-    flat: Vec<u32>,
+    /// Count vectors in discovery (BFS) order, delta/varint compressed.
+    store: ConfigStore,
     /// CSR successor lists: per state, `(target, weight)` with weights
     /// summing to the state's active pair weight (rate-weighted under a
-    /// weighted scheduler).
-    succ_offsets: Vec<u32>,
-    succ_edges: Vec<(u32, u64)>,
+    /// weighted scheduler); spills to disk past the resident budget.
+    succ: EdgeStore,
     /// Active pair weight per state (0 ⟺ silent under the scheduler).
     active: Vec<u64>,
     /// Total pair weight `W(c)` per state under a weighted scheduler;
     /// `None` under the uniform scheduler, where it is the constant
     /// `n(n−1)`.
     totals: Option<Vec<u64>>,
+    /// Whether states are canonical orbit representatives of the declared
+    /// symmetry's quotient (uniform scheduler + nontrivial validated group).
+    quotient: bool,
 }
 
 impl<P: EnumerableProtocol> ReachableSpace<P> {
-    /// Number of reachable configurations.
+    /// Number of reachable configurations (orbit representatives when
+    /// [`ReachableSpace::quotient`] is true).
     pub fn len(&self) -> usize {
         self.active.len()
     }
@@ -886,14 +1217,19 @@ impl<P: EnumerableProtocol> ReachableSpace<P> {
         &self.checker
     }
 
-    fn counts(&self, state: u32) -> &[u32] {
-        let k = self.checker.k;
-        &self.flat[state as usize * k..(state as usize + 1) * k]
+    /// Whether the closure was built on the symmetry quotient (states are
+    /// orbit representatives rather than raw configurations).
+    pub fn quotient(&self) -> bool {
+        self.quotient
     }
 
-    fn successors(&self, state: u32) -> &[(u32, u64)] {
-        &self.succ_edges[self.succ_offsets[state as usize] as usize
-            ..self.succ_offsets[state as usize + 1] as usize]
+    /// Whether the successor store spilled to disk.
+    pub fn spilled(&self) -> bool {
+        self.succ.is_spilled()
+    }
+
+    fn counts_into(&self, state: u32, out: &mut [u32]) {
+        self.store.get(state, out);
     }
 
     /// Total pair weight of a state: the numerator of the expected null-run
@@ -912,29 +1248,69 @@ impl<P: EnumerableProtocol> ReachableSpace<P> {
     /// BFS distances to the nearest silent state over the *forward* relation
     /// (i.e. along the arrow of time), `u32::MAX` for states that cannot
     /// reach silence.
-    fn distance_to_silence(&self) -> Vec<u32> {
-        // Reverse adjacency by counting sort over the forward edges.
+    ///
+    /// Resident stores build the reverse adjacency by counting sort and run
+    /// one multi-source BFS; spilled stores cannot afford the reverse edge
+    /// array, so they run sequential relaxation scans to a fixpoint (at most
+    /// `max-distance + 1` passes over the edge file).
+    fn distance_to_silence(&self) -> Result<Vec<u32>, MCheckError> {
         let states = self.len();
-        let mut indegree = vec![0u32; states + 1];
-        for &(t, _) in &self.succ_edges {
-            indegree[t as usize + 1] += 1;
-        }
-        for i in 0..states {
-            indegree[i + 1] += indegree[i];
-        }
-        let mut rev = vec![0u32; self.succ_edges.len()];
-        let mut cursor = indegree.clone();
-        for (s, window) in self.succ_offsets.windows(2).enumerate() {
-            for &(t, _) in &self.succ_edges[window[0] as usize..window[1] as usize] {
-                rev[cursor[t as usize] as usize] = s as u32;
-                cursor[t as usize] += 1;
-            }
-        }
         let mut dist = vec![u32::MAX; states];
-        let mut queue = VecDeque::new();
         for (s, &a) in self.active.iter().enumerate() {
             if a == 0 {
                 dist[s] = 0;
+            }
+        }
+        if self.succ.is_spilled() {
+            loop {
+                let mut changed = false;
+                self.succ
+                    .for_each_state(|s, edges| {
+                        if self.active[s as usize] == 0 {
+                            return;
+                        }
+                        let mut best = u32::MAX;
+                        for &(t, _) in edges {
+                            best = best.min(dist[t as usize]);
+                        }
+                        if best != u32::MAX && best.saturating_add(1) < dist[s as usize] {
+                            dist[s as usize] = best + 1;
+                            changed = true;
+                        }
+                    })
+                    .map_err(MCheckError::from_spill)?;
+                if !changed {
+                    break;
+                }
+            }
+            return Ok(dist);
+        }
+        // Reverse adjacency by counting sort over the forward edges.
+        let edge_count = self.succ.edge_count() as usize;
+        let mut indegree = vec![0u32; states + 1];
+        self.succ
+            .for_each_state(|_, edges| {
+                for &(t, _) in edges {
+                    indegree[t as usize + 1] += 1;
+                }
+            })
+            .map_err(MCheckError::from_spill)?;
+        for i in 0..states {
+            indegree[i + 1] += indegree[i];
+        }
+        let mut rev = vec![0u32; edge_count];
+        let mut cursor = indegree.clone();
+        self.succ
+            .for_each_state(|s, edges| {
+                for &(t, _) in edges {
+                    rev[cursor[t as usize] as usize] = s;
+                    cursor[t as usize] += 1;
+                }
+            })
+            .map_err(MCheckError::from_spill)?;
+        let mut queue = VecDeque::new();
+        for (s, &d) in dist.iter().enumerate() {
+            if d == 0 {
                 queue.push_back(s as u32);
             }
         }
@@ -947,7 +1323,67 @@ impl<P: EnumerableProtocol> ReachableSpace<P> {
                 }
             }
         }
-        dist
+        Ok(dist)
+    }
+
+    /// Marks every state that can reach a state marked in `reached` (which
+    /// is extended in place): resident stores run a reverse BFS over a
+    /// counting-sorted reverse adjacency; spilled stores run sequential
+    /// fixpoint scans.
+    fn extend_reverse_reachable(&self, reached: &mut [bool]) -> Result<(), MCheckError> {
+        let states = self.len();
+        if self.succ.is_spilled() {
+            loop {
+                let mut changed = false;
+                self.succ
+                    .for_each_state(|s, edges| {
+                        if reached[s as usize] {
+                            return;
+                        }
+                        if edges.iter().any(|&(t, _)| reached[t as usize]) {
+                            reached[s as usize] = true;
+                            changed = true;
+                        }
+                    })
+                    .map_err(MCheckError::from_spill)?;
+                if !changed {
+                    return Ok(());
+                }
+            }
+        }
+        let edge_count = self.succ.edge_count() as usize;
+        let mut indegree = vec![0u32; states + 1];
+        self.succ
+            .for_each_state(|_, edges| {
+                for &(t, _) in edges {
+                    indegree[t as usize + 1] += 1;
+                }
+            })
+            .map_err(MCheckError::from_spill)?;
+        for i in 0..states {
+            indegree[i + 1] += indegree[i];
+        }
+        let mut rev = vec![0u32; edge_count];
+        let mut cursor = indegree.clone();
+        self.succ
+            .for_each_state(|s, edges| {
+                for &(t, _) in edges {
+                    rev[cursor[t as usize] as usize] = s;
+                    cursor[t as usize] += 1;
+                }
+            })
+            .map_err(MCheckError::from_spill)?;
+        let mut queue: VecDeque<u32> =
+            reached.iter().enumerate().filter(|(_, &r)| r).map(|(s, _)| s as u32).collect();
+        while let Some(t) = queue.pop_front() {
+            for &s in &rev[indegree[t as usize] as usize..indegree[t as usize + 1] as usize] {
+                if !reached[s as usize] {
+                    reached[s as usize] = true;
+                    queue.push_back(s);
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -981,46 +1417,59 @@ fn explore_reachable_with_rates<P: EnumerableProtocol>(
     let checker = ModelChecker::new(protocol)?;
     let k = checker.k;
     let total_pairs = checker.n as u64 * (checker.n as u64 - 1);
-    let mut flat: Vec<u32> = Vec::new();
-    let mut index: HashMap<Box<[u32]>, u32> = HashMap::new();
-    let mut succ_offsets: Vec<u32> = vec![0];
-    let mut succ_edges: Vec<(u32, u64)> = Vec::new();
+    // Quotient only the uniform chain: pair rates are indexed by raw state,
+    // so a weighted measure need not be orbit-invariant even when the
+    // transition structure is.
+    let quotient = options.use_symmetry && rates.is_none() && !checker.symmetry.is_identity();
+    let mut store = ConfigStore::new(k);
+    let mut index = HashIndex::new();
+    let mut succ = EdgeStore::new(options.max_resident_bytes, options.spill_dir.clone());
     let mut active: Vec<u64> = Vec::new();
     let mut totals: Option<Vec<u64>> = rates.as_ref().map(|_| Vec::new());
     let mut frontier: VecDeque<u32> = VecDeque::new();
+    let mut cmp = vec![0u32; k];
 
     let intern = |counts: &[u32],
-                  flat: &mut Vec<u32>,
-                  index: &mut HashMap<Box<[u32]>, u32>,
-                  frontier: &mut VecDeque<u32>|
+                  store: &mut ConfigStore,
+                  index: &mut HashIndex,
+                  frontier: &mut VecDeque<u32>,
+                  cmp: &mut [u32]|
      -> Result<u32, MCheckError> {
-        if let Some(&id) = index.get(counts) {
+        let hash = hash_counts(counts);
+        let found = index.lookup(hash, |id| {
+            store.get(id, cmp);
+            cmp[..] == counts[..]
+        });
+        if let Some(id) = found {
             return Ok(id);
         }
-        if index.len() >= options.max_reachable {
+        if store.len() >= options.max_reachable {
             return Err(MCheckError::ReachableTooLarge { limit: options.max_reachable });
         }
-        let id = index.len() as u32;
-        index.insert(counts.into(), id);
-        flat.extend_from_slice(counts);
+        let id = store.push(counts);
+        index.insert(hash, id);
         frontier.push_back(id);
         Ok(id)
     };
 
     for seed in seeds {
-        let counts = checker.counts_of_configuration(seed);
-        intern(&counts, &mut flat, &mut index, &mut frontier)?;
+        let mut counts = checker.counts_of_configuration(seed);
+        if quotient {
+            checker.symmetry.canonicalize(&mut counts);
+        }
+        intern(&counts, &mut store, &mut index, &mut frontier, &mut cmp)?;
     }
     let mut scratch = vec![0u32; k];
+    let mut canon = vec![0u32; k];
     let mut counts = vec![0u32; k];
     let mut counts64 = vec![0u64; k];
     let mut local: Vec<(u32, u64)> = Vec::new();
     while let Some(id) = frontier.pop_front() {
-        counts.copy_from_slice(&flat[id as usize * k..(id as usize + 1) * k]);
+        store.get(id, &mut counts);
         let present = present_states(&counts);
         local.clear();
         let mut error = None;
-        checker.for_each_successor(&counts, &present, &mut scratch, |i, j, w, succ| {
+        checker.for_each_successor(&counts, &present, &mut scratch, |i, j, w, succ_counts| {
             if error.is_some() {
                 return;
             }
@@ -1032,7 +1481,17 @@ fn explore_reachable_with_rates<P: EnumerableProtocol>(
                     None => panic!("weighted pair term overflows u64; scale the rates down"),
                 },
             };
-            match intern(succ, &mut flat, &mut index, &mut frontier) {
+            // Lump the successor onto its orbit representative: weights of
+            // orbit-equivalent successors accumulate on one target, which is
+            // exactly the lumped (quotient) chain's transition weight.
+            let target: &[u32] = if quotient {
+                canon.copy_from_slice(succ_counts);
+                checker.symmetry.canonicalize(&mut canon);
+                &canon
+            } else {
+                succ_counts
+            };
+            match intern(target, &mut store, &mut index, &mut frontier, &mut cmp) {
                 Ok(t) => match local.iter_mut().find(|(s, _)| *s == t) {
                     Some((_, acc)) => *acc += w,
                     None => local.push((t, w)),
@@ -1058,11 +1517,10 @@ fn explore_reachable_with_rates<P: EnumerableProtocol>(
             debug_assert!(a <= w, "active pair weight is bounded by the total measure");
             totals.push(w);
         }
-        succ_edges.extend_from_slice(&local);
-        succ_offsets.push(succ_edges.len() as u32);
+        succ.push_state(&local).map_err(MCheckError::from_spill)?;
     }
-    drop(index);
-    Ok(ReachableSpace { checker, flat, succ_offsets, succ_edges, active, totals })
+    succ.seal().map_err(MCheckError::from_spill)?;
+    Ok(ReachableSpace { checker, store, succ, active, totals, quotient })
 }
 
 /// The exact expected silence time of an initial configuration, solved from
@@ -1073,12 +1531,18 @@ pub struct ExactSilenceTime {
     pub expected_interactions: f64,
     /// Expected parallel time until silence (`interactions / n`).
     pub expected_parallel: f64,
-    /// Size of the reachable closure the system was solved on.
+    /// Size of the reachable closure the system was solved on (orbit
+    /// representatives when the symmetry quotient was active).
     pub states: usize,
     /// Gauss–Seidel sweeps used.
     pub sweeps: usize,
     /// Final residual (maximum relative update of the last sweep).
     pub residual: f64,
+    /// Whether the closure was built on the symmetry quotient.
+    pub quotient: bool,
+    /// Whether the successor store spilled to disk and the solve streamed
+    /// its sweeps from the distance-ordered edge file.
+    pub spilled: bool,
 }
 
 /// Solves for the **exact** expected number of interactions until silence
@@ -1149,40 +1613,46 @@ fn solve_silence_time<P: EnumerableProtocol>(
     options: &MCheckOptions,
 ) -> Result<ExactSilenceTime, MCheckError> {
     let n = space.checker.n as f64;
-    let dist = space.distance_to_silence();
+    let dist = space.distance_to_silence()?;
     if dist.contains(&u32::MAX) {
         return Err(MCheckError::NonConvergent);
     }
     // Gauss–Seidel in increasing distance-to-silence order: states whose
     // successors are (mostly) closer to absorption are updated after them,
-    // so value information flows backward from the absorbing states.
+    // so value information flows backward from the absorbing states. A
+    // spilled store materializes one distance-ordered copy of the edge file
+    // so every sweep is a single sequential scan.
     let mut order: Vec<u32> = (0..space.len() as u32).collect();
     order.sort_by_key(|&s| dist[s as usize]);
+    let sweeper = space.succ.ordered(&order).map_err(MCheckError::from_spill)?;
     let mut e = vec![0.0f64; space.len()];
     let mut residual = f64::INFINITY;
     let mut sweeps = 0usize;
     while sweeps < options.max_sweeps {
         sweeps += 1;
-        residual = 0.0;
-        for &s in &order {
-            let a = space.active[s as usize];
-            if a == 0 {
-                continue;
-            }
-            let mut acc = space.total_weight_of(s as usize) / a as f64;
-            let mut self_weight = 0u64;
-            for &(t, w) in space.successors(s) {
-                if t == s {
-                    self_weight += w;
-                } else {
-                    acc += w as f64 / a as f64 * e[t as usize];
+        let mut sweep_residual = 0.0f64;
+        sweeper
+            .sweep(|s, edges| {
+                let a = space.active[s as usize];
+                if a == 0 {
+                    return;
                 }
-            }
-            let value = acc / (1.0 - self_weight as f64 / a as f64);
-            let delta = (value - e[s as usize]).abs() / value.abs().max(1.0);
-            residual = residual.max(delta);
-            e[s as usize] = value;
-        }
+                let mut acc = space.total_weight_of(s as usize) / a as f64;
+                let mut self_weight = 0u64;
+                for &(t, w) in edges {
+                    if t == s {
+                        self_weight += w;
+                    } else {
+                        acc += w as f64 / a as f64 * e[t as usize];
+                    }
+                }
+                let value = acc / (1.0 - self_weight as f64 / a as f64);
+                let delta = (value - e[s as usize]).abs() / value.abs().max(1.0);
+                sweep_residual = sweep_residual.max(delta);
+                e[s as usize] = value;
+            })
+            .map_err(MCheckError::from_spill)?;
+        residual = sweep_residual;
         if residual <= options.tolerance {
             break;
         }
@@ -1197,6 +1667,8 @@ fn solve_silence_time<P: EnumerableProtocol>(
         states: space.len(),
         sweeps,
         residual,
+        quotient: space.quotient,
+        spilled: space.spilled(),
     })
 }
 
@@ -1241,36 +1713,27 @@ pub fn check_convergence_from<P: EnumerableProtocol + CorrectnessOracle>(
 ) -> Result<ReachabilityReport<P::State>, MCheckError> {
     let space = explore_reachable(protocol, seeds, options)?;
     let states = space.len();
-    // Reverse reachability from the correct silent states over the forward
-    // CSR (reverse adjacency via counting sort, as in distance_to_silence,
-    // but seeded only with the *correct* silent states).
-    let mut indegree = vec![0u32; states + 1];
-    for &(t, _) in &space.succ_edges {
-        indegree[t as usize + 1] += 1;
-    }
-    for i in 0..states {
-        indegree[i + 1] += indegree[i];
-    }
-    let mut rev = vec![0u32; space.succ_edges.len()];
-    let mut cursor = indegree.clone();
-    for (s, window) in space.succ_offsets.windows(2).enumerate() {
-        for &(t, _) in &space.succ_edges[window[0] as usize..window[1] as usize] {
-            rev[cursor[t as usize] as usize] = s as u32;
-            cursor[t as usize] += 1;
-        }
-    }
+    let k = space.checker.k;
+    // A quotient proof additionally needs the oracle to be orbit-invariant;
+    // transition equivariance was validated when the checker was built, so
+    // the oracle is probed here on every classified (silent) representative.
+    let gens = if space.quotient { space.checker.symmetry.generators(k) } else { Vec::new() };
+    let mut image = vec![0u32; k];
+    let mut counts = vec![0u32; k];
+    // Reverse reachability from the *correct* silent states over the
+    // forward relation.
     let mut silent = 0usize;
     let mut silent_incorrect = 0usize;
     let mut witness = None;
     let mut reached = vec![false; states];
-    let mut queue = VecDeque::new();
     for (s, slot) in reached.iter_mut().enumerate() {
         if space.active[s] == 0 {
             silent += 1;
-            let config = space.checker.configuration_of_counts(space.counts(s as u32));
+            space.counts_into(s as u32, &mut counts);
+            space.checker.oracle_invariant_under(&counts, &gens, &mut image)?;
+            let config = space.checker.configuration_of_counts(&counts);
             if space.checker.protocol.is_correct(&config) {
                 *slot = true;
-                queue.push_back(s as u32);
             } else {
                 silent_incorrect += 1;
                 if witness.is_none() {
@@ -1279,18 +1742,12 @@ pub fn check_convergence_from<P: EnumerableProtocol + CorrectnessOracle>(
             }
         }
     }
-    while let Some(t) = queue.pop_front() {
-        for &s in &rev[indegree[t as usize] as usize..indegree[t as usize + 1] as usize] {
-            if !reached[s as usize] {
-                reached[s as usize] = true;
-                queue.push_back(s);
-            }
-        }
-    }
+    space.extend_reverse_reachable(&mut reached)?;
     let non_convergent = reached.iter().filter(|&&r| !r).count();
     if witness.is_none() {
         if let Some(s) = reached.iter().position(|&r| !r) {
-            witness = Some(space.checker.configuration_of_counts(space.counts(s as u32)));
+            space.counts_into(s as u32, &mut counts);
+            witness = Some(space.checker.configuration_of_counts(&counts));
         }
     }
     Ok(ReachabilityReport { states, silent, silent_incorrect, non_convergent, witness })
@@ -1786,6 +2243,9 @@ mod tests {
             MCheckError::SchedulerNeedsIdentities { scheduler: "ring graph".to_owned() }
                 .to_string(),
             MCheckError::ZeroRateScheduler.to_string(),
+            MCheckError::UnsoundSymmetry { detail: "generator 0 on pair (1, 2)".to_owned() }
+                .to_string(),
+            MCheckError::SpillIo { detail: "disk full".to_owned() }.to_string(),
         ];
         for m in messages {
             assert!(!m.is_empty());

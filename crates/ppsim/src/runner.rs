@@ -100,536 +100,6 @@ where
     results.into_iter().map(|r| r.expect("every trial slot is filled")).collect()
 }
 
-/// Runs `plan.trials` independent to-silence executions through the chosen
-/// [`crate::Engine`], in parallel, returning the per-trial
-/// [`crate::EngineReport`]s in trial order.
-///
-/// `setup` receives the trial index and derived seed and builds the
-/// `(protocol, initial configuration)` pair for that trial; the same seed
-/// also drives the engine's scheduler, so a report is reproducible from the
-/// plan alone. This is the one entry point experiments should use so that a
-/// workload can switch between the exact and batched engines without
-/// restructuring.
-///
-/// # Example
-///
-/// ```
-/// use ppsim::prelude::*;
-/// use rand::RngCore;
-///
-/// #[derive(Clone, Copy)]
-/// struct Frat {
-///     n: usize,
-/// }
-/// impl Protocol for Frat {
-///     type State = u8;
-///     fn population_size(&self) -> usize {
-///         self.n
-///     }
-///     fn transition(&self, a: &u8, b: &u8, _rng: &mut dyn RngCore) -> (u8, u8) {
-///         if *a == 0 && *b == 0 { (0, 1) } else { (*a, *b) }
-///     }
-///     fn is_null(&self, a: &u8, b: &u8) -> bool {
-///         !(*a == 0 && *b == 0)
-///     }
-/// }
-/// impl EnumerableProtocol for Frat {
-///     fn num_states(&self) -> usize {
-///         2
-///     }
-///     fn state_index(&self, s: &u8) -> usize {
-///         *s as usize
-///     }
-///     fn state_from_index(&self, i: usize) -> u8 {
-///         i as u8
-///     }
-/// }
-///
-/// let plan = TrialPlan::new(4, 7);
-/// let reports = run_engine_trials(&plan, Engine::Batched, u64::MAX >> 8, |_, _| {
-///     (Frat { n: 30 }, Configuration::uniform(0u8, 30))
-/// });
-/// assert!(reports.iter().all(|r| r.outcome.is_silent()));
-/// ```
-pub fn run_engine_trials<P, F>(
-    plan: &TrialPlan,
-    engine: crate::batched::Engine,
-    budget: u64,
-    setup: F,
-) -> Vec<crate::batched::EngineReport<P::State>>
-where
-    P: crate::batched::EnumerableProtocol,
-    F: Fn(usize, u64) -> (P, crate::config::Configuration<P::State>) + Sync,
-{
-    run_trials(plan, |trial, seed| {
-        let (protocol, config) = setup(trial, seed);
-        engine.run_until_silent(protocol, &config, seed, budget)
-    })
-}
-
-/// Runs `plan.trials` independent to-silence executions of a
-/// [`crate::scenario::Scenario`] family through the chosen engine: each trial
-/// generates its family member from the trial seed and runs it to silence.
-///
-/// This is the scenario-subsystem entry point for enumerable protocols: one
-/// call sweeps an adversarial family on either the exact or the batched
-/// engine. Protocols with open state spaces (e.g. `Sublinear-Time-SSR`)
-/// use [`run_interned_scenario_trials`], which routes `Engine::Batched`
-/// through the dynamically interned backend instead.
-///
-/// # Example
-///
-/// ```
-/// use ppsim::prelude::*;
-/// use rand::RngCore;
-///
-/// #[derive(Clone, Copy)]
-/// struct Frat {
-///     n: usize,
-/// }
-/// impl Protocol for Frat {
-///     type State = u8;
-///     fn population_size(&self) -> usize {
-///         self.n
-///     }
-///     fn transition(&self, a: &u8, b: &u8, _rng: &mut dyn RngCore) -> (u8, u8) {
-///         if *a == 0 && *b == 0 { (0, 1) } else { (*a, *b) }
-///     }
-///     fn is_null(&self, a: &u8, b: &u8) -> bool {
-///         !(*a == 0 && *b == 0)
-///     }
-/// }
-/// impl EnumerableProtocol for Frat {
-///     fn num_states(&self) -> usize {
-///         2
-///     }
-///     fn state_index(&self, s: &u8) -> usize {
-///         *s as usize
-///     }
-///     fn state_from_index(&self, i: usize) -> u8 {
-///         i as u8
-///     }
-/// }
-///
-/// let all_leaders = Scenario::new("all-leader", |p: &Frat, _| Configuration::uniform(0u8, p.n));
-/// let plan = TrialPlan::new(4, 7);
-/// let reports = run_scenario_trials(&plan, Engine::Batched, u64::MAX >> 8, &all_leaders, |_, _| {
-///     Frat { n: 30 }
-/// });
-/// assert!(reports.iter().all(|r| r.outcome.is_silent()));
-/// ```
-pub fn run_scenario_trials<P, F>(
-    plan: &TrialPlan,
-    engine: crate::batched::Engine,
-    budget: u64,
-    scenario: &crate::scenario::Scenario<P>,
-    make_protocol: F,
-) -> Vec<crate::batched::EngineReport<P::State>>
-where
-    P: crate::batched::EnumerableProtocol,
-    F: Fn(usize, u64) -> P + Sync,
-{
-    run_engine_trials(plan, engine, budget, |trial, seed| {
-        let protocol = make_protocol(trial, seed);
-        let config = scenario.configuration(&protocol, seed);
-        (protocol, config)
-    })
-}
-
-/// Runs `plan.trials` independent to-silence executions of an
-/// [`crate::interned::InternableProtocol`] through the chosen engine, in
-/// parallel: the open-state-space counterpart of [`run_engine_trials`]
-/// ([`crate::batched::Engine::Batched`] routes to the dynamically interned
-/// backend instead of the statically enumerated one).
-///
-/// # Example
-///
-/// ```
-/// use ppsim::prelude::*;
-/// use rand::RngCore;
-///
-/// /// Tokens merge pairwise: (w, w) -> (2w, 0); the weights are unbounded,
-/// /// so no static enumeration exists.
-/// #[derive(Clone, Copy)]
-/// struct Merge {
-///     n: usize,
-/// }
-/// impl Protocol for Merge {
-///     type State = u64;
-///     fn population_size(&self) -> usize {
-///         self.n
-///     }
-///     fn transition(&self, a: &u64, b: &u64, _rng: &mut dyn RngCore) -> (u64, u64) {
-///         if a == b && *a > 0 { (a + b, 0) } else { (*a, *b) }
-///     }
-///     fn is_null(&self, a: &u64, b: &u64) -> bool {
-///         !(a == b && *a > 0)
-///     }
-/// }
-/// impl InternableProtocol for Merge {
-///     type NullClass = ();
-/// }
-///
-/// let plan = TrialPlan::new(4, 7);
-/// let reports = run_interned_trials(&plan, Engine::Batched, u64::MAX >> 8, |_, _| {
-///     (Merge { n: 16 }, Configuration::uniform(1u64, 16))
-/// });
-/// assert!(reports.iter().all(|r| r.outcome.is_silent()));
-/// ```
-pub fn run_interned_trials<P, F>(
-    plan: &TrialPlan,
-    engine: crate::batched::Engine,
-    budget: u64,
-    setup: F,
-) -> Vec<crate::batched::EngineReport<P::State>>
-where
-    P: crate::interned::InternableProtocol,
-    F: Fn(usize, u64) -> (P, crate::config::Configuration<P::State>) + Sync,
-{
-    run_trials(plan, |trial, seed| {
-        let (protocol, config) = setup(trial, seed);
-        engine.run_until_silent_interned(protocol, &config, seed, budget)
-    })
-}
-
-/// Runs `plan.trials` independent to-silence executions of a
-/// [`crate::scenario::Scenario`] family of an internable protocol through the
-/// chosen engine: the open-state-space counterpart of
-/// [`run_scenario_trials`].
-pub fn run_interned_scenario_trials<P, F>(
-    plan: &TrialPlan,
-    engine: crate::batched::Engine,
-    budget: u64,
-    scenario: &crate::scenario::Scenario<P>,
-    make_protocol: F,
-) -> Vec<crate::batched::EngineReport<P::State>>
-where
-    P: crate::interned::InternableProtocol,
-    F: Fn(usize, u64) -> P + Sync,
-{
-    run_interned_trials(plan, engine, budget, |trial, seed| {
-        let protocol = make_protocol(trial, seed);
-        let config = scenario.configuration(&protocol, seed);
-        (protocol, config)
-    })
-}
-
-/// Runs `plan.trials` independent to-silence executions under a
-/// [`crate::faults::FaultPlan`] through the chosen engine, in parallel,
-/// returning the per-trial [`crate::faults::FaultReport`]s in trial order:
-/// the fault-injection counterpart of [`run_engine_trials`].
-///
-/// Each trial resolves the fault plan from its own derived seed, so the
-/// corruption streams are independent across trials yet reproducible from
-/// the trial plan alone.
-pub fn run_fault_trials<P, F>(
-    plan: &TrialPlan,
-    engine: crate::batched::Engine,
-    budget: u64,
-    faults: &crate::faults::FaultPlan<P::State>,
-    setup: F,
-) -> Vec<crate::faults::FaultReport<P::State>>
-where
-    P: crate::batched::EnumerableProtocol,
-    F: Fn(usize, u64) -> (P, crate::config::Configuration<P::State>) + Sync,
-{
-    run_trials(plan, |trial, seed| {
-        let (protocol, config) = setup(trial, seed);
-        engine.run_until_silent_with_faults(protocol, &config, seed, budget, faults)
-    })
-}
-
-/// Runs `plan.trials` independent executions of a
-/// [`crate::scenario::Scenario`] family under a
-/// [`crate::faults::FaultPlan`]: each trial generates its adversarial
-/// initial configuration from the trial seed, then runs to silence with the
-/// seeded corruption stream. This is how mid-run fault plans compose with
-/// the adversarial-initialization families of [`run_scenario_trials`].
-pub fn run_scenario_fault_trials<P, F>(
-    plan: &TrialPlan,
-    engine: crate::batched::Engine,
-    budget: u64,
-    scenario: &crate::scenario::Scenario<P>,
-    faults: &crate::faults::FaultPlan<P::State>,
-    make_protocol: F,
-) -> Vec<crate::faults::FaultReport<P::State>>
-where
-    P: crate::batched::EnumerableProtocol,
-    F: Fn(usize, u64) -> P + Sync,
-{
-    run_fault_trials(plan, engine, budget, faults, |trial, seed| {
-        let protocol = make_protocol(trial, seed);
-        let config = scenario.configuration(&protocol, seed);
-        (protocol, config)
-    })
-}
-
-/// Runs `plan.trials` independent to-silence executions of an
-/// [`crate::interned::InternableProtocol`] under a
-/// [`crate::faults::FaultPlan`]: the open-state-space counterpart of
-/// [`run_fault_trials`] ([`crate::batched::Engine::Batched`] routes through
-/// the dynamically interned backend).
-pub fn run_interned_fault_trials<P, F>(
-    plan: &TrialPlan,
-    engine: crate::batched::Engine,
-    budget: u64,
-    faults: &crate::faults::FaultPlan<P::State>,
-    setup: F,
-) -> Vec<crate::faults::FaultReport<P::State>>
-where
-    P: crate::interned::InternableProtocol,
-    F: Fn(usize, u64) -> (P, crate::config::Configuration<P::State>) + Sync,
-{
-    run_trials(plan, |trial, seed| {
-        let (protocol, config) = setup(trial, seed);
-        engine.run_until_silent_interned_with_faults(protocol, &config, seed, budget, faults)
-    })
-}
-
-/// Runs a [`crate::scenario::Scenario`] family of an internable protocol
-/// under a [`crate::faults::FaultPlan`]: the open-state-space counterpart of
-/// [`run_scenario_fault_trials`].
-pub fn run_interned_scenario_fault_trials<P, F>(
-    plan: &TrialPlan,
-    engine: crate::batched::Engine,
-    budget: u64,
-    scenario: &crate::scenario::Scenario<P>,
-    faults: &crate::faults::FaultPlan<P::State>,
-    make_protocol: F,
-) -> Vec<crate::faults::FaultReport<P::State>>
-where
-    P: crate::interned::InternableProtocol,
-    F: Fn(usize, u64) -> P + Sync,
-{
-    run_interned_fault_trials(plan, engine, budget, faults, |trial, seed| {
-        let protocol = make_protocol(trial, seed);
-        let config = scenario.configuration(&protocol, seed);
-        (protocol, config)
-    })
-}
-
-/// Rejects scheduler/engine pairings that every trial would fail on, so the
-/// multi-trial wrappers can error once upfront instead of panicking (or
-/// collecting `trials` copies of the same error) inside the parallel drive.
-/// `count_engine` names the backend a non-exact engine routes to ("batched"
-/// or "interned"), mirroring the constructors' own error messages.
-fn validate_scheduler<S: Clone + Eq + std::hash::Hash>(
-    scheduler: &crate::scheduler::InteractionScheduler<S>,
-    engine: crate::batched::Engine,
-    count_engine: &'static str,
-) -> Result<(), crate::error::SimError> {
-    use crate::scheduler::InteractionScheduler;
-    match scheduler {
-        InteractionScheduler::WeightedPairs(rates) if rates.max_rate() == 0 => {
-            Err(crate::error::SimError::ZeroRateScheduler)
-        }
-        InteractionScheduler::GraphRestricted(_) if engine != crate::batched::Engine::Exact => {
-            Err(crate::error::SimError::SchedulerNeedsIdentities {
-                scheduler: scheduler.label(),
-                engine: count_engine,
-            })
-        }
-        _ => Ok(()),
-    }
-}
-
-/// Runs `plan.trials` independent to-silence executions under an explicit
-/// [`crate::scheduler::InteractionScheduler`] through the chosen engine: the
-/// scheduler-threaded counterpart of [`run_engine_trials`].
-///
-/// Incompatible scheduler/engine pairings (a graph-restricted scheduler on a
-/// count engine, a weighted scheduler whose rates are all zero) are rejected
-/// once upfront with the same typed error every trial would produce.
-pub fn run_scheduled_trials<P, F>(
-    plan: &TrialPlan,
-    engine: crate::batched::Engine,
-    budget: u64,
-    scheduler: &crate::scheduler::InteractionScheduler<P::State>,
-    setup: F,
-) -> Result<Vec<crate::batched::EngineReport<P::State>>, crate::error::SimError>
-where
-    P: crate::batched::EnumerableProtocol,
-    F: Fn(usize, u64) -> (P, crate::config::Configuration<P::State>) + Sync,
-{
-    validate_scheduler(scheduler, engine, "batched")?;
-    Ok(run_trials(plan, |trial, seed| {
-        let (protocol, config) = setup(trial, seed);
-        engine
-            .run_until_silent_scheduled(protocol, &config, seed, budget, scheduler)
-            .expect("scheduler validated upfront")
-    }))
-}
-
-/// Runs a [`crate::scenario::Scenario`] family under an explicit
-/// [`crate::scheduler::InteractionScheduler`]: the scheduler-threaded
-/// counterpart of [`run_scenario_trials`].
-pub fn run_scenario_scheduled_trials<P, F>(
-    plan: &TrialPlan,
-    engine: crate::batched::Engine,
-    budget: u64,
-    scheduler: &crate::scheduler::InteractionScheduler<P::State>,
-    scenario: &crate::scenario::Scenario<P>,
-    make_protocol: F,
-) -> Result<Vec<crate::batched::EngineReport<P::State>>, crate::error::SimError>
-where
-    P: crate::batched::EnumerableProtocol,
-    F: Fn(usize, u64) -> P + Sync,
-{
-    run_scheduled_trials(plan, engine, budget, scheduler, |trial, seed| {
-        let protocol = make_protocol(trial, seed);
-        let config = scenario.configuration(&protocol, seed);
-        (protocol, config)
-    })
-}
-
-/// Runs an [`crate::interned::InternableProtocol`] under an explicit
-/// [`crate::scheduler::InteractionScheduler`]: the open-state-space
-/// counterpart of [`run_scheduled_trials`].
-pub fn run_interned_scheduled_trials<P, F>(
-    plan: &TrialPlan,
-    engine: crate::batched::Engine,
-    budget: u64,
-    scheduler: &crate::scheduler::InteractionScheduler<P::State>,
-    setup: F,
-) -> Result<Vec<crate::batched::EngineReport<P::State>>, crate::error::SimError>
-where
-    P: crate::interned::InternableProtocol,
-    F: Fn(usize, u64) -> (P, crate::config::Configuration<P::State>) + Sync,
-{
-    validate_scheduler(scheduler, engine, "interned")?;
-    Ok(run_trials(plan, |trial, seed| {
-        let (protocol, config) = setup(trial, seed);
-        engine
-            .run_until_silent_interned_scheduled(protocol, &config, seed, budget, scheduler)
-            .expect("scheduler validated upfront")
-    }))
-}
-
-/// Runs a [`crate::scenario::Scenario`] family of an internable protocol
-/// under an explicit [`crate::scheduler::InteractionScheduler`]: the
-/// open-state-space counterpart of [`run_scenario_scheduled_trials`].
-pub fn run_interned_scenario_scheduled_trials<P, F>(
-    plan: &TrialPlan,
-    engine: crate::batched::Engine,
-    budget: u64,
-    scheduler: &crate::scheduler::InteractionScheduler<P::State>,
-    scenario: &crate::scenario::Scenario<P>,
-    make_protocol: F,
-) -> Result<Vec<crate::batched::EngineReport<P::State>>, crate::error::SimError>
-where
-    P: crate::interned::InternableProtocol,
-    F: Fn(usize, u64) -> P + Sync,
-{
-    run_interned_scheduled_trials(plan, engine, budget, scheduler, |trial, seed| {
-        let protocol = make_protocol(trial, seed);
-        let config = scenario.configuration(&protocol, seed);
-        (protocol, config)
-    })
-}
-
-/// Runs `plan.trials` independent to-silence executions under a
-/// [`crate::churn::ChurnPlan`] and an explicit
-/// [`crate::scheduler::InteractionScheduler`], in parallel, returning the
-/// per-trial [`crate::churn::ChurnReport`]s in trial order: the churn
-/// counterpart of [`run_fault_trials`].
-///
-/// Each trial resolves the churn plan from its own derived seed, so the
-/// join/leave streams are independent across trials yet reproducible from
-/// the trial plan alone. Incompatible scheduler/engine pairings are rejected
-/// once upfront.
-pub fn run_churn_trials<P, F>(
-    plan: &TrialPlan,
-    engine: crate::batched::Engine,
-    budget: u64,
-    scheduler: &crate::scheduler::InteractionScheduler<P::State>,
-    churn: &crate::churn::ChurnPlan<P::State>,
-    setup: F,
-) -> Result<Vec<crate::churn::ChurnReport<P::State>>, crate::error::SimError>
-where
-    P: crate::batched::EnumerableProtocol,
-    F: Fn(usize, u64) -> (P, crate::config::Configuration<P::State>) + Sync,
-{
-    validate_scheduler(scheduler, engine, "batched")?;
-    Ok(run_trials(plan, |trial, seed| {
-        let (protocol, config) = setup(trial, seed);
-        engine
-            .run_until_silent_with_churn(protocol, &config, seed, budget, scheduler, churn)
-            .expect("scheduler validated upfront")
-    }))
-}
-
-/// Runs a [`crate::scenario::Scenario`] family under a
-/// [`crate::churn::ChurnPlan`]: each trial generates its adversarial initial
-/// configuration from the trial seed, then runs to silence with the seeded
-/// churn stream — how population churn composes with the
-/// adversarial-initialization families of [`run_scenario_trials`].
-pub fn run_scenario_churn_trials<P, F>(
-    plan: &TrialPlan,
-    engine: crate::batched::Engine,
-    budget: u64,
-    scheduler: &crate::scheduler::InteractionScheduler<P::State>,
-    scenario: &crate::scenario::Scenario<P>,
-    churn: &crate::churn::ChurnPlan<P::State>,
-    make_protocol: F,
-) -> Result<Vec<crate::churn::ChurnReport<P::State>>, crate::error::SimError>
-where
-    P: crate::batched::EnumerableProtocol,
-    F: Fn(usize, u64) -> P + Sync,
-{
-    run_churn_trials(plan, engine, budget, scheduler, churn, |trial, seed| {
-        let protocol = make_protocol(trial, seed);
-        let config = scenario.configuration(&protocol, seed);
-        (protocol, config)
-    })
-}
-
-/// Runs an [`crate::interned::InternableProtocol`] under a
-/// [`crate::churn::ChurnPlan`]: the open-state-space counterpart of
-/// [`run_churn_trials`].
-pub fn run_interned_churn_trials<P, F>(
-    plan: &TrialPlan,
-    engine: crate::batched::Engine,
-    budget: u64,
-    scheduler: &crate::scheduler::InteractionScheduler<P::State>,
-    churn: &crate::churn::ChurnPlan<P::State>,
-    setup: F,
-) -> Result<Vec<crate::churn::ChurnReport<P::State>>, crate::error::SimError>
-where
-    P: crate::interned::InternableProtocol,
-    F: Fn(usize, u64) -> (P, crate::config::Configuration<P::State>) + Sync,
-{
-    validate_scheduler(scheduler, engine, "interned")?;
-    Ok(run_trials(plan, |trial, seed| {
-        let (protocol, config) = setup(trial, seed);
-        engine
-            .run_until_silent_interned_with_churn(protocol, &config, seed, budget, scheduler, churn)
-            .expect("scheduler validated upfront")
-    }))
-}
-
-/// Runs a [`crate::scenario::Scenario`] family of an internable protocol
-/// under a [`crate::churn::ChurnPlan`]: the open-state-space counterpart of
-/// [`run_scenario_churn_trials`].
-pub fn run_interned_scenario_churn_trials<P, F>(
-    plan: &TrialPlan,
-    engine: crate::batched::Engine,
-    budget: u64,
-    scheduler: &crate::scheduler::InteractionScheduler<P::State>,
-    scenario: &crate::scenario::Scenario<P>,
-    churn: &crate::churn::ChurnPlan<P::State>,
-    make_protocol: F,
-) -> Result<Vec<crate::churn::ChurnReport<P::State>>, crate::error::SimError>
-where
-    P: crate::interned::InternableProtocol,
-    F: Fn(usize, u64) -> P + Sync,
-{
-    run_interned_churn_trials(plan, engine, budget, scheduler, churn, |trial, seed| {
-        let protocol = make_protocol(trial, seed);
-        let config = scenario.configuration(&protocol, seed);
-        (protocol, config)
-    })
-}
-
 /// Runs trials sequentially on the current thread; useful for closures that
 /// are not `Sync` or for deterministic debugging.
 pub fn run_trials_sequential<T>(
@@ -683,114 +153,5 @@ mod tests {
         let plan = TrialPlan::new(64, 5).with_threads(8);
         let results = run_trials(&plan, |i, _| i);
         assert_eq!(results, (0..64).collect::<Vec<_>>());
-    }
-
-    mod scheduled {
-        use super::super::*;
-        use crate::batched::{Engine, EnumerableProtocol};
-        use crate::churn::{ChurnAction, ChurnPlan};
-        use crate::config::Configuration;
-        use crate::error::SimError;
-        use crate::faults::CorruptionTarget;
-        use crate::protocol::Protocol;
-        use crate::scheduler::{InteractionScheduler, PairRates, Topology};
-        use rand::RngCore;
-
-        /// (L, L) -> (L, F) with L = 0, F = 1.
-        #[derive(Clone, Copy, Debug)]
-        struct Frat {
-            n: usize,
-        }
-
-        impl Protocol for Frat {
-            type State = u8;
-            fn population_size(&self) -> usize {
-                self.n
-            }
-            fn transition(&self, a: &u8, b: &u8, _rng: &mut dyn RngCore) -> (u8, u8) {
-                if *a == 0 && *b == 0 {
-                    (0, 1)
-                } else {
-                    (*a, *b)
-                }
-            }
-            fn is_null(&self, a: &u8, b: &u8) -> bool {
-                !(*a == 0 && *b == 0)
-            }
-        }
-
-        impl EnumerableProtocol for Frat {
-            fn num_states(&self) -> usize {
-                2
-            }
-            fn state_index(&self, s: &u8) -> usize {
-                *s as usize
-            }
-            fn state_from_index(&self, i: usize) -> u8 {
-                i as u8
-            }
-        }
-
-        const BUDGET: u64 = u64::MAX >> 8;
-
-        #[test]
-        fn incompatible_pairings_error_once_upfront() {
-            let plan = TrialPlan::new(4, 7);
-            let ring = InteractionScheduler::GraphRestricted(Topology::Ring);
-            let err = run_scheduled_trials(&plan, Engine::Batched, BUDGET, &ring, |_, _| {
-                (Frat { n: 10 }, Configuration::uniform(0u8, 10))
-            })
-            .unwrap_err();
-            assert!(matches!(err, SimError::SchedulerNeedsIdentities { .. }), "{err}");
-
-            let dead = InteractionScheduler::WeightedPairs(PairRates::new(0));
-            let err = run_scheduled_trials(&plan, Engine::Exact, BUDGET, &dead, |_, _| {
-                (Frat { n: 10 }, Configuration::uniform(0u8, 10))
-            })
-            .unwrap_err();
-            assert_eq!(err, SimError::ZeroRateScheduler);
-        }
-
-        #[test]
-        fn scheduled_uniform_matches_plain_engine_trials() {
-            let plan = TrialPlan::new(4, 11);
-            let setup = |_: usize, _: u64| (Frat { n: 30 }, Configuration::uniform(0u8, 30));
-            for engine in [Engine::Exact, Engine::Batched, Engine::BatchedCounts] {
-                let plain = run_engine_trials(&plan, engine, BUDGET, setup);
-                let scheduled = run_scheduled_trials(
-                    &plan,
-                    engine,
-                    BUDGET,
-                    &InteractionScheduler::Uniform,
-                    setup,
-                )
-                .unwrap();
-                assert_eq!(plain, scheduled, "{engine}");
-            }
-        }
-
-        #[test]
-        fn churn_trials_resize_every_trial() {
-            let plan = TrialPlan::new(4, 13);
-            let churn = ChurnPlan::one_shot(
-                1_000,
-                ChurnAction::Join { count: 5, state: CorruptionTarget::Fixed(0u8) },
-            );
-            let reports = run_churn_trials(
-                &plan,
-                Engine::Batched,
-                BUDGET,
-                &InteractionScheduler::Uniform,
-                &churn,
-                |_, _| (Frat { n: 20 }, Configuration::uniform(0u8, 20)),
-            )
-            .unwrap();
-            assert_eq!(reports.len(), 4);
-            for report in &reports {
-                assert!(report.outcome.is_silent());
-                assert_eq!(report.final_population(), 25);
-                assert!(report.restabilized_after_every_event());
-            }
-        }
     }
 }

@@ -1,0 +1,800 @@
+//! One composable description of a to-silence workload.
+//!
+//! Before this module, the crate exposed a matrix of entry points: one
+//! `run_*_trials` free function and one `Engine::run_until_silent_*` method
+//! per combination of {enumerable, interned} × {plain, scheduled, faults,
+//! churn} × {explicit config, scenario}. [`RunSpec`] collapses that matrix
+//! into a single builder: pick a protocol, choose the axes that apply, and
+//! run. Invalid combinations — a graph-restricted scheduler on a count-based
+//! engine, a weighted scheduler with all-zero rates, a spec with no initial
+//! configuration — are rejected with a typed [`SimError`] when the spec is
+//! **built**, before any trial spends an interaction.
+//!
+//! ```text
+//! RunSpec::new(protocol)
+//!     .engine(Engine::Batched)        // default Engine::Exact
+//!     .scenario(&family)              // or .init(config) / .init_with(f)
+//!     .scheduler(scheduler)           // default uniform
+//!     .faults(fault_plan)             // optional mid-run corruption
+//!     .churn(churn_plan)              // optional joins/leaves
+//!     .trials(100)                    // default 1
+//!     .seed(7)                        // default 0
+//!     .run()?                         // Vec<TrialReport<_>>
+//! ```
+//!
+//! Every trial produces the same unified [`TrialReport`], whatever axes were
+//! active: plain runs leave the fault and churn fields empty, faulted runs
+//! fill `injections`/`recoveries`, churned runs fill `churn`. The
+//! open-state-space protocols ([`InternableProtocol`]) use
+//! [`RunSpec::run_interned`] / [`RunSpec::run_one_interned`], which route the
+//! count engines through the dynamically interned backend.
+//!
+//! # Seeding
+//!
+//! [`RunSpec::run`] derives one seed per trial from the base seed with the
+//! same SplitMix64 mix as [`TrialPlan`], so multi-trial results are
+//! reproducible and independent of the thread schedule. [`RunSpec::run_one`]
+//! uses the base seed **verbatim**, so a single run is bit-identical to
+//! driving [`Simulation`] (or a batched engine) directly with that seed.
+
+use std::sync::Arc;
+
+use rand::SeedableRng;
+
+use crate::batched::{BatchedSimulation, Engine, EngineReport, EnumerableProtocol};
+use crate::churn::{
+    all_events_restabilized, final_restabilization, run_until_silent_with_churn_and_faults,
+    ChurnOutcome, ChurnPlan, ChurnRecord, DEPARTURE_SALT,
+};
+use crate::config::Configuration;
+use crate::error::SimError;
+use crate::execution::{RunOutcome, Simulation};
+use crate::faults::{
+    all_bursts_recovered, last_recovery, run_until_silent_with_faults, FaultOutcome, FaultPlan,
+    VICTIM_SALT,
+};
+use crate::interned::{InternableProtocol, InternedSimulation};
+use crate::protocol::Protocol;
+use crate::runner::{run_trials, TrialPlan};
+use crate::scenario::{Scenario, ScenarioRng};
+use crate::scheduler::InteractionScheduler;
+use crate::time::{Interactions, ParallelTime};
+
+/// Where a trial's initial configuration comes from.
+enum Start<P: Protocol> {
+    /// Nothing chosen yet; [`RunSpec::build`] rejects this.
+    Unset,
+    /// A fixed configuration shared by every trial.
+    Config(Configuration<P::State>),
+    /// A per-trial generator receiving `(trial, seed)`.
+    Generate(
+        #[allow(clippy::type_complexity)]
+        Arc<dyn Fn(usize, u64) -> Configuration<P::State> + Send + Sync>,
+    ),
+    /// A named adversarial family; each trial generates its member from the
+    /// trial seed.
+    Scenario(Scenario<P>),
+}
+
+impl<P: Protocol> Clone for Start<P> {
+    fn clone(&self) -> Self {
+        match self {
+            Start::Unset => Start::Unset,
+            Start::Config(c) => Start::Config(c.clone()),
+            Start::Generate(f) => Start::Generate(Arc::clone(f)),
+            Start::Scenario(s) => Start::Scenario(s.clone()),
+        }
+    }
+}
+
+impl<P: Protocol> Start<P> {
+    fn configuration(&self, protocol: &P, trial: usize, seed: u64) -> Configuration<P::State> {
+        match self {
+            Start::Unset => unreachable!("build() rejects specs without an initial configuration"),
+            Start::Config(c) => c.clone(),
+            Start::Generate(f) => f(trial, seed),
+            Start::Scenario(s) => s.configuration(protocol, seed),
+        }
+    }
+}
+
+/// A complete, composable description of a to-silence workload: protocol,
+/// engine, initial configurations, scheduler, fault plan, churn plan, and
+/// trial plan, in one value.
+///
+/// The population size is carried by the protocol instance itself (every
+/// [`Protocol`] declares `population_size`), so the builder takes only the
+/// protocol. See the [module docs](self) for the full shape and an example.
+pub struct RunSpec<P: Protocol> {
+    protocol: P,
+    engine: Engine,
+    budget: u64,
+    scheduler: InteractionScheduler<P::State>,
+    faults: Option<FaultPlan<P::State>>,
+    churn: Option<ChurnPlan<P::State>>,
+    start: Start<P>,
+    trials: usize,
+    base_seed: u64,
+    threads: usize,
+}
+
+impl<P: Protocol + Clone> Clone for RunSpec<P> {
+    fn clone(&self) -> Self {
+        RunSpec {
+            protocol: self.protocol.clone(),
+            engine: self.engine,
+            budget: self.budget,
+            scheduler: self.scheduler.clone(),
+            faults: self.faults.clone(),
+            churn: self.churn.clone(),
+            start: self.start.clone(),
+            trials: self.trials,
+            base_seed: self.base_seed,
+            threads: self.threads,
+        }
+    }
+}
+
+/// The default interaction budget: effectively unbounded while staying clear
+/// of overflow in downstream arithmetic (matches the budget the experiment
+/// binaries have always used).
+pub const DEFAULT_BUDGET: u64 = u64::MAX >> 8;
+
+impl<P: Protocol> RunSpec<P> {
+    /// Starts a spec for `protocol` with the defaults: exact engine, uniform
+    /// scheduler, no faults, no churn, one trial, seed 0, budget
+    /// [`DEFAULT_BUDGET`].
+    pub fn new(protocol: P) -> Self {
+        RunSpec {
+            protocol,
+            engine: Engine::Exact,
+            budget: DEFAULT_BUDGET,
+            scheduler: InteractionScheduler::Uniform,
+            faults: None,
+            churn: None,
+            start: Start::Unset,
+            trials: 1,
+            base_seed: 0,
+            threads: 0,
+        }
+    }
+
+    /// Selects the simulation engine (default [`Engine::Exact`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Caps every trial at `budget` interactions (default [`DEFAULT_BUDGET`]).
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Selects the interaction scheduler (default
+    /// [`InteractionScheduler::Uniform`]).
+    pub fn scheduler(mut self, scheduler: InteractionScheduler<P::State>) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Injects a mid-run corruption stream resolved from each trial's seed.
+    pub fn faults(mut self, plan: FaultPlan<P::State>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Applies a population churn stream resolved from each trial's seed.
+    /// Composes with [`RunSpec::faults`]: both streams merge into one event
+    /// sequence in time order.
+    pub fn churn(mut self, plan: ChurnPlan<P::State>) -> Self {
+        self.churn = Some(plan);
+        self
+    }
+
+    /// Starts every trial from the same fixed configuration.
+    pub fn init(mut self, config: Configuration<P::State>) -> Self {
+        self.start = Start::Config(config);
+        self
+    }
+
+    /// Starts each trial from `generate(trial, seed)`; the generator decides
+    /// how (or whether) to use the trial seed.
+    pub fn init_with(
+        mut self,
+        generate: impl Fn(usize, u64) -> Configuration<P::State> + Send + Sync + 'static,
+    ) -> Self {
+        self.start = Start::Generate(Arc::new(generate));
+        self
+    }
+
+    /// Starts each trial from the scenario family member generated by the
+    /// trial seed (the adversarial-initialization axis).
+    pub fn scenario(mut self, scenario: &Scenario<P>) -> Self {
+        self.start = Start::Scenario(scenario.clone());
+        self
+    }
+
+    /// Sets the number of independent trials (default 1).
+    pub fn trials(mut self, trials: usize) -> Self {
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the base seed (default 0). [`RunSpec::run`] derives per-trial
+    /// seeds from it; [`RunSpec::run_one`] uses it verbatim.
+    pub fn seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Restricts the trial runner to a fixed number of worker threads
+    /// (default 0 = available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Validates the spec and freezes it into a [`ReadyRun`].
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::MissingInitialConfiguration`] — none of `init`,
+    ///   `init_with`, or `scenario` was called;
+    /// * [`SimError::PopulationTooSmall`] — the protocol declares fewer than
+    ///   two agents;
+    /// * [`SimError::ConfigurationSizeMismatch`] — a fixed `init`
+    ///   configuration does not match the protocol's population size;
+    /// * [`SimError::SchedulerNeedsIdentities`] — a graph-restricted
+    ///   scheduler paired with a count-based engine, which erases the agent
+    ///   identities the graph is defined over;
+    /// * [`SimError::ZeroRateScheduler`] — a weighted scheduler whose rates
+    ///   are all zero.
+    pub fn build(self) -> Result<ReadyRun<P>, SimError> {
+        let n = self.protocol.population_size();
+        if n < 2 {
+            return Err(SimError::PopulationTooSmall { n });
+        }
+        match &self.start {
+            Start::Unset => return Err(SimError::MissingInitialConfiguration),
+            Start::Config(c) if c.len() != n => {
+                return Err(SimError::ConfigurationSizeMismatch { expected: n, actual: c.len() })
+            }
+            _ => {}
+        }
+        match &self.scheduler {
+            InteractionScheduler::WeightedPairs(rates) if rates.max_rate() == 0 => {
+                return Err(SimError::ZeroRateScheduler)
+            }
+            InteractionScheduler::GraphRestricted(_) if self.engine != Engine::Exact => {
+                return Err(SimError::SchedulerNeedsIdentities {
+                    scheduler: self.scheduler.label(),
+                    engine: "batched",
+                })
+            }
+            _ => {}
+        }
+        Ok(ReadyRun { spec: self })
+    }
+
+    fn plan(&self) -> TrialPlan {
+        TrialPlan { trials: self.trials, base_seed: self.base_seed, threads: self.threads }
+    }
+}
+
+impl<P: EnumerableProtocol + Clone + Sync> RunSpec<P> {
+    /// Builds and runs the spec, returning the per-trial reports in trial
+    /// order (shorthand for `build()?.run()`).
+    ///
+    /// # Errors
+    ///
+    /// The build-time validation errors of [`RunSpec::build`].
+    pub fn run(self) -> Result<Vec<TrialReport<P::State>>, SimError> {
+        Ok(self.build()?.run())
+    }
+
+    /// Builds the spec and runs a single execution seeded with the base seed
+    /// verbatim (shorthand for `build()?.run_one()`).
+    ///
+    /// # Errors
+    ///
+    /// The build-time validation errors of [`RunSpec::build`].
+    pub fn run_one(self) -> Result<TrialReport<P::State>, SimError> {
+        Ok(self.build()?.run_one())
+    }
+}
+
+impl<P: InternableProtocol + Clone + Sync> RunSpec<P> {
+    /// Builds and runs the spec for an open-state-space protocol, routing the
+    /// count engines through the dynamically interned backend (shorthand for
+    /// `build()?.run_interned()`).
+    ///
+    /// # Errors
+    ///
+    /// The build-time validation errors of [`RunSpec::build`].
+    pub fn run_interned(self) -> Result<Vec<TrialReport<P::State>>, SimError> {
+        Ok(self.build()?.run_interned())
+    }
+
+    /// Builds the spec and runs a single interned execution seeded with the
+    /// base seed verbatim (shorthand for `build()?.run_one_interned()`).
+    ///
+    /// # Errors
+    ///
+    /// The build-time validation errors of [`RunSpec::build`].
+    pub fn run_one_interned(self) -> Result<TrialReport<P::State>, SimError> {
+        Ok(self.build()?.run_one_interned())
+    }
+}
+
+/// A validated [`RunSpec`]: every trial is guaranteed to construct its
+/// simulation successfully, so the run methods are infallible.
+pub struct ReadyRun<P: Protocol> {
+    spec: RunSpec<P>,
+}
+
+impl<P: EnumerableProtocol + Clone + Sync> ReadyRun<P> {
+    /// Runs the trials across threads, returning reports in trial order.
+    ///
+    /// Each trial's seed is derived from the base seed with the
+    /// [`TrialPlan`] mix, so results are reproducible and independent of the
+    /// thread schedule.
+    pub fn run(&self) -> Vec<TrialReport<P::State>> {
+        let plan = self.spec.plan();
+        run_trials(&plan, |trial, seed| self.trial(trial, seed))
+    }
+
+    /// Runs one execution seeded with the spec's base seed verbatim: the
+    /// single-run counterpart of [`ReadyRun::run`], bit-identical to driving
+    /// the underlying simulation directly with that seed.
+    pub fn run_one(&self) -> TrialReport<P::State> {
+        self.trial(0, self.spec.base_seed)
+    }
+
+    fn trial(&self, trial: usize, seed: u64) -> TrialReport<P::State> {
+        let spec = &self.spec;
+        let protocol = spec.protocol.clone();
+        let config = spec.start.configuration(&protocol, trial, seed);
+        match spec.engine {
+            Engine::Exact => {
+                let mut sim =
+                    Simulation::try_new_scheduled(protocol, config, seed, &spec.scheduler)
+                        .expect("run spec validated upfront");
+                let final_config = |sim: &Simulation<P>| sim.configuration().clone();
+                drive(spec, seed, &mut sim, final_config)
+            }
+            Engine::Batched | Engine::BatchedCounts => {
+                let mut sim =
+                    BatchedSimulation::try_new_scheduled(protocol, &config, seed, &spec.scheduler)
+                        .expect("run spec validated upfront")
+                        .with_sampling_mode(spec.engine.sampling_mode());
+                let final_config = |sim: &BatchedSimulation<P>| sim.to_configuration();
+                drive(spec, seed, &mut sim, final_config)
+            }
+        }
+    }
+}
+
+impl<P: InternableProtocol + Clone + Sync> ReadyRun<P> {
+    /// Runs the trials of an open-state-space protocol across threads: the
+    /// interned counterpart of [`ReadyRun::run`] ([`Engine::Batched`] routes
+    /// through the dynamically interned backend).
+    pub fn run_interned(&self) -> Vec<TrialReport<P::State>> {
+        let plan = self.spec.plan();
+        run_trials(&plan, |trial, seed| self.trial_interned(trial, seed))
+    }
+
+    /// Runs one interned execution seeded with the spec's base seed verbatim.
+    pub fn run_one_interned(&self) -> TrialReport<P::State> {
+        self.trial_interned(0, self.spec.base_seed)
+    }
+
+    fn trial_interned(&self, trial: usize, seed: u64) -> TrialReport<P::State> {
+        let spec = &self.spec;
+        let protocol = spec.protocol.clone();
+        let config = spec.start.configuration(&protocol, trial, seed);
+        match spec.engine {
+            Engine::Exact => {
+                let mut sim =
+                    Simulation::try_new_scheduled(protocol, config, seed, &spec.scheduler)
+                        .expect("run spec validated upfront");
+                let final_config = |sim: &Simulation<P>| sim.configuration().clone();
+                drive(spec, seed, &mut sim, final_config)
+            }
+            Engine::Batched | Engine::BatchedCounts => {
+                let mut sim =
+                    InternedSimulation::try_new_scheduled(protocol, &config, seed, &spec.scheduler)
+                        .expect("run spec validated upfront")
+                        .with_sampling_mode(spec.engine.sampling_mode());
+                let final_config = |sim: &InternedSimulation<P>| sim.to_configuration();
+                drive(spec, seed, &mut sim, final_config)
+            }
+        }
+    }
+}
+
+/// Drives one constructed simulation through the spec's fault/churn axes.
+///
+/// Shared by the enumerable and interned paths: the host type differs, but
+/// the event-stream logic is identical. `final_config` extracts the final
+/// configuration once the run stops (a closure because the exact engine
+/// borrows it while the count engines materialize it).
+fn drive<P, H, F>(
+    spec: &RunSpec<P>,
+    seed: u64,
+    sim: &mut H,
+    final_config: F,
+) -> TrialReport<P::State>
+where
+    P: Protocol,
+    H: crate::churn::ChurnHost<State = P::State>,
+    F: Fn(&H) -> Configuration<P::State>,
+{
+    match (&spec.churn, &spec.faults) {
+        (None, None) => {
+            let outcome = sim.run_to_silence(spec.budget);
+            TrialReport::from_engine(outcome, final_config(sim))
+        }
+        (None, Some(plan)) => {
+            let events = plan.resolve(seed);
+            let mut victim_rng = ScenarioRng::seed_from_u64(seed ^ VICTIM_SALT);
+            let out = run_until_silent_with_faults(sim, &events, &mut victim_rng, spec.budget);
+            TrialReport::from_faults(out, final_config(sim))
+        }
+        (Some(churn), faults) => {
+            let churn_events = churn.resolve(seed);
+            let fault_events = faults.as_ref().map(|p| p.resolve(seed)).unwrap_or_default();
+            let mut departure_rng = ScenarioRng::seed_from_u64(seed ^ DEPARTURE_SALT);
+            let mut victim_rng = ScenarioRng::seed_from_u64(seed ^ VICTIM_SALT);
+            let out = run_until_silent_with_churn_and_faults(
+                sim,
+                &churn_events,
+                &fault_events,
+                &mut departure_rng,
+                &mut victim_rng,
+                spec.budget,
+            );
+            TrialReport::from_churn(out, final_config(sim))
+        }
+    }
+}
+
+/// The unified result of one [`RunSpec`] trial, whatever axes were active.
+///
+/// Plain runs leave `injections`/`recoveries`/`churn` empty; faulted runs
+/// fill the first two; churned runs record every fired event (including
+/// merged fault bursts) in `churn`. This subsumes the former `EngineReport`-,
+/// `FaultReport`-, and `ChurnReport`-shaped results.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TrialReport<S> {
+    /// Why and when the run finally stopped. For silent stops the
+    /// interaction count is the exact silence point of the last segment.
+    pub outcome: RunOutcome,
+    /// The final configuration (canonical materialization for the count
+    /// engines, as in [`EngineReport`]); its length is the final population.
+    pub final_config: Configuration<S>,
+    /// The exact silence point reached before the first fault/churn event —
+    /// for plain runs, the silence point of the whole run, if silent.
+    pub initial_silence: Option<Interactions>,
+    /// The interaction index of every fault burst that fired (empty when the
+    /// spec had no fault plan, or when churn merged the bursts into
+    /// [`TrialReport::churn`]).
+    pub injections: Vec<Interactions>,
+    /// Per fired burst, the recovery time: the silence point re-reached
+    /// after the burst and before the next event, minus the injection time.
+    pub recoveries: Vec<Option<Interactions>>,
+    /// One record per fired churn or fault event when a churn plan was
+    /// active, in time order.
+    pub churn: Vec<ChurnRecord>,
+}
+
+impl<S> TrialReport<S> {
+    fn from_engine(outcome: RunOutcome, final_config: Configuration<S>) -> Self {
+        let initial_silence = outcome.is_silent().then_some(outcome.interactions);
+        TrialReport {
+            outcome,
+            final_config,
+            initial_silence,
+            injections: Vec::new(),
+            recoveries: Vec::new(),
+            churn: Vec::new(),
+        }
+    }
+
+    fn from_faults(out: FaultOutcome, final_config: Configuration<S>) -> Self {
+        TrialReport {
+            outcome: out.outcome,
+            final_config,
+            initial_silence: out.initial_silence,
+            injections: out.injections,
+            recoveries: out.recoveries,
+            churn: Vec::new(),
+        }
+    }
+
+    fn from_churn(out: ChurnOutcome, final_config: Configuration<S>) -> Self {
+        TrialReport {
+            outcome: out.outcome,
+            final_config,
+            initial_silence: out.initial_silence,
+            injections: Vec::new(),
+            recoveries: Vec::new(),
+            churn: out.events,
+        }
+    }
+
+    /// The final population size (the length of the final configuration;
+    /// differs from the initial size only under churn).
+    pub fn final_population(&self) -> usize {
+        self.final_config.len()
+    }
+
+    /// The run's stop point as parallel time at the final population size.
+    pub fn parallel_time(&self) -> ParallelTime {
+        self.outcome.interactions.to_parallel_time(self.final_config.len())
+    }
+
+    /// The initial stabilization expressed as parallel time, if the run
+    /// silenced before any event fired.
+    pub fn initial_silence_parallel_time(&self) -> Option<ParallelTime> {
+        self.initial_silence.map(|i| i.to_parallel_time(self.final_config.len()))
+    }
+
+    /// The recovery time of the last fault burst, if the run re-silenced
+    /// after it — the paper's "stabilization time from the final transient
+    /// corruption".
+    pub fn final_recovery(&self) -> Option<Interactions> {
+        last_recovery(&self.recoveries)
+    }
+
+    /// The last burst's recovery expressed as parallel time.
+    pub fn final_recovery_parallel_time(&self) -> Option<ParallelTime> {
+        self.final_recovery().map(|i| i.to_parallel_time(self.final_config.len()))
+    }
+
+    /// Whether every fired fault burst was recovered from before the next.
+    pub fn recovered_after_every_burst(&self) -> bool {
+        all_bursts_recovered(&self.recoveries)
+    }
+
+    /// The re-stabilization time of the last churn event, if the run
+    /// re-silenced after it.
+    pub fn final_restabilization(&self) -> Option<Interactions> {
+        final_restabilization(&self.churn)
+    }
+
+    /// The last churn event's re-stabilization expressed as parallel time
+    /// **at the final population size**.
+    pub fn final_restabilization_parallel_time(&self) -> Option<ParallelTime> {
+        self.final_restabilization().map(|i| i.to_parallel_time(self.final_config.len()))
+    }
+
+    /// Whether every fired churn event was re-stabilized from before the
+    /// next one.
+    pub fn restabilized_after_every_event(&self) -> bool {
+        all_events_restabilized(&self.churn)
+    }
+
+    /// The plain engine-level view (outcome + final configuration) of the
+    /// trial.
+    pub fn engine_report(&self) -> EngineReport<S>
+    where
+        S: Clone,
+    {
+        EngineReport { outcome: self.outcome, final_config: self.final_config.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ChurnAction;
+    use crate::faults::CorruptionTarget;
+    use crate::scheduler::{PairRates, Topology};
+    use rand::RngCore;
+
+    /// (L, L) -> (L, F) with L = 0, F = 1.
+    #[derive(Clone, Copy, Debug)]
+    struct Frat {
+        n: usize,
+    }
+
+    impl Protocol for Frat {
+        type State = u8;
+        fn population_size(&self) -> usize {
+            self.n
+        }
+        fn transition(&self, a: &u8, b: &u8, _rng: &mut dyn RngCore) -> (u8, u8) {
+            if *a == 0 && *b == 0 {
+                (0, 1)
+            } else {
+                (*a, *b)
+            }
+        }
+        fn is_null(&self, a: &u8, b: &u8) -> bool {
+            !(*a == 0 && *b == 0)
+        }
+    }
+
+    impl EnumerableProtocol for Frat {
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn state_index(&self, s: &u8) -> usize {
+            *s as usize
+        }
+        fn state_from_index(&self, i: usize) -> u8 {
+            i as u8
+        }
+    }
+
+    fn all_leaders(n: usize) -> Configuration<u8> {
+        Configuration::uniform(0u8, n)
+    }
+
+    #[test]
+    fn invalid_combinations_are_rejected_at_build_time() {
+        let err = RunSpec::new(Frat { n: 10 })
+            .engine(Engine::Batched)
+            .scheduler(InteractionScheduler::GraphRestricted(Topology::Ring))
+            .init(all_leaders(10))
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, SimError::SchedulerNeedsIdentities { .. }), "{err}");
+
+        let err = RunSpec::new(Frat { n: 10 })
+            .scheduler(InteractionScheduler::WeightedPairs(PairRates::new(0)))
+            .init(all_leaders(10))
+            .build()
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, SimError::ZeroRateScheduler);
+
+        let err = RunSpec::new(Frat { n: 10 }).build().map(|_| ()).unwrap_err();
+        assert_eq!(err, SimError::MissingInitialConfiguration);
+
+        let err =
+            RunSpec::new(Frat { n: 10 }).init(all_leaders(9)).build().map(|_| ()).unwrap_err();
+        assert_eq!(err, SimError::ConfigurationSizeMismatch { expected: 10, actual: 9 });
+
+        let err = RunSpec::new(Frat { n: 1 }).init(all_leaders(1)).build().map(|_| ()).unwrap_err();
+        assert_eq!(err, SimError::PopulationTooSmall { n: 1 });
+    }
+
+    #[test]
+    fn graph_schedulers_run_on_the_exact_engine() {
+        let report = RunSpec::new(Frat { n: 8 })
+            .scheduler(InteractionScheduler::GraphRestricted(Topology::Ring))
+            .init(all_leaders(8))
+            .seed(3)
+            .run_one()
+            .unwrap();
+        assert!(report.outcome.is_silent());
+        // Ring silence is scheduler-relative: no *adjacent* leader pair, so
+        // several non-adjacent leaders may survive — but never zero.
+        assert!(report.final_config.count_matching(|&s| s == 0) >= 1);
+    }
+
+    #[test]
+    fn run_one_matches_a_direct_simulation_with_the_same_seed() {
+        let report = RunSpec::new(Frat { n: 30 }).init(all_leaders(30)).seed(11).run_one().unwrap();
+        let mut sim = Simulation::new(Frat { n: 30 }, all_leaders(30), 11);
+        let outcome = sim.run_until_silent(DEFAULT_BUDGET);
+        assert_eq!(report.outcome, outcome);
+        assert_eq!(&report.final_config, sim.configuration());
+        assert_eq!(report.initial_silence, Some(outcome.interactions));
+    }
+
+    #[test]
+    fn all_three_engines_elect_one_leader_over_trials() {
+        for engine in [Engine::Exact, Engine::Batched, Engine::BatchedCounts] {
+            let reports = RunSpec::new(Frat { n: 40 })
+                .engine(engine)
+                .init(all_leaders(40))
+                .trials(4)
+                .seed(7)
+                .run()
+                .unwrap();
+            assert_eq!(reports.len(), 4);
+            for report in &reports {
+                assert!(report.outcome.is_silent());
+                assert_eq!(report.final_config.count_matching(|&s| s == 0), 1, "{engine}");
+                assert!(report.injections.is_empty() && report.churn.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn trial_seeds_are_reproducible_and_distinct() {
+        let spec = || {
+            RunSpec::new(Frat { n: 25 })
+                .engine(Engine::Batched)
+                .init_with(|_, _| all_leaders(25))
+                .trials(3)
+                .seed(5)
+        };
+        let a = spec().run().unwrap();
+        let b = spec().run().unwrap();
+        assert_eq!(a, b);
+        // Distinct derived seeds: silence points differ across trials.
+        assert!(a.windows(2).any(|w| w[0].outcome != w[1].outcome));
+    }
+
+    #[test]
+    fn fault_axis_records_injections_and_recoveries() {
+        let plan = FaultPlan::periodic(500, 2_000, 3, 4, CorruptionTarget::Fixed(0u8));
+        let reports = RunSpec::new(Frat { n: 20 })
+            .engine(Engine::Batched)
+            .init(all_leaders(20))
+            .faults(plan)
+            .trials(3)
+            .seed(9)
+            .run()
+            .unwrap();
+        for report in &reports {
+            assert!(report.outcome.is_silent());
+            assert_eq!(report.injections.len(), 3);
+            assert!(report.recovered_after_every_burst());
+            assert!(report.final_recovery().is_some());
+            assert!(report.churn.is_empty());
+        }
+    }
+
+    #[test]
+    fn churn_axis_resizes_the_population() {
+        let churn = ChurnPlan::one_shot(
+            1_000,
+            ChurnAction::Join { count: 5, state: CorruptionTarget::Fixed(0u8) },
+        );
+        let reports = RunSpec::new(Frat { n: 20 })
+            .engine(Engine::Batched)
+            .init(all_leaders(20))
+            .churn(churn)
+            .trials(4)
+            .seed(13)
+            .run()
+            .unwrap();
+        assert_eq!(reports.len(), 4);
+        for report in &reports {
+            assert!(report.outcome.is_silent());
+            assert_eq!(report.final_population(), 25);
+            assert!(report.restabilized_after_every_event());
+            assert!(report.injections.is_empty());
+        }
+    }
+
+    #[test]
+    fn churn_and_faults_merge_into_one_event_stream() {
+        let churn = ChurnPlan::one_shot(
+            1_000,
+            ChurnAction::Join { count: 3, state: CorruptionTarget::Fixed(0u8) },
+        );
+        let faults = FaultPlan::one_shot(2_000, 2, CorruptionTarget::Fixed(0u8));
+        let report = RunSpec::new(Frat { n: 20 })
+            .init(all_leaders(20))
+            .churn(churn)
+            .faults(faults)
+            .seed(17)
+            .run_one()
+            .unwrap();
+        assert!(report.outcome.is_silent());
+        assert_eq!(report.churn.len(), 2);
+        assert_eq!(report.churn[0].joined, 3);
+        assert_eq!(report.churn[1].corrupted, 2);
+        assert_eq!(report.final_population(), 23);
+    }
+
+    #[test]
+    fn scenario_axis_generates_per_trial_members() {
+        let scenario = Scenario::new("all-leader", |p: &Frat, _| all_leaders(p.n));
+        let reports = RunSpec::new(Frat { n: 30 })
+            .engine(Engine::Batched)
+            .scenario(&scenario)
+            .trials(3)
+            .seed(21)
+            .run()
+            .unwrap();
+        assert!(reports.iter().all(|r| r.outcome.is_silent()));
+    }
+}

@@ -9,8 +9,8 @@
 //! a seed, produces one member of the family. Protocol crates expose their
 //! adversarial families as `Vec<Scenario<Self>>` (e.g.
 //! `SilentNStateSsr::adversarial_scenarios()` in the `ssle` crate), and
-//! [`crate::runner::run_scenario_trials`] drives a family through either
-//! simulation engine.
+//! [`crate::RunSpec::scenario`] drives a family through either simulation
+//! engine.
 //!
 //! Generators receive a [`ScenarioRng`] already seeded from the trial seed
 //! and the scenario name, so two scenarios in the same trial draw unrelated

@@ -465,18 +465,15 @@ proptest! {
             ChurnAction::Replace { count, state: CorruptionTarget::Fixed(0u8) },
         );
         for engine in [Engine::Exact, Engine::Batched, Engine::BatchedCounts] {
-            let report = engine
-                .run_until_silent_with_churn(
-                    Spread { n },
-                    &Configuration::from_fn(n, |i| (i % 5) as u8),
-                    seed,
-                    u64::MAX >> 8,
-                    &InteractionScheduler::Uniform,
-                    &plan,
-                )
+            let report = RunSpec::new(Spread { n })
+                .engine(engine)
+                .init(Configuration::from_fn(n, |i| (i % 5) as u8))
+                .seed(seed)
+                .churn(plan.clone())
+                .run_one()
                 .unwrap();
             let mut expected = n;
-            for record in &report.events {
+            for record in &report.churn {
                 expected = expected + record.joined - record.departed;
                 prop_assert_eq!(record.population_after, expected, "{}", engine);
             }

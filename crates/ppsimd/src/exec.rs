@@ -13,7 +13,7 @@ use std::panic::{self, AssertUnwindSafe};
 use bench::perf::Json;
 use ppsim::batched::EnumerableProtocol;
 use ppsim::mcheck::{
-    check_self_stabilization, expected_silence_time_exact, CorrectnessOracle, MCheckError,
+    check_self_stabilization_quotient, expected_silence_time_exact, CorrectnessOracle, MCheckError,
     MCheckOptions,
 };
 use ppsim::{
@@ -233,8 +233,18 @@ fn sim_err(err: SimError) -> WireError {
     WireError::new(ErrorKind::Unsupported, format!("engine rejected the request: {err:?}"))
 }
 
+/// Maps a model-checker refusal onto the wire vocabulary. Capacity
+/// overruns and protocol/scheduler shapes the checker cannot handle are
+/// `unsupported` — the request was well-formed, the combination is simply
+/// beyond the exact oracle — and the Display form carries the capacity
+/// detail (lattice size vs guard). Only faults of the checker itself (a
+/// spill-store I/O error, a stalled solve) are `internal`.
 fn mcheck_err(err: MCheckError) -> WireError {
-    WireError::new(ErrorKind::Unsupported, format!("model checker: {err:?}"))
+    let kind = match &err {
+        MCheckError::SpillIo { .. } | MCheckError::NotConverged { .. } => ErrorKind::Internal,
+        _ => ErrorKind::Unsupported,
+    };
+    WireError::new(kind, format!("model checker: {err}"))
 }
 
 /// Per-trial aggregates of a `run` request.
@@ -262,7 +272,7 @@ impl RunAccumulator {
     }
 }
 
-fn run_protocol<P: EnumerableProtocol + Copy>(
+fn run_protocol<P: EnumerableProtocol + Copy + Sync>(
     protocol: P,
     scenarios: &[Scenario<P>],
     spec: &RunSpec,
@@ -283,26 +293,30 @@ fn run_protocol<P: EnumerableProtocol + Copy>(
     for trial in 0..spec.trials {
         let seed = plan.seed_for(trial);
         let init = scenario.configuration(&protocol, seed);
+        // `ppsim::RunSpec` is the simulation-side run spec; the wire-side
+        // `RunSpec` in scope is the parsed request.
+        let mut sim_spec = ppsim::RunSpec::new(protocol)
+            .engine(spec.engine)
+            .budget(spec.budget)
+            .scheduler(scheduler.clone())
+            .init(init)
+            .seed(seed);
+        if let Some(faults) = &fault_plan {
+            sim_spec = sim_spec.faults(faults.clone());
+        }
+        if let Some(churn) = &churn_plan {
+            sim_spec = sim_spec.churn(churn.clone());
+        }
+        let report = sim_spec.run_one().map_err(sim_err)?;
         match (&fault_plan, &churn_plan) {
             (None, None) => {
-                let report = spec
-                    .engine
-                    .run_until_silent_scheduled(protocol, &init, seed, spec.budget, &scheduler)
-                    .map_err(sim_err)?;
                 acc.record(
                     report.outcome.interactions,
                     report.outcome.is_silent(),
                     report.final_config.len(),
                 );
             }
-            (Some(faults), None) => {
-                let report = spec.engine.run_until_silent_with_faults(
-                    protocol,
-                    &init,
-                    seed,
-                    spec.budget,
-                    faults,
-                );
+            (Some(_), None) => {
                 acc.record(
                     report.outcome.interactions,
                     report.outcome.is_silent(),
@@ -315,27 +329,7 @@ fn run_protocol<P: EnumerableProtocol + Copy>(
                         .map_or(Json::Null, |t| Json::Num(t.value())),
                 );
             }
-            (faults, Some(churn)) => {
-                let report = match faults {
-                    None => spec.engine.run_until_silent_with_churn(
-                        protocol,
-                        &init,
-                        seed,
-                        spec.budget,
-                        &scheduler,
-                        churn,
-                    ),
-                    Some(faults) => spec.engine.run_until_silent_with_churn_and_faults(
-                        protocol,
-                        &init,
-                        seed,
-                        spec.budget,
-                        &scheduler,
-                        churn,
-                        faults,
-                    ),
-                }
-                .map_err(sim_err)?;
+            (_, Some(_)) => {
                 acc.record(
                     report.outcome.interactions,
                     report.outcome.is_silent(),
@@ -393,17 +387,25 @@ fn expect_protocol<P: EnumerableProtocol + Copy>(
     map.insert("states".to_owned(), Json::Num(est.states as f64));
     map.insert("sweeps".to_owned(), Json::Num(est.sweeps as f64));
     map.insert("residual".to_owned(), Json::Num(est.residual));
+    map.insert("quotient".to_owned(), Json::Bool(est.quotient));
+    map.insert("spilled".to_owned(), Json::Bool(est.spilled));
     Ok(Json::Obj(map))
 }
 
 fn verify_protocol<P: EnumerableProtocol + CorrectnessOracle + Copy>(
     protocol: P,
 ) -> Result<Json, WireError> {
-    let report =
-        check_self_stabilization(protocol, &MCheckOptions::default()).map_err(mcheck_err)?;
+    // The quotient checker covers the same full lattice (exact lumping by
+    // the protocol's validated symmetry) while holding only orbit
+    // representatives; with the identity symmetry it degenerates to the
+    // dense check, so this is a strict capacity upgrade for the service.
+    let report = check_self_stabilization_quotient(protocol, &MCheckOptions::default())
+        .map_err(mcheck_err)?;
     let mut map = BTreeMap::new();
     map.insert("verified".to_owned(), Json::Bool(report.verified()));
     map.insert("configurations".to_owned(), Json::Num(report.configurations as f64));
+    map.insert("orbits".to_owned(), Json::Num(report.orbits as f64));
+    map.insert("group-order".to_owned(), Json::Num(report.group_order as f64));
     map.insert("silent".to_owned(), Json::Num(report.silent as f64));
     map.insert("correct".to_owned(), Json::Num(report.correct as f64));
     map.insert("silent-incorrect".to_owned(), Json::Num(report.silent_incorrect as f64));

@@ -294,6 +294,32 @@ fn mid_request_disconnect_leaves_the_server_responsive() {
     server.shutdown();
 }
 
+#[test]
+fn checker_capacity_overruns_are_typed_unsupported_with_the_detail() {
+    // n = 60 parses fine (the wire guard admits it) but the verify lattice
+    // C(119, 59) is astronomically over the checker's configuration guard:
+    // the response must be the typed `unsupported` error carrying the
+    // capacity detail — never `internal`, never a hang or a panic.
+    let server = small_server();
+    let mut client = Client::connect(&server);
+    let response = client.roundtrip(r#"{"type":"verify","protocol":"silent-n-state","n":60}"#);
+    match &response {
+        Response::Err(err) => {
+            assert_eq!(err.kind, ErrorKind::Unsupported, "capacity is unsupported: {err:?}");
+            assert!(
+                err.message.contains("configurations") && err.message.contains("guard"),
+                "message must carry the capacity detail: {:?}",
+                err.message
+            );
+        }
+        Response::Ok { .. } => panic!("a 10^34-configuration verify cannot succeed"),
+    }
+    // The same connection still serves supportable requests afterwards.
+    let response = client.roundtrip(r#"{"type":"verify","protocol":"fratricide","n":16}"#);
+    assert_eq!(error_kind(&response), None, "in-capacity verify should succeed: {response:?}");
+    server.shutdown();
+}
+
 // ---------------------------------------------------------------------------
 // Round-trip properties: serialize ∘ parse = identity
 // ---------------------------------------------------------------------------

@@ -6,7 +6,9 @@
 //! coupons per step, completing after `~ (1/2)·n·ln n` interactions in
 //! expectation.
 
-use ppsim::{Configuration, CorrectnessOracle, EnumerableProtocol, Protocol, Scenario};
+use ppsim::{
+    Configuration, CorrectnessOracle, EnumerableProtocol, Protocol, Scenario, StateSymmetry,
+};
 use rand::{Rng, RngCore};
 
 /// The participation status of one agent in the pairwise coupon collector.
@@ -128,6 +130,13 @@ impl EnumerableProtocol for Coupon {
 
     fn interaction_partners(&self, index: usize) -> Option<Vec<usize>> {
         Some(if index == 0 { vec![0, 1] } else { vec![0] })
+    }
+
+    /// Deliberately the trivial group: collection is one-directional (fresh
+    /// → collected), so no nontrivial relabeling commutes with the
+    /// transition.
+    fn state_symmetry(&self) -> StateSymmetry {
+        StateSymmetry::Identity
     }
 }
 

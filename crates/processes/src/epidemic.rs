@@ -12,7 +12,9 @@
 //! geometric waiting times (the number of infected agents is a sufficient
 //! statistic for this process).
 
-use ppsim::{Configuration, CorrectnessOracle, EnumerableProtocol, Protocol, Scenario};
+use ppsim::{
+    Configuration, CorrectnessOracle, EnumerableProtocol, Protocol, Scenario, StateSymmetry,
+};
 use rand::distributions::{Distribution, Uniform};
 use rand::{Rng, RngCore};
 
@@ -154,6 +156,14 @@ impl EnumerableProtocol for Epidemic {
 
     fn interaction_partners(&self, index: usize) -> Option<Vec<usize>> {
         Some(vec![1 - index])
+    }
+
+    /// Deliberately the trivial group: infection is one-directional
+    /// (susceptible → infected, never back), so swapping the two states is
+    /// *not* an automorphism and no nontrivial relabeling commutes with the
+    /// transition.
+    fn state_symmetry(&self) -> StateSymmetry {
+        StateSymmetry::Identity
     }
 }
 

@@ -15,6 +15,7 @@
 
 use ppsim::{
     Configuration, CorrectnessOracle, EnumerableProtocol, LeaderElectionProtocol, Protocol,
+    StateSymmetry,
 };
 use rand::distributions::Uniform;
 use rand::{Rng, RngCore};
@@ -115,6 +116,13 @@ impl EnumerableProtocol for Fratricide {
 
     fn interaction_partners(&self, index: usize) -> Option<Vec<usize>> {
         Some(if index == 0 { vec![0] } else { vec![] })
+    }
+
+    /// Deliberately the trivial group: leaders and followers behave
+    /// differently (`(L, L)` is the only non-null pair), so the swap is not
+    /// an automorphism.
+    fn state_symmetry(&self) -> StateSymmetry {
+        StateSymmetry::Identity
     }
 }
 

@@ -130,7 +130,12 @@ impl Roster {
 ///
 /// let protocol = RollCall::new(30);
 /// let init = protocol.initial_configuration();
-/// let report = Engine::Batched.run_until_silent_interned(protocol, &init, 11, u64::MAX >> 8);
+/// let report = RunSpec::new(protocol)
+///     .engine(Engine::Batched)
+///     .init(init)
+///     .seed(11)
+///     .run_one_interned()
+///     .unwrap();
 /// assert!(report.outcome.is_silent());
 /// assert!(RollCall::is_complete(&report.final_config));
 /// // Completion needs at least enough interactions for everyone to speak.
@@ -384,19 +389,20 @@ mod tests {
 
     #[test]
     fn roster_wipes_re_complete_on_both_engines() {
-        use ppsim::Engine;
+        use ppsim::{Engine, RunSpec};
         let n = 24;
         let protocol = RollCall::new(n);
         let plan = protocol.roster_wipe_fault_plan(2, n / 8);
         let init = protocol.initial_configuration();
         for engine in [Engine::Exact, Engine::Batched] {
-            let report = engine.run_until_silent_interned_with_faults(
-                protocol,
-                &init,
-                5,
-                u64::MAX >> 8,
-                &plan,
-            );
+            let report = RunSpec::new(protocol)
+                .engine(engine)
+                .budget(u64::MAX >> 8)
+                .init(init.clone())
+                .seed(5)
+                .faults(plan.clone())
+                .run_one_interned()
+                .unwrap();
             assert!(report.outcome.is_silent());
             assert!(RollCall::is_complete(&report.final_config));
             assert_eq!(report.injections.len(), 2);

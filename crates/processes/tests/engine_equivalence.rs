@@ -125,8 +125,20 @@ fn batched_and_exact_epidemic_agree_per_seed_on_the_verdict() {
     for seed in 0..10 {
         let protocol = Epidemic::new(40);
         let init = protocol.single_source_configuration();
-        let exact = Engine::Exact.run_until_silent(protocol, &init, seed, BUDGET);
-        let batched = Engine::Batched.run_until_silent(protocol, &init, seed, BUDGET);
+        let exact = RunSpec::new(protocol)
+            .engine(Engine::Exact)
+            .budget(BUDGET)
+            .init(init.clone())
+            .seed(seed)
+            .run_one()
+            .unwrap();
+        let batched = RunSpec::new(protocol)
+            .engine(Engine::Batched)
+            .budget(BUDGET)
+            .init(init)
+            .seed(seed)
+            .run_one()
+            .unwrap();
         assert_eq!(exact.outcome.reason, batched.outcome.reason);
         assert!(Epidemic::is_complete(&exact.final_config));
         assert!(Epidemic::is_complete(&batched.final_config));
@@ -200,8 +212,20 @@ fn roll_call_engines_agree_per_seed_on_the_verdict() {
     for seed in 0..10 {
         let protocol = RollCall::new(24);
         let init = protocol.initial_configuration();
-        let exact = Engine::Exact.run_until_silent_interned(protocol, &init, seed, BUDGET);
-        let interned = Engine::Batched.run_until_silent_interned(protocol, &init, seed, BUDGET);
+        let exact = RunSpec::new(protocol)
+            .engine(Engine::Exact)
+            .budget(BUDGET)
+            .init(init.clone())
+            .seed(seed)
+            .run_one_interned()
+            .unwrap();
+        let interned = RunSpec::new(protocol)
+            .engine(Engine::Batched)
+            .budget(BUDGET)
+            .init(init)
+            .seed(seed)
+            .run_one_interned()
+            .unwrap();
         assert_eq!(exact.outcome.reason, interned.outcome.reason);
         assert!(exact.outcome.is_silent());
         assert!(RollCall::is_complete(&exact.final_config));
@@ -223,12 +247,13 @@ fn roll_call_silence_times_match_the_specialized_sampler_on_both_engines() {
     let engine_times = |engine: Engine, salt: u64| {
         run_trials(&plan, |_, seed| {
             let protocol = RollCall::new(n);
-            let report = engine.run_until_silent_interned(
-                protocol,
-                &protocol.initial_configuration(),
-                seed ^ salt,
-                BUDGET,
-            );
+            let report = RunSpec::new(protocol)
+                .engine(engine)
+                .budget(BUDGET)
+                .init(protocol.initial_configuration())
+                .seed(seed ^ salt)
+                .run_one_interned()
+                .unwrap();
             assert!(report.outcome.is_silent());
             report.outcome.interactions.count() as f64
         })

@@ -24,7 +24,7 @@
 
 use ppsim::{
     Configuration, CorrectnessOracle, EnumerableProtocol, LeaderElectionProtocol, Protocol, Rank,
-    RankingProtocol, Scenario,
+    RankingProtocol, Scenario, StateSymmetry,
 };
 use rand::RngCore;
 
@@ -453,6 +453,30 @@ impl EnumerableProtocol for OptimalSilentSsr {
                 delaytimer: (index % (d_max + 1)) as u32,
             },
         }
+    }
+
+    /// For a *leaf* rank `r` (one with `2r > n` strictly, so the recruitment
+    /// guard `2·rank + children ≤ n` never fires), the states
+    /// `Settled { r, children: 1 }` and `Settled { r, children: 2 }` behave
+    /// identically: the children counter only gates recruitment, neither
+    /// state is ever *produced* by a transition (recruiters start below the
+    /// leaf boundary and children are born with `children: 0`), and the
+    /// oracle reads only the rank. Swapping the two is therefore a sound
+    /// automorphism, and the swaps for distinct leaf ranks commute — a
+    /// product of Z/2 factors of order `2^⌊(n−1)/2⌋`.
+    ///
+    /// Ranks with `2r == n` are excluded: there the recruit from
+    /// `Settled { r, children: 0 }` produces `Settled { r, children: 1 }`,
+    /// whose swap image `children: 2` is *not* what the transition yields, so
+    /// the swap fails equivariance (and the checker's generator validation
+    /// would reject it).
+    fn state_symmetry(&self) -> StateSymmetry {
+        let n = self.params.n;
+        let blocks: Vec<Vec<usize>> = (1..=n)
+            .filter(|&r| 2 * r > n)
+            .map(|r| vec![(r - 1) * 3 + 1, (r - 1) * 3 + 2])
+            .collect();
+        StateSymmetry::SymmetricBlocks(blocks)
     }
 }
 

@@ -15,7 +15,7 @@
 
 use ppsim::{
     Configuration, CorrectnessOracle, CorruptionTarget, EnumerableProtocol, FaultPlan,
-    LeaderElectionProtocol, Protocol, Rank, RankingProtocol, Scenario,
+    LeaderElectionProtocol, Protocol, Rank, RankingProtocol, Scenario, StateSymmetry,
 };
 use rand::{Rng, RngCore};
 
@@ -258,6 +258,16 @@ impl EnumerableProtocol for SilentNStateSsr {
     fn interaction_partners(&self, index: usize) -> Option<Vec<usize>> {
         Some(vec![index])
     }
+
+    /// Rotating every rank by one commutes with the transition (equal ranks
+    /// `r` map to `r` and `(r + 1) mod n`, and rotation preserves both), with
+    /// the null predicate (rank equality is rotation-invariant), and with the
+    /// oracle (a valid ranking has count vector `(1, …, 1)`, a fixed point of
+    /// rotation). The quotient shrinks the model checker's configuration
+    /// space by a factor approaching `n`.
+    fn state_symmetry(&self) -> StateSymmetry {
+        StateSymmetry::CyclicRotation
+    }
 }
 
 impl LeaderElectionProtocol for SilentNStateSsr {
@@ -420,7 +430,7 @@ mod tests {
 
     #[test]
     fn fault_plans_recover_to_the_ranking_on_both_engines() {
-        use ppsim::Engine;
+        use ppsim::{Engine, RunSpec};
         let n = 12;
         let protocol = SilentNStateSsr::new(n);
         let plans = protocol.adversarial_fault_plans();
@@ -429,13 +439,14 @@ mod tests {
         assert!(plans.iter().all(|p| p.burst_size() <= n));
         for engine in [Engine::Exact, Engine::Batched] {
             for plan in &plans {
-                let report = engine.run_until_silent_with_faults(
-                    protocol,
-                    &protocol.ranked_configuration(),
-                    13,
-                    u64::MAX >> 8,
-                    plan,
-                );
+                let report = RunSpec::new(protocol)
+                    .engine(engine)
+                    .budget(u64::MAX >> 8)
+                    .init(protocol.ranked_configuration())
+                    .seed(13)
+                    .faults((*plan).clone())
+                    .run_one()
+                    .unwrap();
                 assert!(report.outcome.is_silent(), "{} did not re-silence", plan.name());
                 assert!(
                     protocol.is_correctly_ranked(&report.final_config),

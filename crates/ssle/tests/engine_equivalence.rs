@@ -44,8 +44,20 @@ proptest! {
         let mut rng = ChaCha8Rng::seed_from_u64(scramble);
         let init = protocol.random_configuration(&mut rng);
 
-        let exact = Engine::Exact.run_until_silent(protocol, &init, seed, BUDGET);
-        let batched = Engine::Batched.run_until_silent(protocol, &init, seed, BUDGET);
+        let exact = RunSpec::new(protocol)
+            .engine(Engine::Exact)
+            .budget(BUDGET)
+            .init(init.clone())
+            .seed(seed)
+            .run_one()
+            .unwrap();
+        let batched = RunSpec::new(protocol)
+            .engine(Engine::Batched)
+            .budget(BUDGET)
+            .init(init)
+            .seed(seed)
+            .run_one()
+            .unwrap();
 
         prop_assert_eq!(exact.outcome.reason, batched.outcome.reason);
         prop_assert!(exact.outcome.is_silent());
@@ -70,9 +82,20 @@ proptest! {
         let mut rng = ChaCha8Rng::seed_from_u64(scramble);
         let init = protocol.random_configuration(&mut rng);
 
-        let batched = Engine::BatchedCounts.run_until_silent(protocol, &init, seed, BUDGET);
-        let interned = Engine::BatchedCounts
-            .run_until_silent_interned(AsInterned(protocol), &init, seed, BUDGET);
+        let batched = RunSpec::new(protocol)
+            .engine(Engine::BatchedCounts)
+            .budget(BUDGET)
+            .init(init.clone())
+            .seed(seed)
+            .run_one()
+            .unwrap();
+        let interned = RunSpec::new(AsInterned(protocol))
+            .engine(Engine::BatchedCounts)
+            .budget(BUDGET)
+            .init(init)
+            .seed(seed)
+            .run_one_interned()
+            .unwrap();
 
         prop_assert!(batched.outcome.is_silent());
         prop_assert!(interned.outcome.is_silent());
@@ -89,8 +112,20 @@ proptest! {
     fn silent_starts_are_instant_on_both_engines(n in 2usize..30, seed in any::<u64>()) {
         let protocol = SilentNStateSsr::new(n);
         let init = protocol.ranked_configuration();
-        let exact = Engine::Exact.run_until_silent(protocol, &init, seed, BUDGET);
-        let batched = Engine::Batched.run_until_silent(protocol, &init, seed, BUDGET);
+        let exact = RunSpec::new(protocol)
+            .engine(Engine::Exact)
+            .budget(BUDGET)
+            .init(init.clone())
+            .seed(seed)
+            .run_one()
+            .unwrap();
+        let batched = RunSpec::new(protocol)
+            .engine(Engine::Batched)
+            .budget(BUDGET)
+            .init(init)
+            .seed(seed)
+            .run_one()
+            .unwrap();
         prop_assert!(exact.outcome.is_silent() && batched.outcome.is_silent());
         prop_assert_eq!(exact.outcome.interactions, Interactions::ZERO);
         prop_assert_eq!(batched.outcome.interactions, Interactions::ZERO);
@@ -173,9 +208,20 @@ proptest! {
         let mut rng = ChaCha8Rng::seed_from_u64(scramble);
         let init = protocol.random_configuration(&mut rng);
 
-        let exact = Engine::Exact.run_until_silent(protocol, &init, seed, BUDGET);
-        let interned =
-            Engine::Batched.run_until_silent_interned(AsInterned(protocol), &init, seed, BUDGET);
+        let exact = RunSpec::new(protocol)
+            .engine(Engine::Exact)
+            .budget(BUDGET)
+            .init(init.clone())
+            .seed(seed)
+            .run_one()
+            .unwrap();
+        let interned = RunSpec::new(AsInterned(protocol))
+            .engine(Engine::Batched)
+            .budget(BUDGET)
+            .init(init)
+            .seed(seed)
+            .run_one_interned()
+            .unwrap();
 
         prop_assert_eq!(exact.outcome.reason, interned.outcome.reason);
         prop_assert!(exact.outcome.is_silent());
@@ -270,19 +316,20 @@ proptest! {
 /// Runs `trials` to-silence executions of `Silent-n-state-SSR` from random
 /// configurations and returns the per-trial parallel times.
 fn silence_times(n: usize, engine: Engine, trials: usize, seed: u64) -> Vec<f64> {
-    let reports = run_engine_trials(&TrialPlan::new(trials, seed), engine, BUDGET, |_, s| {
+    run_trials(&TrialPlan::new(trials, seed), |_, s| {
         let protocol = SilentNStateSsr::new(n);
         let mut rng = ChaCha8Rng::seed_from_u64(s ^ 0xD1CE);
         let config = protocol.random_configuration(&mut rng);
-        (protocol, config)
-    });
-    reports
-        .into_iter()
-        .map(|r| {
-            assert!(r.outcome.is_silent());
-            r.parallel_time().value()
-        })
-        .collect()
+        let report = RunSpec::new(protocol)
+            .engine(engine)
+            .budget(BUDGET)
+            .init(config)
+            .seed(s)
+            .run_one()
+            .unwrap();
+        assert!(report.outcome.is_silent());
+        report.parallel_time().value()
+    })
 }
 
 fn mean_and_se(samples: &[f64]) -> (f64, f64) {
@@ -340,8 +387,13 @@ fn mean_stabilization_times_match_on_the_interned_backend() {
             let protocol = SilentNStateSsr::new(n);
             let mut rng = ChaCha8Rng::seed_from_u64(s ^ 0xD1CE);
             let config = protocol.random_configuration(&mut rng);
-            let report =
-                mode_engine.run_until_silent_interned(AsInterned(protocol), &config, s, BUDGET);
+            let report = RunSpec::new(AsInterned(protocol))
+                .engine(mode_engine)
+                .budget(BUDGET)
+                .init(config)
+                .seed(s)
+                .run_one_interned()
+                .unwrap();
             assert!(report.outcome.is_silent());
             report.parallel_time().value()
         })
@@ -548,11 +600,18 @@ fn batched_worst_case_time_matches_the_closed_form() {
     // so it faces the same closed form independently.
     let expected = ((n - 1) as f64).powi(2) / 2.0;
     for (engine, seed) in [(Engine::Batched, 9u64), (Engine::BatchedCounts, 15)] {
-        let reports = run_engine_trials(&TrialPlan::new(trials, seed), engine, BUDGET, |_, _| {
+        let times: Vec<f64> = run_trials(&TrialPlan::new(trials, seed), |_, s| {
             let protocol = SilentNStateSsr::new(n);
-            (protocol, protocol.worst_case_configuration())
+            RunSpec::new(protocol)
+                .engine(engine)
+                .budget(BUDGET)
+                .init(protocol.worst_case_configuration())
+                .seed(s)
+                .run_one()
+                .unwrap()
+                .parallel_time()
+                .value()
         });
-        let times: Vec<f64> = reports.iter().map(|r| r.parallel_time().value()).collect();
         let (mean, se) = mean_and_se(&times);
         let allowance = 1.5 * t_quantile_975(trials - 1) * se + 0.02 * expected;
         assert!(
@@ -586,15 +645,23 @@ fn mean_fault_recovery_times_match_across_engines() {
             let mut rng = ChaCha8Rng::seed_from_u64(s ^ 0xFA);
             let init = protocol.random_configuration(&mut rng);
             let report = if interned {
-                engine.run_until_silent_interned_with_faults(
-                    AsInterned(protocol),
-                    &init,
-                    s,
-                    BUDGET,
-                    &plan,
-                )
+                RunSpec::new(AsInterned(protocol))
+                    .engine(engine)
+                    .budget(BUDGET)
+                    .init(init)
+                    .seed(s)
+                    .faults(plan.clone())
+                    .run_one_interned()
+                    .unwrap()
             } else {
-                engine.run_until_silent_with_faults(protocol, &init, s, BUDGET, &plan)
+                RunSpec::new(protocol)
+                    .engine(engine)
+                    .budget(BUDGET)
+                    .init(init)
+                    .seed(s)
+                    .faults(plan.clone())
+                    .run_one()
+                    .unwrap()
             };
             assert!(report.outcome.is_silent());
             assert!(protocol.is_correctly_ranked(&report.final_config));

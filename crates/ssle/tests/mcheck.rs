@@ -5,9 +5,10 @@
 
 use analysis::{t_quantile_975, Summary};
 use ppsim::mcheck::{
-    check_fault_plan_closure, check_self_stabilization, expected_silence_time_exact, MCheckOptions,
+    check_fault_plan_closure, check_self_stabilization, check_self_stabilization_quotient,
+    expected_silence_time_exact, MCheckOptions,
 };
-use ppsim::{run_trials, Configuration, Engine, Simulation, TrialPlan};
+use ppsim::{run_trials, Configuration, Engine, RunSpec, Simulation, TrialPlan};
 use proptest::prelude::*;
 use ssle::{OptimalSilentParams, OptimalSilentSsr, SilentNStateSsr};
 
@@ -133,8 +134,13 @@ where
 {
     let plan = TrialPlan::new(200, 0xBC5EED);
     run_trials(&plan, |_, seed| {
-        let report =
-            Engine::BatchedCounts.run_until_silent(protocol.clone(), config, seed, u64::MAX >> 8);
+        let report = RunSpec::new(protocol.clone())
+            .engine(Engine::BatchedCounts)
+            .budget(u64::MAX >> 8)
+            .init(config.clone())
+            .seed(seed)
+            .run_one()
+            .unwrap();
         assert!(report.outcome.is_silent());
         report.outcome.interactions.count() as f64
     })
@@ -231,5 +237,112 @@ proptest! {
                 &format!("optimal-silent {} n={n} seed={seed}", scenario.name()),
             );
         }
+    }
+}
+
+/// The symmetry quotient is an exact lumping: the quotient proof must reach
+/// the same verdict as the dense proof while covering the same full lattice
+/// with strictly fewer working states (orbit representatives).
+#[test]
+fn quotient_proof_agrees_with_the_dense_proof() {
+    for n in 2..=4usize {
+        let dense =
+            check_self_stabilization(SilentNStateSsr::new(n), &MCheckOptions::default()).unwrap();
+        let quot =
+            check_self_stabilization_quotient(SilentNStateSsr::new(n), &MCheckOptions::default())
+                .unwrap();
+        assert!(dense.verified() && quot.verified(), "n = {n}");
+        assert_eq!(quot.configurations, ppsim::mcheck::lattice_size(n, n).unwrap());
+        assert_eq!(quot.configurations, dense.configurations as u128);
+        assert_eq!(quot.group_order, n as u128, "CyclicRotation on n ranks");
+        assert!(quot.orbits <= dense.configurations, "the quotient never grows the space");
+        // Orbits have size at most |G|, so they cannot undercount either.
+        assert!(quot.orbits as u128 * quot.group_order >= quot.configurations);
+        // The unique silent multiset (every rank once) is rotation-fixed:
+        // one silent orbit, and it is the one correct orbit.
+        assert_eq!(quot.silent, 1);
+        assert_eq!(quot.correct, 1);
+    }
+
+    // Optimal-Silent-SSR declares a product-of-swaps group (SymmetricBlocks)
+    // rather than a rotation; the agreement must hold there too.
+    let dense = check_self_stabilization(
+        OptimalSilentSsr::new(OptimalSilentParams::mcheck(3)),
+        &MCheckOptions::default(),
+    )
+    .unwrap();
+    let quot = check_self_stabilization_quotient(
+        OptimalSilentSsr::new(OptimalSilentParams::mcheck(3)),
+        &MCheckOptions::default(),
+    )
+    .unwrap();
+    assert!(dense.verified() && quot.verified());
+    assert_eq!(quot.configurations, dense.configurations as u128);
+    assert!(quot.orbits < dense.configurations, "a nontrivial group must shrink the space");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Quotient-vs-dense equivalence of the absorbing-chain solve: from any
+    /// adversarially seeded configuration at n ∈ {2, 3, 4}, the expected
+    /// silence time computed on the symmetry quotient matches the dense
+    /// (unquotiented) solve to solver precision, the quotient flag is
+    /// reported truthfully on both sides, and the quotient never enlarges
+    /// the working set.
+    #[test]
+    fn quotient_expected_times_match_the_dense_solve(
+        n in 2usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let dense_options = MCheckOptions { use_symmetry: false, ..MCheckOptions::default() };
+        for scenario in SilentNStateSsr::adversarial_scenarios() {
+            if n < 3 && scenario.name() == "near-silent-wrong" {
+                continue; // family needs n ≥ 3
+            }
+            let protocol = SilentNStateSsr::new(n);
+            let config = scenario.configuration(&protocol, seed);
+            let dense = expected_silence_time_exact(protocol, &config, &dense_options).unwrap();
+            let quot =
+                expected_silence_time_exact(protocol, &config, &MCheckOptions::default()).unwrap();
+            prop_assert!(!dense.quotient);
+            prop_assert!(quot.quotient, "CyclicRotation must engage the quotient");
+            prop_assert!(quot.states <= dense.states);
+            let rel = (dense.expected_interactions - quot.expected_interactions).abs()
+                / dense.expected_interactions.max(1.0);
+            prop_assert!(
+                rel <= 1e-9,
+                "{} n={n}: dense {} vs quotient {}",
+                scenario.name(),
+                dense.expected_interactions,
+                quot.expected_interactions
+            );
+        }
+    }
+
+    /// The same dense-vs-quotient agreement under the SymmetricBlocks group
+    /// of Optimal-Silent-SSR with the tiny mcheck timers.
+    #[test]
+    fn optimal_silent_quotient_times_match_the_dense_solve(
+        n in 2usize..=3,
+        seed in any::<u64>(),
+    ) {
+        let dense_options = MCheckOptions { use_symmetry: false, ..MCheckOptions::default() };
+        let protocol = OptimalSilentSsr::new(OptimalSilentParams::mcheck(n));
+        let config = protocol.adversarial_all_same_rank(1 + (seed % n as u64) as u32);
+        let dense = expected_silence_time_exact(protocol, &config, &dense_options).unwrap();
+        let quot =
+            expected_silence_time_exact(protocol, &config, &MCheckOptions::default()).unwrap();
+        prop_assert!(!dense.quotient);
+        prop_assert!(quot.quotient);
+        prop_assert!(quot.states <= dense.states);
+        let rel = (dense.expected_interactions - quot.expected_interactions).abs()
+            / dense.expected_interactions.max(1.0);
+        prop_assert!(
+            rel <= 1e-9,
+            "n={n}: dense {} vs quotient {}",
+            dense.expected_interactions,
+            quot.expected_interactions
+        );
     }
 }

@@ -47,14 +47,12 @@ fn main() {
     // *relative to the ring*: the fleet stops when no adjacent pair can act,
     // even if far-apart sensors still duplicate a rank.
     let ring = InteractionScheduler::GraphRestricted(Topology::Ring);
-    let report = Engine::Exact
-        .run_until_silent_scheduled(
-            protocol,
-            &protocol.all_same_rank_configuration(),
-            11,
-            BUDGET,
-            &ring,
-        )
+    let report = RunSpec::new(protocol)
+        .budget(BUDGET)
+        .scheduler(ring.clone())
+        .init(protocol.all_same_rank_configuration())
+        .seed(11)
+        .run_one()
         .expect("graph topologies run on the exact engine");
     assert!(report.outcome.is_silent());
     describe(
@@ -67,19 +65,17 @@ fn main() {
     // Phase 2: the same ring fleet with the maintenance churn. Every
     // join/leave rebuilds the ring at the new size, and the driver measures
     // re-stabilization after each event.
-    let churned = Engine::Exact
-        .run_until_silent_with_churn(
-            protocol,
-            &protocol.all_same_rank_configuration(),
-            23,
-            BUDGET,
-            &ring,
-            &churn,
-        )
+    let churned = RunSpec::new(protocol)
+        .budget(BUDGET)
+        .scheduler(ring)
+        .init(protocol.all_same_rank_configuration())
+        .seed(23)
+        .churn(churn.clone())
+        .run_one()
         .expect("churn composes with graph topologies on the exact engine");
     assert!(churned.outcome.is_silent());
     assert_eq!(churned.final_population(), n, "replacement churn keeps the fleet size");
-    for (i, event) in churned.events.iter().enumerate() {
+    for (i, event) in churned.churn.iter().enumerate() {
         println!(
             "  maintenance event {}: {} sensors swapped at t = {}, fleet size {}",
             i + 1,
@@ -99,15 +95,13 @@ fn main() {
     // of the paper's model (here on the batched engine; count engines accept
     // uniform and weighted schedulers, just not agent-identity graphs). Now
     // re-convergence to a *correct* ranking is guaranteed, churn included.
-    let complete = Engine::Batched
-        .run_until_silent_with_churn(
-            protocol,
-            &protocol.all_same_rank_configuration(),
-            23,
-            BUDGET,
-            &InteractionScheduler::Uniform,
-            &churn,
-        )
+    let complete = RunSpec::new(protocol)
+        .engine(Engine::Batched)
+        .budget(BUDGET)
+        .init(protocol.all_same_rank_configuration())
+        .seed(23)
+        .churn(churn)
+        .run_one()
         .expect("uniform schedulers run on every engine");
     assert!(complete.outcome.is_silent());
     assert_eq!(complete.final_population(), n);

@@ -63,24 +63,20 @@ fn uniform_scheduler_is_trajectory_preserving_on_every_engine() {
         let init = frat.all_leaders_configuration();
         for (seed, pin) in seeds.iter().zip(pins) {
             let report = if label == "interned" {
-                Engine::Batched
-                    .run_until_silent_interned_scheduled(
-                        AsInterned(frat),
-                        &init,
-                        *seed,
-                        BUDGET,
-                        &InteractionScheduler::Uniform,
-                    )
+                RunSpec::new(AsInterned(frat))
+                    .engine(Engine::Batched)
+                    .budget(BUDGET)
+                    .init(init.clone())
+                    .seed(*seed)
+                    .run_one_interned()
                     .unwrap()
             } else {
-                engine_by_label(label)
-                    .run_until_silent_scheduled(
-                        frat,
-                        &init,
-                        *seed,
-                        BUDGET,
-                        &InteractionScheduler::Uniform,
-                    )
+                RunSpec::new(frat)
+                    .engine(engine_by_label(label))
+                    .budget(BUDGET)
+                    .init(init.clone())
+                    .seed(*seed)
+                    .run_one()
                     .unwrap()
             };
             assert!(report.outcome.is_silent());
@@ -96,27 +92,20 @@ fn uniform_scheduler_is_trajectory_preserving_on_every_engine() {
         let protocol = SilentNStateSsr::new(16);
         let init = protocol.all_same_rank_configuration();
         for (seed, pin) in [3u64, 7, 11].iter().zip(pins) {
-            let engine = engine_by_label(label);
-            let report = engine
-                .run_until_silent_scheduled(
-                    protocol,
-                    &init,
-                    *seed,
-                    BUDGET,
-                    &InteractionScheduler::Uniform,
-                )
+            let report = RunSpec::new(protocol)
+                .engine(engine_by_label(label))
+                .budget(BUDGET)
+                .init(init.clone())
+                .seed(*seed)
+                .run_one()
                 .unwrap();
             assert!(report.outcome.is_silent());
             assert_eq!(
                 report.outcome.interactions.count(),
                 pin,
-                "ssr n=16 seed={seed} on {label}: scheduled run diverged from \
+                "ssr n=16 seed={seed} on {label}: the spec-driven run diverged from \
                  the pre-refactor trajectory"
             );
-            // ... and the scheduled entry point is the plain engine's
-            // execution, not merely an equal-valued one.
-            let plain = engine.run_until_silent(protocol, &init, *seed, BUDGET);
-            assert_eq!(plain, report);
         }
     }
 }
@@ -139,13 +128,16 @@ fn weighted_silence_distributions_agree_across_all_four_backends() {
             run_trials(&TrialPlan::new(trials, base), |_, seed| {
                 let frat = Fratricide::new(n);
                 let init = frat.all_leaders_configuration();
-                let report = match backend {
-                    "exact" => Engine::Exact
-                        .run_until_silent_scheduled(frat, &init, seed, BUDGET, &scheduler)
-                        .unwrap(),
-                    "indexed" => Engine::Batched
-                        .run_until_silent_scheduled(frat, &init, seed, BUDGET, &scheduler)
-                        .unwrap(),
+                let spec = |p| {
+                    RunSpec::new(p)
+                        .budget(BUDGET)
+                        .scheduler(scheduler.clone())
+                        .init(init.clone())
+                        .seed(seed)
+                };
+                let outcome = match backend {
+                    "exact" => spec(frat).run_one().unwrap().outcome,
+                    "indexed" => spec(frat).engine(Engine::Batched).run_one().unwrap().outcome,
                     "dense" => {
                         let mut sim = BatchedSimulation::try_new_scheduled(
                             ForceDense(frat),
@@ -154,22 +146,23 @@ fn weighted_silence_distributions_agree_across_all_four_backends() {
                             &scheduler,
                         )
                         .unwrap();
-                        let outcome = sim.run_until_silent(BUDGET);
-                        EngineReport { outcome, final_config: sim.to_configuration() }
+                        sim.run_until_silent(BUDGET)
                     }
-                    "interned" => Engine::Batched
-                        .run_until_silent_interned_scheduled(
-                            AsInterned(frat),
-                            &init,
-                            seed,
-                            BUDGET,
-                            &scheduler,
-                        )
-                        .unwrap(),
+                    "interned" => {
+                        RunSpec::new(AsInterned(frat))
+                            .engine(Engine::Batched)
+                            .budget(BUDGET)
+                            .scheduler(scheduler.clone())
+                            .init(init.clone())
+                            .seed(seed)
+                            .run_one_interned()
+                            .unwrap()
+                            .outcome
+                    }
                     other => panic!("unknown backend {other}"),
                 };
-                assert!(report.outcome.is_silent());
-                report.outcome.interactions.count() as f64 / n as f64
+                assert!(outcome.is_silent());
+                outcome.interactions.count() as f64 / n as f64
             })
         };
         let exact = times("exact", 211 + n as u64);
@@ -200,8 +193,13 @@ fn weighted_mcheck_predicts_count_engine_means_at_tiny_n() {
             expected_silence_time_scheduled(frat, &init, &scheduler, &MCheckOptions::default())
                 .unwrap();
         let samples = run_trials(&TrialPlan::new(trials, 997 + n as u64), |_, seed| {
-            let report = Engine::Batched
-                .run_until_silent_scheduled(frat, &init, seed, BUDGET, &scheduler)
+            let report = RunSpec::new(frat)
+                .engine(Engine::Batched)
+                .budget(BUDGET)
+                .scheduler(scheduler.clone())
+                .init(init.clone())
+                .seed(seed)
+                .run_one()
                 .unwrap();
             assert!(report.outcome.is_silent());
             report.outcome.interactions.count() as f64
@@ -231,19 +229,20 @@ fn churn_recovery_composes_with_scenarios_across_crates() {
         2,
         ChurnAction::Replace { count: 2, state: CorruptionTarget::Fixed(SilentRank(0)) },
     );
-    let reports = run_churn_trials(
-        &TrialPlan::new(6, 41),
-        Engine::Batched,
-        BUDGET,
-        &InteractionScheduler::Uniform,
-        &plan,
-        |_, _| (protocol, protocol.all_same_rank_configuration()),
-    )
-    .unwrap();
+    let reports = run_trials(&TrialPlan::new(6, 41), |_, seed| {
+        RunSpec::new(protocol)
+            .engine(Engine::Batched)
+            .budget(BUDGET)
+            .init(protocol.all_same_rank_configuration())
+            .seed(seed)
+            .churn(plan.clone())
+            .run_one()
+            .unwrap()
+    });
     for report in &reports {
         assert!(report.outcome.is_silent());
         assert_eq!(report.final_population(), n);
-        assert_eq!(report.events.len(), 2);
+        assert_eq!(report.churn.len(), 2);
         assert!(protocol.is_correctly_ranked(&report.final_config));
     }
 }
