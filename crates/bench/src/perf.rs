@@ -365,6 +365,149 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
         .ok_or_else(|| err(start, "invalid number"))
 }
 
+/// One completed span destined for a Chrome trace-event document: a name,
+/// a thread lane, and microsecond start/end timestamps relative to an
+/// arbitrary (but shared) origin.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceSpan {
+    /// Event name (shown on the slice in Perfetto).
+    pub name: String,
+    /// Thread lane the slice renders in.
+    pub tid: u64,
+    /// Start timestamp, microseconds from the trace origin.
+    pub start_us: u64,
+    /// End timestamp, microseconds from the trace origin.
+    pub end_us: u64,
+}
+
+/// Serializes spans as a Chrome trace-event JSON document
+/// (`{"traceEvents": [...]}` with `B`/`E` duration events), loadable by
+/// Perfetto / `chrome://tracing`.
+///
+/// Events are emitted with non-decreasing timestamps, and each lane
+/// (`tid`) keeps begin/end stack discipline even for zero-duration spans:
+/// every lane's stream is generated by a span-stack walk (outer spans open
+/// first, inner spans close first) and the lanes are merged on timestamps
+/// alone, so [`validate_chrome_trace`] accepts every serialized document.
+pub fn chrome_trace(spans: &[TraceSpan]) -> Json {
+    // Build each lane's event stream with an explicit span stack so begin/
+    // end events pair with stack discipline *by construction* — a plain
+    // global sort cannot express that a zero-duration span's begin precedes
+    // its own end at the same timestamp. Lanes are then merged on
+    // timestamps only, which preserves each lane's internal order.
+    let mut lanes: BTreeMap<u64, Vec<&TraceSpan>> = BTreeMap::new();
+    for span in spans {
+        lanes.entry(span.tid).or_default().push(span);
+    }
+    let mut streams: Vec<Vec<(u64, bool, &TraceSpan)>> = Vec::with_capacity(lanes.len());
+    for lane in lanes.values_mut() {
+        // Outer spans first at equal starts (longer duration wins), so the
+        // stack below reconstructs the recorder's nesting.
+        lane.sort_by_key(|s| (s.start_us, u64::MAX - s.end_us.saturating_sub(s.start_us)));
+        let mut events: Vec<(u64, bool, &TraceSpan)> = Vec::with_capacity(lane.len() * 2);
+        let mut open: Vec<&TraceSpan> = Vec::new();
+        for &span in lane.iter() {
+            while let Some(&top) = open.last() {
+                if top.end_us <= span.start_us {
+                    events.push((top.end_us, false, top));
+                    open.pop();
+                } else {
+                    break;
+                }
+            }
+            events.push((span.start_us, true, span));
+            open.push(span);
+        }
+        while let Some(top) = open.pop() {
+            events.push((top.end_us, false, top));
+        }
+        streams.push(events);
+    }
+    // K-way merge on timestamps (ties: lane order), lane streams untouched.
+    let total = streams.iter().map(Vec::len).sum();
+    let mut cursors = vec![0usize; streams.len()];
+    let mut events: Vec<Json> = Vec::with_capacity(total);
+    while events.len() < total {
+        let next = (0..streams.len())
+            .filter(|&lane| cursors[lane] < streams[lane].len())
+            .min_by_key(|&lane| streams[lane][cursors[lane]].0)
+            .expect("some stream still has events");
+        let (ts, is_begin, span) = streams[next][cursors[next]];
+        cursors[next] += 1;
+        let mut map = BTreeMap::new();
+        map.insert("name".to_owned(), Json::Str(span.name.clone()));
+        map.insert("ph".to_owned(), Json::Str(if is_begin { "B" } else { "E" }.to_owned()));
+        map.insert("ts".to_owned(), Json::Num(ts as f64));
+        map.insert("pid".to_owned(), Json::Num(1.0));
+        map.insert("tid".to_owned(), Json::Num(span.tid as f64));
+        events.push(Json::Obj(map));
+    }
+    let mut doc = BTreeMap::new();
+    doc.insert("traceEvents".to_owned(), Json::Arr(events));
+    doc.insert("displayTimeUnit".to_owned(), Json::Str("ms".to_owned()));
+    Json::Obj(doc)
+}
+
+/// Validates a Chrome trace-event document: `traceEvents` must be an array
+/// of `B`/`E` events with string names, non-negative numeric timestamps in
+/// non-decreasing order, and per-lane begin/end events that balance with
+/// stack discipline (every `E` closes the innermost open `B` of the same
+/// name). Returns the event count.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation.
+pub fn validate_chrome_trace(doc: &Json) -> Result<usize, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing \"traceEvents\" array".to_owned())?;
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    for (i, event) in events.iter().enumerate() {
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string \"name\""))?;
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string \"ph\""))?;
+        let ts = event
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("event {i}: missing numeric \"ts\""))?;
+        if !(ts.is_finite() && ts >= 0.0) {
+            return Err(format!("event {i}: timestamp {ts} is not a non-negative finite number"));
+        }
+        if ts < last_ts {
+            return Err(format!("event {i}: timestamp {ts} goes backwards (prev {last_ts})"));
+        }
+        last_ts = ts;
+        let tid = event.get("tid").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let stack = stacks.entry(tid).or_default();
+        match ph {
+            "B" => stack.push(name.to_owned()),
+            "E" => match stack.pop() {
+                Some(open) if open == name => {}
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: \"E\" for {name:?} closes open span {open:?} (not nested)"
+                    ))
+                }
+                None => return Err(format!("event {i}: \"E\" for {name:?} with no open span")),
+            },
+            other => return Err(format!("event {i}: unsupported phase {other:?}")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("lane {tid}: span {open:?} never ends"));
+        }
+    }
+    Ok(events.len())
+}
+
 /// One speedup record extracted from a bench JSON: a stable key identifying
 /// the measurement cell and the recorded exact-vs-batched speedup.
 #[derive(Clone, PartialEq, Debug)]
@@ -563,8 +706,12 @@ mod tests {
 
     #[test]
     fn parses_the_committed_baselines() {
-        for path in ["../../BENCH_batched.json", "../../BENCH_interned.json", "../../BENCH_mc.json"]
-        {
+        for path in [
+            "../../BENCH_batched.json",
+            "../../BENCH_interned.json",
+            "../../BENCH_mc.json",
+            "../../BENCH_obs.json",
+        ] {
             let text = std::fs::read_to_string(path).expect("committed baseline exists");
             let doc = parse(&text).expect("baseline parses");
             let records = speedup_records(&doc);
@@ -638,6 +785,64 @@ mod tests {
         // The two old-name cells collapse into one missing-workload entry,
         // not two skipped cells.
         assert!(report.skipped.is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_sorted_and_balanced() {
+        let spans = vec![
+            TraceSpan { name: "epoch.apply".into(), tid: 1, start_us: 12, end_us: 30 },
+            TraceSpan { name: "epoch.draw".into(), tid: 1, start_us: 0, end_us: 10 },
+            // Nested inside epoch.apply, sharing its end timestamp.
+            TraceSpan { name: "silence.check".into(), tid: 1, start_us: 20, end_us: 30 },
+            // A second lane, overlapping lane 1 freely.
+            TraceSpan { name: "request.execute".into(), tid: 2, start_us: 5, end_us: 28 },
+            // Zero-duration spans (sub-microsecond phases) — one nested at
+            // its parent's end, one free-standing — must still pair B
+            // before E inside their lane.
+            TraceSpan { name: "epoch.draw".into(), tid: 1, start_us: 30, end_us: 30 },
+            TraceSpan { name: "spill.order".into(), tid: 3, start_us: 7, end_us: 7 },
+        ];
+        let doc = chrome_trace(&spans);
+        // Round-trip through the parser: the serialized text is valid JSON
+        // and re-parses to the same document.
+        let text = to_string(&doc);
+        let parsed = parse(&text).expect("trace serializes to valid JSON");
+        assert_eq!(parsed, doc);
+        let events = validate_chrome_trace(&parsed).expect("trace validates");
+        assert_eq!(events, spans.len() * 2);
+        // Timestamps are sorted.
+        let ts: Vec<f64> = parsed
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|e| e.get("ts").unwrap().as_f64().unwrap())
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn trace_validation_rejects_malformed_documents() {
+        assert!(validate_chrome_trace(&parse("{}").unwrap()).is_err());
+        // Unbalanced: an E with no open B.
+        let bad =
+            parse(r#"{"traceEvents": [{"name": "x", "ph": "E", "ts": 1, "pid": 1, "tid": 1}]}"#)
+                .unwrap();
+        assert!(validate_chrome_trace(&bad).unwrap_err().contains("no open span"));
+        // Backwards timestamps.
+        let bad = parse(
+            r#"{"traceEvents": [
+                {"name": "x", "ph": "B", "ts": 5, "pid": 1, "tid": 1},
+                {"name": "x", "ph": "E", "ts": 1, "pid": 1, "tid": 1}
+            ]}"#,
+        )
+        .unwrap();
+        assert!(validate_chrome_trace(&bad).unwrap_err().contains("backwards"));
+        // A span left open.
+        let bad =
+            parse(r#"{"traceEvents": [{"name": "x", "ph": "B", "ts": 1, "pid": 1, "tid": 1}]}"#)
+                .unwrap();
+        assert!(validate_chrome_trace(&bad).unwrap_err().contains("never ends"));
     }
 
     #[test]

@@ -109,6 +109,7 @@ use crate::protocol::Protocol;
 use crate::sampling::{sample_hypergeometric, sample_interleaved_nulls, sample_victims_by_counts};
 use crate::scheduler::{IndexRates, InteractionScheduler};
 use crate::symmetry::StateSymmetry;
+use crate::telemetry::{Counter, CounterBlock, Probe, Recorder, TelemetrySink};
 use crate::time::{Interactions, ParallelTime};
 
 /// A [`Protocol`] with a finite, enumerable state space: a bijection between
@@ -417,13 +418,14 @@ pub struct BatchedSimulation<P: EnumerableProtocol> {
     /// the `None` path is byte-for-byte the pre-scheduler arithmetic, which
     /// keeps uniform trajectories seed-stable across the layer).
     rates: Option<IndexRates>,
-    /// How often a batch-count run fell back to per-transition sampling
-    /// because the scheduler is not uniform.
-    scheduler_fallbacks: u64,
-    /// Batch-count diagnostics: epochs drawn and table entries clamped away
-    /// by the collision-free availability cap.
-    epochs: u64,
-    truncations: u64,
+    /// The unified telemetry registry (see [`crate::telemetry`]): absorbs the
+    /// former ad-hoc `epochs` / `truncations` / `scheduler_fallbacks` fields.
+    /// Counters never touch the RNG, so the registry cannot perturb a
+    /// trajectory.
+    counters: CounterBlock,
+    /// Probe/span sink; [`TelemetrySink::Noop`] (free) unless a recorder is
+    /// attached.
+    telemetry: TelemetrySink,
     /// Per-epoch agent availability, stamped with the epoch number so
     /// clearing between epochs is free (lazily sized on first epoch).
     scratch_avail: Vec<u64>,
@@ -505,9 +507,8 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
             n,
             mode: SamplingMode::default(),
             rates: None,
-            scheduler_fallbacks: 0,
-            epochs: 0,
-            truncations: 0,
+            counters: CounterBlock::default(),
+            telemetry: TelemetrySink::Noop,
             scratch_avail: Vec::new(),
             scratch_stamp: Vec::new(),
         };
@@ -583,25 +584,65 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
     }
 
     /// The number of batch-count epochs drawn so far (always 0 in
-    /// per-transition mode).
+    /// per-transition mode) — the `engine.epochs_opened` telemetry counter.
     pub fn batch_epochs(&self) -> u64 {
-        self.epochs
+        self.counters.get(Counter::EpochsOpened)
     }
 
     /// The number of drawn table interactions clamped away by the
-    /// collision-free availability cap, summed over all epochs. The ratio
-    /// `batch_truncations / transitions` is the schedule-approximation
+    /// collision-free availability cap, summed over all **committed** epochs
+    /// (a budget-overshooting epoch rolls its truncations back with its
+    /// transitions) — the `engine.batch_truncations` telemetry counter. The
+    /// ratio `batch_truncations / transitions` is the schedule-approximation
     /// diagnostic the statistical suites pin down.
     pub fn batch_truncations(&self) -> u64 {
-        self.truncations
+        self.counters.get(Counter::BatchTruncations)
     }
 
     /// How often a [`SamplingMode::BatchCount`] run fell back to
     /// per-transition sampling because the scheduler is not uniform (the
     /// epoch tables freeze an exchangeable pair measure, which a weighted
     /// scheduler reshapes mid-epoch). Always 0 under the uniform scheduler.
+    /// The `engine.scheduler_fallbacks` telemetry counter.
     pub fn scheduler_fallbacks(&self) -> u64 {
-        self.scheduler_fallbacks
+        self.counters.get(Counter::SchedulerFallbacks)
+    }
+
+    /// A snapshot of the unified telemetry counter registry for this run
+    /// (see [`crate::telemetry`]), with the applied-transition count mirrored
+    /// into [`Counter::Transitions`].
+    pub fn counters(&self) -> CounterBlock {
+        let mut block = self.counters;
+        block.set(Counter::Transitions, self.transitions);
+        block
+    }
+
+    /// Adds `by` events to the registry (the drivers' accounting hook).
+    pub(crate) fn add_counter(&mut self, counter: Counter, by: u64) {
+        self.counters.add(counter, by);
+    }
+
+    /// Attaches a probe/span [`Recorder`]; until detached, the run loops
+    /// record log-spaced convergence checkpoints and epoch draw/apply spans.
+    pub fn attach_telemetry(&mut self, recorder: Recorder) {
+        self.telemetry.attach(recorder);
+    }
+
+    /// Detaches the recorder (if one is attached), restoring the zero-cost
+    /// no-op sink.
+    pub fn take_telemetry(&mut self) -> Option<Recorder> {
+        self.telemetry.take()
+    }
+
+    fn record_probe_now(&mut self) {
+        let probe = Probe {
+            interactions: self.interactions.count(),
+            active_pairs: self.active_pairs(),
+            distinct_states: self.distinct_states() as u64,
+            transitions: self.transitions,
+            population: self.n as u64,
+        };
+        self.telemetry.record_probe(probe);
     }
 
     /// The protocol being simulated.
@@ -718,7 +759,13 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
         loop {
             let active = self.active_pairs();
             if active == 0 {
+                if self.telemetry.is_recording() {
+                    self.record_probe_now();
+                }
                 return RunOutcome { reason: StopReason::Silent, interactions: self.interactions };
+            }
+            if self.telemetry.probe_due(self.interactions.count()) {
+                self.record_probe_now();
             }
             if !self.advance(active, &mut remaining, None) {
                 return RunOutcome {
@@ -812,7 +859,7 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
             // batch-count runs degrade to exact per-transition sampling and
             // record that they did.
             SamplingMode::BatchCount if self.rates.is_some() => {
-                self.scheduler_fallbacks += 1;
+                self.counters.incr(Counter::SchedulerFallbacks);
                 self.advance_one_transition(active, remaining)
             }
             SamplingMode::BatchCount => self.advance_epoch(active, remaining, elapsed_cap),
@@ -826,10 +873,12 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
     fn advance_one_transition(&mut self, active: u64, remaining: &mut u64) -> bool {
         let skip = sample_null_run(active, self.total_weight(), &mut self.rng);
         if skip >= *remaining {
+            self.counters.add(Counter::NullsSkipped, *remaining);
             self.interactions += Interactions::new(*remaining);
             *remaining = 0;
             return false;
         }
+        self.counters.add(Counter::NullsSkipped, skip);
         self.interactions += Interactions::new(skip + 1);
         *remaining -= skip + 1;
         self.transitions += 1;
@@ -875,10 +924,12 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
         if b_target <= 1 {
             return self.advance_one_transition(active, remaining);
         }
+        self.counters.add(Counter::BatchDraws, b_target);
 
         // Phase 1: draw the interaction-count table over the frozen weights.
         // Rows first (initiator states), then each row's share across its
         // partner cells, all by exact conditional hypergeometric splits.
+        self.telemetry.span_begin("epoch.draw");
         let mut cells: Vec<(usize, usize, u64)> = Vec::new();
         {
             let Self { protocol, counts, decoded, backend, rng, rates, .. } = self;
@@ -944,18 +995,25 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
                 }
             }
         }
+        self.telemetry.span_end("epoch.draw");
 
         // Phase 2: clamp to per-agent availability. A diagonal cell (i, i)
         // consumes two agents of state i per interaction; off-diagonal cells
         // one of each. The first nonzero cell always fits (its states have
         // full availability and a positive pair weight), so b_applied >= 1.
+        self.telemetry.span_begin("epoch.apply");
         if self.scratch_avail.len() < self.counts.len() {
             self.scratch_avail.resize(self.counts.len(), 0);
             self.scratch_stamp.resize(self.counts.len(), 0);
         }
-        self.epochs += 1;
-        let stamp = self.epochs;
+        self.counters.incr(Counter::EpochsOpened);
+        let stamp = self.counters.get(Counter::EpochsOpened);
         let mut b_applied = 0u64;
+        // Truncations accumulate locally and only commit with the epoch: a
+        // budget-overshooting epoch undoes its transitions, so leaving its
+        // truncations counted would skew the truncations/transitions
+        // diagnostic (both backends commit at the same point now).
+        let mut epoch_truncations = 0u64;
         for cell in &mut cells {
             let (i, j, drawn) = *cell;
             for s in [i, j] {
@@ -970,7 +1028,7 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
                 self.scratch_avail[i].min(self.scratch_avail[j])
             };
             let m = drawn.min(cap);
-            self.truncations += drawn - m;
+            epoch_truncations += drawn - m;
             if i == j {
                 self.scratch_avail[i] -= 2 * m;
             } else {
@@ -999,14 +1057,18 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
         let mut deltas = self.apply_epoch_cells(&cells, stamp);
         let a_end = self.active_pairs();
         let nulls = sample_interleaved_nulls(b_applied, active, a_end, total_pairs, &mut self.rng);
+        self.telemetry.span_end("epoch.apply");
         match b_applied.checked_add(nulls) {
             Some(elapsed) if elapsed <= *remaining => {
+                self.counters.add(Counter::BatchTruncations, epoch_truncations);
+                self.counters.add(Counter::NullsSkipped, nulls);
                 self.interactions += Interactions::new(elapsed);
                 *remaining -= elapsed;
                 self.transitions += b_applied;
                 true
             }
             _ => {
+                self.counters.incr(Counter::EpochsDiscarded);
                 for d in &mut deltas {
                     d.1 = -d.1;
                 }
@@ -1378,6 +1440,7 @@ impl<P: EnumerableProtocol> BatchedSimulation<P> {
             Backend::Indexed { partners, .. } => std::mem::take(partners),
             Backend::PresentScan { .. } => return,
         };
+        self.counters.incr(Counter::FenwickRebuilds);
         let mut fresh = Fenwick::new(self.counts.len());
         for (i, list) in partners.iter().enumerate() {
             let w = Self::row_weight(

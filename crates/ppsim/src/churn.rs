@@ -102,6 +102,7 @@ use crate::faults::{
 use crate::interned::{InternableProtocol, InternedSimulation};
 use crate::protocol::Protocol;
 use crate::scenario::{name_salt, ScenarioRng};
+use crate::telemetry::Counter;
 use crate::time::Interactions;
 
 /// What a churn event does to the population.
@@ -489,6 +490,8 @@ pub fn run_until_silent_with_churn_and_faults<H: ChurnHost>(
             let event = &faults[fi];
             fi += 1;
             host.inject(&event.states, victim_rng);
+            host.record_counter(Counter::FaultBursts, 1);
+            host.record_counter(Counter::FaultVictims, event.states.len() as u64);
             events.push(ChurnRecord {
                 at: Interactions::new(at),
                 joined: 0,
@@ -503,6 +506,9 @@ pub fn run_until_silent_with_churn_and_faults<H: ChurnHost>(
             let departed = event.leaves.min(host.population().saturating_sub(2));
             host.leave(departed, departure_rng);
             host.join(&event.joins);
+            host.record_counter(Counter::ChurnEvents, 1);
+            host.record_counter(Counter::ChurnJoined, event.joins.len() as u64);
+            host.record_counter(Counter::ChurnDeparted, departed as u64);
             events.push(ChurnRecord {
                 at: Interactions::new(at),
                 joined: event.joins.len(),

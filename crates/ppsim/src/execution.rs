@@ -8,6 +8,7 @@ use crate::sampling::sample_distinct_indices;
 use crate::scheduler::{
     InteractionGraph, InteractionScheduler, OrderedPair, PairRates, Scheduler, Topology,
 };
+use crate::telemetry::{Counter, CounterBlock, Probe, Recorder, TelemetrySink};
 use crate::time::{Interactions, ParallelTime};
 
 /// Why a run stopped.
@@ -115,6 +116,8 @@ pub struct Simulation<P: Protocol> {
     /// state-changing step, [`Simulation::set_configuration`] or
     /// [`Simulation::corrupt`]); the exact silence point once silence holds.
     last_change: Interactions,
+    counters: CounterBlock,
+    telemetry: TelemetrySink,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -210,6 +213,8 @@ impl<P: Protocol> Simulation<P> {
             strategy,
             interactions: Interactions::ZERO,
             last_change: Interactions::ZERO,
+            counters: CounterBlock::default(),
+            telemetry: TelemetrySink::Noop,
         })
     }
 
@@ -336,6 +341,85 @@ impl<P: Protocol> Simulation<P> {
         self.config.len()
     }
 
+    /// A snapshot of the unified telemetry counter registry for this run
+    /// (see [`crate::telemetry`]): transitions applied, silence checks,
+    /// and — for a weighted strategy — envelope rejections.
+    pub fn counters(&self) -> CounterBlock {
+        let mut block = self.counters;
+        block.set(Counter::SchedulerRejections, self.scheduler.rejections());
+        block
+    }
+
+    /// Adds `by` events to the registry (the drivers' accounting hook).
+    pub(crate) fn add_counter(&mut self, counter: Counter, by: u64) {
+        self.counters.add(counter, by);
+    }
+
+    /// Attaches a probe/span [`Recorder`]; until detached, the run loops
+    /// record log-spaced convergence checkpoints and silence-check spans.
+    pub fn attach_telemetry(&mut self, recorder: Recorder) {
+        self.telemetry.attach(recorder);
+    }
+
+    /// Detaches the recorder (if one is attached), restoring the zero-cost
+    /// no-op sink.
+    pub fn take_telemetry(&mut self) -> Option<Recorder> {
+        self.telemetry.take()
+    }
+
+    /// The active-pair mass of the current configuration: the number of
+    /// ordered agent pairs the scheduling strategy can draw whose transition
+    /// is non-null (for a weighted strategy, also positive-rate). Zero
+    /// exactly when the configuration is silent — the quantity convergence
+    /// probes track as it drains.
+    pub fn active_pair_mass(&self) -> u64 {
+        if let ExactStrategy::Graph { graph, .. } = &self.strategy {
+            let mut mass = 0u64;
+            for &(u, v) in graph.edges() {
+                let su = self.config.state(crate::agent::AgentId::new(u as usize));
+                let sv = self.config.state(crate::agent::AgentId::new(v as usize));
+                if !self.protocol.is_null(su, sv) {
+                    mass += 1;
+                }
+                if !self.protocol.is_null(sv, su) {
+                    mass += 1;
+                }
+            }
+            return mass;
+        }
+        let rates = match &self.strategy {
+            ExactStrategy::Weighted { rates, .. } => Some(rates),
+            _ => None,
+        };
+        let active = |s: &P::State, t: &P::State| -> bool {
+            !self.protocol.is_null(s, t) && rates.is_none_or(|r| r.rate(s, t) > 0)
+        };
+        let counts = self.config.state_counts();
+        let mut mass = 0u64;
+        for (s, &cs) in counts.iter() {
+            for (t, &ct) in counts.iter() {
+                if !active(s, t) {
+                    continue;
+                }
+                let pairs =
+                    if s == t { cs as u64 * (cs as u64 - 1) } else { cs as u64 * ct as u64 };
+                mass += pairs;
+            }
+        }
+        mass
+    }
+
+    fn record_probe_now(&mut self) {
+        let probe = Probe {
+            interactions: self.interactions.count(),
+            active_pairs: self.active_pair_mass(),
+            distinct_states: self.config.state_counts().len() as u64,
+            transitions: self.counters.get(Counter::Transitions),
+            population: self.config.len() as u64,
+        };
+        self.telemetry.record_probe(probe);
+    }
+
     /// Executes one interaction: draws an ordered pair from the scheduling
     /// strategy and applies the transition function, returning the scheduled
     /// pair.
@@ -356,6 +440,7 @@ impl<P: Protocol> Simulation<P> {
         self.interactions += Interactions::new(1);
         if changed {
             self.last_change = self.interactions;
+            self.counters.incr(Counter::Transitions);
         }
         pair
     }
@@ -470,8 +555,12 @@ impl<P: Protocol> Simulation<P> {
     /// has been silent ever since, and trailing null interactions cannot have
     /// changed it.
     pub fn run_until_silent(&mut self, budget: u64) -> RunOutcome {
+        self.counters.incr(Counter::SilenceChecks);
         let (silent, mut cost) = self.is_silent_with_cost();
         if silent {
+            if self.telemetry.is_recording() {
+                self.record_probe_now();
+            }
             return RunOutcome { reason: StopReason::Silent, interactions: self.last_change };
         }
         let mut executed = 0u64;
@@ -482,8 +571,17 @@ impl<P: Protocol> Simulation<P> {
                 self.step();
             }
             executed += chunk;
+            if self.telemetry.probe_due(self.interactions.count()) {
+                self.record_probe_now();
+            }
+            self.counters.incr(Counter::SilenceChecks);
+            self.telemetry.span_begin("silence.check");
             let (silent, now_cost) = self.is_silent_with_cost();
+            self.telemetry.span_end("silence.check");
             if silent {
+                if self.telemetry.is_recording() {
+                    self.record_probe_now();
+                }
                 return RunOutcome { reason: StopReason::Silent, interactions: self.last_change };
             }
             cost = now_cost;

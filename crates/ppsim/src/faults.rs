@@ -105,6 +105,7 @@ use crate::execution::{RunOutcome, Simulation, StopReason};
 use crate::interned::{InternableProtocol, InternedSimulation};
 use crate::protocol::Protocol;
 use crate::scenario::{name_salt, ScenarioRng};
+use crate::telemetry::{Counter, CounterBlock, Recorder};
 use crate::time::Interactions;
 
 /// When the bursts of a [`FaultPlan`] fire, in absolute interaction indices.
@@ -334,6 +335,47 @@ pub trait FaultHost {
     /// over agents (or ∝ counts without replacement in count space), the
     /// `i`-th victim forced into `states[i]`.
     fn inject(&mut self, states: &[Self::State], rng: &mut ScenarioRng);
+
+    /// Adds `by` events to the host's unified telemetry registry (see
+    /// [`crate::telemetry`]); the fault and churn drivers account their
+    /// bursts and membership changes through this hook. Default: dropped
+    /// (for hosts without a registry).
+    fn record_counter(&mut self, _counter: Counter, _by: u64) {}
+
+    /// A snapshot of the host's telemetry counter registry. Default: empty.
+    fn counters(&self) -> CounterBlock {
+        CounterBlock::default()
+    }
+
+    /// Attaches a probe/span [`Recorder`] to the host. Default: dropped.
+    fn attach_telemetry(&mut self, _recorder: Recorder) {}
+
+    /// Detaches the host's recorder, if any. Default: `None`.
+    fn take_telemetry(&mut self) -> Option<Recorder> {
+        None
+    }
+}
+
+/// Shared boilerplate: every engine already carries the registry and sink,
+/// so its `FaultHost` telemetry hooks delegate to the inherent methods.
+macro_rules! fault_host_telemetry {
+    () => {
+        fn record_counter(&mut self, counter: Counter, by: u64) {
+            self.add_counter(counter, by);
+        }
+
+        fn counters(&self) -> CounterBlock {
+            self.counters()
+        }
+
+        fn attach_telemetry(&mut self, recorder: Recorder) {
+            self.attach_telemetry(recorder);
+        }
+
+        fn take_telemetry(&mut self) -> Option<Recorder> {
+            self.take_telemetry()
+        }
+    };
 }
 
 impl<P: Protocol> FaultHost for Simulation<P> {
@@ -354,6 +396,8 @@ impl<P: Protocol> FaultHost for Simulation<P> {
     fn inject(&mut self, states: &[Self::State], rng: &mut ScenarioRng) {
         self.inject_states(states, rng);
     }
+
+    fault_host_telemetry!();
 }
 
 impl<P: EnumerableProtocol> FaultHost for BatchedSimulation<P> {
@@ -374,6 +418,8 @@ impl<P: EnumerableProtocol> FaultHost for BatchedSimulation<P> {
     fn inject(&mut self, states: &[Self::State], rng: &mut ScenarioRng) {
         self.inject_states(states, rng);
     }
+
+    fault_host_telemetry!();
 }
 
 impl<P: InternableProtocol> FaultHost for InternedSimulation<P> {
@@ -394,6 +440,8 @@ impl<P: InternableProtocol> FaultHost for InternedSimulation<P> {
     fn inject(&mut self, states: &[Self::State], rng: &mut ScenarioRng) {
         self.inject_states(states, rng);
     }
+
+    fault_host_telemetry!();
 }
 
 /// What a faulted run measured, independent of the final configuration
@@ -498,6 +546,8 @@ pub fn run_until_silent_with_faults<H: FaultHost>(
         let now = host.interactions_so_far().count();
         host.advance(event.at - now);
         host.inject(&event.states, victim_rng);
+        host.record_counter(Counter::FaultBursts, 1);
+        host.record_counter(Counter::FaultVictims, event.states.len() as u64);
         injections.push(Interactions::new(event.at));
         recoveries.push(None);
     }

@@ -111,6 +111,7 @@ use crate::execution::{RunOutcome, Simulation, StopReason};
 use crate::protocol::Protocol;
 use crate::sampling::{sample_hypergeometric, sample_interleaved_nulls, sample_victims_by_counts};
 use crate::scheduler::{IndexRates, InteractionScheduler};
+use crate::telemetry::{Counter, CounterBlock, Probe, Recorder, TelemetrySink};
 use crate::time::{Interactions, ParallelTime};
 
 /// A [`Protocol`] that opts into the dynamically interned batched engine.
@@ -281,11 +282,13 @@ struct WeightIndex {
     tree: Vec<u64>,
     mask: usize,
     total: u64,
+    rebuilds: u64,
 }
 
 impl WeightIndex {
     fn with_capacity(capacity: usize) -> Self {
-        let mut w = WeightIndex { values: Vec::new(), tree: Vec::new(), mask: 0, total: 0 };
+        let mut w =
+            WeightIndex { values: Vec::new(), tree: Vec::new(), mask: 0, total: 0, rebuilds: 0 };
         w.rebuild(capacity.max(1));
         w
     }
@@ -351,6 +354,7 @@ impl WeightIndex {
 
     /// Rebuilds the tree from `values` with room for `capacity` slots.
     fn rebuild(&mut self, capacity: usize) {
+        self.rebuilds += 1;
         self.tree = vec![0; capacity + 1];
         self.mask = 1;
         while self.mask * 2 <= capacity {
@@ -404,13 +408,14 @@ pub struct InternedSimulation<P: InternableProtocol> {
     /// uniform scheduler, whose path is byte-for-byte the pre-scheduler
     /// arithmetic). States interned later fall under the default rate.
     rates: Option<IndexRates>,
-    /// How often a batch-count run fell back to per-transition sampling
-    /// because the scheduler is not uniform.
-    scheduler_fallbacks: u64,
-    /// Batch-count diagnostics: epochs drawn and table entries clamped away
-    /// by the collision-free availability cap.
-    epochs: u64,
-    truncations: u64,
+    /// The unified telemetry registry (see [`crate::telemetry`]): absorbs the
+    /// former ad-hoc `epochs` / `truncations` / `scheduler_fallbacks` fields.
+    /// Counters never touch the RNG, so the registry cannot perturb a
+    /// trajectory.
+    counters: CounterBlock,
+    /// Probe/span sink; [`TelemetrySink::Noop`] (free) unless a recorder is
+    /// attached.
+    telemetry: TelemetrySink,
     /// Per-epoch agent availability, stamped with the epoch number so
     /// clearing between epochs is free (lazily sized on first epoch).
     scratch_avail: Vec<u64>,
@@ -465,9 +470,8 @@ impl<P: InternableProtocol> InternedSimulation<P> {
             n,
             mode: SamplingMode::default(),
             rates: None,
-            scheduler_fallbacks: 0,
-            epochs: 0,
-            truncations: 0,
+            counters: CounterBlock::default(),
+            telemetry: TelemetrySink::Noop,
             scratch_avail: Vec::new(),
             scratch_stamp: Vec::new(),
         };
@@ -560,23 +564,65 @@ impl<P: InternableProtocol> InternedSimulation<P> {
     }
 
     /// The number of batch-count epochs drawn so far (always 0 in
-    /// per-transition mode).
+    /// per-transition mode) — the `engine.epochs_opened` telemetry counter.
     pub fn batch_epochs(&self) -> u64 {
-        self.epochs
+        self.counters.get(Counter::EpochsOpened)
     }
 
     /// The number of drawn table interactions clamped away by the
-    /// collision-free availability cap, summed over all epochs; see
-    /// [`crate::BatchedSimulation::batch_truncations`].
+    /// collision-free availability cap, summed over all **committed** epochs
+    /// (a budget-overshooting epoch rolls its truncations back with its
+    /// transitions); see [`crate::BatchedSimulation::batch_truncations`].
     pub fn batch_truncations(&self) -> u64 {
-        self.truncations
+        self.counters.get(Counter::BatchTruncations)
     }
 
     /// How often a [`SamplingMode::BatchCount`] run fell back to
     /// per-transition sampling because the scheduler is not uniform; see
     /// [`crate::BatchedSimulation::scheduler_fallbacks`].
     pub fn scheduler_fallbacks(&self) -> u64 {
-        self.scheduler_fallbacks
+        self.counters.get(Counter::SchedulerFallbacks)
+    }
+
+    /// A snapshot of the unified telemetry counter registry for this run
+    /// (see [`crate::telemetry`]): the batch counters live in the block, and
+    /// the snapshot mirrors in the applied-transition count, the number of
+    /// states interned ([`Counter::InternerGrowths`]) and the weight index's
+    /// capacity rebuilds ([`Counter::FenwickRebuilds`]).
+    pub fn counters(&self) -> CounterBlock {
+        let mut block = self.counters;
+        block.set(Counter::Transitions, self.transitions);
+        block.set(Counter::InternerGrowths, self.interner.len() as u64);
+        block.set(Counter::FenwickRebuilds, self.rows.rebuilds);
+        block
+    }
+
+    /// Adds `by` events to the registry (the drivers' accounting hook).
+    pub(crate) fn add_counter(&mut self, counter: Counter, by: u64) {
+        self.counters.add(counter, by);
+    }
+
+    /// Attaches a probe/span [`Recorder`]; until detached, the run loops
+    /// record log-spaced convergence checkpoints and epoch draw/apply spans.
+    pub fn attach_telemetry(&mut self, recorder: Recorder) {
+        self.telemetry.attach(recorder);
+    }
+
+    /// Detaches the recorder (if one is attached), restoring the zero-cost
+    /// no-op sink.
+    pub fn take_telemetry(&mut self) -> Option<Recorder> {
+        self.telemetry.take()
+    }
+
+    fn record_probe_now(&mut self) {
+        let probe = Probe {
+            interactions: self.interactions.count(),
+            active_pairs: self.active_pairs(),
+            distinct_states: self.distinct_states() as u64,
+            transitions: self.transitions,
+            population: self.n as u64,
+        };
+        self.telemetry.record_probe(probe);
     }
 
     /// Interns a state, registering its null class and growing the side
@@ -766,7 +812,13 @@ impl<P: InternableProtocol> InternedSimulation<P> {
         loop {
             let active = self.active_pairs();
             if active == 0 {
+                if self.telemetry.is_recording() {
+                    self.record_probe_now();
+                }
                 return RunOutcome { reason: StopReason::Silent, interactions: self.interactions };
+            }
+            if self.telemetry.probe_due(self.interactions.count()) {
+                self.record_probe_now();
             }
             if !self.advance(active, &mut remaining, None) {
                 return RunOutcome {
@@ -860,7 +912,7 @@ impl<P: InternableProtocol> InternedSimulation<P> {
             // batch-count runs degrade to exact per-transition sampling and
             // record that they did.
             SamplingMode::BatchCount if self.rates.is_some() => {
-                self.scheduler_fallbacks += 1;
+                self.counters.incr(Counter::SchedulerFallbacks);
                 self.advance_one_transition(active, remaining)
             }
             SamplingMode::BatchCount => self.advance_epoch(active, remaining, elapsed_cap),
@@ -874,10 +926,12 @@ impl<P: InternableProtocol> InternedSimulation<P> {
     fn advance_one_transition(&mut self, active: u64, remaining: &mut u64) -> bool {
         let skip = sample_null_run(active, self.total_weight(), &mut self.rng);
         if skip >= *remaining {
+            self.counters.add(Counter::NullsSkipped, *remaining);
             self.interactions += Interactions::new(*remaining);
             *remaining = 0;
             return false;
         }
+        self.counters.add(Counter::NullsSkipped, skip);
         self.interactions += Interactions::new(skip + 1);
         *remaining -= skip + 1;
         self.transitions += 1;
@@ -913,11 +967,13 @@ impl<P: InternableProtocol> InternedSimulation<P> {
         if b_target <= 1 {
             return self.advance_one_transition(active, remaining);
         }
+        self.counters.add(Counter::BatchDraws, b_target);
 
         // Phase 1: draw the interaction-count table over the frozen weights
         // by sequential conditional hypergeometric splits: rows first (the
         // maintained row weights are exact), then each row's share across
         // the present responder cells.
+        self.telemetry.span_begin("epoch.draw");
         let mut cells: Vec<(usize, usize, u64)> = Vec::new();
         {
             let Self { protocol, interner, classes, counts, rows, present, rng, rates, .. } = self;
@@ -955,17 +1011,23 @@ impl<P: InternableProtocol> InternedSimulation<P> {
             }
             debug_assert_eq!(b_rem, 0, "batch exceeds the active pair weight");
         }
+        self.telemetry.span_end("epoch.draw");
 
         // Phase 2: clamp to per-agent availability (diagonal cells consume
         // two agents per interaction). The first nonzero cell always fits,
         // so b_applied >= 1.
+        self.telemetry.span_begin("epoch.apply");
         if self.scratch_avail.len() < self.counts.len() {
             self.scratch_avail.resize(self.counts.len(), 0);
             self.scratch_stamp.resize(self.counts.len(), 0);
         }
-        self.epochs += 1;
-        let stamp = self.epochs;
+        self.counters.incr(Counter::EpochsOpened);
+        let stamp = self.counters.get(Counter::EpochsOpened);
         let mut b_applied = 0u64;
+        // Truncations accumulate locally and only commit with the epoch (see
+        // the batched engine's `advance_epoch`: both backends commit at the
+        // same point, and a discarded epoch leaves no truncation residue).
+        let mut epoch_truncations = 0u64;
         for cell in &mut cells {
             let (i, j, drawn) = *cell;
             for s in [i, j] {
@@ -980,7 +1042,7 @@ impl<P: InternableProtocol> InternedSimulation<P> {
                 self.scratch_avail[i].min(self.scratch_avail[j])
             };
             let m = drawn.min(cap);
-            self.truncations += drawn - m;
+            epoch_truncations += drawn - m;
             if i == j {
                 self.scratch_avail[i] -= 2 * m;
             } else {
@@ -1008,14 +1070,18 @@ impl<P: InternableProtocol> InternedSimulation<P> {
         let mut deltas = self.apply_epoch_cells(&cells, stamp);
         let a_end = self.active_pairs();
         let nulls = sample_interleaved_nulls(b_applied, active, a_end, total_pairs, &mut self.rng);
+        self.telemetry.span_end("epoch.apply");
         match b_applied.checked_add(nulls) {
             Some(elapsed) if elapsed <= *remaining => {
+                self.counters.add(Counter::BatchTruncations, epoch_truncations);
+                self.counters.add(Counter::NullsSkipped, nulls);
                 self.interactions += Interactions::new(elapsed);
                 *remaining -= elapsed;
                 self.transitions += b_applied;
                 true
             }
             _ => {
+                self.counters.incr(Counter::EpochsDiscarded);
                 for d in &mut deltas {
                     d.1 = -d.1;
                 }

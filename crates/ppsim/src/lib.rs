@@ -107,6 +107,7 @@ pub mod sampling;
 pub mod scenario;
 pub mod scheduler;
 pub mod symmetry;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -126,13 +127,13 @@ pub use faults::{CorruptionTarget, FaultEvent, FaultHost, FaultPlan, FaultSchedu
 pub use interned::{AsInterned, InternableProtocol, InternedSimulation, StateInterner};
 pub use mcheck::{
     check_convergence_from, check_fault_plan_closure, check_self_stabilization,
-    check_self_stabilization_quotient, expected_silence_time_exact,
+    check_self_stabilization_quotient, expected_silence_time_exact, expected_silence_time_probed,
     expected_silence_time_scheduled, explore_reachable, CorrectnessOracle, ExactSilenceTime,
     FaultClosureReport, MCheckError, MCheckOptions, ModelChecker, QuotientStabilizationReport,
     ReachabilityReport, ReachableSpace, StabilizationReport,
 };
 pub use protocol::{LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
-pub use runner::{run_trials, run_trials_sequential, TrialPlan};
+pub use runner::{fold_counters, run_trials, run_trials_sequential, TrialPlan};
 pub use runspec::{ReadyRun, RunSpec, TrialReport};
 pub use sampling::{sample_distinct_indices, sample_victims_by_counts};
 pub use scenario::{Scenario, ScenarioRng};
@@ -140,6 +141,9 @@ pub use scheduler::{
     InteractionGraph, InteractionScheduler, OrderedPair, PairRates, Scheduler, Topology,
 };
 pub use symmetry::StateSymmetry;
+pub use telemetry::{
+    Counter, CounterBlock, NoopTelemetry, Probe, Recorder, Span, Telemetry, TelemetrySink,
+};
 pub use time::{Interactions, ParallelTime};
 pub use trace::{Trace, TraceEvent};
 
@@ -161,12 +165,12 @@ pub mod prelude {
     pub use crate::mcheck::{
         check_convergence_from, check_fault_plan_closure, check_self_stabilization,
         check_self_stabilization_quotient, expected_silence_time_exact,
-        expected_silence_time_scheduled, explore_reachable, CorrectnessOracle, ExactSilenceTime,
-        FaultClosureReport, MCheckError, MCheckOptions, ModelChecker, QuotientStabilizationReport,
-        ReachabilityReport, StabilizationReport,
+        expected_silence_time_probed, expected_silence_time_scheduled, explore_reachable,
+        CorrectnessOracle, ExactSilenceTime, FaultClosureReport, MCheckError, MCheckOptions,
+        ModelChecker, QuotientStabilizationReport, ReachabilityReport, StabilizationReport,
     };
     pub use crate::protocol::{LeaderElectionProtocol, Protocol, Rank, RankingProtocol};
-    pub use crate::runner::{run_trials, run_trials_sequential, TrialPlan};
+    pub use crate::runner::{fold_counters, run_trials, run_trials_sequential, TrialPlan};
     pub use crate::runspec::{ReadyRun, RunSpec, TrialReport};
     pub use crate::sampling::{sample_distinct_indices, sample_victims_by_counts};
     pub use crate::scenario::{Scenario, ScenarioRng};
@@ -174,6 +178,9 @@ pub mod prelude {
         InteractionGraph, InteractionScheduler, OrderedPair, PairRates, Scheduler, Topology,
     };
     pub use crate::symmetry::StateSymmetry;
+    pub use crate::telemetry::{
+        Counter, CounterBlock, NoopTelemetry, Probe, Recorder, Span, Telemetry, TelemetrySink,
+    };
     pub use crate::time::{Interactions, ParallelTime};
     pub use crate::trace::{Trace, TraceEvent};
 }

@@ -131,6 +131,7 @@ use crate::faults::{CorruptionTarget, FaultPlan};
 use crate::protocol::Protocol;
 use crate::scheduler::{IndexRates, InteractionScheduler};
 use crate::symmetry::StateSymmetry;
+use crate::telemetry::{Counter, CounterBlock, TelemetrySink};
 use crate::time::Interactions;
 use crate::trace::Trace;
 
@@ -1010,6 +1011,9 @@ pub struct QuotientStabilizationReport<S> {
     pub correct_nonsilent_witness: Option<Configuration<S>>,
     /// A representative that cannot converge, if any.
     pub non_convergent_witness: Option<Configuration<S>>,
+    /// The checker's slice of the unified counter registry: orbit
+    /// expansions (as frontier pops) and successor-store spill bytes.
+    pub counters: CounterBlock,
 }
 
 impl<S> QuotientStabilizationReport<S> {
@@ -1146,7 +1150,17 @@ pub fn check_self_stabilization_quotient<P: EnumerableProtocol + CorrectnessOrac
     // the reachable-space machinery (resident reverse BFS or spilled
     // fixpoint scans).
     let quotient = !symmetry.is_identity();
-    let space = ReachableSpace { checker, store, succ, active, totals: None, quotient };
+    // The quotient sweep expands each orbit exactly once in pass 2 — the
+    // same unit of work a BFS frontier pop represents.
+    let space = ReachableSpace {
+        checker,
+        store,
+        succ,
+        active,
+        totals: None,
+        quotient,
+        frontier_pops: orbits,
+    };
     let mut reached = targets;
     space.extend_reverse_reachable(&mut reached)?;
     let non_convergent = reached.iter().filter(|&&r| !r).count() as u64;
@@ -1156,6 +1170,7 @@ pub fn check_self_stabilization_quotient<P: EnumerableProtocol + CorrectnessOrac
     });
 
     Ok(QuotientStabilizationReport {
+        counters: space.counters(),
         configurations: lattice_size(n, k).unwrap_or(u128::MAX),
         orbits,
         group_order,
@@ -1193,6 +1208,9 @@ pub struct ReachableSpace<P: EnumerableProtocol> {
     /// Whether states are canonical orbit representatives of the declared
     /// symmetry's quotient (uniform scheduler + nontrivial validated group).
     quotient: bool,
+    /// States expanded during construction (frontier pops in the BFS
+    /// closure; one expansion per orbit in the quotient sweep).
+    frontier_pops: u64,
 }
 
 impl<P: EnumerableProtocol> ReachableSpace<P> {
@@ -1226,6 +1244,17 @@ impl<P: EnumerableProtocol> ReachableSpace<P> {
     /// Whether the successor store spilled to disk.
     pub fn spilled(&self) -> bool {
         self.succ.is_spilled()
+    }
+
+    /// The closure's slice of the unified counter registry:
+    /// [`Counter::McheckFrontierPops`] (states expanded during construction)
+    /// and [`Counter::McheckSpillBytes`] (spill-file bytes, zero while
+    /// resident).
+    pub fn counters(&self) -> CounterBlock {
+        let mut block = CounterBlock::default();
+        block.set(Counter::McheckFrontierPops, self.frontier_pops);
+        block.set(Counter::McheckSpillBytes, self.succ.spilled_bytes());
+        block
     }
 
     fn counts_into(&self, state: u32, out: &mut [u32]) {
@@ -1464,7 +1493,9 @@ fn explore_reachable_with_rates<P: EnumerableProtocol>(
     let mut counts = vec![0u32; k];
     let mut counts64 = vec![0u64; k];
     let mut local: Vec<(u32, u64)> = Vec::new();
+    let mut frontier_pops = 0u64;
     while let Some(id) = frontier.pop_front() {
+        frontier_pops += 1;
         store.get(id, &mut counts);
         let present = present_states(&counts);
         local.clear();
@@ -1520,7 +1551,7 @@ fn explore_reachable_with_rates<P: EnumerableProtocol>(
         succ.push_state(&local).map_err(MCheckError::from_spill)?;
     }
     succ.seal().map_err(MCheckError::from_spill)?;
-    Ok(ReachableSpace { checker, store, succ, active, totals, quotient })
+    Ok(ReachableSpace { checker, store, succ, active, totals, quotient, frontier_pops })
 }
 
 /// The exact expected silence time of an initial configuration, solved from
@@ -1543,6 +1574,9 @@ pub struct ExactSilenceTime {
     /// Whether the successor store spilled to disk and the solve streamed
     /// its sweeps from the distance-ordered edge file.
     pub spilled: bool,
+    /// The checker's slice of the unified counter registry:
+    /// frontier pops, spill bytes, and Gauss–Seidel sweeps.
+    pub counters: CounterBlock,
 }
 
 /// Solves for the **exact** expected number of interactions until silence
@@ -1563,8 +1597,25 @@ pub fn expected_silence_time_exact<P: EnumerableProtocol>(
     init: &Configuration<P::State>,
     options: &MCheckOptions,
 ) -> Result<ExactSilenceTime, MCheckError> {
-    let space = explore_reachable(protocol, std::slice::from_ref(init), options)?;
-    solve_silence_time(&space, options)
+    let mut sink = TelemetrySink::default();
+    expected_silence_time_probed(protocol, init, options, &mut sink)
+}
+
+/// [`expected_silence_time_exact`] with an attached [`TelemetrySink`]:
+/// records spans around the closure exploration (`closure.explore`), the
+/// distance-ordered spill copy (`spill.order`), and each Gauss–Seidel sweep
+/// (`solver.sweep`). With a [`TelemetrySink::Noop`] sink it is exactly
+/// [`expected_silence_time_exact`].
+pub fn expected_silence_time_probed<P: EnumerableProtocol>(
+    protocol: P,
+    init: &Configuration<P::State>,
+    options: &MCheckOptions,
+    sink: &mut TelemetrySink,
+) -> Result<ExactSilenceTime, MCheckError> {
+    sink.span_begin("closure.explore");
+    let space = explore_reachable(protocol, std::slice::from_ref(init), options);
+    sink.span_end("closure.explore");
+    solve_silence_time(&space?, options, sink)
 }
 
 /// Solves for the **exact** expected number of scheduler draws until
@@ -1603,7 +1654,7 @@ pub fn expected_silence_time_scheduled<P: EnumerableProtocol>(
         }
     };
     let space = explore_reachable_with_rates(protocol, std::slice::from_ref(init), rates, options)?;
-    solve_silence_time(&space, options)
+    solve_silence_time(&space, options, &mut TelemetrySink::default())
 }
 
 /// The shared Gauss–Seidel solve over an explored closure; see
@@ -1611,6 +1662,7 @@ pub fn expected_silence_time_scheduled<P: EnumerableProtocol>(
 fn solve_silence_time<P: EnumerableProtocol>(
     space: &ReachableSpace<P>,
     options: &MCheckOptions,
+    sink: &mut TelemetrySink,
 ) -> Result<ExactSilenceTime, MCheckError> {
     let n = space.checker.n as f64;
     let dist = space.distance_to_silence()?;
@@ -1624,12 +1676,16 @@ fn solve_silence_time<P: EnumerableProtocol>(
     // so every sweep is a single sequential scan.
     let mut order: Vec<u32> = (0..space.len() as u32).collect();
     order.sort_by_key(|&s| dist[s as usize]);
-    let sweeper = space.succ.ordered(&order).map_err(MCheckError::from_spill)?;
+    sink.span_begin("spill.order");
+    let sweeper = space.succ.ordered(&order).map_err(MCheckError::from_spill);
+    sink.span_end("spill.order");
+    let sweeper = sweeper?;
     let mut e = vec![0.0f64; space.len()];
     let mut residual = f64::INFINITY;
     let mut sweeps = 0usize;
     while sweeps < options.max_sweeps {
         sweeps += 1;
+        sink.span_begin("solver.sweep");
         let mut sweep_residual = 0.0f64;
         sweeper
             .sweep(|s, edges| {
@@ -1652,6 +1708,7 @@ fn solve_silence_time<P: EnumerableProtocol>(
                 e[s as usize] = value;
             })
             .map_err(MCheckError::from_spill)?;
+        sink.span_end("solver.sweep");
         residual = sweep_residual;
         if residual <= options.tolerance {
             break;
@@ -1660,6 +1717,8 @@ fn solve_silence_time<P: EnumerableProtocol>(
     if residual > options.tolerance {
         return Err(MCheckError::NotConverged { residual });
     }
+    let mut counters = space.counters();
+    counters.set(Counter::McheckGsSweeps, sweeps as u64);
     let start = e[0]; // seeds are interned first; a single seed is state 0.
     Ok(ExactSilenceTime {
         expected_interactions: start,
@@ -1669,6 +1728,7 @@ fn solve_silence_time<P: EnumerableProtocol>(
         residual,
         quotient: space.quotient,
         spilled: space.spilled(),
+        counters,
     })
 }
 

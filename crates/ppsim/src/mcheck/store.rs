@@ -295,6 +295,17 @@ impl EdgeStore {
         self.spill.is_some()
     }
 
+    /// Bytes written to the spill file: `edge_count * EDGE_DISK_BYTES` once
+    /// spilled, zero while fully resident. Feeds the `mcheck.spill_bytes`
+    /// telemetry counter.
+    pub(crate) fn spilled_bytes(&self) -> u64 {
+        if self.is_spilled() {
+            self.edge_count() * EDGE_DISK_BYTES as u64
+        } else {
+            0
+        }
+    }
+
     fn degree(&self, s: usize) -> usize {
         (self.offsets[s + 1] - self.offsets[s]) as usize
     }

@@ -58,6 +58,7 @@ use crate::protocol::Protocol;
 use crate::runner::{run_trials, TrialPlan};
 use crate::scenario::{Scenario, ScenarioRng};
 use crate::scheduler::InteractionScheduler;
+use crate::telemetry::{CounterBlock, Recorder};
 use crate::time::{Interactions, ParallelTime};
 
 /// Where a trial's initial configuration comes from.
@@ -116,6 +117,7 @@ pub struct RunSpec<P: Protocol> {
     trials: usize,
     base_seed: u64,
     threads: usize,
+    probe: bool,
 }
 
 impl<P: Protocol + Clone> Clone for RunSpec<P> {
@@ -131,6 +133,7 @@ impl<P: Protocol + Clone> Clone for RunSpec<P> {
             trials: self.trials,
             base_seed: self.base_seed,
             threads: self.threads,
+            probe: self.probe,
         }
     }
 }
@@ -156,6 +159,7 @@ impl<P: Protocol> RunSpec<P> {
             trials: 1,
             base_seed: 0,
             threads: 0,
+            probe: false,
         }
     }
 
@@ -232,6 +236,18 @@ impl<P: Protocol> RunSpec<P> {
     /// (default 0 = available parallelism).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Attaches a telemetry [`Recorder`] to every trial (default off).
+    ///
+    /// When enabled, each [`TrialReport`] carries the full recorder in
+    /// [`TrialReport::telemetry`]: log-spaced convergence probes and
+    /// begin/end spans around the engine's hot phases. Counters are
+    /// **always** harvested into [`TrialReport::counters`], probe or not —
+    /// they are RNG-free and never perturb the trajectory.
+    pub fn probe(mut self, probe: bool) -> Self {
+        self.probe = probe;
         self
     }
 
@@ -430,7 +446,10 @@ where
     H: crate::churn::ChurnHost<State = P::State>,
     F: Fn(&H) -> Configuration<P::State>,
 {
-    match (&spec.churn, &spec.faults) {
+    if spec.probe {
+        sim.attach_telemetry(Recorder::new());
+    }
+    let mut report = match (&spec.churn, &spec.faults) {
         (None, None) => {
             let outcome = sim.run_to_silence(spec.budget);
             TrialReport::from_engine(outcome, final_config(sim))
@@ -456,7 +475,15 @@ where
             );
             TrialReport::from_churn(out, final_config(sim))
         }
-    }
+    };
+    report.counters = sim.counters();
+    report.telemetry = sim.take_telemetry().map(|mut recorder| {
+        // Freeze the counter registry into the recorder so a serialized
+        // recorder is self-contained.
+        recorder.counters = report.counters;
+        Box::new(recorder)
+    });
+    report
 }
 
 /// The unified result of one [`RunSpec`] trial, whatever axes were active.
@@ -486,6 +513,13 @@ pub struct TrialReport<S> {
     /// One record per fired churn or fault event when a churn plan was
     /// active, in time order.
     pub churn: Vec<ChurnRecord>,
+    /// The engine's unified counter registry at the end of the trial.
+    /// Always populated (counters are RNG-free and cost one array of
+    /// increments whether or not telemetry is attached).
+    pub counters: CounterBlock,
+    /// The full telemetry recorder — convergence probes and phase spans —
+    /// when the spec enabled [`RunSpec::probe`]; `None` otherwise.
+    pub telemetry: Option<Box<Recorder>>,
 }
 
 impl<S> TrialReport<S> {
@@ -498,6 +532,8 @@ impl<S> TrialReport<S> {
             injections: Vec::new(),
             recoveries: Vec::new(),
             churn: Vec::new(),
+            counters: CounterBlock::default(),
+            telemetry: None,
         }
     }
 
@@ -509,6 +545,8 @@ impl<S> TrialReport<S> {
             injections: out.injections,
             recoveries: out.recoveries,
             churn: Vec::new(),
+            counters: CounterBlock::default(),
+            telemetry: None,
         }
     }
 
@@ -520,6 +558,8 @@ impl<S> TrialReport<S> {
             injections: Vec::new(),
             recoveries: Vec::new(),
             churn: out.events,
+            counters: CounterBlock::default(),
+            telemetry: None,
         }
     }
 

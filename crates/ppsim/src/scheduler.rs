@@ -370,6 +370,7 @@ pub struct Scheduler {
     n: usize,
     rng: ChaCha8Rng,
     steps: u64,
+    rejections: u64,
 }
 
 impl Scheduler {
@@ -381,7 +382,7 @@ impl Scheduler {
     /// Panics if `n < 2`: no interaction is possible in a smaller population.
     pub fn new(n: usize, seed: u64) -> Self {
         assert!(n >= 2, "population size must be at least 2");
-        Scheduler { n, rng: ChaCha8Rng::seed_from_u64(seed), steps: 0 }
+        Scheduler { n, rng: ChaCha8Rng::seed_from_u64(seed), steps: 0, rejections: 0 }
     }
 
     /// The population size.
@@ -402,6 +403,13 @@ impl Scheduler {
     /// How many pairs have been drawn so far.
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// How many weighted draws were rejected by the envelope sampler (the
+    /// `engine.scheduler_rejections` telemetry counter; always zero for the
+    /// uniform and graph strategies).
+    pub fn rejections(&self) -> u64 {
+        self.rejections
     }
 
     /// Draws the next uniformly random ordered pair of distinct agents.
@@ -466,6 +474,7 @@ impl Scheduler {
             if r >= max_rate || (r > 0 && self.rng.gen_range(0..max_rate) < r) {
                 return (OrderedPair { initiator: ia, responder: ib }, &mut self.rng);
             }
+            self.rejections += 1;
         }
         panic!(
             "no pair accepted after 2^24 weighted draws: the configuration admits no \

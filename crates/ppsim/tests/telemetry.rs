@@ -1,0 +1,171 @@
+//! Integration tests for the unified telemetry layer.
+//!
+//! Covered invariants:
+//!
+//! - Counters are **deterministic**: identical seeds produce identical
+//!   counter registries on every engine, run after run.
+//! - Probes are **monotone**: interactions strictly increase and applied
+//!   transitions never decrease along a probe stream.
+//! - Telemetry is **inert**: attaching a recorder never perturbs the
+//!   trajectory — outcome and final configuration match a bare run
+//!   seed-for-seed (counters are RNG-free and probes piggyback on state the
+//!   engine already maintains).
+
+use ppsim::prelude::*;
+use ppsim::telemetry::Counter;
+use proptest::prelude::*;
+use rand::RngCore;
+
+/// The epidemic-style max-spreading protocol used across the engine tests:
+/// non-null on unequal pairs, silent exactly when every agent agrees.
+#[derive(Clone, Copy, Debug)]
+struct Spread {
+    n: usize,
+}
+
+impl Protocol for Spread {
+    type State = u8;
+    fn population_size(&self) -> usize {
+        self.n
+    }
+    fn transition(&self, a: &u8, b: &u8, _rng: &mut dyn RngCore) -> (u8, u8) {
+        let m = (*a).max(*b);
+        (m, m)
+    }
+    fn is_null(&self, a: &u8, b: &u8) -> bool {
+        a == b
+    }
+    fn deterministic_transitions(&self) -> bool {
+        true
+    }
+}
+
+impl EnumerableProtocol for Spread {
+    fn num_states(&self) -> usize {
+        5
+    }
+    fn state_index(&self, s: &u8) -> usize {
+        *s as usize
+    }
+    fn state_from_index(&self, i: usize) -> u8 {
+        i as u8
+    }
+    fn interaction_partners(&self, i: usize) -> Option<Vec<usize>> {
+        Some((0..5).filter(|&j| j != i).collect())
+    }
+}
+
+impl InternableProtocol for Spread {
+    type NullClass = ();
+}
+
+fn spec(n: usize, engine: Engine, seed: u64, probe: bool) -> RunSpec<Spread> {
+    RunSpec::new(Spread { n })
+        .engine(engine)
+        .init(Configuration::from_fn(n, |i| (i % 5) as u8))
+        .seed(seed)
+        .probe(probe)
+}
+
+const ENGINES: [Engine; 3] = [Engine::Exact, Engine::Batched, Engine::BatchedCounts];
+
+#[test]
+fn counters_are_identical_seed_for_seed_on_every_engine() {
+    for engine in ENGINES {
+        let a = spec(64, engine, 7, false).run_one().unwrap();
+        let b = spec(64, engine, 7, false).run_one().unwrap();
+        assert!(!a.counters.is_empty(), "{engine}: a run must count something");
+        assert_eq!(
+            a.counters.iter_nonzero().collect::<Vec<_>>(),
+            b.counters.iter_nonzero().collect::<Vec<_>>(),
+            "{engine}: counters must replay exactly"
+        );
+    }
+    // The interned backend too (routed through the count engines).
+    let a = spec(64, Engine::Batched, 7, false).run_one_interned().unwrap();
+    let b = spec(64, Engine::Batched, 7, false).run_one_interned().unwrap();
+    assert!(!a.counters.is_empty(), "interned: a run must count something");
+    assert_eq!(
+        a.counters.iter_nonzero().collect::<Vec<_>>(),
+        b.counters.iter_nonzero().collect::<Vec<_>>()
+    );
+    assert!(
+        a.counters.get(Counter::InternerGrowths) >= 1,
+        "the interned backend discovers at least one state"
+    );
+}
+
+#[test]
+fn count_engines_report_epochs_and_transitions() {
+    for engine in [Engine::Batched, Engine::BatchedCounts] {
+        let report = spec(256, engine, 3, false).run_one().unwrap();
+        assert!(report.outcome.is_silent(), "{engine}: Spread converges");
+        assert!(
+            report.counters.get(Counter::Transitions) >= 1,
+            "{engine}: mixed initial states force real transitions"
+        );
+        assert!(
+            report.counters.get(Counter::NullsSkipped) >= 1,
+            "{engine}: both count engines skip nulls in bulk"
+        );
+    }
+    // Only the batch-count mode opens epochs; the default transition
+    // sampling draws pairs one at a time and must report none.
+    let batched = spec(256, Engine::Batched, 3, false).run_one().unwrap();
+    assert_eq!(batched.counters.get(Counter::EpochsOpened), 0);
+    let counts = spec(256, Engine::BatchedCounts, 3, false).run_one().unwrap();
+    assert!(
+        counts.counters.get(Counter::EpochsOpened) >= 1,
+        "batch-count mode at n = 256 opens epochs"
+    );
+}
+
+#[test]
+fn probe_streams_are_monotone_on_every_engine() {
+    for engine in ENGINES {
+        let report = spec(256, engine, 11, true).run_one().unwrap();
+        let recorder = report.telemetry.as_ref().expect("probe(true) yields a recorder");
+        assert!(!recorder.probes.is_empty(), "{engine}: at least one checkpoint fires");
+        for pair in recorder.probes.windows(2) {
+            assert!(
+                pair[1].interactions > pair[0].interactions,
+                "{engine}: probes advance strictly in simulated time"
+            );
+            assert!(
+                pair[1].transitions >= pair[0].transitions,
+                "{engine}: applied transitions never decrease"
+            );
+        }
+        for probe in &recorder.probes {
+            assert!(probe.population as usize == 256, "{engine}: population is stable");
+            assert!(probe.distinct_states as usize <= 5, "{engine}: at most 5 states");
+        }
+        // The frozen registry matches the report's own.
+        assert_eq!(recorder.counters, report.counters);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Attaching a recorder must never change the simulated trajectory:
+    /// outcome and final configuration are bit-identical with and without
+    /// telemetry, on every engine.
+    #[test]
+    fn telemetry_never_perturbs_the_trajectory(
+        n in 4usize..80,
+        seed in any::<u64>(),
+        engine_sel in 0usize..3,
+    ) {
+        let engine = ENGINES[engine_sel];
+        let bare = spec(n, engine, seed, false).run_one().unwrap();
+        let probed = spec(n, engine, seed, true).run_one().unwrap();
+        prop_assert_eq!(&bare.outcome, &probed.outcome, "{}", engine);
+        prop_assert_eq!(&bare.final_config, &probed.final_config, "{}", engine);
+        prop_assert_eq!(
+            bare.counters.iter_nonzero().collect::<Vec<_>>(),
+            probed.counters.iter_nonzero().collect::<Vec<_>>(),
+            "{}", engine
+        );
+    }
+}

@@ -10,12 +10,13 @@
 use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
 
-use bench::perf::Json;
+use bench::perf::{chrome_trace, Json, TraceSpan};
 use ppsim::batched::EnumerableProtocol;
 use ppsim::mcheck::{
     check_self_stabilization_quotient, expected_silence_time_exact, CorrectnessOracle, MCheckError,
     MCheckOptions,
 };
+use ppsim::telemetry::{CounterBlock, Recorder};
 use ppsim::{
     ChurnAction, ChurnPlan, Configuration, CorruptionTarget, FaultPlan, InteractionScheduler,
     Interactions, Protocol, Scenario, SimError, Topology, TrialPlan,
@@ -30,29 +31,36 @@ use crate::proto::{
 };
 
 /// Executes one non-compound request (run / expect / verify), converting
-/// panics into typed `internal` errors. `sweep` and `stats` are composed by
-/// the server, not here.
-pub fn execute(request: &Request) -> Response {
+/// panics into typed `internal` errors. `sweep`, `stats` and `metrics` are
+/// composed by the server, not here.
+///
+/// Returns the response together with the engine's counter registry for the
+/// whole job (summed over trials), which the server folds into its
+/// per-request-type metrics. Errors and panics return an empty block.
+pub fn execute(request: &Request) -> (Response, CounterBlock) {
     let kind = request.kind();
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| match request {
         Request::Run(spec) => dispatch_run(spec),
         Request::Expect(spec) => dispatch_expect(spec),
         Request::Verify(spec) => dispatch_verify(spec),
-        Request::Sweep(_) | Request::Stats => Err(WireError::new(
+        Request::Sweep(_) | Request::Stats | Request::Metrics => Err(WireError::new(
             ErrorKind::Internal,
             "compound requests must be decomposed by the server",
         )),
     }));
     match outcome {
-        Ok(Ok(result)) => Response::ok(kind, result),
-        Ok(Err(err)) => Response::Err(err),
+        Ok(Ok((result, counters))) => (Response::ok(kind, result), counters),
+        Ok(Err(err)) => (Response::Err(err), CounterBlock::default()),
         Err(payload) => {
             let what = payload
                 .downcast_ref::<&str>()
                 .map(|s| (*s).to_owned())
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "unknown panic".to_owned());
-            Response::error(ErrorKind::Internal, format!("execution panicked: {what}"))
+            (
+                Response::error(ErrorKind::Internal, format!("execution panicked: {what}")),
+                CounterBlock::default(),
+            )
         }
     }
 }
@@ -97,15 +105,15 @@ macro_rules! with_protocol {
     };
 }
 
-fn dispatch_run(spec: &RunSpec) -> Result<Json, WireError> {
+fn dispatch_run(spec: &RunSpec) -> Result<(Json, CounterBlock), WireError> {
     with_protocol!(spec, protocol, scenarios, run_protocol(protocol, &scenarios, spec))
 }
 
-fn dispatch_expect(spec: &ExpectSpec) -> Result<Json, WireError> {
+fn dispatch_expect(spec: &ExpectSpec) -> Result<(Json, CounterBlock), WireError> {
     with_protocol!(spec, protocol, scenarios, expect_protocol(protocol, &scenarios, spec))
 }
 
-fn dispatch_verify(spec: &VerifySpec) -> Result<Json, WireError> {
+fn dispatch_verify(spec: &VerifySpec) -> Result<(Json, CounterBlock), WireError> {
     with_protocol!(spec, protocol, scenarios, {
         let _ = scenarios;
         verify_protocol(protocol)
@@ -272,11 +280,41 @@ impl RunAccumulator {
     }
 }
 
+/// Renders one trial's telemetry recorder: the probe stream as
+/// `[interactions, active-pairs, distinct-states, transitions, population]`
+/// rows plus the recorder's span list converted into trace spans on lane
+/// `tid` (one lane per trial).
+fn render_probes(recorder: &Recorder) -> Json {
+    Json::Arr(
+        recorder
+            .probes
+            .iter()
+            .map(|p| {
+                Json::Arr(vec![
+                    Json::Num(p.interactions as f64),
+                    Json::Num(p.active_pairs as f64),
+                    Json::Num(p.distinct_states as f64),
+                    Json::Num(p.transitions as f64),
+                    Json::Num(p.population as f64),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn trace_spans(recorder: &Recorder, tid: u64) -> Vec<TraceSpan> {
+    recorder
+        .spans
+        .iter()
+        .map(|s| TraceSpan { name: s.name.to_owned(), tid, start_us: s.start_us, end_us: s.end_us })
+        .collect()
+}
+
 fn run_protocol<P: EnumerableProtocol + Copy + Sync>(
     protocol: P,
     scenarios: &[Scenario<P>],
     spec: &RunSpec,
-) -> Result<Json, WireError> {
+) -> Result<(Json, CounterBlock), WireError> {
     let scenario = resolve_scenario(scenarios, &spec.scenario, spec.protocol)?;
     let scheduler = build_scheduler::<P::State>(spec.scheduler, spec.n, spec.seed)?;
     if spec.faults.is_some() && spec.churn.is_none() && spec.scheduler != SchedulerSpec::Uniform {
@@ -290,6 +328,10 @@ fn run_protocol<P: EnumerableProtocol + Copy + Sync>(
     let plan = TrialPlan::new(spec.trials, spec.seed);
 
     let mut acc = RunAccumulator::default();
+    let mut counters = CounterBlock::default();
+    let mut probes: Vec<Json> = Vec::new();
+    let mut spans: Vec<TraceSpan> = Vec::new();
+    let mut dropped_spans = 0u64;
     for trial in 0..spec.trials {
         let seed = plan.seed_for(trial);
         let init = scenario.configuration(&protocol, seed);
@@ -300,6 +342,7 @@ fn run_protocol<P: EnumerableProtocol + Copy + Sync>(
             .budget(spec.budget)
             .scheduler(scheduler.clone())
             .init(init)
+            .probe(spec.trace)
             .seed(seed);
         if let Some(faults) = &fault_plan {
             sim_spec = sim_spec.faults(faults.clone());
@@ -308,6 +351,12 @@ fn run_protocol<P: EnumerableProtocol + Copy + Sync>(
             sim_spec = sim_spec.churn(churn.clone());
         }
         let report = sim_spec.run_one().map_err(sim_err)?;
+        counters.merge(&report.counters);
+        if let Some(recorder) = &report.telemetry {
+            probes.push(render_probes(recorder));
+            spans.extend(trace_spans(recorder, trial as u64 + 1));
+            dropped_spans += recorder.dropped_spans;
+        }
         match (&fault_plan, &churn_plan) {
             (None, None) => {
                 acc.record(
@@ -366,14 +415,28 @@ fn run_protocol<P: EnumerableProtocol + Copy + Sync>(
         churn.insert("restabilized-trials".to_owned(), Json::Num(acc.restabilized_trials as f64));
         map.insert("churn".to_owned(), Json::Obj(churn));
     }
-    Ok(Json::Obj(map))
+    if spec.trace {
+        let mut telemetry = BTreeMap::new();
+        let mut counter_map = BTreeMap::new();
+        for (counter, value) in counters.iter_nonzero() {
+            counter_map.insert(counter.name().to_owned(), Json::Num(value as f64));
+        }
+        telemetry.insert("counters".to_owned(), Json::Obj(counter_map));
+        telemetry.insert("probes".to_owned(), Json::Arr(probes));
+        telemetry.insert("trace".to_owned(), chrome_trace(&spans));
+        if dropped_spans > 0 {
+            telemetry.insert("dropped-spans".to_owned(), Json::Num(dropped_spans as f64));
+        }
+        map.insert("telemetry".to_owned(), Json::Obj(telemetry));
+    }
+    Ok((Json::Obj(map), counters))
 }
 
 fn expect_protocol<P: EnumerableProtocol + Copy>(
     protocol: P,
     scenarios: &[Scenario<P>],
     spec: &ExpectSpec,
-) -> Result<Json, WireError> {
+) -> Result<(Json, CounterBlock), WireError> {
     let scenario = resolve_scenario(scenarios, &spec.scenario, spec.protocol)?;
     let init = scenario.configuration(&protocol, spec.seed);
     let est = expected_silence_time_exact(protocol, &init, &MCheckOptions::default())
@@ -389,12 +452,12 @@ fn expect_protocol<P: EnumerableProtocol + Copy>(
     map.insert("residual".to_owned(), Json::Num(est.residual));
     map.insert("quotient".to_owned(), Json::Bool(est.quotient));
     map.insert("spilled".to_owned(), Json::Bool(est.spilled));
-    Ok(Json::Obj(map))
+    Ok((Json::Obj(map), est.counters))
 }
 
 fn verify_protocol<P: EnumerableProtocol + CorrectnessOracle + Copy>(
     protocol: P,
-) -> Result<Json, WireError> {
+) -> Result<(Json, CounterBlock), WireError> {
     // The quotient checker covers the same full lattice (exact lumping by
     // the protocol's validated symmetry) while holding only orbit
     // representatives; with the identity symmetry it degenerates to the
@@ -411,5 +474,5 @@ fn verify_protocol<P: EnumerableProtocol + CorrectnessOracle + Copy>(
     map.insert("silent-incorrect".to_owned(), Json::Num(report.silent_incorrect as f64));
     map.insert("correct-nonsilent".to_owned(), Json::Num(report.correct_nonsilent as f64));
     map.insert("non-convergent".to_owned(), Json::Num(report.non_convergent as f64));
-    Ok(Json::Obj(map))
+    Ok((Json::Obj(map), report.counters))
 }

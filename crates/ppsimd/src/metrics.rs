@@ -1,16 +1,24 @@
 //! Monotonic server metrics: lock-free counters, a queue-depth high-water
-//! mark, and per-request-type latency histograms with fixed log-spaced
-//! buckets.
+//! mark, per-request-type latency histograms with fixed log-spaced buckets,
+//! and the aggregated engine counter registry.
 //!
 //! Everything is `AtomicU64` with relaxed ordering — the metrics are
 //! monotonic event counts, not synchronization, and a snapshot taken while
 //! the server runs is allowed to be a few events torn. The `stats` request
-//! serializes a snapshot through [`Metrics::snapshot`].
+//! serializes a snapshot through [`Metrics::snapshot`]; the `metrics`
+//! request renders the same snapshot as Prometheus-style text exposition
+//! through [`Metrics::text_exposition`].
+//!
+//! Engine counters are the daemon-side aggregation of the unified
+//! [`ppsim::telemetry`] registry: every executed job folds its per-trial
+//! [`CounterBlock`]s into one per-request-type atomic array, so `stats`
+//! exposes cumulative `engine.*` / `mcheck.*` totals per request kind.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use bench::perf::Json;
+use ppsim::telemetry::{Counter, CounterBlock};
 use std::collections::BTreeMap;
 
 use crate::cache::CacheStats;
@@ -28,12 +36,23 @@ pub enum ReqKind {
     Sweep = 3,
     /// `stats` requests.
     Stats = 4,
+    /// `metrics` requests.
+    Metrics = 5,
 }
+
+/// Number of metered request kinds.
+const KINDS: usize = 6;
 
 impl ReqKind {
     /// All kinds, indexable by `as usize`.
-    pub const ALL: [ReqKind; 5] =
-        [ReqKind::Run, ReqKind::Expect, ReqKind::Verify, ReqKind::Sweep, ReqKind::Stats];
+    pub const ALL: [ReqKind; KINDS] = [
+        ReqKind::Run,
+        ReqKind::Expect,
+        ReqKind::Verify,
+        ReqKind::Sweep,
+        ReqKind::Stats,
+        ReqKind::Metrics,
+    ];
 
     /// The wire label of the kind.
     pub fn label(self) -> &'static str {
@@ -43,6 +62,7 @@ impl ReqKind {
             ReqKind::Verify => "verify",
             ReqKind::Sweep => "sweep",
             ReqKind::Stats => "stats",
+            ReqKind::Metrics => "metrics",
         }
     }
 
@@ -112,8 +132,11 @@ impl Histogram {
 /// The server's monotonic counters.
 #[derive(Default)]
 pub struct Metrics {
-    requests: [AtomicU64; 5],
-    latency: [Histogram; 5],
+    requests: [AtomicU64; KINDS],
+    latency: [Histogram; KINDS],
+    /// Cumulative engine counter registry per request kind: the daemon-side
+    /// fold of every executed job's [`CounterBlock`].
+    engine: [EngineCounters; KINDS],
     /// Successful responses written.
     pub responses_ok: AtomicU64,
     /// Error responses written (all kinds, including overloads).
@@ -135,6 +158,32 @@ pub struct Metrics {
     pub connections: AtomicU64,
 }
 
+/// One atomic engine-counter array (the lock-free mirror of
+/// [`CounterBlock`]).
+struct EngineCounters([AtomicU64; Counter::COUNT]);
+
+impl Default for EngineCounters {
+    fn default() -> Self {
+        EngineCounters(std::array::from_fn(|_| AtomicU64::new(0)))
+    }
+}
+
+impl EngineCounters {
+    fn fold(&self, block: &CounterBlock) {
+        for (counter, value) in block.iter_nonzero() {
+            self.0[counter as usize].fetch_add(value, Ordering::Relaxed);
+        }
+    }
+
+    fn load(&self) -> CounterBlock {
+        let mut block = CounterBlock::default();
+        for counter in Counter::ALL {
+            block.set(counter, self.0[counter as usize].load(Ordering::Relaxed));
+        }
+        block
+    }
+}
+
 impl Metrics {
     /// A zeroed metrics block.
     pub fn new() -> Self {
@@ -149,6 +198,12 @@ impl Metrics {
     /// Records the end-to-end service latency of one request of `kind`.
     pub fn record_latency(&self, kind: ReqKind, elapsed: Duration) {
         self.latency[kind as usize].record(elapsed);
+    }
+
+    /// Folds one executed job's engine counter registry into the
+    /// cumulative per-request-type totals.
+    pub fn record_engine_counters(&self, kind: ReqKind, block: &CounterBlock) {
+        self.engine[kind as usize].fold(block);
     }
 
     /// Counts a job entering the queue, maintaining the high-water mark.
@@ -178,9 +233,18 @@ impl Metrics {
         let load = |c: &AtomicU64| Json::Num(c.load(Ordering::Relaxed) as f64);
         let mut requests = BTreeMap::new();
         let mut latency = BTreeMap::new();
+        let mut engine = BTreeMap::new();
         for kind in ReqKind::ALL {
             requests.insert(kind.label().to_owned(), load(&self.requests[kind as usize]));
             latency.insert(kind.label().to_owned(), self.latency[kind as usize].to_json());
+            let block = self.engine[kind as usize].load();
+            if !block.is_empty() {
+                let mut counters = BTreeMap::new();
+                for (counter, value) in block.iter_nonzero() {
+                    counters.insert(counter.name().to_owned(), Json::Num(value as f64));
+                }
+                engine.insert(kind.label().to_owned(), Json::Obj(counters));
+            }
         }
         let mut cache_map = BTreeMap::new();
         cache_map.insert("hits".to_owned(), load(&self.cache_hits));
@@ -194,6 +258,7 @@ impl Metrics {
         let mut map = BTreeMap::new();
         map.insert("requests".to_owned(), Json::Obj(requests));
         map.insert("latency-micros".to_owned(), Json::Obj(latency));
+        map.insert("engine-counters".to_owned(), Json::Obj(engine));
         map.insert("cache".to_owned(), Json::Obj(cache_map));
         map.insert("queue".to_owned(), Json::Obj(queue));
         map.insert("responses-ok".to_owned(), load(&self.responses_ok));
@@ -202,5 +267,68 @@ impl Metrics {
         map.insert("overloaded".to_owned(), load(&self.overloaded));
         map.insert("connections".to_owned(), load(&self.connections));
         Json::Obj(map)
+    }
+
+    /// Renders the snapshot as Prometheus-style text exposition: one
+    /// `# TYPE` header per metric family, `ppsimd_`-prefixed names, and
+    /// `kind`/`counter` labels mirroring the JSON snapshot's nesting.
+    pub fn text_exposition(&self, cache: CacheStats) -> String {
+        let mut out = String::new();
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        out.push_str("# TYPE ppsimd_requests_total counter\n");
+        for kind in ReqKind::ALL {
+            let count = load(&self.requests[kind as usize]);
+            out.push_str(&format!("ppsimd_requests_total{{kind=\"{}\"}} {count}\n", kind.label()));
+        }
+        out.push_str("# TYPE ppsimd_request_latency_micros_sum counter\n");
+        out.push_str("# TYPE ppsimd_request_latency_micros_count counter\n");
+        for kind in ReqKind::ALL {
+            let hist = &self.latency[kind as usize];
+            out.push_str(&format!(
+                "ppsimd_request_latency_micros_sum{{kind=\"{}\"}} {}\n",
+                kind.label(),
+                load(&hist.total_micros)
+            ));
+            out.push_str(&format!(
+                "ppsimd_request_latency_micros_count{{kind=\"{}\"}} {}\n",
+                kind.label(),
+                load(&hist.count)
+            ));
+        }
+        out.push_str("# TYPE ppsimd_engine_counter_total counter\n");
+        for kind in ReqKind::ALL {
+            let block = self.engine[kind as usize].load();
+            for (counter, value) in block.iter_nonzero() {
+                out.push_str(&format!(
+                    "ppsimd_engine_counter_total{{kind=\"{}\",counter=\"{}\"}} {value}\n",
+                    kind.label(),
+                    counter.name()
+                ));
+            }
+        }
+        let scalars: [(&str, &str, u64); 10] = [
+            ("ppsimd_responses_ok_total", "counter", load(&self.responses_ok)),
+            ("ppsimd_responses_err_total", "counter", load(&self.responses_err)),
+            ("ppsimd_protocol_errors_total", "counter", load(&self.protocol_errors)),
+            ("ppsimd_overloaded_total", "counter", load(&self.overloaded)),
+            ("ppsimd_connections_total", "counter", load(&self.connections)),
+            ("ppsimd_cache_hits_total", "counter", load(&self.cache_hits)),
+            ("ppsimd_cache_misses_total", "counter", load(&self.cache_misses)),
+            ("ppsimd_cache_evictions_total", "counter", cache.evictions),
+            ("ppsimd_queue_depth", "gauge", load(&self.queue_depth)),
+            ("ppsimd_queue_highwater", "gauge", load(&self.queue_highwater)),
+        ];
+        for (name, family, value) in scalars {
+            out.push_str(&format!("# TYPE {name} {family}\n{name} {value}\n"));
+        }
+        out.push_str(&format!(
+            "# TYPE ppsimd_cache_entries gauge\nppsimd_cache_entries {}\n",
+            cache.entries
+        ));
+        out.push_str(&format!(
+            "# TYPE ppsimd_cache_bytes gauge\nppsimd_cache_bytes {}\n",
+            cache.bytes
+        ));
+        out
     }
 }

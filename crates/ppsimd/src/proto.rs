@@ -332,6 +332,10 @@ pub struct RunSpec {
     pub churn: Option<ChurnSpec>,
     /// Parameterization (optimal-silent only).
     pub params: ParamsId,
+    /// Whether to attach a telemetry recorder and return convergence
+    /// probes and Chrome-trace span events inline with the result. Traced
+    /// responses carry wall-clock timings, so they are never cached.
+    pub trace: bool,
 }
 
 /// An `expect` request: exact expected silence time from one scenario.
@@ -374,6 +378,8 @@ pub enum Request {
     Sweep(Vec<Request>),
     /// Metrics snapshot.
     Stats,
+    /// Metrics in Prometheus-style text exposition format.
+    Metrics,
 }
 
 impl Request {
@@ -385,13 +391,20 @@ impl Request {
             Request::Verify(_) => "verify",
             Request::Sweep(_) => "sweep",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
         }
     }
 
     /// Whether responses to this request are cacheable (deterministic in
-    /// the canonical request text).
+    /// the canonical request text). Traced runs are excluded: their span
+    /// timestamps are wall-clock, so two identical traced requests produce
+    /// different (and equally valid) responses.
     pub fn cacheable(&self) -> bool {
-        matches!(self, Request::Run(_) | Request::Expect(_) | Request::Verify(_))
+        match self {
+            Request::Run(spec) => !spec.trace,
+            Request::Expect(_) | Request::Verify(_) => true,
+            Request::Sweep(_) | Request::Stats | Request::Metrics => false,
+        }
     }
 
     /// Parses one request line. Strict: every error maps to a typed
@@ -439,7 +452,11 @@ impl Request {
                 check_fields(map, &["type"])?;
                 Ok(Request::Stats)
             }
-            "sweep" | "stats" => {
+            "metrics" if allow_compound => {
+                check_fields(map, &["type"])?;
+                Ok(Request::Metrics)
+            }
+            "sweep" | "stats" | "metrics" => {
                 Err(WireError::bad(format!("request type {kind:?} cannot appear inside a sweep")))
             }
             other => Err(WireError::new(
@@ -469,6 +486,11 @@ impl Request {
             Request::Stats => {
                 let mut map = BTreeMap::new();
                 map.insert("type".to_owned(), Json::Str("stats".to_owned()));
+                Json::Obj(map)
+            }
+            Request::Metrics => {
+                let mut map = BTreeMap::new();
+                map.insert("type".to_owned(), Json::Str("metrics".to_owned()));
                 Json::Obj(map)
             }
         }
@@ -508,6 +530,7 @@ impl RunSpec {
         "faults",
         "churn",
         "params",
+        "trace",
     ];
 
     fn from_map(map: &BTreeMap<String, Json>) -> Result<Self, WireError> {
@@ -557,6 +580,7 @@ impl RunSpec {
                 Some(value) => Some(ChurnSpec::from_json(value)?),
             },
             params: parse_params(map, ParamsId::Paper)?,
+            trace: opt_bool(map, "trace")?.unwrap_or(false),
         };
         Ok(spec)
     }
@@ -579,6 +603,9 @@ impl RunSpec {
             map.insert("churn".to_owned(), churn.to_json());
         }
         map.insert("params".to_owned(), Json::Str(self.params.label().to_owned()));
+        if self.trace {
+            map.insert("trace".to_owned(), Json::Bool(true));
+        }
         Json::Obj(map)
     }
 }
@@ -908,6 +935,14 @@ fn parse_params(map: &BTreeMap<String, Json>, default: ParamsId) -> Result<Param
         Some(label) => ParamsId::from_label(label).ok_or_else(|| {
             WireError::bad(format!("unknown params {label:?} (expected \"paper\" or \"mcheck\")"))
         }),
+    }
+}
+
+fn opt_bool(map: &BTreeMap<String, Json>, key: &str) -> Result<Option<bool>, WireError> {
+    match map.get(key) {
+        None => Ok(None),
+        Some(Json::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(WireError::bad(format!("field {key:?} must be a boolean"))),
     }
 }
 

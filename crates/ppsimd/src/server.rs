@@ -28,7 +28,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use bench::perf::Json;
+use bench::perf::{self, chrome_trace, Json, TraceSpan};
 
 use crate::cache::{CacheConfig, ResultCache};
 use crate::exec;
@@ -82,11 +82,14 @@ struct Shared {
 }
 
 /// One queued unit of work: a parsed request plus the canonical text of
-/// its cacheable payload, answered over a rendezvous channel.
+/// its cacheable payload, answered over a rendezvous channel. The parse
+/// duration and enqueue instant feed the service spans of traced runs.
 struct Job {
     request: Request,
     canonical: String,
     reply: SyncSender<String>,
+    parse_us: u64,
+    enqueued: Instant,
 }
 
 /// A running server handle. Dropping it (or calling
@@ -204,20 +207,28 @@ fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>, shared: &Shared) {
 }
 
 fn process_job(job: &Job, shared: &Shared) -> String {
+    let queue_us = job.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
     match &job.request {
         Request::Sweep(items) => {
             let mut results = Vec::with_capacity(items.len());
             for item in items {
-                let canonical = item.canonical_text();
-                let line = match shared.cache.get(&canonical) {
-                    Some(hit) => {
-                        shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-                        hit
+                let line = if item.cacheable() {
+                    let canonical = item.canonical_text();
+                    match shared.cache.get(&canonical) {
+                        Some(hit) => {
+                            shared.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+                            hit
+                        }
+                        None => {
+                            shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                            execute_job(item, canonical, shared, None)
+                        }
                     }
-                    None => {
-                        shared.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-                        execute_cacheable(item, canonical, shared)
-                    }
+                } else {
+                    // A traced sub-run: engine telemetry rides along, but
+                    // batch members share one queue wait, so no service
+                    // spans are patched in.
+                    execute_job(item, String::new(), shared, None)
                 };
                 // Re-parse the cached line so the sweep payload is composed
                 // structurally (and stays canonical when re-serialized).
@@ -230,21 +241,93 @@ fn process_job(job: &Job, shared: &Shared) -> String {
             Response::ok("sweep", Json::Arr(results)).to_line()
         }
         request => {
-            debug_assert!(request.cacheable(), "stats never reaches the queue");
-            execute_cacheable(request, job.canonical.clone(), shared)
+            execute_job(request, job.canonical.clone(), shared, Some((job.parse_us, queue_us)))
         }
     }
 }
 
-/// Executes a run/expect/verify request and caches successful responses
-/// under the canonical request text.
-fn execute_cacheable(request: &Request, canonical: String, shared: &Shared) -> String {
-    let response = exec::execute(request);
-    let line = response.to_line();
-    if matches!(response, Response::Ok { .. }) {
+/// Executes a run/expect/verify request, folds its engine counters into
+/// the per-request-type metrics, caches successful responses when the
+/// request is cacheable, and — for traced runs with service timing —
+/// patches the request-lifecycle spans into the returned trace.
+fn execute_job(
+    request: &Request,
+    canonical: String,
+    shared: &Shared,
+    timing: Option<(u64, u64)>,
+) -> String {
+    let started = Instant::now();
+    let (response, counters) = exec::execute(request);
+    let exec_us = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    if let Some(kind) = ReqKind::from_label(request.kind()) {
+        shared.metrics.record_engine_counters(kind, &counters);
+    }
+    let mut line = response.to_line();
+    if let (Request::Run(spec), Some((parse_us, queue_us))) = (request, timing) {
+        if spec.trace && matches!(response, Response::Ok { .. }) {
+            if let Some(patched) = patch_service_spans(&line, parse_us, queue_us, exec_us) {
+                line = patched;
+            }
+        }
+    }
+    if request.cacheable() && matches!(response, Response::Ok { .. }) {
         shared.cache.insert(canonical, line.clone());
     }
     line
+}
+
+/// Splices the request-lifecycle spans (`request.parse`, `request.queue`,
+/// `request.execute` on lane 0) into a traced run response, shifting the
+/// engine spans (whose origin is execution start) onto the shared request
+/// timeline and re-sorting so timestamps stay non-decreasing.
+fn patch_service_spans(line: &str, parse_us: u64, queue_us: u64, exec_us: u64) -> Option<String> {
+    let mut doc = perf::parse(line).ok()?;
+    let offset = parse_us + queue_us;
+    {
+        let Json::Obj(top) = &mut doc else { return None };
+        let Json::Obj(result) = top.get_mut("result")? else { return None };
+        let Json::Obj(telemetry) = result.get_mut("telemetry")? else { return None };
+        let trace = telemetry.get_mut("trace")?;
+
+        // Recover the engine spans from the serialized (well-nested, sorted)
+        // events with a per-lane stack walk, shift them onto the request
+        // timeline, and re-serialize alongside the lifecycle spans so
+        // `chrome_trace` applies its nesting-preserving tie-breaks once.
+        let Json::Arr(events) = trace.get("traceEvents")? else { return None };
+        let mut spans: Vec<TraceSpan> = Vec::with_capacity(events.len() / 2 + 3);
+        let mut open: std::collections::BTreeMap<u64, Vec<(String, u64)>> =
+            std::collections::BTreeMap::new();
+        for event in events {
+            let name = event.get("name").and_then(Json::as_str)?.to_owned();
+            let ts = event.get("ts").and_then(Json::as_f64)? as u64;
+            let tid = event.get("tid").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+            match event.get("ph").and_then(Json::as_str)? {
+                "B" => open.entry(tid).or_default().push((name, ts)),
+                "E" => {
+                    let (name, start_us) = open.get_mut(&tid)?.pop()?;
+                    spans.push(TraceSpan {
+                        name,
+                        tid,
+                        start_us: start_us + offset,
+                        end_us: ts + offset,
+                    });
+                }
+                _ => return None,
+            }
+        }
+        if open.values().any(|stack| !stack.is_empty()) {
+            return None;
+        }
+        for (name, start_us, end_us) in [
+            ("request.parse", 0, parse_us),
+            ("request.queue", parse_us, offset),
+            ("request.execute", offset, offset + exec_us),
+        ] {
+            spans.push(TraceSpan { name: name.to_owned(), tid: 0, start_us, end_us });
+        }
+        *trace = chrome_trace(&spans);
+    }
+    Some(perf::to_string(&doc))
 }
 
 /// What one framed read attempt produced.
@@ -370,6 +453,7 @@ fn handle_connection(
 /// Parses and dispatches one request line, returning the metered request
 /// kind (None for pre-dispatch protocol errors) and the response line.
 fn handle_line(line: &str, tx: &SyncSender<Job>, shared: &Shared) -> (Option<ReqKind>, String) {
+    let parse_started = Instant::now();
     let request = match Request::parse_line(line) {
         Ok(request) => request,
         Err(err) => {
@@ -377,12 +461,17 @@ fn handle_line(line: &str, tx: &SyncSender<Job>, shared: &Shared) -> (Option<Req
             return (None, Response::Err(err).to_line());
         }
     };
+    let parse_us = parse_started.elapsed().as_micros().min(u64::MAX as u128) as u64;
     let kind = ReqKind::from_label(request.kind()).expect("every request kind is metered");
     shared.metrics.record_request(kind);
     match &request {
         Request::Stats => {
             let snapshot = shared.metrics.snapshot(shared.cache.stats());
             (Some(kind), Response::ok("stats", snapshot).to_line())
+        }
+        Request::Metrics => {
+            let text = shared.metrics.text_exposition(shared.cache.stats());
+            (Some(kind), Response::ok("metrics", Json::Str(text)).to_line())
         }
         _ => {
             let canonical =
@@ -398,7 +487,9 @@ fn handle_line(line: &str, tx: &SyncSender<Job>, shared: &Shared) -> (Option<Req
             // Count the job before sending it: the worker's matching
             // decrement (after completion) must never observe depth 0.
             shared.metrics.job_enqueued();
-            match tx.try_send(Job { request, canonical, reply: reply_tx }) {
+            let job =
+                Job { request, canonical, reply: reply_tx, parse_us, enqueued: Instant::now() };
+            match tx.try_send(job) {
                 Ok(()) => match reply_rx.recv() {
                     Ok(line) => (Some(kind), line),
                     Err(_) => (

@@ -1,0 +1,167 @@
+//! Daemon observability tests: traced runs carrying inline telemetry, the
+//! aggregated engine counters in `stats`, and the Prometheus-style
+//! `metrics` text exposition.
+//!
+//! Covered invariants:
+//!
+//! - A `trace: true` run answers with a `telemetry` object whose Chrome
+//!   trace round-trips through the `bench::perf` validator and includes the
+//!   daemon's own request-lifecycle spans on lane 0.
+//! - Traced runs never enter the result cache (their wall-clock timings
+//!   would replay stale), while the identical untraced run stays cacheable.
+//! - `stats` aggregates engine counters per request type, and `metrics`
+//!   exposes the same registry in text exposition format.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use bench::perf::{validate_chrome_trace, Json};
+use ppsimd::{serve, Response, Server, ServerConfig};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(server: &Server) -> Client {
+        let stream = TcpStream::connect(server.addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(60))).expect("read timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client { reader, stream }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        self.stream.write_all(line.as_bytes()).expect("write");
+        self.stream.write_all(b"\n").expect("write");
+        self.stream.flush().expect("flush");
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).expect("read");
+        assert!(n > 0, "server closed the connection mid-request");
+        response.trim_end().to_owned()
+    }
+}
+
+fn ok_result(line: &str) -> Json {
+    match Response::parse_line(line).expect("response should parse") {
+        Response::Ok { result, .. } => result,
+        Response::Err(err) => panic!("request failed: {} {}", err.kind.label(), err.message),
+    }
+}
+
+const RUN: &str = r#"{"type":"run","protocol":"epidemic","n":200,"scenario":"single-source","trials":2,"seed":11}"#;
+const TRACED_RUN: &str = r#"{"type":"run","protocol":"epidemic","n":200,"scenario":"single-source","engine":"batchcount","trials":2,"seed":11,"trace":true}"#;
+
+#[test]
+fn traced_runs_return_inline_telemetry_with_a_loadable_trace() {
+    let server = serve(ServerConfig::default()).expect("bind");
+    let mut conn = Client::connect(&server);
+    let result = ok_result(&conn.roundtrip(TRACED_RUN));
+    let telemetry = result.get("telemetry").expect("traced run carries telemetry");
+
+    // Counters: a batched epidemic run must have opened at least one epoch.
+    let counters = telemetry.get("counters").expect("counters object");
+    let transitions = counters.get("engine.transitions").and_then(Json::as_f64).unwrap_or(0.0);
+    assert!(transitions >= 1.0, "a run applies transitions");
+
+    // Probes: one stream per trial, each row strictly increasing in
+    // interactions and non-decreasing in transitions.
+    let Some(Json::Arr(streams)) = telemetry.get("probes").cloned() else {
+        panic!("probes must be an array of per-trial streams");
+    };
+    assert_eq!(streams.len(), 2, "one probe stream per trial");
+    for stream in &streams {
+        let Json::Arr(rows) = stream else { panic!("probe stream must be an array") };
+        assert!(!rows.is_empty(), "every trial records at least one probe");
+        let mut last_interactions = -1.0;
+        let mut last_transitions = -1.0;
+        for row in rows {
+            let Json::Arr(cells) = row else { panic!("probe row must be an array") };
+            assert_eq!(cells.len(), 5);
+            let interactions = cells[0].as_f64().expect("interactions");
+            let transitions = cells[3].as_f64().expect("transitions");
+            assert!(interactions > last_interactions, "probes are strictly ordered in time");
+            assert!(transitions >= last_transitions, "applied transitions never decrease");
+            last_interactions = interactions;
+            last_transitions = transitions;
+        }
+    }
+
+    // The trace is a valid Chrome trace-event document with balanced,
+    // sorted B/E spans — including the daemon's own lifecycle spans.
+    let trace = telemetry.get("trace").expect("chrome trace document");
+    let events = validate_chrome_trace(trace).expect("trace must validate");
+    assert!(events >= 6, "at least the three service spans plus engine spans");
+    let rendered = bench::perf::to_string(trace);
+    for span in ["request.parse", "request.queue", "request.execute", "epoch.draw"] {
+        assert!(rendered.contains(span), "trace must contain the {span} span");
+    }
+
+    // Traced responses bypass the cache entirely: no hit/miss accounting,
+    // and replaying the request recomputes (timings differ, results agree).
+    let metrics = server.metrics();
+    assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 0);
+    assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 0);
+    let replay = ok_result(&conn.roundtrip(TRACED_RUN));
+    assert_eq!(
+        replay.get("mean-parallel").and_then(Json::as_f64),
+        result.get("mean-parallel").and_then(Json::as_f64),
+        "the simulated trajectory is identical seed-for-seed"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn untraced_runs_omit_telemetry_and_stay_cacheable() {
+    let server = serve(ServerConfig::default()).expect("bind");
+    let mut conn = Client::connect(&server);
+    let cold = conn.roundtrip(RUN);
+    assert!(ok_result(&cold).get("telemetry").is_none(), "untraced runs carry no telemetry");
+    let warm = conn.roundtrip(RUN);
+    assert_eq!(warm, cold, "untraced runs replay byte-identically from the cache");
+    let metrics = server.metrics();
+    assert_eq!(metrics.cache_misses.load(Ordering::Relaxed), 1);
+    assert_eq!(metrics.cache_hits.load(Ordering::Relaxed), 1);
+    server.shutdown();
+}
+
+#[test]
+fn stats_and_metrics_expose_aggregated_engine_counters() {
+    let server = serve(ServerConfig::default()).expect("bind");
+    let mut conn = Client::connect(&server);
+    assert!(ok_result(&conn.roundtrip(RUN)).get("mean-parallel").is_some());
+
+    // stats: the run's engine counters are aggregated under its request type.
+    let stats = ok_result(&conn.roundtrip(r#"{"type":"stats"}"#));
+    let engine = stats.get("engine-counters").expect("stats exposes engine counters");
+    let run = engine.get("run").expect("the run request type has counters");
+    let transitions = run.get("engine.transitions").and_then(Json::as_f64).unwrap_or(0.0);
+    assert!(transitions >= 1.0, "aggregated transitions from the run");
+
+    // metrics: the same registry in Prometheus text exposition format.
+    let exposition = ok_result(&conn.roundtrip(r#"{"type":"metrics"}"#));
+    let text = exposition.as_str().expect("metrics result is the exposition text");
+    for needle in [
+        "# TYPE ppsimd_requests_total counter",
+        "ppsimd_requests_total{kind=\"run\"} 1",
+        "ppsimd_engine_counter_total{kind=\"run\",counter=\"engine.transitions\"}",
+        "ppsimd_cache_entries",
+    ] {
+        assert!(text.contains(needle), "exposition must contain {needle:?}:\n{text}");
+    }
+
+    // Counters are cumulative: a second (cached) run does not re-execute,
+    // so engine counters stay put while the request counter advances.
+    assert!(ok_result(&conn.roundtrip(RUN)).get("mean-parallel").is_some());
+    let again = ok_result(&conn.roundtrip(r#"{"type":"stats"}"#));
+    let again_transitions = again
+        .get("engine-counters")
+        .and_then(|e| e.get("run"))
+        .and_then(|r| r.get("engine.transitions"))
+        .and_then(Json::as_f64);
+    assert_eq!(again_transitions, Some(transitions), "cache hits execute no engine work");
+    server.shutdown();
+}

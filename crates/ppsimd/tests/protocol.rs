@@ -389,6 +389,7 @@ proptest! {
                 },
             }),
             params: if mcheck_params { ParamsId::MCheck } else { ParamsId::Paper },
+            trace: plan & 3 == 3,
         };
         let request = Request::Run(spec);
         let reparsed = Request::parse_line(&request.canonical_text());

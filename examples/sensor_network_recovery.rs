@@ -101,6 +101,7 @@ fn main() {
         .init(protocol.all_same_rank_configuration())
         .seed(23)
         .churn(churn)
+        .probe(true)
         .run_one()
         .expect("uniform schedulers run on every engine");
     assert!(complete.outcome.is_silent());
@@ -115,6 +116,36 @@ fn main() {
     );
     if let Some(recovery) = complete.final_restabilization_parallel_time() {
         println!("  last swap absorbed in {recovery} of re-stabilization");
+    }
+
+    // The same mission as the telemetry layer saw it: the log-spaced probe
+    // stream, segmented by the maintenance events. Active-pair mass is the
+    // convergence signal — it collapses to 0 at each silence, and every
+    // swap injects fresh mass that the fleet then burns back down.
+    let recorder = complete.telemetry.as_ref().expect("probe(true) yields a recorder");
+    println!("\nconvergence timeline (log-spaced probes; active pairs -> 0 is silence):");
+    let mut events = complete.churn.iter().enumerate().peekable();
+    for probe in &recorder.probes {
+        while let Some(&(i, event)) = events.peek() {
+            if event.at.count() > probe.interactions {
+                break;
+            }
+            println!(
+                "  -- maintenance event {} at t = {}: {} swapped, fleet size {} --",
+                i + 1,
+                event.at.to_parallel_time(n),
+                event.departed,
+                event.population_after,
+            );
+            events.next();
+        }
+        println!(
+            "  t = {:>8.1}  active pairs {:>3}  distinct ranks {:>2}  transitions {:>4}",
+            probe.interactions as f64 / n as f64,
+            probe.active_pairs,
+            probe.distinct_states,
+            probe.transitions,
+        );
     }
 
     println!(
